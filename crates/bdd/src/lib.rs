@@ -1,0 +1,521 @@
+//! # qb-bdd
+//!
+//! Reduced ordered binary decision diagrams (ROBDDs), the third decision
+//! backend of the safe-uncomputation verifier.
+//!
+//! BDDs are canonical for a fixed variable order, so checking the paper's
+//! conditions becomes structural:
+//!
+//! * condition (6.1) — `b_q ∧ ¬q` unsatisfiable ⟺ its BDD is the `0` node;
+//! * condition (6.2) — every other qubit's final formula is independent of
+//!   the dirty qubit `q` ⟺ `q` does not occur in that formula's BDD
+//!   support (equivalently the two cofactors coincide).
+//!
+//! The verifier uses circuit qubit indices directly as the BDD variable
+//! order, which interleaves carry and data bits of the benchmark adders and
+//! keeps their diagrams polynomial.
+
+use qb_formula::{Arena, Node, NodeId as FormulaId, Var};
+use std::collections::HashMap;
+
+/// Identifier of a BDD node inside a [`Bdd`] manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BddId(u32);
+
+impl BddId {
+    /// The constant-false terminal.
+    pub const FALSE: BddId = BddId(0);
+    /// The constant-true terminal.
+    pub const TRUE: BddId = BddId(1);
+
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` for the two terminal nodes.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct BddNode {
+    var: Var,
+    lo: BddId,
+    hi: BddId,
+}
+
+/// Binary connective selector for [`Bdd::apply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BddOp {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+    /// Exclusive or.
+    Xor,
+}
+
+impl BddOp {
+    #[inline]
+    fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            BddOp::And => a & b,
+            BddOp::Or => a | b,
+            BddOp::Xor => a ^ b,
+        }
+    }
+}
+
+/// A shared-node BDD manager.
+///
+/// Nodes are hash-consed, so semantic equality of functions is pointer
+/// equality of [`BddId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use qb_bdd::{Bdd, BddOp};
+/// let mut m = Bdd::new();
+/// let x = m.var(0);
+/// let y = m.var(1);
+/// let a = m.apply(BddOp::Xor, x, y);
+/// let b = m.apply(BddOp::Xor, y, x);
+/// assert_eq!(a, b); // canonical
+/// let back = m.apply(BddOp::Xor, a, y);
+/// assert_eq!(back, x); // x ⊕ y ⊕ y = x
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Bdd {
+    nodes: Vec<BddNode>,
+    unique: HashMap<BddNode, BddId>,
+    apply_cache: HashMap<(BddOp, BddId, BddId), BddId>,
+    not_cache: HashMap<BddId, BddId>,
+}
+
+impl Bdd {
+    /// Creates a manager containing only the terminals.
+    pub fn new() -> Self {
+        let mut m = Bdd {
+            nodes: Vec::new(),
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+        };
+        // Terminal ids 0/1 are encoded implicitly; reserve slots so
+        // internal node ids start at 2.
+        m.nodes.push(BddNode {
+            var: Var::MAX,
+            lo: BddId::FALSE,
+            hi: BddId::FALSE,
+        });
+        m.nodes.push(BddNode {
+            var: Var::MAX,
+            lo: BddId::TRUE,
+            hi: BddId::TRUE,
+        });
+        m
+    }
+
+    /// Total number of nodes ever created (including terminals).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when only terminals exist.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+
+    /// The terminal for `b`.
+    pub fn constant(&self, b: bool) -> BddId {
+        if b {
+            BddId::TRUE
+        } else {
+            BddId::FALSE
+        }
+    }
+
+    fn mk(&mut self, var: Var, lo: BddId, hi: BddId) -> BddId {
+        if lo == hi {
+            return lo;
+        }
+        let node = BddNode { var, lo, hi };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = BddId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    #[inline]
+    fn var_of(&self, id: BddId) -> Var {
+        if id.is_terminal() {
+            Var::MAX
+        } else {
+            self.nodes[id.index()].var
+        }
+    }
+
+    /// The single-variable function `v`.
+    pub fn var(&mut self, v: Var) -> BddId {
+        self.mk(v, BddId::FALSE, BddId::TRUE)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, x: BddId) -> BddId {
+        if x == BddId::FALSE {
+            return BddId::TRUE;
+        }
+        if x == BddId::TRUE {
+            return BddId::FALSE;
+        }
+        if let Some(&r) = self.not_cache.get(&x) {
+            return r;
+        }
+        let BddNode { var, lo, hi } = self.nodes[x.index()];
+        let nlo = self.not(lo);
+        let nhi = self.not(hi);
+        let r = self.mk(var, nlo, nhi);
+        self.not_cache.insert(x, r);
+        r
+    }
+
+    /// Shannon-expansion apply of a binary connective.
+    pub fn apply(&mut self, op: BddOp, a: BddId, b: BddId) -> BddId {
+        if a.is_terminal() && b.is_terminal() {
+            return self.constant(op.eval(a == BddId::TRUE, b == BddId::TRUE));
+        }
+        // Exploit simple identities for speed.
+        match (op, a, b) {
+            (BddOp::And, x, y) if x == y => return x,
+            (BddOp::And, BddId::FALSE, _) | (BddOp::And, _, BddId::FALSE) => {
+                return BddId::FALSE
+            }
+            (BddOp::And, BddId::TRUE, y) => return y,
+            (BddOp::And, x, BddId::TRUE) => return x,
+            (BddOp::Or, x, y) if x == y => return x,
+            (BddOp::Or, BddId::TRUE, _) | (BddOp::Or, _, BddId::TRUE) => return BddId::TRUE,
+            (BddOp::Or, BddId::FALSE, y) => return y,
+            (BddOp::Or, x, BddId::FALSE) => return x,
+            (BddOp::Xor, x, y) if x == y => return BddId::FALSE,
+            (BddOp::Xor, BddId::FALSE, y) => return y,
+            (BddOp::Xor, x, BddId::FALSE) => return x,
+            (BddOp::Xor, BddId::TRUE, y) => return self.not(y),
+            (BddOp::Xor, x, BddId::TRUE) => return self.not(x),
+            _ => {}
+        }
+        // Normalise commutative operands for better cache hits.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.apply_cache.get(&(op, a, b)) {
+            return r;
+        }
+        let va = self.var_of(a);
+        let vb = self.var_of(b);
+        let top = va.min(vb);
+        let (alo, ahi) = if va == top {
+            let n = self.nodes[a.index()];
+            (n.lo, n.hi)
+        } else {
+            (a, a)
+        };
+        let (blo, bhi) = if vb == top {
+            let n = self.nodes[b.index()];
+            (n.lo, n.hi)
+        } else {
+            (b, b)
+        };
+        let lo = self.apply(op, alo, blo);
+        let hi = self.apply(op, ahi, bhi);
+        let r = self.mk(top, lo, hi);
+        self.apply_cache.insert((op, a, b), r);
+        r
+    }
+
+    /// Substitutes a constant for `v` (restrict).
+    pub fn cofactor(&mut self, x: BddId, v: Var, val: bool) -> BddId {
+        let mut cache: HashMap<BddId, BddId> = HashMap::new();
+        self.cofactor_rec(x, v, val, &mut cache)
+    }
+
+    fn cofactor_rec(
+        &mut self,
+        x: BddId,
+        v: Var,
+        val: bool,
+        cache: &mut HashMap<BddId, BddId>,
+    ) -> BddId {
+        if x.is_terminal() {
+            return x;
+        }
+        let node = self.nodes[x.index()];
+        if node.var > v {
+            // Ordered: v cannot appear below.
+            return x;
+        }
+        if let Some(&r) = cache.get(&x) {
+            return r;
+        }
+        let r = if node.var == v {
+            if val {
+                node.hi
+            } else {
+                node.lo
+            }
+        } else {
+            let lo = self.cofactor_rec(node.lo, v, val, cache);
+            let hi = self.cofactor_rec(node.hi, v, val, cache);
+            self.mk(node.var, lo, hi)
+        };
+        cache.insert(x, r);
+        r
+    }
+
+    /// Returns `true` if the function depends on `v` (i.e. `v` labels a
+    /// node reachable from `x`).
+    pub fn depends_on(&self, x: BddId, v: Var) -> bool {
+        let mut stack = vec![x];
+        let mut seen: HashMap<BddId, ()> = HashMap::new();
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || seen.insert(id, ()).is_some() {
+                continue;
+            }
+            let node = self.nodes[id.index()];
+            if node.var == v {
+                return true;
+            }
+            if node.var < v {
+                stack.push(node.lo);
+                stack.push(node.hi);
+            }
+        }
+        false
+    }
+
+    /// The sorted support (set of variables the function depends on).
+    pub fn support(&self, x: BddId) -> Vec<Var> {
+        let mut vars = Vec::new();
+        let mut stack = vec![x];
+        let mut seen: HashMap<BddId, ()> = HashMap::new();
+        while let Some(id) = stack.pop() {
+            if id.is_terminal() || seen.insert(id, ()).is_some() {
+                continue;
+            }
+            let node = self.nodes[id.index()];
+            vars.push(node.var);
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Returns a satisfying partial assignment (pairs of variable and
+    /// value along one path to the `1` terminal), or `None` when the
+    /// function is constant false. Variables not mentioned may take any
+    /// value.
+    pub fn any_sat(&self, x: BddId) -> Option<Vec<(Var, bool)>> {
+        if x == BddId::FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = x;
+        while !cur.is_terminal() {
+            let node = self.nodes[cur.index()];
+            // Prefer the branch that can reach TRUE; lo first for
+            // determinism.
+            if node.lo != BddId::FALSE {
+                path.push((node.var, false));
+                cur = node.lo;
+            } else {
+                path.push((node.var, true));
+                cur = node.hi;
+            }
+        }
+        debug_assert_eq!(cur, BddId::TRUE);
+        Some(path)
+    }
+
+    /// Evaluates the function under `env` (indexed by variable).
+    pub fn eval(&self, x: BddId, env: &[bool]) -> bool {
+        let mut cur = x;
+        while !cur.is_terminal() {
+            let node = self.nodes[cur.index()];
+            cur = if env[node.var as usize] {
+                node.hi
+            } else {
+                node.lo
+            };
+        }
+        cur == BddId::TRUE
+    }
+
+    /// Number of nodes reachable from `x` (a size measure for reporting).
+    pub fn size(&self, x: BddId) -> usize {
+        let mut count = 0;
+        let mut stack = vec![x];
+        let mut seen: HashMap<BddId, ()> = HashMap::new();
+        while let Some(id) = stack.pop() {
+            if seen.insert(id, ()).is_some() {
+                continue;
+            }
+            count += 1;
+            if !id.is_terminal() {
+                let node = self.nodes[id.index()];
+                stack.push(node.lo);
+                stack.push(node.hi);
+            }
+        }
+        count
+    }
+
+    /// Builds BDDs for formula-arena `roots` bottom-up with full sharing.
+    ///
+    /// Qubit variable indices become BDD variables directly, so the circuit
+    /// order is the BDD order.
+    pub fn from_arena(&mut self, arena: &Arena, roots: &[FormulaId]) -> Vec<BddId> {
+        let reach = arena.reachable(roots);
+        let mut table: Vec<BddId> = vec![BddId::FALSE; arena.len()];
+        for i in 0..arena.len() {
+            if !reach[i] {
+                continue;
+            }
+            let id = arena.id_at(i);
+            let r = match arena.node(id) {
+                Node::Const(b) => self.constant(*b),
+                Node::Var(v) => self.var(*v),
+                Node::And(children) => {
+                    let mut acc = BddId::TRUE;
+                    for c in children.iter() {
+                        acc = self.apply(BddOp::And, acc, table[c.index()]);
+                    }
+                    acc
+                }
+                Node::Xor(children, parity) => {
+                    let mut acc = self.constant(*parity);
+                    for c in children.iter() {
+                        acc = self.apply(BddOp::Xor, acc, table[c.index()]);
+                    }
+                    acc
+                }
+            };
+            table[i] = r;
+        }
+        roots.iter().map(|r| table[r.index()]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_formula::Simplify;
+
+    #[test]
+    fn canonicity_of_terminals() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let nx = m.not(x);
+        assert_eq!(m.apply(BddOp::And, x, nx), BddId::FALSE);
+        assert_eq!(m.apply(BddOp::Or, x, nx), BddId::TRUE);
+        assert_eq!(m.apply(BddOp::Xor, x, x), BddId::FALSE);
+    }
+
+    #[test]
+    fn shannon_ordering_respected() {
+        let mut m = Bdd::new();
+        let x0 = m.var(0);
+        let x1 = m.var(1);
+        let both = m.apply(BddOp::And, x1, x0);
+        // Root must be labelled with the smaller variable.
+        assert!(!both.is_terminal());
+        assert_eq!(m.support(both), vec![0, 1]);
+        for (e0, e1) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(m.eval(both, &[e0, e1]), e0 & e1);
+        }
+    }
+
+    #[test]
+    fn cofactor_eliminates_variable() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.apply(BddOp::Xor, x, y);
+        let f0 = m.cofactor(f, 0, false);
+        let f1 = m.cofactor(f, 0, true);
+        assert_eq!(f0, y);
+        assert_eq!(f1, m.not(y));
+        assert!(!m.depends_on(f0, 0));
+    }
+
+    #[test]
+    fn depends_on_matches_cofactor_equality() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        let xy = m.apply(BddOp::And, x, y);
+        let f = m.apply(BddOp::Or, xy, z);
+        for v in 0..4u32 {
+            let c0 = m.cofactor(f, v, false);
+            let c1 = m.cofactor(f, v, true);
+            assert_eq!(c0 != c1, m.depends_on(f, v), "var {v}");
+        }
+    }
+
+    #[test]
+    fn xor_cancellation_through_apply() {
+        let mut m = Bdd::new();
+        let x = m.var(3);
+        let y = m.var(5);
+        let a = m.apply(BddOp::Xor, x, y);
+        let b = m.apply(BddOp::Xor, a, y);
+        assert_eq!(b, x);
+    }
+
+    #[test]
+    fn from_arena_matches_eval() {
+        for mode in [Simplify::Raw, Simplify::Full] {
+            let mut f = Arena::new(mode);
+            let x = f.var(0);
+            let y = f.var(1);
+            let z = f.var(2);
+            let xy = f.and2(x, y);
+            let t = f.xor2(xy, z);
+            let root = f.not(t);
+            let other = f.or2(x, z);
+            let mut m = Bdd::new();
+            let bdds = m.from_arena(&f, &[root, other]);
+            for bits in 0..8u32 {
+                let env = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+                assert_eq!(m.eval(bdds[0], &env), f.eval(root, &env), "{mode:?}");
+                assert_eq!(m.eval(bdds[1], &env), f.eval(other, &env), "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsat_is_false_terminal() {
+        let mut f = Arena::new(Simplify::Raw);
+        let x = f.var(0);
+        let nx = f.not(x);
+        let contra = f.and2(x, nx);
+        let mut m = Bdd::new();
+        let b = m.from_arena(&f, &[contra])[0];
+        assert_eq!(b, BddId::FALSE);
+    }
+
+    #[test]
+    fn size_counts_reachable() {
+        let mut m = Bdd::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.apply(BddOp::And, x, y);
+        // nodes: f-root(var0), var1 node, two terminals
+        assert_eq!(m.size(f), 4);
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion benches for the end-to-end verifier: scaled-down versions of
+//! the paper's Fig. 6.3/6.4 sweeps plus the Raw-vs-Full simplification
+//! ablation (E15). The full-size tables come from the `exp_fig6_3` /
+//! `exp_fig6_4` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qb_bench::{adder_program, mcx_program, options};
+use qb_core::{verify_program, BackendKind};
+use qb_formula::Simplify;
+
+fn adder_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adder_verify");
+    group.sample_size(10);
+    for n in [20usize, 35, 50] {
+        let program = adder_program(n);
+        for backend in [BackendKind::Sat, BackendKind::Bdd] {
+            let opts = options(backend, Simplify::Raw);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{backend}"), n),
+                &n,
+                |b, _| b.iter(|| verify_program(&program, &opts).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn mcx_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcx_verify");
+    group.sample_size(10);
+    for m in [50usize, 100, 200] {
+        let program = mcx_program(m);
+        for backend in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
+            let opts = options(backend, Simplify::Raw);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{backend}"), 2 * m - 1),
+                &m,
+                |b, _| b.iter(|| verify_program(&program, &opts).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn simplify_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplify_ablation");
+    group.sample_size(10);
+    let program = adder_program(40);
+    for simplify in [Simplify::Raw, Simplify::Full] {
+        let opts = options(BackendKind::Sat, simplify);
+        group.bench_function(format!("sat_{simplify:?}"), |b| {
+            b.iter(|| verify_program(&program, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, adder_verify, mcx_verify, simplify_ablation);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E1 — Fig. 1.1: resource costs of constant-adder implementations.
+//!
+//! Prints measured size/depth/ancilla columns for each construction at a
+//! few widths, next to the paper's asymptotic claims.
+
+fn main() {
+    println!("Fig. 1.1 — costs of |a> -> |a + c> implementations (c = all ones)\n");
+    for n in [16usize, 32, 64, 128, 256] {
+        println!("n = {n}");
+        for row in qb_synth::fig_1_1_table(n) {
+            println!("  {row}");
+        }
+        println!();
+    }
+    println!(
+        "shape check: Cuccaro/Takahashi linear, Draper quadratic, CARRY gadget linear\n\
+         ancillas:    Cuccaro n+1 clean | Takahashi n clean | Draper 0 | CARRY n-1 dirty"
+    );
+}

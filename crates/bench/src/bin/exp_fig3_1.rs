@@ -1,0 +1,45 @@
+//! E4/E14 — Fig. 3.1 width reduction and §7 multi-program packing.
+
+use qb_core::VerifyOptions;
+use qb_sched::{pack_programs, plan_borrows, apply_borrows, reduce_width};
+use qb_synth::{fig_1_3_cccnot_with_dirty, fig_3_1a};
+
+fn main() {
+    let circuit = fig_3_1a();
+    println!("Fig. 3.1a circuit (7 wires):\n");
+    let labels: Vec<String> = ["q1", "q2", "q3", "q4", "q5", "a1", "a2"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    println!("{}", qb_circuit::render_with_labels(&circuit, &labels));
+
+    let (reduced, plan) = reduce_width(&circuit, &[5, 6], &VerifyOptions::default()).unwrap();
+    println!(
+        "verified reduction: hosted {} ancilla(s), width {} -> {} \
+         (a2 stays: it is read as a control, so it is not Def-3.1 safe)",
+        plan.saved(),
+        circuit.num_qubits(),
+        reduced.num_qubits()
+    );
+
+    let manual = plan_borrows(&circuit, &[5, 6], &[true, true]);
+    let fig31c = apply_borrows(&circuit, &manual).unwrap();
+    println!(
+        "manual Fig. 3.1c transformation (a2 bound to q3 by intent): width {} -> {}\n",
+        circuit.num_qubits(),
+        fig31c.num_qubits()
+    );
+    println!("Fig. 3.1c circuit (5 wires):\n");
+    let labels: Vec<String> = ["q1", "q2", "q3", "q4", "q5"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    println!("{}", qb_circuit::render_with_labels(&fig31c, &labels));
+
+    // §7: multi-programming.
+    let mut host = qb_circuit::Circuit::new(3);
+    host.x(0).cnot(0, 1).toffoli(0, 1, 2);
+    let guest = fig_1_3_cccnot_with_dirty();
+    let report = pack_programs(&host, &guest, &[2], &VerifyOptions::default()).unwrap();
+    println!("multi-programming (§7): {report}");
+}

@@ -1,0 +1,37 @@
+//! E11 — Fig. 6.3 / Fig. 10.2: verification time of the adder benchmark
+//! (`adder.qbr`) as the number of qubits grows, per backend.
+//!
+//! The paper sweeps n ∈ {50, 75, …, 200} with CVC5 and Bitwuzla; this
+//! reproduction sweeps the same sizes with the in-repo SAT and BDD
+//! backends (raw formulas — the solver does the cancellation work, as in
+//! the paper) plus the frontend-simplification ablation (SAT on fully
+//! simplified formulas). The ANF backend is omitted: the adder's carry
+//! chain has an exponential algebraic normal form (see EXPERIMENTS.md).
+
+use qb_bench::{adder_program, measure, options, print_table};
+use qb_core::BackendKind;
+use qb_formula::Simplify;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[50, 75, 100]
+    } else {
+        &[50, 75, 100, 125, 150, 175, 200]
+    };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let program = adder_program(n);
+        for (backend, simplify) in [
+            (BackendKind::Sat, Simplify::Raw),
+            (BackendKind::Bdd, Simplify::Raw),
+            (BackendKind::Sat, Simplify::Full),
+        ] {
+            let row = measure("adder", n, &program, &options(backend, simplify));
+            println!("{}", row.render());
+            rows.push(row);
+        }
+    }
+    println!();
+    print_table("Fig. 6.3 / Fig. 10.2 — adder verification duration", &rows);
+}

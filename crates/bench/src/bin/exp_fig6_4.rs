@@ -1,0 +1,35 @@
+//! E12 — Fig. 6.4 / Fig. 10.3: verification time of the borrowed-bit MCX
+//! benchmark (`mcx.qbr`) as the number of qubits grows, per backend.
+//!
+//! The paper sweeps qubit counts 499…3499 (m = 250…1750). The SAT sweep
+//! is capped at m = 1000 by default (pass --full-sat for the rest); ANF
+//! and BDD run the full range.
+
+use qb_bench::{mcx_program, measure, options, print_table};
+use qb_core::BackendKind;
+use qb_formula::Simplify;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let full_sat = std::env::args().any(|a| a == "--full-sat");
+    let ms: &[usize] = if quick {
+        &[250, 500]
+    } else {
+        &[250, 500, 750, 1000, 1250, 1500, 1750]
+    };
+    let mut rows = Vec::new();
+    for &m in ms {
+        let program = mcx_program(m);
+        let n = 2 * m - 1;
+        for backend in [BackendKind::Anf, BackendKind::Bdd, BackendKind::Sat] {
+            if backend == BackendKind::Sat && m > 1000 && !full_sat {
+                continue;
+            }
+            let row = measure("mcx", n, &program, &options(backend, Simplify::Raw));
+            println!("{}", row.render());
+            rows.push(row);
+        }
+    }
+    println!();
+    print_table("Fig. 6.4 / Fig. 10.3 — MCX verification duration", &rows);
+}

@@ -1,0 +1,395 @@
+//! The circuit container: an ordered gate list with resource metrics.
+
+use crate::gate::Gate;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A quantum circuit over `num_qubits` wires.
+///
+/// Gates are stored in program order; helper builder methods append and
+/// return `&mut Self` so construction chains:
+///
+/// ```
+/// use qb_circuit::Circuit;
+/// let mut c = Circuit::new(3);
+/// c.x(0).cnot(0, 1).toffoli(0, 1, 2);
+/// assert_eq!(c.size(), 3);
+/// assert_eq!(c.depth(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `num_qubits` wires.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Number of wires.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The gates in program order.
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates (circuit *size* in the paper's Fig. 1.1 accounting).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` when the circuit contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Appends a validated gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the gate references an out-of-range or repeated qubit;
+    /// use [`Circuit::try_push`] for a fallible version.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        self.try_push(gate).expect("invalid gate");
+        self
+    }
+
+    /// Appends a gate after validating its operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the operand violation.
+    pub fn try_push(&mut self, gate: Gate) -> Result<&mut Self, String> {
+        gate.validate(self.num_qubits)?;
+        self.gates.push(gate);
+        Ok(self)
+    }
+
+    /// Appends an X gate.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::X(q))
+    }
+
+    /// Appends a Hadamard gate.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::H(q))
+    }
+
+    /// Appends a Z gate.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Z(q))
+    }
+
+    /// Appends an S gate.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::S(q))
+    }
+
+    /// Appends a T gate.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::T(q))
+    }
+
+    /// Appends a phase rotation `diag(1, e^{iθ})`.
+    pub fn phase(&mut self, theta: f64, q: usize) -> &mut Self {
+        self.push(Gate::Phase { theta, q })
+    }
+
+    /// Appends a controlled-Z gate.
+    pub fn cz(&mut self, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::Cz { c, t })
+    }
+
+    /// Appends a CNOT gate.
+    pub fn cnot(&mut self, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::Cnot { c, t })
+    }
+
+    /// Appends a controlled phase rotation.
+    pub fn cphase(&mut self, theta: f64, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::CPhase { theta, c, t })
+    }
+
+    /// Appends a SWAP gate.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Swap(a, b))
+    }
+
+    /// Appends a Toffoli (CCNOT) gate.
+    pub fn toffoli(&mut self, c1: usize, c2: usize, t: usize) -> &mut Self {
+        self.push(Gate::Toffoli { c1, c2, t })
+    }
+
+    /// Appends a multi-controlled NOT gate.
+    pub fn mcx(&mut self, controls: &[usize], target: usize) -> &mut Self {
+        self.push(Gate::Mcx {
+            controls: controls.to_vec(),
+            target,
+        })
+    }
+
+    /// Appends all gates of `other` (which must have compatible width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits than `self`.
+    pub fn append(&mut self, other: &Circuit) -> &mut Self {
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "appended circuit is wider than the target"
+        );
+        self.gates.extend(other.gates.iter().cloned());
+        self
+    }
+
+    /// The inverse circuit: gates reversed and individually inverted.
+    #[must_use]
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            num_qubits: self.num_qubits,
+            gates: self.gates.iter().rev().map(Gate::inverse).collect(),
+        }
+    }
+
+    /// `true` when every gate is classical (X/CNOT/Toffoli/MCX/SWAP).
+    pub fn is_classical(&self) -> bool {
+        self.gates.iter().all(Gate::is_classical)
+    }
+
+    /// Circuit depth: the number of layers in a greedy schedule where gates
+    /// sharing a qubit cannot share a layer.
+    pub fn depth(&self) -> usize {
+        let mut busy_until = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for gate in &self.gates {
+            let layer = gate
+                .qubits()
+                .iter()
+                .map(|&q| busy_until[q])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for q in gate.qubits() {
+                busy_until[q] = layer;
+            }
+            depth = depth.max(layer);
+        }
+        depth
+    }
+
+    /// Gate counts keyed by mnemonic.
+    pub fn gate_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for g in &self.gates {
+            *counts.entry(g.name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Number of Toffoli gates (including each MCX counted via its standard
+    /// decomposition cost of `2·(controls−2)+1` Toffolis, Barenco-style,
+    /// when `controls ≥ 2`).
+    pub fn toffoli_cost(&self) -> usize {
+        self.gates
+            .iter()
+            .map(|g| match g {
+                Gate::Toffoli { .. } => 1,
+                Gate::Mcx { controls, .. } if controls.len() >= 2 => {
+                    2 * controls.len().saturating_sub(2) + 1
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Estimated T-gate cost using 7 T gates per Toffoli (the standard
+    /// fault-tolerant accounting used by the dirty-qubit literature).
+    pub fn t_cost(&self) -> usize {
+        let direct = self
+            .gates
+            .iter()
+            .filter(|g| matches!(g, Gate::T(_) | Gate::Tdg(_)))
+            .count();
+        direct + 7 * self.toffoli_cost()
+    }
+
+    /// The set of qubits that appear in at least one gate.
+    pub fn touched_qubits(&self) -> Vec<usize> {
+        let mut mark = vec![false; self.num_qubits];
+        for g in &self.gates {
+            for q in g.qubits() {
+                mark[q] = true;
+            }
+        }
+        (0..self.num_qubits).filter(|&q| mark[q]).collect()
+    }
+
+    /// The qubits no gate touches — the circuit-level analogue of the
+    /// paper's `idle(S)` (Fig. 4.2) for straight-line programs.
+    pub fn idle_qubits(&self) -> Vec<usize> {
+        let touched = self.touched_qubits();
+        let mut mark = vec![false; self.num_qubits];
+        for q in touched {
+            mark[q] = true;
+        }
+        (0..self.num_qubits).filter(|&q| !mark[q]).collect()
+    }
+
+    /// Rewrites every gate through the qubit substitution `map`
+    /// (`map[old] = new`), producing a circuit on `new_width` wires.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a remapped gate becomes invalid (collisions or
+    /// out-of-range indices).
+    pub fn remap_qubits(&self, map: &[usize], new_width: usize) -> Result<Circuit, String> {
+        let mut out = Circuit::new(new_width);
+        for gate in &self.gates {
+            let remapped = match gate {
+                Gate::X(q) => Gate::X(map[*q]),
+                Gate::H(q) => Gate::H(map[*q]),
+                Gate::Z(q) => Gate::Z(map[*q]),
+                Gate::S(q) => Gate::S(map[*q]),
+                Gate::Sdg(q) => Gate::Sdg(map[*q]),
+                Gate::T(q) => Gate::T(map[*q]),
+                Gate::Tdg(q) => Gate::Tdg(map[*q]),
+                Gate::Phase { theta, q } => Gate::Phase {
+                    theta: *theta,
+                    q: map[*q],
+                },
+                Gate::Cnot { c, t } => Gate::Cnot {
+                    c: map[*c],
+                    t: map[*t],
+                },
+                Gate::Cz { c, t } => Gate::Cz {
+                    c: map[*c],
+                    t: map[*t],
+                },
+                Gate::CPhase { theta, c, t } => Gate::CPhase {
+                    theta: *theta,
+                    c: map[*c],
+                    t: map[*t],
+                },
+                Gate::Swap(a, b) => Gate::Swap(map[*a], map[*b]),
+                Gate::Toffoli { c1, c2, t } => Gate::Toffoli {
+                    c1: map[*c1],
+                    c2: map[*c2],
+                    t: map[*t],
+                },
+                Gate::Mcx { controls, target } => Gate::Mcx {
+                    controls: controls.iter().map(|&c| map[c]).collect(),
+                    target: map[*target],
+                },
+            };
+            out.try_push(remapped)?;
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit on {} qubits:", self.num_qubits)?;
+        for g in &self.gates {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new(4);
+        c.x(0).cnot(0, 1).toffoli(0, 1, 2).mcx(&[0, 1, 2], 3);
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.num_qubits(), 4);
+        assert!(c.is_classical());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid gate")]
+    fn push_rejects_bad_gate() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 2);
+    }
+
+    #[test]
+    fn depth_accounts_for_parallelism() {
+        let mut c = Circuit::new(4);
+        // Two disjoint CNOTs can share a layer; the Toffoli must follow.
+        c.cnot(0, 1).cnot(2, 3).toffoli(0, 2, 3);
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut c = Circuit::new(2);
+        c.h(0).phase(0.5, 1).cnot(0, 1);
+        let inv = c.inverse();
+        assert_eq!(inv.size(), 3);
+        assert_eq!(inv.gates()[0], Gate::Cnot { c: 0, t: 1 });
+        match &inv.gates()[1] {
+            Gate::Phase { theta, q } => {
+                assert_eq!(*theta, -0.5);
+                assert_eq!(*q, 1);
+            }
+            g => panic!("unexpected {g:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_qubits_found() {
+        let mut c = Circuit::new(5);
+        c.cnot(0, 1).toffoli(0, 1, 4);
+        assert_eq!(c.idle_qubits(), vec![2, 3]);
+    }
+
+    #[test]
+    fn gate_counts_and_costs() {
+        let mut c = Circuit::new(5);
+        c.x(0).toffoli(0, 1, 2).mcx(&[0, 1, 2, 3], 4);
+        let counts = c.gate_counts();
+        assert_eq!(counts["x"], 1);
+        assert_eq!(counts["toffoli"], 1);
+        assert_eq!(counts["mcx"], 1);
+        // MCX with 4 controls costs 2·(4−2)+1 = 5 Toffolis.
+        assert_eq!(c.toffoli_cost(), 6);
+        assert_eq!(c.t_cost(), 42);
+    }
+
+    #[test]
+    fn remap_applies_substitution() {
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2);
+        let remapped = c.remap_qubits(&[2, 1, 0], 3).unwrap();
+        assert_eq!(remapped.gates()[0], Gate::Toffoli { c1: 2, c2: 1, t: 0 });
+        // Collisions are rejected.
+        assert!(c.remap_qubits(&[0, 0, 1], 3).is_err());
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = Circuit::new(2);
+        a.x(0);
+        let mut b = Circuit::new(2);
+        b.x(1);
+        a.append(&b);
+        assert_eq!(a.size(), 2);
+    }
+}

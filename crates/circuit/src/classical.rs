@@ -1,0 +1,296 @@
+//! Classical (computational-basis) simulation of reversible circuits.
+//!
+//! Circuits in the paper's verifiable fragment — X and multi-controlled
+//! NOT gates — implement permutations of basis states. This module
+//! simulates them directly on packed bit vectors, which scales to the
+//! thousands of qubits used by the MCX benchmark, and extracts the full
+//! permutation table for small circuits (used by the exact checkers).
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::fmt;
+
+/// A packed assignment of one classical bit per qubit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitState {
+    num_bits: usize,
+    words: Vec<u64>,
+}
+
+impl BitState {
+    /// All-zero state on `num_bits` bits.
+    pub fn zeros(num_bits: usize) -> Self {
+        BitState {
+            num_bits,
+            words: vec![0; num_bits.div_ceil(64)],
+        }
+    }
+
+    /// Builds a state from explicit bit values.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let mut s = BitState::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            s.set(i, b);
+        }
+        s
+    }
+
+    /// Builds the `num_bits`-wide state encoding `value` with bit `i` of
+    /// the integer mapped to qubit `i` (little-endian by qubit index).
+    pub fn from_value(num_bits: usize, value: u64) -> Self {
+        assert!(num_bits <= 64 || value == 0, "value wider than 64 bits");
+        let mut s = BitState::zeros(num_bits);
+        for i in 0..num_bits.min(64) {
+            s.set(i, value >> i & 1 == 1);
+        }
+        s
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Returns `true` when the state has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.num_bits == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.num_bits, "bit index out of range");
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.num_bits, "bit index out of range");
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.num_bits, "bit index out of range");
+        self.words[i / 64] ^= 1 << (i % 64);
+    }
+
+    /// Interprets the first `min(64, len)` bits little-endian as an integer.
+    pub fn to_value(&self) -> u64 {
+        let mut v = 0u64;
+        for i in 0..self.num_bits.min(64) {
+            if self.get(i) {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    /// The bits as a vector of Booleans.
+    pub fn to_bits(&self) -> Vec<bool> {
+        (0..self.num_bits).map(|i| self.get(i)).collect()
+    }
+}
+
+impl fmt::Display for BitState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.num_bits {
+            write!(f, "{}", self.get(i) as u8)?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when classical simulation meets a non-classical gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotClassical {
+    /// Mnemonic of the offending gate.
+    pub gate: &'static str,
+    /// Position of the gate in the circuit.
+    pub position: usize,
+}
+
+impl fmt::Display for NotClassical {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gate '{}' at position {} is not classical",
+            self.gate, self.position
+        )
+    }
+}
+
+impl std::error::Error for NotClassical {}
+
+/// Applies one classical gate in place.
+fn apply_gate(state: &mut BitState, gate: &Gate) -> Result<(), &'static str> {
+    match gate {
+        Gate::X(q) => state.flip(*q),
+        Gate::Cnot { c, t } => {
+            if state.get(*c) {
+                state.flip(*t);
+            }
+        }
+        Gate::Toffoli { c1, c2, t } => {
+            if state.get(*c1) && state.get(*c2) {
+                state.flip(*t);
+            }
+        }
+        Gate::Mcx { controls, target } => {
+            if controls.iter().all(|&c| state.get(c)) {
+                state.flip(*target);
+            }
+        }
+        Gate::Swap(a, b) => {
+            let (va, vb) = (state.get(*a), state.get(*b));
+            state.set(*a, vb);
+            state.set(*b, va);
+        }
+        other => return Err(other.name()),
+    }
+    Ok(())
+}
+
+/// Runs `circuit` on the classical `input` state.
+///
+/// # Errors
+///
+/// Returns [`NotClassical`] when the circuit contains a gate outside the
+/// X/CNOT/Toffoli/MCX/SWAP fragment.
+///
+/// # Panics
+///
+/// Panics when `input.len() != circuit.num_qubits()`.
+pub fn simulate_classical(circuit: &Circuit, input: &BitState) -> Result<BitState, NotClassical> {
+    assert_eq!(
+        input.len(),
+        circuit.num_qubits(),
+        "input width must equal circuit width"
+    );
+    let mut state = input.clone();
+    for (position, gate) in circuit.gates().iter().enumerate() {
+        apply_gate(&mut state, gate).map_err(|g| NotClassical { gate: g, position })?;
+    }
+    Ok(state)
+}
+
+/// Extracts the full permutation implemented by a classical circuit: entry
+/// `i` is the image of basis state `i` (little-endian qubit packing, as in
+/// [`BitState::from_value`]).
+///
+/// # Errors
+///
+/// Returns [`NotClassical`] for non-classical circuits.
+///
+/// # Panics
+///
+/// Panics when the circuit has more than 20 qubits (the table would exceed
+/// a million entries).
+pub fn permutation_of(circuit: &Circuit) -> Result<Vec<usize>, NotClassical> {
+    let n = circuit.num_qubits();
+    assert!(n <= 20, "permutation extraction limited to 20 qubits");
+    let mut perm = Vec::with_capacity(1 << n);
+    for value in 0..(1u64 << n) {
+        let input = BitState::from_value(n, value);
+        let output = simulate_classical(circuit, &input)?;
+        perm.push(output.to_value() as usize);
+    }
+    Ok(perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitstate_round_trips() {
+        let s = BitState::from_value(10, 0b1011001);
+        assert_eq!(s.to_value(), 0b1011001);
+        assert!(s.get(0));
+        assert!(!s.get(1));
+        assert!(s.get(3));
+        let bits = s.to_bits();
+        assert_eq!(BitState::from_bits(&bits), s);
+    }
+
+    #[test]
+    fn wide_states_cross_word_boundaries() {
+        let mut s = BitState::zeros(200);
+        s.set(63, true);
+        s.set(64, true);
+        s.set(199, true);
+        assert!(s.get(63) && s.get(64) && s.get(199));
+        s.flip(64);
+        assert!(!s.get(64));
+    }
+
+    #[test]
+    fn gates_compute() {
+        let mut c = Circuit::new(3);
+        c.x(0).cnot(0, 1).toffoli(0, 1, 2);
+        let out = simulate_classical(&c, &BitState::zeros(3)).unwrap();
+        // x0 = 1, x1 = 1 (copied), x2 = 1 (both controls set).
+        assert_eq!(out.to_bits(), vec![true, true, true]);
+    }
+
+    #[test]
+    fn swap_swaps() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let out = simulate_classical(&c, &BitState::from_bits(&[true, false])).unwrap();
+        assert_eq!(out.to_bits(), vec![false, true]);
+    }
+
+    #[test]
+    fn mcx_requires_all_controls() {
+        let mut c = Circuit::new(4);
+        c.mcx(&[0, 1, 2], 3);
+        let out =
+            simulate_classical(&c, &BitState::from_bits(&[true, true, false, false])).unwrap();
+        assert!(!out.get(3));
+        let out =
+            simulate_classical(&c, &BitState::from_bits(&[true, true, true, false])).unwrap();
+        assert!(out.get(3));
+    }
+
+    #[test]
+    fn rejects_non_classical() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let err = simulate_classical(&c, &BitState::zeros(1)).unwrap_err();
+        assert_eq!(err.gate, "h");
+        assert_eq!(err.position, 0);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut c = Circuit::new(3);
+        c.x(1).cnot(1, 2).toffoli(1, 2, 0);
+        let perm = permutation_of(&c).unwrap();
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inverse_circuit_inverts_permutation() {
+        let mut c = Circuit::new(3);
+        c.x(0).toffoli(0, 1, 2).cnot(2, 1).x(1);
+        let perm = permutation_of(&c).unwrap();
+        let inv_perm = permutation_of(&c.inverse()).unwrap();
+        for (i, &p) in perm.iter().enumerate() {
+            assert_eq!(inv_perm[p], i);
+        }
+    }
+}

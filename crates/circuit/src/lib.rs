@@ -1,0 +1,135 @@
+//! # qb-circuit
+//!
+//! The quantum circuit intermediate representation of the QBorrow
+//! reproduction: gates, circuits, resource metrics, classical
+//! (computational-basis) simulation and ASCII rendering.
+//!
+//! The paper's pipeline parses QBorrow programs and lowers them to gate
+//! lists before verification; this crate is that gate-list layer. It is
+//! deliberately dependency-free — quantum (state-vector) semantics live in
+//! `qb-sim`, and the symbolic verifier in `qb-core` consumes circuits
+//! through [`Circuit::gates`].
+//!
+//! # Examples
+//!
+//! Build the dirty-qubit CCCNOT decomposition of the paper's Fig. 1.3 and
+//! check its resource metrics:
+//!
+//! ```
+//! use qb_circuit::{render, Circuit};
+//!
+//! // Wires: q1 q2 a q3 q4 (a is the dirty qubit at index 2).
+//! let mut c = Circuit::new(5);
+//! c.toffoli(0, 1, 2)
+//!     .toffoli(2, 3, 4)
+//!     .toffoli(0, 1, 2)
+//!     .toffoli(2, 3, 4);
+//! assert_eq!(c.size(), 4);
+//! assert!(c.is_classical());
+//! println!("{}", render(&c));
+//! ```
+
+mod circuit;
+mod classical;
+mod gate;
+mod render;
+
+pub use circuit::Circuit;
+pub use classical::{permutation_of, simulate_classical, BitState, NotClassical};
+pub use gate::Gate;
+pub use render::{render, render_with_labels};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const NQ: usize = 5;
+
+    fn arb_gate() -> impl Strategy<Value = Gate> {
+        let q = 0..NQ;
+        prop_oneof![
+            q.clone().prop_map(Gate::X),
+            (0..NQ, 0..NQ)
+                .prop_filter("distinct", |(c, t)| c != t)
+                .prop_map(|(c, t)| Gate::Cnot { c, t }),
+            (0..NQ, 0..NQ, 0..NQ)
+                .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c)
+                .prop_map(|(c1, c2, t)| Gate::Toffoli { c1, c2, t }),
+            (0..NQ, 0..NQ)
+                .prop_filter("distinct", |(a, b)| a != b)
+                .prop_map(|(a, b)| Gate::Swap(a, b)),
+        ]
+    }
+
+    fn arb_circuit() -> impl Strategy<Value = Circuit> {
+        proptest::collection::vec(arb_gate(), 0..30).prop_map(|gates| {
+            let mut c = Circuit::new(NQ);
+            for g in gates {
+                c.push(g);
+            }
+            c
+        })
+    }
+
+    proptest! {
+        /// A classical circuit followed by its inverse is the identity
+        /// permutation.
+        #[test]
+        fn inverse_cancels(c in arb_circuit()) {
+            let mut round_trip = c.clone();
+            round_trip.append(&c.inverse());
+            let perm = permutation_of(&round_trip).unwrap();
+            prop_assert!(perm.iter().enumerate().all(|(i, &p)| i == p));
+        }
+
+        /// Classical circuits implement permutations (bijectivity).
+        #[test]
+        fn classical_circuits_are_bijective(c in arb_circuit()) {
+            let perm = permutation_of(&c).unwrap();
+            let mut sorted = perm.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..(1 << NQ)).collect::<Vec<_>>());
+        }
+
+        /// Depth never exceeds size, and both are monotone under append.
+        #[test]
+        fn depth_size_relations(c in arb_circuit()) {
+            prop_assert!(c.depth() <= c.size());
+            let mut doubled = c.clone();
+            doubled.append(&c);
+            prop_assert!(doubled.size() == 2 * c.size());
+            prop_assert!(doubled.depth() >= c.depth());
+        }
+
+        /// Remapping by a permutation of wires keeps the circuit valid and
+        /// bijective.
+        #[test]
+        fn remap_preserves_validity(c in arb_circuit(), seed in 0usize..120) {
+            // Build a wire permutation from the seed (Lehmer-code style).
+            let mut wires: Vec<usize> = (0..NQ).collect();
+            let mut s = seed;
+            for i in (1..NQ).rev() {
+                let j = s % (i + 1);
+                wires.swap(i, j);
+                s /= i + 1;
+            }
+            let remapped = c.remap_qubits(&wires, NQ).unwrap();
+            prop_assert_eq!(remapped.size(), c.size());
+            let perm = permutation_of(&remapped).unwrap();
+            let mut sorted = perm.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..(1 << NQ)).collect::<Vec<_>>());
+        }
+
+        /// Rendering never panics and mentions every wire label.
+        #[test]
+        fn render_total(c in arb_circuit()) {
+            let art = render(&c);
+            for q in 0..NQ {
+                let label = format!("q{q}:");
+                prop_assert!(art.contains(&label));
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! ASCII circuit diagrams, in the style of the paper's figures.
+//!
+//! Rendering is intended for documentation, examples and debugging — it
+//! lays gates out in greedy depth layers (the same layering as
+//! [`Circuit::depth`](crate::Circuit::depth)) and draws one row per qubit:
+//!
+//! ```text
+//! q0: ─●──────●─
+//!      │      │
+//! q1: ─●──────●─
+//!      │      │
+//! a:  ─⊕──●───⊕─
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Renders `circuit` as an ASCII diagram with default `q{i}` labels.
+pub fn render(circuit: &Circuit) -> String {
+    let labels: Vec<String> = (0..circuit.num_qubits()).map(|i| format!("q{i}")).collect();
+    render_with_labels(circuit, &labels)
+}
+
+/// Renders `circuit` with caller-provided wire labels.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != circuit.num_qubits()`.
+pub fn render_with_labels(circuit: &Circuit, labels: &[String]) -> String {
+    let n = circuit.num_qubits();
+    assert_eq!(labels.len(), n, "one label per qubit required");
+
+    // Assign gates to layers greedily.
+    let mut busy_until = vec![0usize; n];
+    let mut layers: Vec<Vec<&Gate>> = Vec::new();
+    for gate in circuit.gates() {
+        let layer = gate
+            .qubits()
+            .iter()
+            .map(|&q| busy_until[q])
+            .max()
+            .unwrap_or(0);
+        if layer == layers.len() {
+            layers.push(Vec::new());
+        }
+        layers[layer].push(gate);
+        for q in gate.qubits() {
+            busy_until[q] = layer + 1;
+        }
+    }
+
+    const CELL: usize = 4;
+    let label_width = labels.iter().map(String::len).max().unwrap_or(0) + 2;
+    // Grid rows: 2 per qubit (wire row + connector row below it).
+    let width = label_width + layers.len() * CELL + 1;
+    let mut grid: Vec<Vec<char>> = vec![vec![' '; width]; 2 * n];
+    for (q, label) in labels.iter().enumerate() {
+        let row = 2 * q;
+        for (i, ch) in label.chars().enumerate() {
+            grid[row][i] = ch;
+        }
+        grid[row][label.len()] = ':';
+        for cell in &mut grid[row][label_width..width] {
+            *cell = '─';
+        }
+    }
+
+    for (li, layer) in layers.iter().enumerate() {
+        let x = label_width + li * CELL + CELL / 2;
+        for gate in layer {
+            draw_gate(&mut grid, gate, x);
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let line: String = row.iter().collect::<String>().trim_end().to_string();
+        // Skip blank connector rows.
+        if i % 2 == 1 && line.is_empty() {
+            continue;
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn draw_gate(grid: &mut [Vec<char>], gate: &Gate, x: usize) {
+    let put = |grid: &mut [Vec<char>], q: usize, ch: char| {
+        grid[2 * q][x] = ch;
+    };
+    let connect = |grid: &mut [Vec<char>], a: usize, b: usize| {
+        let (lo, hi) = (a.min(b), a.max(b));
+        for row in &mut grid[(2 * lo + 1)..(2 * hi)] {
+            if row[x] == ' ' || row[x] == '─' {
+                row[x] = '│';
+            }
+        }
+    };
+    match gate {
+        Gate::X(q) => put(grid, *q, '⊕'),
+        Gate::H(q) => put(grid, *q, 'H'),
+        Gate::Z(q) => put(grid, *q, 'Z'),
+        Gate::S(q) => put(grid, *q, 'S'),
+        Gate::Sdg(q) => put(grid, *q, 's'),
+        Gate::T(q) => put(grid, *q, 'T'),
+        Gate::Tdg(q) => put(grid, *q, 't'),
+        Gate::Phase { q, .. } => put(grid, *q, 'P'),
+        Gate::Cnot { c, t } => {
+            put(grid, *c, '●');
+            put(grid, *t, '⊕');
+            connect(grid, *c, *t);
+        }
+        Gate::Cz { c, t } => {
+            put(grid, *c, '●');
+            put(grid, *t, '●');
+            connect(grid, *c, *t);
+        }
+        Gate::CPhase { c, t, .. } => {
+            put(grid, *c, '●');
+            put(grid, *t, 'P');
+            connect(grid, *c, *t);
+        }
+        Gate::Swap(a, b) => {
+            put(grid, *a, '×');
+            put(grid, *b, '×');
+            connect(grid, *a, *b);
+        }
+        Gate::Toffoli { c1, c2, t } => {
+            put(grid, *c1, '●');
+            put(grid, *c2, '●');
+            put(grid, *t, '⊕');
+            let lo = *c1.min(c2.min(t));
+            let hi = *c1.max(c2.max(t));
+            connect(grid, lo, hi);
+        }
+        Gate::Mcx { controls, target } => {
+            for c in controls {
+                put(grid, *c, '●');
+            }
+            put(grid, *target, '⊕');
+            let lo = controls
+                .iter()
+                .chain(std::iter::once(target))
+                .min()
+                .copied()
+                .unwrap_or(*target);
+            let hi = controls
+                .iter()
+                .chain(std::iter::once(target))
+                .max()
+                .copied()
+                .unwrap_or(*target);
+            connect(grid, lo, hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_fig_1_3_decomposition() {
+        // The four-Toffoli CCCNOT with a dirty qubit (paper Fig. 1.3).
+        let mut c = Circuit::new(5);
+        c.toffoli(0, 1, 2)
+            .toffoli(2, 3, 4)
+            .toffoli(0, 1, 2)
+            .toffoli(2, 3, 4);
+        let labels = vec![
+            "q1".to_string(),
+            "q2".to_string(),
+            "a".to_string(),
+            "q3".to_string(),
+            "q4".to_string(),
+        ];
+        let art = render_with_labels(&c, &labels);
+        assert!(art.contains("q1:"));
+        assert!(art.contains('⊕'));
+        assert!(art.contains('●'));
+        // 4 columns of gates: at least four target symbols.
+        assert_eq!(art.matches('⊕').count(), 4);
+    }
+
+    #[test]
+    fn single_qubit_boxes() {
+        let mut c = Circuit::new(2);
+        c.h(0).x(1).z(0);
+        let art = render(&c);
+        assert!(art.contains('H'));
+        assert!(art.contains('Z'));
+        assert!(art.contains('⊕'));
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut c = Circuit::new(4);
+        c.x(0).x(1).x(2).x(3);
+        let art = render(&c);
+        // All four targets in the same column → every wire line has one ⊕
+        // at the same x offset.
+        let lines: Vec<&str> = art.lines().filter(|l| l.contains('⊕')).collect();
+        assert_eq!(lines.len(), 4);
+        let positions: Vec<usize> = lines
+            .iter()
+            .map(|l| l.chars().position(|c| c == '⊕').unwrap())
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per qubit")]
+    fn label_count_is_validated() {
+        let c = Circuit::new(2);
+        render_with_labels(&c, &["only-one".to_string()]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Decision backends for the verification conditions.
+//!
+//! The paper discharges its Boolean queries with CVC5 and Bitwuzla; this
+//! reproduction offers three independent, complete in-repo procedures:
+//!
+//! * [`BackendKind::Sat`] — Tseitin encoding + the `qb-sat` CDCL solver
+//!   (the workhorse; produces concrete counterexample models);
+//! * [`BackendKind::Anf`] — canonical algebraic-normal-form
+//!   normalisation: a formula is unsatisfiable iff its ANF is `0`. Exact
+//!   but may blow up (reported as [`BackendError::AnfOverflow`]);
+//! * [`BackendKind::Bdd`] — reduced ordered BDDs in circuit variable
+//!   order: unsatisfiable iff the diagram is the `0` terminal.
+//!
+//! Mirroring the paper's CVC5-vs-Bitwuzla comparison, the backends have
+//! different scaling behaviour on the two benchmark families (see
+//! EXPERIMENTS.md).
+
+use qb_bdd::Bdd;
+use qb_formula::{encode, Anf, Arena, NodeId, Var};
+use qb_sat::{Lit, SatResult, Solver};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which decision procedure to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// CDCL SAT on the Tseitin encoding.
+    #[default]
+    Sat,
+    /// Canonical ANF normalisation.
+    Anf,
+    /// Reduced ordered BDDs.
+    Bdd,
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BackendKind::Sat => "sat",
+            BackendKind::Anf => "anf",
+            BackendKind::Bdd => "bdd",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Backend failure (distinct from a condition being violated).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The ANF backend exceeded its term cap.
+    AnfOverflow {
+        /// The cap that was exceeded.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::AnfOverflow { cap } => {
+                write!(f, "ANF backend exceeded {cap} terms; use SAT or BDD")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Outcome of deciding one condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// `true` when the disjunction of the roots is unsatisfiable (the
+    /// condition holds).
+    pub unsat: bool,
+    /// A satisfying assignment of the *circuit input variables* when the
+    /// condition is violated and the backend can produce one (SAT and BDD
+    /// backends; ANF reports `None`).
+    pub model: Option<HashMap<Var, bool>>,
+    /// Backend-specific size statistic: CNF clauses, total ANF terms, or
+    /// peak BDD nodes.
+    pub size: usize,
+}
+
+/// Per-backend knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendOptions {
+    /// Term cap for the ANF backend.
+    pub anf_cap: usize,
+}
+
+impl Default for BackendOptions {
+    fn default() -> Self {
+        BackendOptions { anf_cap: 1 << 22 }
+    }
+}
+
+/// Decides whether `⋁ roots` is unsatisfiable over `arena`.
+///
+/// The SAT backend materialises the disjunction exactly as the paper's
+/// formula (6.2) does (one query); the ANF and BDD backends decide each
+/// disjunct separately (the disjunction is unsatisfiable iff every
+/// disjunct is), which avoids needless structure.
+///
+/// # Errors
+///
+/// Returns [`BackendError`] when the chosen backend cannot complete.
+pub fn decide_unsat(
+    arena: &mut Arena,
+    roots: &[NodeId],
+    kind: BackendKind,
+    opts: &BackendOptions,
+) -> Result<Decision, BackendError> {
+    match kind {
+        BackendKind::Sat => Ok(decide_sat(arena, roots)),
+        BackendKind::Anf => decide_anf(arena, roots, opts.anf_cap),
+        BackendKind::Bdd => Ok(decide_bdd(arena, roots)),
+    }
+}
+
+fn decide_sat(arena: &mut Arena, roots: &[NodeId]) -> Decision {
+    let enc = encode(arena, roots);
+    let mut solver = Solver::from_cnf(&enc.cnf);
+    // Assert the disjunction: at least one root literal true. A fresh
+    // selector clause keeps the encoding satisfiability-equivalent.
+    let clause: Vec<Lit> = enc.root_lits.iter().map(|&l| Lit::from_dimacs(l)).collect();
+    let size = enc.cnf.clauses().len() + 1;
+    if clause.is_empty() {
+        return Decision {
+            unsat: true,
+            model: None,
+            size,
+        };
+    }
+    let ok = solver_add_clause(&mut solver, &clause);
+    if !ok {
+        return Decision {
+            unsat: true,
+            model: None,
+            size,
+        };
+    }
+    match solver.solve() {
+        SatResult::Unsat => Decision {
+            unsat: true,
+            model: None,
+            size,
+        },
+        SatResult::Sat => {
+            let model = solver.model();
+            let mut assignment = HashMap::new();
+            for (&var, &lit) in &enc.var_lits {
+                let idx = (lit.unsigned_abs() - 1) as usize;
+                let value = model.get(idx).copied().unwrap_or(false);
+                assignment.insert(var, if lit > 0 { value } else { !value });
+            }
+            Decision {
+                unsat: false,
+                model: Some(assignment),
+                size,
+            }
+        }
+    }
+}
+
+fn solver_add_clause(solver: &mut Solver, clause: &[Lit]) -> bool {
+    solver.add_clause(clause)
+}
+
+fn decide_anf(
+    arena: &Arena,
+    roots: &[NodeId],
+    cap: usize,
+) -> Result<Decision, BackendError> {
+    let polys = Anf::from_arena(arena, roots, cap)
+        .map_err(|e| BackendError::AnfOverflow { cap: e.cap })?;
+    let size = polys.iter().map(Anf::len).sum();
+    let unsat = polys.iter().all(Anf::is_zero);
+    Ok(Decision {
+        unsat,
+        model: None,
+        size,
+    })
+}
+
+fn decide_bdd(arena: &Arena, roots: &[NodeId]) -> Decision {
+    let mut manager = Bdd::new();
+    let bdds = manager.from_arena(arena, roots);
+    let size = manager.len();
+    for b in &bdds {
+        if let Some(path) = manager.any_sat(*b) {
+            let model = path.into_iter().collect();
+            return Decision {
+                unsat: false,
+                model: Some(model),
+                size,
+            };
+        }
+    }
+    Decision {
+        unsat: true,
+        model: None,
+        size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_formula::Simplify;
+
+    /// All three backends agree on a small suite of formulas.
+    #[test]
+    fn backends_agree() {
+        let cases: Vec<(Box<dyn Fn(&mut Arena) -> Vec<NodeId>>, bool)> = vec![
+            // x ∧ ¬x — unsat.
+            (
+                Box::new(|f: &mut Arena| {
+                    let x = f.var(0);
+                    let nx = f.not(x);
+                    vec![f.and2(x, nx)]
+                }),
+                true,
+            ),
+            // x ∧ y — sat.
+            (
+                Box::new(|f: &mut Arena| {
+                    let x = f.var(0);
+                    let y = f.var(1);
+                    vec![f.and2(x, y)]
+                }),
+                false,
+            ),
+            // Disjunction where only the second disjunct is satisfiable.
+            (
+                Box::new(|f: &mut Arena| {
+                    let x = f.var(0);
+                    let nx = f.not(x);
+                    let contra = f.and2(x, nx);
+                    let y = f.var(1);
+                    vec![contra, y]
+                }),
+                false,
+            ),
+            // (x⊕y) ⊕ (x⊕y) — unsat after cancellation.
+            (
+                Box::new(|f: &mut Arena| {
+                    let x = f.var(0);
+                    let y = f.var(1);
+                    let a = f.xor2(x, y);
+                    let b = f.xor2(x, y);
+                    vec![f.xor2(a, b)]
+                }),
+                true,
+            ),
+        ];
+        for mode in [Simplify::Raw, Simplify::Full] {
+            for (i, (build, expect_unsat)) in cases.iter().enumerate() {
+                for kind in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
+                    let mut arena = Arena::new(mode);
+                    let roots = build(&mut arena);
+                    let d = decide_unsat(&mut arena, &roots, kind, &BackendOptions::default())
+                        .unwrap();
+                    assert_eq!(
+                        d.unsat, *expect_unsat,
+                        "case {i}, backend {kind}, mode {mode:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sat_backend_produces_model() {
+        let mut arena = Arena::new(Simplify::Raw);
+        let x = arena.var(3);
+        let y = arena.var(7);
+        let ny = arena.not(y);
+        let root = arena.and2(x, ny);
+        let d = decide_unsat(
+            &mut arena,
+            &[root],
+            BackendKind::Sat,
+            &BackendOptions::default(),
+        )
+        .unwrap();
+        assert!(!d.unsat);
+        let model = d.model.unwrap();
+        assert_eq!(model[&3], true);
+        assert_eq!(model[&7], false);
+    }
+
+    #[test]
+    fn bdd_backend_produces_model() {
+        let mut arena = Arena::new(Simplify::Full);
+        let x = arena.var(0);
+        let y = arena.var(1);
+        let root = arena.and2(x, y);
+        let d = decide_unsat(
+            &mut arena,
+            &[root],
+            BackendKind::Bdd,
+            &BackendOptions::default(),
+        )
+        .unwrap();
+        assert!(!d.unsat);
+        let model = d.model.unwrap();
+        assert_eq!(model[&0], true);
+        assert_eq!(model[&1], true);
+    }
+
+    #[test]
+    fn anf_overflow_is_reported() {
+        let mut arena = Arena::new(Simplify::Raw);
+        // Product of disjoint (xᵢ ⊕ yᵢ): 2^10 terms.
+        let factors: Vec<NodeId> = (0..10)
+            .map(|i| {
+                let a = arena.var(2 * i);
+                let b = arena.var(2 * i + 1);
+                arena.xor2(a, b)
+            })
+            .collect();
+        let root = arena.and(&factors);
+        let err = decide_unsat(
+            &mut arena,
+            &[root],
+            BackendKind::Anf,
+            &BackendOptions { anf_cap: 64 },
+        )
+        .unwrap_err();
+        assert_eq!(err, BackendError::AnfOverflow { cap: 64 });
+    }
+
+    #[test]
+    fn empty_roots_are_unsat() {
+        let mut arena = Arena::new(Simplify::Full);
+        for kind in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
+            let d = decide_unsat(&mut arena, &[], kind, &BackendOptions::default()).unwrap();
+            assert!(d.unsat, "{kind}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The Boolean verification conditions of §6.1 (formulas (6.1), (6.2)).
+//!
+//! For a dirty qubit `q` in a classical circuit with final formulas
+//! `b_{q'}`:
+//!
+//! * **Zero condition** (6.1): `¬(b_q → q)` must be unsatisfiable — the
+//!   circuit restores `|0⟩` on `q` (given the permutation property this
+//!   also forces `|1⟩` restoration);
+//! * **Plus condition** (6.2): `⋁_{q'≠q} b_{q'}[0/q] ⊕ b_{q'}[1/q]` must
+//!   be unsatisfiable — every other qubit's final value is independent of
+//!   `q`, which is exactly restoration of `|+⟩` (Thm. 6.2/6.4).
+//!
+//! The naive *clean-uncomputation* condition (`b_q ⊕ q` unsatisfiable,
+//! i.e. basis states are restored) is also provided: it is what the
+//! introduction's Fig. 1.4 counterexample satisfies while still being
+//! unsafe as a dirty qubit.
+
+use crate::symbolic::SymbolicState;
+use qb_formula::{NodeId, Var};
+
+/// The two §6.1 conditions, as roots in the state's arena.
+#[derive(Debug, Clone)]
+pub struct Conditions {
+    /// Root of formula (6.1); safe iff unsatisfiable.
+    pub zero: NodeId,
+    /// The per-qubit disjuncts of formula (6.2) (one XOR-difference per
+    /// other qubit); safe iff *all* are unsatisfiable.
+    pub plus_parts: Vec<NodeId>,
+}
+
+/// Builds both conditions for dirty qubit `q` (appends nodes to the
+/// state's arena).
+///
+/// # Panics
+///
+/// Panics when `q` is out of range.
+pub fn build_conditions(state: &mut SymbolicState, q: usize) -> Conditions {
+    assert!(q < state.num_qubits(), "qubit out of range");
+    let var: Var = state.vars[q];
+
+    // (6.1): b_q ∧ ¬q.
+    let b_q = state.formulas[q];
+    let q_node = state.arena.var(var);
+    let not_q = state.arena.not(q_node);
+    let zero = state.arena.and2(b_q, not_q);
+
+    // (6.2): for each other qubit, b_{q'}[0/q] ⊕ b_{q'}[1/q].
+    let cof0 = state.arena.cofactor_all(var, false);
+    let cof1 = state.arena.cofactor_all(var, true);
+    let mut plus_parts = Vec::with_capacity(state.num_qubits().saturating_sub(1));
+    for q_prime in 0..state.num_qubits() {
+        if q_prime == q {
+            continue;
+        }
+        let f = state.formulas[q_prime];
+        let diff = state.arena.xor2(cof0[f.index()], cof1[f.index()]);
+        plus_parts.push(diff);
+    }
+    Conditions { zero, plus_parts }
+}
+
+/// Builds the naive clean-uncomputation condition for `q`: `b_q ⊕ q`,
+/// unsatisfiable exactly when every computational-basis value of `q` is
+/// restored. Sufficient for *clean* ancilla reuse, insufficient for dirty
+/// qubits (paper §1, Fig. 1.4).
+pub fn build_clean_condition(state: &mut SymbolicState, q: usize) -> NodeId {
+    assert!(q < state.num_qubits(), "qubit out of range");
+    let var = state.vars[q];
+    let b_q = state.formulas[q];
+    let q_node = state.arena.var(var);
+    state.arena.xor2(b_q, q_node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::{symbolic_execute, InitialValue};
+    use qb_circuit::Circuit;
+    use qb_formula::{Anf, Simplify};
+
+    fn exec(c: &Circuit, mode: Simplify) -> SymbolicState {
+        symbolic_execute(c, &vec![InitialValue::Free; c.num_qubits()], mode).unwrap()
+    }
+
+    fn all_unsat(state: &SymbolicState, roots: &[NodeId]) -> bool {
+        Anf::from_arena(&state.arena, roots, 1 << 20)
+            .unwrap()
+            .iter()
+            .all(Anf::is_zero)
+    }
+
+    #[test]
+    fn cccnot_dirty_qubit_passes_both_conditions() {
+        let mut c = Circuit::new(5);
+        c.toffoli(0, 1, 2).toffoli(2, 3, 4).toffoli(0, 1, 2).toffoli(2, 3, 4);
+        for mode in [Simplify::Raw, Simplify::Full] {
+            let mut s = exec(&c, mode);
+            let conds = build_conditions(&mut s, 2);
+            assert!(all_unsat(&s, &[conds.zero]), "zero condition, {mode:?}");
+            assert!(all_unsat(&s, &conds.plus_parts), "plus condition, {mode:?}");
+        }
+    }
+
+    #[test]
+    fn fig_1_4_clean_safe_but_dirty_unsafe() {
+        // CNOT with the dirty qubit as control: basis values of `a` are
+        // restored (clean-safe) but the target leaks a's value.
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1); // a = qubit 0
+        for mode in [Simplify::Raw, Simplify::Full] {
+            let mut s = exec(&c, mode);
+            let clean = build_clean_condition(&mut s, 0);
+            assert!(all_unsat(&s, &[clean]), "clean condition should pass");
+            let conds = build_conditions(&mut s, 0);
+            assert!(all_unsat(&s, &[conds.zero]), "zero condition passes");
+            assert!(
+                !all_unsat(&s, &conds.plus_parts),
+                "plus condition must fail: |+> is not restored"
+            );
+        }
+    }
+
+    #[test]
+    fn x_on_dirty_qubit_fails_zero_condition() {
+        let mut c = Circuit::new(1);
+        c.x(0);
+        let mut s = exec(&c, Simplify::Full);
+        let conds = build_conditions(&mut s, 0);
+        assert!(!all_unsat(&s, &[conds.zero]));
+    }
+
+    #[test]
+    fn plus_parts_count() {
+        let mut c = Circuit::new(4);
+        c.toffoli(0, 1, 2).toffoli(0, 1, 2);
+        let mut s = exec(&c, Simplify::Full);
+        let conds = build_conditions(&mut s, 2);
+        assert_eq!(conds.plus_parts.len(), 3);
+    }
+
+    #[test]
+    fn clean_start_makes_more_circuits_safe() {
+        // q1 ⊕= q0 where q0 is clean: b_{q1} is unchanged, so q0 is
+        // trivially safe — the clean initial value removes the leak.
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        let mut s = symbolic_execute(
+            &c,
+            &[InitialValue::Zero, InitialValue::Free],
+            Simplify::Full,
+        )
+        .unwrap();
+        let conds = build_conditions(&mut s, 0);
+        assert!(all_unsat(&s, &[conds.zero]));
+        assert!(all_unsat(&s, &conds.plus_parts));
+    }
+}

@@ -1,0 +1,381 @@
+//! Exact (semantic) safe-uncomputation checkers for small systems.
+//!
+//! These implement the paper's definitions directly — Definition 3.1 for
+//! circuits, Definition 5.1 / Theorem 6.1 for programs — on dense
+//! representations. They are exponential in qubit count and exist to
+//! cross-validate the symbolic verifier (the `E8` experiment of
+//! DESIGN.md) and to decide non-classical circuits that the SAT reduction
+//! does not cover.
+
+use qb_circuit::{permutation_of, Circuit};
+use qb_lang::Denotation;
+use qb_linalg::{Complex, Matrix};
+use qb_sim::{embed, unitary_of, Channel, DensityMatrix, StateVector, SuperOp};
+
+/// Checks Definition 3.1 on an explicit unitary: `U = V ⊗ I_q` for some
+/// `V`, decided via commutation with `X_q` and `Z_q` (which generate the
+/// full operator algebra on `q`, so commuting with both is equivalent to
+/// factorising).
+///
+/// # Panics
+///
+/// Panics when `u` is not `2^n`-dimensional or `q ≥ n`.
+pub fn unitary_safely_uncomputes(u: &Matrix, n: usize, q: usize, tol: f64) -> bool {
+    assert_eq!(u.rows(), 1 << n, "dimension mismatch");
+    assert!(q < n, "qubit out of range");
+    let x_q = embed(n, &[q], &Matrix::pauli_x());
+    let z_q = embed(n, &[q], &Matrix::pauli_z());
+    u.commutator(&x_q).frobenius_norm() <= tol && u.commutator(&z_q).frobenius_norm() <= tol
+}
+
+/// Checks Definition 3.1 for a circuit (classical or not) by building its
+/// unitary.
+///
+/// # Panics
+///
+/// Panics for circuits wider than 10 qubits.
+pub fn circuit_safely_uncomputes(circuit: &Circuit, q: usize, tol: f64) -> bool {
+    assert!(circuit.num_qubits() <= 10, "exact check limited to 10 qubits");
+    unitary_safely_uncomputes(&unitary_of(circuit), circuit.num_qubits(), q, tol)
+}
+
+/// Bit-level check for classical circuits (no floating point): the basis
+/// permutation `π` satisfies, for every input `x`,
+///
+/// * `π(x)` preserves the bit of `q`, and
+/// * flipping the bit of `q` in `x` flips exactly that bit in `π(x)`.
+///
+/// This is `π = id_q × σ` — the permutation form of Definition 3.1.
+///
+/// # Errors
+///
+/// Returns the non-classical gate error from permutation extraction.
+pub fn classical_circuit_safely_uncomputes(
+    circuit: &Circuit,
+    q: usize,
+) -> Result<bool, qb_circuit::NotClassical> {
+    let n = circuit.num_qubits();
+    let perm = permutation_of(circuit)?;
+    let mask = 1usize << q; // BitState packs qubit q at integer bit q.
+    for (x, &y) in perm.iter().enumerate() {
+        if (x & mask != 0) != (y & mask != 0) {
+            return Ok(false);
+        }
+        if perm[x ^ mask] != y ^ mask {
+            return Ok(false);
+        }
+    }
+    let _ = n;
+    Ok(true)
+}
+
+/// The four-state basis `ℬ = {|0⟩⟨0|, |1⟩⟨1|, |+⟩⟨+|, |+i⟩⟨+i|}` of §6.
+fn basis_density_matrices() -> Vec<Matrix> {
+    let half = 0.5;
+    let zero = Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, 0.0]);
+    let one = Matrix::from_real(2, 2, &[0.0, 0.0, 0.0, 1.0]);
+    let plus = Matrix::from_real(2, 2, &[half, half, half, half]);
+    let plus_i = Matrix::from_rows(
+        2,
+        2,
+        &[
+            Complex::real(half),
+            Complex::new(0.0, -half),
+            Complex::new(0.0, half),
+            Complex::real(half),
+        ],
+    );
+    vec![zero, one, plus, plus_i]
+}
+
+/// The five pure states `{|0⟩, |1⟩, |+⟩, |+i⟩, |−⟩}` of Theorem 6.1.
+fn probe_pure_states() -> Vec<Vec<Complex>> {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    vec![
+        vec![Complex::ONE, Complex::ZERO],
+        vec![Complex::ZERO, Complex::ONE],
+        vec![Complex::real(s), Complex::real(s)],
+        vec![Complex::real(s), Complex::new(0.0, s)],
+        vec![Complex::real(s), Complex::real(-s)],
+    ]
+}
+
+/// Builds the `n`-qubit product density operator with the given one-qubit
+/// factors (factor `i` on qubit `i`).
+fn product_state(factors: &[Matrix]) -> DensityMatrix {
+    let mut acc = Matrix::identity(1);
+    for f in factors {
+        acc = acc.kron(f);
+    }
+    DensityMatrix::from_matrix(factors.len(), acc)
+}
+
+/// Checks Definition 5.1 for a single quantum operation via the finite
+/// basis of Theorem 6.1 (condition 2): for every `ρ' ∈ ℬ^{⊗(n−1)}` and
+/// every probe state `|ψ⟩` of the five-state family, the reduced output on
+/// `q` equals `|ψ⟩⟨ψ|`.
+///
+/// The check is exponential (`4^{n−1} · 5` applications) and intended for
+/// `n ≤ 5`.
+///
+/// # Panics
+///
+/// Panics when `q` is out of range or `n > 5`.
+pub fn operation_safely_uncomputes(op: &SuperOp, q: usize, tol: f64) -> bool {
+    let n = op.num_qubits();
+    assert!(q < n, "qubit out of range");
+    assert!(n <= 5, "finite-basis check limited to 5 qubits");
+    let basis = basis_density_matrices();
+    let probes = probe_pure_states();
+    let others = n - 1;
+    for combo in 0..(basis.len().pow(others as u32)) {
+        for probe in &probes {
+            // Assemble the factor list with the probe at position q.
+            let probe_mat = {
+                let mut m = Matrix::zeros(2, 2);
+                for i in 0..2 {
+                    for j in 0..2 {
+                        m[(i, j)] = probe[i] * probe[j].conj();
+                    }
+                }
+                m
+            };
+            let mut factors = Vec::with_capacity(n);
+            let mut rest = combo;
+            for qubit in 0..n {
+                if qubit == q {
+                    factors.push(probe_mat.clone());
+                } else {
+                    factors.push(basis[rest % basis.len()].clone());
+                    rest /= basis.len();
+                }
+            }
+            let rho = product_state(&factors);
+            let out = op.apply(&rho);
+            if out.trace().abs() < 1e-12 {
+                continue; // vacuous branch (zero probability)
+            }
+            let reduced = out.partial_trace(&[q]).normalized();
+            let expect = DensityMatrix::from_matrix(1, probe_mat.clone());
+            if !reduced.approx_eq(&expect, tol) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks Theorem 6.1 condition 3 — the Bell-state formulation — for a
+/// Kraus-form channel: append a hypothetical qubit `q'`, prepare
+/// `ρ' ⊗ |Φ⟩⟨Φ|_{q,q'}` for basis `ρ'`, apply `E ⊗ I_{q'}`, and require
+/// the reduced state on `(q, q')` to still be the Bell state.
+///
+/// # Panics
+///
+/// Panics when `q` is out of range or the extended system exceeds
+/// 6 qubits.
+pub fn channel_preserves_bell_entanglement(channel: &Channel, q: usize, tol: f64) -> bool {
+    let n = channel.num_qubits();
+    assert!(q < n, "qubit out of range");
+    assert!(n < 6, "Bell check limited to 5 system qubits");
+    // Extend every Kraus operator with an identity on the appended qubit.
+    let extended = Channel::from_kraus(
+        n + 1,
+        channel
+            .kraus_operators()
+            .iter()
+            .map(|k| k.kron(&Matrix::identity(2)))
+            .collect(),
+    );
+    // Bell state on (q, q') where q' = n (the appended qubit).
+    let bell = {
+        let mut v = StateVector::zero(2);
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        v = v.run(&c);
+        DensityMatrix::from_pure(&v)
+    };
+    let basis = basis_density_matrices();
+    let others = n - 1;
+    for combo in 0..(basis.len().pow(others as u32)) {
+        // Build the joint state: basis factors on qubits ≠ q, the Bell
+        // pair across (q, q'=n). Assemble via a 2-qubit state on (q, n)
+        // tensored in the right slots: easiest is to build the full matrix
+        // by iterating factor structure with the Bell pair as one block.
+        let mut rest = combo;
+        let mut factors: Vec<Option<Matrix>> = vec![None; n + 1];
+        for (qubit, slot) in factors.iter_mut().enumerate().take(n) {
+            if qubit != q {
+                *slot = Some(basis[rest % basis.len()].clone());
+                rest /= basis.len();
+            }
+        }
+        // Start from the Bell density on (q, q') and move it into place by
+        // building the full operator directly.
+        let rho = assemble_with_pair(&factors, q, n, bell.matrix());
+        let out = extended.apply(&rho);
+        if out.trace().abs() < 1e-12 {
+            continue;
+        }
+        let reduced = out.partial_trace(&[q, n]).normalized();
+        if !reduced.approx_eq(&bell, tol) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Builds an `(n+1)`-qubit density matrix that is the product of the given
+/// single-qubit `factors` with a two-qubit `pair` state across qubits
+/// `(a, b)`; `factors[a]` and `factors[b]` must be `None`.
+fn assemble_with_pair(
+    factors: &[Option<Matrix>],
+    a: usize,
+    b: usize,
+    pair: &Matrix,
+) -> DensityMatrix {
+    let n = factors.len();
+    let dim = 1 << n;
+    let mut out = Matrix::zeros(dim, dim);
+    // Index helper: extract bit of qubit q from a state index (qubit 0 is
+    // the most significant bit, matching qb-sim's convention).
+    let bit = |idx: usize, q: usize| idx >> (n - 1 - q) & 1;
+    for row in 0..dim {
+        for col in 0..dim {
+            let mut acc = Complex::ONE;
+            for (q, f) in factors.iter().enumerate() {
+                if let Some(m) = f {
+                    acc *= m[(bit(row, q), bit(col, q))];
+                    if acc.is_zero(0.0) {
+                        break;
+                    }
+                }
+            }
+            if acc.is_zero(0.0) {
+                continue;
+            }
+            let pr = bit(row, a) << 1 | bit(row, b);
+            let pc = bit(col, a) << 1 | bit(col, b);
+            out[(row, col)] = acc * pair[(pr, pc)];
+        }
+    }
+    DensityMatrix::from_matrix(n, out)
+}
+
+/// Checks Definition 5.1 for a whole denotation: every operation in
+/// `⟦S⟧` must act as the identity on `q`.
+pub fn denotation_safely_uncomputes(d: &Denotation, q: usize, tol: f64) -> bool {
+    d.operations
+        .iter()
+        .all(|op| operation_safely_uncomputes(op, q, tol))
+}
+
+/// The Theorem 5.5 criterion for whole-program safety: `|⟦S⟧| ≤ 1`.
+pub fn program_is_safe(d: &Denotation) -> bool {
+    d.is_deterministic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_circuit::Gate;
+    use qb_sim::gate_matrix;
+
+    #[test]
+    fn cccnot_unitary_factorises() {
+        let mut c = Circuit::new(5);
+        c.toffoli(0, 1, 2).toffoli(2, 3, 4).toffoli(0, 1, 2).toffoli(2, 3, 4);
+        assert!(circuit_safely_uncomputes(&c, 2, 1e-9));
+        assert!(classical_circuit_safely_uncomputes(&c, 2).unwrap());
+        // Example 3.2: the composite equals CCCNOT ⊗ I_a. Verify directly.
+        let u = unitary_of(&c);
+        let mut cccnot = Circuit::new(5);
+        cccnot.mcx(&[0, 1, 3], 4);
+        let expect = unitary_of(&cccnot);
+        assert!(u.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn fig_1_4_fails_exact_checks() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        assert!(!circuit_safely_uncomputes(&c, 0, 1e-9));
+        assert!(!classical_circuit_safely_uncomputes(&c, 0).unwrap());
+        // ... and the superposition witness: |+⟩ decoheres.
+        let op = SuperOp::from_channel(&Channel::from_circuit(&c));
+        assert!(!operation_safely_uncomputes(&op, 0, 1e-9));
+        // The target qubit is also not identity (it computes).
+        assert!(!circuit_safely_uncomputes(&c, 1, 1e-9));
+    }
+
+    #[test]
+    fn bell_check_matches_basis_check() {
+        let cases: Vec<(Circuit, usize, bool)> = vec![
+            (
+                {
+                    let mut c = Circuit::new(3);
+                    c.toffoli(0, 1, 2).toffoli(0, 1, 2);
+                    c
+                },
+                2,
+                true,
+            ),
+            (
+                {
+                    let mut c = Circuit::new(2);
+                    c.cnot(0, 1);
+                    c
+                },
+                0,
+                false,
+            ),
+            (
+                {
+                    let mut c = Circuit::new(2);
+                    c.h(1).cz(0, 1).h(1).cnot(0, 1);
+                    c
+                },
+                0,
+                // H·CZ·H = CNOT, then CNOT again: identity overall.
+                true,
+            ),
+        ];
+        for (circuit, q, expect) in cases {
+            let ch = Channel::from_circuit(&circuit);
+            let op = SuperOp::from_channel(&ch);
+            assert_eq!(operation_safely_uncomputes(&op, q, 1e-8), expect);
+            assert_eq!(channel_preserves_bell_entanglement(&ch, q, 1e-8), expect);
+        }
+    }
+
+    #[test]
+    fn phase_gates_are_not_identity_even_when_classical_check_passes() {
+        // Z on the dirty qubit preserves all basis states but fails safe
+        // uncomputation — caught only by the quantum checks.
+        let mut c = Circuit::new(2);
+        c.z(0);
+        assert!(!circuit_safely_uncomputes(&c, 0, 1e-9));
+        let op = SuperOp::from_channel(&Channel::from_circuit(&c));
+        assert!(!operation_safely_uncomputes(&op, 0, 1e-9));
+    }
+
+    #[test]
+    fn non_unitary_operations_are_handled() {
+        // Initialisation destroys the dirty qubit's state: unsafe.
+        let init = Channel::init_qubit(2, 0);
+        let op = SuperOp::from_channel(&init);
+        assert!(!operation_safely_uncomputes(&op, 0, 1e-9));
+        assert!(!channel_preserves_bell_entanglement(&init, 0, 1e-9));
+        // ...but is perfectly safe for the *other* qubit.
+        assert!(operation_safely_uncomputes(&op, 1, 1e-9));
+        assert!(channel_preserves_bell_entanglement(&init, 1, 1e-9));
+    }
+
+    #[test]
+    fn embedding_sanity() {
+        // X ⊗ I acting on qubit 1 of 2 is safe for qubit 0.
+        let u = embed(2, &[1], &gate_matrix(&Gate::X(0)));
+        assert!(unitary_safely_uncomputes(&u, 2, 0, 1e-12));
+        assert!(!unitary_safely_uncomputes(&u, 2, 1, 1e-12));
+    }
+}

@@ -1,0 +1,182 @@
+//! # qb-core
+//!
+//! The paper's primary contribution: **verification of safe uncomputation
+//! of dirty qubits** in quantum programs (Su, Zhou, Feng, Ying,
+//! *Borrowing Dirty Qubits in Quantum Programs*, ASPLOS 2026).
+//!
+//! A borrowed dirty qubit is *safely uncomputed* when every execution of
+//! the program acts as the identity on it (Def. 5.1) — equivalently, when
+//! arbitrary pure states are restored (Thm. 5.3) and external
+//! entanglement is preserved (Thm. 5.4). For circuits implementing
+//! classical functions this reduces to two Boolean unsatisfiability
+//! queries (Thms. 6.2/6.4):
+//!
+//! 1. the **zero condition** `¬(b_q → q)` — restoring `|0⟩`;
+//! 2. the **plus condition** `⋁_{q'≠q} b_{q'}[0/q] ⊕ b_{q'}[1/q]` —
+//!    restoring `|+⟩`.
+//!
+//! This crate provides the full pipeline:
+//!
+//! * [`symbolic_execute`] — the Fig. 6.1 linear scan building per-qubit
+//!   Boolean formulas over a hash-consed XOR-AND graph;
+//! * [`build_conditions`] / [`build_clean_condition`] — the condition
+//!   formulas;
+//! * [`decide_unsat`] with three complete backends ([`BackendKind::Sat`],
+//!   [`BackendKind::Anf`], [`BackendKind::Bdd`]) replacing the paper's
+//!   external CVC5/Bitwuzla solvers;
+//! * [`verify_circuit`] / [`verify_program`] — end-to-end verification
+//!   with timings and counterexample witnesses;
+//! * [`exact`] — exponential ground-truth checkers (Def. 3.1, Thm. 6.1)
+//!   used to cross-validate the symbolic verdicts on small systems.
+//!
+//! # Examples
+//!
+//! Verify the paper's benchmark adder end to end:
+//!
+//! ```
+//! use qb_core::{verify_program, VerifyOptions};
+//! use qb_lang::{adder_source, elaborate, parse};
+//!
+//! let program = elaborate(&parse(&adder_source(8)).unwrap()).unwrap();
+//! let report = verify_program(&program, &VerifyOptions::default()).unwrap();
+//! assert!(report.all_safe());
+//! assert_eq!(report.verdicts.len(), 7); // the dirty qubits a[1..7]
+//! ```
+
+mod backend;
+mod conditions;
+pub mod exact;
+mod symbolic;
+mod verifier;
+
+pub use backend::{decide_unsat, BackendError, BackendKind, BackendOptions, Decision};
+pub use conditions::{build_clean_condition, build_conditions, Conditions};
+pub use symbolic::{symbolic_execute, InitialValue, NotClassicalCircuit, SymbolicState};
+pub use verifier::{
+    check_clean_uncomputation, verify_circuit, verify_program, Counterexample, QubitVerdict,
+    VerificationReport, VerifyError, VerifyOptions, Violation,
+};
+
+#[cfg(test)]
+mod cross_validation {
+    use super::*;
+    use proptest::prelude::*;
+    use qb_circuit::{Circuit, Gate};
+    use qb_formula::Simplify;
+
+    const NQ: usize = 4;
+
+    fn arb_gate() -> impl Strategy<Value = Gate> {
+        prop_oneof![
+            (0..NQ).prop_map(Gate::X),
+            (0..NQ, 0..NQ)
+                .prop_filter("distinct", |(c, t)| c != t)
+                .prop_map(|(c, t)| Gate::Cnot { c, t }),
+            (0..NQ, 0..NQ, 0..NQ)
+                .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c)
+                .prop_map(|(c1, c2, t)| Gate::Toffoli { c1, c2, t }),
+            (0..NQ, 0..NQ)
+                .prop_filter("distinct", |(a, b)| a != b)
+                .prop_map(|(a, b)| Gate::Swap(a, b)),
+        ]
+    }
+
+    fn arb_circuit() -> impl Strategy<Value = Circuit> {
+        proptest::collection::vec(arb_gate(), 0..16).prop_map(|gates| {
+            let mut c = Circuit::new(NQ);
+            for g in gates {
+                c.push(g);
+            }
+            c
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// E8: the symbolic verdict (every backend, both simplify modes)
+        /// equals the exact Definition-3.1 verdict for every qubit of
+        /// random classical circuits.
+        #[test]
+        fn symbolic_matches_exact(c in arb_circuit()) {
+            let initial = vec![InitialValue::Free; NQ];
+            for q in 0..NQ {
+                let expect = exact::classical_circuit_safely_uncomputes(&c, q).unwrap();
+                let expect_unitary = exact::circuit_safely_uncomputes(&c, q, 1e-9);
+                prop_assert_eq!(expect, expect_unitary, "permutation vs unitary, q={}", q);
+                for backend in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
+                    for simplify in [Simplify::Raw, Simplify::Full] {
+                        let opts = VerifyOptions {
+                            backend,
+                            simplify,
+                            backend_options: BackendOptions::default(),
+                        };
+                        let report =
+                            verify_circuit(&c, &initial, &[q], &opts).unwrap();
+                        prop_assert_eq!(
+                            report.verdicts[0].safe, expect,
+                            "qubit {} backend {} mode {:?}", q, backend, simplify
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Counterexamples returned by the SAT backend are genuine: on the
+        /// witness background, flipping the dirty qubit changes another
+        /// qubit's output (plus violations) or |0> maps off |0> (zero
+        /// violations).
+        #[test]
+        fn counterexamples_replay(c in arb_circuit()) {
+            use qb_circuit::{simulate_classical, BitState};
+            let initial = vec![InitialValue::Free; NQ];
+            for q in 0..NQ {
+                let report = verify_circuit(
+                    &c,
+                    &initial,
+                    &[q],
+                    &VerifyOptions::default(),
+                ).unwrap();
+                let verdict = &report.verdicts[0];
+                if verdict.safe {
+                    continue;
+                }
+                let ce = verdict.counterexample.as_ref().unwrap();
+                let bits = ce.basis_assignment.as_ref().unwrap();
+                match ce.violation {
+                    Violation::ZeroNotRestored => {
+                        let mut input = bits.clone();
+                        input[q] = false;
+                        let out = simulate_classical(&c, &BitState::from_bits(&input)).unwrap();
+                        prop_assert!(out.get(q), "witness must flip q off |0>");
+                    }
+                    Violation::PlusNotRestored => {
+                        let mut in0 = bits.clone();
+                        in0[q] = false;
+                        let mut in1 = bits.clone();
+                        in1[q] = true;
+                        let out0 = simulate_classical(&c, &BitState::from_bits(&in0)).unwrap();
+                        let out1 = simulate_classical(&c, &BitState::from_bits(&in1)).unwrap();
+                        let differs = (0..NQ).filter(|&p| p != q)
+                            .any(|p| out0.get(p) != out1.get(p));
+                        prop_assert!(differs, "witness must leak q into another qubit");
+                    }
+                }
+            }
+        }
+
+        /// The naive clean-uncomputation check is implied by dirty safety
+        /// (safe ⇒ clean-safe), but not conversely.
+        #[test]
+        fn dirty_safety_implies_clean_safety(c in arb_circuit()) {
+            let initial = vec![InitialValue::Free; NQ];
+            for q in 0..NQ {
+                let opts = VerifyOptions::default();
+                let report = verify_circuit(&c, &initial, &[q], &opts).unwrap();
+                if report.verdicts[0].safe {
+                    prop_assert!(check_clean_uncomputation(&c, &initial, q, &opts).unwrap());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! Algebraic normal form (ANF) — XOR of AND-monomials over GF(2).
+//!
+//! ANF is a *canonical* representation: a formula is unsatisfiable exactly
+//! when its ANF is the empty polynomial, and two formulas are equivalent
+//! exactly when their ANFs are equal. Normalising a formula graph into ANF
+//! therefore yields a complete decision procedure for the verification
+//! conditions of the paper's §6.1 — one of the three backends this
+//! reproduction offers in place of CVC5/Bitwuzla.
+//!
+//! The representation can blow up exponentially (e.g. carry chains of wide
+//! adders), so every conversion takes a term cap and fails gracefully with
+//! [`AnfOverflow`]; callers treat that as "backend inapplicable".
+
+use crate::arena::{Arena, Node, NodeId, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A product of distinct variables; the empty product is the constant `1`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Monomial(Box<[Var]>);
+
+impl Monomial {
+    /// The constant-one monomial (empty product).
+    pub fn one() -> Self {
+        Monomial(Box::new([]))
+    }
+
+    /// The single-variable monomial.
+    pub fn var(v: Var) -> Self {
+        Monomial(Box::new([v]))
+    }
+
+    /// Builds a monomial from an iterator of variables (deduplicated).
+    pub fn from_vars<I: IntoIterator<Item = Var>>(vars: I) -> Self {
+        let mut v: Vec<Var> = vars.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Monomial(v.into_boxed_slice())
+    }
+
+    /// The variables of this monomial, sorted ascending.
+    pub fn vars(&self) -> &[Var] {
+        &self.0
+    }
+
+    /// Number of variables (polynomial degree of this term).
+    pub fn degree(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if `v` occurs in the monomial.
+    pub fn contains(&self, v: Var) -> bool {
+        self.0.binary_search(&v).is_ok()
+    }
+
+    /// Product of two monomials (`x² = x` over GF(2)).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        Monomial(out.into_boxed_slice())
+    }
+
+    /// Removes `v` from the monomial (used by the formal derivative).
+    fn without(&self, v: Var) -> Monomial {
+        Monomial(
+            self.0
+                .iter()
+                .copied()
+                .filter(|&x| x != v)
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        )
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            write!(f, "x{v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error raised when an ANF conversion exceeds its term cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnfOverflow {
+    /// The cap that was exceeded.
+    pub cap: usize,
+}
+
+impl fmt::Display for AnfOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ANF term count exceeded cap of {}", self.cap)
+    }
+}
+
+impl std::error::Error for AnfOverflow {}
+
+/// A polynomial over GF(2) in algebraic normal form.
+///
+/// # Examples
+///
+/// ```
+/// use qb_formula::Anf;
+/// let x = Anf::var(0);
+/// let y = Anf::var(1);
+/// let p = x.xor(&y).xor(&x); // x ⊕ y ⊕ x = y
+/// assert_eq!(p, Anf::var(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Anf {
+    /// Sorted, duplicate-free terms; empty means the zero polynomial.
+    terms: Vec<Monomial>,
+}
+
+impl Anf {
+    /// The zero polynomial (constant false).
+    pub fn zero() -> Self {
+        Anf { terms: Vec::new() }
+    }
+
+    /// The one polynomial (constant true).
+    pub fn one() -> Self {
+        Anf {
+            terms: vec![Monomial::one()],
+        }
+    }
+
+    /// The polynomial consisting of a single variable.
+    pub fn var(v: Var) -> Self {
+        Anf {
+            terms: vec![Monomial::var(v)],
+        }
+    }
+
+    /// Builds a polynomial from arbitrary terms (pairs cancel mod 2).
+    pub fn from_terms<I: IntoIterator<Item = Monomial>>(terms: I) -> Self {
+        let mut set: BTreeSet<Monomial> = BTreeSet::new();
+        for t in terms {
+            if !set.remove(&t) {
+                set.insert(t);
+            }
+        }
+        Anf {
+            terms: set.into_iter().collect(),
+        }
+    }
+
+    /// The terms, sorted ascending.
+    pub fn terms(&self) -> &[Monomial] {
+        &self.terms
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when the polynomial has no terms (alias of
+    /// [`Anf::is_zero`], provided for container-style call sites).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns `true` for the zero polynomial — i.e. the formula is
+    /// unsatisfiable.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns `true` for the constant-one polynomial (tautology).
+    pub fn is_one(&self) -> bool {
+        self.terms.len() == 1 && self.terms[0].degree() == 0
+    }
+
+    /// Polynomial degree (0 for constants).
+    pub fn degree(&self) -> usize {
+        self.terms.iter().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// GF(2) sum (exclusive-or) of two polynomials.
+    pub fn xor(&self, other: &Anf) -> Anf {
+        let mut out = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.terms.len() && j < other.terms.len() {
+            match self.terms[i].cmp(&other.terms[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.terms[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.terms[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.terms[i..]);
+        out.extend_from_slice(&other.terms[j..]);
+        Anf { terms: out }
+    }
+
+    /// GF(2) product, failing if the result would exceed `cap` terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnfOverflow`] if the intermediate or final term count
+    /// exceeds `cap`.
+    pub fn mul(&self, other: &Anf, cap: usize) -> Result<Anf, AnfOverflow> {
+        if self.terms.len().saturating_mul(other.terms.len()) > 4 * cap.max(1) {
+            return Err(AnfOverflow { cap });
+        }
+        let mut set: BTreeSet<Monomial> = BTreeSet::new();
+        for a in &self.terms {
+            for b in &other.terms {
+                let m = a.mul(b);
+                if !set.remove(&m) {
+                    set.insert(m);
+                    if set.len() > cap {
+                        return Err(AnfOverflow { cap });
+                    }
+                }
+            }
+        }
+        Ok(Anf {
+            terms: set.into_iter().collect(),
+        })
+    }
+
+    /// Logical negation: `¬p = p ⊕ 1`.
+    pub fn not(&self) -> Anf {
+        self.xor(&Anf::one())
+    }
+
+    /// Returns `true` if any term mentions `v`.
+    pub fn contains_var(&self, v: Var) -> bool {
+        self.terms.iter().any(|t| t.contains(v))
+    }
+
+    /// Substitutes a constant for `v`.
+    pub fn cofactor(&self, v: Var, val: bool) -> Anf {
+        let mut set: BTreeSet<Monomial> = BTreeSet::new();
+        for t in &self.terms {
+            let keep = if t.contains(v) {
+                if !val {
+                    continue; // monomial containing v vanishes when v = 0
+                }
+                t.without(v)
+            } else {
+                t.clone()
+            };
+            if !set.remove(&keep) {
+                set.insert(keep);
+            }
+        }
+        Anf {
+            terms: set.into_iter().collect(),
+        }
+    }
+
+    /// Formal (Boolean) derivative `∂p/∂v = p[v:=0] ⊕ p[v:=1]`.
+    ///
+    /// The derivative is zero exactly when the function is independent of
+    /// `v` — the semantic core of the paper's condition (6.2).
+    pub fn derivative(&self, v: Var) -> Anf {
+        let mut set: BTreeSet<Monomial> = BTreeSet::new();
+        for t in &self.terms {
+            if t.contains(v) {
+                let m = t.without(v);
+                if !set.remove(&m) {
+                    set.insert(m);
+                }
+            }
+        }
+        Anf {
+            terms: set.into_iter().collect(),
+        }
+    }
+
+    /// Evaluates the polynomial under `env` (indexed by variable).
+    pub fn eval(&self, env: &[bool]) -> bool {
+        self.terms
+            .iter()
+            .fold(false, |acc, t| {
+                acc ^ t.vars().iter().all(|&v| env[v as usize])
+            })
+    }
+
+    /// Converts the nodes reachable from `roots` into ANF, bottom-up with
+    /// sharing, failing if any node's polynomial exceeds `cap` terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnfOverflow`] on blow-up.
+    pub fn from_arena(
+        arena: &Arena,
+        roots: &[NodeId],
+        cap: usize,
+    ) -> Result<Vec<Anf>, AnfOverflow> {
+        let reach = arena.reachable(roots);
+        let mut table: Vec<Option<Anf>> = vec![None; arena.len()];
+        for i in 0..arena.len() {
+            if !reach[i] {
+                continue;
+            }
+            let id = NodeId::from_index(i);
+            let anf = match arena.node(id) {
+                Node::Const(b) => {
+                    if *b {
+                        Anf::one()
+                    } else {
+                        Anf::zero()
+                    }
+                }
+                Node::Var(v) => Anf::var(*v),
+                Node::And(children) => {
+                    let mut acc = Anf::one();
+                    for c in children.iter() {
+                        let child = table[c.index()]
+                            .as_ref()
+                            .expect("children precede parents");
+                        acc = acc.mul(child, cap)?;
+                    }
+                    acc
+                }
+                Node::Xor(children, parity) => {
+                    let mut acc = if *parity { Anf::one() } else { Anf::zero() };
+                    for c in children.iter() {
+                        let child = table[c.index()]
+                            .as_ref()
+                            .expect("children precede parents");
+                        acc = acc.xor(child);
+                    }
+                    if acc.len() > cap {
+                        return Err(AnfOverflow { cap });
+                    }
+                    acc
+                }
+            };
+            table[i] = Some(anf);
+        }
+        Ok(roots
+            .iter()
+            .map(|r| table[r.index()].clone().expect("root is reachable"))
+            .collect())
+    }
+}
+
+impl fmt::Display for Anf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ⊕ ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::Simplify;
+
+    #[test]
+    fn xor_cancels_pairs() {
+        let x = Anf::var(0);
+        assert!(x.xor(&x).is_zero());
+    }
+
+    #[test]
+    fn mul_is_idempotent_on_vars() {
+        let x = Anf::var(0);
+        let xx = x.mul(&x, 100).unwrap();
+        assert_eq!(xx, x);
+    }
+
+    #[test]
+    fn distributes() {
+        // (x ⊕ y)·z = xz ⊕ yz
+        let x = Anf::var(0);
+        let y = Anf::var(1);
+        let z = Anf::var(2);
+        let lhs = x.xor(&y).mul(&z, 100).unwrap();
+        let rhs = x.mul(&z, 100).unwrap().xor(&y.mul(&z, 100).unwrap());
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn derivative_detects_dependence() {
+        // p = x ⊕ yz depends on x, y, z but not w.
+        let p = Anf::var(0).xor(&Anf::var(1).mul(&Anf::var(2), 10).unwrap());
+        assert!(!p.derivative(0).is_zero());
+        assert!(!p.derivative(1).is_zero());
+        assert!(p.derivative(3).is_zero());
+        // ∂p/∂x = 1, ∂p/∂y = z.
+        assert!(p.derivative(0).is_one());
+        assert_eq!(p.derivative(1), Anf::var(2));
+    }
+
+    #[test]
+    fn cofactor_agrees_with_derivative() {
+        let p = Anf::var(0)
+            .xor(&Anf::var(1).mul(&Anf::var(0), 10).unwrap())
+            .xor(&Anf::one());
+        let d = p.cofactor(0, false).xor(&p.cofactor(0, true));
+        assert_eq!(d, p.derivative(0));
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        // Product of t many disjoint (xᵢ ⊕ yᵢ) factors has 2^t terms.
+        let mut acc = Anf::one();
+        let mut failed = false;
+        for i in 0..20 {
+            let f = Anf::var(2 * i).xor(&Anf::var(2 * i + 1));
+            match acc.mul(&f, 64) {
+                Ok(next) => acc = next,
+                Err(AnfOverflow { cap }) => {
+                    assert_eq!(cap, 64);
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failed, "expected blow-up past the cap");
+    }
+
+    #[test]
+    fn from_arena_matches_eval() {
+        for mode in [Simplify::Raw, Simplify::Full] {
+            let mut f = Arena::new(mode);
+            let x = f.var(0);
+            let y = f.var(1);
+            let z = f.var(2);
+            let xy = f.and2(x, y);
+            let t = f.xor2(xy, z);
+            let root = f.not(t);
+            let anf = Anf::from_arena(&f, &[root], 1000).unwrap().remove(0);
+            for bits in 0..8u32 {
+                let env = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+                assert_eq!(anf.eval(&env), f.eval(root, &env), "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_unsat_detection() {
+        let mut f = Arena::new(Simplify::Raw);
+        let x = f.var(0);
+        let nx = f.not(x);
+        let contradiction = f.and2(x, nx);
+        let anf = Anf::from_arena(&f, &[contradiction], 100)
+            .unwrap()
+            .remove(0);
+        assert!(anf.is_zero());
+    }
+
+    #[test]
+    fn display_renders_terms() {
+        let p = Anf::var(1).xor(&Anf::one());
+        assert_eq!(p.to_string(), "1 ⊕ x1");
+    }
+}

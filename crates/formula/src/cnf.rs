@@ -1,0 +1,368 @@
+//! Conjunctive normal form and Tseitin encoding of formula graphs.
+//!
+//! The satisfiability backend of the verifier encodes the XAG nodes of the
+//! conditions (6.1)/(6.2) into CNF with one auxiliary variable per internal
+//! node (Tseitin transformation), preserving satisfiability and keeping the
+//! encoding linear in the graph size — matching the paper's claim that the
+//! reduction is a linear scan of the circuit.
+//!
+//! Literals use the DIMACS convention: variables are positive integers,
+//! negation is arithmetic negation, `0` never appears inside a clause.
+
+use crate::arena::{Arena, Node, NodeId, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A CNF formula in DIMACS-style integer literals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<i32>>,
+}
+
+impl Cnf {
+    /// Creates an empty CNF with no variables.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Allocates and returns a fresh variable (as a positive literal).
+    pub fn fresh_var(&mut self) -> i32 {
+        self.num_vars += 1;
+        self.num_vars as i32
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<i32>] {
+        &self.clauses
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal is zero or names an unallocated variable.
+    pub fn add_clause(&mut self, lits: &[i32]) {
+        for &l in lits {
+            assert!(l != 0, "zero literal");
+            assert!(
+                l.unsigned_abs() as usize <= self.num_vars,
+                "literal {l} names an unallocated variable"
+            );
+        }
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// Renders the formula in DIMACS `p cnf` format.
+    pub fn to_dimacs(&self) -> String {
+        let mut s = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for l in c {
+                s.push_str(&l.to_string());
+                s.push(' ');
+            }
+            s.push_str("0\n");
+        }
+        s
+    }
+
+    /// Parses a DIMACS `p cnf` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed token or header.
+    pub fn parse_dimacs(text: &str) -> Result<Cnf, String> {
+        let mut cnf = Cnf::new();
+        let mut declared_vars = 0usize;
+        let mut current: Vec<i32> = Vec::new();
+        let mut seen_header = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let mut it = rest.split_whitespace();
+                if it.next() != Some("cnf") {
+                    return Err("expected 'p cnf' header".into());
+                }
+                declared_vars = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or("bad variable count")?;
+                seen_header = true;
+                continue;
+            }
+            if !seen_header {
+                return Err("clause before header".into());
+            }
+            for tok in line.split_whitespace() {
+                let lit: i32 = tok.parse().map_err(|_| format!("bad literal {tok:?}"))?;
+                if lit == 0 {
+                    cnf.clauses.push(std::mem::take(&mut current));
+                } else {
+                    current.push(lit);
+                }
+            }
+        }
+        if !current.is_empty() {
+            return Err("unterminated clause".into());
+        }
+        cnf.num_vars = declared_vars;
+        for c in &cnf.clauses {
+            for &l in c {
+                if l.unsigned_abs() as usize > cnf.num_vars {
+                    return Err(format!("literal {l} exceeds declared variables"));
+                }
+            }
+        }
+        Ok(cnf)
+    }
+
+    /// Evaluates the CNF under an assignment indexed by variable (1-based:
+    /// `assignment[v-1]` is the value of variable `v`).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter().any(|&l| {
+                let v = assignment[(l.unsigned_abs() - 1) as usize];
+                if l > 0 {
+                    v
+                } else {
+                    !v
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dimacs())
+    }
+}
+
+/// The result of Tseitin-encoding a set of roots from an [`Arena`].
+#[derive(Debug, Clone)]
+pub struct Encoding {
+    /// The clauses defining every encoded node.
+    pub cnf: Cnf,
+    /// One literal per requested root, in request order; asserting such a
+    /// literal asserts the corresponding formula.
+    pub root_lits: Vec<i32>,
+    /// CNF literal backing each input variable that occurs in the roots.
+    pub var_lits: HashMap<Var, i32>,
+}
+
+/// Tseitin-encodes the nodes reachable from `roots`.
+///
+/// Satisfiability is preserved: the returned CNF, together with a unit
+/// clause asserting a root literal, is satisfiable exactly when the root
+/// formula is.
+///
+/// # Examples
+///
+/// ```
+/// use qb_formula::{encode, Arena, Simplify};
+/// let mut f = Arena::new(Simplify::Raw);
+/// let x = f.var(0);
+/// let nx = f.not(x);
+/// let contra = f.and2(x, nx);
+/// let enc = encode(&f, &[contra]);
+/// assert_eq!(enc.root_lits.len(), 1);
+/// ```
+pub fn encode(arena: &Arena, roots: &[NodeId]) -> Encoding {
+    let reach = arena.reachable(roots);
+    let mut cnf = Cnf::new();
+    let mut var_lits: HashMap<Var, i32> = HashMap::new();
+    // Literal for every encoded node (0 = not yet encoded).
+    let mut lits: Vec<i32> = vec![0; arena.len()];
+    let mut true_lit: Option<i32> = None;
+
+    for i in 0..arena.len() {
+        if !reach[i] {
+            continue;
+        }
+        let id = NodeId::from_index(i);
+        let lit = match arena.node(id) {
+            Node::Const(b) => {
+                let t = *true_lit.get_or_insert_with(|| {
+                    let v = cnf.fresh_var();
+                    cnf.add_clause(&[v]);
+                    v
+                });
+                if *b {
+                    t
+                } else {
+                    -t
+                }
+            }
+            Node::Var(v) => *var_lits.entry(*v).or_insert_with(|| cnf.fresh_var()),
+            Node::And(children) => {
+                let child_lits: Vec<i32> = children.iter().map(|c| lits[c.index()]).collect();
+                let y = cnf.fresh_var();
+                // y → cᵢ for every child.
+                for &c in &child_lits {
+                    cnf.add_clause(&[-y, c]);
+                }
+                // (∧ cᵢ) → y.
+                let mut big: Vec<i32> = child_lits.iter().map(|&c| -c).collect();
+                big.push(y);
+                cnf.add_clause(&big);
+                y
+            }
+            Node::Xor(children, parity) => {
+                let mut acc = lits[children[0].index()];
+                for c in &children[1..] {
+                    let b = lits[c.index()];
+                    let y = cnf.fresh_var();
+                    // y ↔ acc ⊕ b.
+                    cnf.add_clause(&[-acc, -b, -y]);
+                    cnf.add_clause(&[acc, b, -y]);
+                    cnf.add_clause(&[acc, -b, y]);
+                    cnf.add_clause(&[-acc, b, y]);
+                    acc = y;
+                }
+                if *parity {
+                    -acc
+                } else {
+                    acc
+                }
+            }
+        };
+        lits[i] = lit;
+    }
+
+    Encoding {
+        cnf,
+        root_lits: roots.iter().map(|r| lits[r.index()]).collect(),
+        var_lits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::Simplify;
+
+    /// Brute-force satisfiability of `cnf ∧ root` over its variables.
+    fn brute_sat(cnf: &Cnf, root: i32) -> bool {
+        let n = cnf.num_vars();
+        assert!(n <= 20, "brute force limited to 20 vars");
+        for bits in 0u64..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let root_val = {
+                let v = assignment[(root.unsigned_abs() - 1) as usize];
+                if root > 0 {
+                    v
+                } else {
+                    !v
+                }
+            };
+            if root_val && cnf.eval(&assignment) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn tautology_and_contradiction() {
+        let mut f = Arena::new(Simplify::Raw);
+        let x = f.var(0);
+        let nx = f.not(x);
+        let contra = f.and2(x, nx);
+        let tauto = f.or2(x, nx);
+        let enc = encode(&f, &[contra, tauto]);
+        assert!(!brute_sat(&enc.cnf, enc.root_lits[0]));
+        assert!(brute_sat(&enc.cnf, enc.root_lits[1]));
+    }
+
+    #[test]
+    fn xor_chain_parity() {
+        let mut f = Arena::new(Simplify::Full);
+        let vars: Vec<_> = (0..4).map(|v| f.var(v)).collect();
+        let x = f.xor(&vars);
+        // x ⊕ x0 ⊕ x1 ⊕ x2 ⊕ x3 ≡ 0: its negation is a tautology;
+        // conjunction with itself is just x, satisfiable.
+        let all = f.xor(&[x, vars[0], vars[1], vars[2], vars[3]]);
+        assert_eq!(all, NodeId::FALSE);
+        let enc = encode(&f, &[x]);
+        assert!(brute_sat(&enc.cnf, enc.root_lits[0]));
+    }
+
+    #[test]
+    fn encoding_matches_eval_exhaustively() {
+        for mode in [Simplify::Raw, Simplify::Full] {
+            let mut f = Arena::new(mode);
+            let a = f.var(0);
+            let b = f.var(1);
+            let c = f.var(2);
+            let ab = f.and2(a, b);
+            let t1 = f.xor2(ab, c);
+            let nb = f.not(b);
+            let t2 = f.and2(t1, nb);
+            let root = f.xor2(t2, a);
+            // The formula is satisfiable iff some env makes it true.
+            let sat_expected = (0..8u32).any(|bits| {
+                let env = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+                f.eval(root, &env)
+            });
+            let enc = encode(&f, &[root]);
+            assert_eq!(brute_sat(&enc.cnf, enc.root_lits[0]), sat_expected);
+        }
+    }
+
+    #[test]
+    fn var_lits_allow_external_assumptions() {
+        let mut f = Arena::new(Simplify::Raw);
+        let x = f.var(7);
+        let y = f.var(9);
+        let root = f.and2(x, y);
+        let mut enc = encode(&f, &[root]);
+        // Assert x, ¬y: root becomes unsatisfiable.
+        let lx = enc.var_lits[&7];
+        let ly = enc.var_lits[&9];
+        enc.cnf.add_clause(&[lx]);
+        enc.cnf.add_clause(&[-ly]);
+        assert!(!brute_sat(&enc.cnf, enc.root_lits[0]));
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        cnf.add_clause(&[a, -b]);
+        cnf.add_clause(&[-a]);
+        let text = cnf.to_dimacs();
+        let parsed = Cnf::parse_dimacs(&text).unwrap();
+        assert_eq!(parsed, cnf);
+    }
+
+    #[test]
+    fn dimacs_rejects_garbage() {
+        assert!(Cnf::parse_dimacs("p cnf x 1").is_err());
+        assert!(Cnf::parse_dimacs("1 2 0").is_err());
+        assert!(Cnf::parse_dimacs("p cnf 1 1\n1 2 0").is_err());
+        assert!(Cnf::parse_dimacs("p cnf 2 1\n1 2").is_err());
+    }
+
+    #[test]
+    fn encoding_is_linear_in_graph() {
+        let mut f = Arena::new(Simplify::Raw);
+        let mut cur = f.var(0);
+        for v in 1..200 {
+            let x = f.var(v);
+            let a = f.and2(cur, x);
+            cur = f.xor2(a, x);
+        }
+        let enc = encode(&f, &[cur]);
+        // One aux var per gate-ish: well under 5 per node.
+        assert!(enc.cnf.num_vars() < 5 * f.len());
+    }
+}

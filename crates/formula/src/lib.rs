@@ -1,0 +1,206 @@
+//! # qb-formula
+//!
+//! Boolean formula infrastructure for the QBorrow safe-uncomputation
+//! verifier: hash-consed XOR-AND graphs ([`Arena`]), canonical algebraic
+//! normal form ([`Anf`]), and Tseitin CNF encoding ([`encode`]).
+//!
+//! The paper (§6.1) reduces safe uncomputation of a dirty qubit in a
+//! classical circuit to the unsatisfiability of two Boolean formulas:
+//!
+//! * (6.1) `¬(b_q → q)` — the `|0⟩` restoration condition;
+//! * (6.2) `⋁_{q'≠q} b_{q'}[0/q] ⊕ b_{q'}[1/q]` — the `|+⟩` restoration
+//!   condition (every other qubit's final value is independent of `q`).
+//!
+//! This crate supplies everything needed to build, manipulate and encode
+//! those formulas; the decision procedures live in `qb-sat` (CDCL) and
+//! `qb-bdd` (BDDs), with [`Anf`] itself acting as a third, canonicity-based
+//! decision procedure.
+//!
+//! # Examples
+//!
+//! ```
+//! use qb_formula::{Arena, Simplify, Anf};
+//!
+//! // b_a after the first Toffoli of Fig. 6.1: a ⊕ q1·q2
+//! let mut f = Arena::new(Simplify::Full);
+//! let a = f.var(0);
+//! let q1 = f.var(1);
+//! let q2 = f.var(2);
+//! let prod = f.and2(q1, q2);
+//! let b_a = f.xor2(a, prod);
+//!
+//! // After the uncomputing Toffoli the formula collapses back to `a`.
+//! let restored = f.xor2(b_a, prod);
+//! assert_eq!(restored, a);
+//!
+//! // ANF is canonical: independence from q1 is a zero derivative.
+//! let anf = Anf::from_arena(&f, &[restored], 1 << 20).unwrap().remove(0);
+//! assert!(anf.derivative(1).is_zero());
+//! ```
+
+mod anf;
+mod arena;
+mod cnf;
+
+pub use anf::{Anf, AnfOverflow, Monomial};
+pub use arena::{Arena, Node, NodeId, Simplify, Var};
+pub use cnf::{encode, Cnf, Encoding};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A random formula expression tree over `nvars` variables.
+    #[derive(Debug, Clone)]
+    enum Expr {
+        Var(Var),
+        Const(bool),
+        Not(Box<Expr>),
+        And(Box<Expr>, Box<Expr>),
+        Xor(Box<Expr>, Box<Expr>),
+        Or(Box<Expr>, Box<Expr>),
+    }
+
+    fn arb_expr(nvars: u32) -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (0..nvars).prop_map(Expr::Var),
+            any::<bool>().prop_map(Expr::Const),
+        ];
+        leaf.prop_recursive(5, 64, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            ]
+        })
+    }
+
+    fn build(arena: &mut Arena, e: &Expr) -> NodeId {
+        match e {
+            Expr::Var(v) => arena.var(*v),
+            Expr::Const(b) => arena.constant(*b),
+            Expr::Not(a) => {
+                let x = build(arena, a);
+                arena.not(x)
+            }
+            Expr::And(a, b) => {
+                let x = build(arena, a);
+                let y = build(arena, b);
+                arena.and2(x, y)
+            }
+            Expr::Xor(a, b) => {
+                let x = build(arena, a);
+                let y = build(arena, b);
+                arena.xor2(x, y)
+            }
+            Expr::Or(a, b) => {
+                let x = build(arena, a);
+                let y = build(arena, b);
+                arena.or2(x, y)
+            }
+        }
+    }
+
+    fn eval_expr(e: &Expr, env: &[bool]) -> bool {
+        match e {
+            Expr::Var(v) => env[*v as usize],
+            Expr::Const(b) => *b,
+            Expr::Not(a) => !eval_expr(a, env),
+            Expr::And(a, b) => eval_expr(a, env) & eval_expr(b, env),
+            Expr::Xor(a, b) => eval_expr(a, env) ^ eval_expr(b, env),
+            Expr::Or(a, b) => eval_expr(a, env) | eval_expr(b, env),
+        }
+    }
+
+    const NVARS: u32 = 5;
+
+    proptest! {
+        /// Raw and Full arenas both evaluate identically to the source
+        /// expression on every assignment.
+        #[test]
+        fn arena_modes_agree_with_expression(e in arb_expr(NVARS)) {
+            let mut raw = Arena::new(Simplify::Raw);
+            let mut full = Arena::new(Simplify::Full);
+            let r_raw = build(&mut raw, &e);
+            let r_full = build(&mut full, &e);
+            for bits in 0u32..(1 << NVARS) {
+                let env: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+                let expect = eval_expr(&e, &env);
+                prop_assert_eq!(raw.eval(r_raw, &env), expect);
+                prop_assert_eq!(full.eval(r_full, &env), expect);
+            }
+        }
+
+        /// ANF built from either arena mode evaluates like the expression.
+        #[test]
+        fn anf_agrees_with_expression(e in arb_expr(NVARS)) {
+            let mut raw = Arena::new(Simplify::Raw);
+            let root = build(&mut raw, &e);
+            let anf = Anf::from_arena(&raw, &[root], 1 << 16).unwrap().remove(0);
+            for bits in 0u32..(1 << NVARS) {
+                let env: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+                prop_assert_eq!(anf.eval(&env), eval_expr(&e, &env));
+            }
+        }
+
+        /// ANF canonicity: two different constructions of equivalent
+        /// functions produce identical polynomials.
+        #[test]
+        fn anf_is_canonical_across_modes(e in arb_expr(NVARS)) {
+            let mut raw = Arena::new(Simplify::Raw);
+            let mut full = Arena::new(Simplify::Full);
+            let r_raw = build(&mut raw, &e);
+            let r_full = build(&mut full, &e);
+            let a = Anf::from_arena(&raw, &[r_raw], 1 << 16).unwrap().remove(0);
+            let b = Anf::from_arena(&full, &[r_full], 1 << 16).unwrap().remove(0);
+            prop_assert_eq!(a, b);
+        }
+
+        /// The Tseitin encoding is satisfiability-preserving (checked by
+        /// brute force over original + auxiliary variables).
+        #[test]
+        fn tseitin_preserves_satisfiability(e in arb_expr(4)) {
+            let mut raw = Arena::new(Simplify::Raw);
+            let root = build(&mut raw, &e);
+            let enc = encode(&raw, &[root]);
+            prop_assume!(enc.cnf.num_vars() <= 18);
+            let n = enc.cnf.num_vars();
+            let mut cnf_sat = false;
+            for bits in 0u64..(1 << n) {
+                let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                let root_true = {
+                    let l = enc.root_lits[0];
+                    let v = assignment[(l.unsigned_abs() - 1) as usize];
+                    if l > 0 { v } else { !v }
+                };
+                if root_true && enc.cnf.eval(&assignment) {
+                    cnf_sat = true;
+                    break;
+                }
+            }
+            let expr_sat = (0u32..(1 << 4)).any(|bits| {
+                let env: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+                eval_expr(&e, &env)
+            });
+            prop_assert_eq!(cnf_sat, expr_sat);
+        }
+
+        /// Cofactoring in the arena matches semantic substitution.
+        #[test]
+        fn cofactor_matches_semantics(e in arb_expr(NVARS), var in 0..NVARS, val: bool) {
+            let mut full = Arena::new(Simplify::Full);
+            let root = build(&mut full, &e);
+            let cof = full.cofactor(root, var, val);
+            for bits in 0u32..(1 << NVARS) {
+                let mut env: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+                env[var as usize] = val;
+                prop_assert_eq!(full.eval(cof, &env), eval_expr(&e, &env));
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Abstract syntax of the QBorrow surface language (paper §10.3 grammar).
+
+use crate::token::Span;
+use std::fmt;
+
+/// A parsed program: a non-empty statement list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level statements in source order.
+    pub statements: Vec<Stmt>,
+}
+
+/// Register reference: a bare name or `name[expr]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegRef {
+    /// Register name.
+    pub name: String,
+    /// Optional index/size expression.
+    pub index: Option<Expr>,
+    /// Source position of the reference.
+    pub span: Span,
+}
+
+/// One surface statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let ID = expr;`
+    Let {
+        /// Bound name.
+        name: String,
+        /// Value expression.
+        value: Expr,
+        /// Source position.
+        span: Span,
+    },
+    /// `borrow reg;` — borrow dirty qubits whose safe uncomputation must
+    /// be verified.
+    Borrow {
+        /// Declared register (index expression = register size).
+        reg: RegRef,
+        /// Source position.
+        span: Span,
+    },
+    /// `borrow@ reg;` — borrow dirty qubits with verification skipped
+    /// ("no assumptions made about the initial states", §6.2).
+    BorrowTrusted {
+        /// Declared register.
+        reg: RegRef,
+        /// Source position.
+        span: Span,
+    },
+    /// `alloc reg;` — clean qubits initialised to `|0⟩`.
+    Alloc {
+        /// Declared register.
+        reg: RegRef,
+        /// Source position.
+        span: Span,
+    },
+    /// `release ID;`
+    Release {
+        /// Register name to release.
+        name: String,
+        /// Source position.
+        span: Span,
+    },
+    /// A gate application (`X`, `CNOT`, `CCNOT`, or an extension gate).
+    Gate {
+        /// Which gate.
+        kind: GateKind,
+        /// Operand register references.
+        args: Vec<RegRef>,
+        /// Source position.
+        span: Span,
+    },
+    /// `for ID = expr to expr { ... }` — inclusive bounds, iterating
+    /// downwards when the start exceeds the end (as in the paper's
+    /// `adder.qbr`, e.g. `for i = (n-1) to 2`).
+    For {
+        /// Loop variable.
+        var: String,
+        /// Start expression (inclusive).
+        start: Expr,
+        /// End expression (inclusive).
+        end: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source position.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The source position of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Let { span, .. }
+            | Stmt::Borrow { span, .. }
+            | Stmt::BorrowTrusted { span, .. }
+            | Stmt::Alloc { span, .. }
+            | Stmt::Release { span, .. }
+            | Stmt::Gate { span, .. }
+            | Stmt::For { span, .. } => *span,
+        }
+    }
+}
+
+/// The surface gate vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// Pauli X (1 operand).
+    X,
+    /// CNOT (2 operands).
+    Cnot,
+    /// Toffoli (3 operands).
+    Ccnot,
+    /// Multi-controlled NOT — extension (≥ 2 operands, last is target).
+    Mcx,
+    /// Hadamard — extension (1 operand).
+    H,
+    /// Pauli Z — extension (1 operand).
+    Z,
+    /// SWAP — extension (2 operands).
+    Swap,
+}
+
+impl GateKind {
+    /// Expected operand count, or `None` for variadic (MCX).
+    pub fn arity(self) -> Option<usize> {
+        match self {
+            GateKind::X | GateKind::H | GateKind::Z => Some(1),
+            GateKind::Cnot | GateKind::Swap => Some(2),
+            GateKind::Ccnot => Some(3),
+            GateKind::Mcx => None,
+        }
+    }
+
+    /// Surface keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            GateKind::X => "X",
+            GateKind::Cnot => "CNOT",
+            GateKind::Ccnot => "CCNOT",
+            GateKind::Mcx => "MCX",
+            GateKind::H => "H",
+            GateKind::Z => "Z",
+            GateKind::Swap => "SWAP",
+        }
+    }
+}
+
+/// Arithmetic expressions over integers and let/loop variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Number(i64),
+    /// Variable reference.
+    Var(String, Span),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Number(n) => write!(f, "{n}"),
+            Expr::Var(name, _) => write!(f, "{name}"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! The core QBorrow calculus of the paper's §4 (Fig. 4.1).
+//!
+//! This is the QWhile language extended with `borrow a; S; release a`:
+//!
+//! ```text
+//! S ::= skip | [q] := |0⟩ | U[q̄] | S₁; S₂
+//!     | if M[q̄] then S₁ else S₂ | while M[q̄] do S end
+//!     | borrow a; S; release a
+//! ```
+//!
+//! Qubit operands are [`QubitRef`]s: either concrete machine qubits or
+//! formal placeholders introduced by `borrow` and instantiated
+//! nondeterministically by the semantics (Fig. 4.3). Measurements guarding
+//! `if`/`while` are single-qubit computational-basis measurements with
+//! outcome `T` on `|1⟩` — the binary-measurement shape of §2, specialised
+//! as in the paper's examples.
+
+use qb_circuit::{Circuit, Gate};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A qubit operand: concrete index or formal placeholder.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QubitRef {
+    /// A machine qubit.
+    Concrete(usize),
+    /// A `borrow`-bound placeholder, instantiated at runtime.
+    Placeholder(String),
+}
+
+impl QubitRef {
+    /// The concrete index, if resolved.
+    pub fn concrete(&self) -> Option<usize> {
+        match self {
+            QubitRef::Concrete(q) => Some(*q),
+            QubitRef::Placeholder(_) => None,
+        }
+    }
+
+    fn substitute(&self, name: &str, q: usize) -> QubitRef {
+        match self {
+            QubitRef::Placeholder(p) if p == name => QubitRef::Concrete(q),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for QubitRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QubitRef::Concrete(q) => write!(f, "q{q}"),
+            QubitRef::Placeholder(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// A unitary application over [`QubitRef`] operands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreGate {
+    /// Pauli X.
+    X(QubitRef),
+    /// Hadamard.
+    H(QubitRef),
+    /// Pauli Z.
+    Z(QubitRef),
+    /// CNOT (control, target).
+    Cnot(QubitRef, QubitRef),
+    /// Toffoli (control, control, target).
+    Toffoli(QubitRef, QubitRef, QubitRef),
+    /// Multi-controlled NOT (controls, target).
+    Mcx(Vec<QubitRef>, QubitRef),
+    /// SWAP.
+    Swap(QubitRef, QubitRef),
+}
+
+impl CoreGate {
+    /// Operands in order.
+    pub fn operands(&self) -> Vec<&QubitRef> {
+        match self {
+            CoreGate::X(q) | CoreGate::H(q) | CoreGate::Z(q) => vec![q],
+            CoreGate::Cnot(a, b) | CoreGate::Swap(a, b) => vec![a, b],
+            CoreGate::Toffoli(a, b, c) => vec![a, b, c],
+            CoreGate::Mcx(cs, t) => {
+                let mut v: Vec<&QubitRef> = cs.iter().collect();
+                v.push(t);
+                v
+            }
+        }
+    }
+
+    fn substitute(&self, name: &str, q: usize) -> CoreGate {
+        let s = |r: &QubitRef| r.substitute(name, q);
+        match self {
+            CoreGate::X(a) => CoreGate::X(s(a)),
+            CoreGate::H(a) => CoreGate::H(s(a)),
+            CoreGate::Z(a) => CoreGate::Z(s(a)),
+            CoreGate::Cnot(a, b) => CoreGate::Cnot(s(a), s(b)),
+            CoreGate::Toffoli(a, b, c) => CoreGate::Toffoli(s(a), s(b), s(c)),
+            CoreGate::Mcx(cs, t) => CoreGate::Mcx(cs.iter().map(s).collect(), s(t)),
+            CoreGate::Swap(a, b) => CoreGate::Swap(s(a), s(b)),
+        }
+    }
+
+    /// Converts to a concrete circuit gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of an unresolved placeholder, if any remains.
+    pub fn to_gate(&self) -> Result<Gate, String> {
+        let c = |r: &QubitRef| -> Result<usize, String> {
+            r.concrete()
+                .ok_or_else(|| format!("unresolved placeholder '{r}'"))
+        };
+        Ok(match self {
+            CoreGate::X(a) => Gate::X(c(a)?),
+            CoreGate::H(a) => Gate::H(c(a)?),
+            CoreGate::Z(a) => Gate::Z(c(a)?),
+            CoreGate::Cnot(a, b) => Gate::Cnot { c: c(a)?, t: c(b)? },
+            CoreGate::Toffoli(a, b, t) => Gate::Toffoli {
+                c1: c(a)?,
+                c2: c(b)?,
+                t: c(t)?,
+            },
+            CoreGate::Mcx(cs, t) => Gate::Mcx {
+                controls: cs.iter().map(&c).collect::<Result<_, _>>()?,
+                target: c(t)?,
+            },
+            CoreGate::Swap(a, b) => Gate::Swap(c(a)?, c(b)?),
+        })
+    }
+}
+
+/// A statement of the core calculus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreStmt {
+    /// `skip`
+    Skip,
+    /// `[q] := |0⟩` — initialisation.
+    Init(QubitRef),
+    /// `U[q̄]` — unitary application.
+    Gate(CoreGate),
+    /// `S₁; S₂; …` — sequencing (n-ary for convenience).
+    Seq(Vec<CoreStmt>),
+    /// `if M[q] then S₁ else S₂` — guarded by a computational-basis
+    /// measurement of `qubit` (outcome `T` = `|1⟩`).
+    If {
+        /// Measured qubit.
+        qubit: QubitRef,
+        /// Branch on outcome `T`.
+        then_branch: Box<CoreStmt>,
+        /// Branch on outcome `F`.
+        else_branch: Box<CoreStmt>,
+    },
+    /// `while M[q] do S end`.
+    While {
+        /// Measured qubit (loop continues on outcome `T` = `|1⟩`).
+        qubit: QubitRef,
+        /// Loop body.
+        body: Box<CoreStmt>,
+    },
+    /// `borrow a; S; release a`.
+    Borrow {
+        /// The placeholder name bound in `body`.
+        placeholder: String,
+        /// The borrowed scope.
+        body: Box<CoreStmt>,
+    },
+}
+
+impl CoreStmt {
+    /// Sequences two statements.
+    pub fn then(self, next: CoreStmt) -> CoreStmt {
+        match self {
+            CoreStmt::Seq(mut v) => {
+                v.push(next);
+                CoreStmt::Seq(v)
+            }
+            first => CoreStmt::Seq(vec![first, next]),
+        }
+    }
+
+    /// Substitutes concrete qubit `q` for placeholder `name` (capture
+    /// avoiding: stops at an inner `borrow` that rebinds the same name).
+    #[must_use]
+    pub fn substitute(&self, name: &str, q: usize) -> CoreStmt {
+        match self {
+            CoreStmt::Skip => CoreStmt::Skip,
+            CoreStmt::Init(r) => CoreStmt::Init(r.substitute(name, q)),
+            CoreStmt::Gate(g) => CoreStmt::Gate(g.substitute(name, q)),
+            CoreStmt::Seq(parts) => {
+                CoreStmt::Seq(parts.iter().map(|p| p.substitute(name, q)).collect())
+            }
+            CoreStmt::If {
+                qubit,
+                then_branch,
+                else_branch,
+            } => CoreStmt::If {
+                qubit: qubit.substitute(name, q),
+                then_branch: Box::new(then_branch.substitute(name, q)),
+                else_branch: Box::new(else_branch.substitute(name, q)),
+            },
+            CoreStmt::While { qubit, body } => CoreStmt::While {
+                qubit: qubit.substitute(name, q),
+                body: Box::new(body.substitute(name, q)),
+            },
+            CoreStmt::Borrow { placeholder, body } => {
+                if placeholder == name {
+                    // Shadowed: do not substitute inside.
+                    self.clone()
+                } else {
+                    CoreStmt::Borrow {
+                        placeholder: placeholder.clone(),
+                        body: Box::new(body.substitute(name, q)),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The set of free placeholder names.
+    pub fn free_placeholders(&self) -> BTreeSet<String> {
+        fn refs(r: &QubitRef, out: &mut BTreeSet<String>) {
+            if let QubitRef::Placeholder(p) = r {
+                out.insert(p.clone());
+            }
+        }
+        let mut out = BTreeSet::new();
+        match self {
+            CoreStmt::Skip => {}
+            CoreStmt::Init(r) => refs(r, &mut out),
+            CoreStmt::Gate(g) => {
+                for r in g.operands() {
+                    refs(r, &mut out);
+                }
+            }
+            CoreStmt::Seq(parts) => {
+                for p in parts {
+                    out.extend(p.free_placeholders());
+                }
+            }
+            CoreStmt::If {
+                qubit,
+                then_branch,
+                else_branch,
+            } => {
+                refs(qubit, &mut out);
+                out.extend(then_branch.free_placeholders());
+                out.extend(else_branch.free_placeholders());
+            }
+            CoreStmt::While { qubit, body } => {
+                refs(qubit, &mut out);
+                out.extend(body.free_placeholders());
+            }
+            CoreStmt::Borrow { placeholder, body } => {
+                let mut inner = body.free_placeholders();
+                inner.remove(placeholder);
+                out.extend(inner);
+            }
+        }
+        out
+    }
+
+    /// Well-formedness per the paper's conventions: every placeholder
+    /// reference appears under a matching `borrow`, and nested borrows use
+    /// distinct names.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn check_wellformed(&self) -> Result<(), String> {
+        fn walk(stmt: &CoreStmt, bound: &mut Vec<String>) -> Result<(), String> {
+            match stmt {
+                CoreStmt::Skip => Ok(()),
+                CoreStmt::Init(r) | CoreStmt::If { qubit: r, .. } | CoreStmt::While { qubit: r, .. }
+                    if matches!(r, QubitRef::Placeholder(p) if !bound.contains(p)) =>
+                {
+                    Err(format!("placeholder '{r}' used outside its borrow scope"))
+                }
+                CoreStmt::Init(_) => Ok(()),
+                CoreStmt::Gate(g) => {
+                    for r in g.operands() {
+                        if let QubitRef::Placeholder(p) = r {
+                            if !bound.contains(p) {
+                                return Err(format!(
+                                    "placeholder '{p}' used outside its borrow scope"
+                                ));
+                            }
+                        }
+                    }
+                    Ok(())
+                }
+                CoreStmt::Seq(parts) => {
+                    for p in parts {
+                        walk(p, bound)?;
+                    }
+                    Ok(())
+                }
+                CoreStmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    walk(then_branch, bound)?;
+                    walk(else_branch, bound)
+                }
+                CoreStmt::While { body, .. } => walk(body, bound),
+                CoreStmt::Borrow { placeholder, body } => {
+                    if bound.contains(placeholder) {
+                        return Err(format!(
+                            "nested borrow reuses placeholder name '{placeholder}'"
+                        ));
+                    }
+                    bound.push(placeholder.clone());
+                    let r = walk(body, bound);
+                    bound.pop();
+                    r
+                }
+            }
+        }
+        walk(self, &mut Vec::new())
+    }
+
+    /// Lowers a straight-line, borrow-free, measurement-free statement to a
+    /// circuit on `n` qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the statement contains control flow,
+    /// borrows, initialisation or unresolved placeholders.
+    pub fn to_circuit(&self, n: usize) -> Result<Circuit, String> {
+        let mut circuit = Circuit::new(n);
+        self.lower_into(&mut circuit)?;
+        Ok(circuit)
+    }
+
+    fn lower_into(&self, circuit: &mut Circuit) -> Result<(), String> {
+        match self {
+            CoreStmt::Skip => Ok(()),
+            CoreStmt::Gate(g) => {
+                circuit.try_push(g.to_gate()?)?;
+                Ok(())
+            }
+            CoreStmt::Seq(parts) => {
+                for p in parts {
+                    p.lower_into(circuit)?;
+                }
+                Ok(())
+            }
+            CoreStmt::Init(_) => Err("initialisation has no circuit form".into()),
+            CoreStmt::If { .. } | CoreStmt::While { .. } => {
+                Err("control flow has no circuit form".into())
+            }
+            CoreStmt::Borrow { .. } => Err("unresolved borrow has no circuit form".into()),
+        }
+    }
+
+    /// Builds a straight-line statement from a classical circuit.
+    pub fn from_circuit(circuit: &Circuit) -> CoreStmt {
+        let conv = |q: usize| QubitRef::Concrete(q);
+        let parts = circuit
+            .gates()
+            .iter()
+            .map(|g| {
+                CoreStmt::Gate(match g {
+                    Gate::X(q) => CoreGate::X(conv(*q)),
+                    Gate::H(q) => CoreGate::H(conv(*q)),
+                    Gate::Z(q) => CoreGate::Z(conv(*q)),
+                    Gate::Cnot { c, t } => CoreGate::Cnot(conv(*c), conv(*t)),
+                    Gate::Toffoli { c1, c2, t } => {
+                        CoreGate::Toffoli(conv(*c1), conv(*c2), conv(*t))
+                    }
+                    Gate::Mcx { controls, target } => CoreGate::Mcx(
+                        controls.iter().map(|&c| conv(c)).collect(),
+                        conv(*target),
+                    ),
+                    Gate::Swap(a, b) => CoreGate::Swap(conv(*a), conv(*b)),
+                    other => panic!("gate {other:?} not supported in the core calculus"),
+                })
+            })
+            .collect();
+        CoreStmt::Seq(parts)
+    }
+}
+
+impl fmt::Display for CoreStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreStmt::Skip => write!(f, "skip"),
+            CoreStmt::Init(q) => write!(f, "[{q}] := |0>"),
+            CoreStmt::Gate(g) => {
+                let ops: Vec<String> = g.operands().iter().map(|r| r.to_string()).collect();
+                let name = match g {
+                    CoreGate::X(_) => "X",
+                    CoreGate::H(_) => "H",
+                    CoreGate::Z(_) => "Z",
+                    CoreGate::Cnot(..) => "CNOT",
+                    CoreGate::Toffoli(..) => "Toffoli",
+                    CoreGate::Mcx(..) => "MCX",
+                    CoreGate::Swap(..) => "SWAP",
+                };
+                write!(f, "{name}[{}]", ops.join(","))
+            }
+            CoreStmt::Seq(parts) => {
+                let strs: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+                write!(f, "{}", strs.join("; "))
+            }
+            CoreStmt::If {
+                qubit,
+                then_branch,
+                else_branch,
+            } => write!(f, "if M[{qubit}] then {then_branch} else {else_branch}"),
+            CoreStmt::While { qubit, body } => {
+                write!(f, "while M[{qubit}] do {body} end")
+            }
+            CoreStmt::Borrow { placeholder, body } => {
+                write!(f, "borrow {placeholder}; {body}; release {placeholder}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ph(name: &str) -> QubitRef {
+        QubitRef::Placeholder(name.into())
+    }
+
+    fn cq(q: usize) -> QubitRef {
+        QubitRef::Concrete(q)
+    }
+
+    #[test]
+    fn substitution_resolves_placeholders() {
+        let s = CoreStmt::Gate(CoreGate::Toffoli(cq(0), cq(1), ph("a")));
+        let t = s.substitute("a", 5);
+        assert_eq!(t, CoreStmt::Gate(CoreGate::Toffoli(cq(0), cq(1), cq(5))));
+    }
+
+    #[test]
+    fn substitution_respects_shadowing() {
+        let inner = CoreStmt::Borrow {
+            placeholder: "a".into(),
+            body: Box::new(CoreStmt::Gate(CoreGate::X(ph("a")))),
+        };
+        let substituted = inner.substitute("a", 3);
+        // Inner binder shadows: nothing changes.
+        assert_eq!(substituted, inner);
+    }
+
+    #[test]
+    fn free_placeholders_excludes_bound() {
+        let s = CoreStmt::Seq(vec![
+            CoreStmt::Gate(CoreGate::X(ph("outer"))),
+            CoreStmt::Borrow {
+                placeholder: "inner".into(),
+                body: Box::new(CoreStmt::Gate(CoreGate::Cnot(ph("inner"), ph("outer")))),
+            },
+        ]);
+        let free = s.free_placeholders();
+        assert!(free.contains("outer"));
+        assert!(!free.contains("inner"));
+    }
+
+    #[test]
+    fn wellformedness_checks() {
+        // Unbound placeholder.
+        let bad = CoreStmt::Gate(CoreGate::X(ph("a")));
+        assert!(bad.check_wellformed().is_err());
+        // Nested borrows with the same name.
+        let nested = CoreStmt::Borrow {
+            placeholder: "a".into(),
+            body: Box::new(CoreStmt::Borrow {
+                placeholder: "a".into(),
+                body: Box::new(CoreStmt::Skip),
+            }),
+        };
+        assert!(nested.check_wellformed().is_err());
+        // Proper program.
+        let good = CoreStmt::Borrow {
+            placeholder: "a".into(),
+            body: Box::new(CoreStmt::Gate(CoreGate::X(ph("a")))),
+        };
+        assert!(good.check_wellformed().is_ok());
+    }
+
+    #[test]
+    fn circuit_round_trip() {
+        let mut c = Circuit::new(3);
+        c.x(0).cnot(0, 1).toffoli(0, 1, 2);
+        let stmt = CoreStmt::from_circuit(&c);
+        let back = stmt.to_circuit(3).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn control_flow_has_no_circuit() {
+        let s = CoreStmt::While {
+            qubit: cq(0),
+            body: Box::new(CoreStmt::Skip),
+        };
+        assert!(s.to_circuit(1).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        let s = CoreStmt::Borrow {
+            placeholder: "a".into(),
+            body: Box::new(CoreStmt::Gate(CoreGate::X(ph("a")))),
+        };
+        assert_eq!(s.to_string(), "borrow a; X[a]; release a");
+    }
+}

@@ -1,0 +1,84 @@
+//! Language-level errors with source positions.
+
+use crate::token::Span;
+use std::fmt;
+
+/// The processing phase an error originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenisation.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Elaboration (name resolution, loop unrolling, qubit allocation).
+    Elaborate,
+    /// Denotational semantics evaluation.
+    Semantics,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Elaborate => "elaborate",
+            Phase::Semantics => "semantics",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An error produced while processing a QBorrow program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    /// Which phase failed.
+    pub phase: Phase,
+    /// Human-readable description.
+    pub message: String,
+    /// Source position, when known.
+    pub span: Option<Span>,
+}
+
+impl LangError {
+    /// Creates an error with a position.
+    pub fn at(phase: Phase, span: Span, message: impl Into<String>) -> Self {
+        LangError {
+            phase,
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+
+    /// Creates a position-less error.
+    pub fn new(phase: Phase, message: impl Into<String>) -> Self {
+        LangError {
+            phase,
+            message: message.into(),
+            span: None,
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "{} error at {}: {}", self.phase, span, self.message),
+            None => write!(f, "{} error: {}", self.phase, self.message),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = LangError::at(Phase::Parse, Span { line: 3, col: 7 }, "unexpected ';'");
+        assert_eq!(e.to_string(), "parse error at 3:7: unexpected ';'");
+        let e = LangError::new(Phase::Semantics, "no idle qubits");
+        assert_eq!(e.to_string(), "semantics error: no idle qubits");
+    }
+}

@@ -1,0 +1,158 @@
+//! Idle-qubit analysis — the `idle(S)` function of the paper's Fig. 4.2.
+//!
+//! `idle(S)` is the set of machine qubits that no statement of `S`
+//! touches; it determines which qubits a `borrow` statement may
+//! nondeterministically pick. The definition is structural:
+//!
+//! ```text
+//! idle(skip)                          = qubits
+//! idle([q] := |0⟩)                    = qubits \ {q}
+//! idle(U[q̄])                          = qubits \ q̄
+//! idle(S₁; S₂)                        = idle(S₁) ∩ idle(S₂)
+//! idle(if M[q̄] then S₁ else S₂)       = (idle(S₁) ∩ idle(S₂)) \ q̄
+//! idle(while M[q̄] do S end)           = idle(S) \ q̄
+//! idle(borrow a; S; release a)        = idle(S)
+//! ```
+//!
+//! Formal placeholders do not remove any concrete qubit: they are resolved
+//! only when the enclosing `borrow` is instantiated, which is why nested
+//! borrows may end up sharing the same physical qubit (the paper's
+//! Fig. 4.4 example).
+
+use crate::core_ast::{CoreStmt, QubitRef};
+use std::collections::BTreeSet;
+
+/// Computes `idle(S)` over the machine `qubits = {0, …, n−1}`.
+///
+/// # Examples
+///
+/// ```
+/// use qb_lang::{idle, CoreGate, CoreStmt, QubitRef};
+/// let s = CoreStmt::Gate(CoreGate::Cnot(
+///     QubitRef::Concrete(0),
+///     QubitRef::Concrete(2),
+/// ));
+/// assert_eq!(idle(&s, 4), [1, 3].into_iter().collect());
+/// ```
+pub fn idle(stmt: &CoreStmt, n: usize) -> BTreeSet<usize> {
+    let mut used = BTreeSet::new();
+    collect_used(stmt, &mut used);
+    (0..n).filter(|q| !used.contains(q)).collect()
+}
+
+fn touch(r: &QubitRef, used: &mut BTreeSet<usize>) {
+    if let QubitRef::Concrete(q) = r {
+        used.insert(*q);
+    }
+}
+
+fn collect_used(stmt: &CoreStmt, used: &mut BTreeSet<usize>) {
+    match stmt {
+        CoreStmt::Skip => {}
+        CoreStmt::Init(r) => touch(r, used),
+        CoreStmt::Gate(g) => {
+            for r in g.operands() {
+                touch(r, used);
+            }
+        }
+        CoreStmt::Seq(parts) => {
+            for p in parts {
+                collect_used(p, used);
+            }
+        }
+        CoreStmt::If {
+            qubit,
+            then_branch,
+            else_branch,
+        } => {
+            touch(qubit, used);
+            collect_used(then_branch, used);
+            collect_used(else_branch, used);
+        }
+        CoreStmt::While { qubit, body } => {
+            touch(qubit, used);
+            collect_used(body, used);
+        }
+        CoreStmt::Borrow { body, .. } => collect_used(body, used),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_ast::CoreGate;
+
+    fn cq(q: usize) -> QubitRef {
+        QubitRef::Concrete(q)
+    }
+
+    fn ph(name: &str) -> QubitRef {
+        QubitRef::Placeholder(name.into())
+    }
+
+    fn set(xs: &[usize]) -> BTreeSet<usize> {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn skip_leaves_everything_idle() {
+        assert_eq!(idle(&CoreStmt::Skip, 3), set(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn init_and_gates_remove_operands() {
+        assert_eq!(idle(&CoreStmt::Init(cq(1)), 3), set(&[0, 2]));
+        let g = CoreStmt::Gate(CoreGate::Toffoli(cq(0), cq(1), cq(2)));
+        assert_eq!(idle(&g, 4), set(&[3]));
+    }
+
+    #[test]
+    fn seq_intersects() {
+        let s = CoreStmt::Seq(vec![
+            CoreStmt::Gate(CoreGate::X(cq(0))),
+            CoreStmt::Gate(CoreGate::X(cq(2))),
+        ]);
+        assert_eq!(idle(&s, 4), set(&[1, 3]));
+    }
+
+    #[test]
+    fn if_removes_guard() {
+        let s = CoreStmt::If {
+            qubit: cq(3),
+            then_branch: Box::new(CoreStmt::Gate(CoreGate::X(cq(0)))),
+            else_branch: Box::new(CoreStmt::Skip),
+        };
+        assert_eq!(idle(&s, 4), set(&[1, 2]));
+    }
+
+    #[test]
+    fn while_removes_guard_and_body() {
+        let s = CoreStmt::While {
+            qubit: cq(0),
+            body: Box::new(CoreStmt::Gate(CoreGate::X(cq(1)))),
+        };
+        assert_eq!(idle(&s, 3), set(&[2]));
+    }
+
+    #[test]
+    fn placeholders_do_not_consume_qubits() {
+        // The Fig. 4.4 situation: S1 touches q1, q2, q4, q5 and the
+        // placeholder a1; with five machine qubits only q3 is idle.
+        let s1 = CoreStmt::Seq(vec![
+            CoreStmt::Gate(CoreGate::Toffoli(cq(0), cq(1), ph("a1"))),
+            CoreStmt::Gate(CoreGate::Toffoli(ph("a1"), cq(3), cq(4))),
+            CoreStmt::Gate(CoreGate::Toffoli(cq(0), cq(1), ph("a1"))),
+            CoreStmt::Gate(CoreGate::Toffoli(ph("a1"), cq(3), cq(4))),
+        ]);
+        assert_eq!(idle(&s1, 5), set(&[2]));
+    }
+
+    #[test]
+    fn borrow_is_transparent() {
+        let s = CoreStmt::Borrow {
+            placeholder: "a".into(),
+            body: Box::new(CoreStmt::Gate(CoreGate::Cnot(cq(0), ph("a")))),
+        };
+        assert_eq!(idle(&s, 3), set(&[1, 2]));
+    }
+}

@@ -1,0 +1,353 @@
+//! Tokeniser for the QBorrow surface language.
+//!
+//! Implements the lexical rules of the paper's ANTLR grammar (§10.3):
+//! identifiers `[a-zA-Z_][a-zA-Z0-9_]*`, decimal numbers, punctuation,
+//! whitespace skipping, `//` line comments and `/* */` block comments.
+//! Gate keywords (`X`, `CNOT`, `CCNOT`, plus the documented extensions
+//! `MCX`, `H`, `Z`, `SWAP`) are recognised as keywords rather than
+//! identifiers, matching the grammar's literal tokens.
+
+use crate::error::{LangError, Phase};
+use crate::token::{Span, Token, TokenKind};
+
+/// Tokenises `source` into a vector ending with an `Eof` token.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] for unknown characters, malformed numbers or
+/// unterminated block comments.
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            source,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
+                return Ok(tokens);
+            };
+            let kind = match c {
+                '=' => {
+                    self.bump();
+                    TokenKind::Equals
+                }
+                ';' => {
+                    self.bump();
+                    TokenKind::Semi
+                }
+                ',' => {
+                    self.bump();
+                    TokenKind::Comma
+                }
+                '[' => {
+                    self.bump();
+                    TokenKind::LBracket
+                }
+                ']' => {
+                    self.bump();
+                    TokenKind::RBracket
+                }
+                '(' => {
+                    self.bump();
+                    TokenKind::LParen
+                }
+                ')' => {
+                    self.bump();
+                    TokenKind::RParen
+                }
+                '{' => {
+                    self.bump();
+                    TokenKind::LBrace
+                }
+                '}' => {
+                    self.bump();
+                    TokenKind::RBrace
+                }
+                '+' => {
+                    self.bump();
+                    TokenKind::Plus
+                }
+                '-' => {
+                    self.bump();
+                    TokenKind::Minus
+                }
+                '*' => {
+                    self.bump();
+                    TokenKind::Star
+                }
+                '0'..='9' => self.number(span)?,
+                c if c.is_ascii_alphabetic() || c == '_' => self.word(),
+                other => {
+                    return Err(LangError::at(
+                        Phase::Lex,
+                        span,
+                        format!("unexpected character {other:?}"),
+                    ))
+                }
+            };
+            tokens.push(Token { kind, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LangError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(LangError::at(
+                                    Phase::Lex,
+                                    start,
+                                    "unterminated block comment",
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self, span: Span) -> Result<TokenKind, LangError> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Reject adjacency like `12abc`.
+        if matches!(self.peek(), Some(c) if c.is_ascii_alphabetic() || c == '_') {
+            return Err(LangError::at(
+                Phase::Lex,
+                span,
+                format!("malformed number '{text}...': letters may not follow digits"),
+            ));
+        }
+        text.parse::<i64>()
+            .map(TokenKind::Number)
+            .map_err(|_| LangError::at(Phase::Lex, span, format!("number '{text}' overflows")))
+    }
+
+    fn word(&mut self) -> TokenKind {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match text.as_str() {
+            "let" => TokenKind::Let,
+            "borrow" => {
+                if self.peek() == Some('@') {
+                    self.bump();
+                    TokenKind::BorrowAt
+                } else {
+                    TokenKind::Borrow
+                }
+            }
+            "alloc" => TokenKind::Alloc,
+            "release" => TokenKind::Release,
+            "for" => TokenKind::For,
+            "to" => TokenKind::To,
+            "X" => TokenKind::GateX,
+            "CNOT" => TokenKind::GateCnot,
+            "CCNOT" => TokenKind::GateCcnot,
+            "MCX" => TokenKind::GateMcx,
+            "H" => TokenKind::GateH,
+            "Z" => TokenKind::GateZ,
+            "SWAP" => TokenKind::GateSwap,
+            _ => TokenKind::Ident(text),
+        }
+    }
+
+    #[allow(dead_code)]
+    fn source(&self) -> &'a str {
+        self.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declarations() {
+        assert_eq!(
+            kinds("let n = 50;"),
+            vec![
+                TokenKind::Let,
+                TokenKind::Ident("n".into()),
+                TokenKind::Equals,
+                TokenKind::Number(50),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn borrow_at_is_one_token() {
+        assert_eq!(
+            kinds("borrow@ q[n];")[0..2],
+            [TokenKind::BorrowAt, TokenKind::Ident("q".into())]
+        );
+        assert_eq!(kinds("borrow a;")[0], TokenKind::Borrow);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "// line comment\nlet /* inline */ n = 1; /* multi\nline */ X[q];";
+        let k = kinds(src);
+        assert_eq!(k[0], TokenKind::Let);
+        assert!(k.contains(&TokenKind::GateX));
+    }
+
+    #[test]
+    fn gate_keywords() {
+        assert_eq!(
+            kinds("X CNOT CCNOT MCX H Z SWAP"),
+            vec![
+                TokenKind::GateX,
+                TokenKind::GateCnot,
+                TokenKind::GateCcnot,
+                TokenKind::GateMcx,
+                TokenKind::GateH,
+                TokenKind::GateZ,
+                TokenKind::GateSwap,
+                TokenKind::Eof,
+            ]
+        );
+        // Lowercase x is an identifier, not a gate.
+        assert_eq!(kinds("x")[0], TokenKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("let n = 1;\nX[q];").unwrap();
+        let x = toks.iter().find(|t| t.kind == TokenKind::GateX).unwrap();
+        assert_eq!(x.span.line, 2);
+        assert_eq!(x.span.col, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex("let n = $;").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.span.unwrap().col, 9);
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_numbers() {
+        assert!(lex("12abc").is_err());
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        assert_eq!(
+            kinds("(n - 1) * 2 + i"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Ident("n".into()),
+                TokenKind::Minus,
+                TokenKind::Number(1),
+                TokenKind::RParen,
+                TokenKind::Star,
+                TokenKind::Number(2),
+                TokenKind::Plus,
+                TokenKind::Ident("i".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! # qb-lang
+//!
+//! The QBorrow quantum programming language (paper §4 and §10): surface
+//! syntax, elaboration, the core calculus with `borrow`/`release`, the
+//! idle-qubit analysis of Fig. 4.2, and the set-of-operations denotational
+//! semantics of Fig. 4.3.
+//!
+//! ## Two layers
+//!
+//! * **Surface language** — the restricted language the paper implements
+//!   (§10.3's ANTLR grammar): `let`, `borrow`, `borrow@`, `alloc`,
+//!   `release`, gate statements and `for` loops. [`parse`] +
+//!   [`elaborate`] turn source text into a flat circuit with per-qubit
+//!   borrow metadata, ready for the `qb-core` verifier. Extensions over
+//!   the paper's grammar (`MCX`, `H`, `Z`, `SWAP` gates) are documented in
+//!   [`ast::GateKind`].
+//! * **Core calculus** — QWhile + `borrow a; S; release a`
+//!   ([`CoreStmt`]), with measurement-guarded `if`/`while`. [`denote`]
+//!   evaluates the Fig. 4.3 semantics: a program means a *set* of quantum
+//!   operations, nondeterministic over the instantiation of borrowed
+//!   placeholders with [`idle`] qubits.
+//!
+//! # Examples
+//!
+//! ```
+//! use qb_lang::{elaborate, parse};
+//!
+//! let source = "
+//!     let n = 3;
+//!     borrow@ q[n];   // trusted dirty qubits, not verified
+//!     borrow a;       // dirty qubit that must be safely uncomputed
+//!     CCNOT[q[1], q[2], a];
+//!     CCNOT[a, q[2], q[3]];
+//!     CCNOT[q[1], q[2], a];
+//!     CCNOT[a, q[2], q[3]];
+//!     release a;
+//! ";
+//! let elaborated = elaborate(&parse(source).unwrap()).unwrap();
+//! assert_eq!(elaborated.num_qubits(), 4);
+//! assert_eq!(elaborated.qubits_to_verify(), vec![3]); // the qubit 'a'
+//! assert_eq!(elaborated.circuit.size(), 4);
+//! ```
+
+pub mod ast;
+mod core_ast;
+mod elaborate;
+mod error;
+mod idle;
+mod lexer;
+mod parser;
+mod semantics;
+mod token;
+
+pub use core_ast::{CoreGate, CoreStmt, QubitRef};
+pub use elaborate::{elaborate, ElaboratedProgram, QubitKind, RegisterInfo};
+pub use error::{LangError, Phase};
+pub use idle::idle;
+pub use lexer::lex;
+pub use parser::parse;
+pub use semantics::{denote, Denotation, SemanticsOptions};
+pub use token::{Span, Token, TokenKind};
+
+/// The adder benchmark program of the paper's Fig. 6.2 / §10.4,
+/// parameterised by the register width `n` (the paper uses `n = 50`).
+///
+/// The program borrows `q[1..n]` as trusted dirty qubits (`borrow@`,
+/// verification skipped) and `a[1..n−1]` as dirty qubits whose safe
+/// uncomputation the verifier must establish.
+pub fn adder_source(n: usize) -> String {
+    format!(
+        "// adder.qbr\n\
+         let n = {n}; // number of qubits\n\
+         borrow@ q[n]; // skip verification\n\
+         borrow a[n - 1]; // dirty qubits\n\
+         CNOT[a[n - 1], q[n]];\n\
+         for i = (n - 1) to 2 {{\n\
+           CNOT[q[i], a[i]];\n\
+           X[q[i]];\n\
+           CCNOT[a[i - 1], q[i], a[i]];\n\
+         }}\n\
+         CNOT[q[1], a[1]];\n\
+         for i = 2 to (n - 1) {{\n\
+           CCNOT[a[i - 1], q[i], a[i]];\n\
+         }}\n\
+         CNOT[a[n - 1], q[n]];\n\
+         X[q[n]];\n\
+         \n\
+         // reverse the circuit to uncompute\n\
+         for i = (n - 1) to 2 {{\n\
+           CCNOT[a[i - 1], q[i], a[i]];\n\
+         }}\n\
+         CNOT[q[1], a[1]];\n\
+         for i = 2 to (n - 1) {{\n\
+           CCNOT[a[i - 1], q[i], a[i]];\n\
+           X[q[i]];\n\
+           CNOT[q[i], a[i]];\n\
+         }}\n"
+    )
+}
+
+/// The multi-controlled-NOT benchmark program of the paper's §10.4,
+/// parameterised by `m` (the paper uses `m = 1750`, giving a
+/// `(2m−1)`-controlled NOT on `n = 2m − 1` control qubits with one
+/// borrowed dirty ancilla and `16(m−2)` Toffoli gates).
+///
+/// # Erratum reproduced faithfully to Gidney's construction
+///
+/// The paper's appendix prints the first-part ladder gates as
+/// `CCNOT[q[2i−1], q[2i+1], q[2i+2]]`, whose two odd-indexed controls do
+/// not chain the partial products deposited by `CCNOT[q[1], q[3], q[4]]`;
+/// as printed, the circuit collapses to the identity. The construction the
+/// figure cites (Gidney, *Constructing Large Controlled Nots*) chains
+/// through the even work qubits, i.e. `CCNOT[q[2i], q[2i+1], q[2i+2]]`,
+/// which is what this generator emits (the second-part ladder is correct
+/// as printed). Gate count is unchanged: `16(m−2)` Toffolis.
+///
+/// # Panics
+///
+/// Panics for `m < 4`: with the auto-direction `for` semantics required
+/// by `adder.qbr`, the ladder loop `for i = (m-2) to 2` would iterate
+/// *upwards* for `m = 3` and reference out-of-range qubits. The paper's
+/// evaluation uses `m ≥ 250`, where the loops are unambiguous.
+pub fn mcx_source(m: usize) -> String {
+    assert!(m >= 4, "the mcx benchmark requires m >= 4 (paper uses m >= 250)");
+    let ladder_a = "for i = (m - 2) to 2 {\n  CCNOT[q[2 * i], q[2 * i + 1], q[2 * i + 2]];\n}\n\
+                    CCNOT[q[1], q[3], q[4]];\n\
+                    for i = 2 to (m - 2) {\n  CCNOT[q[2 * i], q[2 * i + 1], q[2 * i + 2]];\n}\n";
+    let ladder_b = "for i = (m - 1) to 3 {\n  CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];\n}\n\
+                    CCNOT[q[2], q[4], q[5]];\n\
+                    for i = 3 to (m - 1) {\n  CCNOT[q[2 * i - 1], q[2 * i], q[2 * i + 1]];\n}\n";
+    format!(
+        "// mcx.qbr\n\
+         let m = {m};\n\
+         let n = m + (m - 1); // n-controlled NOT gate\n\
+         borrow@ q[n];\n\
+         borrow@ t;\n\
+         borrow anc;\n\
+         \n\
+         // first part\n\
+         CCNOT[q[n - 1], q[n], anc];\n\
+         {ladder_a}\
+         CCNOT[q[n - 1], q[n], anc];\n\
+         {ladder_a}\
+         \n\
+         // second part\n\
+         CCNOT[q[n], anc, t];\n\
+         {ladder_b}\
+         CCNOT[q[n], anc, t];\n\
+         {ladder_b}\
+         \n\
+         // third part\n\
+         CCNOT[q[n - 1], q[n], anc];\n\
+         {ladder_a}\
+         CCNOT[q[n - 1], q[n], anc];\n\
+         {ladder_a}\
+         \n\
+         // fourth part\n\
+         CCNOT[q[n], anc, t];\n\
+         {ladder_b}\
+         CCNOT[q[n], anc, t];\n\
+         release anc;\n\
+         {ladder_b}"
+    )
+}
+
+#[cfg(test)]
+mod integration_tests {
+    use super::*;
+
+    #[test]
+    fn adder_program_elaborates() {
+        let e = elaborate(&parse(&adder_source(8)).unwrap()).unwrap();
+        // q[1..8] + a[1..7]
+        assert_eq!(e.num_qubits(), 15);
+        // a-qubits are the verification targets.
+        assert_eq!(e.qubits_to_verify(), (8..15).collect::<Vec<_>>());
+        assert!(e.circuit.is_classical());
+        // Gate count: forward = 1 + 3(n−2) + 1 + (n−2) + 2,
+        // reverse = (n−2) + 1 + 3(n−2).
+        let n = 8;
+        let expected = 1 + 3 * (n - 2) + 1 + (n - 2) + 2 + (n - 2) + 1 + 3 * (n - 2);
+        assert_eq!(e.circuit.size(), expected);
+    }
+
+    #[test]
+    fn adder_is_identity_on_dirty_qubits_classically() {
+        use qb_circuit::{simulate_classical, BitState};
+        let n = 6;
+        let e = elaborate(&parse(&adder_source(n)).unwrap()).unwrap();
+        let width = e.num_qubits();
+        for trial in 0..(1u64 << width) {
+            let input = BitState::from_value(width, trial);
+            let output = simulate_classical(&e.circuit, &input).unwrap();
+            // a-qubits (indices n..width) and q[1..n-1] are restored.
+            for a in n..width {
+                assert_eq!(output.get(a), input.get(a), "dirty qubit {a} not restored");
+            }
+            for q in 0..n - 1 {
+                assert_eq!(output.get(q), input.get(q));
+            }
+            // q[n] := q[n] ⊕ carry ⊕ 1 where carry is the carry-out of
+            // s + (11…1)₂ with s = q[1..n−1] (cf. §6.2 of the paper).
+            let s: u64 = (0..n - 1).map(|i| (input.get(i) as u64) << i).sum();
+            let sum = s + ((1 << (n - 1)) - 1);
+            let carry = (sum >> (n - 1)) & 1 == 1;
+            let expected = input.get(n - 1) ^ carry ^ true;
+            assert_eq!(output.get(n - 1), expected, "input {trial:b}");
+        }
+    }
+
+    #[test]
+    fn mcx_program_elaborates_with_expected_counts() {
+        let m = 5;
+        let e = elaborate(&parse(&mcx_source(m)).unwrap()).unwrap();
+        // q[1..2m-1], t, anc.
+        assert_eq!(e.num_qubits(), 2 * m - 1 + 2);
+        // Only `anc` requires verification (q and t are borrow@).
+        assert_eq!(e.qubits_to_verify(), vec![2 * m]);
+        // The paper reports 16(m−2) Toffoli gates.
+        assert_eq!(e.circuit.size(), 16 * (m - 2));
+        assert!(e.circuit.is_classical());
+    }
+
+    #[test]
+    fn mcx_program_implements_multi_controlled_not() {
+        use qb_circuit::{simulate_classical, BitState};
+        let m = 4;
+        let e = elaborate(&parse(&mcx_source(m)).unwrap()).unwrap();
+        let width = e.num_qubits();
+        let n_controls = 2 * m - 1;
+        let t_index = n_controls; // t follows q[1..n]
+        let anc_index = n_controls + 1;
+        for trial in 0..(1u64 << width) {
+            let input = BitState::from_value(width, trial);
+            let output = simulate_classical(&e.circuit, &input).unwrap();
+            let all_controls = (0..n_controls).all(|q| input.get(q));
+            // Controls and the ancilla are restored.
+            for q in 0..n_controls {
+                assert_eq!(output.get(q), input.get(q));
+            }
+            assert_eq!(output.get(anc_index), input.get(anc_index));
+            // Target flips exactly when all controls are 1.
+            assert_eq!(output.get(t_index), input.get(t_index) ^ all_controls);
+        }
+    }
+
+    #[test]
+    fn stuck_program_has_empty_denotation() {
+        let s = CoreStmt::Borrow {
+            placeholder: "a".into(),
+            body: Box::new(CoreStmt::Seq(vec![
+                CoreStmt::Gate(CoreGate::Cnot(
+                    QubitRef::Concrete(0),
+                    QubitRef::Placeholder("a".into()),
+                )),
+                CoreStmt::Gate(CoreGate::X(QubitRef::Concrete(1))),
+            ])),
+        };
+        let d = denote(&s, 2, &SemanticsOptions::default()).unwrap();
+        assert!(d.is_stuck());
+    }
+}

@@ -1,0 +1,369 @@
+//! Recursive-descent parser for the QBorrow grammar (paper §10.3).
+//!
+//! The grammar is LL(1) except for the `reg` production, which needs one
+//! token of lookahead after an identifier to distinguish `ID` from
+//! `ID '[' expr ']'`.
+
+use crate::ast::{Expr, GateKind, Program, RegRef, Stmt};
+use crate::error::{LangError, Phase};
+use crate::lexer::lex;
+use crate::token::{Span, Token, TokenKind};
+
+/// Parses QBorrow source text into an AST.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error with its position.
+///
+/// # Examples
+///
+/// ```
+/// use qb_lang::parse;
+/// let program = parse("let n = 2;\nborrow a[n];\nX[a[1]];\nrelease a;").unwrap();
+/// assert_eq!(program.statements.len(), 4);
+/// ```
+pub fn parse(source: &str) -> Result<Program, LangError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, LangError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&format!("expected {}", kind.describe())))
+        }
+    }
+
+    fn unexpected(&self, context: &str) -> LangError {
+        let t = self.peek();
+        LangError::at(
+            Phase::Parse,
+            t.span,
+            format!("{context}, found {}", t.kind.describe()),
+        )
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), LangError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                let span = self.peek().span;
+                self.bump();
+                Ok((name, span))
+            }
+            _ => Err(self.unexpected("expected an identifier")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        let mut statements = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            statements.push(self.statement()?);
+        }
+        if statements.is_empty() {
+            return Err(LangError::at(
+                Phase::Parse,
+                self.peek().span,
+                "a program must contain at least one statement",
+            ));
+        }
+        Ok(Program { statements })
+    }
+
+    fn statement(&mut self) -> Result<Stmt, LangError> {
+        let span = self.peek().span;
+        match self.peek().kind.clone() {
+            TokenKind::Let => {
+                self.bump();
+                let (name, _) = self.ident()?;
+                self.expect(&TokenKind::Equals)?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Let { name, value, span })
+            }
+            TokenKind::Borrow => {
+                self.bump();
+                let reg = self.reg()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Borrow { reg, span })
+            }
+            TokenKind::BorrowAt => {
+                self.bump();
+                let reg = self.reg()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::BorrowTrusted { reg, span })
+            }
+            TokenKind::Alloc => {
+                self.bump();
+                let reg = self.reg()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Alloc { reg, span })
+            }
+            TokenKind::Release => {
+                self.bump();
+                let (name, _) = self.ident()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Release { name, span })
+            }
+            TokenKind::GateX => self.gate(GateKind::X, span),
+            TokenKind::GateCnot => self.gate(GateKind::Cnot, span),
+            TokenKind::GateCcnot => self.gate(GateKind::Ccnot, span),
+            TokenKind::GateMcx => self.gate(GateKind::Mcx, span),
+            TokenKind::GateH => self.gate(GateKind::H, span),
+            TokenKind::GateZ => self.gate(GateKind::Z, span),
+            TokenKind::GateSwap => self.gate(GateKind::Swap, span),
+            TokenKind::For => {
+                self.bump();
+                let (var, _) = self.ident()?;
+                self.expect(&TokenKind::Equals)?;
+                let start = self.expr()?;
+                self.expect(&TokenKind::To)?;
+                let end = self.expr()?;
+                self.expect(&TokenKind::LBrace)?;
+                let mut body = Vec::new();
+                while self.peek().kind != TokenKind::RBrace {
+                    if self.peek().kind == TokenKind::Eof {
+                        return Err(self.unexpected("expected '}' to close the for body"));
+                    }
+                    body.push(self.statement()?);
+                }
+                self.expect(&TokenKind::RBrace)?;
+                Ok(Stmt::For {
+                    var,
+                    start,
+                    end,
+                    body,
+                    span,
+                })
+            }
+            _ => Err(self.unexpected("expected a statement")),
+        }
+    }
+
+    fn gate(&mut self, kind: GateKind, span: Span) -> Result<Stmt, LangError> {
+        self.bump(); // the gate keyword
+        self.expect(&TokenKind::LBracket)?;
+        let mut args = vec![self.reg()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            args.push(self.reg()?);
+        }
+        self.expect(&TokenKind::RBracket)?;
+        self.expect(&TokenKind::Semi)?;
+        if let Some(expected) = kind.arity() {
+            if args.len() != expected {
+                return Err(LangError::at(
+                    Phase::Parse,
+                    span,
+                    format!(
+                        "{} takes {} operand(s), found {}",
+                        kind.keyword(),
+                        expected,
+                        args.len()
+                    ),
+                ));
+            }
+        } else if args.len() < 2 {
+            return Err(LangError::at(
+                Phase::Parse,
+                span,
+                "MCX needs at least one control and a target",
+            ));
+        }
+        Ok(Stmt::Gate { kind, args, span })
+    }
+
+    fn reg(&mut self) -> Result<RegRef, LangError> {
+        let (name, span) = self.ident()?;
+        let index = if self.peek().kind == TokenKind::LBracket {
+            self.bump();
+            let e = self.expr()?;
+            self.expect(&TokenKind::RBracket)?;
+            Some(e)
+        } else {
+            None
+        };
+        Ok(RegRef { name, index, span })
+    }
+
+    /// expr: term (('+'|'-') term)* with unary sign before the first term.
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = match self.peek().kind {
+            TokenKind::Minus => {
+                self.bump();
+                Expr::Neg(Box::new(self.term()?))
+            }
+            TokenKind::Plus => {
+                self.bump();
+                self.term()?
+            }
+            _ => self.term()?,
+        };
+        loop {
+            match self.peek().kind {
+                TokenKind::Plus => {
+                    self.bump();
+                    let rhs = self.term()?;
+                    lhs = Expr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                TokenKind::Minus => {
+                    self.bump();
+                    let rhs = self.term()?;
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    /// term: factor ('*' factor)*
+    fn term(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.factor()?;
+        while self.peek().kind == TokenKind::Star {
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Expr::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// factor: NUMBER | ID | '(' expr ')'
+    fn factor(&mut self) -> Result<Expr, LangError> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Expr::Number(n))
+            }
+            TokenKind::Ident(name) => {
+                let span = self.peek().span;
+                self.bump();
+                Ok(Expr::Var(name, span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            _ => Err(self.unexpected("expected a number, identifier or '('")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_adder_preamble() {
+        let src = "\
+            let n = 50;\n\
+            borrow@ q[n];\n\
+            borrow a[n - 1];\n\
+            CNOT[a[n - 1], q[n]];\n\
+            for i = (n - 1) to 2 {\n\
+                CNOT[q[i], a[i]];\n\
+                X[q[i]];\n\
+                CCNOT[a[i - 1], q[i], a[i]];\n\
+            }\n";
+        let p = parse(src).unwrap();
+        assert_eq!(p.statements.len(), 5);
+        match &p.statements[4] {
+            Stmt::For { var, body, .. } => {
+                assert_eq!(var, "i");
+                assert_eq!(body.len(), 3);
+            }
+            s => panic!("expected for, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_arity_is_checked() {
+        assert!(parse("borrow a; X[a, a];").is_err());
+        assert!(parse("borrow a; CNOT[a];").is_err());
+        assert!(parse("borrow a; CCNOT[a, a];").is_err());
+        assert!(parse("borrow a; MCX[a];").is_err());
+    }
+
+    #[test]
+    fn mcx_is_variadic() {
+        let p = parse("borrow@ q[9]; MCX[q[1], q[2], q[3], q[4]];").unwrap();
+        match &p.statements[1] {
+            Stmt::Gate { kind, args, .. } => {
+                assert_eq!(*kind, GateKind::Mcx);
+                assert_eq!(args.len(), 4);
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let p = parse("let x = 1 + 2 * 3 - 4;").unwrap();
+        match &p.statements[0] {
+            Stmt::Let { value, .. } => {
+                assert_eq!(value.to_string(), "((1 + (2 * 3)) - 4)");
+            }
+            s => panic!("unexpected {s:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus() {
+        let p = parse("let x = -3 + 1;").unwrap();
+        match &p.statements[0] {
+            Stmt::Let { value, .. } => assert_eq!(value.to_string(), "(-(3) + 1)"),
+            s => panic!("unexpected {s:?}"),
+        }
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("let n = ;").unwrap_err();
+        assert_eq!(err.span.unwrap().col, 9);
+        let err = parse("for i = 1 to 2 { X[a];").unwrap_err();
+        assert!(err.message.contains("'}'"));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("// only a comment").is_err());
+    }
+
+    #[test]
+    fn nested_for_loops() {
+        let p = parse("for i = 1 to 3 { for j = i to 1 { X[a]; } }").unwrap();
+        match &p.statements[0] {
+            Stmt::For { body, .. } => match &body[0] {
+                Stmt::For { body, .. } => assert_eq!(body.len(), 1),
+                s => panic!("unexpected inner {s:?}"),
+            },
+            s => panic!("unexpected {s:?}"),
+        }
+    }
+
+    #[test]
+    fn release_parses() {
+        let p = parse("borrow anc; release anc;").unwrap();
+        assert!(matches!(&p.statements[1], Stmt::Release { name, .. } if name == "anc"));
+    }
+}

@@ -1,0 +1,504 @@
+//! Denotational semantics of QBorrow — the paper's Fig. 4.3.
+//!
+//! A program denotes a *set* of quantum operations over the machine's
+//! `n`-qubit state space:
+//!
+//! * primitive statements denote singletons;
+//! * sequencing composes every pair of choices;
+//! * `if` combines measurement branches by summation (probabilistic), but
+//!   unions over the branch schedulers (nondeterministic);
+//! * `while` sums the series `Σₖ E_F ∘ (E ∘ E_T)ᵏ`;
+//! * `borrow a; S; release a` unions over every idle qubit instantiation
+//!   `S[q/a]` — the single source of nondeterminism.
+//!
+//! Operations are represented as dense superoperators (`qb_sim::SuperOp`)
+//! so that set membership and deduplication are decidable.
+//!
+//! ## Scheduler restriction (documented deviation)
+//!
+//! For `while` loops the paper ranges over arbitrary infinite scheduler
+//! sequences `Ē ∈ ⟦S⟧^ℕ`; this implementation enumerates *per-iteration
+//! constant* schedulers (the same choice every iteration). The restriction
+//! is exact whenever the loop body is deterministic (`|⟦body⟧| = 1`) —
+//! which by Theorem 5.5 covers every *safe* program — and a conservative
+//! under-approximation otherwise. [`Denotation::scheduler_restricted`]
+//! reports when the restriction was exercised.
+
+use crate::core_ast::{CoreStmt, QubitRef};
+use crate::error::{LangError, Phase};
+use crate::idle::idle;
+use qb_sim::{Channel, Measurement, SuperOp};
+
+/// Tunables for semantics evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SemanticsOptions {
+    /// Maximum size of a denotation set before evaluation aborts.
+    pub max_channels: usize,
+    /// Iteration cap for `while` fixpoints.
+    pub while_max_iters: usize,
+    /// Convergence threshold: iteration stops when a term's norm drops
+    /// below this value.
+    pub while_tolerance: f64,
+    /// Tolerance used when deduplicating equal operations.
+    pub dedup_tolerance: f64,
+}
+
+impl Default for SemanticsOptions {
+    fn default() -> Self {
+        SemanticsOptions {
+            max_channels: 256,
+            while_max_iters: 512,
+            while_tolerance: 1e-10,
+            dedup_tolerance: 1e-8,
+        }
+    }
+}
+
+/// The meaning of a program: a set of quantum operations.
+#[derive(Debug, Clone)]
+pub struct Denotation {
+    /// The distinct operations in `⟦S⟧` (empty = the program is *stuck*:
+    /// some `borrow` found no idle qubit).
+    pub operations: Vec<SuperOp>,
+    /// `true` when a nondeterministic loop body forced the documented
+    /// constant-scheduler restriction.
+    pub scheduler_restricted: bool,
+}
+
+impl Denotation {
+    /// `|⟦S⟧| = 0`: no execution exists (stuck on `borrow`).
+    pub fn is_stuck(&self) -> bool {
+        self.operations.is_empty()
+    }
+
+    /// `|⟦S⟧| ≤ 1`: the program is equivalent to a deterministic program
+    /// (Theorem 5.5's criterion).
+    pub fn is_deterministic(&self) -> bool {
+        self.operations.len() <= 1
+    }
+
+    fn singleton(op: SuperOp) -> Denotation {
+        Denotation {
+            operations: vec![op],
+            scheduler_restricted: false,
+        }
+    }
+}
+
+/// Evaluates `⟦stmt⟧` over an `n`-qubit machine.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] when the statement is ill-formed (unbound
+/// placeholders), when `n` exceeds the dense-superoperator limit, or when
+/// the denotation set exceeds [`SemanticsOptions::max_channels`].
+///
+/// # Examples
+///
+/// ```
+/// use qb_lang::{denote, CoreGate, CoreStmt, QubitRef, SemanticsOptions};
+///
+/// // borrow a; X[q0]; X[a]; release a — on a 2-qubit machine the only
+/// // idle qubit is q1, so the denotation is a singleton.
+/// let s = CoreStmt::Borrow {
+///     placeholder: "a".into(),
+///     body: Box::new(CoreStmt::Seq(vec![
+///         CoreStmt::Gate(CoreGate::X(QubitRef::Concrete(0))),
+///         CoreStmt::Gate(CoreGate::X(QubitRef::Placeholder("a".into()))),
+///     ])),
+/// };
+/// let d = denote(&s, 2, &SemanticsOptions::default()).unwrap();
+/// assert_eq!(d.operations.len(), 1);
+/// ```
+pub fn denote(
+    stmt: &CoreStmt,
+    n: usize,
+    opts: &SemanticsOptions,
+) -> Result<Denotation, LangError> {
+    stmt.check_wellformed()
+        .map_err(|m| LangError::new(Phase::Semantics, m))?;
+    if n > 6 {
+        return Err(LangError::new(
+            Phase::Semantics,
+            format!("denotational semantics limited to 6 qubits, got {n}"),
+        ));
+    }
+    eval(stmt, n, opts)
+}
+
+fn concrete(r: &QubitRef) -> Result<usize, LangError> {
+    r.concrete().ok_or_else(|| {
+        LangError::new(
+            Phase::Semantics,
+            format!("placeholder '{r}' survived to evaluation"),
+        )
+    })
+}
+
+fn dedup(mut ops: Vec<SuperOp>, tol: f64) -> Vec<SuperOp> {
+    let mut kept: Vec<SuperOp> = Vec::new();
+    for op in ops.drain(..) {
+        if !kept.iter().any(|k| k.approx_eq(&op, tol)) {
+            kept.push(op);
+        }
+    }
+    kept
+}
+
+fn eval(stmt: &CoreStmt, n: usize, opts: &SemanticsOptions) -> Result<Denotation, LangError> {
+    match stmt {
+        CoreStmt::Skip => Ok(Denotation::singleton(SuperOp::identity(n))),
+        CoreStmt::Init(r) => {
+            let q = concrete(r)?;
+            Ok(Denotation::singleton(SuperOp::from_channel(
+                &Channel::init_qubit(n, q),
+            )))
+        }
+        CoreStmt::Gate(g) => {
+            let gate = g
+                .to_gate()
+                .map_err(|m| LangError::new(Phase::Semantics, m))?;
+            gate.validate(n)
+                .map_err(|m| LangError::new(Phase::Semantics, m))?;
+            Ok(Denotation::singleton(SuperOp::from_channel(
+                &Channel::from_gate(n, &gate),
+            )))
+        }
+        CoreStmt::Seq(parts) => {
+            let mut acc = Denotation::singleton(SuperOp::identity(n));
+            for part in parts {
+                let next = eval(part, n, opts)?;
+                acc.scheduler_restricted |= next.scheduler_restricted;
+                let mut combined = Vec::with_capacity(acc.operations.len() * next.operations.len());
+                for a in &acc.operations {
+                    for b in &next.operations {
+                        combined.push(a.then(b));
+                    }
+                }
+                acc.operations = dedup(combined, opts.dedup_tolerance);
+                if acc.operations.len() > opts.max_channels {
+                    return Err(LangError::new(
+                        Phase::Semantics,
+                        format!(
+                            "denotation exceeded {} operations; raise max_channels",
+                            opts.max_channels
+                        ),
+                    ));
+                }
+            }
+            Ok(acc)
+        }
+        CoreStmt::If {
+            qubit,
+            then_branch,
+            else_branch,
+        } => {
+            let q = concrete(qubit)?;
+            let m = Measurement::basis(n, q);
+            let e_t = SuperOp::from_channel(&Channel::measurement_branch(n, &m, true));
+            let e_f = SuperOp::from_channel(&Channel::measurement_branch(n, &m, false));
+            let d1 = eval(then_branch, n, opts)?;
+            let d2 = eval(else_branch, n, opts)?;
+            let mut ops = Vec::with_capacity(d1.operations.len() * d2.operations.len());
+            for e1 in &d1.operations {
+                for e2 in &d2.operations {
+                    ops.push(e_t.then(e1).plus(&e_f.then(e2)));
+                }
+            }
+            Ok(Denotation {
+                operations: dedup(ops, opts.dedup_tolerance),
+                scheduler_restricted: d1.scheduler_restricted || d2.scheduler_restricted,
+            })
+        }
+        CoreStmt::While { qubit, body } => {
+            let q = concrete(qubit)?;
+            let m = Measurement::basis(n, q);
+            let e_t = SuperOp::from_channel(&Channel::measurement_branch(n, &m, true));
+            let e_f = SuperOp::from_channel(&Channel::measurement_branch(n, &m, false));
+            let d_body = eval(body, n, opts)?;
+            if d_body.is_stuck() {
+                // A stuck body means no scheduler can complete an iteration;
+                // the only execution never enters the loop... entering the
+                // loop requires running the body, so the denotation is the
+                // immediate-exit branch alone only if the loop never fires —
+                // which cannot be guaranteed for all states, so ⟦S⟧ = ∅.
+                return Ok(Denotation {
+                    operations: Vec::new(),
+                    scheduler_restricted: d_body.scheduler_restricted,
+                });
+            }
+            let restricted = d_body.operations.len() > 1;
+            let mut ops = Vec::with_capacity(d_body.operations.len());
+            for e_body in &d_body.operations {
+                // Σ_{k≥0} E_F ∘ (E_body ∘ E_T)^k, with a constant scheduler.
+                let step = e_t.then(e_body); // applied rightmost-first
+                let mut term = e_f.clone(); // k = 0
+                let mut total = term.clone();
+                let mut converged = false;
+                for _ in 0..opts.while_max_iters {
+                    term = step.then(&term);
+                    if term.norm() < opts.while_tolerance {
+                        converged = true;
+                        break;
+                    }
+                    total = total.plus(&term);
+                }
+                if !converged {
+                    // The tail was truncated; the result is the limit of the
+                    // non-decreasing prefix sums up to the iteration cap.
+                    // This is reported rather than silently accepted.
+                    return Err(LangError::new(
+                        Phase::Semantics,
+                        format!(
+                            "while loop did not converge within {} iterations",
+                            opts.while_max_iters
+                        ),
+                    ));
+                }
+                ops.push(total);
+            }
+            Ok(Denotation {
+                operations: dedup(ops, opts.dedup_tolerance),
+                scheduler_restricted: d_body.scheduler_restricted || restricted,
+            })
+        }
+        CoreStmt::Borrow { placeholder, body } => {
+            let candidates = idle(body, n);
+            let mut ops = Vec::new();
+            let mut restricted = false;
+            for q in candidates {
+                let inst = body.substitute(placeholder, q);
+                let d = eval(&inst, n, opts)?;
+                restricted |= d.scheduler_restricted;
+                ops.extend(d.operations);
+                if ops.len() > opts.max_channels {
+                    return Err(LangError::new(
+                        Phase::Semantics,
+                        format!(
+                            "denotation exceeded {} operations; raise max_channels",
+                            opts.max_channels
+                        ),
+                    ));
+                }
+            }
+            Ok(Denotation {
+                operations: dedup(ops, opts.dedup_tolerance),
+                scheduler_restricted: restricted,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_ast::CoreGate;
+    use qb_circuit::Circuit;
+    use qb_sim::{Channel, DensityMatrix, StateVector};
+
+    fn cq(q: usize) -> QubitRef {
+        QubitRef::Concrete(q)
+    }
+
+    fn ph(name: &str) -> QubitRef {
+        QubitRef::Placeholder(name.into())
+    }
+
+    fn opts() -> SemanticsOptions {
+        SemanticsOptions::default()
+    }
+
+    #[test]
+    fn skip_is_identity() {
+        let d = denote(&CoreStmt::Skip, 2, &opts()).unwrap();
+        assert_eq!(d.operations.len(), 1);
+        assert!(d.operations[0].approx_eq(&SuperOp::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn sequencing_composes() {
+        let s = CoreStmt::Seq(vec![
+            CoreStmt::Gate(CoreGate::X(cq(0))),
+            CoreStmt::Gate(CoreGate::X(cq(0))),
+        ]);
+        let d = denote(&s, 1, &opts()).unwrap();
+        assert_eq!(d.operations.len(), 1);
+        assert!(d.operations[0].approx_eq(&SuperOp::identity(1), 1e-10));
+    }
+
+    #[test]
+    fn if_measures_and_branches() {
+        // if M[q0] then X[q1] else skip — on |1⟩|0⟩ flips q1.
+        let s = CoreStmt::If {
+            qubit: cq(0),
+            then_branch: Box::new(CoreStmt::Gate(CoreGate::X(cq(1)))),
+            else_branch: Box::new(CoreStmt::Skip),
+        };
+        let d = denote(&s, 2, &opts()).unwrap();
+        assert_eq!(d.operations.len(), 1);
+        let op = &d.operations[0];
+        let rho = DensityMatrix::from_pure(&StateVector::from_bits(&[true, false]));
+        let out = op.apply(&rho);
+        assert!((out.probability_of_one(1) - 1.0).abs() < 1e-10);
+        // On |0⟩|0⟩ nothing happens.
+        let rho0 = DensityMatrix::from_pure(&StateVector::zero(2));
+        let out0 = op.apply(&rho0);
+        assert!(out0.probability_of_one(1).abs() < 1e-10);
+        // Trace preserved in both cases.
+        assert!((out.trace() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn while_terminates_on_classical_state() {
+        // while M[q0] do X[q0] end: from |1⟩, one iteration flips to |0⟩.
+        let s = CoreStmt::While {
+            qubit: cq(0),
+            body: Box::new(CoreStmt::Gate(CoreGate::X(cq(0)))),
+        };
+        let d = denote(&s, 1, &opts()).unwrap();
+        assert_eq!(d.operations.len(), 1);
+        let op = &d.operations[0];
+        let rho = DensityMatrix::from_pure(&StateVector::basis(1, 1));
+        let out = op.apply(&rho);
+        assert!((out.trace() - 1.0).abs() < 1e-9);
+        assert!(out.probability_of_one(0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn while_on_superposition_converges() {
+        // while M[q0] do H[q0] end: measuring |+⟩ loops with probability
+        // 1/2 each round; terminates almost surely.
+        let s = CoreStmt::Seq(vec![
+            CoreStmt::Gate(CoreGate::H(cq(0))),
+            CoreStmt::While {
+                qubit: cq(0),
+                body: Box::new(CoreStmt::Gate(CoreGate::H(cq(0)))),
+            },
+        ]);
+        let d = denote(&s, 1, &opts()).unwrap();
+        let op = &d.operations[0];
+        let rho = DensityMatrix::from_pure(&StateVector::zero(1));
+        let out = op.apply(&rho);
+        assert!((out.trace() - 1.0).abs() < 1e-6);
+        assert!(out.probability_of_one(0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn borrow_unions_over_idle_qubits() {
+        // borrow a; X[a] — with 2 qubits and empty remaining program, both
+        // qubits are idle, giving two distinct operations.
+        let s = CoreStmt::Borrow {
+            placeholder: "a".into(),
+            body: Box::new(CoreStmt::Gate(CoreGate::X(ph("a")))),
+        };
+        let d = denote(&s, 2, &opts()).unwrap();
+        assert_eq!(d.operations.len(), 2);
+        assert!(!d.is_deterministic());
+    }
+
+    #[test]
+    fn borrow_of_safe_body_is_deterministic() {
+        // borrow a; X[a]; X[a] — identity on a, so all instantiations
+        // coincide (Theorem 5.5 direction ⇒).
+        let s = CoreStmt::Borrow {
+            placeholder: "a".into(),
+            body: Box::new(CoreStmt::Seq(vec![
+                CoreStmt::Gate(CoreGate::X(ph("a"))),
+                CoreStmt::Gate(CoreGate::X(ph("a"))),
+            ])),
+        };
+        let d = denote(&s, 3, &opts()).unwrap();
+        assert!(d.is_deterministic());
+        assert!(d.operations[0].approx_eq(&SuperOp::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn borrow_with_no_idle_qubit_is_stuck() {
+        // borrow a; CNOT[q0, a] on a 1-qubit machine: idle = ∅.
+        let s = CoreStmt::Borrow {
+            placeholder: "a".into(),
+            body: Box::new(CoreStmt::Gate(CoreGate::Cnot(cq(0), ph("a")))),
+        };
+        let d = denote(&s, 1, &opts()).unwrap();
+        assert!(d.is_stuck());
+    }
+
+    #[test]
+    fn fig_4_4_nested_borrows_are_deterministic() {
+        // The paper's Fig. 4.4 program on five qubits: q3 (index 2) is the
+        // only idle qubit for both borrows, and the program is safe, so
+        // ⟦S⟧ is a singleton equal to the circuit of Fig. 3.1c.
+        let a1 = || ph("a1");
+        let a2 = || ph("a2");
+        let s1_tail = CoreStmt::Borrow {
+            placeholder: "a2".into(),
+            body: Box::new(CoreStmt::Seq(vec![
+                CoreStmt::Gate(CoreGate::Toffoli(cq(3), cq(4), cq(1))),
+                CoreStmt::Gate(CoreGate::Toffoli(a2(), cq(1), cq(0))),
+                CoreStmt::Gate(CoreGate::Toffoli(cq(3), cq(4), cq(1))),
+                CoreStmt::Gate(CoreGate::Toffoli(a2(), cq(1), cq(0))),
+            ])),
+        };
+        let s = CoreStmt::Seq(vec![
+            CoreStmt::Gate(CoreGate::Cnot(cq(1), cq(2))),
+            CoreStmt::Borrow {
+                placeholder: "a1".into(),
+                body: Box::new(CoreStmt::Seq(vec![
+                    CoreStmt::Gate(CoreGate::Toffoli(cq(0), cq(1), a1())),
+                    CoreStmt::Gate(CoreGate::Toffoli(a1(), cq(3), cq(4))),
+                    CoreStmt::Gate(CoreGate::Toffoli(cq(0), cq(1), a1())),
+                    CoreStmt::Gate(CoreGate::Toffoli(a1(), cq(3), cq(4))),
+                    s1_tail,
+                ])),
+            },
+        ]);
+        let d = denote(&s, 5, &opts()).unwrap();
+        assert!(d.is_deterministic());
+        assert!(!d.is_stuck());
+
+        // Expected: the concrete circuit with q3 (index 2) borrowed twice.
+        let mut expect = Circuit::new(5);
+        expect
+            .cnot(1, 2)
+            .toffoli(0, 1, 2)
+            .toffoli(2, 3, 4)
+            .toffoli(0, 1, 2)
+            .toffoli(2, 3, 4)
+            .toffoli(3, 4, 1)
+            .toffoli(2, 1, 0)
+            .toffoli(3, 4, 1)
+            .toffoli(2, 1, 0);
+        let expected_op = SuperOp::from_channel(&Channel::from_circuit(&expect));
+        assert!(d.operations[0].approx_eq(&expected_op, 1e-8));
+    }
+
+    #[test]
+    fn example_5_2_unsafe_borrow() {
+        // S ≡ X[q]; borrow a; X[q]; X[a]; release a (paper Example 5.2).
+        // The borrow is unsafe, so with ≥ 2 idle candidates the denotation
+        // has several elements.
+        let s = CoreStmt::Seq(vec![
+            CoreStmt::Gate(CoreGate::X(cq(0))),
+            CoreStmt::Borrow {
+                placeholder: "a".into(),
+                body: Box::new(CoreStmt::Seq(vec![
+                    CoreStmt::Gate(CoreGate::X(cq(0))),
+                    CoreStmt::Gate(CoreGate::X(ph("a"))),
+                ])),
+            },
+        ]);
+        let d = denote(&s, 3, &opts()).unwrap();
+        assert_eq!(d.operations.len(), 2);
+    }
+
+    #[test]
+    fn unbound_placeholder_is_rejected() {
+        let s = CoreStmt::Gate(CoreGate::X(ph("ghost")));
+        assert!(denote(&s, 1, &opts()).is_err());
+    }
+
+    #[test]
+    fn too_many_qubits_rejected() {
+        assert!(denote(&CoreStmt::Skip, 7, &opts()).is_err());
+    }
+}

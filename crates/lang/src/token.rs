@@ -1,0 +1,128 @@
+//! Tokens and source positions for the QBorrow surface language.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Lexical token kinds, mirroring the ANTLR grammar of the paper's §10.3
+/// (plus the documented gate extensions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `let`
+    Let,
+    /// `borrow`
+    Borrow,
+    /// `borrow@`
+    BorrowAt,
+    /// `alloc`
+    Alloc,
+    /// `release`
+    Release,
+    /// `for`
+    For,
+    /// `to`
+    To,
+    /// `X`
+    GateX,
+    /// `CNOT`
+    GateCnot,
+    /// `CCNOT`
+    GateCcnot,
+    /// `MCX` (extension)
+    GateMcx,
+    /// `H` (extension)
+    GateH,
+    /// `Z` (extension)
+    GateZ,
+    /// `SWAP` (extension)
+    GateSwap,
+    /// An identifier.
+    Ident(String),
+    /// An unsigned integer literal.
+    Number(i64),
+    /// `=`
+    Equals,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short printable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Let => "'let'".into(),
+            TokenKind::Borrow => "'borrow'".into(),
+            TokenKind::BorrowAt => "'borrow@'".into(),
+            TokenKind::Alloc => "'alloc'".into(),
+            TokenKind::Release => "'release'".into(),
+            TokenKind::For => "'for'".into(),
+            TokenKind::To => "'to'".into(),
+            TokenKind::GateX => "'X'".into(),
+            TokenKind::GateCnot => "'CNOT'".into(),
+            TokenKind::GateCcnot => "'CCNOT'".into(),
+            TokenKind::GateMcx => "'MCX'".into(),
+            TokenKind::GateH => "'H'".into(),
+            TokenKind::GateZ => "'Z'".into(),
+            TokenKind::GateSwap => "'SWAP'".into(),
+            TokenKind::Ident(name) => format!("identifier '{name}'"),
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::Equals => "'='".into(),
+            TokenKind::Semi => "';'".into(),
+            TokenKind::Comma => "','".into(),
+            TokenKind::LBracket => "'['".into(),
+            TokenKind::RBracket => "']'".into(),
+            TokenKind::LParen => "'('".into(),
+            TokenKind::RParen => "')'".into(),
+            TokenKind::LBrace => "'{'".into(),
+            TokenKind::RBrace => "'}'".into(),
+            TokenKind::Plus => "'+'".into(),
+            TokenKind::Minus => "'-'".into(),
+            TokenKind::Star => "'*'".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind (and payload, for identifiers/numbers).
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub span: Span,
+}

@@ -1,0 +1,92 @@
+//! # qb-linalg
+//!
+//! Dense complex linear algebra sized for few-qubit quantum semantics.
+//!
+//! This crate is the numeric substrate of the QBorrow reproduction: the
+//! denotational semantics of quantum programs (density operators, quantum
+//! operations, superoperators) is expressed over [`Complex`] scalars and
+//! dense [`Matrix`] values. It is intentionally dependency-free and small —
+//! the exhaustive checkers only ever touch systems of at most a handful of
+//! qubits, where dense algebra is both the simplest and the most auditable
+//! representation.
+//!
+//! # Examples
+//!
+//! ```
+//! use qb_linalg::{Complex, Matrix};
+//!
+//! // Build the Bell state (|00> + |11>)/√2 via H ⊗ I then CNOT.
+//! let h = Matrix::hadamard().kron(&Matrix::identity(2));
+//! let cnot = Matrix::permutation(&[0, 1, 3, 2]);
+//! let mut v = vec![Complex::ZERO; 4];
+//! v[0] = Complex::ONE;
+//! let bell = cnot.mul_vec(&h.mul_vec(&v));
+//! assert!(bell[0].approx_eq(Complex::real(1.0 / 2f64.sqrt()), 1e-12));
+//! assert!(bell[3].approx_eq(Complex::real(1.0 / 2f64.sqrt()), 1e-12));
+//! ```
+
+mod complex;
+mod matrix;
+
+pub use complex::Complex;
+pub use matrix::Matrix;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_complex() -> impl Strategy<Value = Complex> {
+        (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex::new(re, im))
+    }
+
+    fn arb_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(arb_complex(), n * n)
+            .prop_map(move |data| Matrix::from_rows(n, n, &data))
+    }
+
+    proptest! {
+        #[test]
+        fn complex_mul_commutes(a in arb_complex(), b in arb_complex()) {
+            prop_assert!((a * b).approx_eq(b * a, 1e-9));
+        }
+
+        #[test]
+        fn complex_mul_associates(a in arb_complex(), b in arb_complex(), c in arb_complex()) {
+            prop_assert!(((a * b) * c).approx_eq(a * (b * c), 1e-6));
+        }
+
+        #[test]
+        fn conj_is_involution(a in arb_complex()) {
+            prop_assert_eq!(a.conj().conj(), a);
+        }
+
+        #[test]
+        fn adjoint_reverses_products(a in arb_matrix(3), b in arb_matrix(3)) {
+            let lhs = a.mul_mat(&b).adjoint();
+            let rhs = b.adjoint().mul_mat(&a.adjoint());
+            prop_assert!(lhs.approx_eq(&rhs, 1e-6));
+        }
+
+        #[test]
+        fn trace_is_linear(a in arb_matrix(3), b in arb_matrix(3)) {
+            let lhs = (a.clone() + b.clone()).trace();
+            let rhs = a.trace() + b.trace();
+            prop_assert!(lhs.approx_eq(rhs, 1e-6));
+        }
+
+        #[test]
+        fn trace_cyclic(a in arb_matrix(3), b in arb_matrix(3)) {
+            let lhs = a.mul_mat(&b).trace();
+            let rhs = b.mul_mat(&a).trace();
+            prop_assert!(lhs.approx_eq(rhs, 1e-6));
+        }
+
+        #[test]
+        fn kron_associates(a in arb_matrix(2), b in arb_matrix(2), c in arb_matrix(2)) {
+            let lhs = a.kron(&b).kron(&c);
+            let rhs = a.kron(&b.kron(&c));
+            prop_assert!(lhs.approx_eq(&rhs, 1e-6));
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! Dense complex matrices sized for few-qubit quantum semantics.
+//!
+//! The paper's denotational semantics interprets programs over the joint
+//! Hilbert space of all machine qubits; for the exhaustive small-`n` checkers
+//! a dense row-major matrix is the simplest faithful representation.
+
+use crate::Complex;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major complex matrix.
+///
+/// # Examples
+///
+/// ```
+/// use qb_linalg::Matrix;
+/// let x = Matrix::pauli_x();
+/// assert!(x.clone().mul_mat(&x).approx_eq(&Matrix::identity(2), 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major slice of entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[Complex]) -> Self {
+        assert_eq!(data.len(), rows * cols, "entry count mismatch");
+        Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Creates a matrix from real row-major entries.
+    pub fn from_real(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "entry count mismatch");
+        Matrix {
+            rows,
+            cols,
+            data: data.iter().map(|&x| Complex::real(x)).collect(),
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major entries.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn mul_mat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix product");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero(0.0) {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in matrix-vector product");
+        let mut out = vec![Complex::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = Complex::ZERO;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn adjoint(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Entry-wise complex conjugate (no transpose).
+    pub fn conj(&self) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Transpose without conjugation.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by `z`.
+    pub fn scale(&self, z: Complex) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&w| w * z).collect(),
+        }
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex {
+        assert!(self.is_square(), "trace of a non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    ///
+    /// ```
+    /// use qb_linalg::Matrix;
+    /// let i2 = Matrix::identity(2);
+    /// assert_eq!(i2.kron(&i2), Matrix::identity(4));
+    /// ```
+    pub fn kron(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a.is_zero(0.0) {
+                    continue;
+                }
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm `√Σ|aᵢⱼ|²`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Entry-wise approximate equality with tolerance `tol` per entry.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Returns `true` when `A†A ≈ I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.is_square() && self.adjoint().mul_mat(self).approx_eq(&Matrix::identity(self.rows), tol)
+    }
+
+    /// Returns `true` when `A ≈ A†` within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.approx_eq(&self.adjoint(), tol)
+    }
+
+    /// Commutator `AB − BA`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices are not square with equal dimension.
+    pub fn commutator(&self, other: &Matrix) -> Matrix {
+        self.mul_mat(other) - other.mul_mat(self)
+    }
+
+    /// Builds the permutation matrix sending basis vector `i` to `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..perm.len()`.
+    pub fn permutation(perm: &[usize]) -> Matrix {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        let mut m = Matrix::zeros(n, n);
+        for (i, &p) in perm.iter().enumerate() {
+            assert!(p < n && !seen[p], "not a permutation");
+            seen[p] = true;
+            m[(p, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    // --- Standard gate matrices -------------------------------------------
+
+    /// Pauli X.
+    pub fn pauli_x() -> Matrix {
+        Matrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0])
+    }
+
+    /// Pauli Y.
+    pub fn pauli_y() -> Matrix {
+        Matrix::from_rows(
+            2,
+            2,
+            &[Complex::ZERO, -Complex::I, Complex::I, Complex::ZERO],
+        )
+    }
+
+    /// Pauli Z.
+    pub fn pauli_z() -> Matrix {
+        Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0])
+    }
+
+    /// Hadamard gate.
+    pub fn hadamard() -> Matrix {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        Matrix::from_real(2, 2, &[s, s, s, -s])
+    }
+
+    /// Phase gate `diag(1, e^{iθ})`.
+    pub fn phase(theta: f64) -> Matrix {
+        Matrix::from_rows(
+            2,
+            2,
+            &[
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::from_polar(1.0, theta),
+            ],
+        )
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows);
+        assert_eq!(self.cols, rhs.cols);
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: Matrix) -> Matrix {
+        self.mul_mat(&rhs)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:.3}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let h = Matrix::hadamard();
+        let i = Matrix::identity(2);
+        assert!(h.mul_mat(&i).approx_eq(&h, 1e-12));
+        assert!(i.mul_mat(&h).approx_eq(&h, 1e-12));
+    }
+
+    #[test]
+    fn paulis_are_unitary_and_hermitian() {
+        for m in [Matrix::pauli_x(), Matrix::pauli_y(), Matrix::pauli_z()] {
+            assert!(m.is_unitary(1e-12));
+            assert!(m.is_hermitian(1e-12));
+        }
+        assert!(Matrix::hadamard().is_unitary(1e-12));
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        let x = Matrix::pauli_x();
+        let y = Matrix::pauli_y();
+        let z = Matrix::pauli_z();
+        // XY = iZ
+        assert!(x.mul_mat(&y).approx_eq(&z.scale(Complex::I), 1e-12));
+        // {X, Z} = 0
+        let anti = x.mul_mat(&z) + z.mul_mat(&x);
+        assert!(anti.approx_eq(&Matrix::zeros(2, 2), 1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = Matrix::pauli_x();
+        let i = Matrix::identity(2);
+        let xi = x.kron(&i);
+        assert_eq!(xi.rows(), 4);
+        // X⊗I maps |00> -> |10>, i.e. column 0 has a 1 in row 2.
+        assert_eq!(xi[(2, 0)], Complex::ONE);
+        assert_eq!(xi[(0, 0)], Complex::ZERO);
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        let a = Matrix::hadamard();
+        let b = Matrix::pauli_x();
+        let c = Matrix::pauli_z();
+        let d = Matrix::phase(0.7);
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let lhs = a.kron(&b).mul_mat(&c.kron(&d));
+        let rhs = a.mul_mat(&c).kron(&b.mul_mat(&d));
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn trace_of_kron_is_product_of_traces() {
+        let a = Matrix::phase(0.3);
+        let b = Matrix::hadamard();
+        let t = a.kron(&b).trace();
+        let expect = a.trace() * b.trace();
+        assert!(t.approx_eq(expect, 1e-12));
+    }
+
+    #[test]
+    fn permutation_matrix_round_trip() {
+        let p = Matrix::permutation(&[2, 0, 1]);
+        let v = vec![
+            Complex::real(1.0),
+            Complex::real(2.0),
+            Complex::real(3.0),
+        ];
+        let out = p.mul_vec(&v);
+        // basis 0 -> 2, 1 -> 0, 2 -> 1
+        assert_eq!(out[2], Complex::real(1.0));
+        assert_eq!(out[0], Complex::real(2.0));
+        assert_eq!(out[1], Complex::real(3.0));
+        assert!(p.is_unitary(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permutation_validates() {
+        let _ = Matrix::permutation(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn commutator_of_commuting_is_zero() {
+        let z = Matrix::pauli_z();
+        let p = Matrix::phase(1.1);
+        assert!(z.commutator(&p).frobenius_norm() < 1e-12);
+        let x = Matrix::pauli_x();
+        assert!(z.commutator(&x).frobenius_norm() > 1.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul_mat() {
+        let h = Matrix::hadamard();
+        let v = vec![Complex::ONE, Complex::ZERO];
+        let got = h.mul_vec(&v);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(got[0].approx_eq(Complex::real(s), 1e-12));
+        assert!(got[1].approx_eq(Complex::real(s), 1e-12));
+    }
+}

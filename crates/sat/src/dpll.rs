@@ -1,0 +1,180 @@
+//! A deliberately simple DPLL solver used as a cross-checking oracle.
+//!
+//! The CDCL solver in [`crate::Solver`] is the production backend; this
+//! module re-implements satisfiability with plain recursion, unit
+//! propagation and the pure-literal rule so that property tests can compare
+//! two independent implementations on random instances.
+
+use crate::lit::{LBool, Lit};
+use crate::SatResult;
+use qb_formula::Cnf;
+
+/// Decides satisfiability of `cnf` by depth-first search.
+///
+/// Intended for small instances (tests and baselines); complexity is
+/// exponential and no learning is performed.
+///
+/// # Examples
+///
+/// ```
+/// use qb_formula::Cnf;
+/// use qb_sat::{dpll_solve, SatResult};
+/// let mut cnf = Cnf::new();
+/// let a = cnf.fresh_var();
+/// cnf.add_clause(&[a]);
+/// cnf.add_clause(&[-a]);
+/// assert_eq!(dpll_solve(&cnf), SatResult::Unsat);
+/// ```
+pub fn dpll_solve(cnf: &Cnf) -> SatResult {
+    let clauses: Vec<Vec<Lit>> = cnf
+        .clauses()
+        .iter()
+        .map(|c| c.iter().map(|&l| Lit::from_dimacs(l)).collect())
+        .collect();
+    let mut assign = vec![LBool::Undef; cnf.num_vars()];
+    if search(&clauses, &mut assign) {
+        SatResult::Sat
+    } else {
+        SatResult::Unsat
+    }
+}
+
+fn value(assign: &[LBool], l: Lit) -> LBool {
+    let v = assign[l.var().index()];
+    if l.is_neg() {
+        v.negate()
+    } else {
+        v
+    }
+}
+
+/// Propagates units until fixpoint. Returns `None` on conflict, otherwise
+/// the list of variables that were assigned (for undo).
+fn propagate(clauses: &[Vec<Lit>], assign: &mut [LBool]) -> Option<Vec<usize>> {
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut changed = false;
+        for clause in clauses {
+            let mut unassigned: Option<Lit> = None;
+            let mut n_unassigned = 0;
+            let mut satisfied = false;
+            for &l in clause {
+                match value(assign, l) {
+                    LBool::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    LBool::Undef => {
+                        n_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                    LBool::False => {}
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => {
+                    // Conflict: undo and report.
+                    for v in trail {
+                        assign[v] = LBool::Undef;
+                    }
+                    return None;
+                }
+                1 => {
+                    let l = unassigned.expect("one unassigned literal");
+                    assign[l.var().index()] = LBool::from_bool(!l.is_neg());
+                    trail.push(l.var().index());
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return Some(trail);
+        }
+    }
+}
+
+fn search(clauses: &[Vec<Lit>], assign: &mut [LBool]) -> bool {
+    let trail = match propagate(clauses, assign) {
+        None => return false,
+        Some(t) => t,
+    };
+    // Choose the first unassigned variable appearing in an unsatisfied clause.
+    let mut branch_var = None;
+    'outer: for clause in clauses {
+        if clause.iter().any(|&l| value(assign, l).is_true()) {
+            continue;
+        }
+        for &l in clause {
+            if value(assign, l).is_undef() {
+                branch_var = Some(l.var().index());
+                break 'outer;
+            }
+        }
+    }
+    let v = match branch_var {
+        None => return true, // every clause satisfied
+        Some(v) => v,
+    };
+    for candidate in [LBool::True, LBool::False] {
+        assign[v] = candidate;
+        if search(clauses, assign) {
+            return true;
+        }
+        assign[v] = LBool::Undef;
+    }
+    for t in trail {
+        assign[t] = LBool::Undef;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cnf_of(num_vars: usize, clauses: &[&[i32]]) -> Cnf {
+        let mut cnf = Cnf::new();
+        for _ in 0..num_vars {
+            cnf.fresh_var();
+        }
+        for c in clauses {
+            cnf.add_clause(c);
+        }
+        cnf
+    }
+
+    #[test]
+    fn simple_cases() {
+        assert_eq!(dpll_solve(&cnf_of(1, &[&[1]])), SatResult::Sat);
+        assert_eq!(dpll_solve(&cnf_of(1, &[&[1], &[-1]])), SatResult::Unsat);
+        assert_eq!(
+            dpll_solve(&cnf_of(2, &[&[1, 2], &[-1, 2], &[1, -2], &[-1, -2]])),
+            SatResult::Unsat
+        );
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert_eq!(dpll_solve(&cnf_of(3, &[])), SatResult::Sat);
+    }
+
+    #[test]
+    fn xor_parity_triangle() {
+        let unsat = cnf_of(
+            3,
+            &[
+                &[1, 2],
+                &[-1, -2],
+                &[2, 3],
+                &[-2, -3],
+                &[1, 3],
+                &[-1, -3],
+            ],
+        );
+        assert_eq!(dpll_solve(&unsat), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,118 @@
+//! # qb-sat
+//!
+//! A self-contained CDCL SAT solver, standing in for the external
+//! CVC5/Bitwuzla solvers of the paper's evaluation (§6.2).
+//!
+//! The paper reduces safe uncomputation of dirty qubits in classical
+//! circuits to the *unsatisfiability* of two Boolean formulas. Those
+//! queries land here: the verifier Tseitin-encodes its XOR-AND graphs
+//! (`qb_formula::encode`), feeds the clauses to [`Solver`], and interprets
+//! [`SatResult::Unsat`] as "condition verified". A satisfying model, when
+//! one exists, is a concrete counterexample: a computational-basis initial
+//! state on which the circuit fails to restore the dirty qubit.
+//!
+//! A deliberately naive [`dpll_solve`] oracle is included for differential
+//! testing of the CDCL implementation.
+//!
+//! # Examples
+//!
+//! ```
+//! use qb_formula::{encode, Arena, Simplify};
+//! use qb_sat::{Lit, SatResult, Solver};
+//!
+//! // ¬(x → x) is unsatisfiable.
+//! let mut f = Arena::new(Simplify::Raw);
+//! let x = f.var(0);
+//! let imp = f.implies(x, x);
+//! let root = f.not(imp);
+//! let enc = encode(&f, &[root]);
+//! let mut solver = Solver::from_cnf(&enc.cnf);
+//! let root_lit = Lit::from_dimacs(enc.root_lits[0]);
+//! assert_eq!(solver.solve_with_assumptions(&[root_lit]), SatResult::Unsat);
+//! ```
+
+mod dpll;
+mod heap;
+mod lit;
+mod solver;
+
+pub use dpll::dpll_solve;
+pub use lit::{LBool, Lit, SatVar};
+pub use solver::{SatResult, Solver, SolverStats};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use qb_formula::Cnf;
+
+    /// Random k-SAT instance generator.
+    fn arb_cnf(
+        max_vars: usize,
+        max_clauses: usize,
+    ) -> impl Strategy<Value = Cnf> {
+        (1..=max_vars, 0..=max_clauses).prop_flat_map(move |(nv, nc)| {
+            let clause = proptest::collection::vec(
+                (1..=nv as i32, any::<bool>())
+                    .prop_map(|(v, neg)| if neg { -v } else { v }),
+                1..=3,
+            );
+            proptest::collection::vec(clause, nc).prop_map(move |clauses| {
+                let mut cnf = Cnf::new();
+                for _ in 0..nv {
+                    cnf.fresh_var();
+                }
+                for c in &clauses {
+                    cnf.add_clause(c);
+                }
+                cnf
+            })
+        })
+    }
+
+    proptest! {
+        /// CDCL and DPLL agree on every random instance.
+        #[test]
+        fn cdcl_matches_dpll(cnf in arb_cnf(12, 50)) {
+            let mut cdcl = Solver::from_cnf(&cnf);
+            let expected = dpll_solve(&cnf);
+            prop_assert_eq!(cdcl.solve(), expected);
+        }
+
+        /// When CDCL reports SAT, the model satisfies the original CNF.
+        #[test]
+        fn models_are_genuine(cnf in arb_cnf(14, 60)) {
+            let mut cdcl = Solver::from_cnf(&cnf);
+            if cdcl.solve() == SatResult::Sat {
+                let model = cdcl.model().to_vec();
+                prop_assert!(cnf.eval(&model));
+            }
+        }
+
+        /// Solving twice (with solver reuse) gives consistent answers.
+        #[test]
+        fn solver_reuse_is_consistent(cnf in arb_cnf(10, 40)) {
+            let mut cdcl = Solver::from_cnf(&cnf);
+            let first = cdcl.solve();
+            let second = cdcl.solve();
+            prop_assert_eq!(first, second);
+        }
+
+        /// Solving under assumptions equals solving the strengthened CNF.
+        #[test]
+        fn assumptions_match_baked_units(cnf in arb_cnf(10, 40), pick in any::<u64>()) {
+            let nv = cnf.num_vars();
+            prop_assume!(nv >= 1);
+            let var = (pick as usize % nv) as i32 + 1;
+            let lit = if pick % 2 == 0 { var } else { -var };
+
+            let mut strengthened = cnf.clone();
+            strengthened.add_clause(&[lit]);
+            let expected = dpll_solve(&strengthened);
+
+            let mut cdcl = Solver::from_cnf(&cnf);
+            let got = cdcl.solve_with_assumptions(&[Lit::from_dimacs(lit)]);
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

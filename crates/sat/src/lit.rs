@@ -1,0 +1,189 @@
+//! Variables, literals and three-valued assignments.
+
+use std::fmt;
+
+/// A propositional variable, indexed densely from zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SatVar(pub(crate) u32);
+
+impl SatVar {
+    /// Dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable with a sign, packed as `var << 1 | sign`.
+///
+/// # Examples
+///
+/// ```
+/// use qb_sat::Lit;
+/// let l = Lit::from_dimacs(-3);
+/// assert!(l.is_neg());
+/// assert_eq!(l.negate().to_dimacs(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal over `var`, negated when `neg` is true.
+    #[inline]
+    pub fn new(var: SatVar, neg: bool) -> Lit {
+        Lit(var.0 << 1 | neg as u32)
+    }
+
+    /// Creates a positive literal.
+    #[inline]
+    pub fn pos(var: SatVar) -> Lit {
+        Lit::new(var, false)
+    }
+
+    /// Creates a negative literal.
+    #[inline]
+    pub fn neg(var: SatVar) -> Lit {
+        Lit::new(var, true)
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> SatVar {
+        SatVar(self.0 >> 1)
+    }
+
+    /// `true` for negated literals.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    #[inline]
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index (for watch lists): `2·var + sign`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Converts from a non-zero DIMACS integer literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0`.
+    #[inline]
+    pub fn from_dimacs(l: i32) -> Lit {
+        assert!(l != 0, "DIMACS literals are non-zero");
+        Lit::new(SatVar(l.unsigned_abs() - 1), l < 0)
+    }
+
+    /// Converts to a DIMACS integer literal.
+    #[inline]
+    pub fn to_dimacs(self) -> i32 {
+        let v = (self.var().0 + 1) as i32;
+        if self.is_neg() {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dimacs())
+    }
+}
+
+/// A three-valued truth assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts a concrete Boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Negation that keeps `Undef` fixed.
+    #[inline]
+    #[must_use]
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+
+    /// `true` only when assigned true.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == LBool::True
+    }
+
+    /// `true` only when assigned false.
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == LBool::False
+    }
+
+    /// `true` when unassigned.
+    #[inline]
+    pub fn is_undef(self) -> bool {
+        self == LBool::Undef
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_packing_round_trips() {
+        for d in [1, -1, 5, -5, 1000, -1000] {
+            let l = Lit::from_dimacs(d);
+            assert_eq!(l.to_dimacs(), d);
+            assert_eq!(l.negate().to_dimacs(), -d);
+            assert_eq!(l.negate().negate(), l);
+        }
+    }
+
+    #[test]
+    fn literal_indices_are_dense() {
+        let v = SatVar(3);
+        assert_eq!(Lit::pos(v).index(), 6);
+        assert_eq!(Lit::neg(v).index(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimacs_rejected() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn lbool_negation() {
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert!(LBool::from_bool(true).is_true());
+    }
+}

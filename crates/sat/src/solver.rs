@@ -1,0 +1,777 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! Feature set (MiniSat lineage): two-watched-literal propagation, 1UIP
+//! conflict analysis with local clause minimisation, exponential VSIDS
+//! branching with phase saving, Luby restarts and activity/LBD-based learnt
+//! clause database reduction.
+//!
+//! This solver stands in for the external CVC5/Bitwuzla backends used by
+//! the paper: the verification conditions of §6.1 are plain Boolean
+//! (un)satisfiability queries, so a complete SAT procedure decides exactly
+//! the same instances.
+
+use crate::heap::VarOrder;
+use crate::lit::{LBool, Lit, SatVar};
+use qb_formula::Cnf;
+
+/// Outcome of a solve call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment was found (see [`Solver::model`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+/// Counters describing the work a solve performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Branching decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Conflicts analysed.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    /// Literal block distance at learning time (glue level).
+    lbd: u32,
+    activity: f64,
+}
+
+type ClauseRef = u32;
+
+#[derive(Debug, Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause is satisfied and the watcher need not be visited.
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use qb_sat::{Lit, SatResult, Solver};
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(&[Lit::neg(a)]);
+/// assert_eq!(s.solve(), SatResult::Sat);
+/// assert!(s.model()[b.index()]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    learnt_refs: Vec<ClauseRef>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarOrder,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    /// False once an empty clause is derived at level zero.
+    ok: bool,
+    model: Vec<bool>,
+    stats: SolverStats,
+    max_learnts: f64,
+    cla_inc: f64,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+const RESTART_BASE: u64 = 256;
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            learnt_refs: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: VarOrder::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            model: Vec::new(),
+            stats: SolverStats::default(),
+            max_learnts: 0.0,
+            cla_inc: 1.0,
+        }
+    }
+
+    /// Builds a solver from a DIMACS-style [`Cnf`]; DIMACS variable `v`
+    /// maps to the solver variable with index `v - 1`.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut s = Solver::new();
+        for _ in 0..cnf.num_vars() {
+            s.new_var();
+        }
+        for clause in cnf.clauses() {
+            let lits: Vec<Lit> = clause.iter().map(|&l| Lit::from_dimacs(l)).collect();
+            s.add_clause(&lits);
+        }
+        s
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> SatVar {
+        let v = SatVar(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(self.assigns.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Work counters for the most recent activity.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    #[inline]
+    fn value_lit(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_neg() {
+            v.negate()
+        } else {
+            v
+        }
+    }
+
+    /// Adds a clause; returns `false` if the solver is already in an
+    /// unsatisfiable state (conflicting units at level zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after a decision has been made (clauses must be
+    /// added at decision level zero) or if a literal names an unallocated
+    /// variable.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert!(
+            self.trail_lim.is_empty(),
+            "clauses must be added at decision level zero"
+        );
+        if !self.ok {
+            return false;
+        }
+        for l in lits {
+            assert!(l.var().index() < self.num_vars(), "unallocated variable");
+        }
+        // Normalise: sort, dedupe, drop false-at-0, detect tautology.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        let mut filtered = Vec::with_capacity(c.len());
+        for (i, &l) in c.iter().enumerate() {
+            if i + 1 < c.len() && c[i + 1] == l.negate() {
+                return true; // tautology: l and ¬l both present
+            }
+            match self.value_lit(l) {
+                LBool::True => return true, // satisfied at level 0
+                LBool::False => continue,   // falsified at level 0: drop
+                LBool::Undef => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(filtered[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(filtered, false, 0);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as ClauseRef;
+        self.watches[lits[0].negate().index()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].negate().index()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            lbd,
+            activity: 0.0,
+        });
+        if learnt {
+            self.learnt_refs.push(cref);
+            self.stats.learnt_clauses += 1;
+        }
+        cref
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
+        debug_assert!(self.value_lit(l).is_undef());
+        let v = l.var();
+        self.assigns[v.index()] = LBool::from_bool(!l.is_neg());
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = from;
+        self.phase[v.index()] = !l.is_neg();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Clauses that watch ¬p must be visited.
+            let watch_idx = p.index();
+            let mut i = 0;
+            'watchers: while i < self.watches[watch_idx].len() {
+                let Watcher { cref, blocker } = self.watches[watch_idx][i];
+                if self.value_lit(blocker).is_true() {
+                    i += 1;
+                    continue;
+                }
+                let false_lit = p.negate();
+                // Ensure the false literal is at position 1.
+                {
+                    let clause = &mut self.clauses[cref as usize];
+                    if clause.lits[0] == false_lit {
+                        clause.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(clause.lits[1], false_lit);
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if first != blocker && self.value_lit(first).is_true() {
+                    self.watches[watch_idx][i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if !self.value_lit(lk).is_false() {
+                        self.clauses[cref as usize].lits.swap(1, k);
+                        self.watches[watch_idx].swap_remove(i);
+                        self.watches[lk.negate().index()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                if self.value_lit(first).is_false() {
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.enqueue(first, Some(cref));
+                i += 1;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: SatVar) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > RESCALE_LIMIT {
+            for r in &self.learnt_refs {
+                self.clauses[*r as usize].activity *= 1.0 / RESCALE_LIMIT;
+            }
+            self.cla_inc *= 1.0 / RESCALE_LIMIT;
+        }
+    }
+
+    /// 1UIP conflict analysis; returns the learnt clause (asserting literal
+    /// first) and the backjump level.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(SatVar(0))]; // placeholder slot 0
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            self.bump_clause(confl);
+            let start = usize::from(p.is_some());
+            let lits = self.clauses[confl as usize].lits.clone();
+            for &q in &lits[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal to expand from the trail.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            self.seen[lit.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                learnt[0] = lit.negate();
+                break;
+            }
+            confl = self.reason[lit.var().index()].expect("non-decision on conflict path");
+            p = Some(lit);
+        }
+
+        // Local minimisation: drop literals implied by the rest.
+        let keep: Vec<bool> = learnt
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| i == 0 || !self.literal_redundant(l, &learnt))
+            .collect();
+        let mut minimized: Vec<Lit> = learnt
+            .iter()
+            .zip(&keep)
+            .filter_map(|(&l, &k)| if k { Some(l) } else { None })
+            .collect();
+
+        // Clear seen flags.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Compute backjump level: the highest level among minimized[1..].
+        let backjump = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().index()]
+        };
+        (minimized, backjump)
+    }
+
+    /// A learnt literal is redundant when its reason's literals are all
+    /// already in the learnt clause (marked seen) or at level zero.
+    fn literal_redundant(&self, l: Lit, _learnt: &[Lit]) -> bool {
+        match self.reason[l.var().index()] {
+            None => false,
+            Some(cref) => self.clauses[cref as usize].lits.iter().all(|&q| {
+                q.var() == l.var()
+                    || self.seen[q.var().index()]
+                    || self.level[q.var().index()] == 0
+            }),
+        }
+    }
+
+    fn lbd_of(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn backtrack_to(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let lim = self.trail_lim[target as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assigns[v.index()].is_undef() {
+                return Some(Lit::new(v, !self.phase[v.index()]));
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Sort learnt clauses: high LBD and low activity first (to delete).
+        let mut refs = self.learnt_refs.clone();
+        refs.sort_by(|&a, &b| {
+            let ca = &self.clauses[a as usize];
+            let cb = &self.clauses[b as usize];
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let target = refs.len() / 2;
+        let mut removed = 0;
+        for &cref in refs.iter() {
+            if removed >= target {
+                break;
+            }
+            let c = &self.clauses[cref as usize];
+            if c.deleted || !c.learnt || c.lits.len() <= 2 || c.lbd <= 2 {
+                continue;
+            }
+            // Never delete a clause that is the reason for an assignment.
+            let locked = self.reason[c.lits[0].var().index()] == Some(cref)
+                && !self.value_lit(c.lits[0]).is_undef();
+            if locked {
+                continue;
+            }
+            self.detach_clause(cref);
+            removed += 1;
+        }
+        self.learnt_refs
+            .retain(|&r| !self.clauses[r as usize].deleted);
+        self.stats.learnt_clauses = self.learnt_refs.len() as u64;
+    }
+
+    fn detach_clause(&mut self, cref: ClauseRef) {
+        let (w0, w1) = {
+            let c = &self.clauses[cref as usize];
+            (c.lits[0].negate().index(), c.lits[1].negate().index())
+        };
+        self.watches[w0].retain(|w| w.cref != cref);
+        self.watches[w1].retain(|w| w.cref != cref);
+        self.clauses[cref as usize].deleted = true;
+    }
+
+    /// Luby restart sequence: 1,1,2,1,1,2,4,... (`x` is zero-based).
+    fn luby(x: u64) -> u64 {
+        let mut i = x + 1;
+        loop {
+            let mut k = 1u32;
+            while (1u64 << k) - 1 < i {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == i {
+                return 1u64 << (k - 1);
+            }
+            i -= (1u64 << (k - 1)) - 1;
+        }
+    }
+
+    /// Decides satisfiability of the accumulated clauses.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Decides satisfiability under temporary `assumptions` (unit literals
+    /// that hold for this call only).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
+        let mut restart_count = 0u64;
+        let mut conflicts_until_restart = Self::luby(restart_count) * RESTART_BASE;
+        let mut conflicts_at_last_restart = 0u64;
+
+        let result = loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    break SatResult::Unsat;
+                }
+                let (learnt, backjump) = self.analyze(confl);
+                self.backtrack_to(backjump);
+                self.learn(learnt);
+                self.var_inc /= VAR_DECAY;
+                self.cla_inc /= CLA_DECAY;
+                if self.stats.conflicts - conflicts_at_last_restart >= conflicts_until_restart {
+                    restart_count += 1;
+                    self.stats.restarts += 1;
+                    conflicts_at_last_restart = self.stats.conflicts;
+                    conflicts_until_restart = Self::luby(restart_count) * RESTART_BASE;
+                    self.backtrack_to(0);
+                }
+                if self.learnt_refs.len() as f64 >= self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.5;
+                }
+            } else {
+                // Apply pending assumptions as pseudo-decisions.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.value_lit(a) {
+                        LBool::True => {
+                            // Already implied: open an empty level to keep
+                            // the level↔assumption indexing aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => break SatResult::Unsat,
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => {
+                        self.model = self
+                            .assigns
+                            .iter()
+                            .map(|a| a.is_true())
+                            .collect();
+                        break SatResult::Sat;
+                    }
+                    Some(decision) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(decision, None);
+                    }
+                }
+            }
+        };
+        self.backtrack_to(0);
+        result
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        debug_assert!(!learnt.is_empty());
+        if learnt.len() == 1 {
+            self.enqueue(learnt[0], None);
+        } else {
+            let lbd = self.lbd_of(&learnt);
+            let asserting = learnt[0];
+            let cref = self.attach_clause(learnt, true, lbd);
+            self.enqueue(asserting, Some(cref));
+        }
+    }
+
+    /// The satisfying assignment found by the last [`Solver::solve`] call
+    /// that returned [`SatResult::Sat`], indexed by variable.
+    pub fn model(&self) -> &[bool] {
+        &self.model
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(dimacs: &[i32]) -> Vec<Lit> {
+        dimacs.iter().map(|&l| Lit::from_dimacs(l)).collect()
+    }
+
+    fn solver_with(num_vars: usize, clauses: &[&[i32]]) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        for c in clauses {
+            s.add_clause(&lits(c));
+        }
+        s
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = solver_with(1, &[&[1]]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model()[0]);
+
+        let mut s = solver_with(1, &[&[1], &[-1]]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        // 1, 1→2, 2→3, 3→¬1 is unsat.
+        let mut s = solver_with(3, &[&[1], &[-1, 2], &[-2, 3], &[-3, -1]]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn requires_search() {
+        // XOR-like constraints: x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 ⊕ x3 = 1: unsat.
+        let mut s = solver_with(
+            3,
+            &[
+                &[1, 2],
+                &[-1, -2],
+                &[2, 3],
+                &[-2, -3],
+                &[1, 3],
+                &[-1, -3],
+            ],
+        );
+        assert_eq!(s.solve(), SatResult::Unsat);
+        // Drop one parity constraint: sat.
+        let mut s = solver_with(3, &[&[1, 2], &[-1, -2], &[2, 3], &[-2, -3]]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        let m = s.model();
+        assert_ne!(m[0], m[1]);
+        assert_ne!(m[1], m[2]);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // Pigeons p∈{0,1,2}, holes h∈{0,1}; var(p,h) = 2p+h+1.
+        let v = |p: i32, h: i32| 2 * p + h + 1;
+        let mut cls: Vec<Vec<i32>> = Vec::new();
+        for p in 0..3 {
+            cls.push(vec![v(p, 0), v(p, 1)]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    cls.push(vec![-v(p1, h), -v(p2, h)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = cls.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(6, &refs);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_clauses_ignored() {
+        let mut s = solver_with(2, &[&[1, -1], &[2]]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model()[1]);
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut s = solver_with(2, &[&[1, 2]]);
+        assert_eq!(
+            s.solve_with_assumptions(&lits(&[-1, -2])),
+            SatResult::Unsat
+        );
+        // The solver is reusable: without assumptions it is sat again.
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.solve_with_assumptions(&lits(&[-1])), SatResult::Sat);
+        assert!(s.model()[1]);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        let clauses: Vec<Vec<i32>> = vec![
+            vec![1, 2, -3],
+            vec![-1, 3],
+            vec![2, 3],
+            vec![-2, -3, 4],
+            vec![-4, 1],
+        ];
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let mut s = solver_with(4, &refs);
+        assert_eq!(s.solve(), SatResult::Sat);
+        let m = s.model().to_vec();
+        for c in &clauses {
+            assert!(c.iter().any(|&l| {
+                let val = m[(l.unsigned_abs() - 1) as usize];
+                if l > 0 {
+                    val
+                } else {
+                    !val
+                }
+            }));
+        }
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let seq: Vec<u64> = (0..9).map(Solver::luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1]);
+    }
+
+    #[test]
+    fn from_cnf_round_trip() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        cnf.add_clause(&[a, b]);
+        cnf.add_clause(&[-a, b]);
+        cnf.add_clause(&[-b]);
+        let mut s = Solver::from_cnf(&cnf);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+}

@@ -1,0 +1,269 @@
+//! Width reduction by borrowing idle working qubits as dirty ancillas —
+//! the compiler pass sketched in the paper's §3 (Fig. 3.1) and §7
+//! ("dirty qubit scheduling is better handled by the compiler").
+//!
+//! Given a circuit and a set of designated ancilla wires, the planner
+//! assigns each ancilla a *host*: a remaining wire that is idle
+//! throughout the ancilla's activity period (accounting for periods of
+//! previously assigned guests). Hosting is only sound when the ancilla is
+//! **safely uncomputed** — the pass therefore takes verified-safety flags
+//! and refuses to displace unsafe ancillas, exactly the discipline §7
+//! argues the compiler must enforce.
+
+use crate::period::{activity_periods, idle_during, Activity};
+use qb_circuit::Circuit;
+use qb_core::{verify_circuit, InitialValue, VerifyError, VerifyOptions};
+
+/// The result of borrow planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BorrowPlan {
+    /// `(ancilla, host)` pairs: the ancilla wire is eliminated, its gates
+    /// rewired onto the host.
+    pub assignments: Vec<(usize, usize)>,
+    /// Ancillas that could not be hosted (no idle candidate, or not
+    /// certified safe).
+    pub unhosted: Vec<usize>,
+}
+
+impl BorrowPlan {
+    /// Number of wires eliminated.
+    pub fn saved(&self) -> usize {
+        self.assignments.len()
+    }
+}
+
+/// Plans hosts for `ancillas` whose safety has already been established
+/// by the caller (`safe[i]` corresponds to `ancillas[i]`). Unsafe
+/// ancillas are never hosted.
+///
+/// # Panics
+///
+/// Panics when `safe.len() != ancillas.len()` or an index is out of
+/// range.
+pub fn plan_borrows(circuit: &Circuit, ancillas: &[usize], safe: &[bool]) -> BorrowPlan {
+    assert_eq!(ancillas.len(), safe.len(), "one safety flag per ancilla");
+    let n = circuit.num_qubits();
+    for &a in ancillas {
+        assert!(a < n, "ancilla out of range");
+    }
+    let periods = activity_periods(circuit);
+
+    // Hosts may be any non-ancilla wire; each accumulates guest periods.
+    let is_ancilla = {
+        let mut v = vec![false; n];
+        for &a in ancillas {
+            v[a] = true;
+        }
+        v
+    };
+    let mut guest_periods: Vec<Vec<Activity>> = vec![Vec::new(); n];
+
+    // Process ancillas in order of period start (idle ones trivially
+    // eliminated by hosting on any wire — they have no gates).
+    let mut order: Vec<usize> = (0..ancillas.len()).collect();
+    order.sort_by_key(|&i| periods[ancillas[i]].first.unwrap_or(0));
+
+    let mut assignments = Vec::new();
+    let mut unhosted = Vec::new();
+    for idx in order {
+        let a = ancillas[idx];
+        if !safe[idx] {
+            unhosted.push(a);
+            continue;
+        }
+        let period = periods[a];
+        let Some(span) = period.interval() else {
+            // Never used: host on the first non-ancilla wire.
+            match (0..n).find(|&h| !is_ancilla[h]) {
+                Some(h) => assignments.push((a, h)),
+                None => unhosted.push(a),
+            }
+            continue;
+        };
+        let host = (0..n).find(|&h| {
+            !is_ancilla[h]
+                && idle_during(circuit, h, span)
+                && guest_periods[h].iter().all(|g| !g.overlaps(&period))
+        });
+        match host {
+            Some(h) => {
+                guest_periods[h].push(period);
+                assignments.push((a, h));
+            }
+            None => unhosted.push(a),
+        }
+    }
+    BorrowPlan {
+        assignments,
+        unhosted,
+    }
+}
+
+/// Applies a borrow plan: rewires each hosted ancilla onto its host and
+/// compacts the wire numbering.
+///
+/// # Errors
+///
+/// Returns an error if the rewiring produces an invalid gate (e.g. a
+/// host colliding with another operand — impossible for plans produced by
+/// [`plan_borrows`] on valid circuits, but checked defensively).
+pub fn apply_borrows(circuit: &Circuit, plan: &BorrowPlan) -> Result<Circuit, String> {
+    let n = circuit.num_qubits();
+    let mut target: Vec<usize> = (0..n).collect();
+    for &(a, h) in &plan.assignments {
+        target[a] = h;
+    }
+    // Compact: removed wires disappear from the numbering.
+    let removed: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &(a, _) in &plan.assignments {
+            v[a] = true;
+        }
+        v
+    };
+    let mut new_index = vec![0usize; n];
+    let mut next = 0;
+    for q in 0..n {
+        if !removed[q] {
+            new_index[q] = next;
+            next += 1;
+        }
+    }
+    let map: Vec<usize> = (0..n).map(|q| new_index[target[q]]).collect();
+    circuit.remap_qubits(&map, next)
+}
+
+/// End-to-end width reduction: verifies each ancilla's safe uncomputation
+/// with `qb-core`, plans hosts for the safe ones, and rewrites the
+/// circuit.
+///
+/// Returns the reduced circuit and the plan (inspect
+/// [`BorrowPlan::unhosted`] for ancillas that stayed).
+///
+/// # Errors
+///
+/// Propagates verification errors (non-classical circuits, backend
+/// failures).
+pub fn reduce_width(
+    circuit: &Circuit,
+    ancillas: &[usize],
+    opts: &VerifyOptions,
+) -> Result<(Circuit, BorrowPlan), VerifyError> {
+    let initial = vec![InitialValue::Free; circuit.num_qubits()];
+    let report = verify_circuit(circuit, &initial, ancillas, opts)?;
+    let safe: Vec<bool> = report.verdicts.iter().map(|v| v.safe).collect();
+    let plan = plan_borrows(circuit, ancillas, &safe);
+    let reduced = apply_borrows(circuit, &plan).expect("plan produces valid circuits");
+    Ok((reduced, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_synth::{fig_3_1a, fig_3_1c};
+
+    #[test]
+    fn fig_3_1_width_reduction_seven_to_five() {
+        // E4: the paper's width-reduction example. a1 (wire 5) is safely
+        // uncomputed; a2 (wire 6) is used as a control, so automatic
+        // verified reduction hosts only a1…
+        let circuit = fig_3_1a();
+        let (reduced, plan) =
+            reduce_width(&circuit, &[5, 6], &VerifyOptions::default()).unwrap();
+        assert_eq!(plan.saved(), 1);
+        assert_eq!(plan.unhosted, vec![6]);
+        assert_eq!(reduced.num_qubits(), 6);
+
+        // …while the paper's manual Fig. 3.1c transformation (which knows
+        // a2 is *logically* q3) is reproduced by certifying both:
+        let plan = plan_borrows(&circuit, &[5, 6], &[true, true]);
+        assert_eq!(plan.saved(), 2);
+        let reduced = apply_borrows(&circuit, &plan).unwrap();
+        assert_eq!(reduced.num_qubits(), 5);
+        assert_eq!(reduced, fig_3_1c());
+    }
+
+    #[test]
+    fn hosts_must_be_idle_through_the_period() {
+        // The ancilla (wire 2) is active across gates 0..=2; wire 1 is
+        // busy inside that window, wire 3 is free.
+        let mut c = Circuit::new(4);
+        c.cnot(0, 2).x(1).cnot(0, 2);
+        let plan = plan_borrows(&c, &[2], &[true]);
+        assert_eq!(plan.assignments, vec![(2, 3)]);
+    }
+
+    #[test]
+    fn unsafe_ancillas_are_refused() {
+        let mut c = Circuit::new(3);
+        c.cnot(2, 0); // ancilla 2 leaks into wire 0: unsafe as dirty
+        let (reduced, plan) = reduce_width(&c, &[2], &VerifyOptions::default()).unwrap();
+        assert_eq!(plan.saved(), 0);
+        assert_eq!(plan.unhosted, vec![2]);
+        assert_eq!(reduced.num_qubits(), 3);
+    }
+
+    #[test]
+    fn non_overlapping_ancillas_both_get_hosted() {
+        // Two ancillas with disjoint periods: both can be eliminated
+        // (wire 1 is idle during the first period, wire 0 during the
+        // second, and wire 2 is always free).
+        let mut c = Circuit::new(5);
+        c.cnot(0, 3).cnot(0, 3); // ancilla 3, period 0..=1, safe
+        c.cnot(1, 4).cnot(1, 4); // ancilla 4, period 2..=3, safe
+        let (reduced, plan) = reduce_width(&c, &[3, 4], &VerifyOptions::default()).unwrap();
+        assert_eq!(plan.saved(), 2);
+        assert_eq!(reduced.num_qubits(), 3);
+        // Every chosen host was idle throughout its guest's period.
+        let periods = crate::period::activity_periods(&c);
+        for &(a, h) in &plan.assignments {
+            let span = periods[a].interval().unwrap();
+            assert!(crate::period::idle_during(&c, h, span), "host {h} busy");
+        }
+        // A single always-idle wire can host two disjoint guests.
+        let plan2 = plan_borrows(&c, &[3, 4], &[true, true]);
+        assert_eq!(plan2.saved(), 2);
+    }
+
+    #[test]
+    fn overlapping_ancillas_need_distinct_hosts() {
+        // Interleaved periods: both safe, but they overlap, so they need
+        // two different hosts — and only wires 2 and... q0, q1 are busy.
+        let mut c = Circuit::new(6);
+        c.cnot(0, 3).cnot(1, 4).cnot(0, 3).cnot(1, 4);
+        let (reduced, plan) = reduce_width(&c, &[3, 4], &VerifyOptions::default()).unwrap();
+        assert_eq!(plan.saved(), 2);
+        let mut hosts: Vec<usize> = plan.assignments.iter().map(|&(_, h)| h).collect();
+        hosts.sort_unstable();
+        assert_eq!(hosts, vec![2, 5]);
+        assert_eq!(reduced.num_qubits(), 4);
+    }
+
+    #[test]
+    fn reduction_preserves_functionality_on_working_qubits() {
+        use qb_circuit::{permutation_of, simulate_classical, BitState};
+        let circuit = fig_3_1a();
+        let (reduced, plan) =
+            reduce_width(&circuit, &[5], &VerifyOptions::default()).unwrap();
+        assert_eq!(plan.saved(), 1);
+        // For every input, the reduced circuit (a1 hosted on q3) computes
+        // the same function on all remaining wires.
+        let perm = permutation_of(&reduced).unwrap();
+        for x in 0..(1usize << 6) {
+            // Compare against the original with a1 set to q3's borrowed
+            // value — the safe-uncomputation property makes the result
+            // independent of the borrowed wire's content.
+            let bits: Vec<bool> = (0..6).map(|i| x >> i & 1 == 1).collect();
+            let mut full = vec![false; 7];
+            full[..5].copy_from_slice(&bits[..5]);
+            full[5] = bits[2] ^ bits[1]; // q3's value during a1's period
+            full[6] = bits[5];
+            let out = simulate_classical(&circuit, &BitState::from_bits(&full)).unwrap();
+            let expect: usize = (0..5)
+                .map(|i| (out.get(i) as usize) << i)
+                .sum::<usize>()
+                | (out.get(6) as usize) << 5;
+            assert_eq!(perm[x], expect, "input {x:b}");
+        }
+    }
+}

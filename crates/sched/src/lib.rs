@@ -1,0 +1,106 @@
+//! # qb-sched
+//!
+//! Borrow-aware scheduling: the architectural applications of dirty
+//! qubits discussed in the paper's §3 and §7.
+//!
+//! * [`activity_periods`] — per-qubit activity intervals (the (◀ ▶)
+//!   markers of Fig. 3.1);
+//! * [`plan_borrows`] / [`apply_borrows`] / [`reduce_width`] — the
+//!   compiler pass that eliminates dirty ancilla wires by borrowing idle
+//!   working qubits (Fig. 3.1's 7→5 reduction), gated on verified safe
+//!   uncomputation;
+//! * [`pack_programs`] — multi-program packing (§7): run an incoming
+//!   program's dirty ancillas on a co-resident program's qubits, refusing
+//!   unverified borrows.
+//!
+//! # Examples
+//!
+//! ```
+//! use qb_core::VerifyOptions;
+//! use qb_sched::reduce_width;
+//! use qb_synth::fig_3_1a;
+//!
+//! // The paper's Fig. 3.1: borrow q3 for the safely-uncomputed ancilla.
+//! let circuit = fig_3_1a();
+//! let (reduced, plan) = reduce_width(&circuit, &[5], &VerifyOptions::default()).unwrap();
+//! assert_eq!(plan.saved(), 1);
+//! assert_eq!(reduced.num_qubits(), 6);
+//! ```
+
+mod borrow_opt;
+mod multiprog;
+mod period;
+
+pub use borrow_opt::{apply_borrows, plan_borrows, reduce_width, BorrowPlan};
+pub use multiprog::{pack_programs, PackError, PackReport};
+pub use period::{activity_periods, idle_during, Activity};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use qb_circuit::{permutation_of, Circuit, Gate};
+    use qb_core::VerifyOptions;
+
+    const NQ: usize = 5;
+
+    fn arb_circuit() -> impl Strategy<Value = Circuit> {
+        let gate = prop_oneof![
+            (0..NQ).prop_map(Gate::X),
+            (0..NQ, 0..NQ)
+                .prop_filter("distinct", |(c, t)| c != t)
+                .prop_map(|(c, t)| Gate::Cnot { c, t }),
+            (0..NQ, 0..NQ, 0..NQ)
+                .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c)
+                .prop_map(|(c1, c2, t)| Gate::Toffoli { c1, c2, t }),
+        ];
+        proptest::collection::vec(gate, 0..14).prop_map(|gates| {
+            let mut c = Circuit::new(NQ);
+            for g in gates {
+                c.push(g);
+            }
+            c
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Verified width reduction never breaks bijectivity, and hosted
+        /// ancillas were genuinely safe.
+        #[test]
+        fn reduction_is_sound(c in arb_circuit(), ancilla in 0..NQ) {
+            let (reduced, plan) =
+                reduce_width(&c, &[ancilla], &VerifyOptions::default()).unwrap();
+            let perm = permutation_of(&reduced).unwrap();
+            let mut sorted = perm.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..perm.len()).collect::<Vec<_>>());
+            if plan.saved() == 1 {
+                prop_assert!(qb_core::exact::classical_circuit_safely_uncomputes(
+                    &c, ancilla
+                ).unwrap());
+                prop_assert_eq!(reduced.num_qubits(), NQ - 1);
+            }
+        }
+
+        /// Packing always preserves the host program's function on its
+        /// own wires.
+        #[test]
+        fn packing_preserves_host(host in arb_circuit(), guest in arb_circuit(), q in 0..NQ) {
+            // Only attempt when the guest safely uncomputes q.
+            prop_assume!(
+                qb_core::exact::classical_circuit_safely_uncomputes(&guest, q).unwrap()
+            );
+            let report = pack_programs(&host, &guest, &[q], &VerifyOptions::default())
+                .unwrap();
+            prop_assert_eq!(report.saved(), 1);
+            let combined = permutation_of(&report.combined).unwrap();
+            let host_perm = permutation_of(&host).unwrap();
+            let mask = (1usize << NQ) - 1;
+            for x in 0..combined.len() {
+                prop_assert_eq!(combined[x] & mask, host_perm[x & mask]);
+            }
+        }
+    }
+}

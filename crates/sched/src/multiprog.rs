@@ -1,0 +1,247 @@
+//! Multi-program packing — the paper's §7 discussion made concrete.
+//!
+//! Quantum cloud services (QuCloud-style multi-programming) run several
+//! workloads on one machine. When program B needs dirty ancillas, it can
+//! borrow the qubits of a co-resident program A *while A is paused*: A's
+//! qubits hold arbitrary — possibly entangled — state, which is exactly
+//! the dirty-qubit contract. The borrow is sound only when B's safe
+//! uncomputation of those ancillas has been verified; "incorrectly
+//! returning a borrowed dirty qubit … can cause errors or even crashes in
+//! other programs" (§7).
+//!
+//! [`pack_programs`] builds the combined schedule A ; B(with A's qubits as
+//! B's dirty ancillas) and reports the width saving; it refuses to borrow
+//! unverified ancillas.
+
+use qb_circuit::Circuit;
+use qb_core::{verify_circuit, InitialValue, VerifyError, VerifyOptions};
+use std::fmt;
+
+/// The outcome of packing two programs.
+#[derive(Debug, Clone)]
+pub struct PackReport {
+    /// The combined circuit: A's gates followed by B's, with B's dirty
+    /// ancillas mapped onto A's qubits.
+    pub combined: Circuit,
+    /// Machine width without borrowing (`width_A + width_B`).
+    pub naive_width: usize,
+    /// Machine width with borrowing.
+    pub packed_width: usize,
+    /// Which of A's qubits host which of B's ancillas: `(b_ancilla,
+    /// a_qubit)`.
+    pub borrows: Vec<(usize, usize)>,
+}
+
+impl PackReport {
+    /// Number of machine qubits saved.
+    pub fn saved(&self) -> usize {
+        self.naive_width - self.packed_width
+    }
+}
+
+impl fmt::Display for PackReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "packed {} -> {} qubits ({} saved, {} borrows)",
+            self.naive_width,
+            self.packed_width,
+            self.saved(),
+            self.borrows.len()
+        )
+    }
+}
+
+/// Errors from program packing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PackError {
+    /// Verification of B's ancillas failed to complete.
+    Verify(VerifyError),
+    /// Some requested ancilla is not safely uncomputed by B.
+    UnsafeAncilla {
+        /// The offending ancilla wire of B.
+        ancilla: usize,
+    },
+    /// A has fewer qubits than B wants to borrow.
+    NotEnoughHostQubits {
+        /// Qubits requested.
+        requested: usize,
+        /// Qubits available in A.
+        available: usize,
+    },
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::Verify(e) => write!(f, "{e}"),
+            PackError::UnsafeAncilla { ancilla } => write!(
+                f,
+                "ancilla {ancilla} of the incoming program is not safely \
+                 uncomputed; borrowing it would corrupt the host program"
+            ),
+            PackError::NotEnoughHostQubits {
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot borrow {requested} qubits from a {available}-qubit host"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+impl From<VerifyError> for PackError {
+    fn from(e: VerifyError) -> Self {
+        PackError::Verify(e)
+    }
+}
+
+/// Packs program `b` after program `a` on one machine, borrowing A's
+/// qubits as B's dirty ancillas (`b_ancillas`, wire indices in B).
+///
+/// B's ancillas are verified safe (with `opts`) before borrowing; A's
+/// state — including any entanglement with systems outside the machine —
+/// is untouched by Theorem 5.4.
+///
+/// # Errors
+///
+/// See [`PackError`].
+pub fn pack_programs(
+    a: &Circuit,
+    b: &Circuit,
+    b_ancillas: &[usize],
+    opts: &VerifyOptions,
+) -> Result<PackReport, PackError> {
+    if b_ancillas.len() > a.num_qubits() {
+        return Err(PackError::NotEnoughHostQubits {
+            requested: b_ancillas.len(),
+            available: a.num_qubits(),
+        });
+    }
+    // Verify B safely uncomputes each ancilla it wants to borrow.
+    let initial = vec![InitialValue::Free; b.num_qubits()];
+    let report = verify_circuit(b, &initial, b_ancillas, opts)?;
+    if let Some(v) = report.verdicts.iter().find(|v| !v.safe) {
+        return Err(PackError::UnsafeAncilla { ancilla: v.qubit });
+    }
+
+    // Wire plan: A keeps 0..wa; B's non-ancilla wires follow; B's
+    // ancillas land on A's first wires.
+    let wa = a.num_qubits();
+    let wb = b.num_qubits();
+    let is_ancilla = {
+        let mut v = vec![false; wb];
+        for &x in b_ancillas {
+            v[x] = true;
+        }
+        v
+    };
+    let mut map = vec![0usize; wb];
+    let mut next = wa;
+    let mut host = 0usize;
+    let mut borrows = Vec::new();
+    for q in 0..wb {
+        if is_ancilla[q] {
+            map[q] = host;
+            borrows.push((q, host));
+            host += 1;
+        } else {
+            map[q] = next;
+            next += 1;
+        }
+    }
+    let packed_width = next;
+    let mut combined = Circuit::new(packed_width);
+    combined.append(a);
+    let b_mapped = b
+        .remap_qubits(&map, packed_width)
+        .expect("packing map is injective");
+    combined.append(&b_mapped);
+    Ok(PackReport {
+        combined,
+        naive_width: wa + wb,
+        packed_width,
+        borrows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_circuit::{permutation_of, simulate_classical, BitState};
+    use qb_synth::{fig_1_3_cccnot_with_dirty, fig_1_4_counterexample};
+
+    /// Host program: some entangling-looking classical computation.
+    fn host_program() -> Circuit {
+        let mut a = Circuit::new(3);
+        a.x(0).cnot(0, 1).toffoli(0, 1, 2).cnot(2, 0);
+        a
+    }
+
+    #[test]
+    fn packing_saves_width_and_preserves_the_host() {
+        let a = host_program();
+        let b = fig_1_3_cccnot_with_dirty(); // borrows wire 2 as dirty
+        let report =
+            pack_programs(&a, &b, &[2], &VerifyOptions::default()).unwrap();
+        assert_eq!(report.naive_width, 8);
+        assert_eq!(report.packed_width, 7);
+        assert_eq!(report.saved(), 1);
+
+        // The combined circuit equals A ⊗ B_logical: B's borrowed wire
+        // (hosted on A's qubit 0) is untouched as far as A is concerned.
+        let perm = permutation_of(&report.combined).unwrap();
+        let a_perm = permutation_of(&a).unwrap();
+        for x in 0..(1usize << 7) {
+            let a_part = x & 0b111;
+            let expected_a = a_perm[a_part];
+            assert_eq!(perm[x] & 0b111, expected_a, "host state preserved");
+        }
+    }
+
+    #[test]
+    fn unsafe_program_is_rejected() {
+        let a = host_program();
+        let b = fig_1_4_counterexample(); // wire 0 leaks: unsafe
+        let err = pack_programs(&a, &b, &[0], &VerifyOptions::default()).unwrap_err();
+        assert_eq!(err, PackError::UnsafeAncilla { ancilla: 0 });
+    }
+
+    #[test]
+    fn width_limits_are_enforced() {
+        let a = Circuit::new(1);
+        let b = fig_1_3_cccnot_with_dirty();
+        let err =
+            pack_programs(&a, &b, &[0, 1, 2], &VerifyOptions::default()).unwrap_err();
+        assert!(matches!(err, PackError::NotEnoughHostQubits { .. }));
+    }
+
+    #[test]
+    fn borrowed_wires_really_carry_host_data() {
+        // Run the combined circuit on a state where the host qubit holds 1
+        // and confirm B's logical result is unaffected by it.
+        let a = Circuit::new(1); // a trivial one-qubit host
+        let b = fig_1_3_cccnot_with_dirty();
+        let report = pack_programs(&a, &b, &[2], &VerifyOptions::default()).unwrap();
+        // Wires: 0 = host (and B's dirty), 1.. = B's working qubits
+        // q1,q2,q3,q4 in order.
+        for host_bit in [false, true] {
+            for controls in 0..8u64 {
+                let mut bits = vec![false; report.packed_width];
+                bits[0] = host_bit;
+                // q1,q2,q3 are wires 1,2,3; q4 (target) wire 4.
+                for i in 0..3 {
+                    bits[1 + i] = controls >> i & 1 == 1;
+                }
+                let out = simulate_classical(&report.combined, &BitState::from_bits(&bits))
+                    .unwrap();
+                let fired = controls == 7;
+                assert_eq!(out.get(4), fired, "target correct, host={host_bit}");
+                assert_eq!(out.get(0), host_bit, "host bit restored");
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Qubit activity periods — the (◀ ▶) intervals of the paper's Fig. 3.1.
+
+use qb_circuit::Circuit;
+
+/// The activity period of one qubit: the gate-index range during which it
+/// participates in the circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Activity {
+    /// First gate touching the qubit, if any.
+    pub first: Option<usize>,
+    /// Last gate touching the qubit, if any.
+    pub last: Option<usize>,
+}
+
+impl Activity {
+    /// `true` when the qubit never participates.
+    pub fn is_idle(&self) -> bool {
+        self.first.is_none()
+    }
+
+    /// The closed interval `[first, last]`, if active.
+    pub fn interval(&self) -> Option<(usize, usize)> {
+        match (self.first, self.last) {
+            (Some(f), Some(l)) => Some((f, l)),
+            _ => None,
+        }
+    }
+
+    /// `true` when the two activity periods overlap.
+    pub fn overlaps(&self, other: &Activity) -> bool {
+        match (self.interval(), other.interval()) {
+            (Some((f1, l1)), Some((f2, l2))) => f1 <= l2 && f2 <= l1,
+            _ => false,
+        }
+    }
+}
+
+/// Computes every qubit's activity period.
+pub fn activity_periods(circuit: &Circuit) -> Vec<Activity> {
+    let mut periods = vec![
+        Activity {
+            first: None,
+            last: None,
+        };
+        circuit.num_qubits()
+    ];
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        for q in gate.qubits() {
+            let p = &mut periods[q];
+            if p.first.is_none() {
+                p.first = Some(i);
+            }
+            p.last = Some(i);
+        }
+    }
+    periods
+}
+
+/// `true` when qubit `q` has no gate inside the closed interval `span`.
+pub fn idle_during(circuit: &Circuit, q: usize, span: (usize, usize)) -> bool {
+    circuit
+        .gates()
+        .iter()
+        .enumerate()
+        .all(|(i, gate)| i < span.0 || i > span.1 || !gate.qubits().contains(&q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periods_track_first_and_last() {
+        let mut c = Circuit::new(4);
+        c.x(0).cnot(0, 1).x(1).x(0);
+        let p = activity_periods(&c);
+        assert_eq!(p[0].interval(), Some((0, 3)));
+        assert_eq!(p[1].interval(), Some((1, 2)));
+        assert!(p[2].is_idle());
+        assert!(p[3].is_idle());
+    }
+
+    #[test]
+    fn overlap_logic() {
+        let a = Activity {
+            first: Some(0),
+            last: Some(3),
+        };
+        let b = Activity {
+            first: Some(4),
+            last: Some(6),
+        };
+        let c = Activity {
+            first: Some(3),
+            last: Some(4),
+        };
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        let idle = Activity {
+            first: None,
+            last: None,
+        };
+        assert!(!idle.overlaps(&a));
+    }
+
+    #[test]
+    fn idle_during_interval() {
+        let mut c = Circuit::new(3);
+        c.x(0).x(1).x(0).x(2);
+        assert!(idle_during(&c, 2, (0, 2)));
+        assert!(!idle_during(&c, 2, (0, 3)));
+        assert!(idle_during(&c, 1, (2, 3)));
+    }
+
+    #[test]
+    fn fig_3_1a_periods_match_the_figure() {
+        let c = qb_synth::fig_3_1a();
+        let p = activity_periods(&c);
+        // a1 (index 5) is active during the first routine, a2 (index 6)
+        // during the second; their periods do not overlap and q3 (index 2)
+        // is idle after the leading CNOT.
+        assert!(!p[5].overlaps(&p[6]));
+        let (f1, l1) = p[5].interval().unwrap();
+        assert!(idle_during(&c, 2, (f1, l1)));
+        let (f2, l2) = p[6].interval().unwrap();
+        assert!(idle_during(&c, 2, (f2, l2)));
+    }
+}

@@ -1,0 +1,456 @@
+//! Quantum operations (completely positive trace non-increasing maps).
+//!
+//! The denotational semantics of QBorrow (paper Fig. 4.3) interprets every
+//! program as a *set* of quantum operations. This module provides the
+//! single-operation algebra: Kraus-form channels with composition, the
+//! convex sums used by measurement-guarded branching, and a dense
+//! superoperator representation that makes equality of operations decidable
+//! — which is exactly what Definition 5.1 (safe uncomputation) needs.
+
+use crate::density::DensityMatrix;
+use crate::state::mask_of;
+use qb_circuit::{Circuit, Gate};
+use qb_linalg::{Complex, Matrix};
+
+/// Embeds a `2^k`-dimensional operator acting on the listed `qubits` into
+/// the full `2^n`-dimensional space (identity elsewhere).
+///
+/// The first listed qubit corresponds to the most significant bit of the
+/// small operator's index, matching the state-vector convention.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or out-of-range/duplicate qubits.
+pub fn embed(n: usize, qubits: &[usize], m: &Matrix) -> Matrix {
+    let k = qubits.len();
+    assert_eq!(m.rows(), 1 << k, "operator dimension mismatch");
+    assert_eq!(m.cols(), 1 << k, "operator must be square");
+    {
+        let mut sorted = qubits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), k, "duplicate qubits");
+        assert!(sorted.iter().all(|&q| q < n), "qubit out of range");
+    }
+    let dim = 1 << n;
+    let masks: Vec<usize> = qubits.iter().map(|&q| mask_of(q, n)).collect();
+    let all_mask: usize = masks.iter().sum();
+    let mut out = Matrix::zeros(dim, dim);
+    for col in 0..dim {
+        let mut sub_col = 0usize;
+        for (j, &mask) in masks.iter().enumerate() {
+            if col & mask != 0 {
+                sub_col |= 1 << (k - 1 - j);
+            }
+        }
+        let base = col & !all_mask;
+        for sub_row in 0..(1 << k) {
+            let a = m[(sub_row, sub_col)];
+            if a.is_zero(0.0) {
+                continue;
+            }
+            let mut row = base;
+            for (j, &mask) in masks.iter().enumerate() {
+                if sub_row >> (k - 1 - j) & 1 == 1 {
+                    row |= mask;
+                }
+            }
+            out[(row, col)] = a;
+        }
+    }
+    out
+}
+
+/// The bare matrix of a gate over its own operands.
+pub fn gate_matrix(gate: &Gate) -> Matrix {
+    match gate {
+        Gate::X(_) => Matrix::pauli_x(),
+        Gate::H(_) => Matrix::hadamard(),
+        Gate::Z(_) => Matrix::pauli_z(),
+        Gate::S(_) => Matrix::phase(std::f64::consts::FRAC_PI_2),
+        Gate::Sdg(_) => Matrix::phase(-std::f64::consts::FRAC_PI_2),
+        Gate::T(_) => Matrix::phase(std::f64::consts::FRAC_PI_4),
+        Gate::Tdg(_) => Matrix::phase(-std::f64::consts::FRAC_PI_4),
+        Gate::Phase { theta, .. } => Matrix::phase(*theta),
+        Gate::Cnot { .. } => Matrix::permutation(&[0, 1, 3, 2]),
+        Gate::Cz { .. } => {
+            let mut m = Matrix::identity(4);
+            m[(3, 3)] = -Complex::ONE;
+            m
+        }
+        Gate::CPhase { theta, .. } => {
+            let mut m = Matrix::identity(4);
+            m[(3, 3)] = Complex::from_polar(1.0, *theta);
+            m
+        }
+        Gate::Swap(..) => Matrix::permutation(&[0, 2, 1, 3]),
+        Gate::Toffoli { .. } => {
+            let mut perm: Vec<usize> = (0..8).collect();
+            perm.swap(6, 7);
+            Matrix::permutation(&perm)
+        }
+        Gate::Mcx { controls, .. } => {
+            let k = controls.len() + 1;
+            let dim = 1 << k;
+            let mut perm: Vec<usize> = (0..dim).collect();
+            perm.swap(dim - 2, dim - 1);
+            Matrix::permutation(&perm)
+        }
+    }
+}
+
+/// A binary measurement `{M_T, M_F}` with `M_T†M_T + M_F†M_F = I` (§2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// The operator applied on outcome `T`.
+    pub m_true: Matrix,
+    /// The operator applied on outcome `F`.
+    pub m_false: Matrix,
+}
+
+impl Measurement {
+    /// Computational-basis measurement of `q` on an `n`-qubit system:
+    /// outcome `T` projects onto `|1⟩_q`, outcome `F` onto `|0⟩_q`.
+    pub fn basis(n: usize, q: usize) -> Self {
+        let p1 = Matrix::from_real(2, 2, &[0.0, 0.0, 0.0, 1.0]);
+        let p0 = Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, 0.0]);
+        Measurement {
+            m_true: embed(n, &[q], &p1),
+            m_false: embed(n, &[q], &p0),
+        }
+    }
+
+    /// Builds a measurement from raw operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the completeness relation fails.
+    pub fn from_operators(m_true: Matrix, m_false: Matrix) -> Self {
+        debug_assert!(
+            {
+                let sum = m_true.adjoint().mul_mat(&m_true)
+                    + m_false.adjoint().mul_mat(&m_false);
+                sum.approx_eq(&Matrix::identity(m_true.rows()), 1e-9)
+            },
+            "measurement operators must satisfy completeness"
+        );
+        Measurement { m_true, m_false }
+    }
+}
+
+/// A quantum operation in Kraus form: `E(ρ) = Σ_k K_k ρ K_k†`.
+///
+/// # Examples
+///
+/// ```
+/// use qb_circuit::Circuit;
+/// use qb_sim::{Channel, DensityMatrix, StateVector};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cnot(0, 1);
+/// let e = Channel::from_circuit(&c);
+/// let rho = e.apply(&DensityMatrix::from_pure(&StateVector::zero(2)));
+/// assert!((rho.purity() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Channel {
+    n: usize,
+    kraus: Vec<Matrix>,
+}
+
+impl Channel {
+    /// The identity operation on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Channel {
+            n,
+            kraus: vec![Matrix::identity(1 << n)],
+        }
+    }
+
+    /// A unitary channel from a full-space unitary.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn unitary(n: usize, u: Matrix) -> Self {
+        assert_eq!(u.rows(), 1 << n, "dimension mismatch");
+        Channel { n, kraus: vec![u] }
+    }
+
+    /// A unitary channel applying `m` to the listed qubits.
+    pub fn unitary_on(n: usize, qubits: &[usize], m: &Matrix) -> Self {
+        Channel::unitary(n, embed(n, qubits, m))
+    }
+
+    /// The channel of a single gate on an `n`-qubit system.
+    pub fn from_gate(n: usize, gate: &Gate) -> Self {
+        Channel::unitary_on(n, &gate.qubits(), &gate_matrix(gate))
+    }
+
+    /// The unitary channel of a whole circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics for circuits wider than 12 qubits.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        Channel::unitary(circuit.num_qubits(), crate::unitary_of(circuit))
+    }
+
+    /// The initialisation operation `E_init,q` of §2: resets `q` to `|0⟩`.
+    pub fn init_qubit(n: usize, q: usize) -> Self {
+        let k0 = Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, 0.0]); // |0⟩⟨0|
+        let k1 = Matrix::from_real(2, 2, &[0.0, 1.0, 0.0, 0.0]); // |0⟩⟨1|
+        Channel {
+            n,
+            kraus: vec![embed(n, &[q], &k0), embed(n, &[q], &k1)],
+        }
+    }
+
+    /// The sub-normalised measurement operation `E_m(ρ) = M_m ρ M_m†`.
+    pub fn measurement_branch(n: usize, measurement: &Measurement, outcome: bool) -> Self {
+        let m = if outcome {
+            measurement.m_true.clone()
+        } else {
+            measurement.m_false.clone()
+        };
+        assert_eq!(m.rows(), 1 << n, "dimension mismatch");
+        Channel { n, kraus: vec![m] }
+    }
+
+    /// Builds a channel from explicit Kraus operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics when operators have inconsistent dimensions.
+    pub fn from_kraus(n: usize, kraus: Vec<Matrix>) -> Self {
+        assert!(!kraus.is_empty(), "at least one Kraus operator required");
+        for k in &kraus {
+            assert_eq!(k.rows(), 1 << n, "dimension mismatch");
+            assert_eq!(k.cols(), 1 << n, "dimension mismatch");
+        }
+        Channel { n, kraus }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The Kraus operators.
+    pub fn kraus_operators(&self) -> &[Matrix] {
+        &self.kraus
+    }
+
+    /// Applies the operation to a density operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn apply(&self, rho: &DensityMatrix) -> DensityMatrix {
+        assert_eq!(rho.num_qubits(), self.n, "dimension mismatch");
+        let dim = 1 << self.n;
+        let mut out = Matrix::zeros(dim, dim);
+        for k in &self.kraus {
+            out = out + k.mul_mat(rho.matrix()).mul_mat(&k.adjoint());
+        }
+        DensityMatrix::from_matrix(self.n, out)
+    }
+
+    /// Sequential composition: `(other ∘ self)(ρ) = other(self(ρ))`.
+    ///
+    /// The Kraus set of the composite is the pairwise product, so sizes
+    /// multiply; [`Channel::compress`] keeps them manageable.
+    #[must_use]
+    pub fn then(&self, other: &Channel) -> Channel {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let mut kraus = Vec::with_capacity(self.kraus.len() * other.kraus.len());
+        for k2 in &other.kraus {
+            for k1 in &self.kraus {
+                kraus.push(k2.mul_mat(k1));
+            }
+        }
+        Channel { n: self.n, kraus }.compress()
+    }
+
+    /// Convex/branch sum: `(self + other)(ρ) = self(ρ) + other(ρ)` — the
+    /// combination rule for measurement branches in Fig. 4.3.
+    #[must_use]
+    pub fn plus(&self, other: &Channel) -> Channel {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let mut kraus = self.kraus.clone();
+        kraus.extend(other.kraus.iter().cloned());
+        Channel { n: self.n, kraus }
+    }
+
+    /// Drops numerically negligible Kraus operators.
+    #[must_use]
+    pub fn compress(mut self) -> Channel {
+        self.kraus.retain(|k| k.frobenius_norm() > 1e-12);
+        if self.kraus.is_empty() {
+            let dim = 1 << self.n;
+            self.kraus.push(Matrix::zeros(dim, dim));
+        }
+        self
+    }
+
+    /// Dense superoperator: the matrix `Σ_k K_k ⊗ conj(K_k)` acting on
+    /// row-major vectorised density matrices. Two operations are equal as
+    /// maps exactly when their superoperators are equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics for systems larger than 6 qubits (the superoperator would
+    /// exceed 4096²).
+    pub fn superoperator(&self) -> Matrix {
+        assert!(self.n <= 6, "superoperator limited to 6 qubits");
+        let dim = 1usize << self.n;
+        let sdim = dim * dim;
+        let mut s = Matrix::zeros(sdim, sdim);
+        for k in &self.kraus {
+            s = s + k.kron(&k.conj());
+        }
+        s
+    }
+
+    /// Equality as linear maps, via superoperator comparison.
+    pub fn approx_eq(&self, other: &Channel, tol: f64) -> bool {
+        self.n == other.n && self.superoperator().approx_eq(&other.superoperator(), tol)
+    }
+
+    /// Checks the trace non-increasing property `Σ K†K ⪯ I` on the
+    /// diagonal and via a Gershgorin-style bound (sound but approximate:
+    /// may reject borderline valid channels, never accepts invalid ones by
+    /// more than `tol`).
+    pub fn is_trace_nonincreasing(&self, tol: f64) -> bool {
+        let dim = 1 << self.n;
+        let mut sum = Matrix::zeros(dim, dim);
+        for k in &self.kraus {
+            sum = sum + k.adjoint().mul_mat(k);
+        }
+        let gap = Matrix::identity(dim) - sum;
+        // I − ΣK†K must be PSD; test positivity on basis vectors and by
+        // symmetrised diagonal dominance.
+        for i in 0..dim {
+            if gap[(i, i)].re < -tol {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateVector;
+
+    #[test]
+    fn embed_acts_on_selected_qubit() {
+        let x = Matrix::pauli_x();
+        let on0 = embed(2, &[0], &x);
+        // X on qubit 0 (MSB): permutation swapping blocks.
+        assert!(on0.approx_eq(&Matrix::permutation(&[2, 3, 0, 1]), 1e-12));
+        let on1 = embed(2, &[1], &x);
+        assert!(on1.approx_eq(&Matrix::permutation(&[1, 0, 3, 2]), 1e-12));
+    }
+
+    #[test]
+    fn embed_respects_operand_order() {
+        // CNOT with control listed second: embed(2, [1,0], CNOT) has
+        // control on qubit 1.
+        let cnot = gate_matrix(&Gate::Cnot { c: 0, t: 0 });
+        let swapped = embed(2, &[1, 0], &cnot);
+        let mut c = Circuit::new(2);
+        c.cnot(1, 0);
+        let expect = crate::unitary_of(&c);
+        assert!(swapped.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn init_channel_resets_qubit() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let plus = DensityMatrix::from_pure(&StateVector::zero(1).run(&c));
+        let init = Channel::init_qubit(1, 0);
+        let out = init.apply(&plus);
+        let zero = DensityMatrix::from_pure(&StateVector::zero(1));
+        assert!(out.approx_eq(&zero, 1e-12));
+        assert!((out.trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_branches_sum_to_trace_preserving() {
+        let m = Measurement::basis(2, 1);
+        let t = Channel::measurement_branch(2, &m, true);
+        let f = Channel::measurement_branch(2, &m, false);
+        let total = t.plus(&f);
+        assert!(total.is_trace_nonincreasing(1e-9));
+        let mut c = Circuit::new(2);
+        c.h(1);
+        let rho = DensityMatrix::from_pure(&StateVector::zero(2).run(&c));
+        let out = total.apply(&rho);
+        assert!((out.trace() - 1.0).abs() < 1e-12);
+        // Each branch captures probability 1/2.
+        assert!((t.apply(&rho).trace() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let mut c1 = Circuit::new(2);
+        c1.h(0);
+        let mut c2 = Circuit::new(2);
+        c2.cnot(0, 1);
+        let e1 = Channel::from_circuit(&c1);
+        let e2 = Channel::from_circuit(&c2);
+        let composed = e1.then(&e2);
+        let rho = DensityMatrix::from_pure(&StateVector::zero(2));
+        let a = composed.apply(&rho);
+        let b = e2.apply(&e1.apply(&rho));
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn superoperator_equality_distinguishes_channels() {
+        let id = Channel::identity(1);
+        let x = Channel::from_gate(1, &Gate::X(0));
+        let z = Channel::from_gate(1, &Gate::Z(0));
+        assert!(!id.approx_eq(&x, 1e-9));
+        assert!(!x.approx_eq(&z, 1e-9));
+        // Global phase is invisible at the channel level: -I ~ I.
+        let minus_i = Channel::unitary(1, Matrix::identity(2).scale(-Complex::ONE));
+        assert!(id.approx_eq(&minus_i, 1e-9));
+    }
+
+    #[test]
+    fn init_is_not_unitary_but_trace_preserving() {
+        let init = Channel::init_qubit(2, 0);
+        assert!(init.is_trace_nonincreasing(1e-9));
+        let rho = DensityMatrix::maximally_mixed(2);
+        let out = init.apply(&rho);
+        assert!((out.trace() - 1.0).abs() < 1e-12);
+        assert!((out.probability_of_one(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_matrices_are_unitary() {
+        let gates = vec![
+            Gate::X(0),
+            Gate::H(0),
+            Gate::Z(0),
+            Gate::S(0),
+            Gate::T(0),
+            Gate::Phase { theta: 0.7, q: 0 },
+            Gate::Cnot { c: 0, t: 1 },
+            Gate::Cz { c: 0, t: 1 },
+            Gate::Swap(0, 1),
+            Gate::Toffoli { c1: 0, c2: 1, t: 2 },
+            Gate::Mcx {
+                controls: vec![0, 1, 2],
+                target: 3,
+            },
+        ];
+        for g in gates {
+            assert!(gate_matrix(&g).is_unitary(1e-12), "{g:?}");
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Density operators (mixed states) and the partial trace.
+//!
+//! The paper's semantics works with *partial* density operators — positive
+//! semidefinite operators with trace at most one, where the trace deficit
+//! encodes non-termination probability (§2). [`DensityMatrix`] follows that
+//! convention: it validates positivity only in debug assertions and allows
+//! any trace in `[0, 1]`.
+
+use crate::state::{bit_of, StateVector};
+use qb_linalg::{Complex, Matrix};
+
+/// A (partial) density operator on `n` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qb_sim::{DensityMatrix, StateVector};
+/// use qb_circuit::Circuit;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cnot(0, 1);
+/// let rho = DensityMatrix::from_pure(&StateVector::zero(2).run(&bell));
+/// // The reduced state of either qubit is maximally mixed.
+/// let reduced = rho.partial_trace(&[0]);
+/// assert!((reduced.purity() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    n: usize,
+    mat: Matrix,
+}
+
+impl DensityMatrix {
+    /// The projector onto a pure state.
+    pub fn from_pure(psi: &StateVector) -> Self {
+        let dim = psi.amplitudes().len();
+        let mut mat = Matrix::zeros(dim, dim);
+        for (i, &a) in psi.amplitudes().iter().enumerate() {
+            if a.is_zero(0.0) {
+                continue;
+            }
+            for (j, &b) in psi.amplitudes().iter().enumerate() {
+                mat[(i, j)] = a * b.conj();
+            }
+        }
+        DensityMatrix {
+            n: psi.num_qubits(),
+            mat,
+        }
+    }
+
+    /// Wraps a raw matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix is not square with dimension `2^n`.
+    pub fn from_matrix(n: usize, mat: Matrix) -> Self {
+        assert_eq!(mat.rows(), 1 << n, "dimension mismatch");
+        assert!(mat.is_square(), "density operators are square");
+        DensityMatrix { n, mat }
+    }
+
+    /// The maximally mixed state `I / 2^n`.
+    pub fn maximally_mixed(n: usize) -> Self {
+        let dim = 1 << n;
+        DensityMatrix {
+            n,
+            mat: Matrix::identity(dim).scale(Complex::real(1.0 / dim as f64)),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.mat
+    }
+
+    /// Trace (1 for normalised states, less for partial states).
+    pub fn trace(&self) -> f64 {
+        self.mat.trace().re
+    }
+
+    /// Purity `Tr(ρ²)`.
+    pub fn purity(&self) -> f64 {
+        self.mat.mul_mat(&self.mat).trace().re
+    }
+
+    /// Tensor product `self ⊗ other` (self's qubits first).
+    #[must_use]
+    pub fn tensor(&self, other: &DensityMatrix) -> DensityMatrix {
+        DensityMatrix {
+            n: self.n + other.n,
+            mat: self.mat.kron(&other.mat),
+        }
+    }
+
+    /// Normalises to unit trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace is (numerically) zero.
+    #[must_use]
+    pub fn normalized(&self) -> DensityMatrix {
+        let t = self.trace();
+        assert!(t.abs() > 1e-300, "cannot normalise a zero-trace state");
+        DensityMatrix {
+            n: self.n,
+            mat: self.mat.scale(Complex::real(1.0 / t)),
+        }
+    }
+
+    /// Traces out every qubit *not* in `keep`, returning the reduced state
+    /// of the kept qubits (in ascending original order).
+    ///
+    /// This is the `ρ|_q` operation used throughout §5 of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keep` contains duplicates or out-of-range indices.
+    pub fn partial_trace(&self, keep: &[usize]) -> DensityMatrix {
+        let mut keep = keep.to_vec();
+        keep.sort_unstable();
+        keep.dedup();
+        assert!(keep.iter().all(|&q| q < self.n), "qubit out of range");
+        let k = keep.len();
+        let traced: Vec<usize> = (0..self.n).filter(|q| !keep.contains(q)).collect();
+        let dim_keep = 1usize << k;
+        let dim_traced = 1usize << traced.len();
+        let mut out = Matrix::zeros(dim_keep, dim_keep);
+
+        // Compose a full index from kept sub-index and traced sub-index.
+        let compose = |kept_bits: usize, traced_bits: usize| -> usize {
+            let mut idx = 0usize;
+            for (pos, &q) in keep.iter().enumerate() {
+                if kept_bits >> (k - 1 - pos) & 1 == 1 {
+                    idx |= 1 << (self.n - 1 - q);
+                }
+            }
+            for (pos, &q) in traced.iter().enumerate() {
+                if traced_bits >> (traced.len() - 1 - pos) & 1 == 1 {
+                    idx |= 1 << (self.n - 1 - q);
+                }
+            }
+            idx
+        };
+
+        for i in 0..dim_keep {
+            for j in 0..dim_keep {
+                let mut acc = Complex::ZERO;
+                for e in 0..dim_traced {
+                    acc += self.mat[(compose(i, e), compose(j, e))];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        DensityMatrix { n: k, mat: out }
+    }
+
+    /// The normalised reduced state of a single qubit — `ρ|_q` in the
+    /// paper's notation (Theorem 5.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state has zero trace.
+    pub fn reduced_qubit(&self, q: usize) -> Matrix {
+        let reduced = self.partial_trace(&[q]).normalized();
+        reduced.mat
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &DensityMatrix, tol: f64) -> bool {
+        self.n == other.n && self.mat.approx_eq(&other.mat, tol)
+    }
+
+    /// Fidelity with a pure state: `⟨ψ|ρ|ψ⟩`.
+    pub fn fidelity_pure(&self, psi: &StateVector) -> f64 {
+        assert_eq!(self.n, psi.num_qubits(), "dimension mismatch");
+        let v = self.mat.mul_vec(psi.amplitudes());
+        psi.amplitudes()
+            .iter()
+            .zip(&v)
+            .map(|(a, b)| (a.conj() * *b).re)
+            .sum()
+    }
+
+    /// Probability that measuring `qubit` in the computational basis
+    /// yields 1.
+    pub fn probability_of_one(&self, qubit: usize) -> f64 {
+        (0..self.mat.rows())
+            .filter(|&i| bit_of(i, qubit, self.n))
+            .map(|i| self.mat[(i, i)].re)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_circuit::Circuit;
+
+    fn bell() -> DensityMatrix {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        DensityMatrix::from_pure(&StateVector::zero(2).run(&c))
+    }
+
+    #[test]
+    fn pure_states_have_unit_purity() {
+        let rho = DensityMatrix::from_pure(&StateVector::basis(2, 3));
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_reduced_state_is_mixed() {
+        let rho = bell();
+        for q in 0..2 {
+            let reduced = rho.partial_trace(&[q]);
+            assert!(reduced.approx_eq(&DensityMatrix::maximally_mixed(1), 1e-12));
+        }
+    }
+
+    #[test]
+    fn partial_trace_of_product_recovers_factors() {
+        let a = DensityMatrix::from_pure(&StateVector::from_bits(&[true]));
+        let plus = {
+            let mut c = Circuit::new(1);
+            c.h(0);
+            DensityMatrix::from_pure(&StateVector::zero(1).run(&c))
+        };
+        let joint = a.tensor(&plus);
+        assert!(joint.partial_trace(&[0]).approx_eq(&a, 1e-12));
+        assert!(joint.partial_trace(&[1]).approx_eq(&plus, 1e-12));
+    }
+
+    #[test]
+    fn partial_trace_preserves_trace() {
+        let rho = bell();
+        assert!((rho.partial_trace(&[1]).trace() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keep_order_is_ascending() {
+        // |01⟩⟨01|: qubit 0 is |0⟩, qubit 1 is |1⟩.
+        let rho = DensityMatrix::from_pure(&StateVector::from_bits(&[false, true]));
+        let both = rho.partial_trace(&[1, 0]); // same as keep [0,1]
+        assert!(both.approx_eq(&rho, 1e-12));
+        let q1 = rho.partial_trace(&[1]);
+        assert!((q1.probability_of_one(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_detects_distinct_states() {
+        let rho = bell();
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let bell_psi = StateVector::zero(2).run(&c);
+        assert!((rho.fidelity_pure(&bell_psi) - 1.0).abs() < 1e-12);
+        assert!(rho.fidelity_pure(&StateVector::basis(2, 0)) < 0.6);
+    }
+
+    #[test]
+    fn probability_of_one_matches_statevector() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let psi = StateVector::zero(2).run(&c);
+        let rho = DensityMatrix::from_pure(&psi);
+        for q in 0..2 {
+            assert!((rho.probability_of_one(q) - psi.probability_of_one(q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "qubit out of range")]
+    fn partial_trace_validates() {
+        bell().partial_trace(&[3]);
+    }
+}

@@ -1,0 +1,139 @@
+//! # qb-sim
+//!
+//! Quantum simulation substrate: state vectors, density operators, and
+//! Kraus-form quantum operations with a decidable (superoperator) equality.
+//!
+//! This crate supplies the ground-truth semantics against which the
+//! symbolic safe-uncomputation verifier of `qb-core` is validated:
+//!
+//! * [`StateVector`] — pure-state evolution of `qb_circuit::Circuit`s;
+//! * [`DensityMatrix`] — (partial) density operators with the partial
+//!   trace `ρ|_q` used throughout §5 of the paper;
+//! * [`Channel`] — quantum operations with composition [`Channel::then`],
+//!   branch sums [`Channel::plus`] and [`Channel::superoperator`] equality,
+//!   the building blocks of the Fig. 4.3 denotational semantics.
+//!
+//! Everything is dense and exact (up to `f64`), sized for the ≤ 6-qubit
+//! systems the finite-basis theorems (Thm. 6.1) require.
+//!
+//! # Examples
+//!
+//! Verify by brute force that the Fig. 1.3 CCCNOT-with-dirty-qubit circuit
+//! acts as the identity on the dirty qubit `a` (index 2):
+//!
+//! ```
+//! use qb_circuit::Circuit;
+//! use qb_sim::unitary_of;
+//! use qb_linalg::Matrix;
+//!
+//! let mut c = Circuit::new(5);
+//! c.toffoli(0, 1, 2).toffoli(2, 3, 4).toffoli(0, 1, 2).toffoli(2, 3, 4);
+//! let u = unitary_of(&c);
+//! // U commutes with X_a and Z_a ⟺ U = V ⊗ I_a (Def. 3.1).
+//! let x_a = qb_sim::embed(5, &[2], &Matrix::pauli_x());
+//! let z_a = qb_sim::embed(5, &[2], &Matrix::pauli_z());
+//! assert!(u.commutator(&x_a).frobenius_norm() < 1e-9);
+//! assert!(u.commutator(&z_a).frobenius_norm() < 1e-9);
+//! ```
+
+mod channel;
+mod density;
+mod state;
+mod superop;
+
+pub use channel::{embed, gate_matrix, Channel, Measurement};
+pub use density::DensityMatrix;
+pub use state::{matrix_of_gate, unitary_of, StateVector};
+pub use superop::SuperOp;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use qb_circuit::{permutation_of, Circuit, Gate};
+
+    const NQ: usize = 4;
+
+    fn arb_gate() -> impl Strategy<Value = Gate> {
+        prop_oneof![
+            (0..NQ).prop_map(Gate::X),
+            (0..NQ).prop_map(Gate::H),
+            (0..NQ).prop_map(Gate::T),
+            (-3.0f64..3.0, 0..NQ).prop_map(|(theta, q)| Gate::Phase { theta, q }),
+            (0..NQ, 0..NQ)
+                .prop_filter("distinct", |(c, t)| c != t)
+                .prop_map(|(c, t)| Gate::Cnot { c, t }),
+            (0..NQ, 0..NQ, 0..NQ)
+                .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c)
+                .prop_map(|(c1, c2, t)| Gate::Toffoli { c1, c2, t }),
+        ]
+    }
+
+    fn arb_circuit(max_len: usize) -> impl Strategy<Value = Circuit> {
+        proptest::collection::vec(arb_gate(), 0..max_len).prop_map(|gates| {
+            let mut c = Circuit::new(NQ);
+            for g in gates {
+                c.push(g);
+            }
+            c
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every circuit produces a unitary matrix.
+        #[test]
+        fn circuits_are_unitary(c in arb_circuit(12)) {
+            prop_assert!(unitary_of(&c).is_unitary(1e-9));
+        }
+
+        /// State-vector norms are preserved.
+        #[test]
+        fn norm_preservation(c in arb_circuit(12), basis in 0usize..(1 << NQ)) {
+            let s = StateVector::basis(NQ, basis).run(&c);
+            prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+        }
+
+        /// For classical circuits the unitary is the basis permutation
+        /// computed by the bit-level simulator (modulo endianness mapping).
+        #[test]
+        fn classical_unitary_matches_bit_simulation(c in arb_circuit(12)) {
+            prop_assume!(c.is_classical());
+            let u = unitary_of(&c);
+            let perm = permutation_of(&c).unwrap();
+            // BitState packs qubit i at integer bit i (little-endian);
+            // StateVector puts qubit 0 at the most significant bit.
+            let reverse = |x: usize| -> usize {
+                (0..NQ).fold(0, |acc, b| acc | (((x >> b) & 1) << (NQ - 1 - b)))
+            };
+            for (input, &output) in perm.iter().enumerate() {
+                let s = StateVector::basis(NQ, reverse(input)).run(&c);
+                prop_assert!((s.probability(reverse(output)) - 1.0).abs() < 1e-9);
+            }
+            prop_assert!(u.is_unitary(1e-9));
+        }
+
+        /// Channel of a circuit equals the composition of per-gate channels.
+        #[test]
+        fn channel_composition(c in arb_circuit(6)) {
+            let whole = Channel::from_circuit(&c);
+            let mut composed = Channel::identity(NQ);
+            for g in c.gates() {
+                composed = composed.then(&Channel::from_gate(NQ, g));
+            }
+            prop_assert!(whole.approx_eq(&composed, 1e-7));
+        }
+
+        /// Partial trace is trace preserving and order insensitive.
+        #[test]
+        fn partial_trace_properties(c in arb_circuit(10)) {
+            let rho = DensityMatrix::from_pure(&StateVector::zero(NQ).run(&c));
+            let reduced = rho.partial_trace(&[1, 3]);
+            prop_assert!((reduced.trace() - 1.0).abs() < 1e-9);
+            let reduced_again = reduced.partial_trace(&[0]);
+            let direct = rho.partial_trace(&[1]);
+            prop_assert!(reduced_again.approx_eq(&direct, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Pure-state (state-vector) simulation.
+//!
+//! Amplitude indexing convention (used consistently across the workspace's
+//! quantum semantics): **qubit 0 is the most significant bit** of the basis
+//! index, so the joint space is the Kronecker product
+//! `H_{q0} ⊗ H_{q1} ⊗ ⋯` in qubit order and `Matrix::kron` composes
+//! states/operators without reshuffling.
+
+use crate::gate_matrix;
+use qb_circuit::{Circuit, Gate};
+use qb_linalg::{Complex, Matrix};
+
+/// Bit value of `qubit` inside basis-state `index` for an `n`-qubit system.
+#[inline]
+pub(crate) fn bit_of(index: usize, qubit: usize, n: usize) -> bool {
+    index >> (n - 1 - qubit) & 1 == 1
+}
+
+/// Mask with the bit of `qubit` set.
+#[inline]
+pub(crate) fn mask_of(qubit: usize, n: usize) -> usize {
+    1 << (n - 1 - qubit)
+}
+
+/// A normalised (or sub-normalised) pure state of `n` qubits.
+///
+/// # Examples
+///
+/// ```
+/// use qb_sim::StateVector;
+/// use qb_circuit::Circuit;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cnot(0, 1);
+/// let psi = StateVector::zero(2).run(&bell);
+/// assert!((psi.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((psi.probability(0b11) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros basis state `|0…0⟩`.
+    pub fn zero(n: usize) -> Self {
+        Self::basis(n, 0)
+    }
+
+    /// The computational basis state with the given index (qubit 0 is the
+    /// most significant bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^n`.
+    pub fn basis(n: usize, index: usize) -> Self {
+        assert!(index < 1 << n, "basis index out of range");
+        let mut amps = vec![Complex::ZERO; 1 << n];
+        amps[index] = Complex::ONE;
+        StateVector { n, amps }
+    }
+
+    /// Builds a basis state from per-qubit bit values.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let n = bits.len();
+        let mut index = 0usize;
+        for (q, &b) in bits.iter().enumerate() {
+            if b {
+                index |= mask_of(q, n);
+            }
+        }
+        Self::basis(n, index)
+    }
+
+    /// Builds a state from raw amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Self {
+        let n = amps.len().trailing_zeros() as usize;
+        assert_eq!(1 << n, amps.len(), "length must be a power of two");
+        StateVector { n, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The amplitudes, basis-ordered.
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Tensor product `self ⊗ other` (self's qubits first).
+    #[must_use]
+    pub fn tensor(&self, other: &StateVector) -> StateVector {
+        let mut amps = vec![Complex::ZERO; self.amps.len() * other.amps.len()];
+        for (i, &a) in self.amps.iter().enumerate() {
+            for (j, &b) in other.amps.iter().enumerate() {
+                amps[i * other.amps.len() + j] = a * b;
+            }
+        }
+        StateVector {
+            n: self.n + other.n,
+            amps,
+        }
+    }
+
+    /// Squared norm `⟨ψ|ψ⟩`.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn inner(&self, other: &StateVector) -> Complex {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Probability of observing the full basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// Probability that `qubit` reads 1.
+    pub fn probability_of_one(&self, qubit: usize) -> f64 {
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bit_of(*i, qubit, self.n))
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Exact equality up to tolerance (no global-phase allowance).
+    pub fn approx_eq(&self, other: &StateVector, tol: f64) -> bool {
+        self.n == other.n
+            && self
+                .amps
+                .iter()
+                .zip(&other.amps)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Equality up to a global phase: `|⟨self|other⟩| ≈ ‖self‖·‖other‖`.
+    pub fn equal_up_to_phase(&self, other: &StateVector, tol: f64) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        let overlap = self.inner(other).abs();
+        let norms = (self.norm_sqr() * other.norm_sqr()).sqrt();
+        (overlap - norms).abs() <= tol
+    }
+
+    /// Applies a gate in place.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        let n = self.n;
+        match gate {
+            Gate::X(q) => {
+                let m = mask_of(*q, n);
+                for i in 0..self.amps.len() {
+                    if i & m == 0 {
+                        self.amps.swap(i, i | m);
+                    }
+                }
+            }
+            Gate::Z(q) => {
+                let m = mask_of(*q, n);
+                for (i, a) in self.amps.iter_mut().enumerate() {
+                    if i & m != 0 {
+                        *a = -*a;
+                    }
+                }
+            }
+            Gate::H(q) => {
+                let m = mask_of(*q, n);
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                for i in 0..self.amps.len() {
+                    if i & m == 0 {
+                        let a0 = self.amps[i];
+                        let a1 = self.amps[i | m];
+                        self.amps[i] = (a0 + a1) * s;
+                        self.amps[i | m] = (a0 - a1) * s;
+                    }
+                }
+            }
+            Gate::S(q) => self.phase_if_one(*q, Complex::I),
+            Gate::Sdg(q) => self.phase_if_one(*q, -Complex::I),
+            Gate::T(q) => {
+                self.phase_if_one(*q, Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4))
+            }
+            Gate::Tdg(q) => {
+                self.phase_if_one(*q, Complex::from_polar(1.0, -std::f64::consts::FRAC_PI_4))
+            }
+            Gate::Phase { theta, q } => self.phase_if_one(*q, Complex::from_polar(1.0, *theta)),
+            Gate::Cnot { c, t } => {
+                let (mc, mt) = (mask_of(*c, n), mask_of(*t, n));
+                for i in 0..self.amps.len() {
+                    if i & mc != 0 && i & mt == 0 {
+                        self.amps.swap(i, i | mt);
+                    }
+                }
+            }
+            Gate::Cz { c, t } => {
+                let (mc, mt) = (mask_of(*c, n), mask_of(*t, n));
+                for (i, a) in self.amps.iter_mut().enumerate() {
+                    if i & mc != 0 && i & mt != 0 {
+                        *a = -*a;
+                    }
+                }
+            }
+            Gate::CPhase { theta, c, t } => {
+                let (mc, mt) = (mask_of(*c, n), mask_of(*t, n));
+                let ph = Complex::from_polar(1.0, *theta);
+                for (i, a) in self.amps.iter_mut().enumerate() {
+                    if i & mc != 0 && i & mt != 0 {
+                        *a *= ph;
+                    }
+                }
+            }
+            Gate::Swap(a, b) => {
+                let (ma, mb) = (mask_of(*a, n), mask_of(*b, n));
+                for i in 0..self.amps.len() {
+                    if i & ma != 0 && i & mb == 0 {
+                        self.amps.swap(i, i ^ ma ^ mb);
+                    }
+                }
+            }
+            Gate::Toffoli { c1, c2, t } => {
+                let (m1, m2, mt) = (mask_of(*c1, n), mask_of(*c2, n), mask_of(*t, n));
+                for i in 0..self.amps.len() {
+                    if i & m1 != 0 && i & m2 != 0 && i & mt == 0 {
+                        self.amps.swap(i, i | mt);
+                    }
+                }
+            }
+            Gate::Mcx { controls, target } => {
+                let masks: Vec<usize> = controls.iter().map(|&c| mask_of(c, n)).collect();
+                let mt = mask_of(*target, n);
+                for i in 0..self.amps.len() {
+                    if i & mt == 0 && masks.iter().all(|&m| i & m != 0) {
+                        self.amps.swap(i, i | mt);
+                    }
+                }
+            }
+        }
+    }
+
+    fn phase_if_one(&mut self, q: usize, phase: Complex) {
+        let m = mask_of(q, self.n);
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & m != 0 {
+                *a *= phase;
+            }
+        }
+    }
+
+    /// Applies an arbitrary unitary on the listed qubits (general but slow;
+    /// gate-specific paths above are preferred).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix dimension does not match `2^qubits.len()`.
+    pub fn apply_unitary(&mut self, qubits: &[usize], m: &Matrix) {
+        let k = qubits.len();
+        assert_eq!(m.rows(), 1 << k, "matrix dimension mismatch");
+        let n = self.n;
+        let masks: Vec<usize> = qubits.iter().map(|&q| mask_of(q, n)).collect();
+        let all_mask: usize = masks.iter().sum();
+        let mut new_amps = vec![Complex::ZERO; self.amps.len()];
+        for (i, &amp) in self.amps.iter().enumerate() {
+            if amp.is_zero(0.0) {
+                continue;
+            }
+            // Extract the sub-index of the operand qubits (list order,
+            // first qubit = most significant sub-bit).
+            let mut sub = 0usize;
+            for (j, &mask) in masks.iter().enumerate() {
+                if i & mask != 0 {
+                    sub |= 1 << (k - 1 - j);
+                }
+            }
+            let base = i & !all_mask;
+            for row in 0..(1 << k) {
+                let coeff = m[(row, sub)];
+                if coeff.is_zero(0.0) {
+                    continue;
+                }
+                let mut j = base;
+                for (b, &mask) in masks.iter().enumerate() {
+                    if row >> (k - 1 - b) & 1 == 1 {
+                        j |= mask;
+                    }
+                }
+                new_amps[j] += coeff * amp;
+            }
+        }
+        self.amps = new_amps;
+    }
+
+    /// Runs a circuit and returns the evolved state.
+    #[must_use]
+    pub fn run(mut self, circuit: &Circuit) -> StateVector {
+        assert_eq!(
+            circuit.num_qubits(),
+            self.n,
+            "circuit width must equal state width"
+        );
+        for gate in circuit.gates() {
+            self.apply_gate(gate);
+        }
+        self
+    }
+}
+
+/// The full `2^n × 2^n` unitary implemented by `circuit` (column-by-column
+/// state-vector evolution).
+///
+/// # Panics
+///
+/// Panics when the circuit has more than 12 qubits.
+pub fn unitary_of(circuit: &Circuit) -> Matrix {
+    let n = circuit.num_qubits();
+    assert!(n <= 12, "unitary extraction limited to 12 qubits");
+    let dim = 1 << n;
+    let mut u = Matrix::zeros(dim, dim);
+    for col in 0..dim {
+        let out = StateVector::basis(n, col).run(circuit);
+        for (row, &a) in out.amplitudes().iter().enumerate() {
+            u[(row, col)] = a;
+        }
+    }
+    u
+}
+
+/// The `2^k × 2^k` matrix of a bare gate over its own operand list.
+pub fn matrix_of_gate(gate: &Gate) -> Matrix {
+    gate_matrix(gate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_indexing_is_msb_first() {
+        // |q0 q1⟩ = |10⟩ has index 0b10 = 2.
+        let s = StateVector::from_bits(&[true, false]);
+        assert_eq!(s.probability(2), 1.0);
+        assert!(bit_of(2, 0, 2));
+        assert!(!bit_of(2, 1, 2));
+    }
+
+    #[test]
+    fn x_flips_the_right_qubit() {
+        let mut s = StateVector::zero(3);
+        s.apply_gate(&Gate::X(1));
+        assert_eq!(s.probability(0b010), 1.0);
+    }
+
+    #[test]
+    fn hadamard_makes_plus() {
+        let mut s = StateVector::zero(1);
+        s.apply_gate(&Gate::H(0));
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(s.amplitudes()[0].approx_eq(Complex::real(r), 1e-12));
+        assert!(s.amplitudes()[1].approx_eq(Complex::real(r), 1e-12));
+        // H² = I.
+        s.apply_gate(&Gate::H(0));
+        assert!(s.approx_eq(&StateVector::zero(1), 1e-12));
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let s = StateVector::zero(2).run(&c);
+        assert!((s.probability(0b00) - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b11) - 0.5).abs() < 1e-12);
+        assert!(s.probability(0b01) < 1e-12);
+        assert!((s.probability_of_one(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitary_of_cnot_matches_permutation() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        let u = unitary_of(&c);
+        // CNOT with control=MSB: |10⟩→|11⟩, |11⟩→|10⟩.
+        let expect = Matrix::permutation(&[0, 1, 3, 2]);
+        assert!(u.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2);
+        let u = unitary_of(&c);
+        let mut perm: Vec<usize> = (0..8).collect();
+        perm.swap(0b110, 0b111);
+        assert!(u.approx_eq(&Matrix::permutation(&perm), 1e-12));
+    }
+
+    #[test]
+    fn apply_unitary_agrees_with_gate_paths() {
+        let mut c = Circuit::new(3);
+        c.h(1).cnot(1, 2).toffoli(0, 2, 1).phase(0.3, 2);
+        let mut via_gates = StateVector::basis(3, 0b101);
+        let mut via_matrices = StateVector::basis(3, 0b101);
+        for gate in c.gates() {
+            via_gates.apply_gate(gate);
+            via_matrices.apply_unitary(&gate.qubits(), &matrix_of_gate(gate));
+        }
+        assert!(via_gates.approx_eq(&via_matrices, 1e-10));
+    }
+
+    #[test]
+    fn tensor_orders_qubits() {
+        let one = StateVector::from_bits(&[true]);
+        let zero = StateVector::from_bits(&[false]);
+        let t = one.tensor(&zero);
+        assert_eq!(t.probability(0b10), 1.0);
+    }
+
+    #[test]
+    fn swap_exchanges_amplitudes() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let s = StateVector::from_bits(&[true, false]).run(&c);
+        assert_eq!(s.probability(0b01), 1.0);
+    }
+
+    #[test]
+    fn global_phase_equality() {
+        let mut a = StateVector::zero(1);
+        a.apply_gate(&Gate::H(0));
+        let mut b = a.clone();
+        // Apply a global phase via Z·X·Z·X = -I.
+        for g in [Gate::Z(0), Gate::X(0), Gate::Z(0), Gate::X(0)] {
+            b.apply_gate(&g);
+        }
+        assert!(!a.approx_eq(&b, 1e-12));
+        assert!(a.equal_up_to_phase(&b, 1e-12));
+    }
+
+    #[test]
+    fn norm_preserved_by_gates() {
+        let mut circ = Circuit::new(3);
+        circ.h(0).t(0).cnot(0, 2).phase(1.1, 1).cz(1, 2);
+        let s = StateVector::basis(3, 5).run(&circ);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+}

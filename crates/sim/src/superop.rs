@@ -1,0 +1,211 @@
+//! Dense superoperators: quantum operations as matrices over vectorised
+//! density operators.
+//!
+//! The denotational semantics of QBorrow needs to *compare* quantum
+//! operations for equality (Def. 5.1 and Thm. 5.5 quantify over elements
+//! of `⟦S⟧`), to *compose* them (sequencing), and to *sum* them
+//! (measurement branches, loop unrollings). Kraus representations make
+//! sums/compositions grow without bound, whereas the superoperator matrix
+//! is closed under all three operations and canonical up to floating-point
+//! error — so the semantics layer works here.
+//!
+//! Vectorisation is row-major: `vec(ρ)[i·d + j] = ρ[i,j]`, under which
+//! `vec(KρK†) = (K ⊗ conj(K)) · vec(ρ)`.
+
+use crate::channel::Channel;
+use crate::density::DensityMatrix;
+use qb_linalg::{Complex, Matrix};
+
+/// A quantum operation as a dense matrix on vectorised density operators.
+///
+/// # Examples
+///
+/// ```
+/// use qb_sim::{Channel, SuperOp};
+/// use qb_circuit::Gate;
+///
+/// let x = SuperOp::from_channel(&Channel::from_gate(1, &Gate::X(0)));
+/// let id = SuperOp::identity(1);
+/// assert!(!x.approx_eq(&id, 1e-9));
+/// assert!(x.then(&x).approx_eq(&id, 1e-9)); // X ∘ X = I
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuperOp {
+    n: usize,
+    mat: Matrix,
+}
+
+impl SuperOp {
+    /// The identity operation on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n > 6` (the matrix would exceed 4096²).
+    pub fn identity(n: usize) -> Self {
+        assert!(n <= 6, "superoperators limited to 6 qubits");
+        let dim = 1usize << n;
+        SuperOp {
+            n,
+            mat: Matrix::identity(dim * dim),
+        }
+    }
+
+    /// The zero operation (annihilates every state).
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= 6, "superoperators limited to 6 qubits");
+        let dim = 1usize << n;
+        SuperOp {
+            n,
+            mat: Matrix::zeros(dim * dim, dim * dim),
+        }
+    }
+
+    /// Converts a Kraus-form channel.
+    pub fn from_channel(channel: &Channel) -> Self {
+        SuperOp {
+            n: channel.num_qubits(),
+            mat: channel.superoperator(),
+        }
+    }
+
+    /// Wraps a raw matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dimension is not `4^n`.
+    pub fn from_matrix(n: usize, mat: Matrix) -> Self {
+        let dim = 1usize << n;
+        assert_eq!(mat.rows(), dim * dim, "dimension mismatch");
+        assert_eq!(mat.cols(), dim * dim, "dimension mismatch");
+        SuperOp { n, mat }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.mat
+    }
+
+    /// Sequential composition `other ∘ self` (apply `self` first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn then(&self, other: &SuperOp) -> SuperOp {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        SuperOp {
+            n: self.n,
+            mat: other.mat.mul_mat(&self.mat),
+        }
+    }
+
+    /// Pointwise sum (branch combination).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn plus(&self, other: &SuperOp) -> SuperOp {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        SuperOp {
+            n: self.n,
+            mat: self.mat.clone() + other.mat.clone(),
+        }
+    }
+
+    /// Applies the operation to a density operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn apply(&self, rho: &DensityMatrix) -> DensityMatrix {
+        assert_eq!(rho.num_qubits(), self.n, "dimension mismatch");
+        let dim = 1usize << self.n;
+        let mut vec_rho = vec![Complex::ZERO; dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                vec_rho[i * dim + j] = rho.matrix()[(i, j)];
+            }
+        }
+        let out = self.mat.mul_vec(&vec_rho);
+        let mut mat = Matrix::zeros(dim, dim);
+        for i in 0..dim {
+            for j in 0..dim {
+                mat[(i, j)] = out[i * dim + j];
+            }
+        }
+        DensityMatrix::from_matrix(self.n, mat)
+    }
+
+    /// Frobenius norm of the superoperator matrix (used as the convergence
+    /// measure for `while`-loop fixpoints).
+    pub fn norm(&self) -> f64 {
+        self.mat.frobenius_norm()
+    }
+
+    /// Equality as linear maps.
+    pub fn approx_eq(&self, other: &SuperOp, tol: f64) -> bool {
+        self.n == other.n && self.mat.approx_eq(&other.mat, tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Channel, Measurement, StateVector};
+    use qb_circuit::{Circuit, Gate};
+
+    #[test]
+    fn superop_apply_matches_channel_apply() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1).phase(0.3, 1);
+        let ch = Channel::from_circuit(&c);
+        let sop = SuperOp::from_channel(&ch);
+        let rho = DensityMatrix::from_pure(&StateVector::basis(2, 2));
+        assert!(sop.apply(&rho).approx_eq(&ch.apply(&rho), 1e-10));
+    }
+
+    #[test]
+    fn composition_order() {
+        // self.then(other): self applied first.
+        let x = SuperOp::from_channel(&Channel::from_gate(1, &Gate::X(0)));
+        let init = SuperOp::from_channel(&Channel::init_qubit(1, 0));
+        let x_then_init = x.then(&init);
+        let rho = DensityMatrix::from_pure(&StateVector::zero(1));
+        // X then init: back to |0⟩.
+        let out = x_then_init.apply(&rho);
+        assert!((out.probability_of_one(0)).abs() < 1e-12);
+        // init then X: ends in |1⟩.
+        let other = init.then(&x).apply(&rho);
+        assert!((other.probability_of_one(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_branches_sum_to_identity_on_diagonal_states() {
+        let m = Measurement::basis(1, 0);
+        let t = SuperOp::from_channel(&Channel::measurement_branch(1, &m, true));
+        let f = SuperOp::from_channel(&Channel::measurement_branch(1, &m, false));
+        let total = t.plus(&f);
+        let rho = DensityMatrix::from_pure(&StateVector::basis(1, 1));
+        assert!(total.apply(&rho).approx_eq(&rho, 1e-12));
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        let z = SuperOp::zero(1);
+        let rho = DensityMatrix::maximally_mixed(1);
+        assert!(z.apply(&rho).trace().abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_phase_is_invisible() {
+        let minus_i = Channel::unitary(1, Matrix::identity(2).scale(-Complex::ONE));
+        let sop = SuperOp::from_channel(&minus_i);
+        assert!(sop.approx_eq(&SuperOp::identity(1), 1e-12));
+    }
+}

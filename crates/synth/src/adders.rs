@@ -1,0 +1,375 @@
+//! Adder constructions for the Fig. 1.1 cost comparison.
+//!
+//! All registers are little-endian: qubit index `base + i` carries bit `i`
+//! (weight `2^i`) of the register.
+//!
+//! * [`cuccaro_adder`] — the CDKM ripple-carry adder (one clean carry
+//!   ancilla plus a carry-out qubit);
+//! * [`takahashi_adder`] — the Takahashi–Tani–Kunihiro adder with no
+//!   ancilla at all;
+//! * [`draper_const_adder`] — Draper's transform adder: QFT, phase
+//!   rotations encoding the constant, inverse QFT (Θ(n²) gates, zero
+//!   ancillas);
+//! * `*_const_adder` wrappers realise constant addition `|b⟩ ↦ |b+c⟩` by
+//!   loading the constant into a clean register, which is what gives the
+//!   clean-ancilla counts of Fig. 1.1 (n+1 for Cuccaro, n for Takahashi).
+
+use qb_circuit::Circuit;
+
+/// Layout of a two-register adder circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdderLayout {
+    /// Width of each register in bits.
+    pub n: usize,
+    /// First qubit of the `a` register.
+    pub a: usize,
+    /// First qubit of the `b` (target/sum) register.
+    pub b: usize,
+    /// Carry-in ancilla (Cuccaro only).
+    pub carry_ancilla: Option<usize>,
+    /// Carry-out qubit (Cuccaro only).
+    pub carry_out: Option<usize>,
+}
+
+/// Cuccaro–Draper–Kutin–Moulton ripple-carry adder:
+/// `|a, b⟩ ↦ |a, a + b mod 2ⁿ⟩` with the carry-out written to a dedicated
+/// qubit. Layout: `a` at `0..n`, `b` at `n..2n`, carry ancilla at `2n`
+/// (must be `|0⟩`), carry-out at `2n+1`.
+///
+/// # Panics
+///
+/// Panics for `n == 0`.
+pub fn cuccaro_adder(n: usize) -> (Circuit, AdderLayout) {
+    assert!(n > 0, "adder width must be positive");
+    let a0 = 0;
+    let b0 = n;
+    let anc = 2 * n;
+    let z = 2 * n + 1;
+    let mut c = Circuit::new(2 * n + 2);
+    let a = |i: usize| a0 + i;
+    let b = |i: usize| b0 + i;
+    // Carry chain qubits: anc, a0, a1, ... (the MAJ trick stores carries
+    // in the a register).
+    let carry = |i: usize| if i == 0 { anc } else { a(i - 1) };
+
+    // MAJ sweep.
+    for i in 0..n {
+        c.cnot(a(i), b(i));
+        c.cnot(a(i), carry(i));
+        c.toffoli(carry(i), b(i), a(i));
+    }
+    // Carry out.
+    c.cnot(a(n - 1), z);
+    // UMA sweep.
+    for i in (0..n).rev() {
+        c.toffoli(carry(i), b(i), a(i));
+        c.cnot(a(i), carry(i));
+        c.cnot(carry(i), b(i));
+    }
+    (
+        c,
+        AdderLayout {
+            n,
+            a: a0,
+            b: b0,
+            carry_ancilla: Some(anc),
+            carry_out: Some(z),
+        },
+    )
+}
+
+/// Takahashi–Tani–Kunihiro adder: `|a, b⟩ ↦ |a, a + b mod 2ⁿ⟩` with *no*
+/// ancilla qubits. Layout: `a` at `0..n`, `b` at `n..2n`.
+///
+/// # Panics
+///
+/// Panics for `n == 0`.
+pub fn takahashi_adder(n: usize) -> (Circuit, AdderLayout) {
+    assert!(n > 0, "adder width must be positive");
+    let mut c = Circuit::new(2 * n);
+    let a = |i: usize| i;
+    let b = |i: usize| n + i;
+    if n == 1 {
+        c.cnot(a(0), b(0));
+        return (
+            c,
+            AdderLayout {
+                n,
+                a: 0,
+                b: n,
+                carry_ancilla: None,
+                carry_out: None,
+            },
+        );
+    }
+    // Step 1.
+    for i in 1..n {
+        c.cnot(a(i), b(i));
+    }
+    // Step 2.
+    for i in (1..n - 1).rev() {
+        c.cnot(a(i), a(i + 1));
+    }
+    // Step 3: compute carries into a.
+    for i in 0..n - 1 {
+        c.toffoli(a(i), b(i), a(i + 1));
+    }
+    // Step 4: ripple back down.
+    for i in (1..n).rev() {
+        c.cnot(a(i), b(i));
+        c.toffoli(a(i - 1), b(i - 1), a(i));
+    }
+    // Step 5.
+    for i in 1..n - 1 {
+        c.cnot(a(i), a(i + 1));
+    }
+    // Step 6.
+    c.cnot(a(0), b(0));
+    for i in 1..n {
+        c.cnot(a(i), b(i));
+    }
+    (
+        c,
+        AdderLayout {
+            n,
+            a: 0,
+            b: n,
+            carry_ancilla: None,
+            carry_out: None,
+        },
+    )
+}
+
+/// Wraps a two-register adder into a constant adder `|b⟩ ↦ |b + c mod 2ⁿ⟩`
+/// by loading `constant` into the clean `a` register (X gates), adding,
+/// and unloading. The clean-ancilla count is `n` (Takahashi) or `n + 2`
+/// qubits of which Fig. 1.1 counts `n + 1` (register + carry ancilla;
+/// the carry-out is only needed for the full-width sum).
+fn constant_wrapper(
+    base: (Circuit, AdderLayout),
+    constant: u64,
+) -> (Circuit, AdderLayout) {
+    let (adder, layout) = base;
+    let mut c = Circuit::new(adder.num_qubits());
+    for i in 0..layout.n {
+        if constant >> i & 1 == 1 {
+            c.x(layout.a + i);
+        }
+    }
+    c.append(&adder);
+    for i in 0..layout.n {
+        if constant >> i & 1 == 1 {
+            c.x(layout.a + i);
+        }
+    }
+    (c, layout)
+}
+
+/// Cuccaro-based constant adder (`n + 1` clean ancillas as in Fig. 1.1:
+/// the constant register and the carry ancilla; plus the carry-out wire).
+pub fn cuccaro_const_adder(n: usize, constant: u64) -> (Circuit, AdderLayout) {
+    constant_wrapper(cuccaro_adder(n), constant)
+}
+
+/// Takahashi-based constant adder (`n` clean ancillas: the constant
+/// register only).
+pub fn takahashi_const_adder(n: usize, constant: u64) -> (Circuit, AdderLayout) {
+    constant_wrapper(takahashi_adder(n), constant)
+}
+
+/// Draper transform adder for a constant: `|b⟩ ↦ |b + c mod 2ⁿ⟩` on `n`
+/// qubits with **zero ancillas** and Θ(n²) gates: QFT, single-qubit phase
+/// rotations encoding `c`, inverse QFT.
+///
+/// # Panics
+///
+/// Panics for `n == 0`.
+pub fn draper_const_adder(n: usize, constant: u64) -> Circuit {
+    assert!(n > 0, "adder width must be positive");
+    let mut c = Circuit::new(n);
+    qft(&mut c, n);
+    // The swap-free QFT below leaves qubit k holding the phase
+    // e^{2πi b / 2^{k+1}}; adding the constant therefore rotates qubit k
+    // by 2π c / 2^{k+1}.
+    for k in 0..n {
+        let theta =
+            2.0 * std::f64::consts::PI * (constant as f64) / 2f64.powi(k as i32 + 1);
+        c.phase(theta, k);
+    }
+    inverse_qft(&mut c, n);
+    c
+}
+
+/// Appends the quantum Fourier transform over qubits `0..n` (bit `i` has
+/// weight `2^i`), without the final bit-reversal swaps: qubit `i` ends in
+/// `(|0⟩ + e^{2πi·0.b_i b_{i−1} … b_0}|1⟩)/√2` — the phase rotations of
+/// the constant addition are indexed to match.
+fn qft(c: &mut Circuit, n: usize) {
+    for i in (0..n).rev() {
+        c.h(i);
+        for j in (0..i).rev() {
+            let theta = std::f64::consts::PI / 2f64.powi((i - j) as i32);
+            c.cphase(theta, j, i);
+        }
+    }
+}
+
+/// Appends the inverse QFT (exact reverse of [`qft`]).
+fn inverse_qft(c: &mut Circuit, n: usize) {
+    for i in 0..n {
+        for j in 0..i {
+            let theta = -std::f64::consts::PI / 2f64.powi((i - j) as i32);
+            c.cphase(theta, j, i);
+        }
+        c.h(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_circuit::{simulate_classical, BitState};
+    use qb_sim::StateVector;
+
+    /// Runs a classical two-register adder on (a, b) and returns
+    /// (a_out, b_out, extras...).
+    fn run_adder(circuit: &Circuit, layout: &AdderLayout, a: u64, b: u64) -> (u64, u64, bool) {
+        let width = circuit.num_qubits();
+        let mut bits = vec![false; width];
+        for i in 0..layout.n {
+            bits[layout.a + i] = a >> i & 1 == 1;
+            bits[layout.b + i] = b >> i & 1 == 1;
+        }
+        let out = simulate_classical(circuit, &BitState::from_bits(&bits)).unwrap();
+        let read = |base: usize| -> u64 {
+            (0..layout.n)
+                .map(|i| (out.get(base + i) as u64) << i)
+                .sum()
+        };
+        let carry_out = layout.carry_out.map(|z| out.get(z)).unwrap_or(false);
+        if let Some(anc) = layout.carry_ancilla {
+            assert!(!out.get(anc), "carry ancilla must be restored to |0>");
+        }
+        (read(layout.a), read(layout.b), carry_out)
+    }
+
+    #[test]
+    fn cuccaro_adds_exhaustively() {
+        for n in 1..=4 {
+            let (c, layout) = cuccaro_adder(n);
+            for a in 0..(1u64 << n) {
+                for b in 0..(1u64 << n) {
+                    let (a_out, b_out, carry) = run_adder(&c, &layout, a, b);
+                    assert_eq!(a_out, a, "a preserved, n={n}");
+                    assert_eq!(b_out, (a + b) % (1 << n), "sum, n={n} a={a} b={b}");
+                    assert_eq!(carry, a + b >= 1 << n, "carry, n={n} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn takahashi_adds_exhaustively() {
+        for n in 1..=4 {
+            let (c, layout) = takahashi_adder(n);
+            for a in 0..(1u64 << n) {
+                for b in 0..(1u64 << n) {
+                    let (a_out, b_out, _) = run_adder(&c, &layout, a, b);
+                    assert_eq!(a_out, a, "a preserved, n={n} a={a} b={b}");
+                    assert_eq!(b_out, (a + b) % (1 << n), "sum, n={n} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adders_add_wide_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for n in [8, 16, 31] {
+            let (cu, cu_layout) = cuccaro_adder(n);
+            let (tk, tk_layout) = takahashi_adder(n);
+            for _ in 0..50 {
+                let a = rng.gen::<u64>() & ((1 << n) - 1);
+                let b = rng.gen::<u64>() & ((1 << n) - 1);
+                let expect = (a + b) & ((1 << n) - 1);
+                assert_eq!(run_adder(&cu, &cu_layout, a, b).1, expect);
+                assert_eq!(run_adder(&tk, &tk_layout, a, b).1, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_adders_add() {
+        for n in 1..=4u32 {
+            for constant in 0..(1u64 << n) {
+                let (cu, cu_layout) = cuccaro_const_adder(n as usize, constant);
+                let (tk, tk_layout) = takahashi_const_adder(n as usize, constant);
+                for b in 0..(1u64 << n) {
+                    let (a_out, b_out, _) = run_adder(&cu, &cu_layout, 0, b);
+                    assert_eq!(a_out, 0, "constant register restored");
+                    assert_eq!(b_out, (b + constant) % (1 << n));
+                    let (a_out, b_out, _) = run_adder(&tk, &tk_layout, 0, b);
+                    assert_eq!(a_out, 0);
+                    assert_eq!(b_out, (b + constant) % (1 << n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn draper_adds_in_superposition_basis() {
+        for n in 1..=5usize {
+            for constant in [0u64, 1, 3, (1 << n) - 1] {
+                let circuit = draper_const_adder(n, constant);
+                for b in 0..(1u64 << n) {
+                    // Register bit i = qubit i; StateVector puts qubit 0 at
+                    // the most significant position, so convert.
+                    let bits: Vec<bool> = (0..n).map(|i| b >> i & 1 == 1).collect();
+                    let out = StateVector::from_bits(&bits).run(&circuit);
+                    let expect = (b + constant) % (1 << n);
+                    let expect_bits: Vec<bool> =
+                        (0..n).map(|i| expect >> i & 1 == 1).collect();
+                    let target = StateVector::from_bits(&expect_bits);
+                    assert!(
+                        out.equal_up_to_phase(&target, 1e-8),
+                        "n={n} c={constant} b={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn draper_handles_superposed_inputs() {
+        // Linear check: adding on a uniform superposition permutes
+        // amplitudes; probabilities stay uniform.
+        let n = 3;
+        let circuit = draper_const_adder(n, 5);
+        let mut prep = Circuit::new(n);
+        for q in 0..n {
+            prep.h(q);
+        }
+        let out = StateVector::zero(n).run(&prep).run(&circuit);
+        for idx in 0..(1 << n) {
+            assert!((out.probability(idx) - 1.0 / 8.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resource_scaling_matches_fig_1_1() {
+        // Sizes: Cuccaro/Takahashi Θ(n), Draper Θ(n²).
+        let ones = |n: usize| ((1u128 << n) - 1) as u64;
+        let s = |n: usize| cuccaro_const_adder(n, ones(n)).0.size();
+        assert!(s(64) < 2 * s(32) + 16, "Cuccaro is linear");
+        let t = |n: usize| takahashi_const_adder(n, ones(n)).0.size();
+        assert!(t(64) < 2 * t(32) + 16, "Takahashi is linear");
+        let d = |n: usize| draper_const_adder(n, 1).size();
+        let ratio = d(64) as f64 / d(32) as f64;
+        assert!(ratio > 3.0 && ratio < 5.0, "Draper is quadratic: {ratio}");
+        // Ancillas: Takahashi const adder uses n clean; Cuccaro n+1 (+ carry out).
+        assert_eq!(cuccaro_adder(8).0.num_qubits(), 18);
+        assert_eq!(takahashi_adder(8).0.num_qubits(), 16);
+        assert_eq!(draper_const_adder(8, 3).num_qubits(), 8);
+    }
+}

@@ -1,0 +1,159 @@
+//! The concrete circuits of the paper's figures.
+
+use qb_circuit::Circuit;
+
+/// Fig. 1.3: the three-controlled NOT (CCCNOT) realised with four Toffoli
+/// gates and one *dirty* qubit `a`. Wires in figure order:
+/// `q1 q2 a q3 q4` at indices `0 1 2 3 4`; the logical gate is
+/// `CCCNOT[q1, q2, q3, q4]` and `a` is safely uncomputed.
+pub fn fig_1_3_cccnot_with_dirty() -> Circuit {
+    let mut c = Circuit::new(5);
+    c.toffoli(0, 1, 2)
+        .toffoli(2, 3, 4)
+        .toffoli(0, 1, 2)
+        .toffoli(2, 3, 4);
+    c
+}
+
+/// The logical gate Fig. 1.3 implements, as a primitive (for equivalence
+/// checks): `CCCNOT[q1, q2, q3, q4] ⊗ I_a` on the same five wires.
+pub fn fig_1_3_reference() -> Circuit {
+    let mut c = Circuit::new(5);
+    c.mcx(&[0, 1, 3], 4);
+    c
+}
+
+/// Fig. 1.4: the counterexample showing the naive basis-state condition is
+/// insufficient — a circuit that restores `|0⟩`/`|1⟩` on the dirty qubit
+/// `a` (index 0) yet fails to restore `|+⟩`: a CNOT copying `a` into a
+/// working qubit. Safe as a *clean* ancilla, unsafe as a *dirty* one.
+pub fn fig_1_4_counterexample() -> Circuit {
+    let mut c = Circuit::new(2);
+    c.cnot(0, 1);
+    c
+}
+
+/// Fig. 3.1a: two instances of the Fig. 1.3 routine over five working
+/// qubits `q1..q5` (indices `0..5`) and two dirty ancillas `a1`, `a2`
+/// (indices `5`, `6`), preceded by the CNOT that makes `q3` ineligible
+/// for *clean* reuse. The ancillas' activity periods do not overlap and
+/// `q3` (index 2) is idle during both, so borrowing reduces the width
+/// from 7 to 5 (Figs. 3.1b/3.1c).
+///
+/// Note the asymmetry visible in the paper's own Fig. 4.4 program: `a1`
+/// serves as the Fig. 1.3 *accumulator* and is safely uncomputed in the
+/// Definition-3.1 sense, while `a2` serves as a *control* of the second
+/// routine (net effect `q1 ⊕= a2·q4·q5`), so it is restored on every
+/// basis state but the computation genuinely reads it — its borrow
+/// resolves deterministically only because `q3` is the unique idle
+/// candidate (the paper's Fig. 4.4 discussion).
+pub fn fig_3_1a() -> Circuit {
+    let a1 = 5;
+    let a2 = 6;
+    let mut c = Circuit::new(7);
+    // The leftmost CNOT: q2 → q3 (indices 1 → 2).
+    c.cnot(1, 2);
+    // First routine (colour 1): CCCNOT on q1,q2 → q4,q5 via a1.
+    c.toffoli(0, 1, a1)
+        .toffoli(a1, 3, 4)
+        .toffoli(0, 1, a1)
+        .toffoli(a1, 3, 4);
+    // Second routine (colour 2): CCCNOT on q4,q5 → q2,q1 via a2.
+    c.toffoli(3, 4, 1)
+        .toffoli(a2, 1, 0)
+        .toffoli(3, 4, 1)
+        .toffoli(a2, 1, 0);
+    c
+}
+
+/// Fig. 3.1c: the five-qubit circuit after borrowing `q3` (index 2) as
+/// both dirty ancillas.
+pub fn fig_3_1c() -> Circuit {
+    let mut c = Circuit::new(5);
+    c.cnot(1, 2);
+    c.toffoli(0, 1, 2)
+        .toffoli(2, 3, 4)
+        .toffoli(0, 1, 2)
+        .toffoli(2, 3, 4);
+    c.toffoli(3, 4, 1)
+        .toffoli(2, 1, 0)
+        .toffoli(3, 4, 1)
+        .toffoli(2, 1, 0);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_circuit::permutation_of;
+    use qb_core::exact;
+    use qb_sim::unitary_of;
+
+    #[test]
+    fn fig_1_3_implements_cccnot() {
+        let u = unitary_of(&fig_1_3_cccnot_with_dirty());
+        let expect = unitary_of(&fig_1_3_reference());
+        assert!(u.approx_eq(&expect, 1e-9), "Example 3.2 equality");
+    }
+
+    #[test]
+    fn fig_1_3_safely_uncomputes_a() {
+        assert!(exact::circuit_safely_uncomputes(
+            &fig_1_3_cccnot_with_dirty(),
+            2,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn fig_1_4_clean_safe_dirty_unsafe() {
+        let c = fig_1_4_counterexample();
+        // Clean-safe: every basis state of `a` is restored.
+        let perm = permutation_of(&c).unwrap();
+        for (x, &y) in perm.iter().enumerate() {
+            assert_eq!(x & 1, y & 1, "basis value of a preserved");
+        }
+        // Dirty-unsafe.
+        assert!(!exact::circuit_safely_uncomputes(&c, 0, 1e-9));
+    }
+
+    #[test]
+    fn fig_3_1_variants_agree_on_shared_qubits() {
+        let a = fig_3_1a();
+        // a1 is the Fig. 1.3 accumulator: safely uncomputed (Def. 3.1).
+        assert!(exact::circuit_safely_uncomputes(&a, 5, 1e-9), "a1 safe");
+        // a2 is a *control* of the second routine: restored on every
+        // basis state, but the computation depends on it, so it is NOT
+        // Def.-3.1 safe — the exact asymmetry of the paper's Fig. 4.4.
+        assert!(!exact::circuit_safely_uncomputes(&a, 6, 1e-9), "a2 is read");
+        let perm = permutation_of(&a).unwrap();
+        for (x, &y) in perm.iter().enumerate() {
+            assert_eq!(x >> 6 & 1, y >> 6 & 1, "a2's basis value is preserved");
+            assert_eq!(x >> 5 & 1, y >> 5 & 1, "a1's basis value is preserved");
+        }
+        // Substituting q3 for both ancillas yields exactly Fig. 3.1c.
+        let map = vec![0, 1, 2, 3, 4, 2, 2];
+        let reduced = a.remap_qubits(&map, 5).unwrap();
+        assert_eq!(reduced, fig_3_1c());
+    }
+
+    #[test]
+    fn fig_3_1c_preserves_functionality() {
+        // On inputs where the a2 wire agrees with the value q3 carries
+        // *during a2's activity period* (q3₀ ⊕ q2₀ after the leading CNOT,
+        // with q3 restored by the first routine) the 7-qubit circuit
+        // computes exactly what the reduced 5-qubit circuit computes on
+        // the working qubits, independent of a1 (which is safely
+        // uncomputed).
+        let a = permutation_of(&fig_3_1a()).unwrap();
+        let c = permutation_of(&fig_3_1c()).unwrap();
+        for w in 0..(1usize << 5) {
+            let q3_during = (w >> 2 & 1) ^ (w >> 1 & 1);
+            for a1 in 0..2usize {
+                let x = w | a1 << 5 | q3_during << 6;
+                assert_eq!(a[x] & 0b11111, c[w], "input {w:b}, a1={a1}");
+                assert_eq!(a[x] >> 5, x >> 5, "ancilla bits preserved");
+            }
+        }
+    }
+}

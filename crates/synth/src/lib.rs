@@ -1,0 +1,107 @@
+//! # qb-synth
+//!
+//! Benchmark circuit constructions for the QBorrow reproduction: the
+//! paper's evaluation circuits (§6.2 adder gadget, §10.4 borrowed-bit
+//! MCX), the Fig. 1.1 adder-cost baselines (Cuccaro, Takahashi, Draper),
+//! dirty-qubit gadgets (Gidney incrementer, Toffoli-ladder MCX), and the
+//! concrete circuits of the paper's figures (1.3, 1.4, 3.1).
+//!
+//! Every construction returns its qubit layout so callers can wire
+//! registers, feed verification targets to `qb-core`, or run the
+//! schedulers in `qb-sched`.
+//!
+//! # Examples
+//!
+//! ```
+//! use qb_synth::{gidney_mcx, carry_gadget};
+//!
+//! // The paper's two benchmark families.
+//! let (mcx, mcx_layout) = gidney_mcx(5);        // 9-controlled NOT
+//! assert_eq!(mcx.size(), 16 * (5 - 2));
+//! assert_eq!(mcx_layout.num_dirty, 1);
+//!
+//! let (adder, adder_layout) = carry_gadget(8);  // the adder.qbr circuit
+//! assert_eq!(adder_layout.n, 8);
+//! assert!(adder.is_classical());
+//! ```
+
+mod adders;
+mod figures;
+mod haner;
+mod mcx;
+mod resources;
+
+pub use adders::{
+    cuccaro_adder, cuccaro_const_adder, draper_const_adder, takahashi_adder,
+    takahashi_const_adder, AdderLayout,
+};
+pub use figures::{
+    fig_1_3_cccnot_with_dirty, fig_1_3_reference, fig_1_4_counterexample, fig_3_1a, fig_3_1c,
+};
+pub use haner::{
+    carry_gadget, carry_gadget_with_constant, dirty_constant_adder, dirty_incrementer,
+    CarryLayout, IncrementerLayout,
+};
+pub use mcx::{gidney_mcx, ladder_mcx, naive_mcx, McxLayout};
+pub use resources::{fig_1_1_table, ResourceRow};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use qb_circuit::{simulate_classical, BitState};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The carry gadget computes the carry for random widths/inputs.
+        #[test]
+        fn carry_gadget_random(n in 3usize..12, s_seed: u64, dirt_seed: u64) {
+            let (c, layout) = carry_gadget(n);
+            let s = s_seed & ((1 << (n - 1)) - 1);
+            let dirt = dirt_seed & ((1 << (n - 1)) - 1);
+            let mut bits = vec![false; c.num_qubits()];
+            for i in 0..n - 1 {
+                bits[layout.q + i] = s >> i & 1 == 1;
+                bits[layout.a + i] = dirt >> i & 1 == 1;
+            }
+            let out = simulate_classical(&c, &BitState::from_bits(&bits)).unwrap();
+            let carry = (s + (1 << (n - 1)) - 1) >> (n - 1) & 1 == 1;
+            prop_assert_eq!(out.get(layout.q + n - 1), carry ^ true);
+            for i in 0..n - 1 {
+                prop_assert_eq!(out.get(layout.a + i), bits[layout.a + i]);
+            }
+        }
+
+        /// The Gidney MCX equals the primitive gate on random inputs.
+        #[test]
+        fn gidney_mcx_random(m in 4usize..9, input_seed: u64) {
+            let (c, layout) = gidney_mcx(m);
+            let width = c.num_qubits();
+            let input = input_seed & ((1 << width) - 1);
+            let bits = BitState::from_value(width, input);
+            let out = simulate_classical(&c, &bits).unwrap();
+            let all = (0..layout.controls).all(|i| bits.get(layout.first_control + i));
+            prop_assert_eq!(out.get(layout.target), bits.get(layout.target) ^ all);
+            prop_assert_eq!(out.get(layout.dirty.unwrap()), bits.get(layout.dirty.unwrap()));
+        }
+
+        /// Incrementers increment for all widths and dirty contents.
+        #[test]
+        fn incrementer_random(n in 1usize..10, v_seed: u64, g_seed: u64) {
+            let (c, layout) = dirty_incrementer(n);
+            let v = v_seed & ((1 << n) - 1);
+            let g = g_seed & ((1 << n) - 1);
+            let mut bits = vec![false; 2 * n];
+            for i in 0..n {
+                bits[layout.v + i] = v >> i & 1 == 1;
+                bits[layout.g + i] = g >> i & 1 == 1;
+            }
+            let out = simulate_classical(&c, &BitState::from_bits(&bits)).unwrap();
+            let v_out: u64 = (0..n).map(|i| (out.get(layout.v + i) as u64) << i).sum();
+            let g_out: u64 = (0..n).map(|i| (out.get(layout.g + i) as u64) << i).sum();
+            prop_assert_eq!(v_out, (v + 1) % (1 << n));
+            prop_assert_eq!(g_out, g);
+        }
+    }
+}

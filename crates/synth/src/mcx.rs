@@ -1,0 +1,277 @@
+//! Multi-controlled NOT constructions with borrowed (dirty) qubits.
+//!
+//! * [`gidney_mcx`] — the paper's `mcx.qbr` benchmark (§10.4, corrected
+//!   per the erratum documented at `qb_lang::mcx_source`): a
+//!   `(2m−1)`-controlled NOT from `16(m−2)` Toffolis and **one** borrowed
+//!   dirty qubit, using the four-part commutator structure
+//!   `V₁ V₂ V₁ V₂` with Toffoli ladders borrowing the idle half of the
+//!   controls as work bits.
+//! * [`ladder_mcx`] — the textbook construction (Barenco et al./Gidney):
+//!   a `k`-controlled NOT from `4(k−2)` Toffolis using `k−2` borrowed
+//!   dirty bits (compute ladder, toggle, uncompute ladder — twice).
+//! * [`naive_mcx`] — the primitive gate, used as the correctness oracle.
+
+use qb_circuit::Circuit;
+
+/// Layout of an MCX construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McxLayout {
+    /// Number of control qubits.
+    pub controls: usize,
+    /// First control qubit index (controls are contiguous).
+    pub first_control: usize,
+    /// Target qubit index.
+    pub target: usize,
+    /// First borrowed dirty qubit index (contiguous), if any.
+    pub dirty: Option<usize>,
+    /// Number of borrowed dirty qubits.
+    pub num_dirty: usize,
+}
+
+/// The primitive multi-controlled NOT as a single gate (oracle).
+///
+/// Layout: controls at `0..k`, target at `k`.
+pub fn naive_mcx(k: usize) -> (Circuit, McxLayout) {
+    let mut c = Circuit::new(k + 1);
+    let controls: Vec<usize> = (0..k).collect();
+    c.mcx(&controls, k);
+    (
+        c,
+        McxLayout {
+            controls: k,
+            first_control: 0,
+            target: k,
+            dirty: None,
+            num_dirty: 0,
+        },
+    )
+}
+
+/// The paper's `mcx.qbr` circuit built directly: a `(2m−1)`-controlled
+/// NOT on controls `q[1..n]` (indices `0..n`, `n = 2m−1`), target `t`
+/// (index `n`), one borrowed dirty qubit `anc` (index `n+1`), `16(m−2)`
+/// Toffolis.
+///
+/// # Panics
+///
+/// Panics for `m < 4` (see `qb_lang::mcx_source`).
+pub fn gidney_mcx(m: usize) -> (Circuit, McxLayout) {
+    assert!(m >= 4, "gidney_mcx requires m >= 4");
+    let n = 2 * m - 1;
+    let t = n;
+    let anc = n + 1;
+    let mut c = Circuit::new(n + 2);
+    // 1-based q as in the program text.
+    let q = |i: usize| i - 1;
+
+    let ladder_a = |c: &mut Circuit| {
+        for i in (2..=m - 2).rev() {
+            c.toffoli(q(2 * i), q(2 * i + 1), q(2 * i + 2));
+        }
+        c.toffoli(q(1), q(3), q(4));
+        for i in 2..=m - 2 {
+            c.toffoli(q(2 * i), q(2 * i + 1), q(2 * i + 2));
+        }
+    };
+    let ladder_b = |c: &mut Circuit| {
+        for i in (3..=m - 1).rev() {
+            c.toffoli(q(2 * i - 1), q(2 * i), q(2 * i + 1));
+        }
+        c.toffoli(q(2), q(4), q(5));
+        for i in 3..=m - 1 {
+            c.toffoli(q(2 * i - 1), q(2 * i), q(2 * i + 1));
+        }
+    };
+
+    // First part: V₁ = MCX(odd controls → anc).
+    c.toffoli(q(n - 1), q(n), anc);
+    ladder_a(&mut c);
+    c.toffoli(q(n - 1), q(n), anc);
+    ladder_a(&mut c);
+    // Second part: V₂ = MCX(even controls ∪ {q[n], anc} → t).
+    c.toffoli(q(n), anc, t);
+    ladder_b(&mut c);
+    c.toffoli(q(n), anc, t);
+    ladder_b(&mut c);
+    // Third part: V₁ again.
+    c.toffoli(q(n - 1), q(n), anc);
+    ladder_a(&mut c);
+    c.toffoli(q(n - 1), q(n), anc);
+    ladder_a(&mut c);
+    // Fourth part: V₂ again.
+    c.toffoli(q(n), anc, t);
+    ladder_b(&mut c);
+    c.toffoli(q(n), anc, t);
+    ladder_b(&mut c);
+
+    (
+        c,
+        McxLayout {
+            controls: n,
+            first_control: 0,
+            target: t,
+            dirty: Some(anc),
+            num_dirty: 1,
+        },
+    )
+}
+
+/// The Toffoli-ladder MCX: a `k`-controlled NOT (`k ≥ 3`) using `k − 2`
+/// borrowed dirty bits and `4(k − 2)` Toffolis.
+///
+/// Layout: controls at `0..k`, target at `k`, dirty bits at
+/// `k+1..2k−1`.
+///
+/// # Panics
+///
+/// Panics for `k < 3`.
+pub fn ladder_mcx(k: usize) -> (Circuit, McxLayout) {
+    assert!(k >= 3, "ladder_mcx requires at least 3 controls");
+    let target = k;
+    let dirty0 = k + 1;
+    let num_dirty = k - 2;
+    let mut c = Circuit::new(2 * k - 1);
+    // Work bits w[0..k-2]; w[i] accumulates AND of controls 0..i+2.
+    let w = |i: usize| dirty0 + i;
+
+    // One "V" sweep: toggle target from the top accumulator, with the
+    // compute/uncompute ladder around it; run twice so the dirty bits'
+    // unknown initial values cancel (the toggling trick).
+    let half = |c: &mut Circuit| {
+        c.toffoli(k - 1, w(num_dirty - 1), target);
+        for i in (1..num_dirty).rev() {
+            c.toffoli(i + 1, w(i - 1), w(i));
+        }
+        c.toffoli(0, 1, w(0));
+        for i in 1..num_dirty {
+            c.toffoli(i + 1, w(i - 1), w(i));
+        }
+    };
+    half(&mut c);
+    half(&mut c);
+    (
+        c,
+        McxLayout {
+            controls: k,
+            first_control: 0,
+            target,
+            dirty: Some(dirty0),
+            num_dirty,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qb_circuit::{simulate_classical, BitState};
+    use rand::{Rng, SeedableRng};
+
+    fn check_mcx(circuit: &Circuit, layout: &McxLayout, trials: u64, seed: u64) {
+        let width = circuit.num_qubits();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut cases: Vec<Vec<bool>> = Vec::new();
+        // All-controls-on cases (the firing cases) plus random ones.
+        for t in [false, true] {
+            for extra in 0..(1u64 << layout.num_dirty.min(3)) {
+                let mut bits = vec![false; width];
+                for i in 0..layout.controls {
+                    bits[layout.first_control + i] = true;
+                }
+                bits[layout.target] = t;
+                if let Some(d0) = layout.dirty {
+                    for i in 0..layout.num_dirty.min(3) {
+                        bits[d0 + i] = extra >> i & 1 == 1;
+                    }
+                }
+                cases.push(bits);
+            }
+        }
+        for _ in 0..trials {
+            cases.push((0..width).map(|_| rng.gen()).collect());
+        }
+        for bits in cases {
+            let out = simulate_classical(circuit, &BitState::from_bits(&bits)).unwrap();
+            let all = (0..layout.controls).all(|i| bits[layout.first_control + i]);
+            for i in 0..layout.controls {
+                assert_eq!(out.get(layout.first_control + i), bits[layout.first_control + i]);
+            }
+            if let Some(d0) = layout.dirty {
+                for i in 0..layout.num_dirty {
+                    assert_eq!(out.get(d0 + i), bits[d0 + i], "dirty bit restored");
+                }
+            }
+            assert_eq!(out.get(layout.target), bits[layout.target] ^ all);
+        }
+    }
+
+    #[test]
+    fn gidney_mcx_is_correct() {
+        for m in [4usize, 5, 7] {
+            let (c, layout) = gidney_mcx(m);
+            assert_eq!(c.size(), 16 * (m - 2), "gate count, m={m}");
+            check_mcx(&c, &layout, 300, m as u64);
+        }
+    }
+
+    #[test]
+    fn gidney_mcx_matches_qbr_elaboration() {
+        for m in [4usize, 6] {
+            let (direct, _) = gidney_mcx(m);
+            let program =
+                qb_lang::elaborate(&qb_lang::parse(&qb_lang::mcx_source(m)).unwrap()).unwrap();
+            assert_eq!(direct, program.circuit, "m={m}");
+        }
+    }
+
+    #[test]
+    fn ladder_mcx_is_correct() {
+        for k in 3..=7usize {
+            let (c, layout) = ladder_mcx(k);
+            assert_eq!(c.size(), 4 * (k - 2), "gate count, k={k}");
+            check_mcx(&c, &layout, 200, k as u64);
+        }
+    }
+
+    #[test]
+    fn ladder_matches_naive_exhaustively() {
+        let k = 4;
+        let (ladder, layout) = ladder_mcx(k);
+        let width = ladder.num_qubits();
+        for input in 0..(1u64 << width) {
+            let bits = BitState::from_value(width, input);
+            let out = simulate_classical(&ladder, &bits).unwrap();
+            // Compare against the primitive on the same wires.
+            let mut oracle = Circuit::new(width);
+            oracle.mcx(&(0..k).collect::<Vec<_>>(), layout.target);
+            let expect = simulate_classical(&oracle, &bits).unwrap();
+            assert_eq!(out, expect, "input {input:b}");
+        }
+    }
+
+    #[test]
+    fn dirty_ancillas_verify_safe() {
+        use qb_core::{verify_circuit, InitialValue, VerifyOptions};
+        let (c, layout) = gidney_mcx(5);
+        let report = verify_circuit(
+            &c,
+            &vec![InitialValue::Free; c.num_qubits()],
+            &[layout.dirty.unwrap()],
+            &VerifyOptions::default(),
+        )
+        .unwrap();
+        assert!(report.all_safe());
+
+        let (c, layout) = ladder_mcx(6);
+        let targets: Vec<usize> =
+            (0..layout.num_dirty).map(|i| layout.dirty.unwrap() + i).collect();
+        let report = verify_circuit(
+            &c,
+            &vec![InitialValue::Free; c.num_qubits()],
+            &targets,
+            &VerifyOptions::default(),
+        )
+        .unwrap();
+        assert!(report.all_safe());
+    }
+}

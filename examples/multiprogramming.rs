@@ -1,0 +1,31 @@
+//! §7 multi-programming: borrow a co-resident program's qubits as dirty
+//! ancillas for an incoming program — legal exactly when the incoming
+//! program provably uncomputes them safely.
+
+use qborrow::circuit::Circuit;
+use qborrow::core::VerifyOptions;
+use qborrow::sched::{pack_programs, PackError};
+use qborrow::synth::{fig_1_3_cccnot_with_dirty, fig_1_4_counterexample};
+
+fn main() {
+    // Program A (resident): holds live data on 3 qubits.
+    let mut resident = Circuit::new(3);
+    resident.x(0).cnot(0, 1).toffoli(0, 1, 2);
+
+    // Program B (incoming): the CCCNOT gadget wants one dirty ancilla.
+    let guest = fig_1_3_cccnot_with_dirty();
+    match pack_programs(&resident, &guest, &[2], &VerifyOptions::default()) {
+        Ok(report) => println!("safe guest admitted: {report}"),
+        Err(e) => println!("unexpected rejection: {e}"),
+    }
+
+    // A buggy guest: copies its "ancilla" — would corrupt program A.
+    let bad_guest = fig_1_4_counterexample();
+    match pack_programs(&resident, &bad_guest, &[0], &VerifyOptions::default()) {
+        Ok(_) => println!("BUG: unsafe guest admitted"),
+        Err(PackError::UnsafeAncilla { ancilla }) => println!(
+            "unsafe guest rejected: its wire {ancilla} would leak the resident's state"
+        ),
+        Err(e) => println!("rejected: {e}"),
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: parse a QBorrow program, verify its dirty qubits, and
+//! inspect a counterexample when verification fails.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use qborrow::core::{verify_program, VerifyOptions, Violation};
+use qborrow::lang::{elaborate, parse};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A safe program: the paper's Fig. 1.3 — CCCNOT via one dirty qubit.
+    let safe_source = "
+        borrow@ q[4];           // working qubits, not verified
+        borrow a;               // dirty qubit that must be proven safe
+        CCNOT[q[1], q[2], a];
+        CCNOT[a, q[3], q[4]];
+        CCNOT[q[1], q[2], a];
+        CCNOT[a, q[3], q[4]];
+        release a;
+    ";
+    let program = elaborate(&parse(safe_source)?)?;
+    let report = verify_program(&program, &VerifyOptions::default())?;
+    println!("CCCNOT gadget: all dirty qubits safe? {}", report.all_safe());
+    for v in &report.verdicts {
+        println!(
+            "  qubit {:<6} safe={} (|0> check {:?}, |+> check {:?})",
+            program.qubit_name(v.qubit),
+            v.safe,
+            v.zero_time,
+            v.plus_time
+        );
+    }
+
+    // An unsafe program: the Fig. 1.4 counterexample. Copying the dirty
+    // qubit restores every *basis* state but breaks superpositions.
+    let unsafe_source = "
+        borrow@ q[1];
+        borrow a;
+        CNOT[a, q[1]];
+        release a;
+    ";
+    let program = elaborate(&parse(unsafe_source)?)?;
+    let report = verify_program(&program, &VerifyOptions::default())?;
+    println!("\ncopy gadget: all dirty qubits safe? {}", report.all_safe());
+    for v in &report.verdicts {
+        if let Some(ce) = &v.counterexample {
+            println!("  qubit {} is UNSAFE: {}", program.qubit_name(v.qubit), ce.violation);
+            if ce.violation == Violation::PlusNotRestored {
+                println!(
+                    "  -> starting it in |+> on background {:?} entangles/dephases it",
+                    ce.basis_assignment
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! The denotational semantics of §4 in action: nondeterministic borrows,
+//! the Fig. 4.4 nested-borrow program, Example 5.2, stuck programs, and
+//! the Theorem 5.5 determinism criterion.
+
+use qborrow::lang::{denote, CoreGate, CoreStmt, QubitRef, SemanticsOptions};
+
+fn cq(q: usize) -> QubitRef {
+    QubitRef::Concrete(q)
+}
+fn ph(name: &str) -> QubitRef {
+    QubitRef::Placeholder(name.into())
+}
+
+fn main() {
+    let opts = SemanticsOptions::default();
+
+    // Unsafe borrow: X on the borrowed qubit. The borrow's body touches
+    // only the placeholder, so all 3 machine qubits are idle candidates
+    // and |[S]| = 3 — nondeterminism survives (Thm 5.5: unsafe).
+    let unsafe_borrow = CoreStmt::Seq(vec![
+        CoreStmt::Gate(CoreGate::X(cq(0))),
+        CoreStmt::Borrow {
+            placeholder: "a".into(),
+            body: Box::new(CoreStmt::Gate(CoreGate::X(ph("a")))),
+        },
+    ]);
+    let d = denote(&unsafe_borrow, 3, &opts).unwrap();
+    println!(
+        "X[q0]; borrow a; X[a]  on 3 qubits: |[S]| = {} (deterministic: {})",
+        d.operations.len(),
+        d.is_deterministic()
+    );
+
+    // Safe borrow: X;X on the borrowed qubit — all instantiations agree.
+    let safe_borrow = CoreStmt::Borrow {
+        placeholder: "a".into(),
+        body: Box::new(CoreStmt::Seq(vec![
+            CoreStmt::Gate(CoreGate::X(ph("a"))),
+            CoreStmt::Gate(CoreGate::X(ph("a"))),
+        ])),
+    };
+    let d = denote(&safe_borrow, 3, &opts).unwrap();
+    println!(
+        "borrow a; X[a]; X[a]   on 3 qubits: |[S]| = {} (Thm 5.5: safe)",
+        d.operations.len()
+    );
+
+    // Stuck: no idle qubit to borrow.
+    let stuck = CoreStmt::Borrow {
+        placeholder: "a".into(),
+        body: Box::new(CoreStmt::Gate(CoreGate::Cnot(cq(0), ph("a")))),
+    };
+    let d = denote(&stuck, 1, &opts).unwrap();
+    println!("borrow with no idle qubit: stuck = {}", d.is_stuck());
+
+    // Fig. 4.4: nested borrows on a five-qubit machine — q3 is the only
+    // idle candidate for both, so the semantics is a singleton.
+    let s2 = CoreStmt::Borrow {
+        placeholder: "a2".into(),
+        body: Box::new(CoreStmt::Seq(vec![
+            CoreStmt::Gate(CoreGate::Toffoli(cq(3), cq(4), cq(1))),
+            CoreStmt::Gate(CoreGate::Toffoli(ph("a2"), cq(1), cq(0))),
+            CoreStmt::Gate(CoreGate::Toffoli(cq(3), cq(4), cq(1))),
+            CoreStmt::Gate(CoreGate::Toffoli(ph("a2"), cq(1), cq(0))),
+        ])),
+    };
+    let fig44 = CoreStmt::Seq(vec![
+        CoreStmt::Gate(CoreGate::Cnot(cq(1), cq(2))),
+        CoreStmt::Borrow {
+            placeholder: "a1".into(),
+            body: Box::new(CoreStmt::Seq(vec![
+                CoreStmt::Gate(CoreGate::Toffoli(cq(0), cq(1), ph("a1"))),
+                CoreStmt::Gate(CoreGate::Toffoli(ph("a1"), cq(3), cq(4))),
+                CoreStmt::Gate(CoreGate::Toffoli(cq(0), cq(1), ph("a1"))),
+                CoreStmt::Gate(CoreGate::Toffoli(ph("a1"), cq(3), cq(4))),
+                s2,
+            ])),
+        },
+    ]);
+    let d = denote(&fig44, 5, &opts).unwrap();
+    println!(
+        "Fig. 4.4 nested borrows on 5 qubits: |[S]| = {}, stuck = {}",
+        d.operations.len(),
+        d.is_stuck()
+    );
+
+    // Measurement-guided control flow (extension): a while loop that
+    // resets a qubit almost surely.
+    let reset_loop = CoreStmt::Seq(vec![
+        CoreStmt::Gate(CoreGate::H(cq(0))),
+        CoreStmt::While {
+            qubit: cq(0),
+            body: Box::new(CoreStmt::Gate(CoreGate::H(cq(0)))),
+        },
+    ]);
+    let d = denote(&reset_loop, 1, &opts).unwrap();
+    println!(
+        "H; while M[q0] do H — converged to {} operation(s) (probabilistic reset)",
+        d.operations.len()
+    );
+}

@@ -1,0 +1,43 @@
+//! Verify the paper's adder benchmark (`programs/adder.qbr`, Fig. 6.2) —
+//! the workload behind Fig. 6.3 / Fig. 10.2.
+//!
+//! Usage: `cargo run --release --example verify_adder -- [n] [sat|anf|bdd] [raw|full]`
+//! (defaults: the fixture file's n = 50, sat, raw).
+
+use qborrow::core::{verify_program, BackendKind, BackendOptions, VerifyOptions};
+use qborrow::formula::Simplify;
+use qborrow::lang::{adder_source, elaborate, parse};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let source = match args.get(1).and_then(|s| s.parse::<usize>().ok()) {
+        Some(n) => adder_source(n),
+        None => std::fs::read_to_string("programs/adder.qbr")?,
+    };
+    let backend = match args.get(2).map(String::as_str) {
+        Some("anf") => BackendKind::Anf,
+        Some("bdd") => BackendKind::Bdd,
+        _ => BackendKind::Sat,
+    };
+    let simplify = match args.get(3).map(String::as_str) {
+        Some("full") => Simplify::Full,
+        _ => Simplify::Raw,
+    };
+    let program = elaborate(&parse(&source)?)?;
+    println!(
+        "adder benchmark: {} qubits, {} gates, verifying {} dirty qubits with {backend} ({simplify:?})",
+        program.num_qubits(),
+        program.circuit.size(),
+        program.qubits_to_verify().len()
+    );
+    let opts = VerifyOptions { backend, simplify, backend_options: BackendOptions::default() };
+    let report = verify_program(&program, &opts)?;
+    println!(
+        "result: all safe = {} | construction {:?} | solver {:?} | formula nodes {}",
+        report.all_safe(),
+        report.construction_time,
+        report.solver_time,
+        report.formula_nodes
+    );
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Verify the paper's borrowed-bit MCX benchmark (`programs/mcx.qbr`,
+//! §10.4) — the workload behind Fig. 6.4 / Fig. 10.3.
+//!
+//! Usage: `cargo run --release --example verify_mcx -- [m] [sat|anf|bdd]`
+//! (defaults: m = 250, anf; the fixture file uses the paper's m = 1750).
+
+use qborrow::core::{verify_program, BackendKind, BackendOptions, VerifyOptions};
+use qborrow::formula::Simplify;
+use qborrow::lang::{elaborate, mcx_source, parse};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let m: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(250);
+    let backend = match args.get(2).map(String::as_str) {
+        Some("sat") => BackendKind::Sat,
+        Some("bdd") => BackendKind::Bdd,
+        _ => BackendKind::Anf,
+    };
+    let program = elaborate(&parse(&mcx_source(m))?)?;
+    println!(
+        "mcx benchmark: ({}-controlled NOT) {} qubits, {} Toffolis, one dirty ancilla, backend {backend}",
+        2 * m - 1,
+        program.num_qubits(),
+        program.circuit.size()
+    );
+    let opts = VerifyOptions {
+        backend,
+        simplify: Simplify::Raw,
+        backend_options: BackendOptions::default(),
+    };
+    let report = verify_program(&program, &opts)?;
+    println!(
+        "result: all safe = {} | construction {:?} | solver {:?}",
+        report.all_safe(),
+        report.construction_time,
+        report.solver_time
+    );
+    Ok(())
+}

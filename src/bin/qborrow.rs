@@ -1,0 +1,181 @@
+//! The `qborrow` command-line verifier — the counterpart of the paper
+//! artifact's `./qborrow ../examples/adder.qbr` binary.
+//!
+//! ```text
+//! qborrow verify <file.qbr> [--backend sat|anf|bdd] [--simplify raw|full]
+//! qborrow info   <file.qbr>
+//! qborrow render <file.qbr>
+//! ```
+
+use qborrow::circuit::render_with_labels;
+use qborrow::core::{
+    verify_program, BackendKind, BackendOptions, VerifyOptions, Violation,
+};
+use qborrow::formula::Simplify;
+use qborrow::lang::{elaborate, parse, ElaboratedProgram};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  qborrow verify <file.qbr> [--backend sat|anf|bdd] [--simplify raw|full]\n  qborrow info   <file.qbr>\n  qborrow render <file.qbr>"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<ElaboratedProgram, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let ast = parse(&source).map_err(|e| format!("{path}: {e}"))?;
+    elaborate(&ast).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    let Some(path) = args.get(1) else {
+        return usage();
+    };
+    let program = match load(path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match command {
+        "info" => {
+            println!(
+                "{path}: {} qubits, {} gates, depth {}, classical: {}",
+                program.num_qubits(),
+                program.circuit.size(),
+                program.circuit.depth(),
+                program.circuit.is_classical()
+            );
+            for reg in &program.registers {
+                println!(
+                    "  register {:<8} kind={:<14} qubits {:?} live from gate {}{}",
+                    reg.name,
+                    format!("{:?}", reg.kind),
+                    reg.qubits(),
+                    reg.live_from,
+                    reg.released_at
+                        .map(|g| format!(", released at {g}"))
+                        .unwrap_or_default()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "render" => {
+            let labels: Vec<String> = (0..program.num_qubits())
+                .map(|q| program.qubit_name(q).to_string())
+                .collect();
+            print!("{}", render_with_labels(&program.circuit, &labels));
+            ExitCode::SUCCESS
+        }
+        "verify" => {
+            let mut backend = BackendKind::Sat;
+            let mut simplify = Simplify::Raw;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--backend" => {
+                        backend = match args.get(i + 1).map(String::as_str) {
+                            Some("sat") => BackendKind::Sat,
+                            Some("anf") => BackendKind::Anf,
+                            Some("bdd") => BackendKind::Bdd,
+                            other => {
+                                eprintln!("unknown backend {other:?}");
+                                return usage();
+                            }
+                        };
+                        i += 2;
+                    }
+                    "--simplify" => {
+                        simplify = match args.get(i + 1).map(String::as_str) {
+                            Some("raw") => Simplify::Raw,
+                            Some("full") => Simplify::Full,
+                            other => {
+                                eprintln!("unknown simplify mode {other:?}");
+                                return usage();
+                            }
+                        };
+                        i += 2;
+                    }
+                    other => {
+                        eprintln!("unknown flag {other:?}");
+                        return usage();
+                    }
+                }
+            }
+            let opts = VerifyOptions {
+                backend,
+                simplify,
+                backend_options: BackendOptions::default(),
+            };
+            let targets = program.qubits_to_verify();
+            if targets.is_empty() {
+                println!("{path}: no `borrow` qubits to verify (only borrow@/alloc)");
+                return ExitCode::SUCCESS;
+            }
+            match verify_program(&program, &opts) {
+                Err(e) => {
+                    eprintln!("verification error: {e}");
+                    ExitCode::FAILURE
+                }
+                Ok(report) => {
+                    for v in &report.verdicts {
+                        if v.safe {
+                            println!(
+                                "  {:<8} SAFE   (|0>: {:?}, |+>: {:?})",
+                                program.qubit_name(v.qubit),
+                                v.zero_time,
+                                v.plus_time
+                            );
+                        } else {
+                            let ce = v.counterexample.as_ref().expect("unsafe has witness");
+                            println!(
+                                "  {:<8} UNSAFE ({})",
+                                program.qubit_name(v.qubit),
+                                ce.violation
+                            );
+                            if let Some(bits) = &ce.basis_assignment {
+                                let rendered: Vec<String> = bits
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|&(_, &b)| b)
+                                    .map(|(q, _)| program.qubit_name(q).to_string())
+                                    .collect();
+                                let detail = match ce.violation {
+                                    Violation::ZeroNotRestored => "initial basis state",
+                                    Violation::PlusNotRestored => {
+                                        "background on which |+> decoheres"
+                                    }
+                                };
+                                println!(
+                                    "           witness ({detail}): {{{}}} set, rest 0",
+                                    rendered.join(", ")
+                                );
+                            }
+                        }
+                    }
+                    println!(
+                        "{path}: {}/{} dirty qubits safe | backend {} ({:?}) | construct {:?} | solve {:?}",
+                        report.verdicts.iter().filter(|v| v.safe).count(),
+                        report.verdicts.len(),
+                        backend,
+                        simplify,
+                        report.construction_time,
+                        report.solver_time
+                    );
+                    if report.all_safe() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

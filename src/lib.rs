@@ -1,0 +1,56 @@
+//! # qborrow
+//!
+//! A complete Rust implementation of *Borrowing Dirty Qubits in Quantum
+//! Programs* (Su, Zhou, Feng, Ying — ASPLOS 2026): the QBorrow
+//! programming language with `borrow`/`release` of dirty qubits, its
+//! set-of-operations denotational semantics, and an efficient verifier
+//! for **safe uncomputation** — the property that every execution acts as
+//! the identity on a borrowed qubit, so the qubit (and any entanglement
+//! it carries) is returned intact.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`lang`] | `qb-lang` | parser, elaboration, idle analysis, semantics |
+//! | [`core`] | `qb-core` | the safe-uncomputation verifier (paper §6) |
+//! | [`circuit`] | `qb-circuit` | gate-level IR, metrics, rendering |
+//! | [`sim`] | `qb-sim` | state vectors, density operators, channels |
+//! | [`synth`] | `qb-synth` | benchmark circuits (adders, MCX, figures) |
+//! | [`sched`] | `qb-sched` | width reduction and multi-program packing |
+//! | [`formula`] | `qb-formula` | XOR-AND graphs, ANF, CNF |
+//! | [`sat`] | `qb-sat` | the CDCL solver |
+//! | [`bdd`] | `qb-bdd` | the BDD backend |
+//! | [`linalg`] | `qb-linalg` | complex dense linear algebra |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qborrow::core::{verify_program, VerifyOptions};
+//! use qborrow::lang::{elaborate, parse};
+//!
+//! let source = "
+//!     borrow@ q[4];                 // working qubits (not verified)
+//!     borrow a;                     // a dirty qubit: must be proven safe
+//!     CCNOT[q[1], q[2], a];
+//!     CCNOT[a, q[3], q[4]];
+//!     CCNOT[q[1], q[2], a];
+//!     CCNOT[a, q[3], q[4]];         // Fig. 1.3: CCCNOT via a dirty qubit
+//!     release a;
+//! ";
+//! let program = elaborate(&parse(source)?)?;
+//! let report = verify_program(&program, &VerifyOptions::default())?;
+//! assert!(report.all_safe());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use qb_bdd as bdd;
+pub use qb_circuit as circuit;
+pub use qb_core as core;
+pub use qb_formula as formula;
+pub use qb_lang as lang;
+pub use qb_linalg as linalg;
+pub use qb_sat as sat;
+pub use qb_sched as sched;
+pub use qb_sim as sim;
+pub use qb_synth as synth;

@@ -1,0 +1,150 @@
+//! Frontend robustness: grammar coverage, error reporting, and a fuzz of
+//! the full parse → elaborate → verify pipeline over generated programs.
+
+use proptest::prelude::*;
+use qborrow::core::{verify_program, VerifyOptions};
+use qborrow::lang::{elaborate, parse, Phase, QubitKind};
+
+#[test]
+fn grammar_coverage_golden() {
+    // Every statement form of the paper's grammar plus the documented
+    // extensions, in one program.
+    let source = "
+        let n = 2 + 3 * (4 - 2);      // = 8
+        borrow@ q[n];
+        borrow a[n - 1];
+        alloc c;
+        borrow t;
+        X[q[1]];
+        CNOT[q[1], q[2]];
+        CCNOT[q[1], q[2], a[1]];
+        MCX[q[1], q[2], q[3], t];
+        H[c];
+        Z[c];
+        SWAP[q[7], q[8]];
+        for i = 1 to 3 {
+            X[a[i]];
+            for j = i to 1 {
+                CNOT[a[j], a[j + 1]];
+            }
+        }
+        release t;
+        release a;
+    ";
+    let program = elaborate(&parse(source).unwrap()).unwrap();
+    assert_eq!(program.num_qubits(), 8 + 7 + 1 + 1);
+    assert_eq!(program.registers.len(), 4);
+    assert_eq!(program.registers[2].kind, QubitKind::Clean);
+    assert!(!program.circuit.is_classical()); // H[c] is in there
+}
+
+#[test]
+fn error_messages_carry_positions_and_phases() {
+    let cases: Vec<(&str, Phase, &str)> = vec![
+        ("let x = $;", Phase::Lex, "unexpected character"),
+        ("let x = ;", Phase::Parse, "expected a number"),
+        ("X[q[1];", Phase::Parse, "expected"),
+        ("borrow a; X[b];", Phase::Elaborate, "undeclared register 'b'"),
+        ("borrow a[3]; X[a[9]];", Phase::Elaborate, "out of bounds"),
+        (
+            "borrow a; release a; X[a];",
+            Phase::Elaborate,
+            "after release",
+        ),
+        ("let n = 9223372036854775807; let m = n * 2;", Phase::Elaborate, "overflow"),
+    ];
+    for (source, phase, needle) in cases {
+        let err = parse(source)
+            .and_then(|ast| elaborate(&ast))
+            .expect_err(source);
+        assert_eq!(err.phase, phase, "{source}");
+        assert!(
+            err.message.contains(needle),
+            "{source}: got {:?}",
+            err.message
+        );
+    }
+}
+
+#[test]
+fn comments_and_whitespace_are_insignificant() {
+    let spaced = "borrow a ; /* block */ X [ a ] ; // trailing\n";
+    let tight = "borrow a;X[a];";
+    assert_eq!(
+        elaborate(&parse(spaced).unwrap()).unwrap().circuit,
+        elaborate(&parse(tight).unwrap()).unwrap().circuit
+    );
+}
+
+/// Generates a random well-formed QBorrow program: a couple of register
+/// declarations followed by gates/loops referencing them in range.
+fn arb_program() -> impl Strategy<Value = String> {
+    let sizes = (2usize..5, 2usize..5);
+    (sizes, proptest::collection::vec(0u8..6, 1..12), any::<bool>()).prop_map(
+        |((qs, amps), ops, dirty)| {
+            let decl = if dirty { "borrow" } else { "alloc" };
+            let mut src = format!("borrow@ q[{qs}];\n{decl} a[{amps}];\n");
+            for (i, op) in ops.iter().enumerate() {
+                let qi = i % qs + 1;
+                let ai = i % amps + 1;
+                match op {
+                    0 => src.push_str(&format!("X[q[{qi}]];\n")),
+                    1 => src.push_str(&format!("X[a[{ai}]];\n")),
+                    2 => src.push_str(&format!("CNOT[q[{qi}], a[{ai}]];\n")),
+                    3 => src.push_str(&format!("CNOT[a[{ai}], q[{qi}]];\n")),
+                    4 => src.push_str(&format!(
+                        "for i = 1 to {amps} {{ X[a[i]]; X[a[i]]; }}\n"
+                    )),
+                    _ => src.push_str(&format!(
+                        "CCNOT[q[{}], q[{}], a[{ai}]];\n",
+                        qi,
+                        qi % qs + 1
+                    )),
+                }
+            }
+            src
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated program survives the whole pipeline, and the
+    /// verifier's verdict matches the exact bit-level checker.
+    #[test]
+    fn pipeline_fuzz(source in arb_program()) {
+        let program = elaborate(&parse(&source).unwrap()).unwrap();
+        prop_assume!(program.num_qubits() <= 10);
+        let report = verify_program(&program, &VerifyOptions::default()).unwrap();
+        for v in &report.verdicts {
+            let exact = qborrow::core::exact::classical_circuit_safely_uncomputes(
+                &program.circuit,
+                v.qubit,
+            )
+            .unwrap();
+            // With alloc (clean) qubits the symbolic check may accept
+            // MORE circuits than the all-free exact check (known-zero
+            // inputs); only compare verdicts when the targets are dirty.
+            if program.qubit_kinds[v.qubit] == QubitKind::BorrowedDirty
+                && program.clean_qubits().is_empty()
+            {
+                prop_assert_eq!(v.safe, exact, "{}", source);
+            }
+            // Safety in the exact all-free sense always implies the
+            // verifier accepts.
+            if exact {
+                prop_assert!(v.safe, "{}", source);
+            }
+        }
+    }
+
+    /// Re-parsing the rendered circuit info never panics (smoke).
+    #[test]
+    fn elaboration_is_deterministic(source in arb_program()) {
+        let a = elaborate(&parse(&source).unwrap()).unwrap();
+        let b = elaborate(&parse(&source).unwrap()).unwrap();
+        prop_assert_eq!(a.circuit, b.circuit);
+        prop_assert_eq!(a.qubit_names, b.qubit_names);
+    }
+}

@@ -1,0 +1,203 @@
+//! Integration tests validating the paper's theorems on small systems:
+//! the equivalent characterisations of safe uncomputation (Thms. 5.3,
+//! 5.4, 5.5, 6.1, 6.2) agree with each other and with the symbolic
+//! verifier.
+
+use qborrow::circuit::{Circuit, Gate};
+use qborrow::core::exact::{
+    channel_preserves_bell_entanglement, circuit_safely_uncomputes,
+    classical_circuit_safely_uncomputes, denotation_safely_uncomputes,
+    operation_safely_uncomputes, program_is_safe, unitary_safely_uncomputes,
+};
+use qborrow::core::{verify_circuit, InitialValue, VerifyOptions};
+use qborrow::lang::{denote, CoreGate, CoreStmt, QubitRef, SemanticsOptions};
+use qborrow::sim::{unitary_of, Channel, SuperOp};
+
+fn cq(q: usize) -> QubitRef {
+    QubitRef::Concrete(q)
+}
+fn ph(name: &str) -> QubitRef {
+    QubitRef::Placeholder(name.into())
+}
+
+/// A deterministic enumeration of classical 4-qubit circuits for the
+/// cross-validation sweeps.
+fn circuit_family() -> Vec<Circuit> {
+    let mut out = Vec::new();
+    let seeds: Vec<Vec<Gate>> = vec![
+        vec![],
+        vec![Gate::X(0)],
+        vec![Gate::Cnot { c: 0, t: 1 }],
+        vec![Gate::Cnot { c: 0, t: 1 }, Gate::Cnot { c: 0, t: 1 }],
+        vec![Gate::Toffoli { c1: 0, c2: 1, t: 2 }],
+        vec![
+            Gate::Toffoli { c1: 0, c2: 1, t: 2 },
+            Gate::Toffoli { c1: 2, c2: 3, t: 1 },
+            Gate::Toffoli { c1: 0, c2: 1, t: 2 },
+        ],
+        vec![
+            Gate::Toffoli { c1: 0, c2: 1, t: 2 },
+            Gate::Toffoli { c1: 2, c2: 3, t: 1 },
+            Gate::Toffoli { c1: 0, c2: 1, t: 2 },
+            Gate::Toffoli { c1: 2, c2: 3, t: 1 },
+        ],
+        vec![Gate::Swap(0, 3), Gate::Swap(0, 3)],
+        vec![Gate::X(2), Gate::Cnot { c: 2, t: 0 }, Gate::X(2)],
+        vec![
+            Gate::Cnot { c: 1, t: 0 },
+            Gate::X(1),
+            Gate::Cnot { c: 1, t: 0 },
+            Gate::X(1),
+        ],
+    ];
+    for gates in seeds {
+        let mut c = Circuit::new(4);
+        for g in gates {
+            c.push(g);
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[test]
+fn theorem_6_2_symbolic_equals_definition_3_1() {
+    // Thm. 6.2/6.4: the two-formula criterion coincides with the unitary
+    // factorisation for classical circuits.
+    let initial = vec![InitialValue::Free; 4];
+    for circuit in circuit_family() {
+        for q in 0..4 {
+            let exact = circuit_safely_uncomputes(&circuit, q, 1e-9);
+            let bit = classical_circuit_safely_uncomputes(&circuit, q).unwrap();
+            let symbolic = verify_circuit(&circuit, &initial, &[q], &VerifyOptions::default())
+                .unwrap()
+                .all_safe();
+            assert_eq!(exact, bit, "unitary vs permutation, qubit {q}");
+            assert_eq!(exact, symbolic, "exact vs symbolic, qubit {q}");
+        }
+    }
+}
+
+#[test]
+fn theorem_6_1_basis_check_equals_definition_5_1() {
+    // The finite-basis restoration test (Thm. 6.1 item 2) and the
+    // Bell-state test (item 3) agree with the unitary factorisation, for
+    // quantum (non-classical) circuits too.
+    let mut circuits = circuit_family();
+    // Add non-classical members.
+    let mut c = Circuit::new(4);
+    c.h(0).cnot(0, 1).cnot(0, 1).h(0);
+    circuits.push(c); // identity overall
+    let mut c = Circuit::new(4);
+    c.z(2);
+    circuits.push(c); // phase on qubit 2: unsafe for 2, safe elsewhere
+    let mut c = Circuit::new(4);
+    c.h(3).cz(3, 0).h(3);
+    circuits.push(c); // CNOT(0→3) in disguise
+
+    for circuit in circuits {
+        let u = unitary_of(&circuit);
+        let channel = Channel::from_circuit(&circuit);
+        let op = SuperOp::from_channel(&channel);
+        for q in 0..4 {
+            let by_unitary = unitary_safely_uncomputes(&u, 4, q, 1e-9);
+            let by_basis = operation_safely_uncomputes(&op, q, 1e-8);
+            let by_bell = channel_preserves_bell_entanglement(&channel, q, 1e-8);
+            assert_eq!(by_unitary, by_basis, "Thm 6.1(2), qubit {q}");
+            assert_eq!(by_unitary, by_bell, "Thm 6.1(3), qubit {q}");
+        }
+    }
+}
+
+#[test]
+fn theorem_5_5_safety_iff_deterministic() {
+    let opts = SemanticsOptions::default();
+
+    // Safe body (identity on the placeholder): singleton denotation, and
+    // every operation in it safely uncomputes every idle qubit.
+    let safe = CoreStmt::Borrow {
+        placeholder: "a".into(),
+        body: Box::new(CoreStmt::Seq(vec![
+            CoreStmt::Gate(CoreGate::Toffoli(cq(0), cq(1), ph("a"))),
+            CoreStmt::Gate(CoreGate::Toffoli(cq(0), cq(1), ph("a"))),
+        ])),
+    };
+    let d = denote(&safe, 4, &opts).unwrap();
+    assert!(program_is_safe(&d));
+    for q in 2..4 {
+        assert!(denotation_safely_uncomputes(&d, q, 1e-8), "qubit {q}");
+    }
+
+    // Unsafe body: |[S]| > 1 with ≥ 2 candidates.
+    let unsafe_prog = CoreStmt::Borrow {
+        placeholder: "a".into(),
+        body: Box::new(CoreStmt::Gate(CoreGate::Cnot(ph("a"), cq(0)))),
+    };
+    let d = denote(&unsafe_prog, 3, &opts).unwrap();
+    assert!(!program_is_safe(&d));
+    assert!(!denotation_safely_uncomputes(&d, 1, 1e-8));
+}
+
+#[test]
+fn example_5_2_per_qubit_safety() {
+    // S ≡ X[q]; borrow a; X[q]; X[a]; release a — the borrow is unsafe,
+    // yet q (qubit 0) is safely uncomputed by S (Example 5.2).
+    let opts = SemanticsOptions::default();
+    let s = CoreStmt::Seq(vec![
+        CoreStmt::Gate(CoreGate::X(cq(0))),
+        CoreStmt::Borrow {
+            placeholder: "a".into(),
+            body: Box::new(CoreStmt::Seq(vec![
+                CoreStmt::Gate(CoreGate::X(cq(0))),
+                CoreStmt::Gate(CoreGate::X(ph("a"))),
+            ])),
+        },
+    ]);
+    let d = denote(&s, 3, &opts).unwrap();
+    // The borrow is unsafe: two instantiations (qubits 1 and 2).
+    assert_eq!(d.operations.len(), 2);
+    assert!(!program_is_safe(&d));
+    // But every execution acts as the identity on q = qubit 0.
+    assert!(denotation_safely_uncomputes(&d, 0, 1e-8));
+    // …and not on the borrowed candidates.
+    assert!(!denotation_safely_uncomputes(&d, 1, 1e-8));
+}
+
+#[test]
+fn measurement_branching_breaks_safety_detectably() {
+    // if M[a] then X[q] else skip — reading the dirty qubit through a
+    // measurement guard leaks it even though its value is "unchanged".
+    let opts = SemanticsOptions::default();
+    let s = CoreStmt::If {
+        qubit: cq(0),
+        then_branch: Box::new(CoreStmt::Gate(CoreGate::X(cq(1)))),
+        else_branch: Box::new(CoreStmt::Skip),
+    };
+    let d = denote(&s, 2, &opts).unwrap();
+    assert_eq!(d.operations.len(), 1);
+    // The measurement destroys superpositions of qubit 0.
+    assert!(!denotation_safely_uncomputes(&d, 0, 1e-8));
+    // A measurement of a qubit that controls nothing ... still unsafe for
+    // that qubit (it decoheres), but qubit 1 of `skip` branches is fine:
+    assert!(!denotation_safely_uncomputes(&d, 1, 1e-8));
+    let trivial = CoreStmt::If {
+        qubit: cq(0),
+        then_branch: Box::new(CoreStmt::Skip),
+        else_branch: Box::new(CoreStmt::Skip),
+    };
+    let d = denote(&trivial, 2, &opts).unwrap();
+    // Measuring and doing nothing is invisible for the *other* qubit…
+    assert!(denotation_safely_uncomputes(&d, 1, 1e-8));
+    // …but still dephases the measured one: not safe.
+    assert!(!denotation_safely_uncomputes(&d, 0, 1e-8));
+}
+
+#[test]
+fn initialisation_is_never_safe_for_the_reset_qubit() {
+    let opts = SemanticsOptions::default();
+    let s = CoreStmt::Init(cq(1));
+    let d = denote(&s, 3, &opts).unwrap();
+    assert!(!denotation_safely_uncomputes(&d, 1, 1e-8));
+    assert!(denotation_safely_uncomputes(&d, 0, 1e-8));
+    assert!(denotation_safely_uncomputes(&d, 2, 1e-8));
+}

@@ -193,9 +193,7 @@ impl Bdd {
         // Exploit simple identities for speed.
         match (op, a, b) {
             (BddOp::And, x, y) if x == y => return x,
-            (BddOp::And, BddId::FALSE, _) | (BddOp::And, _, BddId::FALSE) => {
-                return BddId::FALSE
-            }
+            (BddOp::And, BddId::FALSE, _) | (BddOp::And, _, BddId::FALSE) => return BddId::FALSE,
             (BddOp::And, BddId::TRUE, y) => return y,
             (BddOp::And, x, BddId::TRUE) => return x,
             (BddOp::Or, x, y) if x == y => return x,

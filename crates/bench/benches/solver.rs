@@ -1,24 +1,23 @@
-//! Criterion benches for the decision substrates: the CDCL solver against
-//! the DPLL oracle, and the three backends on identical condition
-//! formulas.
+//! Benches for the decision substrates: the CDCL solver against the DPLL
+//! oracle, and the solver on identical condition formulas.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use qb_bench::harness::{bench, group};
 use qb_formula::{encode, Cnf};
 use qb_sat::{dpll_solve, Lit, Solver};
-use rand::{Rng, SeedableRng};
+use qb_testutil::Rng;
 
 /// Random 3-SAT near the phase transition.
 fn random_3sat(vars: usize, clauses: usize, seed: u64) -> Cnf {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut cnf = Cnf::new();
     for _ in 0..vars {
         cnf.fresh_var();
     }
     for _ in 0..clauses {
-        let mut clause = Vec::with_capacity(3);
+        let mut clause: Vec<i32> = Vec::with_capacity(3);
         while clause.len() < 3 {
-            let v = rng.gen_range(1..=vars as i32);
-            let l = if rng.gen() { v } else { -v };
+            let v = rng.gen_range(1, vars + 1) as i32;
+            let l = if rng.gen_bool() { v } else { -v };
             if !clause.contains(&l) && !clause.contains(&-l) {
                 clause.push(l);
             }
@@ -28,18 +27,18 @@ fn random_3sat(vars: usize, clauses: usize, seed: u64) -> Cnf {
     cnf
 }
 
-fn cdcl_vs_dpll(c: &mut Criterion) {
-    let mut group = c.benchmark_group("random_3sat_v40_c170");
-    group.sample_size(10);
+fn cdcl_vs_dpll() {
+    group("random_3sat_v40_c170");
     let cnf = random_3sat(40, 170, 7);
-    group.bench_function("cdcl", |b| {
-        b.iter(|| Solver::from_cnf(&cnf).solve())
+    bench("cdcl", 10, || {
+        Solver::from_cnf(&cnf).solve();
     });
-    group.bench_function("dpll", |b| b.iter(|| dpll_solve(&cnf)));
-    group.finish();
+    bench("dpll", 10, || {
+        dpll_solve(&cnf);
+    });
 }
 
-fn pigeonhole(c: &mut Criterion) {
+fn pigeonhole() {
     // PHP(7,6): a classically hard unsat family for resolution.
     let mut cnf = Cnf::new();
     let pigeons = 7;
@@ -59,15 +58,13 @@ fn pigeonhole(c: &mut Criterion) {
             }
         }
     }
-    let mut group = c.benchmark_group("pigeonhole_7_6");
-    group.sample_size(10);
-    group.bench_function("cdcl", |b| {
-        b.iter(|| Solver::from_cnf(&cnf).solve())
+    group("pigeonhole_7_6");
+    bench("cdcl", 10, || {
+        Solver::from_cnf(&cnf).solve();
     });
-    group.finish();
 }
 
-fn unsat_condition_instances(c: &mut Criterion) {
+fn unsat_condition_instances() {
     // The actual shape the verifier produces: condition (6.2) of the
     // adder benchmark, Tseitin-encoded.
     use qb_core::{build_conditions, symbolic_execute, InitialValue};
@@ -83,16 +80,15 @@ fn unsat_condition_instances(c: &mut Criterion) {
     let conds = build_conditions(&mut state, q);
     let or_root = state.arena.or(&conds.plus_parts);
     let enc = encode(&state.arena, &[or_root]);
-    let mut group = c.benchmark_group("adder30_plus_condition");
-    group.sample_size(10);
-    group.bench_function("cdcl_unsat", |b| {
-        b.iter(|| {
-            let mut s = Solver::from_cnf(&enc.cnf);
-            s.solve_with_assumptions(&[Lit::from_dimacs(enc.root_lits[0])])
-        })
+    group("adder30_plus_condition");
+    bench("cdcl_unsat", 10, || {
+        let mut s = Solver::from_cnf(&enc.cnf);
+        s.solve_with_assumptions(&[Lit::from_dimacs(enc.root_lits[0])]);
     });
-    group.finish();
 }
 
-criterion_group!(benches, cdcl_vs_dpll, pigeonhole, unsat_condition_instances);
-criterion_main!(benches);
+fn main() {
+    cdcl_vs_dpll();
+    pigeonhole();
+    unsat_condition_instances();
+}

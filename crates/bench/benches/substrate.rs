@@ -1,43 +1,37 @@
-//! Criterion benches for the substrates: symbolic execution (the paper's
-//! "linear scan"), classical simulation, state-vector simulation, and
+//! Benches for the substrates: symbolic execution (the paper's "linear
+//! scan"), classical simulation, state-vector simulation, and
 //! formula-representation conversions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qb_bench::harness::{bench, group};
 use qb_circuit::{simulate_classical, BitState};
 use qb_core::{symbolic_execute, InitialValue};
 use qb_formula::{Anf, Simplify};
 use qb_sim::StateVector;
 
-fn symbolic_scan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("symbolic_execution");
+fn symbolic_scan() {
+    group("symbolic_execution");
     for n in [50usize, 100, 200] {
         let program = qb_bench::adder_program(n);
         let initial = vec![InitialValue::Free; program.num_qubits()];
         for mode in [Simplify::Raw, Simplify::Full] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("adder_{mode:?}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| symbolic_execute(&program.circuit, &initial, mode).unwrap())
-                },
-            );
+            bench(&format!("adder_{mode:?}/{n}"), 10, || {
+                symbolic_execute(&program.circuit, &initial, mode).unwrap();
+            });
         }
     }
-    group.finish();
 }
 
-fn classical_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("classical_simulation");
+fn classical_sim() {
+    group("classical_simulation");
     let program = qb_bench::mcx_program(500);
     let input = BitState::zeros(program.num_qubits());
-    group.bench_function("mcx_m500", |b| {
-        b.iter(|| simulate_classical(&program.circuit, &input).unwrap())
+    bench("mcx_m500", 10, || {
+        simulate_classical(&program.circuit, &input).unwrap();
     });
-    group.finish();
 }
 
-fn statevector_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("statevector");
+fn statevector_sim() {
+    group("statevector");
     for n in [10usize, 14] {
         let mut circuit = qb_circuit::Circuit::new(n);
         for q in 0..n {
@@ -49,29 +43,25 @@ fn statevector_sim(c: &mut Criterion) {
         for q in 0..n {
             circuit.phase(0.3, q);
         }
-        group.bench_with_input(BenchmarkId::new("ghz_layers", n), &n, |b, _| {
-            b.iter(|| StateVector::zero(n).run(&circuit))
+        bench(&format!("ghz_layers/{n}"), 10, || {
+            let _ = StateVector::zero(n).run(&circuit);
         });
     }
-    group.finish();
 }
 
-fn anf_normalisation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("anf");
+fn anf_normalisation() {
+    group("anf");
     let program = qb_bench::mcx_program(200);
     let initial = vec![InitialValue::Free; program.num_qubits()];
     let state = symbolic_execute(&program.circuit, &initial, Simplify::Raw).unwrap();
-    group.bench_function("mcx_m200_final_formulas", |b| {
-        b.iter(|| Anf::from_arena(&state.arena, &state.formulas, 1 << 22).unwrap())
+    bench("mcx_m200_final_formulas", 10, || {
+        Anf::from_arena(&state.arena, &state.formulas, 1 << 22).unwrap();
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    symbolic_scan,
-    classical_sim,
-    statevector_sim,
-    anf_normalisation
-);
-criterion_main!(benches);
+fn main() {
+    symbolic_scan();
+    classical_sim();
+    statevector_sim();
+    anf_normalisation();
+}

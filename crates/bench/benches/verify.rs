@@ -1,59 +1,65 @@
-//! Criterion benches for the end-to-end verifier: scaled-down versions of
-//! the paper's Fig. 6.3/6.4 sweeps plus the Raw-vs-Full simplification
-//! ablation (E15). The full-size tables come from the `exp_fig6_3` /
-//! `exp_fig6_4` binaries.
+//! Benches for the end-to-end verifier: scaled-down versions of the
+//! paper's Fig. 6.3/6.4 sweeps, the Raw-vs-Full simplification ablation
+//! (E15), and the incremental-session parallel fan-out. The full-size
+//! tables come from the `exp_fig6_3` / `exp_fig6_4` binaries; the
+//! committed session-vs-fresh numbers come from `bench_pr1`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qb_bench::harness::{bench, group};
 use qb_bench::{adder_program, mcx_program, options};
-use qb_core::{verify_program, BackendKind};
+use qb_core::{verify_program, verify_program_parallel, BackendKind};
 use qb_formula::Simplify;
 
-fn adder_verify(c: &mut Criterion) {
-    let mut group = c.benchmark_group("adder_verify");
-    group.sample_size(10);
+fn adder_verify() {
+    group("adder_verify");
     for n in [20usize, 35, 50] {
         let program = adder_program(n);
         for backend in [BackendKind::Sat, BackendKind::Bdd] {
             let opts = options(backend, Simplify::Raw);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{backend}"), n),
-                &n,
-                |b, _| b.iter(|| verify_program(&program, &opts).unwrap()),
-            );
+            bench(&format!("{backend}/{n}"), 10, || {
+                verify_program(&program, &opts).unwrap();
+            });
         }
     }
-    group.finish();
 }
 
-fn mcx_verify(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mcx_verify");
-    group.sample_size(10);
+fn mcx_verify() {
+    group("mcx_verify");
     for m in [50usize, 100, 200] {
         let program = mcx_program(m);
         for backend in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
             let opts = options(backend, Simplify::Raw);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{backend}"), 2 * m - 1),
-                &m,
-                |b, _| b.iter(|| verify_program(&program, &opts).unwrap()),
-            );
+            bench(&format!("{backend}/{}", 2 * m - 1), 10, || {
+                verify_program(&program, &opts).unwrap();
+            });
         }
     }
-    group.finish();
 }
 
-fn simplify_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simplify_ablation");
-    group.sample_size(10);
+fn simplify_ablation() {
+    group("simplify_ablation");
     let program = adder_program(40);
     for simplify in [Simplify::Raw, Simplify::Full] {
         let opts = options(BackendKind::Sat, simplify);
-        group.bench_function(format!("sat_{simplify:?}"), |b| {
-            b.iter(|| verify_program(&program, &opts).unwrap())
+        bench(&format!("sat_{simplify:?}"), 10, || {
+            verify_program(&program, &opts).unwrap();
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, adder_verify, mcx_verify, simplify_ablation);
-criterion_main!(benches);
+fn parallel_fanout() {
+    group("parallel_fanout");
+    let program = adder_program(40);
+    let opts = options(BackendKind::Sat, Simplify::Raw);
+    for jobs in [1usize, 2, 4] {
+        bench(&format!("sat_raw_adder40_jobs{jobs}"), 5, || {
+            verify_program_parallel(&program, &opts, jobs).unwrap();
+        });
+    }
+}
+
+fn main() {
+    adder_verify();
+    mcx_verify();
+    simplify_ablation();
+    parallel_fanout();
+}

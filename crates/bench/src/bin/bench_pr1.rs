@@ -1,0 +1,177 @@
+//! The PR-1 ablation harness: incremental shared-solver sessions versus
+//! the fresh-solver-per-query pipeline, plus parallel fan-out, on the
+//! multi-target sweep the paper's Fig. 6.3 experiment performs (all
+//! borrowable qubits of a Håner/Takahashi carry adder, SAT backend,
+//! `Simplify::Raw`).
+//!
+//! Usage: `cargo run --release -p qb-bench --bin bench_pr1 [bits] [out.json] [samples]`
+//! (defaults: 16 bits, `BENCH_PR1.json`, 5 samples). Both pipelines are
+//! measured in the same process run; the emitted JSON records per-sweep
+//! and per-query construction/solver splits and asserts verdict
+//! equality.
+
+use qb_core::{
+    verify_circuit_fresh, verify_program, verify_program_parallel, BackendKind, VerificationReport,
+    VerifyOptions,
+};
+use qb_formula::Simplify;
+use qb_lang::{ElaboratedProgram, QubitKind};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+fn verify_fresh_program(program: &ElaboratedProgram, opts: &VerifyOptions) -> VerificationReport {
+    let initial: Vec<qb_core::InitialValue> = (0..program.num_qubits())
+        .map(|q| match program.qubit_kinds[q] {
+            QubitKind::Clean => qb_core::InitialValue::Zero,
+            _ => qb_core::InitialValue::Free,
+        })
+        .collect();
+    verify_circuit_fresh(
+        &program.circuit,
+        &initial,
+        &program.qubits_to_verify(),
+        opts,
+    )
+    .expect("fresh verification completes")
+}
+
+struct SweepResult {
+    pipeline: String,
+    wall: Vec<Duration>,
+    report: VerificationReport,
+}
+
+fn measure_sweep<F: Fn() -> VerificationReport>(
+    pipeline: &str,
+    samples: usize,
+    run: F,
+) -> SweepResult {
+    let mut wall = Vec::with_capacity(samples);
+    let mut report = None;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let r = run();
+        wall.push(t0.elapsed());
+        report = Some(r);
+    }
+    let result = SweepResult {
+        pipeline: pipeline.to_string(),
+        wall,
+        report: report.expect("at least one sample"),
+    };
+    eprintln!(
+        "  {:<16} wall(min) {:>12.3?}  construct {:>10.3?}  solve {:>12.3?}",
+        result.pipeline,
+        result.wall.iter().min().unwrap(),
+        result.report.construction_time,
+        result.report.solver_time,
+    );
+    result
+}
+
+fn median_ns(samples: &[Duration]) -> u128 {
+    let mut s: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    s.sort_unstable();
+    s[s.len() / 2]
+}
+
+fn min_ns(samples: &[Duration]) -> u128 {
+    samples.iter().map(Duration::as_nanos).min().unwrap_or(0)
+}
+
+fn sweep_json(out: &mut String, s: &SweepResult) {
+    let r = &s.report;
+    let _ = write!(
+        out,
+        "    {{\n      \"pipeline\": \"{}\",\n      \"wall_ns_min\": {},\n      \"wall_ns_median\": {},\n      \"construction_ns\": {},\n      \"solver_ns\": {},\n      \"formula_nodes\": {},\n      \"all_safe\": {},\n      \"per_query\": [\n",
+        s.pipeline,
+        min_ns(&s.wall),
+        median_ns(&s.wall),
+        r.construction_time.as_nanos(),
+        r.solver_time.as_nanos(),
+        r.formula_nodes,
+        r.all_safe(),
+    );
+    for (i, v) in r.verdicts.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "        {{\"qubit\": {}, \"safe\": {}, \"zero_ns\": {}, \"plus_ns\": {}, \"backend_size\": {}}}{}",
+            v.qubit,
+            v.safe,
+            v.zero_time.as_nanos(),
+            v.plus_time.as_nanos(),
+            v.backend_size,
+            if i + 1 < r.verdicts.len() { "," } else { "" },
+        );
+    }
+    out.push_str("      ]\n    }");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bits: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let out_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let samples: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5).max(1);
+
+    let opts = VerifyOptions {
+        backend: BackendKind::Sat,
+        simplify: Simplify::Raw,
+        ..VerifyOptions::default()
+    };
+    let program = qb_bench::adder_program(bits);
+    let targets = program.qubits_to_verify().len();
+    let jobs = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get);
+    eprintln!(
+        "bench_pr1: {bits}-bit Haner adder, {targets} dirty qubits, SAT backend, Raw, {samples} samples"
+    );
+
+    let fresh = measure_sweep("fresh", samples, || verify_fresh_program(&program, &opts));
+    let session = measure_sweep("session", samples, || {
+        verify_program(&program, &opts).expect("session verification completes")
+    });
+    let parallel = measure_sweep(&format!("parallel_jobs{jobs}"), samples, || {
+        verify_program_parallel(&program, &opts, jobs).expect("parallel verification completes")
+    });
+
+    // Hard gate: identical verdicts across all three pipelines.
+    for other in [&session, &parallel] {
+        assert_eq!(fresh.report.verdicts.len(), other.report.verdicts.len());
+        for (a, b) in fresh.report.verdicts.iter().zip(&other.report.verdicts) {
+            assert_eq!(a.qubit, b.qubit, "{} verdict order", other.pipeline);
+            assert_eq!(
+                a.safe, b.safe,
+                "{} verdict for qubit {}",
+                other.pipeline, a.qubit
+            );
+        }
+    }
+
+    let speedup_session = min_ns(&fresh.wall) as f64 / min_ns(&session.wall) as f64;
+    let speedup_parallel = min_ns(&fresh.wall) as f64 / min_ns(&parallel.wall) as f64;
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = write!(
+        out,
+        "  \"benchmark\": \"adder_multi_target_sweep\",\n  \"adder_bits\": {bits},\n  \"dirty_qubits\": {targets},\n  \"backend\": \"sat\",\n  \"simplify\": \"raw\",\n  \"samples\": {samples},\n  \"parallel_jobs\": {jobs},\n"
+    );
+    out.push_str("  \"sweeps\": [\n");
+    for (i, s) in [&fresh, &session, &parallel].iter().enumerate() {
+        sweep_json(&mut out, s);
+        out.push_str(if i < 2 { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = write!(
+        out,
+        "  \"verdicts_identical\": true,\n  \"speedup_session_over_fresh\": {speedup_session:.3},\n  \"speedup_parallel_over_fresh\": {speedup_parallel:.3}\n"
+    );
+    out.push_str("}\n");
+
+    std::fs::write(&out_path, &out).expect("write benchmark JSON");
+    eprintln!(
+        "session speedup {speedup_session:.2}x, parallel speedup {speedup_parallel:.2}x -> {out_path}"
+    );
+}

@@ -1,7 +1,7 @@
 //! E4/E14 — Fig. 3.1 width reduction and §7 multi-program packing.
 
 use qb_core::VerifyOptions;
-use qb_sched::{pack_programs, plan_borrows, apply_borrows, reduce_width};
+use qb_sched::{apply_borrows, pack_programs, plan_borrows, reduce_width};
 use qb_synth::{fig_1_3_cccnot_with_dirty, fig_3_1a};
 
 fn main() {

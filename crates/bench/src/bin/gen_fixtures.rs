@@ -1,0 +1,44 @@
+//! Regenerates the `.qbr` fixtures under `programs/` that the
+//! integration tests and the README examples consume.
+//!
+//! Usage: `cargo run -p qb-bench --bin gen_fixtures [out_dir]`
+//! (default `programs/` relative to the current directory).
+
+use qb_lang::{adder_source, mcx_source};
+
+const CCCNOT: &str = "\
+// Fig. 1.3: CCCNOT from four Toffolis and one borrowed dirty qubit.
+borrow@ q[4];
+borrow a;
+CCNOT[q[1], q[2], a];
+CCNOT[a, q[3], q[4]];
+CCNOT[q[1], q[2], a];
+CCNOT[a, q[3], q[4]];
+release a;
+";
+
+const UNSAFE_COPY: &str = "\
+// A dirty qubit whose value leaks into a working qubit: clean
+// uncomputation holds (basis states are restored) but |+> is not, so
+// verification must reject it (paper Fig. 1.4).
+borrow@ q[1];
+borrow a;
+CNOT[a, q[1]];
+release a;
+";
+
+fn main() -> std::io::Result<()> {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "programs".into());
+    std::fs::create_dir_all(&out)?;
+    let write = |name: &str, contents: &str| -> std::io::Result<()> {
+        let path = format!("{out}/{name}");
+        std::fs::write(&path, contents)?;
+        println!("wrote {path} ({} bytes)", contents.len());
+        Ok(())
+    };
+    write("adder.qbr", &adder_source(50))?;
+    write("mcx.qbr", &mcx_source(1750))?;
+    write("cccnot.qbr", CCCNOT)?;
+    write("unsafe_copy.qbr", UNSAFE_COPY)?;
+    Ok(())
+}

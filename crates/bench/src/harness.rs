@@ -1,0 +1,68 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The workspace builds in fully offline environments, so Criterion is
+//! not available; the `[[bench]]` targets are plain `main` functions
+//! (`harness = false`) built on this module. It deliberately keeps the
+//! Criterion-ish shape — named groups, multiple samples, median/min
+//! reporting — without any statistics machinery.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark: label plus per-sample wall times.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Human-readable benchmark id (`group/name`).
+    pub label: String,
+    /// Wall time of each sample, in measurement order.
+    pub samples: Vec<Duration>,
+}
+
+impl Measurement {
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        self.samples.iter().min().copied().unwrap_or_default()
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s.get(s.len() / 2).copied().unwrap_or_default()
+    }
+
+    /// One-line report.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<44} median {:>12.3?}  min {:>12.3?}  ({} samples)",
+            self.label,
+            self.median(),
+            self.min(),
+            self.samples.len()
+        )
+    }
+}
+
+/// Runs `f` once as warm-up and then `samples` timed iterations,
+/// printing and returning the measurement.
+pub fn bench<F: FnMut()>(label: &str, samples: usize, mut f: F) -> Measurement {
+    f(); // warm-up
+    let samples = samples.max(1);
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed());
+    }
+    let m = Measurement {
+        label: label.to_string(),
+        samples: times,
+    };
+    println!("  {}", m.render());
+    m
+}
+
+/// Prints a group header (visual parity with the Criterion output the
+/// benches used to produce).
+pub fn group(title: &str) {
+    println!("== {title}");
+}

@@ -11,6 +11,8 @@ use qb_formula::Simplify;
 use qb_lang::{adder_source, elaborate, mcx_source, parse, ElaboratedProgram};
 use std::time::Duration;
 
+pub mod harness;
+
 /// One measurement of a verification sweep.
 #[derive(Debug, Clone)]
 pub struct SweepRow {
@@ -67,8 +69,7 @@ pub fn adder_program(n: usize) -> ElaboratedProgram {
 ///
 /// Panics if the generated source fails to parse/elaborate (a bug).
 pub fn mcx_program(m: usize) -> ElaboratedProgram {
-    elaborate(&parse(&mcx_source(m)).expect("mcx source parses"))
-        .expect("mcx source elaborates")
+    elaborate(&parse(&mcx_source(m)).expect("mcx source parses")).expect("mcx source elaborates")
 }
 
 /// Standard options for a backend/simplify pair.

@@ -259,8 +259,7 @@ mod tests {
         let out =
             simulate_classical(&c, &BitState::from_bits(&[true, true, false, false])).unwrap();
         assert!(!out.get(3));
-        let out =
-            simulate_classical(&c, &BitState::from_bits(&[true, true, true, false])).unwrap();
+        let out = simulate_classical(&c, &BitState::from_bits(&[true, true, true, false])).unwrap();
         assert!(out.get(3));
     }
 

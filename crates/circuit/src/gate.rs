@@ -79,8 +79,14 @@ impl Gate {
     /// The qubits this gate touches, in operand order.
     pub fn qubits(&self) -> Vec<usize> {
         match self {
-            Gate::X(q) | Gate::H(q) | Gate::Z(q) | Gate::S(q) | Gate::Sdg(q) | Gate::T(q)
-            | Gate::Tdg(q) | Gate::Phase { q, .. } => vec![*q],
+            Gate::X(q)
+            | Gate::H(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Phase { q, .. } => vec![*q],
             Gate::Cnot { c, t } | Gate::Cz { c, t } | Gate::CPhase { c, t, .. } => {
                 vec![*c, *t]
             }
@@ -100,7 +106,11 @@ impl Gate {
     pub fn is_classical(&self) -> bool {
         matches!(
             self,
-            Gate::X(_) | Gate::Cnot { .. } | Gate::Toffoli { .. } | Gate::Mcx { .. } | Gate::Swap(..)
+            Gate::X(_)
+                | Gate::Cnot { .. }
+                | Gate::Toffoli { .. }
+                | Gate::Mcx { .. }
+                | Gate::Swap(..)
         )
     }
 
@@ -238,6 +248,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Gate::Toffoli { c1: 0, c2: 1, t: 2 }.to_string(), "toffoli[0,1,2]");
+        assert_eq!(
+            Gate::Toffoli { c1: 0, c2: 1, t: 2 }.to_string(),
+            "toffoli[0,1,2]"
+        );
     }
 }

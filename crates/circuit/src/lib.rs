@@ -40,95 +40,115 @@ pub use gate::Gate;
 pub use render::{render, render_with_labels};
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use qb_testutil::Rng;
 
     const NQ: usize = 5;
+    const CASES: usize = 96;
 
-    fn arb_gate() -> impl Strategy<Value = Gate> {
-        let q = 0..NQ;
-        prop_oneof![
-            q.clone().prop_map(Gate::X),
-            (0..NQ, 0..NQ)
-                .prop_filter("distinct", |(c, t)| c != t)
-                .prop_map(|(c, t)| Gate::Cnot { c, t }),
-            (0..NQ, 0..NQ, 0..NQ)
-                .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c)
-                .prop_map(|(c1, c2, t)| Gate::Toffoli { c1, c2, t }),
-            (0..NQ, 0..NQ)
-                .prop_filter("distinct", |(a, b)| a != b)
-                .prop_map(|(a, b)| Gate::Swap(a, b)),
-        ]
-    }
-
-    fn arb_circuit() -> impl Strategy<Value = Circuit> {
-        proptest::collection::vec(arb_gate(), 0..30).prop_map(|gates| {
-            let mut c = Circuit::new(NQ);
-            for g in gates {
-                c.push(g);
+    fn rand_gate(rng: &mut Rng) -> Gate {
+        match rng.gen_below(4) {
+            0 => Gate::X(rng.gen_below(NQ)),
+            1 => {
+                let (c, t) = rng.gen_distinct2(NQ);
+                Gate::Cnot { c, t }
             }
-            c
-        })
+            2 => {
+                let (c1, c2, t) = rng.gen_distinct3(NQ);
+                Gate::Toffoli { c1, c2, t }
+            }
+            _ => {
+                let (a, b) = rng.gen_distinct2(NQ);
+                Gate::Swap(a, b)
+            }
+        }
     }
 
-    proptest! {
-        /// A classical circuit followed by its inverse is the identity
-        /// permutation.
-        #[test]
-        fn inverse_cancels(c in arb_circuit()) {
+    fn rand_circuit(rng: &mut Rng) -> Circuit {
+        let len = rng.gen_below(30);
+        let mut c = Circuit::new(NQ);
+        for _ in 0..len {
+            c.push(rand_gate(rng));
+        }
+        c
+    }
+
+    /// A classical circuit followed by its inverse is the identity
+    /// permutation.
+    #[test]
+    fn inverse_cancels() {
+        let mut rng = Rng::new(0xC1A0);
+        for _ in 0..CASES {
+            let c = rand_circuit(&mut rng);
             let mut round_trip = c.clone();
             round_trip.append(&c.inverse());
             let perm = permutation_of(&round_trip).unwrap();
-            prop_assert!(perm.iter().enumerate().all(|(i, &p)| i == p));
+            assert!(perm.iter().enumerate().all(|(i, &p)| i == p));
         }
+    }
 
-        /// Classical circuits implement permutations (bijectivity).
-        #[test]
-        fn classical_circuits_are_bijective(c in arb_circuit()) {
+    /// Classical circuits implement permutations (bijectivity).
+    #[test]
+    fn classical_circuits_are_bijective() {
+        let mut rng = Rng::new(0xC1A1);
+        for _ in 0..CASES {
+            let c = rand_circuit(&mut rng);
             let perm = permutation_of(&c).unwrap();
             let mut sorted = perm.clone();
             sorted.sort_unstable();
-            prop_assert_eq!(sorted, (0..(1 << NQ)).collect::<Vec<_>>());
+            assert_eq!(sorted, (0..(1 << NQ)).collect::<Vec<_>>());
         }
+    }
 
-        /// Depth never exceeds size, and both are monotone under append.
-        #[test]
-        fn depth_size_relations(c in arb_circuit()) {
-            prop_assert!(c.depth() <= c.size());
+    /// Depth never exceeds size, and both are monotone under append.
+    #[test]
+    fn depth_size_relations() {
+        let mut rng = Rng::new(0xC1A2);
+        for _ in 0..CASES {
+            let c = rand_circuit(&mut rng);
+            assert!(c.depth() <= c.size());
             let mut doubled = c.clone();
             doubled.append(&c);
-            prop_assert!(doubled.size() == 2 * c.size());
-            prop_assert!(doubled.depth() >= c.depth());
+            assert!(doubled.size() == 2 * c.size());
+            assert!(doubled.depth() >= c.depth());
         }
+    }
 
-        /// Remapping by a permutation of wires keeps the circuit valid and
-        /// bijective.
-        #[test]
-        fn remap_preserves_validity(c in arb_circuit(), seed in 0usize..120) {
-            // Build a wire permutation from the seed (Lehmer-code style).
+    /// Remapping by a permutation of wires keeps the circuit valid and
+    /// bijective.
+    #[test]
+    fn remap_preserves_validity() {
+        let mut rng = Rng::new(0xC1A3);
+        for _ in 0..CASES {
+            let c = rand_circuit(&mut rng);
+            // Build a wire permutation from a seed (Lehmer-code style).
             let mut wires: Vec<usize> = (0..NQ).collect();
-            let mut s = seed;
+            let mut s = rng.gen_below(120);
             for i in (1..NQ).rev() {
                 let j = s % (i + 1);
                 wires.swap(i, j);
                 s /= i + 1;
             }
             let remapped = c.remap_qubits(&wires, NQ).unwrap();
-            prop_assert_eq!(remapped.size(), c.size());
+            assert_eq!(remapped.size(), c.size());
             let perm = permutation_of(&remapped).unwrap();
             let mut sorted = perm.clone();
             sorted.sort_unstable();
-            prop_assert_eq!(sorted, (0..(1 << NQ)).collect::<Vec<_>>());
+            assert_eq!(sorted, (0..(1 << NQ)).collect::<Vec<_>>());
         }
+    }
 
-        /// Rendering never panics and mentions every wire label.
-        #[test]
-        fn render_total(c in arb_circuit()) {
+    /// Rendering never panics and mentions every wire label.
+    #[test]
+    fn render_total() {
+        let mut rng = Rng::new(0xC1A4);
+        for _ in 0..CASES {
+            let c = rand_circuit(&mut rng);
             let art = render(&c);
             for q in 0..NQ {
                 let label = format!("q{q}:");
-                prop_assert!(art.contains(&label));
+                assert!(art.contains(&label));
             }
         }
     }

@@ -166,13 +166,9 @@ fn solver_add_clause(solver: &mut Solver, clause: &[Lit]) -> bool {
     solver.add_clause(clause)
 }
 
-fn decide_anf(
-    arena: &Arena,
-    roots: &[NodeId],
-    cap: usize,
-) -> Result<Decision, BackendError> {
-    let polys = Anf::from_arena(arena, roots, cap)
-        .map_err(|e| BackendError::AnfOverflow { cap: e.cap })?;
+fn decide_anf(arena: &Arena, roots: &[NodeId], cap: usize) -> Result<Decision, BackendError> {
+    let polys =
+        Anf::from_arena(arena, roots, cap).map_err(|e| BackendError::AnfOverflow { cap: e.cap })?;
     let size = polys.iter().map(Anf::len).sum();
     let unsat = polys.iter().all(Anf::is_zero);
     Ok(Decision {
@@ -211,7 +207,8 @@ mod tests {
     /// All three backends agree on a small suite of formulas.
     #[test]
     fn backends_agree() {
-        let cases: Vec<(Box<dyn Fn(&mut Arena) -> Vec<NodeId>>, bool)> = vec![
+        type CaseBuilder = Box<dyn Fn(&mut Arena) -> Vec<NodeId>>;
+        let cases: Vec<(CaseBuilder, bool)> = vec![
             // x ∧ ¬x — unsat.
             (
                 Box::new(|f: &mut Arena| {
@@ -258,8 +255,8 @@ mod tests {
                 for kind in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
                     let mut arena = Arena::new(mode);
                     let roots = build(&mut arena);
-                    let d = decide_unsat(&mut arena, &roots, kind, &BackendOptions::default())
-                        .unwrap();
+                    let d =
+                        decide_unsat(&mut arena, &roots, kind, &BackendOptions::default()).unwrap();
                     assert_eq!(
                         d.unsat, *expect_unsat,
                         "case {i}, backend {kind}, mode {mode:?}"
@@ -285,8 +282,8 @@ mod tests {
         .unwrap();
         assert!(!d.unsat);
         let model = d.model.unwrap();
-        assert_eq!(model[&3], true);
-        assert_eq!(model[&7], false);
+        assert!(model[&3]);
+        assert!(!model[&7]);
     }
 
     #[test]
@@ -304,8 +301,8 @@ mod tests {
         .unwrap();
         assert!(!d.unsat);
         let model = d.model.unwrap();
-        assert_eq!(model[&0], true);
-        assert_eq!(model[&1], true);
+        assert!(model[&0]);
+        assert!(model[&1]);
     }
 
     #[test]

@@ -44,15 +44,26 @@ pub fn build_conditions(state: &mut SymbolicState, q: usize) -> Conditions {
     let not_q = state.arena.not(q_node);
     let zero = state.arena.and2(b_q, not_q);
 
-    // (6.2): for each other qubit, b_{q'}[0/q] ⊕ b_{q'}[1/q].
-    let cof0 = state.arena.cofactor_all(var, false);
-    let cof1 = state.arena.cofactor_all(var, true);
+    // (6.2): for each other qubit, b_{q'}[0/q] ⊕ b_{q'}[1/q]. The
+    // cofactor is restricted to nodes reachable from the final formulas,
+    // so session arenas that have accumulated earlier targets' cofactor
+    // nodes don't pay (or grow) for dead structure.
+    let formulas = state.formulas.clone();
+    let cof0 = state.arena.cofactor_reachable(&formulas, var, false);
+    let cof1 = state.arena.cofactor_reachable(&formulas, var, true);
     let mut plus_parts = Vec::with_capacity(state.num_qubits().saturating_sub(1));
     for q_prime in 0..state.num_qubits() {
         if q_prime == q {
             continue;
         }
         let f = state.formulas[q_prime];
+        // Hash-consing makes cofactor identity visible: identical node
+        // ids mean `b_{q'}` is independent of `q`, so the XOR difference
+        // is identically false and the disjunct can be dropped without
+        // consulting a backend.
+        if cof0[f.index()] == cof1[f.index()] {
+            continue;
+        }
         let diff = state.arena.xor2(cof0[f.index()], cof1[f.index()]);
         plus_parts.push(diff);
     }
@@ -92,7 +103,10 @@ mod tests {
     #[test]
     fn cccnot_dirty_qubit_passes_both_conditions() {
         let mut c = Circuit::new(5);
-        c.toffoli(0, 1, 2).toffoli(2, 3, 4).toffoli(0, 1, 2).toffoli(2, 3, 4);
+        c.toffoli(0, 1, 2)
+            .toffoli(2, 3, 4)
+            .toffoli(0, 1, 2)
+            .toffoli(2, 3, 4);
         for mode in [Simplify::Raw, Simplify::Full] {
             let mut s = exec(&c, mode);
             let conds = build_conditions(&mut s, 2);
@@ -130,12 +144,24 @@ mod tests {
     }
 
     #[test]
-    fn plus_parts_count() {
+    fn plus_parts_skip_structurally_independent_qubits() {
+        // The double Toffoli is the identity: every b_{q'} is its own
+        // input variable, so no other qubit depends on q2 and every
+        // disjunct is dropped structurally.
         let mut c = Circuit::new(4);
         c.toffoli(0, 1, 2).toffoli(0, 1, 2);
         let mut s = exec(&c, Simplify::Full);
         let conds = build_conditions(&mut s, 2);
-        assert_eq!(conds.plus_parts.len(), 3);
+        assert!(conds.plus_parts.is_empty());
+
+        // A leaking Toffoli keeps exactly the dependent target's part.
+        let mut c = Circuit::new(4);
+        c.toffoli(0, 1, 2);
+        for mode in [Simplify::Raw, Simplify::Full] {
+            let mut s = exec(&c, mode);
+            let conds = build_conditions(&mut s, 0);
+            assert_eq!(conds.plus_parts.len(), 1, "{mode:?}: only q2 depends on q0");
+        }
     }
 
     #[test]

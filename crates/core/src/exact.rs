@@ -35,7 +35,10 @@ pub fn unitary_safely_uncomputes(u: &Matrix, n: usize, q: usize, tol: f64) -> bo
 ///
 /// Panics for circuits wider than 10 qubits.
 pub fn circuit_safely_uncomputes(circuit: &Circuit, q: usize, tol: f64) -> bool {
-    assert!(circuit.num_qubits() <= 10, "exact check limited to 10 qubits");
+    assert!(
+        circuit.num_qubits() <= 10,
+        "exact check limited to 10 qubits"
+    );
     unitary_safely_uncomputes(&unitary_of(circuit), circuit.num_qubits(), q, tol)
 }
 
@@ -284,7 +287,10 @@ mod tests {
     #[test]
     fn cccnot_unitary_factorises() {
         let mut c = Circuit::new(5);
-        c.toffoli(0, 1, 2).toffoli(2, 3, 4).toffoli(0, 1, 2).toffoli(2, 3, 4);
+        c.toffoli(0, 1, 2)
+            .toffoli(2, 3, 4)
+            .toffoli(0, 1, 2)
+            .toffoli(2, 3, 4);
         assert!(circuit_safely_uncomputes(&c, 2, 1e-9));
         assert!(classical_circuit_safely_uncomputes(&c, 2).unwrap());
         // Example 3.2: the composite equals CCCNOT ⊗ I_a. Verify directly.

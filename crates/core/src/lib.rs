@@ -46,64 +46,70 @@
 mod backend;
 mod conditions;
 pub mod exact;
+mod session;
 mod symbolic;
 mod verifier;
 
 pub use backend::{decide_unsat, BackendError, BackendKind, BackendOptions, Decision};
 pub use conditions::{build_clean_condition, build_conditions, Conditions};
+pub use session::{verify_circuit_parallel, verify_program_parallel, VerifySession};
 pub use symbolic::{symbolic_execute, InitialValue, NotClassicalCircuit, SymbolicState};
 pub use verifier::{
-    check_clean_uncomputation, verify_circuit, verify_program, Counterexample, QubitVerdict,
-    VerificationReport, VerifyError, VerifyOptions, Violation,
+    check_clean_uncomputation, verify_circuit, verify_circuit_fresh, verify_program,
+    Counterexample, QubitVerdict, VerificationReport, VerifyError, VerifyOptions, Violation,
 };
 
 #[cfg(test)]
 mod cross_validation {
     use super::*;
-    use proptest::prelude::*;
     use qb_circuit::{Circuit, Gate};
     use qb_formula::Simplify;
+    use qb_testutil::Rng;
 
     const NQ: usize = 4;
+    const CASES: usize = 48;
 
-    fn arb_gate() -> impl Strategy<Value = Gate> {
-        prop_oneof![
-            (0..NQ).prop_map(Gate::X),
-            (0..NQ, 0..NQ)
-                .prop_filter("distinct", |(c, t)| c != t)
-                .prop_map(|(c, t)| Gate::Cnot { c, t }),
-            (0..NQ, 0..NQ, 0..NQ)
-                .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c)
-                .prop_map(|(c1, c2, t)| Gate::Toffoli { c1, c2, t }),
-            (0..NQ, 0..NQ)
-                .prop_filter("distinct", |(a, b)| a != b)
-                .prop_map(|(a, b)| Gate::Swap(a, b)),
-        ]
-    }
-
-    fn arb_circuit() -> impl Strategy<Value = Circuit> {
-        proptest::collection::vec(arb_gate(), 0..16).prop_map(|gates| {
-            let mut c = Circuit::new(NQ);
-            for g in gates {
-                c.push(g);
+    fn rand_gate(rng: &mut Rng) -> Gate {
+        match rng.gen_below(4) {
+            0 => Gate::X(rng.gen_below(NQ)),
+            1 => {
+                let (c, t) = rng.gen_distinct2(NQ);
+                Gate::Cnot { c, t }
             }
-            c
-        })
+            2 => {
+                let (c1, c2, t) = rng.gen_distinct3(NQ);
+                Gate::Toffoli { c1, c2, t }
+            }
+            _ => {
+                let (a, b) = rng.gen_distinct2(NQ);
+                Gate::Swap(a, b)
+            }
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+    fn rand_circuit(rng: &mut Rng) -> Circuit {
+        let len = rng.gen_below(16);
+        let mut c = Circuit::new(NQ);
+        for _ in 0..len {
+            c.push(rand_gate(rng));
+        }
+        c
+    }
 
-        /// E8: the symbolic verdict (every backend, both simplify modes)
-        /// equals the exact Definition-3.1 verdict for every qubit of
-        /// random classical circuits.
-        #[test]
-        fn symbolic_matches_exact(c in arb_circuit()) {
+    /// E8: the symbolic verdict (every backend, both simplify modes,
+    /// fresh and incremental-session pipelines) equals the exact
+    /// Definition-3.1 verdict for every qubit of random classical
+    /// circuits.
+    #[test]
+    fn symbolic_matches_exact() {
+        let mut rng = Rng::new(0xE8_01);
+        for _ in 0..CASES {
+            let c = rand_circuit(&mut rng);
             let initial = vec![InitialValue::Free; NQ];
             for q in 0..NQ {
                 let expect = exact::classical_circuit_safely_uncomputes(&c, q).unwrap();
                 let expect_unitary = exact::circuit_safely_uncomputes(&c, q, 1e-9);
-                prop_assert_eq!(expect, expect_unitary, "permutation vs unitary, q={}", q);
+                assert_eq!(expect, expect_unitary, "permutation vs unitary, q={q}");
                 for backend in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
                     for simplify in [Simplify::Raw, Simplify::Full] {
                         let opts = VerifyOptions {
@@ -111,32 +117,35 @@ mod cross_validation {
                             simplify,
                             backend_options: BackendOptions::default(),
                         };
-                        let report =
-                            verify_circuit(&c, &initial, &[q], &opts).unwrap();
-                        prop_assert_eq!(
+                        let report = verify_circuit(&c, &initial, &[q], &opts).unwrap();
+                        assert_eq!(
                             report.verdicts[0].safe, expect,
-                            "qubit {} backend {} mode {:?}", q, backend, simplify
+                            "qubit {q} backend {backend} mode {simplify:?}"
+                        );
+                        let fresh = verify_circuit_fresh(&c, &initial, &[q], &opts).unwrap();
+                        assert_eq!(
+                            fresh.verdicts[0].safe, expect,
+                            "fresh pipeline, qubit {q} backend {backend}"
                         );
                     }
                 }
             }
         }
+    }
 
-        /// Counterexamples returned by the SAT backend are genuine: on the
-        /// witness background, flipping the dirty qubit changes another
-        /// qubit's output (plus violations) or |0> maps off |0> (zero
-        /// violations).
-        #[test]
-        fn counterexamples_replay(c in arb_circuit()) {
-            use qb_circuit::{simulate_classical, BitState};
+    /// Counterexamples returned by the SAT backend are genuine: on the
+    /// witness background, flipping the dirty qubit changes another
+    /// qubit's output (plus violations) or |0> maps off |0> (zero
+    /// violations).
+    #[test]
+    fn counterexamples_replay() {
+        use qb_circuit::{simulate_classical, BitState};
+        let mut rng = Rng::new(0xE8_02);
+        for _ in 0..CASES {
+            let c = rand_circuit(&mut rng);
             let initial = vec![InitialValue::Free; NQ];
             for q in 0..NQ {
-                let report = verify_circuit(
-                    &c,
-                    &initial,
-                    &[q],
-                    &VerifyOptions::default(),
-                ).unwrap();
+                let report = verify_circuit(&c, &initial, &[q], &VerifyOptions::default()).unwrap();
                 let verdict = &report.verdicts[0];
                 if verdict.safe {
                     continue;
@@ -148,7 +157,7 @@ mod cross_validation {
                         let mut input = bits.clone();
                         input[q] = false;
                         let out = simulate_classical(&c, &BitState::from_bits(&input)).unwrap();
-                        prop_assert!(out.get(q), "witness must flip q off |0>");
+                        assert!(out.get(q), "witness must flip q off |0>");
                     }
                     Violation::PlusNotRestored => {
                         let mut in0 = bits.clone();
@@ -157,24 +166,29 @@ mod cross_validation {
                         in1[q] = true;
                         let out0 = simulate_classical(&c, &BitState::from_bits(&in0)).unwrap();
                         let out1 = simulate_classical(&c, &BitState::from_bits(&in1)).unwrap();
-                        let differs = (0..NQ).filter(|&p| p != q)
+                        let differs = (0..NQ)
+                            .filter(|&p| p != q)
                             .any(|p| out0.get(p) != out1.get(p));
-                        prop_assert!(differs, "witness must leak q into another qubit");
+                        assert!(differs, "witness must leak q into another qubit");
                     }
                 }
             }
         }
+    }
 
-        /// The naive clean-uncomputation check is implied by dirty safety
-        /// (safe ⇒ clean-safe), but not conversely.
-        #[test]
-        fn dirty_safety_implies_clean_safety(c in arb_circuit()) {
+    /// The naive clean-uncomputation check is implied by dirty safety
+    /// (safe ⇒ clean-safe), but not conversely.
+    #[test]
+    fn dirty_safety_implies_clean_safety() {
+        let mut rng = Rng::new(0xE8_03);
+        for _ in 0..CASES {
+            let c = rand_circuit(&mut rng);
             let initial = vec![InitialValue::Free; NQ];
             for q in 0..NQ {
                 let opts = VerifyOptions::default();
                 let report = verify_circuit(&c, &initial, &[q], &opts).unwrap();
                 if report.verdicts[0].safe {
-                    prop_assert!(check_clean_uncomputation(&c, &initial, q, &opts).unwrap());
+                    assert!(check_clean_uncomputation(&c, &initial, q, &opts).unwrap());
                 }
             }
         }

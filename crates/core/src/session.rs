@@ -1,0 +1,656 @@
+//! Incremental, shared-solver verification sessions with parallel
+//! target fan-out.
+//!
+//! [`crate::verify_circuit`]'s queries are highly repetitive: the
+//! symbolic state is shared by every target qubit, the two conditions of
+//! each target re-use the same cofactored sub-graphs, and the paper's
+//! headline experiments sweep *all* borrowable qubits of one circuit.
+//! The one-shot pipeline (clone arena → re-encode reachable graph →
+//! fresh CDCL solver per query) discards all of that overlap — most
+//! painfully the solver's learnt clauses about the circuit structure.
+//!
+//! A [`VerifySession`] instead owns one growing [`qb_formula::Arena`],
+//! one [`IncrementalEncoder`] and one [`Solver`] for its whole lifetime:
+//!
+//! * cofactor nodes appended per target are hash-consed against the
+//!   shared graph, so overlapping structure is interned once;
+//! * only newly interned nodes are Tseitin-encoded, straight into the
+//!   live solver;
+//! * each condition's root disjunction is added as a *guarded* clause
+//!   behind a fresh selector literal and solved under assumptions, so
+//!   learnt clauses carry over between all 2·k queries;
+//! * after a query its selector is retired, physically detaching the
+//!   dead root clause from the watch lists.
+//!
+//! [`verify_circuit_parallel`] shards independent targets across
+//! `std::thread::scope` workers (one session per worker, no external
+//! dependencies) and reassembles verdicts in request order.
+
+use crate::backend::{decide_unsat, BackendKind, Decision};
+use crate::conditions::build_conditions;
+use crate::symbolic::{symbolic_execute, InitialValue, SymbolicState};
+use crate::verifier::{
+    model_to_assignment, Counterexample, QubitVerdict, VerificationReport, VerifyError,
+    VerifyOptions, Violation,
+};
+use qb_circuit::Circuit;
+use qb_formula::{CnfSink, IncrementalEncoder, NodeId};
+use qb_lang::{ElaboratedProgram, QubitKind};
+use qb_sat::{Lit, SatResult, SatVar, Solver};
+use std::time::{Duration, Instant};
+
+/// Adapter letting the incremental encoder emit clauses directly into a
+/// live CDCL solver (no intermediate [`qb_formula::Cnf`]). With `guard`
+/// set, every emitted clause is activation-guarded so a whole encoding
+/// scope can later be detached in one selector retirement. Records the
+/// variables it allocates so the session can prioritise fresh query
+/// structure in the branching order and deaden it after retraction.
+struct SolverSink<'a> {
+    solver: &'a mut Solver,
+    guard: Option<Lit>,
+    clauses: usize,
+    new_vars: Vec<SatVar>,
+}
+
+impl CnfSink for SolverSink<'_> {
+    fn fresh_var(&mut self) -> i32 {
+        let v = self.solver.new_var();
+        self.new_vars.push(v);
+        (v.index() + 1) as i32
+    }
+
+    fn add_clause(&mut self, lits: &[i32]) {
+        let lits: Vec<Lit> = lits.iter().map(|&l| Lit::from_dimacs(l)).collect();
+        match self.guard {
+            Some(g) => self.solver.add_guarded_clause(g, &lits),
+            None => self.solver.add_clause(&lits),
+        };
+        self.clauses += 1;
+    }
+}
+
+/// Persistent SAT backend state of a session.
+struct SatSession {
+    encoder: IncrementalEncoder,
+    solver: Solver,
+}
+
+/// A long-lived verification session over one circuit.
+///
+/// Created once per circuit (and, for parallel sweeps, once per worker),
+/// then queried per target qubit via [`VerifySession::verify_target`].
+/// Verdicts are identical to [`crate::verify_circuit_fresh`]; only the
+/// work profile differs.
+///
+/// # Examples
+///
+/// ```
+/// use qb_circuit::Circuit;
+/// use qb_core::{InitialValue, VerifyOptions, VerifySession};
+///
+/// let mut c = Circuit::new(5);
+/// c.toffoli(0, 1, 2).toffoli(2, 3, 4).toffoli(0, 1, 2).toffoli(2, 3, 4);
+/// let mut session =
+///     VerifySession::new(&c, &[InitialValue::Free; 5], &VerifyOptions::default()).unwrap();
+/// let verdict = session.verify_target(2).unwrap();
+/// assert!(verdict.safe);
+/// ```
+pub struct VerifySession {
+    state: SymbolicState,
+    initial: Vec<InitialValue>,
+    opts: VerifyOptions,
+    construction_time: Duration,
+    sat: Option<SatSession>,
+}
+
+impl VerifySession {
+    /// Symbolically executes `circuit` once and prepares the shared
+    /// backend state.
+    ///
+    /// # Errors
+    ///
+    /// See [`VerifyError`].
+    pub fn new(
+        circuit: &Circuit,
+        initial: &[InitialValue],
+        opts: &VerifyOptions,
+    ) -> Result<Self, VerifyError> {
+        let t0 = Instant::now();
+        let mut state = symbolic_execute(circuit, initial, opts.simplify)?;
+        let sat = match opts.backend {
+            BackendKind::Sat => {
+                // Permanently encode the base graph — the per-qubit final
+                // formulas and the input variables — unguarded: every
+                // query of every target builds on these literals, and
+                // learnt clauses about them carry across the session.
+                let mut encoder = IncrementalEncoder::new();
+                let mut solver = Solver::new();
+                let mut base_roots = state.formulas.clone();
+                for q in 0..state.num_qubits() {
+                    let var_node = state.arena.var(state.vars[q]);
+                    base_roots.push(var_node);
+                }
+                let mut sink = SolverSink {
+                    solver: &mut solver,
+                    guard: None,
+                    clauses: 0,
+                    new_vars: Vec::new(),
+                };
+                encoder.encode_roots(&state.arena, &base_roots, &mut sink);
+                Some(SatSession { encoder, solver })
+            }
+            _ => None,
+        };
+        let construction_time = t0.elapsed();
+        Ok(VerifySession {
+            state,
+            initial: initial.to_vec(),
+            opts: *opts,
+            construction_time,
+            sat,
+        })
+    }
+
+    /// The options the session was created with.
+    pub fn options(&self) -> &VerifyOptions {
+        &self.opts
+    }
+
+    /// Number of qubits of the underlying circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.state.num_qubits()
+    }
+
+    /// Time spent building the symbolic formulas (the construction part
+    /// of [`VerificationReport`]).
+    pub fn construction_time(&self) -> Duration {
+        self.construction_time
+    }
+
+    /// Shared node count of the final formulas.
+    pub fn formula_nodes(&self) -> usize {
+        self.state.formula_size()
+    }
+
+    /// Runs one condition query inside the current target scope: encode
+    /// the frontier (clauses guarded by the target selector `guard`),
+    /// assert the root disjunction behind a per-query selector, solve
+    /// under both assumptions, then retire the query selector.
+    fn run_query(
+        sat: &mut SatSession,
+        arena: &qb_formula::Arena,
+        roots: &[NodeId],
+        guard: Lit,
+        scope_vars: &mut Vec<SatVar>,
+    ) -> Decision {
+        let mut sink = SolverSink {
+            solver: &mut sat.solver,
+            guard: Some(guard),
+            clauses: 0,
+            new_vars: Vec::new(),
+        };
+        let root_lits = sat.encoder.encode_roots(arena, roots, &mut sink);
+        let emitted = sink.clauses;
+        let new_vars = sink.new_vars;
+        let size = emitted + 1;
+        if root_lits.is_empty() {
+            return Decision {
+                unsat: true,
+                model: None,
+                size,
+            };
+        }
+        // Fresh query structure would start cold in the VSIDS order;
+        // lift it above the stale hot variables of earlier queries.
+        sat.solver.prioritize_vars(&new_vars);
+        scope_vars.extend(new_vars);
+        let selector = Lit::pos(sat.solver.new_selector());
+        let clause: Vec<Lit> = root_lits.iter().map(|&l| Lit::from_dimacs(l)).collect();
+        let added = sat.solver.add_guarded_clause(selector, &clause);
+        let result = if added {
+            sat.solver.solve_with_assumptions(&[guard, selector])
+        } else {
+            SatResult::Unsat
+        };
+        let decision = match result {
+            SatResult::Unsat => Decision {
+                unsat: true,
+                model: None,
+                size,
+            },
+            SatResult::Sat => {
+                let model = sat.solver.model();
+                let assignment = sat
+                    .encoder
+                    .var_lits()
+                    .iter()
+                    .map(|(&var, &lit)| {
+                        let idx = (lit.unsigned_abs() - 1) as usize;
+                        let value = model.get(idx).copied().unwrap_or(false);
+                        (var, if lit > 0 { value } else { !value })
+                    })
+                    .collect();
+                Decision {
+                    unsat: false,
+                    model: Some(assignment),
+                    size,
+                }
+            }
+        };
+        sat.solver.retire_selector(selector);
+        decision
+    }
+
+    /// Decides both conditions of one target on the shared solver.
+    ///
+    /// The target's cofactor structure lives in a retractable scope: its
+    /// defining clauses are guarded by a per-target selector and its
+    /// node→literal assignments are rolled back afterwards, so later
+    /// targets never propagate through (or branch on) this target's dead
+    /// structure. The *base* encoding and every learnt clause derived
+    /// purely from it stay warm for the whole session.
+    fn decide_target_sat(
+        &mut self,
+        zero_root: NodeId,
+        plus_roots: &[NodeId],
+    ) -> (Decision, Duration, Decision, Duration) {
+        let sat = self.sat.as_mut().expect("SAT backend state");
+        let target_selector = Lit::pos(sat.solver.new_selector());
+        sat.encoder.begin_scope();
+        let mut scope_vars: Vec<SatVar> = Vec::new();
+
+        let t_zero = Instant::now();
+        let zero = Self::run_query(
+            sat,
+            &self.state.arena,
+            &[zero_root],
+            target_selector,
+            &mut scope_vars,
+        );
+        let zero_time = t_zero.elapsed();
+
+        // Decide the (6.2) disjunction one disjunct at a time: each
+        // refutation then stays inside one qubit's cofactor cone (the
+        // ANF/BDD backends make the same decomposition), instead of one
+        // search entangling every disjunct through a wide root clause.
+        let t_plus = Instant::now();
+        let mut plus = Decision {
+            unsat: true,
+            model: None,
+            size: 0,
+        };
+        for &part in plus_roots {
+            let d = Self::run_query(
+                sat,
+                &self.state.arena,
+                &[part],
+                target_selector,
+                &mut scope_vars,
+            );
+            plus.size += d.size;
+            if !d.unsat {
+                plus.unsat = false;
+                plus.model = d.model;
+                break;
+            }
+        }
+
+        // Target cleanup: roll back the scope's literals, detach its
+        // clauses (and, via the level-zero sweep, every learnt clause
+        // that mentioned its selector), and deaden its variables.
+        sat.encoder.retract_scope();
+        sat.solver.retire_selector(target_selector);
+        sat.solver.simplify_satisfied();
+        sat.solver.deaden_vars(&scope_vars);
+        let plus_time = t_plus.elapsed();
+
+        (zero, zero_time, plus, plus_time)
+    }
+
+    fn decide(&mut self, roots: &[NodeId]) -> Result<Decision, VerifyError> {
+        debug_assert!(self.opts.backend != BackendKind::Sat);
+        Ok(decide_unsat(
+            &mut self.state.arena,
+            roots,
+            self.opts.backend,
+            &self.opts.backend_options,
+        )?)
+    }
+
+    /// Verifies safe uncomputation of dirty qubit `q`, re-using all
+    /// state accumulated by earlier queries in this session.
+    ///
+    /// # Errors
+    ///
+    /// See [`VerifyError`].
+    pub fn verify_target(&mut self, q: usize) -> Result<QubitVerdict, VerifyError> {
+        let n = self.state.num_qubits();
+        if q >= n {
+            return Err(VerifyError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: n,
+            });
+        }
+        let conditions = build_conditions(&mut self.state, q);
+
+        let (zero, zero_time, plus, plus_time) = if self.opts.backend == BackendKind::Sat {
+            self.decide_target_sat(conditions.zero, &conditions.plus_parts)
+        } else {
+            let t_zero = Instant::now();
+            let zero = self.decide(&[conditions.zero])?;
+            let zero_time = t_zero.elapsed();
+            let t_plus = Instant::now();
+            let plus = self.decide(&conditions.plus_parts)?;
+            let plus_time = t_plus.elapsed();
+            (zero, zero_time, plus, plus_time)
+        };
+
+        let counterexample = if !zero.unsat {
+            Some(Counterexample {
+                violation: Violation::ZeroNotRestored,
+                basis_assignment: model_to_assignment(&zero, n, &self.initial).map(|mut a| {
+                    // The (6.1) model has the dirty qubit at 0 by construction.
+                    a[q] = false;
+                    a
+                }),
+            })
+        } else if !plus.unsat {
+            Some(Counterexample {
+                violation: Violation::PlusNotRestored,
+                basis_assignment: model_to_assignment(&plus, n, &self.initial),
+            })
+        } else {
+            None
+        };
+
+        Ok(QubitVerdict {
+            qubit: q,
+            safe: counterexample.is_none(),
+            counterexample,
+            zero_time,
+            plus_time,
+            backend_size: zero.size + plus.size,
+        })
+    }
+
+    /// Verifies a sequence of targets, returning verdicts in request
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// See [`VerifyError`].
+    pub fn verify_targets(&mut self, targets: &[usize]) -> Result<Vec<QubitVerdict>, VerifyError> {
+        targets.iter().map(|&q| self.verify_target(q)).collect()
+    }
+
+    /// Runs a full sweep and assembles the standard report.
+    ///
+    /// # Errors
+    ///
+    /// See [`VerifyError`].
+    pub fn verify_report(&mut self, targets: &[usize]) -> Result<VerificationReport, VerifyError> {
+        let verdicts = self.verify_targets(targets)?;
+        let solver_time = verdicts.iter().map(|v| v.zero_time + v.plus_time).sum();
+        Ok(VerificationReport {
+            verdicts,
+            construction_time: self.construction_time,
+            solver_time,
+            formula_nodes: self.formula_nodes(),
+            options: self.opts,
+        })
+    }
+}
+
+/// How many worker threads a parallel sweep should use: explicit
+/// request, clamped to the target count; `0` means "all available
+/// parallelism".
+fn effective_jobs(jobs: usize, targets: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let requested = if jobs == 0 { hw } else { jobs };
+    requested.clamp(1, targets.max(1))
+}
+
+/// Verifies `targets` by sharding them across `jobs` worker threads
+/// (`0` = use all available parallelism), one [`VerifySession`] per
+/// worker. Verdicts are returned in request order, identical to the
+/// sequential [`crate::verify_circuit`]; `construction_time` is the
+/// maximum over workers (they run concurrently) and `solver_time` is the
+/// CPU total across workers.
+///
+/// # Errors
+///
+/// See [`VerifyError`].
+pub fn verify_circuit_parallel(
+    circuit: &Circuit,
+    initial: &[InitialValue],
+    targets: &[usize],
+    opts: &VerifyOptions,
+    jobs: usize,
+) -> Result<VerificationReport, VerifyError> {
+    for &q in targets {
+        if q >= circuit.num_qubits() {
+            return Err(VerifyError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: circuit.num_qubits(),
+            });
+        }
+    }
+    let jobs = effective_jobs(jobs, targets.len());
+    if jobs <= 1 || targets.len() <= 1 {
+        return crate::verifier::verify_circuit(circuit, initial, targets, opts);
+    }
+
+    // Round-robin sharding: target i goes to worker i mod jobs, which
+    // balances the typically size-sorted sweeps of the experiments.
+    let shards: Vec<Vec<(usize, usize)>> = (0..jobs)
+        .map(|w| {
+            targets
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % jobs == w)
+                .map(|(i, &q)| (i, q))
+                .collect()
+        })
+        .collect();
+
+    struct WorkerOut {
+        construction_time: Duration,
+        formula_nodes: usize,
+        verdicts: Vec<(usize, QubitVerdict)>,
+    }
+
+    let results: Vec<Result<WorkerOut, VerifyError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                scope.spawn(move || -> Result<WorkerOut, VerifyError> {
+                    let mut session = VerifySession::new(circuit, initial, opts)?;
+                    let mut verdicts = Vec::with_capacity(shard.len());
+                    for &(idx, q) in shard {
+                        verdicts.push((idx, session.verify_target(q)?));
+                    }
+                    Ok(WorkerOut {
+                        construction_time: session.construction_time(),
+                        formula_nodes: session.formula_nodes(),
+                        verdicts,
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("verification worker panicked"))
+            .collect()
+    });
+
+    let mut construction_time = Duration::ZERO;
+    let mut solver_time = Duration::ZERO;
+    let mut formula_nodes = 0;
+    let mut slots: Vec<Option<QubitVerdict>> = vec![None; targets.len()];
+    for r in results {
+        let out = r?;
+        construction_time = construction_time.max(out.construction_time);
+        formula_nodes = formula_nodes.max(out.formula_nodes);
+        for (idx, v) in out.verdicts {
+            solver_time += v.zero_time + v.plus_time;
+            slots[idx] = Some(v);
+        }
+    }
+    Ok(VerificationReport {
+        verdicts: slots
+            .into_iter()
+            .map(|s| s.expect("every requested target produced a verdict"))
+            .collect(),
+        construction_time,
+        solver_time,
+        formula_nodes,
+        options: *opts,
+    })
+}
+
+/// Parallel counterpart of [`crate::verify_program`]: verifies every
+/// `borrow` qubit of an elaborated program across `jobs` workers
+/// (`0` = all available parallelism).
+///
+/// # Errors
+///
+/// See [`VerifyError`].
+pub fn verify_program_parallel(
+    program: &ElaboratedProgram,
+    opts: &VerifyOptions,
+    jobs: usize,
+) -> Result<VerificationReport, VerifyError> {
+    let initial: Vec<InitialValue> = (0..program.num_qubits())
+        .map(|q| match program.qubit_kinds[q] {
+            QubitKind::Clean => InitialValue::Zero,
+            QubitKind::BorrowedDirty | QubitKind::TrustedDirty => InitialValue::Free,
+        })
+        .collect();
+    let targets = program.qubits_to_verify();
+    verify_circuit_parallel(&program.circuit, &initial, &targets, opts, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verifier::{verify_circuit, verify_circuit_fresh};
+    use qb_formula::Simplify;
+
+    fn assert_reports_agree(c: &Circuit, initial: &[InitialValue], targets: &[usize]) {
+        for backend in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
+            for simplify in [Simplify::Raw, Simplify::Full] {
+                let opts = VerifyOptions {
+                    backend,
+                    simplify,
+                    ..VerifyOptions::default()
+                };
+                let fresh = verify_circuit_fresh(c, initial, targets, &opts).unwrap();
+                let session = verify_circuit(c, initial, targets, &opts).unwrap();
+                let parallel = verify_circuit_parallel(c, initial, targets, &opts, 3).unwrap();
+                for ((f, s), p) in fresh
+                    .verdicts
+                    .iter()
+                    .zip(&session.verdicts)
+                    .zip(&parallel.verdicts)
+                {
+                    assert_eq!(f.qubit, s.qubit);
+                    assert_eq!(f.safe, s.safe, "backend {backend} mode {simplify:?}");
+                    assert_eq!(s.qubit, p.qubit);
+                    assert_eq!(s.safe, p.safe, "parallel, backend {backend}");
+                    assert_eq!(
+                        f.counterexample.as_ref().map(|ce| ce.violation),
+                        s.counterexample.as_ref().map(|ce| ce.violation),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_agrees_with_fresh_on_cccnot() {
+        let mut c = Circuit::new(5);
+        c.toffoli(0, 1, 2)
+            .toffoli(2, 3, 4)
+            .toffoli(0, 1, 2)
+            .toffoli(2, 3, 4);
+        assert_reports_agree(&c, &[InitialValue::Free; 5], &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn session_agrees_with_fresh_on_leaky_circuit() {
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2).cnot(2, 0);
+        assert_reports_agree(&c, &[InitialValue::Free; 3], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_range_target_is_rejected() {
+        let c = Circuit::new(2);
+        let mut session =
+            VerifySession::new(&c, &[InitialValue::Free; 2], &VerifyOptions::default()).unwrap();
+        let err = session.verify_target(9).unwrap_err();
+        assert!(matches!(err, VerifyError::QubitOutOfRange { qubit: 9, .. }));
+        let err = verify_circuit_parallel(
+            &c,
+            &[InitialValue::Free; 2],
+            &[0, 9],
+            &VerifyOptions::default(),
+            2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VerifyError::QubitOutOfRange { qubit: 9, .. }));
+    }
+
+    #[test]
+    fn parallel_returns_verdicts_in_request_order() {
+        // A circuit where safety differs per qubit, verified in a
+        // deliberately shuffled order.
+        let mut c = Circuit::new(4);
+        c.toffoli(0, 1, 2); // leaks q0/q1 into q2; q3 untouched
+        let targets = [3, 0, 2, 1];
+        for jobs in [2, 3, 4] {
+            let report = verify_circuit_parallel(
+                &c,
+                &[InitialValue::Free; 4],
+                &targets,
+                &VerifyOptions::default(),
+                jobs,
+            )
+            .unwrap();
+            let order: Vec<usize> = report.verdicts.iter().map(|v| v.qubit).collect();
+            assert_eq!(order, targets, "jobs={jobs}");
+            assert!(report.verdicts[0].safe, "q3 is untouched");
+            assert!(!report.verdicts[1].safe, "q0 leaks");
+            assert!(!report.verdicts[2].safe, "q2 is the target");
+        }
+    }
+
+    #[test]
+    fn session_reuse_across_many_targets_is_consistent() {
+        // One session, every qubit of a toffoli chain, twice over: the
+        // second pass re-uses cofactor nodes interned by the first.
+        let mut c = Circuit::new(4);
+        c.toffoli(0, 1, 3)
+            .toffoli(1, 2, 3)
+            .toffoli(0, 1, 3)
+            .toffoli(1, 2, 3);
+        let opts = VerifyOptions::default();
+        let mut session = VerifySession::new(&c, &[InitialValue::Free; 4], &opts).unwrap();
+        let first = session.verify_targets(&[0, 1, 2, 3]).unwrap();
+        let second = session.verify_targets(&[0, 1, 2, 3]).unwrap();
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.safe, b.safe);
+            assert_eq!(
+                a.counterexample.as_ref().map(|ce| ce.violation),
+                b.counterexample.as_ref().map(|ce| ce.violation)
+            );
+        }
+        let fresh =
+            verify_circuit_fresh(&c, &[InitialValue::Free; 4], &[0, 1, 2, 3], &opts).unwrap();
+        for (a, f) in first.iter().zip(&fresh.verdicts) {
+            assert_eq!(a.safe, f.safe);
+        }
+    }
+}

@@ -138,7 +138,10 @@ impl fmt::Display for VerifyError {
             VerifyError::NotClassical(e) => write!(f, "{e}"),
             VerifyError::Backend(e) => write!(f, "{e}"),
             VerifyError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
         }
     }
@@ -158,7 +161,7 @@ impl From<BackendError> for VerifyError {
     }
 }
 
-fn model_to_assignment(
+pub(crate) fn model_to_assignment(
     decision: &Decision,
     num_qubits: usize,
     initial: &[InitialValue],
@@ -176,9 +179,12 @@ fn model_to_assignment(
 /// Verifies the safe uncomputation of each qubit in `targets` within a
 /// classical circuit whose qubits start as described by `initial`.
 ///
-/// The symbolic execution runs once; each target qubit then gets a fresh
-/// clone of the formula arena (cofactoring appends nodes, and per-qubit
-/// isolation keeps memory proportional to the circuit).
+/// Runs an incremental [`crate::VerifySession`]: the symbolic execution
+/// runs once, cofactor nodes are hash-consed into the shared arena, and
+/// (for the SAT backend) one persistent solver answers every query under
+/// activation-literal assumptions with learnt-clause reuse. For the
+/// one-shot-per-query ablation see [`verify_circuit_fresh`]; for
+/// multi-core sweeps see [`crate::verify_circuit_parallel`].
 ///
 /// # Errors
 ///
@@ -202,6 +208,34 @@ fn model_to_assignment(
 /// assert!(report.all_safe());
 /// ```
 pub fn verify_circuit(
+    circuit: &Circuit,
+    initial: &[InitialValue],
+    targets: &[usize],
+    opts: &VerifyOptions,
+) -> Result<VerificationReport, VerifyError> {
+    for &q in targets {
+        if q >= circuit.num_qubits() {
+            return Err(VerifyError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: circuit.num_qubits(),
+            });
+        }
+    }
+    let mut session = crate::session::VerifySession::new(circuit, initial, opts)?;
+    session.verify_report(targets)
+}
+
+/// The pre-session verification pipeline: each target qubit gets a fresh
+/// clone of the formula arena, a from-scratch Tseitin encoding, and a
+/// brand-new solver per condition. Verdicts are identical to
+/// [`verify_circuit`]; this entry point is kept as the baseline for the
+/// incremental-session ablation (see `BENCH_PR1.json`) and as an
+/// independent cross-check in tests.
+///
+/// # Errors
+///
+/// See [`VerifyError`].
+pub fn verify_circuit_fresh(
     circuit: &Circuit,
     initial: &[InitialValue],
     targets: &[usize],
@@ -367,10 +401,12 @@ mod tests {
     #[test]
     fn cccnot_is_safe_under_every_backend() {
         let mut c = Circuit::new(5);
-        c.toffoli(0, 1, 2).toffoli(2, 3, 4).toffoli(0, 1, 2).toffoli(2, 3, 4);
+        c.toffoli(0, 1, 2)
+            .toffoli(2, 3, 4)
+            .toffoli(0, 1, 2)
+            .toffoli(2, 3, 4);
         for opts in all_backends() {
-            let report =
-                verify_circuit(&c, &[InitialValue::Free; 5], &[2], &opts).unwrap();
+            let report = verify_circuit(&c, &[InitialValue::Free; 5], &[2], &opts).unwrap();
             assert!(report.all_safe(), "{opts:?}");
         }
     }
@@ -380,11 +416,9 @@ mod tests {
         let mut c = Circuit::new(2);
         c.cnot(0, 1);
         for opts in all_backends() {
-            let clean = check_clean_uncomputation(&c, &[InitialValue::Free; 2], 0, &opts)
-                .unwrap();
+            let clean = check_clean_uncomputation(&c, &[InitialValue::Free; 2], 0, &opts).unwrap();
             assert!(clean, "clean uncomputation holds, {opts:?}");
-            let report =
-                verify_circuit(&c, &[InitialValue::Free; 2], &[0], &opts).unwrap();
+            let report = verify_circuit(&c, &[InitialValue::Free; 2], &[0], &opts).unwrap();
             assert!(!report.all_safe(), "{opts:?}");
             let v = &report.verdicts[0];
             let ce = v.counterexample.as_ref().unwrap();
@@ -464,13 +498,8 @@ mod tests {
     fn non_classical_circuit_is_rejected() {
         let mut c = Circuit::new(1);
         c.h(0);
-        let err = verify_circuit(
-            &c,
-            &[InitialValue::Free],
-            &[0],
-            &VerifyOptions::default(),
-        )
-        .unwrap_err();
+        let err =
+            verify_circuit(&c, &[InitialValue::Free], &[0], &VerifyOptions::default()).unwrap_err();
         assert!(matches!(err, VerifyError::NotClassical(_)));
     }
 }

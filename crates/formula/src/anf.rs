@@ -308,11 +308,9 @@ impl Anf {
 
     /// Evaluates the polynomial under `env` (indexed by variable).
     pub fn eval(&self, env: &[bool]) -> bool {
-        self.terms
-            .iter()
-            .fold(false, |acc, t| {
-                acc ^ t.vars().iter().all(|&v| env[v as usize])
-            })
+        self.terms.iter().fold(false, |acc, t| {
+            acc ^ t.vars().iter().all(|&v| env[v as usize])
+        })
     }
 
     /// Converts the nodes reachable from `roots` into ANF, bottom-up with
@@ -345,9 +343,7 @@ impl Anf {
                 Node::And(children) => {
                     let mut acc = Anf::one();
                     for c in children.iter() {
-                        let child = table[c.index()]
-                            .as_ref()
-                            .expect("children precede parents");
+                        let child = table[c.index()].as_ref().expect("children precede parents");
                         acc = acc.mul(child, cap)?;
                     }
                     acc
@@ -355,9 +351,7 @@ impl Anf {
                 Node::Xor(children, parity) => {
                     let mut acc = if *parity { Anf::one() } else { Anf::zero() };
                     for c in children.iter() {
-                        let child = table[c.index()]
-                            .as_ref()
-                            .expect("children precede parents");
+                        let child = table[c.index()].as_ref().expect("children precede parents");
                         acc = acc.xor(child);
                     }
                     if acc.len() > cap {

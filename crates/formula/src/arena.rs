@@ -402,26 +402,16 @@ impl Arena {
                     }
                 }
                 Node::And(children) => {
-                    let mapped: Vec<NodeId> =
-                        children.iter().map(|c| map[c.index()]).collect();
-                    if mapped
-                        .iter()
-                        .zip(children.iter())
-                        .all(|(m, c)| m == c)
-                    {
+                    let mapped: Vec<NodeId> = children.iter().map(|c| map[c.index()]).collect();
+                    if mapped.iter().zip(children.iter()).all(|(m, c)| m == c) {
                         NodeId(i as u32)
                     } else {
                         self.and(&mapped)
                     }
                 }
                 Node::Xor(children, parity) => {
-                    let mapped: Vec<NodeId> =
-                        children.iter().map(|c| map[c.index()]).collect();
-                    if mapped
-                        .iter()
-                        .zip(children.iter())
-                        .all(|(m, c)| m == c)
-                    {
+                    let mapped: Vec<NodeId> = children.iter().map(|c| map[c.index()]).collect();
+                    if mapped.iter().zip(children.iter()).all(|(m, c)| m == c) {
                         NodeId(i as u32)
                     } else {
                         let x = self.xor(&mapped);
@@ -443,6 +433,57 @@ impl Arena {
         self.cofactor_all(var, val)[root.index()]
     }
 
+    /// Like [`Arena::cofactor_all`], but only cofactors nodes reachable
+    /// from `roots`; every other position of the returned map is the
+    /// identity. In a long-lived session arena (where earlier queries
+    /// have appended their own cofactor nodes) this keeps the per-query
+    /// work proportional to the live formula graph instead of the whole
+    /// arena history.
+    pub fn cofactor_reachable(&mut self, roots: &[NodeId], var: Var, val: bool) -> Vec<NodeId> {
+        let original_len = self.nodes.len();
+        let live = self.reachable(roots);
+        let mut map: Vec<NodeId> = Vec::with_capacity(original_len);
+        for (i, &is_live) in live.iter().enumerate().take(original_len) {
+            if !is_live {
+                map.push(NodeId(i as u32));
+                continue;
+            }
+            let mapped = match self.nodes[i].clone() {
+                Node::Const(b) => self.constant(b),
+                Node::Var(v) => {
+                    if v == var {
+                        self.constant(val)
+                    } else {
+                        NodeId(i as u32)
+                    }
+                }
+                Node::And(children) => {
+                    let mapped: Vec<NodeId> = children.iter().map(|c| map[c.index()]).collect();
+                    if mapped.iter().zip(children.iter()).all(|(m, c)| m == c) {
+                        NodeId(i as u32)
+                    } else {
+                        self.and(&mapped)
+                    }
+                }
+                Node::Xor(children, parity) => {
+                    let mapped: Vec<NodeId> = children.iter().map(|c| map[c.index()]).collect();
+                    if mapped.iter().zip(children.iter()).all(|(m, c)| m == c) {
+                        NodeId(i as u32)
+                    } else {
+                        let x = self.xor(&mapped);
+                        if parity {
+                            self.not(x)
+                        } else {
+                            x
+                        }
+                    }
+                }
+            };
+            map.push(mapped);
+        }
+        map
+    }
+
     /// Number of nodes reachable from `roots` (shared nodes counted once).
     pub fn reachable_size(&self, roots: &[NodeId]) -> usize {
         let mut mark = vec![false; self.nodes.len()];
@@ -455,9 +496,7 @@ impl Arena {
             mark[id.index()] = true;
             count += 1;
             match self.node(id) {
-                Node::And(children) | Node::Xor(children, _) => {
-                    stack.extend_from_slice(children)
-                }
+                Node::And(children) | Node::Xor(children, _) => stack.extend_from_slice(children),
                 _ => {}
             }
         }
@@ -474,9 +513,7 @@ impl Arena {
             }
             mark[id.index()] = true;
             match self.node(id) {
-                Node::And(children) | Node::Xor(children, _) => {
-                    stack.extend_from_slice(children)
-                }
+                Node::And(children) | Node::Xor(children, _) => stack.extend_from_slice(children),
                 _ => {}
             }
         }
@@ -668,6 +705,29 @@ mod tests {
                     assert_eq!(f.eval(c, &env), f.eval(root, &env));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn cofactor_reachable_matches_cofactor_all_on_roots() {
+        for mode in [Simplify::Raw, Simplify::Full] {
+            let mut f = Arena::new(mode);
+            let x = f.var(0);
+            let y = f.var(1);
+            let z = f.var(2);
+            let xy = f.and2(x, y);
+            let r1 = f.xor2(xy, z);
+            let r2 = f.not(xy);
+            // A node NOT reachable from the roots below.
+            let junk = f.and2(z, r1);
+
+            let mut clone = f.clone();
+            let all = clone.cofactor_all(1, true);
+            let restricted = f.cofactor_reachable(&[r1, r2], 1, true);
+            assert_eq!(restricted[r1.index()], all[r1.index()], "mode {mode:?}");
+            assert_eq!(restricted[r2.index()], all[r2.index()], "mode {mode:?}");
+            // Unreachable positions are identity, not cofactored.
+            assert_eq!(restricted[junk.index()], junk, "mode {mode:?}");
         }
     }
 

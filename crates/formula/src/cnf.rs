@@ -9,7 +9,7 @@
 //! Literals use the DIMACS convention: variables are positive integers,
 //! negation is arithmetic negation, `0` never appears inside a clause.
 
-use crate::arena::{Arena, Node, NodeId, Var};
+use crate::arena::{Arena, NodeId, Var};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -176,71 +176,13 @@ pub struct Encoding {
 /// assert_eq!(enc.root_lits.len(), 1);
 /// ```
 pub fn encode(arena: &Arena, roots: &[NodeId]) -> Encoding {
-    let reach = arena.reachable(roots);
+    let mut encoder = crate::incremental::IncrementalEncoder::new();
     let mut cnf = Cnf::new();
-    let mut var_lits: HashMap<Var, i32> = HashMap::new();
-    // Literal for every encoded node (0 = not yet encoded).
-    let mut lits: Vec<i32> = vec![0; arena.len()];
-    let mut true_lit: Option<i32> = None;
-
-    for i in 0..arena.len() {
-        if !reach[i] {
-            continue;
-        }
-        let id = NodeId::from_index(i);
-        let lit = match arena.node(id) {
-            Node::Const(b) => {
-                let t = *true_lit.get_or_insert_with(|| {
-                    let v = cnf.fresh_var();
-                    cnf.add_clause(&[v]);
-                    v
-                });
-                if *b {
-                    t
-                } else {
-                    -t
-                }
-            }
-            Node::Var(v) => *var_lits.entry(*v).or_insert_with(|| cnf.fresh_var()),
-            Node::And(children) => {
-                let child_lits: Vec<i32> = children.iter().map(|c| lits[c.index()]).collect();
-                let y = cnf.fresh_var();
-                // y → cᵢ for every child.
-                for &c in &child_lits {
-                    cnf.add_clause(&[-y, c]);
-                }
-                // (∧ cᵢ) → y.
-                let mut big: Vec<i32> = child_lits.iter().map(|&c| -c).collect();
-                big.push(y);
-                cnf.add_clause(&big);
-                y
-            }
-            Node::Xor(children, parity) => {
-                let mut acc = lits[children[0].index()];
-                for c in &children[1..] {
-                    let b = lits[c.index()];
-                    let y = cnf.fresh_var();
-                    // y ↔ acc ⊕ b.
-                    cnf.add_clause(&[-acc, -b, -y]);
-                    cnf.add_clause(&[acc, b, -y]);
-                    cnf.add_clause(&[acc, -b, y]);
-                    cnf.add_clause(&[-acc, b, y]);
-                    acc = y;
-                }
-                if *parity {
-                    -acc
-                } else {
-                    acc
-                }
-            }
-        };
-        lits[i] = lit;
-    }
-
+    let root_lits = encoder.encode_roots(arena, roots, &mut cnf);
     Encoding {
         cnf,
-        root_lits: roots.iter().map(|r| lits[r.index()]).collect(),
-        var_lits,
+        root_lits,
+        var_lits: encoder.var_lits().clone(),
     }
 }
 

@@ -1,0 +1,418 @@
+//! Incremental Tseitin encoding for shared-solver verification sessions.
+//!
+//! The one-shot [`crate::encode`] walks every node reachable from its
+//! roots and emits a fresh CNF. A verification session, however, asks
+//! many queries against one monotonically growing [`Arena`]: the
+//! symbolic-execution graph is shared by all 2·k per-qubit conditions and
+//! only the cofactor nodes of each target are new. Re-encoding the whole
+//! reachable graph per query throws away both the encoding work and —
+//! far worse — the solver's learnt clauses about the encoded structure.
+//!
+//! [`IncrementalEncoder`] keeps a persistent node→literal map across
+//! calls and appends CNF **only for newly interned nodes**. Clauses are
+//! emitted through the [`CnfSink`] abstraction so they can go straight
+//! into a live SAT solver (which implements fresh-variable allocation
+//! natively) instead of an intermediate [`Cnf`].
+
+use crate::arena::{Arena, Node, NodeId, Var};
+use crate::cnf::Cnf;
+use std::collections::HashMap;
+
+/// A consumer of DIMACS-style clauses with variable allocation.
+///
+/// Implemented by [`Cnf`] (batch encoding) and, in `qb-core`, by a live
+/// CDCL solver (incremental sessions).
+pub trait CnfSink {
+    /// Allocates a fresh variable, returned as a positive literal.
+    fn fresh_var(&mut self) -> i32;
+    /// Adds one clause (a disjunction of non-zero DIMACS literals).
+    fn add_clause(&mut self, lits: &[i32]);
+}
+
+impl CnfSink for Cnf {
+    fn fresh_var(&mut self) -> i32 {
+        Cnf::fresh_var(self)
+    }
+
+    fn add_clause(&mut self, lits: &[i32]) {
+        Cnf::add_clause(self, lits)
+    }
+}
+
+/// A persistent Tseitin encoder: node→literal state survives across
+/// queries, so each call encodes only the not-yet-encoded frontier.
+///
+/// # Examples
+///
+/// ```
+/// use qb_formula::{Arena, Cnf, IncrementalEncoder, Simplify};
+/// let mut f = Arena::new(Simplify::Raw);
+/// let mut enc = IncrementalEncoder::new();
+/// let mut cnf = Cnf::new();
+///
+/// let x = f.var(0);
+/// let y = f.var(1);
+/// let a = f.and2(x, y);
+/// let first = enc.encode_roots(&f, &[a], &mut cnf);
+/// let after_first = cnf.clauses().len();
+///
+/// // A second query over `a ⊕ x` re-uses the encoding of `a` and `x`.
+/// let r = f.xor2(a, x);
+/// let second = enc.encode_roots(&f, &[r], &mut cnf);
+/// assert_eq!(first.len(), 1);
+/// assert_eq!(second.len(), 1);
+/// assert!(cnf.clauses().len() > after_first, "new node encoded");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalEncoder {
+    /// Literal backing each arena node (indexed densely; `0` = not yet
+    /// encoded).
+    lits: Vec<i32>,
+    /// CNF literal backing each input variable encountered so far.
+    var_lits: HashMap<Var, i32>,
+    /// The literal asserted true (allocated on first constant; `0` until
+    /// then).
+    true_lit: i32,
+    /// Total clauses emitted through this encoder.
+    clauses_emitted: usize,
+    /// Bookkeeping of the active retractable scope, if any.
+    scope: Option<ScopeRecord>,
+}
+
+/// What a retractable scope has to undo: which node literals were
+/// assigned, which input variables were first seen, and whether the
+/// shared true-literal was allocated inside the scope.
+#[derive(Debug, Clone, Default)]
+struct ScopeRecord {
+    nodes: Vec<usize>,
+    vars: Vec<Var>,
+    true_lit_allocated: bool,
+}
+
+impl IncrementalEncoder {
+    /// Creates an encoder with no nodes encoded.
+    pub fn new() -> Self {
+        IncrementalEncoder::default()
+    }
+
+    /// Number of arena nodes already encoded.
+    pub fn encoded_nodes(&self) -> usize {
+        self.lits.iter().filter(|&&l| l != 0).count()
+    }
+
+    /// Total clauses emitted across all [`IncrementalEncoder::encode_roots`] calls.
+    pub fn clauses_emitted(&self) -> usize {
+        self.clauses_emitted
+    }
+
+    /// The CNF literal backing input variable `v`, if it has been
+    /// encoded.
+    pub fn lit_of_var(&self, v: Var) -> Option<i32> {
+        self.var_lits.get(&v).copied()
+    }
+
+    /// CNF literals of every encoded input variable.
+    pub fn var_lits(&self) -> &HashMap<Var, i32> {
+        &self.var_lits
+    }
+
+    /// The literal backing `id`, if that node has been encoded.
+    pub fn lit_of(&self, id: NodeId) -> Option<i32> {
+        match self.lits.get(id.index()) {
+            Some(&l) if l != 0 => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Opens a retractable scope: every node literal, input-variable
+    /// literal, and true-literal allocation made by subsequent
+    /// [`IncrementalEncoder::encode_roots`] calls is recorded until
+    /// [`IncrementalEncoder::retract_scope`] undoes them.
+    ///
+    /// Callers that emit into a live incremental solver must guard the
+    /// clauses produced inside a scope (e.g. behind a selector literal
+    /// they later retire): after retraction the encoder may hand out
+    /// *fresh* literals for the same nodes, so the old defining clauses
+    /// must no longer constrain anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scope is already open (scopes do not nest).
+    pub fn begin_scope(&mut self) {
+        assert!(self.scope.is_none(), "encoder scopes do not nest");
+        self.scope = Some(ScopeRecord::default());
+    }
+
+    /// Closes the open scope, forgetting every literal it assigned: the
+    /// affected nodes read as not-yet-encoded again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn retract_scope(&mut self) {
+        let scope = self.scope.take().expect("no open scope to retract");
+        for i in scope.nodes {
+            self.lits[i] = 0;
+        }
+        for v in scope.vars {
+            self.var_lits.remove(&v);
+        }
+        if scope.true_lit_allocated {
+            self.true_lit = 0;
+        }
+    }
+
+    /// Encodes every node reachable from `roots` that is not already
+    /// encoded, emitting defining clauses into `sink`, and returns one
+    /// literal per root (in request order). Asserting a returned literal
+    /// asserts the corresponding formula; satisfiability is preserved
+    /// exactly as for [`crate::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a root does not belong to `arena`.
+    pub fn encode_roots<S: CnfSink>(
+        &mut self,
+        arena: &Arena,
+        roots: &[NodeId],
+        sink: &mut S,
+    ) -> Vec<i32> {
+        self.lits.resize(arena.len(), 0);
+
+        // Frontier discovery: nodes reachable from the roots through
+        // not-yet-encoded territory. Children of an encoded node are
+        // themselves encoded, so the walk stops at the old watermark.
+        let mut pending: Vec<usize> = Vec::new();
+        let mut stack: Vec<NodeId> = roots
+            .iter()
+            .filter(|r| self.lits[r.index()] == 0)
+            .copied()
+            .collect();
+        let mut visiting = vec![false; 0];
+        if !stack.is_empty() {
+            visiting = vec![false; arena.len()];
+        }
+        while let Some(id) = stack.pop() {
+            let i = id.index();
+            if visiting[i] || self.lits[i] != 0 {
+                continue;
+            }
+            visiting[i] = true;
+            pending.push(i);
+            match arena.node(id) {
+                Node::And(children) | Node::Xor(children, _) => {
+                    stack.extend(children.iter().filter(|c| self.lits[c.index()] == 0));
+                }
+                _ => {}
+            }
+        }
+        // Children always precede parents in arena order.
+        pending.sort_unstable();
+
+        for i in pending {
+            let id = NodeId::from_index(i);
+            let lit = match arena.node(id) {
+                Node::Const(b) => {
+                    if self.true_lit == 0 {
+                        self.true_lit = sink.fresh_var();
+                        sink.add_clause(&[self.true_lit]);
+                        self.clauses_emitted += 1;
+                        if let Some(scope) = &mut self.scope {
+                            scope.true_lit_allocated = true;
+                        }
+                    }
+                    if *b {
+                        self.true_lit
+                    } else {
+                        -self.true_lit
+                    }
+                }
+                Node::Var(v) => match self.var_lits.get(v) {
+                    Some(&l) => l,
+                    None => {
+                        let l = sink.fresh_var();
+                        self.var_lits.insert(*v, l);
+                        if let Some(scope) = &mut self.scope {
+                            scope.vars.push(*v);
+                        }
+                        l
+                    }
+                },
+                Node::And(children) => {
+                    let child_lits: Vec<i32> =
+                        children.iter().map(|c| self.lits[c.index()]).collect();
+                    let y = sink.fresh_var();
+                    // y → cᵢ for every child.
+                    for &c in &child_lits {
+                        sink.add_clause(&[-y, c]);
+                        self.clauses_emitted += 1;
+                    }
+                    // (∧ cᵢ) → y.
+                    let mut big: Vec<i32> = child_lits.iter().map(|&c| -c).collect();
+                    big.push(y);
+                    sink.add_clause(&big);
+                    self.clauses_emitted += 1;
+                    y
+                }
+                Node::Xor(children, parity) => {
+                    let mut acc = self.lits[children[0].index()];
+                    for c in &children[1..] {
+                        let b = self.lits[c.index()];
+                        let y = sink.fresh_var();
+                        // y ↔ acc ⊕ b.
+                        sink.add_clause(&[-acc, -b, -y]);
+                        sink.add_clause(&[acc, b, -y]);
+                        sink.add_clause(&[acc, -b, y]);
+                        sink.add_clause(&[-acc, b, y]);
+                        self.clauses_emitted += 4;
+                        acc = y;
+                    }
+                    if *parity {
+                        -acc
+                    } else {
+                        acc
+                    }
+                }
+            };
+            debug_assert!(lit != 0, "every node gets a non-zero literal");
+            self.lits[i] = lit;
+            if let Some(scope) = &mut self.scope {
+                scope.nodes.push(i);
+            }
+        }
+
+        roots.iter().map(|r| self.lits[r.index()]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::Simplify;
+    use crate::cnf::encode;
+
+    /// Brute-force satisfiability of `cnf ∧ root` over its variables.
+    fn brute_sat(cnf: &Cnf, root: i32) -> bool {
+        let n = cnf.num_vars();
+        assert!(n <= 20, "brute force limited to 20 vars");
+        for bits in 0u64..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            let root_val = {
+                let v = assignment[(root.unsigned_abs() - 1) as usize];
+                if root > 0 {
+                    v
+                } else {
+                    !v
+                }
+            };
+            if root_val && cnf.eval(&assignment) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn matches_one_shot_encoding_semantics() {
+        for mode in [Simplify::Raw, Simplify::Full] {
+            let mut f = Arena::new(mode);
+            let a = f.var(0);
+            let b = f.var(1);
+            let ab = f.and2(a, b);
+            let nb = f.not(b);
+            let root = f.xor2(ab, nb);
+
+            let one_shot = encode(&f, &[root]);
+            let mut enc = IncrementalEncoder::new();
+            let mut cnf = Cnf::new();
+            let lits = enc.encode_roots(&f, &[root], &mut cnf);
+            assert_eq!(
+                brute_sat(&cnf, lits[0]),
+                brute_sat(&one_shot.cnf, one_shot.root_lits[0]),
+                "mode {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn second_query_appends_only_new_nodes() {
+        let mut f = Arena::new(Simplify::Raw);
+        let x = f.var(0);
+        let y = f.var(1);
+        let z = f.var(2);
+        let xy = f.and2(x, y);
+        let mut enc = IncrementalEncoder::new();
+        let mut cnf = Cnf::new();
+        enc.encode_roots(&f, &[xy], &mut cnf);
+        let clauses_after_first = cnf.clauses().len();
+        let vars_after_first = cnf.num_vars();
+
+        // Re-encoding the same root emits nothing.
+        let again = enc.encode_roots(&f, &[xy], &mut cnf);
+        assert_eq!(cnf.clauses().len(), clauses_after_first);
+        assert_eq!(cnf.num_vars(), vars_after_first);
+        assert_eq!(again, enc.encode_roots(&f, &[xy], &mut cnf));
+
+        // A new node over old structure only encodes the delta.
+        let root = f.xor2(xy, z);
+        let lits = enc.encode_roots(&f, &[root], &mut cnf);
+        assert_eq!(lits.len(), 1);
+        // Delta: one fresh var for z, one XOR chain var; 4 XOR clauses.
+        assert_eq!(cnf.num_vars(), vars_after_first + 2);
+        assert_eq!(cnf.clauses().len(), clauses_after_first + 4);
+    }
+
+    #[test]
+    fn incremental_queries_stay_satisfiability_correct() {
+        // Build formulas in stages, checking each root against brute
+        // force of a freshly encoded copy.
+        let mut f = Arena::new(Simplify::Raw);
+        let mut enc = IncrementalEncoder::new();
+        let mut cnf = Cnf::new();
+        let x = f.var(0);
+        let y = f.var(1);
+
+        let nx = f.not(x);
+        let contra = f.and2(x, nx);
+        let tauto = f.or2(x, nx);
+        let mixed = f.and2(tauto, y);
+
+        for root in [contra, tauto, mixed] {
+            let lit = enc.encode_roots(&f, &[root], &mut cnf)[0];
+            let fresh = encode(&f, &[root]);
+            assert_eq!(
+                brute_sat(&cnf, lit),
+                brute_sat(&fresh.cnf, fresh.root_lits[0])
+            );
+        }
+    }
+
+    #[test]
+    fn constants_share_one_true_literal() {
+        let f = Arena::new(Simplify::Raw);
+        let mut enc = IncrementalEncoder::new();
+        let mut cnf = Cnf::new();
+        let t = f.constant(true);
+        let fl = f.constant(false);
+        let lt = enc.encode_roots(&f, &[t], &mut cnf)[0];
+        let lf = enc.encode_roots(&f, &[fl], &mut cnf)[0];
+        assert_eq!(lt, -lf);
+        assert!(brute_sat(&cnf, lt));
+        assert!(!brute_sat(&cnf, lf));
+    }
+
+    #[test]
+    fn var_lits_are_stable_across_queries() {
+        let mut f = Arena::new(Simplify::Full);
+        let mut enc = IncrementalEncoder::new();
+        let mut cnf = Cnf::new();
+        let x = f.var(7);
+        enc.encode_roots(&f, &[x], &mut cnf);
+        let first = enc.lit_of_var(7).unwrap();
+        let y = f.var(9);
+        let root = f.and2(x, y);
+        enc.encode_roots(&f, &[root], &mut cnf);
+        assert_eq!(enc.lit_of_var(7).unwrap(), first);
+        assert_eq!(enc.var_lits().len(), 2);
+    }
+}

@@ -41,15 +41,17 @@
 mod anf;
 mod arena;
 mod cnf;
+mod incremental;
 
 pub use anf::{Anf, AnfOverflow, Monomial};
 pub use arena::{Arena, Node, NodeId, Simplify, Var};
 pub use cnf::{encode, Cnf, Encoding};
+pub use incremental::{CnfSink, IncrementalEncoder};
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use qb_testutil::Rng;
 
     /// A random formula expression tree over `nvars` variables.
     #[derive(Debug, Clone)]
@@ -62,22 +64,29 @@ mod proptests {
         Or(Box<Expr>, Box<Expr>),
     }
 
-    fn arb_expr(nvars: u32) -> impl Strategy<Value = Expr> {
-        let leaf = prop_oneof![
-            (0..nvars).prop_map(Expr::Var),
-            any::<bool>().prop_map(Expr::Const),
-        ];
-        leaf.prop_recursive(5, 64, 2, |inner| {
-            prop_oneof![
-                inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-                (inner.clone(), inner)
-                    .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            ]
-        })
+    fn rand_expr(rng: &mut Rng, nvars: u32, depth: usize) -> Expr {
+        if depth == 0 || rng.gen_below(4) == 0 {
+            return if rng.gen_bool() {
+                Expr::Var(rng.gen_below(nvars as usize) as Var)
+            } else {
+                Expr::Const(rng.gen_bool())
+            };
+        }
+        match rng.gen_below(4) {
+            0 => Expr::Not(Box::new(rand_expr(rng, nvars, depth - 1))),
+            1 => Expr::And(
+                Box::new(rand_expr(rng, nvars, depth - 1)),
+                Box::new(rand_expr(rng, nvars, depth - 1)),
+            ),
+            2 => Expr::Xor(
+                Box::new(rand_expr(rng, nvars, depth - 1)),
+                Box::new(rand_expr(rng, nvars, depth - 1)),
+            ),
+            _ => Expr::Or(
+                Box::new(rand_expr(rng, nvars, depth - 1)),
+                Box::new(rand_expr(rng, nvars, depth - 1)),
+            ),
+        }
     }
 
     fn build(arena: &mut Arena, e: &Expr) -> NodeId {
@@ -118,12 +127,15 @@ mod proptests {
     }
 
     const NVARS: u32 = 5;
+    const CASES: usize = 128;
 
-    proptest! {
-        /// Raw and Full arenas both evaluate identically to the source
-        /// expression on every assignment.
-        #[test]
-        fn arena_modes_agree_with_expression(e in arb_expr(NVARS)) {
+    /// Raw and Full arenas both evaluate identically to the source
+    /// expression on every assignment.
+    #[test]
+    fn arena_modes_agree_with_expression() {
+        let mut rng = Rng::new(0xF0A0);
+        for _ in 0..CASES {
+            let e = rand_expr(&mut rng, NVARS, 5);
             let mut raw = Arena::new(Simplify::Raw);
             let mut full = Arena::new(Simplify::Full);
             let r_raw = build(&mut raw, &e);
@@ -131,44 +143,62 @@ mod proptests {
             for bits in 0u32..(1 << NVARS) {
                 let env: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
                 let expect = eval_expr(&e, &env);
-                prop_assert_eq!(raw.eval(r_raw, &env), expect);
-                prop_assert_eq!(full.eval(r_full, &env), expect);
+                assert_eq!(raw.eval(r_raw, &env), expect);
+                assert_eq!(full.eval(r_full, &env), expect);
             }
         }
+    }
 
-        /// ANF built from either arena mode evaluates like the expression.
-        #[test]
-        fn anf_agrees_with_expression(e in arb_expr(NVARS)) {
+    /// ANF built from either arena mode evaluates like the expression.
+    #[test]
+    fn anf_agrees_with_expression() {
+        let mut rng = Rng::new(0xF0A1);
+        for _ in 0..CASES {
+            let e = rand_expr(&mut rng, NVARS, 5);
             let mut raw = Arena::new(Simplify::Raw);
             let root = build(&mut raw, &e);
             let anf = Anf::from_arena(&raw, &[root], 1 << 16).unwrap().remove(0);
             for bits in 0u32..(1 << NVARS) {
                 let env: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
-                prop_assert_eq!(anf.eval(&env), eval_expr(&e, &env));
+                assert_eq!(anf.eval(&env), eval_expr(&e, &env));
             }
         }
+    }
 
-        /// ANF canonicity: two different constructions of equivalent
-        /// functions produce identical polynomials.
-        #[test]
-        fn anf_is_canonical_across_modes(e in arb_expr(NVARS)) {
+    /// ANF canonicity: two different constructions of equivalent
+    /// functions produce identical polynomials.
+    #[test]
+    fn anf_is_canonical_across_modes() {
+        let mut rng = Rng::new(0xF0A2);
+        for _ in 0..CASES {
+            let e = rand_expr(&mut rng, NVARS, 5);
             let mut raw = Arena::new(Simplify::Raw);
             let mut full = Arena::new(Simplify::Full);
             let r_raw = build(&mut raw, &e);
             let r_full = build(&mut full, &e);
             let a = Anf::from_arena(&raw, &[r_raw], 1 << 16).unwrap().remove(0);
-            let b = Anf::from_arena(&full, &[r_full], 1 << 16).unwrap().remove(0);
-            prop_assert_eq!(a, b);
+            let b = Anf::from_arena(&full, &[r_full], 1 << 16)
+                .unwrap()
+                .remove(0);
+            assert_eq!(a, b);
         }
+    }
 
-        /// The Tseitin encoding is satisfiability-preserving (checked by
-        /// brute force over original + auxiliary variables).
-        #[test]
-        fn tseitin_preserves_satisfiability(e in arb_expr(4)) {
+    /// The Tseitin encoding is satisfiability-preserving (checked by
+    /// brute force over original + auxiliary variables).
+    #[test]
+    fn tseitin_preserves_satisfiability() {
+        let mut rng = Rng::new(0xF0A3);
+        let mut checked = 0;
+        while checked < 48 {
+            let e = rand_expr(&mut rng, 4, 4);
             let mut raw = Arena::new(Simplify::Raw);
             let root = build(&mut raw, &e);
             let enc = encode(&raw, &[root]);
-            prop_assume!(enc.cnf.num_vars() <= 18);
+            if enc.cnf.num_vars() > 18 {
+                continue;
+            }
+            checked += 1;
             let n = enc.cnf.num_vars();
             let mut cnf_sat = false;
             for bits in 0u64..(1 << n) {
@@ -176,7 +206,11 @@ mod proptests {
                 let root_true = {
                     let l = enc.root_lits[0];
                     let v = assignment[(l.unsigned_abs() - 1) as usize];
-                    if l > 0 { v } else { !v }
+                    if l > 0 {
+                        v
+                    } else {
+                        !v
+                    }
                 };
                 if root_true && enc.cnf.eval(&assignment) {
                     cnf_sat = true;
@@ -187,19 +221,25 @@ mod proptests {
                 let env: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
                 eval_expr(&e, &env)
             });
-            prop_assert_eq!(cnf_sat, expr_sat);
+            assert_eq!(cnf_sat, expr_sat);
         }
+    }
 
-        /// Cofactoring in the arena matches semantic substitution.
-        #[test]
-        fn cofactor_matches_semantics(e in arb_expr(NVARS), var in 0..NVARS, val: bool) {
+    /// Cofactoring in the arena matches semantic substitution.
+    #[test]
+    fn cofactor_matches_semantics() {
+        let mut rng = Rng::new(0xF0A4);
+        for _ in 0..CASES {
+            let e = rand_expr(&mut rng, NVARS, 5);
+            let var = rng.gen_below(NVARS as usize) as Var;
+            let val = rng.gen_bool();
             let mut full = Arena::new(Simplify::Full);
             let root = build(&mut full, &e);
             let cof = full.cofactor(root, var, val);
             for bits in 0u32..(1 << NVARS) {
                 let mut env: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
                 env[var as usize] = val;
-                prop_assert_eq!(full.eval(cof, &env), eval_expr(&e, &env));
+                assert_eq!(full.eval(cof, &env), eval_expr(&e, &env));
             }
         }
     }

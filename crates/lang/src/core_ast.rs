@@ -271,7 +271,9 @@ impl CoreStmt {
         fn walk(stmt: &CoreStmt, bound: &mut Vec<String>) -> Result<(), String> {
             match stmt {
                 CoreStmt::Skip => Ok(()),
-                CoreStmt::Init(r) | CoreStmt::If { qubit: r, .. } | CoreStmt::While { qubit: r, .. }
+                CoreStmt::Init(r)
+                | CoreStmt::If { qubit: r, .. }
+                | CoreStmt::While { qubit: r, .. }
                     if matches!(r, QubitRef::Placeholder(p) if !bound.contains(p)) =>
                 {
                     Err(format!("placeholder '{r}' used outside its borrow scope"))
@@ -369,10 +371,9 @@ impl CoreStmt {
                     Gate::Toffoli { c1, c2, t } => {
                         CoreGate::Toffoli(conv(*c1), conv(*c2), conv(*t))
                     }
-                    Gate::Mcx { controls, target } => CoreGate::Mcx(
-                        controls.iter().map(|&c| conv(c)).collect(),
-                        conv(*target),
-                    ),
+                    Gate::Mcx { controls, target } => {
+                        CoreGate::Mcx(controls.iter().map(|&c| conv(c)).collect(), conv(*target))
+                    }
                     Gate::Swap(a, b) => CoreGate::Swap(conv(*a), conv(*b)),
                     other => panic!("gate {other:?} not supported in the core calculus"),
                 })

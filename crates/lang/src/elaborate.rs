@@ -177,9 +177,7 @@ impl Context {
                 Ok(())
             }
             Stmt::Borrow { reg, span } => self.declare(reg, QubitKind::BorrowedDirty, *span),
-            Stmt::BorrowTrusted { reg, span } => {
-                self.declare(reg, QubitKind::TrustedDirty, *span)
-            }
+            Stmt::BorrowTrusted { reg, span } => self.declare(reg, QubitKind::TrustedDirty, *span),
             Stmt::Alloc { reg, span } => self.declare(reg, QubitKind::Clean, *span),
             Stmt::Release { name, span } => {
                 let idx = *self.reg_index.get(name).ok_or_else(|| {
@@ -291,7 +289,8 @@ impl Context {
             self.qubit_names.push(name);
             self.qubit_kinds.push(kind);
         }
-        self.reg_index.insert(reg.name.clone(), self.registers.len());
+        self.reg_index
+            .insert(reg.name.clone(), self.registers.len());
         self.registers.push(RegisterInfo {
             name: reg.name.clone(),
             kind,
@@ -407,10 +406,7 @@ mod tests {
         assert_eq!(e.qubit_names, vec!["q[1]", "q[2]", "a", "c[1]", "c[2]"]);
         assert_eq!(e.qubits_to_verify(), vec![2]);
         assert_eq!(e.clean_qubits(), vec![3, 4]);
-        assert_eq!(
-            e.circuit.gates(),
-            &[Gate::X(0), Gate::X(2), Gate::X(4)]
-        );
+        assert_eq!(e.circuit.gates(), &[Gate::X(0), Gate::X(2), Gate::X(4)]);
     }
 
     #[test]
@@ -432,10 +428,7 @@ mod tests {
 
     #[test]
     fn nested_loops_shadow() {
-        let e = run(
-            "borrow@ q[4]; for i = 1 to 2 { for i = 3 to 4 { X[q[i]]; } }",
-        )
-        .unwrap();
+        let e = run("borrow@ q[4]; for i = 1 to 2 { for i = 3 to 4 { X[q[i]]; } }").unwrap();
         assert_eq!(e.circuit.size(), 4);
         assert_eq!(e.circuit.gates()[0], Gate::X(2));
     }

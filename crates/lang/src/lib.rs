@@ -121,7 +121,10 @@ pub fn adder_source(n: usize) -> String {
 /// *upwards* for `m = 3` and reference out-of-range qubits. The paper's
 /// evaluation uses `m ≥ 250`, where the loops are unambiguous.
 pub fn mcx_source(m: usize) -> String {
-    assert!(m >= 4, "the mcx benchmark requires m >= 4 (paper uses m >= 250)");
+    assert!(
+        m >= 4,
+        "the mcx benchmark requires m >= 4 (paper uses m >= 250)"
+    );
     let ladder_a = "for i = (m - 2) to 2 {\n  CCNOT[q[2 * i], q[2 * i + 1], q[2 * i + 2]];\n}\n\
                     CCNOT[q[1], q[3], q[4]];\n\
                     for i = 2 to (m - 2) {\n  CCNOT[q[2 * i], q[2 * i + 1], q[2 * i + 2]];\n}\n";

@@ -110,11 +110,7 @@ impl Denotation {
 /// let d = denote(&s, 2, &SemanticsOptions::default()).unwrap();
 /// assert_eq!(d.operations.len(), 1);
 /// ```
-pub fn denote(
-    stmt: &CoreStmt,
-    n: usize,
-    opts: &SemanticsOptions,
-) -> Result<Denotation, LangError> {
+pub fn denote(stmt: &CoreStmt, n: usize, opts: &SemanticsOptions) -> Result<Denotation, LangError> {
     stmt.check_wellformed()
         .map_err(|m| LangError::new(Phase::Semantics, m))?;
     if n > 6 {

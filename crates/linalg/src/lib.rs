@@ -32,61 +32,82 @@ pub use complex::Complex;
 pub use matrix::Matrix;
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use qb_testutil::Rng;
 
-    fn arb_complex() -> impl Strategy<Value = Complex> {
-        (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex::new(re, im))
+    const CASES: usize = 64;
+
+    fn rand_complex(rng: &mut Rng) -> Complex {
+        Complex::new(
+            rng.gen_f64_range(-10.0, 10.0),
+            rng.gen_f64_range(-10.0, 10.0),
+        )
     }
 
-    fn arb_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-        proptest::collection::vec(arb_complex(), n * n)
-            .prop_map(move |data| Matrix::from_rows(n, n, &data))
+    fn rand_matrix(rng: &mut Rng, n: usize) -> Matrix {
+        let data: Vec<Complex> = (0..n * n).map(|_| rand_complex(rng)).collect();
+        Matrix::from_rows(n, n, &data)
     }
 
-    proptest! {
-        #[test]
-        fn complex_mul_commutes(a in arb_complex(), b in arb_complex()) {
-            prop_assert!((a * b).approx_eq(b * a, 1e-9));
+    #[test]
+    fn complex_mul_commutes_and_associates() {
+        let mut rng = Rng::new(0x11A1);
+        for _ in 0..CASES {
+            let (a, b, c) = (
+                rand_complex(&mut rng),
+                rand_complex(&mut rng),
+                rand_complex(&mut rng),
+            );
+            assert!((a * b).approx_eq(b * a, 1e-9));
+            assert!(((a * b) * c).approx_eq(a * (b * c), 1e-6));
         }
+    }
 
-        #[test]
-        fn complex_mul_associates(a in arb_complex(), b in arb_complex(), c in arb_complex()) {
-            prop_assert!(((a * b) * c).approx_eq(a * (b * c), 1e-6));
+    #[test]
+    fn conj_is_involution() {
+        let mut rng = Rng::new(0x11A2);
+        for _ in 0..CASES {
+            let a = rand_complex(&mut rng);
+            assert_eq!(a.conj().conj(), a);
         }
+    }
 
-        #[test]
-        fn conj_is_involution(a in arb_complex()) {
-            prop_assert_eq!(a.conj().conj(), a);
-        }
-
-        #[test]
-        fn adjoint_reverses_products(a in arb_matrix(3), b in arb_matrix(3)) {
+    #[test]
+    fn adjoint_reverses_products() {
+        let mut rng = Rng::new(0x11A3);
+        for _ in 0..CASES {
+            let a = rand_matrix(&mut rng, 3);
+            let b = rand_matrix(&mut rng, 3);
             let lhs = a.mul_mat(&b).adjoint();
             let rhs = b.adjoint().mul_mat(&a.adjoint());
-            prop_assert!(lhs.approx_eq(&rhs, 1e-6));
+            assert!(lhs.approx_eq(&rhs, 1e-6));
         }
+    }
 
-        #[test]
-        fn trace_is_linear(a in arb_matrix(3), b in arb_matrix(3)) {
-            let lhs = (a.clone() + b.clone()).trace();
-            let rhs = a.trace() + b.trace();
-            prop_assert!(lhs.approx_eq(rhs, 1e-6));
+    #[test]
+    fn trace_is_linear_and_cyclic() {
+        let mut rng = Rng::new(0x11A4);
+        for _ in 0..CASES {
+            let a = rand_matrix(&mut rng, 3);
+            let b = rand_matrix(&mut rng, 3);
+            assert!((a.clone() + b.clone())
+                .trace()
+                .approx_eq(a.trace() + b.trace(), 1e-6));
+            assert!(a.mul_mat(&b).trace().approx_eq(b.mul_mat(&a).trace(), 1e-6));
         }
+    }
 
-        #[test]
-        fn trace_cyclic(a in arb_matrix(3), b in arb_matrix(3)) {
-            let lhs = a.mul_mat(&b).trace();
-            let rhs = b.mul_mat(&a).trace();
-            prop_assert!(lhs.approx_eq(rhs, 1e-6));
-        }
-
-        #[test]
-        fn kron_associates(a in arb_matrix(2), b in arb_matrix(2), c in arb_matrix(2)) {
+    #[test]
+    fn kron_associates() {
+        let mut rng = Rng::new(0x11A5);
+        for _ in 0..CASES {
+            let a = rand_matrix(&mut rng, 2);
+            let b = rand_matrix(&mut rng, 2);
+            let c = rand_matrix(&mut rng, 2);
             let lhs = a.kron(&b).kron(&c);
             let rhs = a.kron(&b.kron(&c));
-            prop_assert!(lhs.approx_eq(&rhs, 1e-6));
+            assert!(lhs.approx_eq(&rhs, 1e-6));
         }
     }
 }

@@ -119,7 +119,11 @@ impl Matrix {
     ///
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
-        assert_eq!(v.len(), self.cols, "dimension mismatch in matrix-vector product");
+        assert_eq!(
+            v.len(),
+            self.cols,
+            "dimension mismatch in matrix-vector product"
+        );
         let mut out = vec![Complex::ZERO; self.rows];
         for i in 0..self.rows {
             let mut acc = Complex::ZERO;
@@ -224,7 +228,11 @@ impl Matrix {
 
     /// Returns `true` when `A†A ≈ I` within `tol`.
     pub fn is_unitary(&self, tol: f64) -> bool {
-        self.is_square() && self.adjoint().mul_mat(self).approx_eq(&Matrix::identity(self.rows), tol)
+        self.is_square()
+            && self
+                .adjoint()
+                .mul_mat(self)
+                .approx_eq(&Matrix::identity(self.rows), tol)
     }
 
     /// Returns `true` when `A ≈ A†` within `tol`.
@@ -441,11 +449,7 @@ mod tests {
     #[test]
     fn permutation_matrix_round_trip() {
         let p = Matrix::permutation(&[2, 0, 1]);
-        let v = vec![
-            Complex::real(1.0),
-            Complex::real(2.0),
-            Complex::real(3.0),
-        ];
+        let v = vec![Complex::real(1.0), Complex::real(2.0), Complex::real(3.0)];
         let out = p.mul_vec(&v);
         // basis 0 -> 2, 1 -> 0, 2 -> 1
         assert_eq!(out[2], Complex::real(1.0));

@@ -166,14 +166,7 @@ mod tests {
     fn xor_parity_triangle() {
         let unsat = cnf_of(
             3,
-            &[
-                &[1, 2],
-                &[-1, -2],
-                &[2, 3],
-                &[-2, -3],
-                &[1, 3],
-                &[-1, -3],
-            ],
+            &[&[1, 2], &[-1, -2], &[2, 3], &[-2, -3], &[1, 3], &[-1, -3]],
         );
         assert_eq!(dpll_solve(&unsat), SatResult::Unsat);
     }

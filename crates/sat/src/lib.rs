@@ -41,70 +41,86 @@ pub use lit::{LBool, Lit, SatVar};
 pub use solver::{SatResult, Solver, SolverStats};
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
     use qb_formula::Cnf;
+    use qb_testutil::Rng;
+
+    const CASES: usize = 192;
 
     /// Random k-SAT instance generator.
-    fn arb_cnf(
-        max_vars: usize,
-        max_clauses: usize,
-    ) -> impl Strategy<Value = Cnf> {
-        (1..=max_vars, 0..=max_clauses).prop_flat_map(move |(nv, nc)| {
-            let clause = proptest::collection::vec(
-                (1..=nv as i32, any::<bool>())
-                    .prop_map(|(v, neg)| if neg { -v } else { v }),
-                1..=3,
-            );
-            proptest::collection::vec(clause, nc).prop_map(move |clauses| {
-                let mut cnf = Cnf::new();
-                for _ in 0..nv {
-                    cnf.fresh_var();
-                }
-                for c in &clauses {
-                    cnf.add_clause(c);
-                }
-                cnf
-            })
-        })
+    fn rand_cnf(rng: &mut Rng, max_vars: usize, max_clauses: usize) -> Cnf {
+        let nv = rng.gen_range(1, max_vars + 1);
+        let nc = rng.gen_below(max_clauses + 1);
+        let mut cnf = Cnf::new();
+        for _ in 0..nv {
+            cnf.fresh_var();
+        }
+        for _ in 0..nc {
+            let len = rng.gen_range(1, 4);
+            let clause: Vec<i32> = (0..len)
+                .map(|_| {
+                    let v = rng.gen_range(1, nv + 1) as i32;
+                    if rng.gen_bool() {
+                        -v
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            cnf.add_clause(&clause);
+        }
+        cnf
     }
 
-    proptest! {
-        /// CDCL and DPLL agree on every random instance.
-        #[test]
-        fn cdcl_matches_dpll(cnf in arb_cnf(12, 50)) {
+    /// CDCL and DPLL agree on every random instance.
+    #[test]
+    fn cdcl_matches_dpll() {
+        let mut rng = Rng::new(0x5A70);
+        for _ in 0..CASES {
+            let cnf = rand_cnf(&mut rng, 12, 50);
             let mut cdcl = Solver::from_cnf(&cnf);
             let expected = dpll_solve(&cnf);
-            prop_assert_eq!(cdcl.solve(), expected);
+            assert_eq!(cdcl.solve(), expected);
         }
+    }
 
-        /// When CDCL reports SAT, the model satisfies the original CNF.
-        #[test]
-        fn models_are_genuine(cnf in arb_cnf(14, 60)) {
+    /// When CDCL reports SAT, the model satisfies the original CNF.
+    #[test]
+    fn models_are_genuine() {
+        let mut rng = Rng::new(0x5A71);
+        for _ in 0..CASES {
+            let cnf = rand_cnf(&mut rng, 14, 60);
             let mut cdcl = Solver::from_cnf(&cnf);
             if cdcl.solve() == SatResult::Sat {
                 let model = cdcl.model().to_vec();
-                prop_assert!(cnf.eval(&model));
+                assert!(cnf.eval(&model));
             }
         }
+    }
 
-        /// Solving twice (with solver reuse) gives consistent answers.
-        #[test]
-        fn solver_reuse_is_consistent(cnf in arb_cnf(10, 40)) {
+    /// Solving twice (with solver reuse) gives consistent answers.
+    #[test]
+    fn solver_reuse_is_consistent() {
+        let mut rng = Rng::new(0x5A72);
+        for _ in 0..CASES {
+            let cnf = rand_cnf(&mut rng, 10, 40);
             let mut cdcl = Solver::from_cnf(&cnf);
             let first = cdcl.solve();
             let second = cdcl.solve();
-            prop_assert_eq!(first, second);
+            assert_eq!(first, second);
         }
+    }
 
-        /// Solving under assumptions equals solving the strengthened CNF.
-        #[test]
-        fn assumptions_match_baked_units(cnf in arb_cnf(10, 40), pick in any::<u64>()) {
+    /// Solving under assumptions equals solving the strengthened CNF.
+    #[test]
+    fn assumptions_match_baked_units() {
+        let mut rng = Rng::new(0x5A73);
+        for _ in 0..CASES {
+            let cnf = rand_cnf(&mut rng, 10, 40);
             let nv = cnf.num_vars();
-            prop_assume!(nv >= 1);
-            let var = (pick as usize % nv) as i32 + 1;
-            let lit = if pick % 2 == 0 { var } else { -var };
+            let var = rng.gen_range(1, nv + 1) as i32;
+            let lit = if rng.gen_bool() { var } else { -var };
 
             let mut strengthened = cnf.clone();
             strengthened.add_clause(&[lit]);
@@ -112,7 +128,51 @@ mod proptests {
 
             let mut cdcl = Solver::from_cnf(&cnf);
             let got = cdcl.solve_with_assumptions(&[Lit::from_dimacs(lit)]);
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected);
+        }
+    }
+
+    /// Guarded clauses behave like plain clauses while their selector is
+    /// assumed, and disappear (for satisfiability) once retired.
+    #[test]
+    fn guarded_clauses_match_baked_clauses() {
+        let mut rng = Rng::new(0x5A74);
+        for _ in 0..CASES / 2 {
+            let base = rand_cnf(&mut rng, 8, 24);
+            let extra = rand_cnf(&mut rng, 8, 6);
+
+            // Reference: base ∪ extra solved from scratch.
+            let mut baked = Solver::from_cnf(&base);
+            for _ in baked.num_vars()..extra.num_vars() {
+                baked.new_var();
+            }
+            let mut expected_ok = true;
+            for c in extra.clauses() {
+                let lits: Vec<Lit> = c.iter().map(|&l| Lit::from_dimacs(l)).collect();
+                expected_ok &= baked.add_clause(&lits);
+            }
+            let expected = if expected_ok {
+                baked.solve()
+            } else {
+                SatResult::Unsat
+            };
+
+            // Incremental: extra guarded behind one selector.
+            let mut inc = Solver::from_cnf(&base);
+            for _ in inc.num_vars()..extra.num_vars() {
+                inc.new_var();
+            }
+            let base_answer = inc.solve();
+            let sel = Lit::pos(inc.new_selector());
+            for c in extra.clauses() {
+                let lits: Vec<Lit> = c.iter().map(|&l| Lit::from_dimacs(l)).collect();
+                inc.add_guarded_clause(sel, &lits);
+            }
+            assert_eq!(inc.solve_with_assumptions(&[sel]), expected);
+
+            // Retiring the selector restores the base verdict.
+            inc.retire_selector(sel);
+            assert_eq!(inc.solve(), base_answer);
         }
     }
 }

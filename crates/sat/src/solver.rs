@@ -13,6 +13,7 @@
 use crate::heap::VarOrder;
 use crate::lit::{LBool, Lit, SatVar};
 use qb_formula::Cnf;
+use std::collections::HashMap;
 
 /// Outcome of a solve call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +95,12 @@ pub struct Solver {
     stats: SolverStats,
     max_learnts: f64,
     cla_inc: f64,
+    /// Clauses guarded by each selector variable (see
+    /// [`Solver::add_guarded_clause`]), for physical removal on
+    /// retirement.
+    guarded: HashMap<u32, Vec<ClauseRef>>,
+    /// Scratch for recursive learnt-clause minimisation.
+    redundant_stack: Vec<Lit>,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -124,6 +131,8 @@ impl Solver {
             stats: SolverStats::default(),
             max_learnts: 0.0,
             cla_inc: 1.0,
+            guarded: HashMap::new(),
+            redundant_stack: Vec::new(),
         }
     }
 
@@ -186,12 +195,19 @@ impl Solver {
     /// added at decision level zero) or if a literal names an unallocated
     /// variable.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.add_clause_ref(lits).0
+    }
+
+    /// [`Solver::add_clause`], additionally reporting the attached clause
+    /// (when the normalised clause was neither dropped nor reduced to a
+    /// unit).
+    fn add_clause_ref(&mut self, lits: &[Lit]) -> (bool, Option<ClauseRef>) {
         assert!(
             self.trail_lim.is_empty(),
             "clauses must be added at decision level zero"
         );
         if !self.ok {
-            return false;
+            return (false, None);
         }
         for l in lits {
             assert!(l.var().index() < self.num_vars(), "unallocated variable");
@@ -203,29 +219,151 @@ impl Solver {
         let mut filtered = Vec::with_capacity(c.len());
         for (i, &l) in c.iter().enumerate() {
             if i + 1 < c.len() && c[i + 1] == l.negate() {
-                return true; // tautology: l and ¬l both present
+                return (true, None); // tautology: l and ¬l both present
             }
             match self.value_lit(l) {
-                LBool::True => return true, // satisfied at level 0
-                LBool::False => continue,   // falsified at level 0: drop
+                LBool::True => return (true, None), // satisfied at level 0
+                LBool::False => continue,           // falsified at level 0: drop
                 LBool::Undef => filtered.push(l),
             }
         }
         match filtered.len() {
             0 => {
                 self.ok = false;
-                false
+                (false, None)
             }
             1 => {
                 self.enqueue(filtered[0], None);
                 self.ok = self.propagate().is_none();
-                self.ok
+                (self.ok, None)
             }
             _ => {
-                self.attach_clause(filtered, false, 0);
-                true
+                let cref = self.attach_clause(filtered, false, 0);
+                (true, Some(cref))
             }
         }
+    }
+
+    /// Allocates a fresh *selector* variable for activation-literal
+    /// incremental solving. A selector is an ordinary variable; the
+    /// convention is that clauses guarded by it (via
+    /// [`Solver::add_guarded_clause`]) are active exactly in solves that
+    /// assume the positive selector literal.
+    pub fn new_selector(&mut self) -> SatVar {
+        self.new_var()
+    }
+
+    /// Adds `lits` guarded by `selector`: the stored clause is
+    /// `¬selector ∨ lits`, so it only constrains solves that assume
+    /// `selector` (pass it to [`Solver::solve_with_assumptions`]). Learnt
+    /// clauses derived from it mention `¬selector` and therefore stay
+    /// sound after the guard is dropped. Returns `false` if the solver is
+    /// already unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// As [`Solver::add_clause`].
+    pub fn add_guarded_clause(&mut self, selector: Lit, lits: &[Lit]) -> bool {
+        let mut guarded: Vec<Lit> = Vec::with_capacity(lits.len() + 1);
+        guarded.push(selector.negate());
+        guarded.extend_from_slice(lits);
+        let (ok, cref) = self.add_clause_ref(&guarded);
+        if let Some(cref) = cref {
+            self.guarded.entry(selector.var().0).or_default().push(cref);
+        }
+        ok
+    }
+
+    /// Lifts `vars` to the front of the VSIDS branching order by raising
+    /// their activity to the current maximum. Incremental sessions call
+    /// this for freshly encoded query structure, which would otherwise
+    /// start cold (activity zero) behind stale hot variables left over
+    /// from earlier queries — exactly the variables the *current* query
+    /// needs the solver to branch on first.
+    pub fn prioritize_vars(&mut self, vars: &[SatVar]) {
+        if vars.is_empty() {
+            return;
+        }
+        let max = self.activity.iter().cloned().fold(0.0_f64, f64::max);
+        let boosted = max + self.var_inc;
+        if boosted > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_LIMIT;
+            }
+            self.var_inc *= 1.0 / RESCALE_LIMIT;
+        }
+        let max = self.activity.iter().cloned().fold(0.0_f64, f64::max);
+        for &v in vars {
+            self.activity[v.index()] = max + self.var_inc;
+            self.order.bumped(v, &self.activity);
+        }
+    }
+
+    /// Fixes every currently unassigned variable in `vars` at level zero
+    /// (to `false`; the polarity is arbitrary), permanently removing it
+    /// from future branching. Incremental sessions call this for the
+    /// auxiliary variables of a retracted encoding scope: their defining
+    /// clauses are gone, so leaving them undecided would only feed the
+    /// VSIDS queue dead weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called above decision level zero.
+    pub fn deaden_vars(&mut self, vars: &[SatVar]) {
+        assert!(self.trail_lim.is_empty(), "level-zero operation only");
+        for &v in vars {
+            if self.assigns[v.index()].is_undef() {
+                self.add_clause(&[Lit::neg(v)]);
+            }
+        }
+    }
+
+    /// Detaches every clause (problem or learnt) that is satisfied by
+    /// the level-zero trail — MiniSat's `removeSatisfied`. In an
+    /// incremental session, retiring a selector fixes `¬selector` at
+    /// level zero, which permanently satisfies every learnt clause
+    /// derived under that assumption; without this sweep those clauses
+    /// sit in the watch lists forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called above decision level zero.
+    pub fn simplify_satisfied(&mut self) {
+        assert!(self.trail_lim.is_empty(), "level-zero simplification only");
+        if !self.ok {
+            return;
+        }
+        for cref in 0..self.clauses.len() as ClauseRef {
+            let c = &self.clauses[cref as usize];
+            if c.deleted {
+                continue;
+            }
+            let satisfied = c.lits.iter().any(|&l| self.value_lit(l).is_true());
+            if satisfied {
+                // Level-zero reasons are never expanded by conflict
+                // analysis (it stops at level zero), so detaching a
+                // locked satisfied clause is sound.
+                self.detach_clause(cref);
+            }
+        }
+        self.learnt_refs
+            .retain(|&r| !self.clauses[r as usize].deleted);
+        self.stats.learnt_clauses = self.learnt_refs.len() as u64;
+    }
+
+    /// Permanently retires `selector`: asserts `¬selector` at level zero
+    /// (so no future solve can activate its clauses) and physically
+    /// detaches every clause that was guarded by it, so dead root clauses
+    /// stop burdening watched-literal propagation.
+    pub fn retire_selector(&mut self, selector: Lit) {
+        if let Some(crefs) = self.guarded.remove(&selector.var().0) {
+            for cref in crefs {
+                if !self.clauses[cref as usize].deleted {
+                    self.detach_clause(cref);
+                }
+            }
+        }
+        self.add_clause(&[selector.negate()]);
     }
 
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
@@ -388,21 +526,25 @@ impl Solver {
             p = Some(lit);
         }
 
-        // Local minimisation: drop literals implied by the rest.
-        let keep: Vec<bool> = learnt
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| i == 0 || !self.literal_redundant(l, &learnt))
-            .collect();
+        // Recursive minimisation: drop literals whose negation is implied
+        // by the remaining clause literals and level-zero facts.
+        let mut to_clear: Vec<SatVar> = Vec::new();
+        let mut keep = vec![true; learnt.len()];
+        for (i, k) in keep.iter_mut().enumerate().skip(1) {
+            *k = !self.literal_redundant(learnt[i], &mut to_clear);
+        }
         let mut minimized: Vec<Lit> = learnt
             .iter()
             .zip(&keep)
             .filter_map(|(&l, &k)| if k { Some(l) } else { None })
             .collect();
 
-        // Clear seen flags.
+        // Clear seen flags (clause literals and redundancy-walk marks).
         for &l in &learnt {
             self.seen[l.var().index()] = false;
+        }
+        for v in to_clear {
+            self.seen[v.index()] = false;
         }
 
         // Compute backjump level: the highest level among minimized[1..].
@@ -423,24 +565,55 @@ impl Solver {
         (minimized, backjump)
     }
 
-    /// A learnt literal is redundant when its reason's literals are all
-    /// already in the learnt clause (marked seen) or at level zero.
-    fn literal_redundant(&self, l: Lit, _learnt: &[Lit]) -> bool {
-        match self.reason[l.var().index()] {
-            None => false,
-            Some(cref) => self.clauses[cref as usize].lits.iter().all(|&q| {
-                q.var() == l.var()
-                    || self.seen[q.var().index()]
-                    || self.level[q.var().index()] == 0
-            }),
+    /// Recursive learnt-clause minimisation (MiniSat's `litRedundant`,
+    /// implemented iteratively): `l` is redundant when every path from it
+    /// backwards through the implication graph terminates at literals
+    /// already in the learnt clause (marked `seen`) or fixed at level
+    /// zero. Variables proven on-path are marked `seen` and recorded in
+    /// `to_clear` — both as memoisation across the clause's literals and
+    /// so the caller can unmark them afterwards.
+    fn literal_redundant(&mut self, l: Lit, to_clear: &mut Vec<SatVar>) -> bool {
+        if self.reason[l.var().index()].is_none() {
+            return false; // decisions are never redundant
         }
+        let top = to_clear.len();
+        let mut stack = std::mem::take(&mut self.redundant_stack);
+        stack.clear();
+        stack.push(l);
+        let mut redundant = true;
+        'walk: while let Some(p) = stack.pop() {
+            let cref = self.reason[p.var().index()].expect("walk reached a decision");
+            // The reason clause's first literal is the propagated one (p
+            // itself); every other literal must itself be accounted for.
+            let len = self.clauses[cref as usize].lits.len();
+            for k in 1..len {
+                let q = self.clauses[cref as usize].lits[k];
+                let v = q.var();
+                if self.seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                if self.reason[v.index()].is_none() {
+                    // A decision outside the clause: `l` must be kept.
+                    // Undo the marks this walk added.
+                    for &x in &to_clear[top..] {
+                        self.seen[x.index()] = false;
+                    }
+                    to_clear.truncate(top);
+                    redundant = false;
+                    break 'walk;
+                }
+                self.seen[v.index()] = true;
+                to_clear.push(v);
+                stack.push(q);
+            }
+        }
+        stack.clear();
+        self.redundant_stack = stack;
+        redundant
     }
 
     fn lbd_of(&self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits
-            .iter()
-            .map(|l| self.level[l.var().index()])
-            .collect();
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
         levels.sort_unstable();
         levels.dedup();
         levels.len() as u32
@@ -477,9 +650,11 @@ impl Solver {
         refs.sort_by(|&a, &b| {
             let ca = &self.clauses[a as usize];
             let cb = &self.clauses[b as usize];
-            cb.lbd
-                .cmp(&ca.lbd)
-                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let target = refs.len() / 2;
         let mut removed = 0;
@@ -512,7 +687,15 @@ impl Solver {
         };
         self.watches[w0].retain(|w| w.cref != cref);
         self.watches[w1].retain(|w| w.cref != cref);
-        self.clauses[cref as usize].deleted = true;
+        let c = &mut self.clauses[cref as usize];
+        c.deleted = true;
+        // Release the literal storage: detached clauses are never read
+        // again (they leave every watch list, and only reasons of
+        // level-zero assignments can still reference them — conflict
+        // analysis never expands level-zero reasons). Long incremental
+        // sessions detach clauses en masse, so keeping the `Vec`s alive
+        // would leak the whole session history.
+        c.lits = Vec::new();
     }
 
     /// Luby restart sequence: 1,1,2,1,1,2,4,... (`x` is zero-based).
@@ -589,11 +772,7 @@ impl Solver {
                 }
                 match self.pick_branch() {
                     None => {
-                        self.model = self
-                            .assigns
-                            .iter()
-                            .map(|a| a.is_true())
-                            .collect();
+                        self.model = self.assigns.iter().map(|a| a.is_true()).collect();
                         break SatResult::Sat;
                     }
                     Some(decision) => {
@@ -674,14 +853,7 @@ mod tests {
         // XOR-like constraints: x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 ⊕ x3 = 1: unsat.
         let mut s = solver_with(
             3,
-            &[
-                &[1, 2],
-                &[-1, -2],
-                &[2, 3],
-                &[-2, -3],
-                &[1, 3],
-                &[-1, -3],
-            ],
+            &[&[1, 2], &[-1, -2], &[2, 3], &[-2, -3], &[1, 3], &[-1, -3]],
         );
         assert_eq!(s.solve(), SatResult::Unsat);
         // Drop one parity constraint: sat.
@@ -722,10 +894,7 @@ mod tests {
     #[test]
     fn assumptions_are_temporary() {
         let mut s = solver_with(2, &[&[1, 2]]);
-        assert_eq!(
-            s.solve_with_assumptions(&lits(&[-1, -2])),
-            SatResult::Unsat
-        );
+        assert_eq!(s.solve_with_assumptions(&lits(&[-1, -2])), SatResult::Unsat);
         // The solver is reusable: without assumptions it is sat again.
         assert_eq!(s.solve(), SatResult::Sat);
         assert_eq!(s.solve_with_assumptions(&lits(&[-1])), SatResult::Sat);

@@ -168,8 +168,7 @@ mod tests {
         // uncomputed; a2 (wire 6) is used as a control, so automatic
         // verified reduction hosts only a1…
         let circuit = fig_3_1a();
-        let (reduced, plan) =
-            reduce_width(&circuit, &[5, 6], &VerifyOptions::default()).unwrap();
+        let (reduced, plan) = reduce_width(&circuit, &[5, 6], &VerifyOptions::default()).unwrap();
         assert_eq!(plan.saved(), 1);
         assert_eq!(plan.unhosted, vec![6]);
         assert_eq!(reduced.num_qubits(), 6);
@@ -243,13 +242,12 @@ mod tests {
     fn reduction_preserves_functionality_on_working_qubits() {
         use qb_circuit::{permutation_of, simulate_classical, BitState};
         let circuit = fig_3_1a();
-        let (reduced, plan) =
-            reduce_width(&circuit, &[5], &VerifyOptions::default()).unwrap();
+        let (reduced, plan) = reduce_width(&circuit, &[5], &VerifyOptions::default()).unwrap();
         assert_eq!(plan.saved(), 1);
         // For every input, the reduced circuit (a1 hosted on q3) computes
         // the same function on all remaining wires.
         let perm = permutation_of(&reduced).unwrap();
-        for x in 0..(1usize << 6) {
+        for (x, &image) in perm.iter().enumerate().take(1 << 6) {
             // Compare against the original with a1 set to q3's borrowed
             // value — the safe-uncomputation property makes the result
             // independent of the borrowed wire's content.
@@ -259,11 +257,9 @@ mod tests {
             full[5] = bits[2] ^ bits[1]; // q3's value during a1's period
             full[6] = bits[5];
             let out = simulate_classical(&circuit, &BitState::from_bits(&full)).unwrap();
-            let expect: usize = (0..5)
-                .map(|i| (out.get(i) as usize) << i)
-                .sum::<usize>()
+            let expect: usize = (0..5).map(|i| (out.get(i) as usize) << i).sum::<usize>()
                 | (out.get(6) as usize) << 5;
-            assert_eq!(perm[x], expect, "input {x:b}");
+            assert_eq!(image, expect, "input {x:b}");
         }
     }
 }

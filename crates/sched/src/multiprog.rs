@@ -185,8 +185,7 @@ mod tests {
     fn packing_saves_width_and_preserves_the_host() {
         let a = host_program();
         let b = fig_1_3_cccnot_with_dirty(); // borrows wire 2 as dirty
-        let report =
-            pack_programs(&a, &b, &[2], &VerifyOptions::default()).unwrap();
+        let report = pack_programs(&a, &b, &[2], &VerifyOptions::default()).unwrap();
         assert_eq!(report.naive_width, 8);
         assert_eq!(report.packed_width, 7);
         assert_eq!(report.saved(), 1);
@@ -195,10 +194,10 @@ mod tests {
         // (hosted on A's qubit 0) is untouched as far as A is concerned.
         let perm = permutation_of(&report.combined).unwrap();
         let a_perm = permutation_of(&a).unwrap();
-        for x in 0..(1usize << 7) {
+        for (x, &image) in perm.iter().enumerate().take(1 << 7) {
             let a_part = x & 0b111;
             let expected_a = a_perm[a_part];
-            assert_eq!(perm[x] & 0b111, expected_a, "host state preserved");
+            assert_eq!(image & 0b111, expected_a, "host state preserved");
         }
     }
 
@@ -214,8 +213,7 @@ mod tests {
     fn width_limits_are_enforced() {
         let a = Circuit::new(1);
         let b = fig_1_3_cccnot_with_dirty();
-        let err =
-            pack_programs(&a, &b, &[0, 1, 2], &VerifyOptions::default()).unwrap_err();
+        let err = pack_programs(&a, &b, &[0, 1, 2], &VerifyOptions::default()).unwrap_err();
         assert!(matches!(err, PackError::NotEnoughHostQubits { .. }));
     }
 
@@ -236,8 +234,8 @@ mod tests {
                 for i in 0..3 {
                     bits[1 + i] = controls >> i & 1 == 1;
                 }
-                let out = simulate_classical(&report.combined, &BitState::from_bits(&bits))
-                    .unwrap();
+                let out =
+                    simulate_classical(&report.combined, &BitState::from_bits(&bits)).unwrap();
                 let fired = controls == 7;
                 assert_eq!(out.get(4), fired, "target correct, host={host_bit}");
                 assert_eq!(out.get(0), host_bit, "host bit restored");

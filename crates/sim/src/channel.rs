@@ -128,8 +128,7 @@ impl Measurement {
     pub fn from_operators(m_true: Matrix, m_false: Matrix) -> Self {
         debug_assert!(
             {
-                let sum = m_true.adjoint().mul_mat(&m_true)
-                    + m_false.adjoint().mul_mat(&m_false);
+                let sum = m_true.adjoint().mul_mat(&m_true) + m_false.adjoint().mul_mat(&m_false);
                 sum.approx_eq(&Matrix::identity(m_true.rows()), 1e-9)
             },
             "measurement operators must satisfy completeness"

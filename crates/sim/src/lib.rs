@@ -47,59 +47,93 @@ pub use state::{matrix_of_gate, unitary_of, StateVector};
 pub use superop::SuperOp;
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
     use qb_circuit::{permutation_of, Circuit, Gate};
+    use qb_testutil::Rng;
 
     const NQ: usize = 4;
+    const CASES: usize = 48;
 
-    fn arb_gate() -> impl Strategy<Value = Gate> {
-        prop_oneof![
-            (0..NQ).prop_map(Gate::X),
-            (0..NQ).prop_map(Gate::H),
-            (0..NQ).prop_map(Gate::T),
-            (-3.0f64..3.0, 0..NQ).prop_map(|(theta, q)| Gate::Phase { theta, q }),
-            (0..NQ, 0..NQ)
-                .prop_filter("distinct", |(c, t)| c != t)
-                .prop_map(|(c, t)| Gate::Cnot { c, t }),
-            (0..NQ, 0..NQ, 0..NQ)
-                .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c)
-                .prop_map(|(c1, c2, t)| Gate::Toffoli { c1, c2, t }),
-        ]
-    }
-
-    fn arb_circuit(max_len: usize) -> impl Strategy<Value = Circuit> {
-        proptest::collection::vec(arb_gate(), 0..max_len).prop_map(|gates| {
-            let mut c = Circuit::new(NQ);
-            for g in gates {
-                c.push(g);
+    fn rand_gate(rng: &mut Rng) -> Gate {
+        match rng.gen_below(6) {
+            0 => Gate::X(rng.gen_below(NQ)),
+            1 => Gate::H(rng.gen_below(NQ)),
+            2 => Gate::T(rng.gen_below(NQ)),
+            3 => Gate::Phase {
+                theta: rng.gen_f64_range(-3.0, 3.0),
+                q: rng.gen_below(NQ),
+            },
+            4 => {
+                let (c, t) = rng.gen_distinct2(NQ);
+                Gate::Cnot { c, t }
             }
-            c
-        })
+            _ => {
+                let (c1, c2, t) = rng.gen_distinct3(NQ);
+                Gate::Toffoli { c1, c2, t }
+            }
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Every circuit produces a unitary matrix.
-        #[test]
-        fn circuits_are_unitary(c in arb_circuit(12)) {
-            prop_assert!(unitary_of(&c).is_unitary(1e-9));
+    fn rand_circuit(rng: &mut Rng, max_len: usize) -> Circuit {
+        let len = rng.gen_below(max_len);
+        let mut c = Circuit::new(NQ);
+        for _ in 0..len {
+            c.push(rand_gate(rng));
         }
+        c
+    }
 
-        /// State-vector norms are preserved.
-        #[test]
-        fn norm_preservation(c in arb_circuit(12), basis in 0usize..(1 << NQ)) {
+    /// Only X/CNOT/Toffoli: always classical.
+    fn rand_classical_circuit(rng: &mut Rng, max_len: usize) -> Circuit {
+        let len = rng.gen_below(max_len);
+        let mut c = Circuit::new(NQ);
+        for _ in 0..len {
+            let g = match rng.gen_below(3) {
+                0 => Gate::X(rng.gen_below(NQ)),
+                1 => {
+                    let (c0, t) = rng.gen_distinct2(NQ);
+                    Gate::Cnot { c: c0, t }
+                }
+                _ => {
+                    let (c1, c2, t) = rng.gen_distinct3(NQ);
+                    Gate::Toffoli { c1, c2, t }
+                }
+            };
+            c.push(g);
+        }
+        c
+    }
+
+    /// Every circuit produces a unitary matrix.
+    #[test]
+    fn circuits_are_unitary() {
+        let mut rng = Rng::new(0x51A0);
+        for _ in 0..CASES {
+            let c = rand_circuit(&mut rng, 12);
+            assert!(unitary_of(&c).is_unitary(1e-9));
+        }
+    }
+
+    /// State-vector norms are preserved.
+    #[test]
+    fn norm_preservation() {
+        let mut rng = Rng::new(0x51A1);
+        for _ in 0..CASES {
+            let c = rand_circuit(&mut rng, 12);
+            let basis = rng.gen_below(1 << NQ);
             let s = StateVector::basis(NQ, basis).run(&c);
-            prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+            assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
         }
+    }
 
-        /// For classical circuits the unitary is the basis permutation
-        /// computed by the bit-level simulator (modulo endianness mapping).
-        #[test]
-        fn classical_unitary_matches_bit_simulation(c in arb_circuit(12)) {
-            prop_assume!(c.is_classical());
+    /// For classical circuits the unitary is the basis permutation
+    /// computed by the bit-level simulator (modulo endianness mapping).
+    #[test]
+    fn classical_unitary_matches_bit_simulation() {
+        let mut rng = Rng::new(0x51A2);
+        for _ in 0..CASES {
+            let c = rand_classical_circuit(&mut rng, 12);
             let u = unitary_of(&c);
             let perm = permutation_of(&c).unwrap();
             // BitState packs qubit i at integer bit i (little-endian);
@@ -109,31 +143,39 @@ mod proptests {
             };
             for (input, &output) in perm.iter().enumerate() {
                 let s = StateVector::basis(NQ, reverse(input)).run(&c);
-                prop_assert!((s.probability(reverse(output)) - 1.0).abs() < 1e-9);
+                assert!((s.probability(reverse(output)) - 1.0).abs() < 1e-9);
             }
-            prop_assert!(u.is_unitary(1e-9));
+            assert!(u.is_unitary(1e-9));
         }
+    }
 
-        /// Channel of a circuit equals the composition of per-gate channels.
-        #[test]
-        fn channel_composition(c in arb_circuit(6)) {
+    /// Channel of a circuit equals the composition of per-gate channels.
+    #[test]
+    fn channel_composition() {
+        let mut rng = Rng::new(0x51A3);
+        for _ in 0..CASES / 2 {
+            let c = rand_circuit(&mut rng, 6);
             let whole = Channel::from_circuit(&c);
             let mut composed = Channel::identity(NQ);
             for g in c.gates() {
                 composed = composed.then(&Channel::from_gate(NQ, g));
             }
-            prop_assert!(whole.approx_eq(&composed, 1e-7));
+            assert!(whole.approx_eq(&composed, 1e-7));
         }
+    }
 
-        /// Partial trace is trace preserving and order insensitive.
-        #[test]
-        fn partial_trace_properties(c in arb_circuit(10)) {
+    /// Partial trace is trace preserving and order insensitive.
+    #[test]
+    fn partial_trace_properties() {
+        let mut rng = Rng::new(0x51A4);
+        for _ in 0..CASES / 2 {
+            let c = rand_circuit(&mut rng, 10);
             let rho = DensityMatrix::from_pure(&StateVector::zero(NQ).run(&c));
             let reduced = rho.partial_trace(&[1, 3]);
-            prop_assert!((reduced.trace() - 1.0).abs() < 1e-9);
+            assert!((reduced.trace() - 1.0).abs() < 1e-9);
             let reduced_again = reduced.partial_trace(&[0]);
             let direct = rho.partial_trace(&[1]);
-            prop_assert!(reduced_again.approx_eq(&direct, 1e-9));
+            assert!(reduced_again.approx_eq(&direct, 1e-9));
         }
     }
 }

@@ -145,10 +145,7 @@ pub fn takahashi_adder(n: usize) -> (Circuit, AdderLayout) {
 /// and unloading. The clean-ancilla count is `n` (Takahashi) or `n + 2`
 /// qubits of which Fig. 1.1 counts `n + 1` (register + carry ancilla;
 /// the carry-out is only needed for the full-width sum).
-fn constant_wrapper(
-    base: (Circuit, AdderLayout),
-    constant: u64,
-) -> (Circuit, AdderLayout) {
+fn constant_wrapper(base: (Circuit, AdderLayout), constant: u64) -> (Circuit, AdderLayout) {
     let (adder, layout) = base;
     let mut c = Circuit::new(adder.num_qubits());
     for i in 0..layout.n {
@@ -192,8 +189,7 @@ pub fn draper_const_adder(n: usize, constant: u64) -> Circuit {
     // e^{2πi b / 2^{k+1}}; adding the constant therefore rotates qubit k
     // by 2π c / 2^{k+1}.
     for k in 0..n {
-        let theta =
-            2.0 * std::f64::consts::PI * (constant as f64) / 2f64.powi(k as i32 + 1);
+        let theta = 2.0 * std::f64::consts::PI * (constant as f64) / 2f64.powi(k as i32 + 1);
         c.phase(theta, k);
     }
     inverse_qft(&mut c, n);
@@ -241,11 +237,8 @@ mod tests {
             bits[layout.b + i] = b >> i & 1 == 1;
         }
         let out = simulate_classical(circuit, &BitState::from_bits(&bits)).unwrap();
-        let read = |base: usize| -> u64 {
-            (0..layout.n)
-                .map(|i| (out.get(base + i) as u64) << i)
-                .sum()
-        };
+        let read =
+            |base: usize| -> u64 { (0..layout.n).map(|i| (out.get(base + i) as u64) << i).sum() };
         let carry_out = layout.carry_out.map(|z| out.get(z)).unwrap_or(false);
         if let Some(anc) = layout.carry_ancilla {
             assert!(!out.get(anc), "carry ancilla must be restored to |0>");
@@ -284,14 +277,13 @@ mod tests {
 
     #[test]
     fn adders_add_wide_random() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = qb_testutil::Rng::new(7);
         for n in [8, 16, 31] {
             let (cu, cu_layout) = cuccaro_adder(n);
             let (tk, tk_layout) = takahashi_adder(n);
             for _ in 0..50 {
-                let a = rng.gen::<u64>() & ((1 << n) - 1);
-                let b = rng.gen::<u64>() & ((1 << n) - 1);
+                let a = rng.next_u64() & ((1 << n) - 1);
+                let b = rng.next_u64() & ((1 << n) - 1);
                 let expect = (a + b) & ((1 << n) - 1);
                 assert_eq!(run_adder(&cu, &cu_layout, a, b).1, expect);
                 assert_eq!(run_adder(&tk, &tk_layout, a, b).1, expect);
@@ -328,8 +320,7 @@ mod tests {
                     let bits: Vec<bool> = (0..n).map(|i| b >> i & 1 == 1).collect();
                     let out = StateVector::from_bits(&bits).run(&circuit);
                     let expect = (b + constant) % (1 << n);
-                    let expect_bits: Vec<bool> =
-                        (0..n).map(|i| expect >> i & 1 == 1).collect();
+                    let expect_bits: Vec<bool> = (0..n).map(|i| expect >> i & 1 == 1).collect();
                     let target = StateVector::from_bits(&expect_bits);
                     assert!(
                         out.equal_up_to_phase(&target, 1e-8),

@@ -81,10 +81,7 @@ pub fn carry_gadget(n: usize) -> (Circuit, CarryLayout) {
 /// Panics for `n < 3` or a constant wider than `n − 1` bits.
 pub fn carry_gadget_with_constant(n: usize, constant: u64) -> (Circuit, CarryLayout) {
     assert!(n >= 3, "the carry gadget requires n >= 3");
-    assert!(
-        constant < (1 << (n - 1)),
-        "constant must fit in n-1 bits"
-    );
+    assert!(constant < (1 << (n - 1)), "constant must fit in n-1 bits");
     // carry(s + c) = carry(s + (all-ones)) after mapping s ↦ s ⊕ pattern…
     // the direct approach: conjugate the all-ones gadget with X gates on
     // the bits where c has a zero — carry(s + c) for the comparator form
@@ -219,7 +216,7 @@ pub fn dirty_constant_adder(n: usize, constant: u64) -> (Circuit, IncrementerLay
 mod tests {
     use super::*;
     use qb_circuit::{simulate_classical, BitState};
-    use rand::{Rng, SeedableRng};
+    use qb_testutil::Rng;
 
     #[test]
     fn carry_gadget_matches_qbr_elaboration() {
@@ -311,12 +308,12 @@ mod tests {
 
     #[test]
     fn dirty_constant_adder_adds() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = Rng::new(11);
         for n in [4usize, 6] {
             for _ in 0..20 {
-                let constant = rng.gen::<u64>() & ((1 << n) - 1);
-                let v = rng.gen::<u64>() & ((1 << n) - 1);
-                let g = rng.gen::<u64>() & ((1 << n) - 1);
+                let constant = rng.next_u64() & ((1 << n) - 1);
+                let v = rng.next_u64() & ((1 << n) - 1);
+                let g = rng.next_u64() & ((1 << n) - 1);
                 let (c, layout) = dirty_constant_adder(n, constant);
                 let mut bits = vec![false; 2 * n];
                 for i in 0..n {

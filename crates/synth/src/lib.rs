@@ -32,34 +32,36 @@ mod mcx;
 mod resources;
 
 pub use adders::{
-    cuccaro_adder, cuccaro_const_adder, draper_const_adder, takahashi_adder,
-    takahashi_const_adder, AdderLayout,
+    cuccaro_adder, cuccaro_const_adder, draper_const_adder, takahashi_adder, takahashi_const_adder,
+    AdderLayout,
 };
 pub use figures::{
     fig_1_3_cccnot_with_dirty, fig_1_3_reference, fig_1_4_counterexample, fig_3_1a, fig_3_1c,
 };
 pub use haner::{
-    carry_gadget, carry_gadget_with_constant, dirty_constant_adder, dirty_incrementer,
-    CarryLayout, IncrementerLayout,
+    carry_gadget, carry_gadget_with_constant, dirty_constant_adder, dirty_incrementer, CarryLayout,
+    IncrementerLayout,
 };
 pub use mcx::{gidney_mcx, ladder_mcx, naive_mcx, McxLayout};
 pub use resources::{fig_1_1_table, ResourceRow};
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
     use qb_circuit::{simulate_classical, BitState};
+    use qb_testutil::Rng;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    const CASES: usize = 32;
 
-        /// The carry gadget computes the carry for random widths/inputs.
-        #[test]
-        fn carry_gadget_random(n in 3usize..12, s_seed: u64, dirt_seed: u64) {
+    /// The carry gadget computes the carry for random widths/inputs.
+    #[test]
+    fn carry_gadget_random() {
+        let mut rng = Rng::new(0x5B00);
+        for _ in 0..CASES {
+            let n = rng.gen_range(3, 12);
             let (c, layout) = carry_gadget(n);
-            let s = s_seed & ((1 << (n - 1)) - 1);
-            let dirt = dirt_seed & ((1 << (n - 1)) - 1);
+            let s = rng.next_u64() & ((1 << (n - 1)) - 1);
+            let dirt = rng.next_u64() & ((1 << (n - 1)) - 1);
             let mut bits = vec![false; c.num_qubits()];
             for i in 0..n - 1 {
                 bits[layout.q + i] = s >> i & 1 == 1;
@@ -67,31 +69,42 @@ mod proptests {
             }
             let out = simulate_classical(&c, &BitState::from_bits(&bits)).unwrap();
             let carry = (s + (1 << (n - 1)) - 1) >> (n - 1) & 1 == 1;
-            prop_assert_eq!(out.get(layout.q + n - 1), carry ^ true);
+            assert_eq!(out.get(layout.q + n - 1), carry ^ true);
             for i in 0..n - 1 {
-                prop_assert_eq!(out.get(layout.a + i), bits[layout.a + i]);
+                assert_eq!(out.get(layout.a + i), bits[layout.a + i]);
             }
         }
+    }
 
-        /// The Gidney MCX equals the primitive gate on random inputs.
-        #[test]
-        fn gidney_mcx_random(m in 4usize..9, input_seed: u64) {
+    /// The Gidney MCX equals the primitive gate on random inputs.
+    #[test]
+    fn gidney_mcx_random() {
+        let mut rng = Rng::new(0x5B01);
+        for _ in 0..CASES {
+            let m = rng.gen_range(4, 9);
             let (c, layout) = gidney_mcx(m);
             let width = c.num_qubits();
-            let input = input_seed & ((1 << width) - 1);
+            let input = rng.next_u64() & ((1 << width) - 1);
             let bits = BitState::from_value(width, input);
             let out = simulate_classical(&c, &bits).unwrap();
             let all = (0..layout.controls).all(|i| bits.get(layout.first_control + i));
-            prop_assert_eq!(out.get(layout.target), bits.get(layout.target) ^ all);
-            prop_assert_eq!(out.get(layout.dirty.unwrap()), bits.get(layout.dirty.unwrap()));
+            assert_eq!(out.get(layout.target), bits.get(layout.target) ^ all);
+            assert_eq!(
+                out.get(layout.dirty.unwrap()),
+                bits.get(layout.dirty.unwrap())
+            );
         }
+    }
 
-        /// Incrementers increment for all widths and dirty contents.
-        #[test]
-        fn incrementer_random(n in 1usize..10, v_seed: u64, g_seed: u64) {
+    /// Incrementers increment for all widths and dirty contents.
+    #[test]
+    fn incrementer_random() {
+        let mut rng = Rng::new(0x5B02);
+        for _ in 0..CASES {
+            let n = rng.gen_range(1, 10);
             let (c, layout) = dirty_incrementer(n);
-            let v = v_seed & ((1 << n) - 1);
-            let g = g_seed & ((1 << n) - 1);
+            let v = rng.next_u64() & ((1 << n) - 1);
+            let g = rng.next_u64() & ((1 << n) - 1);
             let mut bits = vec![false; 2 * n];
             for i in 0..n {
                 bits[layout.v + i] = v >> i & 1 == 1;
@@ -100,8 +113,8 @@ mod proptests {
             let out = simulate_classical(&c, &BitState::from_bits(&bits)).unwrap();
             let v_out: u64 = (0..n).map(|i| (out.get(layout.v + i) as u64) << i).sum();
             let g_out: u64 = (0..n).map(|i| (out.get(layout.g + i) as u64) << i).sum();
-            prop_assert_eq!(v_out, (v + 1) % (1 << n));
-            prop_assert_eq!(g_out, g);
+            assert_eq!(v_out, (v + 1) % (1 << n));
+            assert_eq!(g_out, g);
         }
     }
 }

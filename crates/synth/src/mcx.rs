@@ -165,11 +165,11 @@ pub fn ladder_mcx(k: usize) -> (Circuit, McxLayout) {
 mod tests {
     use super::*;
     use qb_circuit::{simulate_classical, BitState};
-    use rand::{Rng, SeedableRng};
+    use qb_testutil::Rng;
 
     fn check_mcx(circuit: &Circuit, layout: &McxLayout, trials: u64, seed: u64) {
         let width = circuit.num_qubits();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let mut cases: Vec<Vec<bool>> = Vec::new();
         // All-controls-on cases (the firing cases) plus random ones.
         for t in [false, true] {
@@ -188,13 +188,16 @@ mod tests {
             }
         }
         for _ in 0..trials {
-            cases.push((0..width).map(|_| rng.gen()).collect());
+            cases.push((0..width).map(|_| rng.gen_bool()).collect());
         }
         for bits in cases {
             let out = simulate_classical(circuit, &BitState::from_bits(&bits)).unwrap();
             let all = (0..layout.controls).all(|i| bits[layout.first_control + i]);
             for i in 0..layout.controls {
-                assert_eq!(out.get(layout.first_control + i), bits[layout.first_control + i]);
+                assert_eq!(
+                    out.get(layout.first_control + i),
+                    bits[layout.first_control + i]
+                );
             }
             if let Some(d0) = layout.dirty {
                 for i in 0..layout.num_dirty {
@@ -263,8 +266,9 @@ mod tests {
         assert!(report.all_safe());
 
         let (c, layout) = ladder_mcx(6);
-        let targets: Vec<usize> =
-            (0..layout.num_dirty).map(|i| layout.dirty.unwrap() + i).collect();
+        let targets: Vec<usize> = (0..layout.num_dirty)
+            .map(|i| layout.dirty.unwrap() + i)
+            .collect();
         let report = verify_circuit(
             &c,
             &vec![InitialValue::Free; c.num_qubits()],

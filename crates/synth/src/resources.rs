@@ -81,15 +81,7 @@ pub fn fig_1_1_table(n: usize) -> Vec<ResourceRow> {
     let (carry, _) = carry_gadget(n.max(3));
     let (dirty_add, _) = dirty_constant_adder(n, constant);
     vec![
-        row(
-            "Cuccaro",
-            n,
-            &cuccaro,
-            n + 1,
-            0,
-            "Θ(n)",
-            "n+1 (clean)",
-        ),
+        row("Cuccaro", n, &cuccaro, n + 1, 0, "Θ(n)", "n+1 (clean)"),
         row("Takahashi", n, &takahashi, n, 0, "Θ(n)", "n (clean)"),
         row("Draper", n, &draper, 0, 0, "Θ(n²)", "0"),
         row(

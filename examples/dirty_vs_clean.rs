@@ -13,7 +13,10 @@ fn main() {
 
     // Fig. 1.3: safely uncomputed dirty qubit.
     let cccnot = fig_1_3_cccnot_with_dirty();
-    let labels: Vec<String> = ["q1", "q2", "a", "q3", "q4"].iter().map(|s| s.to_string()).collect();
+    let labels: Vec<String> = ["q1", "q2", "a", "q3", "q4"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     println!("Fig. 1.3 — CCCNOT from four Toffolis and a dirty qubit:\n");
     println!("{}", render_with_labels(&cccnot, &labels));
     let free = vec![InitialValue::Free; 5];
@@ -27,7 +30,9 @@ fn main() {
     println!("{}", render_with_labels(&copy, &labels));
     let free = vec![InitialValue::Free; 2];
     let clean = check_clean_uncomputation(&copy, &free, 0, &opts).unwrap();
-    let dirty = verify_circuit(&copy, &free, &[0], &opts).unwrap().all_safe();
+    let dirty = verify_circuit(&copy, &free, &[0], &opts)
+        .unwrap()
+        .all_safe();
     println!("clean-uncomputation check (basis states restored): {clean}");
     println!("dirty safe-uncomputation check:                    {dirty}");
 

@@ -23,9 +23,9 @@ fn main() {
     let bad_guest = fig_1_4_counterexample();
     match pack_programs(&resident, &bad_guest, &[0], &VerifyOptions::default()) {
         Ok(_) => println!("BUG: unsafe guest admitted"),
-        Err(PackError::UnsafeAncilla { ancilla }) => println!(
-            "unsafe guest rejected: its wire {ancilla} would leak the resident's state"
-        ),
+        Err(PackError::UnsafeAncilla { ancilla }) => {
+            println!("unsafe guest rejected: its wire {ancilla} would leak the resident's state")
+        }
         Err(e) => println!("rejected: {e}"),
     }
 }

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ";
     let program = elaborate(&parse(safe_source)?)?;
     let report = verify_program(&program, &VerifyOptions::default())?;
-    println!("CCCNOT gadget: all dirty qubits safe? {}", report.all_safe());
+    println!(
+        "CCCNOT gadget: all dirty qubits safe? {}",
+        report.all_safe()
+    );
     for v in &report.verdicts {
         println!(
             "  qubit {:<6} safe={} (|0> check {:?}, |+> check {:?})",
@@ -40,10 +43,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ";
     let program = elaborate(&parse(unsafe_source)?)?;
     let report = verify_program(&program, &VerifyOptions::default())?;
-    println!("\ncopy gadget: all dirty qubits safe? {}", report.all_safe());
+    println!(
+        "\ncopy gadget: all dirty qubits safe? {}",
+        report.all_safe()
+    );
     for v in &report.verdicts {
         if let Some(ce) = &v.counterexample {
-            println!("  qubit {} is UNSAFE: {}", program.qubit_name(v.qubit), ce.violation);
+            println!(
+                "  qubit {} is UNSAFE: {}",
+                program.qubit_name(v.qubit),
+                ce.violation
+            );
             if ce.violation == Violation::PlusNotRestored {
                 println!(
                     "  -> starting it in |+> on background {:?} entangles/dephases it",

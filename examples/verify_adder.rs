@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         program.circuit.size(),
         program.qubits_to_verify().len()
     );
-    let opts = VerifyOptions { backend, simplify, backend_options: BackendOptions::default() };
+    let opts = VerifyOptions {
+        backend,
+        simplify,
+        backend_options: BackendOptions::default(),
+    };
     let report = verify_program(&program, &opts)?;
     println!(
         "result: all safe = {} | construction {:?} | solver {:?} | formula nodes {}",

@@ -26,8 +26,7 @@ fn main() {
     let mut machine = qborrow::circuit::Circuit::new(gadget.num_qubits() + 3);
     machine.append(&gadget);
     let ancillas: Vec<usize> = (0..7).map(|i| layout.a + i).collect();
-    let (reduced, plan) =
-        reduce_width(&machine, &ancillas, &VerifyOptions::default()).unwrap();
+    let (reduced, plan) = reduce_width(&machine, &ancillas, &VerifyOptions::default()).unwrap();
     println!(
         "\ncarry gadget on a machine with 3 idle qubits: {} of {} dirty ancillas hosted, \
          width {} -> {}",

@@ -3,13 +3,18 @@
 //!
 //! ```text
 //! qborrow verify <file.qbr> [--backend sat|anf|bdd] [--simplify raw|full]
+//!                           [--jobs N]
 //! qborrow info   <file.qbr>
 //! qborrow render <file.qbr>
 //! ```
+//!
+//! `--jobs N` fans the per-qubit verification out over `N` worker
+//! threads (`--jobs 0` = all available cores), one incremental
+//! verification session per worker.
 
 use qborrow::circuit::render_with_labels;
 use qborrow::core::{
-    verify_program, BackendKind, BackendOptions, VerifyOptions, Violation,
+    verify_program, verify_program_parallel, BackendKind, BackendOptions, VerifyOptions, Violation,
 };
 use qborrow::formula::Simplify;
 use qborrow::lang::{elaborate, parse, ElaboratedProgram};
@@ -17,7 +22,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  qborrow verify <file.qbr> [--backend sat|anf|bdd] [--simplify raw|full]\n  qborrow info   <file.qbr>\n  qborrow render <file.qbr>"
+        "usage:\n  qborrow verify <file.qbr> [--backend sat|anf|bdd] [--simplify raw|full] [--jobs N]\n  qborrow info   <file.qbr>\n  qborrow render <file.qbr>"
     );
     ExitCode::from(2)
 }
@@ -76,9 +81,26 @@ fn main() -> ExitCode {
         "verify" => {
             let mut backend = BackendKind::Sat;
             let mut simplify = Simplify::Raw;
+            let mut jobs = 1usize;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
+                    "--jobs" => {
+                        jobs = match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                            Some(n) => n,
+                            None => match args.get(i + 1) {
+                                Some(bad) => {
+                                    eprintln!("--jobs expects a number, got {bad:?}");
+                                    return usage();
+                                }
+                                None => {
+                                    eprintln!("--jobs expects a number");
+                                    return usage();
+                                }
+                            },
+                        };
+                        i += 2;
+                    }
                     "--backend" => {
                         backend = match args.get(i + 1).map(String::as_str) {
                             Some("sat") => BackendKind::Sat,
@@ -118,7 +140,12 @@ fn main() -> ExitCode {
                 println!("{path}: no `borrow` qubits to verify (only borrow@/alloc)");
                 return ExitCode::SUCCESS;
             }
-            match verify_program(&program, &opts) {
+            let outcome = if jobs == 1 {
+                verify_program(&program, &opts)
+            } else {
+                verify_program_parallel(&program, &opts, jobs)
+            };
+            match outcome {
                 Err(e) => {
                     eprintln!("verification error: {e}");
                     ExitCode::FAILURE

@@ -2,9 +2,7 @@
 //! elaborate, verify with every backend, and cross-check against the
 //! direct circuit generators.
 
-use qborrow::core::{
-    verify_program, BackendKind, BackendOptions, VerifyOptions, Violation,
-};
+use qborrow::core::{verify_program, BackendKind, BackendOptions, VerifyOptions, Violation};
 use qborrow::formula::Simplify;
 use qborrow::lang::{adder_source, elaborate, mcx_source, parse};
 
@@ -115,8 +113,7 @@ fn sabotaged_benchmarks_are_caught_by_every_backend() {
             simplify: Simplify::Raw,
             backend_options: BackendOptions::default(),
         };
-        let report =
-            qborrow::core::verify_circuit(&broken, &initial, &targets, &opts).unwrap();
+        let report = qborrow::core::verify_circuit(&broken, &initial, &targets, &opts).unwrap();
         assert!(!report.all_safe(), "{backend} missed the fault");
     }
 }
@@ -139,8 +136,7 @@ fn scheduler_composes_with_verifier_end_to_end() {
     // example still passes the remaining checks.
     use qborrow::sched::reduce_width;
     let circuit = qborrow::synth::fig_3_1a();
-    let (reduced, plan) =
-        reduce_width(&circuit, &[5, 6], &VerifyOptions::default()).unwrap();
+    let (reduced, plan) = reduce_width(&circuit, &[5, 6], &VerifyOptions::default()).unwrap();
     assert_eq!(plan.saved(), 1);
     assert!(reduced.is_classical());
     // The reduced circuit is still a permutation (sanity via simulation).

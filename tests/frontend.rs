@@ -1,7 +1,7 @@
 //! Frontend robustness: grammar coverage, error reporting, and a fuzz of
 //! the full parse → elaborate → verify pipeline over generated programs.
 
-use proptest::prelude::*;
+use qb_testutil::Rng;
 use qborrow::core::{verify_program, VerifyOptions};
 use qborrow::lang::{elaborate, parse, Phase, QubitKind};
 
@@ -44,14 +44,22 @@ fn error_messages_carry_positions_and_phases() {
         ("let x = $;", Phase::Lex, "unexpected character"),
         ("let x = ;", Phase::Parse, "expected a number"),
         ("X[q[1];", Phase::Parse, "expected"),
-        ("borrow a; X[b];", Phase::Elaborate, "undeclared register 'b'"),
+        (
+            "borrow a; X[b];",
+            Phase::Elaborate,
+            "undeclared register 'b'",
+        ),
         ("borrow a[3]; X[a[9]];", Phase::Elaborate, "out of bounds"),
         (
             "borrow a; release a; X[a];",
             Phase::Elaborate,
             "after release",
         ),
-        ("let n = 9223372036854775807; let m = n * 2;", Phase::Elaborate, "overflow"),
+        (
+            "let n = 9223372036854775807; let m = n * 2;",
+            Phase::Elaborate,
+            "overflow",
+        ),
     ];
     for (source, phase, needle) in cases {
         let err = parse(source)
@@ -78,44 +86,39 @@ fn comments_and_whitespace_are_insignificant() {
 
 /// Generates a random well-formed QBorrow program: a couple of register
 /// declarations followed by gates/loops referencing them in range.
-fn arb_program() -> impl Strategy<Value = String> {
-    let sizes = (2usize..5, 2usize..5);
-    (sizes, proptest::collection::vec(0u8..6, 1..12), any::<bool>()).prop_map(
-        |((qs, amps), ops, dirty)| {
-            let decl = if dirty { "borrow" } else { "alloc" };
-            let mut src = format!("borrow@ q[{qs}];\n{decl} a[{amps}];\n");
-            for (i, op) in ops.iter().enumerate() {
-                let qi = i % qs + 1;
-                let ai = i % amps + 1;
-                match op {
-                    0 => src.push_str(&format!("X[q[{qi}]];\n")),
-                    1 => src.push_str(&format!("X[a[{ai}]];\n")),
-                    2 => src.push_str(&format!("CNOT[q[{qi}], a[{ai}]];\n")),
-                    3 => src.push_str(&format!("CNOT[a[{ai}], q[{qi}]];\n")),
-                    4 => src.push_str(&format!(
-                        "for i = 1 to {amps} {{ X[a[i]]; X[a[i]]; }}\n"
-                    )),
-                    _ => src.push_str(&format!(
-                        "CCNOT[q[{}], q[{}], a[{ai}]];\n",
-                        qi,
-                        qi % qs + 1
-                    )),
-                }
-            }
-            src
-        },
-    )
+fn rand_program(rng: &mut Rng) -> String {
+    let qs = rng.gen_range(2, 5);
+    let amps = rng.gen_range(2, 5);
+    let dirty = rng.gen_bool();
+    let decl = if dirty { "borrow" } else { "alloc" };
+    let mut src = format!("borrow@ q[{qs}];\n{decl} a[{amps}];\n");
+    let ops = rng.gen_range(1, 12);
+    for i in 0..ops {
+        let qi = i % qs + 1;
+        let ai = i % amps + 1;
+        match rng.gen_below(6) {
+            0 => src.push_str(&format!("X[q[{qi}]];\n")),
+            1 => src.push_str(&format!("X[a[{ai}]];\n")),
+            2 => src.push_str(&format!("CNOT[q[{qi}], a[{ai}]];\n")),
+            3 => src.push_str(&format!("CNOT[a[{ai}], q[{qi}]];\n")),
+            4 => src.push_str(&format!("for i = 1 to {amps} {{ X[a[i]]; X[a[i]]; }}\n")),
+            _ => src.push_str(&format!("CCNOT[q[{}], q[{}], a[{ai}]];\n", qi, qi % qs + 1)),
+        }
+    }
+    src
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every generated program survives the whole pipeline, and the
-    /// verifier's verdict matches the exact bit-level checker.
-    #[test]
-    fn pipeline_fuzz(source in arb_program()) {
+/// Every generated program survives the whole pipeline, and the
+/// verifier's verdict matches the exact bit-level checker.
+#[test]
+fn pipeline_fuzz() {
+    let mut rng = Rng::new(0xF8_01);
+    for _ in 0..48 {
+        let source = rand_program(&mut rng);
         let program = elaborate(&parse(&source).unwrap()).unwrap();
-        prop_assume!(program.num_qubits() <= 10);
+        if program.num_qubits() > 10 {
+            continue;
+        }
         let report = verify_program(&program, &VerifyOptions::default()).unwrap();
         for v in &report.verdicts {
             let exact = qborrow::core::exact::classical_circuit_safely_uncomputes(
@@ -129,22 +132,26 @@ proptest! {
             if program.qubit_kinds[v.qubit] == QubitKind::BorrowedDirty
                 && program.clean_qubits().is_empty()
             {
-                prop_assert_eq!(v.safe, exact, "{}", source);
+                assert_eq!(v.safe, exact, "{source}");
             }
             // Safety in the exact all-free sense always implies the
             // verifier accepts.
             if exact {
-                prop_assert!(v.safe, "{}", source);
+                assert!(v.safe, "{source}");
             }
         }
     }
+}
 
-    /// Re-parsing the rendered circuit info never panics (smoke).
-    #[test]
-    fn elaboration_is_deterministic(source in arb_program()) {
+/// Re-parsing the rendered circuit info never panics (smoke).
+#[test]
+fn elaboration_is_deterministic() {
+    let mut rng = Rng::new(0xF8_02);
+    for _ in 0..48 {
+        let source = rand_program(&mut rng);
         let a = elaborate(&parse(&source).unwrap()).unwrap();
         let b = elaborate(&parse(&source).unwrap()).unwrap();
-        prop_assert_eq!(a.circuit, b.circuit);
-        prop_assert_eq!(a.qubit_names, b.qubit_names);
+        assert_eq!(a.circuit, b.circuit);
+        assert_eq!(a.qubit_names, b.qubit_names);
     }
 }

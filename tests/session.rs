@@ -1,0 +1,188 @@
+//! Cross-checks of the incremental verification session against the
+//! fresh-solver pipeline on the paper's two benchmark families (the
+//! Håner carry gadget behind `adder.qbr` and the borrowed-bit Gidney
+//! MCX), in clean and dirty initial-value variants, plus parallel
+//! fan-out ordering guarantees.
+
+use qborrow::circuit::{simulate_classical, BitState, Circuit};
+use qborrow::core::{
+    verify_circuit, verify_circuit_fresh, verify_circuit_parallel, BackendKind, InitialValue,
+    VerificationReport, VerifyOptions, Violation,
+};
+use qborrow::formula::Simplify;
+use qborrow::synth::{carry_gadget, gidney_mcx};
+
+fn sat_options() -> Vec<VerifyOptions> {
+    [Simplify::Raw, Simplify::Full]
+        .into_iter()
+        .map(|simplify| VerifyOptions {
+            backend: BackendKind::Sat,
+            simplify,
+            ..VerifyOptions::default()
+        })
+        .collect()
+}
+
+fn assert_same_verdicts(a: &VerificationReport, b: &VerificationReport, tag: &str) {
+    assert_eq!(a.verdicts.len(), b.verdicts.len(), "{tag}");
+    for (x, y) in a.verdicts.iter().zip(&b.verdicts) {
+        assert_eq!(x.qubit, y.qubit, "{tag}");
+        assert_eq!(x.safe, y.safe, "{tag}: qubit {}", x.qubit);
+        assert_eq!(
+            x.counterexample.as_ref().map(|ce| ce.violation),
+            y.counterexample.as_ref().map(|ce| ce.violation),
+            "{tag}: qubit {}",
+            x.qubit
+        );
+    }
+}
+
+/// Witnesses from any pipeline must replay on the concrete circuit.
+fn assert_witnesses_replay(circuit: &Circuit, report: &VerificationReport, tag: &str) {
+    let n = circuit.num_qubits();
+    for v in &report.verdicts {
+        let Some(ce) = &v.counterexample else {
+            continue;
+        };
+        let bits = ce
+            .basis_assignment
+            .as_ref()
+            .expect("SAT produces witnesses");
+        match ce.violation {
+            Violation::ZeroNotRestored => {
+                let mut input = bits.clone();
+                input[v.qubit] = false;
+                let out = simulate_classical(circuit, &BitState::from_bits(&input)).unwrap();
+                assert!(
+                    out.get(v.qubit),
+                    "{tag}: |0> witness must flip qubit {}",
+                    v.qubit
+                );
+            }
+            Violation::PlusNotRestored => {
+                let mut in0 = bits.clone();
+                in0[v.qubit] = false;
+                let mut in1 = bits.clone();
+                in1[v.qubit] = true;
+                let out0 = simulate_classical(circuit, &BitState::from_bits(&in0)).unwrap();
+                let out1 = simulate_classical(circuit, &BitState::from_bits(&in1)).unwrap();
+                let differs = (0..n)
+                    .filter(|&p| p != v.qubit)
+                    .any(|p| out0.get(p) != out1.get(p));
+                assert!(differs, "{tag}: |+> witness must leak qubit {}", v.qubit);
+            }
+        }
+    }
+}
+
+#[test]
+fn haner_carry_session_matches_fresh_dirty_and_clean() {
+    let n = 8;
+    let (circuit, layout) = carry_gadget(n);
+    let width = circuit.num_qubits();
+    // All borrowed address qubits are dirty verification targets.
+    let targets: Vec<usize> = (0..n - 1).map(|i| layout.a + i).collect();
+
+    // Dirty variant: every qubit unconstrained (the paper's default).
+    let dirty = vec![InitialValue::Free; width];
+    // Clean variant: the working register is known-zero, which the
+    // verifier exploits — verdicts must still agree across pipelines.
+    let mut clean = vec![InitialValue::Free; width];
+    for i in 0..n - 1 {
+        clean[layout.q + i] = InitialValue::Zero;
+    }
+
+    for (variant, initial) in [("dirty", &dirty), ("clean", &clean)] {
+        for opts in sat_options() {
+            let fresh = verify_circuit_fresh(&circuit, initial, &targets, &opts).unwrap();
+            let session = verify_circuit(&circuit, initial, &targets, &opts).unwrap();
+            let parallel = verify_circuit_parallel(&circuit, initial, &targets, &opts, 3).unwrap();
+            let tag = format!("haner/{variant}/{:?}", opts.simplify);
+            assert_same_verdicts(&fresh, &session, &tag);
+            assert_same_verdicts(&session, &parallel, &tag);
+            assert!(
+                session.all_safe(),
+                "{tag}: carry gadget restores its dirty qubits"
+            );
+        }
+    }
+}
+
+#[test]
+fn broken_haner_carry_counterexamples_agree_and_replay() {
+    let (good, layout) = carry_gadget(6);
+    // Drop the final uncompute gate: some address qubit leaks.
+    let mut broken = Circuit::new(good.num_qubits());
+    for g in &good.gates()[..good.size() - 1] {
+        broken.push(g.clone());
+    }
+    let targets: Vec<usize> = (0..5).map(|i| layout.a + i).collect();
+    let initial = vec![InitialValue::Free; broken.num_qubits()];
+    for opts in sat_options() {
+        let fresh = verify_circuit_fresh(&broken, &initial, &targets, &opts).unwrap();
+        let session = verify_circuit(&broken, &initial, &targets, &opts).unwrap();
+        let tag = format!("broken-haner/{:?}", opts.simplify);
+        assert_same_verdicts(&fresh, &session, &tag);
+        assert!(!session.all_safe(), "{tag}: fault must be caught");
+        assert_witnesses_replay(&broken, &session, &tag);
+        assert_witnesses_replay(&broken, &fresh, &tag);
+    }
+}
+
+#[test]
+fn gidney_mcx_session_matches_fresh_dirty_and_clean() {
+    let (circuit, layout) = gidney_mcx(6);
+    let width = circuit.num_qubits();
+    let anc = layout.dirty.expect("gidney mcx borrows a dirty qubit");
+    let targets = vec![anc];
+
+    let dirty = vec![InitialValue::Free; width];
+    // Clean variant: the borrowed ancilla itself starts in |0⟩.
+    let mut clean = dirty.clone();
+    clean[anc] = InitialValue::Zero;
+
+    for (variant, initial) in [("dirty", &dirty), ("clean", &clean)] {
+        for opts in sat_options() {
+            let fresh = verify_circuit_fresh(&circuit, initial, &targets, &opts).unwrap();
+            let session = verify_circuit(&circuit, initial, &targets, &opts).unwrap();
+            let tag = format!("mcx/{variant}/{:?}", opts.simplify);
+            assert_same_verdicts(&fresh, &session, &tag);
+            assert!(session.all_safe(), "{tag}: the MCX ancilla is restored");
+        }
+    }
+}
+
+#[test]
+fn broken_mcx_session_matches_fresh_with_witness() {
+    let (good, layout) = gidney_mcx(5);
+    let anc = layout.dirty.unwrap();
+    // Sabotage: an extra CNOT copies the ancilla into the target wire.
+    let mut broken = good.clone();
+    broken.cnot(anc, layout.target);
+    let initial = vec![InitialValue::Free; broken.num_qubits()];
+    for opts in sat_options() {
+        let fresh = verify_circuit_fresh(&broken, &initial, &[anc], &opts).unwrap();
+        let session = verify_circuit(&broken, &initial, &[anc], &opts).unwrap();
+        let tag = format!("broken-mcx/{:?}", opts.simplify);
+        assert_same_verdicts(&fresh, &session, &tag);
+        assert!(!session.all_safe(), "{tag}");
+        assert_witnesses_replay(&broken, &session, &tag);
+    }
+}
+
+#[test]
+fn parallel_fanout_preserves_request_order_on_haner_sweep() {
+    let n = 8;
+    let (circuit, layout) = carry_gadget(n);
+    let initial = vec![InitialValue::Free; circuit.num_qubits()];
+    // Deliberately interleaved, non-monotone request order.
+    let mut targets: Vec<usize> = (0..n - 1).map(|i| layout.a + i).collect();
+    targets.reverse();
+    targets.swap(0, 3);
+    let opts = VerifyOptions::default();
+    for jobs in [0, 2, 5] {
+        let report = verify_circuit_parallel(&circuit, &initial, &targets, &opts, jobs).unwrap();
+        let order: Vec<usize> = report.verdicts.iter().map(|v| v.qubit).collect();
+        assert_eq!(order, targets, "jobs={jobs}");
+    }
+}

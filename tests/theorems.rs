@@ -6,8 +6,8 @@
 use qborrow::circuit::{Circuit, Gate};
 use qborrow::core::exact::{
     channel_preserves_bell_entanglement, circuit_safely_uncomputes,
-    classical_circuit_safely_uncomputes, denotation_safely_uncomputes,
-    operation_safely_uncomputes, program_is_safe, unitary_safely_uncomputes,
+    classical_circuit_safely_uncomputes, denotation_safely_uncomputes, operation_safely_uncomputes,
+    program_is_safe, unitary_safely_uncomputes,
 };
 use qborrow::core::{verify_circuit, InitialValue, VerifyOptions};
 use qborrow::lang::{denote, CoreGate, CoreStmt, QubitRef, SemanticsOptions};

@@ -1,0 +1,277 @@
+//! The PR-2 edit-incrementality harness: warm re-verification after a
+//! small suffix edit versus a cold `verify_circuit`-style run, on the
+//! benchmark the daemon's compile–verify loop cares about (all dirty
+//! qubits of a Håner/Takahashi carry adder, SAT backend, `Simplify::Raw`).
+//!
+//! Usage: `cargo run --release -p qb-bench --bin bench_pr2 [bits] [out.json] [samples]`
+//! (defaults: 16 bits, `BENCH_PR2.json`, 5 samples).
+//!
+//! *Cold*: build a fresh [`VerifySession`] over the edited circuit and
+//! sweep every target — exactly what one `qborrow verify` invocation
+//! pays. *Warm first*: a session that has already verified the pre-edit
+//! circuit absorbs the edit via [`VerifySession::apply_edit`] (retracting
+//! and re-encoding only the changed suffix) and re-sweeps — condition
+//! roots the edit left with unchanged node ids are answered from the
+//! decision cache, the rest re-solve on the learnt-clause-warm solver.
+//! Each warm-first sample uses a freshly warmed session, so no sample
+//! benefits from a previous sample's cache. *Warm steady*: the following
+//! no-op-edit re-verify, i.e. what a `qborrow watch` round costs when the
+//! save didn't change the circuit.
+//!
+//! Three 1–2 gate suffix edits with different reuse profiles:
+//!
+//! * **append-independent** (acceptance benchmark): X on `q[1]`, whose
+//!   formula depends on no dirty qubit — every condition root keeps its
+//!   node id, so the warm sweep is pure cache hits;
+//! * **append-sum**: X on the sum qubit `q[n]` — its (6.2) disjunct
+//!   changes for every target and re-solves warm;
+//! * **cone-touching**: a cancelling CNOT pair onto dirty `a[1]`.
+//!
+//! Verdict equality between warm and cold pipelines is asserted for all.
+
+use qb_circuit::Circuit;
+use qb_core::{InitialValue, QubitVerdict, VerifyOptions, VerifySession};
+use qb_lang::QubitKind;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+fn min_ns(samples: &[Duration]) -> u128 {
+    samples.iter().map(Duration::as_nanos).min().unwrap_or(0)
+}
+
+fn median_ns(samples: &[Duration]) -> u128 {
+    let mut s: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    s.sort_unstable();
+    s[s.len() / 2]
+}
+
+struct Scenario {
+    name: &'static str,
+    cold_wall: Vec<Duration>,
+    warm_first_wall: Vec<Duration>,
+    warm_steady_wall: Vec<Duration>,
+    common_prefix: usize,
+    old_gates: usize,
+    new_gates: usize,
+    first_hits: u64,
+    first_misses: u64,
+    all_safe: bool,
+    speedup_first: f64,
+    speedup_steady: f64,
+}
+
+fn run_scenario(
+    name: &'static str,
+    original: &Circuit,
+    edited: &Circuit,
+    initial: &[InitialValue],
+    targets: &[usize],
+    opts: &VerifyOptions,
+    samples: usize,
+) -> Scenario {
+    // Cold pipeline: fresh session over the edited circuit per sample.
+    let mut cold_wall = Vec::with_capacity(samples);
+    let mut cold_verdicts: Vec<QubitVerdict> = Vec::new();
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let mut session = VerifySession::new(edited, initial, opts).expect("cold session builds");
+        cold_verdicts = session.verify_targets(targets).expect("cold sweep");
+        cold_wall.push(t0.elapsed());
+    }
+
+    // Warm pipeline: each sample starts from a freshly warmed session
+    // (original verified once), so the measured first re-verify never
+    // benefits from an earlier sample's decision cache.
+    let mut warm_first_wall = Vec::with_capacity(samples);
+    let mut warm_steady_wall = Vec::with_capacity(samples);
+    let mut warm_verdicts: Vec<QubitVerdict> = Vec::new();
+    let mut edit_stats = None;
+    let mut first_hits = 0;
+    let mut first_misses = 0;
+    for _ in 0..samples {
+        let mut session = VerifySession::new(original, initial, opts).expect("warm session builds");
+        session.verify_targets(targets).expect("warm-up sweep");
+        let before = session.stats();
+
+        let t0 = Instant::now();
+        let stats = session.apply_edit(edited).expect("suffix edit applies");
+        warm_verdicts = session.verify_targets(targets).expect("warm first sweep");
+        warm_first_wall.push(t0.elapsed());
+        edit_stats = Some(stats);
+        let after = session.stats();
+        first_hits = after.decision_hits - before.decision_hits;
+        first_misses = (after.cached_decisions - before.cached_decisions) as u64;
+
+        // Steady state: a watch round whose save didn't change anything.
+        let t0 = Instant::now();
+        session.apply_edit(edited).expect("identity edit");
+        session.verify_targets(targets).expect("steady sweep");
+        warm_steady_wall.push(t0.elapsed());
+    }
+    let edit_stats = edit_stats.expect("at least one sample");
+
+    // Hard gate: identical verdicts.
+    assert_eq!(cold_verdicts.len(), warm_verdicts.len());
+    for (c, w) in cold_verdicts.iter().zip(&warm_verdicts) {
+        assert_eq!(c.qubit, w.qubit, "{name}: verdict order");
+        assert_eq!(c.safe, w.safe, "{name}: verdict for qubit {}", c.qubit);
+        assert_eq!(
+            c.counterexample.as_ref().map(|ce| ce.violation),
+            w.counterexample.as_ref().map(|ce| ce.violation),
+            "{name}: violation kind for qubit {}",
+            c.qubit
+        );
+    }
+
+    let speedup_first = min_ns(&cold_wall) as f64 / min_ns(&warm_first_wall) as f64;
+    let speedup_steady = min_ns(&cold_wall) as f64 / min_ns(&warm_steady_wall) as f64;
+    eprintln!(
+        "  {name:<20} cold {:>11.3?}  warm-first {:>11.3?} ({speedup_first:.2}x)  \
+         warm-steady {:>11.3?} ({speedup_steady:.2}x)",
+        cold_wall.iter().min().unwrap(),
+        warm_first_wall.iter().min().unwrap(),
+        warm_steady_wall.iter().min().unwrap(),
+    );
+    Scenario {
+        name,
+        cold_wall,
+        warm_first_wall,
+        warm_steady_wall,
+        common_prefix: edit_stats.common_prefix,
+        old_gates: edit_stats.old_gates,
+        new_gates: edit_stats.new_gates,
+        first_hits,
+        first_misses,
+        all_safe: warm_verdicts.iter().all(|v| v.safe),
+        speedup_first,
+        speedup_steady,
+    }
+}
+
+fn scenario_json(out: &mut String, s: &Scenario) {
+    let _ = write!(
+        out,
+        "    {{\n      \"edit\": \"{}\",\n      \"common_prefix\": {},\n      \
+         \"old_gates\": {},\n      \"new_gates\": {},\n      \
+         \"first_sweep_cache_hits\": {},\n      \"first_sweep_solver_queries\": {},\n      \
+         \"cold_ns_min\": {},\n      \"cold_ns_median\": {},\n      \
+         \"warm_first_ns_min\": {},\n      \"warm_first_ns_median\": {},\n      \
+         \"warm_steady_ns_min\": {},\n      \"warm_steady_ns_median\": {},\n      \
+         \"speedup_warm_first_over_cold\": {:.3},\n      \
+         \"speedup_warm_steady_over_cold\": {:.3},\n      \
+         \"verdicts_identical\": true,\n      \"all_safe\": {}\n    }}",
+        s.name,
+        s.common_prefix,
+        s.old_gates,
+        s.new_gates,
+        s.first_hits,
+        s.first_misses,
+        min_ns(&s.cold_wall),
+        median_ns(&s.cold_wall),
+        min_ns(&s.warm_first_wall),
+        median_ns(&s.warm_first_wall),
+        min_ns(&s.warm_steady_wall),
+        median_ns(&s.warm_steady_wall),
+        s.speedup_first,
+        s.speedup_steady,
+        s.all_safe,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bits: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let out_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let samples: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5).max(1);
+
+    let opts = VerifyOptions::default(); // SAT backend, Simplify::Raw
+    let program = qb_bench::adder_program(bits);
+    let initial: Vec<InitialValue> = (0..program.num_qubits())
+        .map(|q| match program.qubit_kinds[q] {
+            QubitKind::Clean => InitialValue::Zero,
+            _ => InitialValue::Free,
+        })
+        .collect();
+    let targets = program.qubits_to_verify();
+    let original = &program.circuit;
+
+    eprintln!(
+        "bench_pr2: {bits}-bit Haner adder, {} dirty qubits, SAT backend, Raw, {samples} samples",
+        targets.len()
+    );
+
+    // q[1] (index 0) never accumulates dirty-qubit structure; q[n]
+    // (index bits-1) is the sum output every dirty qubit feeds; a[1]
+    // (index bits) is the first dirty qubit itself.
+    let mut append_independent = original.clone();
+    append_independent.x(0);
+    let mut append_sum = original.clone();
+    append_sum.x(bits - 1);
+    let mut cone = original.clone();
+    cone.cnot(0, bits).cnot(0, bits);
+
+    let a = run_scenario(
+        "append-independent",
+        original,
+        &append_independent,
+        &initial,
+        &targets,
+        &opts,
+        samples,
+    );
+    let b = run_scenario(
+        "append-sum",
+        original,
+        &append_sum,
+        &initial,
+        &targets,
+        &opts,
+        samples,
+    );
+    let c = run_scenario(
+        "cone-touching",
+        original,
+        &cone,
+        &initial,
+        &targets,
+        &opts,
+        samples,
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = write!(
+        out,
+        "  \"benchmark\": \"edit_incremental_reverify\",\n  \"adder_bits\": {bits},\n  \
+         \"dirty_qubits\": {},\n  \"backend\": \"sat\",\n  \"simplify\": \"raw\",\n  \
+         \"samples\": {samples},\n",
+        targets.len(),
+    );
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in [&a, &b, &c].iter().enumerate() {
+        scenario_json(&mut out, s);
+        out.push_str(if i < 2 { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let _ = write!(
+        out,
+        "  \"speedup_warm_over_cold\": {:.3}\n}}\n",
+        a.speedup_first
+    );
+
+    std::fs::write(&out_path, &out).expect("write benchmark JSON");
+    eprintln!(
+        "warm-first speedups: {:.2}x (append-independent), {:.2}x (append-sum), \
+         {:.2}x (cone-touching) -> {out_path}",
+        a.speedup_first, b.speedup_first, c.speedup_first
+    );
+    assert!(
+        a.speedup_first >= 2.0,
+        "acceptance: warm re-verify after the 1-gate suffix edit must be >= 2x faster \
+         than cold (got {:.2}x)",
+        a.speedup_first
+    );
+}

@@ -52,7 +52,9 @@ mod verifier;
 
 pub use backend::{decide_unsat, BackendError, BackendKind, BackendOptions, Decision};
 pub use conditions::{build_clean_condition, build_conditions, Conditions};
-pub use session::{verify_circuit_parallel, verify_program_parallel, VerifySession};
+pub use session::{
+    verify_circuit_parallel, verify_program_parallel, EditStats, SessionStats, VerifySession,
+};
 pub use symbolic::{symbolic_execute, InitialValue, NotClassicalCircuit, SymbolicState};
 pub use verifier::{
     check_clean_uncomputation, verify_circuit, verify_circuit_fresh, verify_program,

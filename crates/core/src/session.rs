@@ -28,16 +28,29 @@
 
 use crate::backend::{decide_unsat, BackendKind, Decision};
 use crate::conditions::build_conditions;
-use crate::symbolic::{symbolic_execute, InitialValue, SymbolicState};
+use crate::symbolic::{
+    initial_formulas, symbolic_apply, symbolic_execute, InitialValue, SymbolicState,
+};
 use crate::verifier::{
     model_to_assignment, Counterexample, QubitVerdict, VerificationReport, VerifyError,
     VerifyOptions, Violation,
 };
-use qb_circuit::Circuit;
-use qb_formula::{CnfSink, IncrementalEncoder, NodeId};
-use qb_lang::{ElaboratedProgram, QubitKind};
+use qb_circuit::{Circuit, Gate};
+use qb_formula::{CnfSink, IncrementalEncoder, NodeId, Var};
+use qb_lang::{gate_common_prefix, ElaboratedProgram, QubitKind};
 use qb_sat::{Lit, SatResult, SatVar, Solver};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// Encoder checkpoint name guarding the editable suffix of the circuit.
+const SUFFIX_CHECKPOINT: &str = "suffix";
+
+/// Retired-selector count that triggers a solver compaction pass. A pass
+/// costs one linear rebuild of the clause/variable arrays — noise next
+/// to the solving it amortises — so the interval is set low enough that
+/// even cache-friendly daemon workloads (where most queries never retire
+/// a selector) still reclaim their garbage.
+const COMPACT_RETIRED_INTERVAL: usize = 64;
 
 /// Adapter letting the incremental encoder emit clauses directly into a
 /// live CDCL solver (no intermediate [`qb_formula::Cnf`]). With `guard`
@@ -73,6 +86,138 @@ impl CnfSink for SolverSink<'_> {
 struct SatSession {
     encoder: IncrementalEncoder,
     solver: Solver,
+    /// The retractable encoding of the circuit's editable suffix: an
+    /// encoder checkpoint named [`SUFFIX_CHECKPOINT`] plus the selector
+    /// guarding its clauses. On [`VerifySession::apply_edit`] the whole
+    /// scope is rolled back and re-encoded; everything below it (the
+    /// permanent prefix structure and the learnt clauses derived from it)
+    /// stays warm.
+    suffix: SuffixScope,
+    /// Compaction passes performed (see [`SessionStats`]).
+    compactions: u64,
+}
+
+/// Solver-side bookkeeping of the suffix scope.
+struct SuffixScope {
+    selector: Lit,
+    vars: Vec<SatVar>,
+}
+
+/// A memoised backend decision for one condition-root node.
+///
+/// The session arena is append-only and hash-consed, so a [`NodeId`]
+/// permanently denotes one Boolean function of the circuit inputs —
+/// which makes satisfiability verdicts cacheable across targets, repeat
+/// sweeps *and edits*: when an edit leaves a condition root's node id
+/// unchanged, the old verdict (and witness) provably still holds and the
+/// solver is never consulted. This is the cross-edit analogue of
+/// dropping structurally independent (6.2) disjuncts at construction.
+struct CachedDecision {
+    unsat: bool,
+    model: Option<HashMap<Var, bool>>,
+}
+
+impl SatSession {
+    /// Opens a fresh suffix scope and encodes `roots` (the current final
+    /// formulas) into it, guarded by a new selector.
+    fn open_suffix(&mut self, arena: &qb_formula::Arena, roots: &[NodeId]) -> usize {
+        self.encoder.begin_named_scope(SUFFIX_CHECKPOINT);
+        let selector = Lit::pos(self.solver.new_selector());
+        let mut sink = SolverSink {
+            solver: &mut self.solver,
+            guard: Some(selector),
+            clauses: 0,
+            new_vars: Vec::new(),
+        };
+        self.encoder.encode_roots(arena, roots, &mut sink);
+        let clauses = sink.clauses;
+        let vars = sink.new_vars;
+        self.solver.prioritize_vars(&vars);
+        self.suffix = SuffixScope { selector, vars };
+        clauses
+    }
+
+    /// Rolls the suffix scope back: retracts its encoder checkpoint,
+    /// retires its selector (physically detaching the guarded clauses and
+    /// permanently satisfying every learnt clause derived under it), and
+    /// deadens its auxiliary variables.
+    fn retract_suffix(&mut self) {
+        self.encoder.retract_through(SUFFIX_CHECKPOINT);
+        self.solver.retire_selector(self.suffix.selector);
+        self.solver.simplify_satisfied();
+        self.solver.deaden_vars(&self.suffix.vars);
+        self.suffix.vars.clear();
+    }
+
+    /// Periodic GC: once enough selectors have been retired, compacts the
+    /// solver's clause/variable arenas and remaps the encoder (and the
+    /// suffix selector handle) through the returned table.
+    fn maybe_compact(&mut self) {
+        if self.solver.retired_since_compaction() < COMPACT_RETIRED_INTERVAL {
+            return;
+        }
+        let mut pinned: Vec<SatVar> = self
+            .encoder
+            .referenced_dimacs_vars()
+            .iter()
+            .map(|&v| SatVar::from_index((v - 1) as usize))
+            .collect();
+        pinned.push(self.suffix.selector.var());
+        let map = self.solver.compact(&pinned);
+        self.encoder.remap_vars(&map);
+        let sel = self.suffix.selector;
+        let new_sel = map[sel.var().index()].expect("pinned variable survives compaction");
+        self.suffix.selector = Lit::new(SatVar::from_index(new_sel as usize), sel.is_neg());
+        // Suffix auxiliaries occur in live guarded clauses, so they all
+        // survive; remap their handles for the eventual retraction.
+        for v in &mut self.suffix.vars {
+            *v = SatVar::from_index(map[v.index()].expect("suffix var survives") as usize);
+        }
+        self.compactions += 1;
+    }
+}
+
+/// Resource and reuse counters of a [`VerifySession`] — what the serving
+/// layer reports per loaded program and what the compaction tests assert
+/// on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Nodes interned in the shared formula arena.
+    pub arena_nodes: usize,
+    /// Variables currently allocated in the SAT solver (0 for non-SAT
+    /// backends).
+    pub solver_vars: usize,
+    /// Clause slots (live and deleted) in the solver arena.
+    pub clause_slots: usize,
+    /// Live (non-deleted) clauses.
+    pub live_clauses: usize,
+    /// Compaction passes performed over the session's lifetime.
+    pub compactions: u64,
+    /// Edits applied via [`VerifySession::apply_edit`].
+    pub edits: u64,
+    /// Distinct condition roots with a memoised decision.
+    pub cached_decisions: usize,
+    /// Queries answered from the decision cache (no solver call).
+    pub decision_hits: u64,
+}
+
+/// What an [`VerifySession::apply_edit`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditStats {
+    /// Longest common gate-sequence prefix between old and new circuit.
+    pub common_prefix: usize,
+    /// Gate count before the edit.
+    pub old_gates: usize,
+    /// Gate count after the edit.
+    pub new_gates: usize,
+    /// Gates whose encoding was kept permanently (never re-encoded).
+    pub permanent_prefix: usize,
+    /// Clauses emitted for the re-encoded suffix (SAT backend).
+    pub suffix_clauses: usize,
+    /// `false` when the edit was a structural no-op.
+    pub changed: bool,
+    /// Time spent diffing, replaying and re-encoding.
+    pub elapsed: Duration,
 }
 
 /// A long-lived verification session over one circuit.
@@ -97,10 +242,22 @@ struct SatSession {
 /// ```
 pub struct VerifySession {
     state: SymbolicState,
+    /// The session's current gate sequence (diffed against on edit).
+    gates: Vec<Gate>,
     initial: Vec<InitialValue>,
     opts: VerifyOptions,
     construction_time: Duration,
     sat: Option<SatSession>,
+    /// Number of leading gates whose symbolic structure is encoded
+    /// *permanently* (unguarded). Edits shrink this to the common prefix;
+    /// everything past it lives in the retractable suffix scope.
+    permanent_len: usize,
+    /// Memoised decisions keyed by condition-root node id (SAT backend;
+    /// see [`CachedDecision`]). Never invalidated: the arena is
+    /// append-only, so node identity is semantic identity.
+    decisions: HashMap<NodeId, CachedDecision>,
+    decision_hits: u64,
+    edits: u64,
 }
 
 impl VerifySession {
@@ -137,17 +294,36 @@ impl VerifySession {
                     new_vars: Vec::new(),
                 };
                 encoder.encode_roots(&state.arena, &base_roots, &mut sink);
-                Some(SatSession { encoder, solver })
+                // Open an (initially empty) suffix scope so the session
+                // is editable: the first edit rolls this scope back and
+                // re-encodes the changed tail behind a fresh selector.
+                let selector = Lit::pos(solver.new_selector());
+                let mut sat = SatSession {
+                    encoder,
+                    solver,
+                    suffix: SuffixScope {
+                        selector,
+                        vars: Vec::new(),
+                    },
+                    compactions: 0,
+                };
+                sat.encoder.begin_named_scope(SUFFIX_CHECKPOINT);
+                Some(sat)
             }
             _ => None,
         };
         let construction_time = t0.elapsed();
         Ok(VerifySession {
             state,
+            gates: circuit.gates().to_vec(),
             initial: initial.to_vec(),
             opts: *opts,
             construction_time,
             sat,
+            permanent_len: circuit.size(),
+            decisions: HashMap::new(),
+            decision_hits: 0,
+            edits: 0,
         })
     }
 
@@ -170,6 +346,143 @@ impl VerifySession {
     /// Shared node count of the final formulas.
     pub fn formula_nodes(&self) -> usize {
         self.state.formula_size()
+    }
+
+    /// The gate sequence the session currently verifies.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Resource and reuse counters (arena/solver sizes, compactions,
+    /// edits) — what the serving layer reports per loaded program.
+    pub fn stats(&self) -> SessionStats {
+        let (solver_vars, clause_slots, live_clauses, compactions) = match &self.sat {
+            Some(s) => (
+                s.solver.num_vars(),
+                s.solver.clause_slots(),
+                s.solver.live_clauses(),
+                s.compactions,
+            ),
+            None => (0, 0, 0, 0),
+        };
+        SessionStats {
+            arena_nodes: self.state.arena.len(),
+            solver_vars,
+            clause_slots,
+            live_clauses,
+            compactions,
+            edits: self.edits,
+            cached_decisions: self.decisions.len(),
+            decision_hits: self.decision_hits,
+        }
+    }
+
+    /// Replaces the session's circuit with an edited one, re-using as
+    /// much accumulated state as the edit allows.
+    ///
+    /// The new gate sequence is diffed against the current one; the
+    /// common prefix's symbolic structure is replayed into the persistent
+    /// arena (hash-consing reproduces identical node ids, so its
+    /// permanent encoding — and every learnt clause the solver derived
+    /// about it — stays warm). Only the changed suffix is re-encoded,
+    /// behind a fresh suffix selector: the previous suffix scope is
+    /// rolled back via its encoder checkpoint and its guarded clauses are
+    /// physically retired. A pure-suffix edit of a large circuit
+    /// therefore costs the solver nothing but the edited tail.
+    ///
+    /// Verdicts after an edit are identical to a fresh session over the
+    /// edited circuit; only the work profile differs.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::IncompatibleEdit`] when the qubit count changes
+    /// (load a fresh session instead), [`VerifyError::NotClassical`] when
+    /// the edited circuit leaves the classical fragment. On error the
+    /// session is left unchanged.
+    pub fn apply_edit(&mut self, circuit: &Circuit) -> Result<EditStats, VerifyError> {
+        let n = self.state.num_qubits();
+        if circuit.num_qubits() != n {
+            return Err(VerifyError::IncompatibleEdit {
+                old_qubits: n,
+                new_qubits: circuit.num_qubits(),
+            });
+        }
+        // Validate up front so a failed edit leaves the session intact.
+        for (position, gate) in circuit.gates().iter().enumerate() {
+            if !gate.is_classical() {
+                return Err(VerifyError::NotClassical(
+                    crate::symbolic::NotClassicalCircuit {
+                        gate: gate.name(),
+                        position,
+                    },
+                ));
+            }
+        }
+        let t0 = Instant::now();
+        let new_gates = circuit.gates();
+        let old_len = self.gates.len();
+        let common = gate_common_prefix(&self.gates, new_gates);
+        if common == old_len && common == new_gates.len() {
+            return Ok(EditStats {
+                common_prefix: common,
+                old_gates: old_len,
+                new_gates: common,
+                permanent_prefix: self.permanent_len,
+                suffix_clauses: 0,
+                changed: false,
+                elapsed: t0.elapsed(),
+            });
+        }
+        self.edits += 1;
+        self.permanent_len = self.permanent_len.min(common);
+
+        // Replay the edited circuit into the persistent arena, capturing
+        // the formulas at the permanent-prefix boundary. The prefix
+        // replay is allocation-free: every node is already interned.
+        let mut formulas = initial_formulas(&mut self.state.arena, &self.initial);
+        symbolic_apply(
+            &mut self.state.arena,
+            &mut formulas,
+            &new_gates[..self.permanent_len],
+            0,
+        )?;
+        let prefix_roots = formulas.clone();
+        symbolic_apply(
+            &mut self.state.arena,
+            &mut formulas,
+            &new_gates[self.permanent_len..],
+            self.permanent_len,
+        )?;
+
+        let mut suffix_clauses = 0;
+        if let Some(sat) = self.sat.as_mut() {
+            sat.retract_suffix();
+            // Pin the prefix-boundary formulas into the permanent
+            // encoding (usually a no-op — their nodes were interior to a
+            // previously encoded graph — but simplification can leave
+            // boundary nodes unreachable from old final formulas).
+            let mut sink = SolverSink {
+                solver: &mut sat.solver,
+                guard: None,
+                clauses: 0,
+                new_vars: Vec::new(),
+            };
+            sat.encoder
+                .encode_roots(&self.state.arena, &prefix_roots, &mut sink);
+            suffix_clauses = sat.open_suffix(&self.state.arena, &formulas);
+            sat.maybe_compact();
+        }
+        self.state.formulas = formulas;
+        self.gates = new_gates.to_vec();
+        Ok(EditStats {
+            common_prefix: common,
+            old_gates: old_len,
+            new_gates: new_gates.len(),
+            permanent_prefix: self.permanent_len,
+            suffix_clauses,
+            changed: true,
+            elapsed: t0.elapsed(),
+        })
     }
 
     /// Runs one condition query inside the current target scope: encode
@@ -208,7 +521,10 @@ impl VerifySession {
         let clause: Vec<Lit> = root_lits.iter().map(|&l| Lit::from_dimacs(l)).collect();
         let added = sat.solver.add_guarded_clause(selector, &clause);
         let result = if added {
-            sat.solver.solve_with_assumptions(&[guard, selector])
+            // Assume the suffix selector too: post-edit final-formula
+            // structure is guarded behind it.
+            let assumptions = [sat.suffix.selector, guard, selector];
+            sat.solver.solve_with_assumptions(&assumptions)
         } else {
             SatResult::Unsat
         };
@@ -241,6 +557,41 @@ impl VerifySession {
         decision
     }
 
+    /// Decides one condition root, consulting the memoised decision
+    /// cache first. On a miss the target scope is opened lazily (`scope`
+    /// holds its selector once open), the query runs on the shared
+    /// solver, and the outcome is memoised. A fully cached target never
+    /// touches the solver at all.
+    fn decide_root_sat(
+        &mut self,
+        root: NodeId,
+        scope: &mut Option<Lit>,
+        scope_vars: &mut Vec<SatVar>,
+    ) -> Decision {
+        if let Some(hit) = self.decisions.get(&root) {
+            self.decision_hits += 1;
+            return Decision {
+                unsat: hit.unsat,
+                model: hit.model.clone(),
+                size: 0,
+            };
+        }
+        let sat = self.sat.as_mut().expect("SAT backend state");
+        let guard = *scope.get_or_insert_with(|| {
+            sat.encoder.begin_scope();
+            Lit::pos(sat.solver.new_selector())
+        });
+        let d = Self::run_query(sat, &self.state.arena, &[root], guard, scope_vars);
+        self.decisions.insert(
+            root,
+            CachedDecision {
+                unsat: d.unsat,
+                model: d.model.clone(),
+            },
+        );
+        d
+    }
+
     /// Decides both conditions of one target on the shared solver.
     ///
     /// The target's cofactor structure lives in a retractable scope: its
@@ -248,25 +599,20 @@ impl VerifySession {
     /// node→literal assignments are rolled back afterwards, so later
     /// targets never propagate through (or branch on) this target's dead
     /// structure. The *base* encoding and every learnt clause derived
-    /// purely from it stay warm for the whole session.
+    /// purely from it stay warm for the whole session, and condition
+    /// roots whose node ids were decided before — in an earlier sweep or
+    /// before an edit that left them untouched — are answered from the
+    /// decision cache without running the solver.
     fn decide_target_sat(
         &mut self,
         zero_root: NodeId,
         plus_roots: &[NodeId],
     ) -> (Decision, Duration, Decision, Duration) {
-        let sat = self.sat.as_mut().expect("SAT backend state");
-        let target_selector = Lit::pos(sat.solver.new_selector());
-        sat.encoder.begin_scope();
+        let mut scope: Option<Lit> = None;
         let mut scope_vars: Vec<SatVar> = Vec::new();
 
         let t_zero = Instant::now();
-        let zero = Self::run_query(
-            sat,
-            &self.state.arena,
-            &[zero_root],
-            target_selector,
-            &mut scope_vars,
-        );
+        let zero = self.decide_root_sat(zero_root, &mut scope, &mut scope_vars);
         let zero_time = t_zero.elapsed();
 
         // Decide the (6.2) disjunction one disjunct at a time: each
@@ -280,13 +626,7 @@ impl VerifySession {
             size: 0,
         };
         for &part in plus_roots {
-            let d = Self::run_query(
-                sat,
-                &self.state.arena,
-                &[part],
-                target_selector,
-                &mut scope_vars,
-            );
+            let d = self.decide_root_sat(part, &mut scope, &mut scope_vars);
             plus.size += d.size;
             if !d.unsat {
                 plus.unsat = false;
@@ -295,13 +635,19 @@ impl VerifySession {
             }
         }
 
-        // Target cleanup: roll back the scope's literals, detach its
-        // clauses (and, via the level-zero sweep, every learnt clause
-        // that mentioned its selector), and deaden its variables.
-        sat.encoder.retract_scope();
-        sat.solver.retire_selector(target_selector);
-        sat.solver.simplify_satisfied();
-        sat.solver.deaden_vars(&scope_vars);
+        // Target cleanup (only when a cache miss opened the scope): roll
+        // back the scope's literals, detach its clauses (and, via the
+        // level-zero sweep, every learnt clause that mentioned its
+        // selector), and deaden its variables. Then give the periodic GC
+        // a chance to reclaim the retired slots.
+        if let Some(target_selector) = scope {
+            let sat = self.sat.as_mut().expect("SAT backend state");
+            sat.encoder.retract_scope();
+            sat.solver.retire_selector(target_selector);
+            sat.solver.simplify_satisfied();
+            sat.solver.deaden_vars(&scope_vars);
+            sat.maybe_compact();
+        }
         let plus_time = t_plus.elapsed();
 
         (zero, zero_time, plus, plus_time)
@@ -625,6 +971,172 @@ mod tests {
             assert!(!report.verdicts[1].safe, "q0 leaks");
             assert!(!report.verdicts[2].safe, "q2 is the target");
         }
+    }
+
+    /// Oracle for edits: after each `apply_edit`, every verdict must
+    /// equal a fresh pipeline run over the edited circuit.
+    fn assert_edit_matches_fresh(session: &mut VerifySession, c: &Circuit, opts: &VerifyOptions) {
+        let n = c.num_qubits();
+        let initial = vec![InitialValue::Free; n];
+        let targets: Vec<usize> = (0..n).collect();
+        let fresh = verify_circuit_fresh(c, &initial, &targets, opts).unwrap();
+        let warm = session.verify_targets(&targets).unwrap();
+        for (f, w) in fresh.verdicts.iter().zip(&warm) {
+            assert_eq!(f.qubit, w.qubit);
+            assert_eq!(f.safe, w.safe, "qubit {} after edit", f.qubit);
+            assert_eq!(
+                f.counterexample.as_ref().map(|ce| ce.violation),
+                w.counterexample.as_ref().map(|ce| ce.violation),
+            );
+        }
+    }
+
+    #[test]
+    fn suffix_edit_flips_verdicts_and_back() {
+        // The CCCNOT gadget: safe as written; dropping the final
+        // uncompute Toffoli leaks the dirty qubit; restoring it heals.
+        let mut good = Circuit::new(5);
+        good.toffoli(0, 1, 2)
+            .toffoli(2, 3, 4)
+            .toffoli(0, 1, 2)
+            .toffoli(2, 3, 4);
+        let mut broken = Circuit::new(5);
+        broken.toffoli(0, 1, 2).toffoli(2, 3, 4).toffoli(0, 1, 2);
+
+        for backend in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
+            for simplify in [Simplify::Raw, Simplify::Full] {
+                let opts = VerifyOptions {
+                    backend,
+                    simplify,
+                    ..VerifyOptions::default()
+                };
+                let mut session =
+                    VerifySession::new(&good, &[InitialValue::Free; 5], &opts).unwrap();
+                assert_edit_matches_fresh(&mut session, &good, &opts);
+
+                let stats = session.apply_edit(&broken).unwrap();
+                assert!(stats.changed);
+                assert_eq!(stats.common_prefix, 3);
+                assert_eq!((stats.old_gates, stats.new_gates), (4, 3));
+                assert_edit_matches_fresh(&mut session, &broken, &opts);
+
+                let stats = session.apply_edit(&good).unwrap();
+                assert!(stats.changed);
+                assert_eq!(stats.common_prefix, 3);
+                assert_edit_matches_fresh(&mut session, &good, &opts);
+                assert_eq!(session.stats().edits, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_edit_is_a_structural_noop() {
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2).toffoli(0, 1, 2);
+        let mut session =
+            VerifySession::new(&c, &[InitialValue::Free; 3], &VerifyOptions::default()).unwrap();
+        let stats = session.apply_edit(&c).unwrap();
+        assert!(!stats.changed);
+        assert_eq!(stats.suffix_clauses, 0);
+        assert_eq!(session.stats().edits, 0);
+        assert_edit_matches_fresh(&mut session, &c, &VerifyOptions::default());
+    }
+
+    #[test]
+    fn prefix_edit_falls_back_to_narrower_permanent_prefix() {
+        // Edit the *first* gate: the common prefix is empty, so the
+        // permanent watermark drops to zero but verdicts stay exact.
+        let mut a = Circuit::new(4);
+        a.toffoli(0, 1, 3).cnot(1, 2).toffoli(0, 1, 3).cnot(1, 2);
+        let mut b = Circuit::new(4);
+        b.cnot(0, 3).cnot(1, 2).cnot(0, 3).cnot(1, 2);
+        let opts = VerifyOptions::default();
+        let mut session = VerifySession::new(&a, &[InitialValue::Free; 4], &opts).unwrap();
+        assert_edit_matches_fresh(&mut session, &a, &opts);
+        let stats = session.apply_edit(&b).unwrap();
+        assert_eq!(stats.common_prefix, 0);
+        assert_eq!(stats.permanent_prefix, 0);
+        assert_edit_matches_fresh(&mut session, &b, &opts);
+        // Edit back up: the permanent prefix can only shrink, never grow.
+        let stats = session.apply_edit(&a).unwrap();
+        assert_eq!(stats.permanent_prefix, 0);
+        assert_edit_matches_fresh(&mut session, &a, &opts);
+    }
+
+    #[test]
+    fn incompatible_and_nonclassical_edits_are_rejected_without_damage() {
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2).toffoli(0, 1, 2);
+        let opts = VerifyOptions::default();
+        let mut session = VerifySession::new(&c, &[InitialValue::Free; 3], &opts).unwrap();
+
+        let wider = Circuit::new(4);
+        let err = session.apply_edit(&wider).unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::IncompatibleEdit {
+                old_qubits: 3,
+                new_qubits: 4
+            }
+        ));
+
+        let mut quantum = Circuit::new(3);
+        quantum.toffoli(0, 1, 2).h(0);
+        let err = session.apply_edit(&quantum).unwrap_err();
+        assert!(matches!(err, VerifyError::NotClassical(_)));
+
+        // The failed edits left the session fully functional.
+        assert_edit_matches_fresh(&mut session, &c, &opts);
+    }
+
+    #[test]
+    fn long_edit_sessions_compact_and_stay_exact() {
+        // Randomised compile–verify loop: enough suffix edits and sweeps
+        // to trip the periodic compaction, cross-checked against fresh
+        // runs throughout. Uses a fixed base so edits share a prefix.
+        use qb_testutil::Rng;
+        let mut rng = Rng::new(0x5EED_ED17);
+        const N: usize = 4;
+        let opts = VerifyOptions::default();
+        let base = {
+            let mut c = Circuit::new(N);
+            c.toffoli(0, 1, 2).cnot(2, 3);
+            c
+        };
+        let mut session = VerifySession::new(&base, &[InitialValue::Free; N], &opts).unwrap();
+        let mut peak_slots = 0usize;
+        for _ in 0..24 {
+            let mut edited = Circuit::new(N);
+            edited.toffoli(0, 1, 2).cnot(2, 3);
+            for _ in 0..rng.gen_below(4) {
+                match rng.gen_below(3) {
+                    0 => {
+                        edited.x(rng.gen_below(N));
+                    }
+                    1 => {
+                        let (c, t) = rng.gen_distinct2(N);
+                        edited.cnot(c, t);
+                    }
+                    _ => {
+                        let (c1, c2, t) = rng.gen_distinct3(N);
+                        edited.toffoli(c1, c2, t);
+                    }
+                }
+            }
+            session.apply_edit(&edited).unwrap();
+            assert_edit_matches_fresh(&mut session, &edited, &opts);
+            peak_slots = peak_slots.max(session.stats().clause_slots);
+        }
+        let stats = session.stats();
+        assert!(
+            stats.compactions >= 1,
+            "compaction must trigger over a long session: {stats:?}"
+        );
+        assert!(
+            stats.clause_slots < peak_slots,
+            "compaction shrinks clause slots: peak {peak_slots}, now {}",
+            stats.clause_slots
+        );
     }
 
     #[test]

@@ -112,16 +112,43 @@ pub fn symbolic_execute(
     let mut arena = Arena::new(mode);
     let n = circuit.num_qubits();
     let vars: Vec<Var> = (0..n as Var).collect();
-    let mut formulas: Vec<NodeId> = initial
+    let mut formulas = initial_formulas(&mut arena, initial);
+    symbolic_apply(&mut arena, &mut formulas, circuit.gates(), 0)?;
+    Ok(SymbolicState {
+        arena,
+        formulas,
+        vars,
+    })
+}
+
+/// The per-qubit formulas before any gate: a fresh variable for `Free`
+/// qubits, the `false` constant for clean ones. Interns against whatever
+/// `arena` already holds, so replays into a persistent session arena
+/// reproduce identical node ids.
+pub(crate) fn initial_formulas(arena: &mut Arena, initial: &[InitialValue]) -> Vec<NodeId> {
+    initial
         .iter()
-        .zip(&vars)
-        .map(|(init, &v)| match init {
-            InitialValue::Free => arena.var(v),
+        .enumerate()
+        .map(|(q, init)| match init {
+            InitialValue::Free => arena.var(q as Var),
             InitialValue::Zero => arena.constant(false),
         })
-        .collect();
+        .collect()
+}
 
-    for (position, gate) in circuit.gates().iter().enumerate() {
+/// Applies `gates` to `formulas` in place — the Fig. 6.1 linear-scan step
+/// factored out so edit-incremental sessions can replay a gate-sequence
+/// prefix into a persistent arena (hash-consing makes the replay
+/// allocation-free for structure the arena already holds) and then
+/// continue with an edited suffix. `position_offset` only offsets gate
+/// positions in error reports.
+pub(crate) fn symbolic_apply(
+    arena: &mut Arena,
+    formulas: &mut [NodeId],
+    gates: &[Gate],
+    position_offset: usize,
+) -> Result<(), NotClassicalCircuit> {
+    for (position, gate) in gates.iter().enumerate() {
         match gate {
             Gate::X(q) => {
                 formulas[*q] = arena.not(formulas[*q]);
@@ -144,17 +171,12 @@ pub fn symbolic_execute(
             other => {
                 return Err(NotClassicalCircuit {
                     gate: other.name(),
-                    position,
+                    position: position + position_offset,
                 })
             }
         }
     }
-
-    Ok(SymbolicState {
-        arena,
-        formulas,
-        vars,
-    })
+    Ok(())
 }
 
 #[cfg(test)]

@@ -130,6 +130,15 @@ pub enum VerifyError {
         /// The circuit width.
         num_qubits: usize,
     },
+    /// An edited circuit cannot be applied incrementally to an existing
+    /// session (the qubit layout changed, so every formula and the whole
+    /// encoding would be invalidated — load a fresh session instead).
+    IncompatibleEdit {
+        /// Width of the session's circuit.
+        old_qubits: usize,
+        /// Width of the edited circuit.
+        new_qubits: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -141,6 +150,16 @@ impl fmt::Display for VerifyError {
                 write!(
                     f,
                     "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
+            }
+            VerifyError::IncompatibleEdit {
+                old_qubits,
+                new_qubits,
+            } => {
+                write!(
+                    f,
+                    "edit changes the qubit layout ({old_qubits} -> {new_qubits} qubits); \
+                     reload the program instead of editing the session"
                 )
             }
         }

@@ -75,8 +75,11 @@ pub struct IncrementalEncoder {
     true_lit: i32,
     /// Total clauses emitted through this encoder.
     clauses_emitted: usize,
-    /// Bookkeeping of the active retractable scope, if any.
-    scope: Option<ScopeRecord>,
+    /// Stack of open retractable scopes (innermost last). Encoding
+    /// records always land in the top scope; retraction pops in LIFO
+    /// order, so a named checkpoint deep in the stack can be rolled back
+    /// together with everything opened above it.
+    scopes: Vec<ScopeRecord>,
 }
 
 /// What a retractable scope has to undo: which node literals were
@@ -84,6 +87,9 @@ pub struct IncrementalEncoder {
 /// shared true-literal was allocated inside the scope.
 #[derive(Debug, Clone, Default)]
 struct ScopeRecord {
+    /// Checkpoint name, when the scope was opened with
+    /// [`IncrementalEncoder::begin_named_scope`].
+    name: Option<String>,
     nodes: Vec<usize>,
     vars: Vec<Var>,
     true_lit_allocated: bool,
@@ -127,30 +133,68 @@ impl IncrementalEncoder {
     /// Opens a retractable scope: every node literal, input-variable
     /// literal, and true-literal allocation made by subsequent
     /// [`IncrementalEncoder::encode_roots`] calls is recorded until
-    /// [`IncrementalEncoder::retract_scope`] undoes them.
+    /// [`IncrementalEncoder::retract_scope`] undoes them. Scopes nest:
+    /// records always land in the innermost open scope, and retraction is
+    /// strictly LIFO.
     ///
     /// Callers that emit into a live incremental solver must guard the
     /// clauses produced inside a scope (e.g. behind a selector literal
     /// they later retire): after retraction the encoder may hand out
     /// *fresh* literals for the same nodes, so the old defining clauses
     /// must no longer constrain anything.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a scope is already open (scopes do not nest).
     pub fn begin_scope(&mut self) {
-        assert!(self.scope.is_none(), "encoder scopes do not nest");
-        self.scope = Some(ScopeRecord::default());
+        self.scopes.push(ScopeRecord::default());
     }
 
-    /// Closes the open scope, forgetting every literal it assigned: the
-    /// affected nodes read as not-yet-encoded again.
+    /// [`IncrementalEncoder::begin_scope`], additionally naming the scope
+    /// as a checkpoint so [`IncrementalEncoder::retract_through`] can
+    /// later roll the encoder back to the state at this call — undoing
+    /// this scope *and* every scope opened above it.
+    pub fn begin_named_scope(&mut self, name: &str) {
+        self.scopes.push(ScopeRecord {
+            name: Some(name.to_string()),
+            ..ScopeRecord::default()
+        });
+    }
+
+    /// Number of currently open scopes.
+    pub fn open_scopes(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Closes the innermost open scope, forgetting every literal it
+    /// assigned: the affected nodes read as not-yet-encoded again.
     ///
     /// # Panics
     ///
     /// Panics if no scope is open.
     pub fn retract_scope(&mut self) {
-        let scope = self.scope.take().expect("no open scope to retract");
+        let scope = self.scopes.pop().expect("no open scope to retract");
+        self.undo(scope);
+    }
+
+    /// Rolls back to the checkpoint `name`: retracts every scope above
+    /// the named one (in LIFO order) and then the named scope itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no open scope is named `name`.
+    pub fn retract_through(&mut self, name: &str) {
+        assert!(
+            self.scopes.iter().any(|s| s.name.as_deref() == Some(name)),
+            "no open checkpoint named {name:?}"
+        );
+        loop {
+            let scope = self.scopes.pop().expect("checkpoint existence checked");
+            let found = scope.name.as_deref() == Some(name);
+            self.undo(scope);
+            if found {
+                break;
+            }
+        }
+    }
+
+    fn undo(&mut self, scope: ScopeRecord) {
         for i in scope.nodes {
             self.lits[i] = 0;
         }
@@ -160,6 +204,62 @@ impl IncrementalEncoder {
         if scope.true_lit_allocated {
             self.true_lit = 0;
         }
+    }
+
+    /// The 1-based DIMACS indices of every solver variable this encoder
+    /// currently references (node literals of all scopes, input-variable
+    /// literals, and the true-literal). A solver compaction pass must
+    /// keep these variables alive; see
+    /// [`IncrementalEncoder::remap_vars`].
+    pub fn referenced_dimacs_vars(&self) -> Vec<u32> {
+        let mut vars: Vec<u32> = self
+            .lits
+            .iter()
+            .filter(|&&l| l != 0)
+            .map(|&l| l.unsigned_abs())
+            .chain(self.var_lits.values().map(|&l| l.unsigned_abs()))
+            .collect();
+        if self.true_lit != 0 {
+            vars.push(self.true_lit.unsigned_abs());
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Rewrites every stored literal after a solver variable compaction:
+    /// `map[old]` is the new 0-based index of the variable with old
+    /// 0-based index `old`, or `None` if the solver dropped it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable was dropped (the caller must pin
+    /// [`IncrementalEncoder::referenced_dimacs_vars`]).
+    pub fn remap_vars(&mut self, map: &[Option<u32>]) {
+        let remap = |l: i32| -> i32 {
+            if l == 0 {
+                return 0;
+            }
+            let old = (l.unsigned_abs() - 1) as usize;
+            let new = map
+                .get(old)
+                .copied()
+                .flatten()
+                .expect("encoder-referenced variable survives compaction");
+            let dimacs = (new + 1) as i32;
+            if l < 0 {
+                -dimacs
+            } else {
+                dimacs
+            }
+        };
+        for l in &mut self.lits {
+            *l = remap(*l);
+        }
+        for l in self.var_lits.values_mut() {
+            *l = remap(*l);
+        }
+        self.true_lit = remap(self.true_lit);
     }
 
     /// Encodes every node reachable from `roots` that is not already
@@ -217,7 +317,7 @@ impl IncrementalEncoder {
                         self.true_lit = sink.fresh_var();
                         sink.add_clause(&[self.true_lit]);
                         self.clauses_emitted += 1;
-                        if let Some(scope) = &mut self.scope {
+                        if let Some(scope) = self.scopes.last_mut() {
                             scope.true_lit_allocated = true;
                         }
                     }
@@ -232,7 +332,7 @@ impl IncrementalEncoder {
                     None => {
                         let l = sink.fresh_var();
                         self.var_lits.insert(*v, l);
-                        if let Some(scope) = &mut self.scope {
+                        if let Some(scope) = self.scopes.last_mut() {
                             scope.vars.push(*v);
                         }
                         l
@@ -276,7 +376,7 @@ impl IncrementalEncoder {
             };
             debug_assert!(lit != 0, "every node gets a non-zero literal");
             self.lits[i] = lit;
-            if let Some(scope) = &mut self.scope {
+            if let Some(scope) = self.scopes.last_mut() {
                 scope.nodes.push(i);
             }
         }
@@ -399,6 +499,84 @@ mod tests {
         assert_eq!(lt, -lf);
         assert!(brute_sat(&cnf, lt));
         assert!(!brute_sat(&cnf, lf));
+    }
+
+    #[test]
+    fn nested_scopes_retract_in_lifo_order() {
+        let mut f = Arena::new(Simplify::Raw);
+        let mut enc = IncrementalEncoder::new();
+        let mut cnf = Cnf::new();
+        let x = f.var(0);
+        enc.encode_roots(&f, &[x], &mut cnf);
+
+        enc.begin_named_scope("suffix");
+        let y = f.var(1);
+        let xy = f.and2(x, y);
+        enc.encode_roots(&f, &[xy], &mut cnf);
+        assert!(enc.lit_of(xy).is_some());
+
+        enc.begin_scope(); // anonymous query scope on top
+        let z = f.var(2);
+        let q = f.xor2(xy, z);
+        enc.encode_roots(&f, &[q], &mut cnf);
+        assert!(enc.lit_of(q).is_some());
+        assert_eq!(enc.open_scopes(), 2);
+
+        enc.retract_scope();
+        assert!(enc.lit_of(q).is_none(), "query scope rolled back");
+        assert!(enc.lit_of(xy).is_some(), "checkpointed scope survives");
+
+        enc.begin_scope();
+        enc.encode_roots(&f, &[q], &mut cnf);
+        enc.retract_through("suffix");
+        assert_eq!(enc.open_scopes(), 0);
+        assert!(enc.lit_of(q).is_none());
+        assert!(enc.lit_of(xy).is_none(), "checkpoint rolls back the suffix");
+        assert!(enc.lit_of_var(1).is_none());
+        assert_eq!(enc.lit_of(x), Some(enc.lit_of_var(0).unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "no open checkpoint")]
+    fn retract_through_unknown_checkpoint_panics() {
+        let mut enc = IncrementalEncoder::new();
+        enc.begin_scope();
+        enc.retract_through("missing");
+    }
+
+    #[test]
+    fn remap_vars_rewrites_every_literal() {
+        let mut f = Arena::new(Simplify::Raw);
+        let mut enc = IncrementalEncoder::new();
+        let mut cnf = Cnf::new();
+        let x = f.var(0);
+        let nx = f.not(x);
+        let t = f.constant(true);
+        let root = f.and2(nx, t);
+        let lit = enc.encode_roots(&f, &[root], &mut cnf)[0];
+
+        let referenced = enc.referenced_dimacs_vars();
+        assert!(referenced.contains(&lit.unsigned_abs()));
+
+        // Shift every variable up by one slot (as a compaction that
+        // dropped variable 0 of a larger solver would).
+        let max = referenced.iter().max().copied().unwrap() as usize;
+        let map: Vec<Option<u32>> = (0..max).map(|v| Some(v as u32 + 1)).collect();
+        let old_var_lit = enc.lit_of_var(0).unwrap();
+        enc.remap_vars(&map);
+        assert_eq!(
+            enc.lit_of_var(0).unwrap(),
+            old_var_lit + old_var_lit.signum()
+        );
+        assert_eq!(
+            enc.lit_of(root).unwrap().unsigned_abs(),
+            lit.unsigned_abs() + 1
+        );
+        assert_eq!(
+            enc.lit_of(root).unwrap().signum(),
+            lit.signum(),
+            "polarity preserved"
+        );
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Structural identity and edit diffing for elaborated programs.
+//!
+//! The verify-on-change daemon keys warm verification sessions by a
+//! *stable structural hash* of the elaborated circuit: two sources that
+//! elaborate to the same gate sequence over the same qubit layout (same
+//! widths, same borrow disciplines) share one session regardless of
+//! register names, comment text, loop structure, or constant spellings.
+//!
+//! [`gate_diff`] compares two elaborated gate sequences and reports the
+//! longest common prefix: when a program edit only touches a suffix of
+//! the circuit, the incremental session keeps the prefix encoding (and
+//! the solver's learnt clauses about it) warm and re-encodes only the
+//! changed tail.
+
+use crate::elaborate::{ElaboratedProgram, QubitKind};
+use qb_circuit::Gate;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An FNV-1a accumulator (deterministic across runs and platforms, unlike
+/// `std::hash`'s randomly seeded maps).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    fn word(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+}
+
+fn hash_gate(h: &mut Fnv, gate: &Gate) {
+    match gate {
+        Gate::X(q) => {
+            h.byte(0);
+            h.word(*q as u64);
+        }
+        Gate::H(q) => {
+            h.byte(1);
+            h.word(*q as u64);
+        }
+        Gate::Z(q) => {
+            h.byte(2);
+            h.word(*q as u64);
+        }
+        Gate::S(q) => {
+            h.byte(3);
+            h.word(*q as u64);
+        }
+        Gate::Sdg(q) => {
+            h.byte(4);
+            h.word(*q as u64);
+        }
+        Gate::T(q) => {
+            h.byte(5);
+            h.word(*q as u64);
+        }
+        Gate::Tdg(q) => {
+            h.byte(6);
+            h.word(*q as u64);
+        }
+        Gate::Phase { theta, q } => {
+            h.byte(7);
+            h.word(theta.to_bits());
+            h.word(*q as u64);
+        }
+        Gate::Cnot { c, t } => {
+            h.byte(8);
+            h.word(*c as u64);
+            h.word(*t as u64);
+        }
+        Gate::Cz { c, t } => {
+            h.byte(9);
+            h.word(*c as u64);
+            h.word(*t as u64);
+        }
+        Gate::CPhase { theta, c, t } => {
+            h.byte(10);
+            h.word(theta.to_bits());
+            h.word(*c as u64);
+            h.word(*t as u64);
+        }
+        Gate::Swap(a, b) => {
+            h.byte(11);
+            h.word(*a as u64);
+            h.word(*b as u64);
+        }
+        Gate::Toffoli { c1, c2, t } => {
+            h.byte(12);
+            h.word(*c1 as u64);
+            h.word(*c2 as u64);
+            h.word(*t as u64);
+        }
+        Gate::Mcx { controls, target } => {
+            h.byte(13);
+            h.word(controls.len() as u64);
+            for c in controls {
+                h.word(*c as u64);
+            }
+            h.word(*target as u64);
+        }
+    }
+}
+
+/// A stable structural hash of an elaborated program: qubit count, the
+/// borrow discipline of every qubit, and the full elaborated gate
+/// sequence. Register names, spans, comments and surface-level loop/let
+/// structure do not contribute — two sources elaborating to the same
+/// circuit hash identically, across runs and platforms.
+///
+/// # Examples
+///
+/// ```
+/// use qb_lang::{elaborate, parse, structural_hash};
+/// let a = elaborate(&parse("borrow a[2]; X[a[1]]; X[a[2]];").unwrap()).unwrap();
+/// let b = elaborate(&parse("borrow q[2]; for i = 1 to 2 { X[q[i]]; }").unwrap()).unwrap();
+/// assert_eq!(structural_hash(&a), structural_hash(&b));
+/// ```
+pub fn structural_hash(program: &ElaboratedProgram) -> u64 {
+    let mut h = Fnv::new();
+    h.word(program.num_qubits() as u64);
+    for kind in &program.qubit_kinds {
+        h.byte(match kind {
+            QubitKind::BorrowedDirty => 0,
+            QubitKind::TrustedDirty => 1,
+            QubitKind::Clean => 2,
+        });
+    }
+    h.word(program.circuit.size() as u64);
+    for gate in program.circuit.gates() {
+        hash_gate(&mut h, gate);
+    }
+    h.0
+}
+
+/// How one elaborated gate sequence differs from another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateDiff {
+    /// Length of the longest common prefix.
+    pub common_prefix: usize,
+    /// Gates of the old sequence past the common prefix.
+    pub removed: usize,
+    /// Gates of the new sequence past the common prefix.
+    pub added: usize,
+}
+
+impl GateDiff {
+    /// `true` when the sequences are identical.
+    pub fn is_identity(&self) -> bool {
+        self.removed == 0 && self.added == 0
+    }
+}
+
+/// Length of the longest common gate-sequence prefix.
+pub fn gate_common_prefix(old: &[Gate], new: &[Gate]) -> usize {
+    old.iter().zip(new).take_while(|(a, b)| a == b).count()
+}
+
+/// Diffs two elaborated gate sequences (longest common prefix plus
+/// suffix lengths).
+///
+/// # Examples
+///
+/// ```
+/// use qb_circuit::Gate;
+/// use qb_lang::gate_diff;
+/// let old = [Gate::X(0), Gate::X(1), Gate::X(2)];
+/// let new = [Gate::X(0), Gate::X(1), Gate::X(3), Gate::X(4)];
+/// let d = gate_diff(&old, &new);
+/// assert_eq!(d.common_prefix, 2);
+/// assert_eq!((d.removed, d.added), (1, 2));
+/// ```
+pub fn gate_diff(old: &[Gate], new: &[Gate]) -> GateDiff {
+    let common_prefix = gate_common_prefix(old, new);
+    GateDiff {
+        common_prefix,
+        removed: old.len() - common_prefix,
+        added: new.len() - common_prefix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{elaborate, parse};
+
+    fn program(src: &str) -> ElaboratedProgram {
+        elaborate(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn hash_ignores_names_and_surface_structure() {
+        let a = program("let n = 2; borrow a[n]; CNOT[a[1], a[2]]; X[a[1]];");
+        let b = program("borrow qq[2]; CNOT[qq[1], qq[2]]; X[qq[1]]; // comment");
+        assert_eq!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn hash_distinguishes_gates_kinds_and_widths() {
+        let base = program("borrow a[2]; X[a[1]];");
+        let other_gate = program("borrow a[2]; X[a[2]];");
+        let other_kind = program("borrow@ a[2]; X[a[1]];");
+        let wider = program("borrow a[3]; X[a[1]];");
+        let more = program("borrow a[2]; X[a[1]]; X[a[1]];");
+        let h = structural_hash(&base);
+        assert_ne!(h, structural_hash(&other_gate));
+        assert_ne!(h, structural_hash(&other_kind));
+        assert_ne!(h, structural_hash(&wider));
+        assert_ne!(h, structural_hash(&more));
+    }
+
+    #[test]
+    fn hash_is_stable_across_elaborations() {
+        let src = crate::adder_source(8);
+        assert_eq!(
+            structural_hash(&program(&src)),
+            structural_hash(&program(&src))
+        );
+    }
+
+    #[test]
+    fn diff_finds_suffix_edits() {
+        let old = program("borrow a[3]; X[a[1]]; X[a[2]]; X[a[3]];");
+        let new = program("borrow a[3]; X[a[1]]; X[a[2]]; X[a[1]]; X[a[3]];");
+        let d = gate_diff(old.circuit.gates(), new.circuit.gates());
+        assert_eq!(d.common_prefix, 2);
+        assert_eq!(d.removed, 1);
+        assert_eq!(d.added, 2);
+        assert!(!d.is_identity());
+
+        let same = gate_diff(old.circuit.gates(), old.circuit.gates());
+        assert_eq!(same.common_prefix, 3);
+        assert!(same.is_identity());
+    }
+
+    #[test]
+    fn diff_of_disjoint_sequences_has_empty_prefix() {
+        let old = program("borrow a[2]; X[a[2]];");
+        let new = program("borrow a[2]; X[a[1]];");
+        let d = gate_diff(old.circuit.gates(), new.circuit.gates());
+        assert_eq!(d.common_prefix, 0);
+    }
+}

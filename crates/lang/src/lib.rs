@@ -43,6 +43,7 @@
 
 pub mod ast;
 mod core_ast;
+mod diff;
 mod elaborate;
 mod error;
 mod idle;
@@ -52,6 +53,7 @@ mod semantics;
 mod token;
 
 pub use core_ast::{CoreGate, CoreStmt, QubitRef};
+pub use diff::{gate_common_prefix, gate_diff, structural_hash, GateDiff};
 pub use elaborate::{elaborate, ElaboratedProgram, QubitKind, RegisterInfo};
 pub use error::{LangError, Phase};
 pub use idle::idle;

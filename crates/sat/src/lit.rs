@@ -12,6 +12,15 @@ impl SatVar {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds a variable handle from a dense index — for callers
+    /// translating handles through the remap table returned by
+    /// [`crate::Solver::compact`]. The index must name a variable the
+    /// target solver has allocated.
+    #[inline]
+    pub fn from_index(index: usize) -> SatVar {
+        SatVar(index as u32)
+    }
 }
 
 /// A literal: a variable with a sign, packed as `var << 1 | sign`.

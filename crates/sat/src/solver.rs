@@ -101,6 +101,9 @@ pub struct Solver {
     guarded: HashMap<u32, Vec<ClauseRef>>,
     /// Scratch for recursive learnt-clause minimisation.
     redundant_stack: Vec<Lit>,
+    /// Selectors retired since the last [`Solver::compact`] (the GC
+    /// trigger for long incremental sessions).
+    retired_selectors: usize,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -133,6 +136,7 @@ impl Solver {
             cla_inc: 1.0,
             guarded: HashMap::new(),
             redundant_stack: Vec::new(),
+            retired_selectors: 0,
         }
     }
 
@@ -363,7 +367,186 @@ impl Solver {
                 }
             }
         }
+        self.retired_selectors += 1;
         self.add_clause(&[selector.negate()]);
+    }
+
+    /// Selectors retired since the last [`Solver::compact`] call — the
+    /// trigger statistic for periodic garbage collection in long
+    /// incremental sessions.
+    pub fn retired_since_compaction(&self) -> usize {
+        self.retired_selectors
+    }
+
+    /// Number of clause slots (live *and* deleted) in the arena — what
+    /// [`Solver::simplify_satisfied`] and watch-list bookkeeping scale
+    /// with before a [`Solver::compact`] pass.
+    pub fn clause_slots(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of live (non-deleted) clauses.
+    pub fn live_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Compacts the solver's arenas: drops deleted clause slots and every
+    /// variable that neither occurs in a live clause nor is listed in
+    /// `pinned`, renumbering the survivors densely so the per-variable
+    /// arrays (assignments, activity, phase, watch lists, branching heap)
+    /// shrink back to the live working set. Long incremental sessions
+    /// retire selectors and deaden query variables monotonically; without
+    /// this GC pass the arrays — and every scan over them — grow with
+    /// session *history* instead of live state.
+    ///
+    /// Returns the old→new variable mapping (`None` = dropped). **Every
+    /// externally held [`SatVar`]/[`Lit`] handle is invalidated**: callers
+    /// must pin the variables they intend to keep referencing and remap
+    /// their handles through the returned table. Satisfiability is
+    /// unchanged: live clauses, level-zero assignments of surviving
+    /// variables, learnt clauses, and activities all carry over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called above decision level zero.
+    pub fn compact(&mut self, pinned: &[SatVar]) -> Vec<Option<u32>> {
+        assert!(self.trail_lim.is_empty(), "level-zero operation only");
+        self.retired_selectors = 0;
+        let n = self.num_vars();
+        if !self.ok {
+            // Permanently unsat: nothing to renumber usefully.
+            return (0..n as u32).map(Some).collect();
+        }
+        // Detach clauses already satisfied at level zero so they don't
+        // pin their variables through another GC cycle.
+        self.simplify_satisfied();
+
+        let mut keep = vec![false; n];
+        for &v in pinned {
+            keep[v.index()] = true;
+        }
+        // Renumber live clause slots, marking variable occurrences.
+        let mut clause_map: Vec<Option<ClauseRef>> = vec![None; self.clauses.len()];
+        let mut clauses: Vec<Clause> = Vec::new();
+        for (old, c) in self.clauses.iter_mut().enumerate() {
+            if c.deleted {
+                continue;
+            }
+            for l in &c.lits {
+                keep[l.var().index()] = true;
+            }
+            clause_map[old] = Some(clauses.len() as ClauseRef);
+            clauses.push(std::mem::replace(
+                c,
+                Clause {
+                    lits: Vec::new(),
+                    learnt: false,
+                    deleted: true,
+                    lbd: 0,
+                    activity: 0.0,
+                },
+            ));
+        }
+
+        let mut var_map: Vec<Option<u32>> = vec![None; n];
+        let mut next = 0u32;
+        for (old, kept) in keep.iter().enumerate() {
+            if *kept {
+                var_map[old] = Some(next);
+                next += 1;
+            }
+        }
+        let new_n = next as usize;
+        let remap = |l: Lit| {
+            Lit::new(
+                SatVar(var_map[l.var().index()].expect("kept-variable literal")),
+                l.is_neg(),
+            )
+        };
+
+        // Rebuild clause literals and the watch lists from the (still
+        // valid) first-two-literal watch positions.
+        let mut watches: Vec<Vec<Watcher>> = vec![Vec::new(); 2 * new_n];
+        for (cref, c) in clauses.iter_mut().enumerate() {
+            for l in &mut c.lits {
+                *l = remap(*l);
+            }
+            watches[c.lits[0].negate().index()].push(Watcher {
+                cref: cref as ClauseRef,
+                blocker: c.lits[1],
+            });
+            watches[c.lits[1].negate().index()].push(Watcher {
+                cref: cref as ClauseRef,
+                blocker: c.lits[0],
+            });
+        }
+
+        // Compact the per-variable arrays. Reasons are cleared: every
+        // surviving assignment is a level-zero fact, and conflict
+        // analysis never expands level-zero reasons.
+        let mut assigns = vec![LBool::Undef; new_n];
+        let mut level = vec![0u32; new_n];
+        let mut activity = vec![0.0f64; new_n];
+        let mut phase = vec![false; new_n];
+        let mut model = vec![false; new_n];
+        for (old, &slot) in var_map.iter().enumerate() {
+            let Some(new) = slot else { continue };
+            assigns[new as usize] = self.assigns[old];
+            level[new as usize] = self.level[old];
+            activity[new as usize] = self.activity[old];
+            phase[new as usize] = self.phase[old];
+            model[new as usize] = self.model.get(old).copied().unwrap_or(false);
+        }
+        // The level-zero trail keeps (remapped) entries of surviving
+        // variables; assignments of dropped variables only ever fed
+        // clauses that are gone.
+        let trail: Vec<Lit> = self
+            .trail
+            .iter()
+            .filter(|l| var_map[l.var().index()].is_some())
+            .map(|&l| remap(l))
+            .collect();
+        let mut order = VarOrder::new();
+        order.grow_to(new_n);
+        for (v, a) in assigns.iter().enumerate() {
+            if a.is_undef() {
+                order.insert(SatVar(v as u32), &activity);
+            }
+        }
+        let guarded = self
+            .guarded
+            .iter()
+            .filter_map(|(&sel, crefs)| {
+                let sel_new = var_map[sel as usize]?;
+                let crefs: Vec<ClauseRef> = crefs
+                    .iter()
+                    .filter_map(|&c| clause_map[c as usize])
+                    .collect();
+                Some((sel_new, crefs))
+            })
+            .collect();
+        let learnt_refs: Vec<ClauseRef> = self
+            .learnt_refs
+            .iter()
+            .filter_map(|&c| clause_map[c as usize])
+            .collect();
+        self.stats.learnt_clauses = learnt_refs.len() as u64;
+
+        self.clauses = clauses;
+        self.learnt_refs = learnt_refs;
+        self.watches = watches;
+        self.assigns = assigns;
+        self.level = level;
+        self.reason = vec![None; new_n];
+        self.qhead = trail.len();
+        self.trail = trail;
+        self.activity = activity;
+        self.order = order;
+        self.phase = phase;
+        self.seen = vec![false; new_n];
+        self.model = model;
+        self.guarded = guarded;
+        var_map
     }
 
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
@@ -930,6 +1113,91 @@ mod tests {
     fn luby_sequence() {
         let seq: Vec<u64> = (0..9).map(Solver::luby).collect();
         assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1]);
+    }
+
+    #[test]
+    fn compaction_shrinks_slots_and_preserves_verdicts() {
+        // A base formula plus a stream of guarded "queries": after
+        // retiring the selectors, compaction must shrink both the
+        // variable and clause arenas while every verdict on the base
+        // formula is unchanged.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&lits(&[1, 2]));
+        s.add_clause(&[Lit::neg(a), Lit::pos(c)]);
+
+        for round in 0..20 {
+            let sel = Lit::pos(s.new_selector());
+            let x = s.new_var();
+            let y = s.new_var();
+            // Guarded structure: x ↔ ¬y plus a round-dependent unit.
+            s.add_guarded_clause(sel, &[Lit::pos(x), Lit::pos(y)]);
+            s.add_guarded_clause(sel, &[Lit::neg(x), Lit::neg(y)]);
+            let polarity = round % 2 == 0;
+            s.add_guarded_clause(sel, &[Lit::new(x, polarity)]);
+            assert_eq!(s.solve_with_assumptions(&[sel]), SatResult::Sat);
+            s.retire_selector(sel);
+            s.simplify_satisfied();
+            s.deaden_vars(&[x, y]);
+        }
+
+        let vars_before = s.num_vars();
+        let slots_before = s.clause_slots();
+        assert!(s.retired_since_compaction() >= 20);
+
+        let map = s.compact(&[a, b, c]);
+        assert_eq!(s.retired_since_compaction(), 0);
+        assert!(
+            s.num_vars() < vars_before,
+            "variables shrink: {} -> {}",
+            vars_before,
+            s.num_vars()
+        );
+        assert!(
+            s.clause_slots() < slots_before,
+            "clause slots shrink: {} -> {}",
+            slots_before,
+            s.clause_slots()
+        );
+        assert_eq!(s.clause_slots(), s.live_clauses());
+
+        // Pinned variables survive and the base formula still decides
+        // identically through the remapped handles.
+        let a2 = SatVar(map[a.index()].unwrap());
+        let b2 = SatVar(map[b.index()].unwrap());
+        let c2 = SatVar(map[c.index()].unwrap());
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg(a2), Lit::neg(b2)]),
+            SatResult::Unsat
+        );
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::pos(a2), Lit::neg(c2)]),
+            SatResult::Unsat
+        );
+        assert_eq!(s.solve_with_assumptions(&[Lit::pos(a2)]), SatResult::Sat);
+        assert!(s.model()[c2.index()], "a → c still propagates");
+    }
+
+    #[test]
+    fn compaction_keeps_level_zero_facts() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a)]); // unit fact
+        s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        // `b` was forced at level zero; after compaction the fact must
+        // persist even though its reason clause is satisfied-swept.
+        let map = s.compact(&[a, b]);
+        let a2 = SatVar(map[a.index()].unwrap());
+        let b2 = SatVar(map[b.index()].unwrap());
+        assert_eq!(s.solve_with_assumptions(&[Lit::neg(b2)]), SatResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[Lit::neg(a2)]), SatResult::Unsat);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.model()[a2.index()] && s.model()[b2.index()]);
     }
 
     #[test]

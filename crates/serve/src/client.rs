@@ -1,0 +1,124 @@
+//! A thin synchronous client for the `qb-serve` daemon.
+//!
+//! One request per call, one JSON line each way. The CLI (`qborrow
+//! client …`, `qborrow watch …`) and the protocol tests both drive the
+//! daemon through this type.
+
+use crate::json::Json;
+use crate::protocol::Request;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A connected daemon client.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to a daemon listening on `socket`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection failure (typically: no daemon running).
+    pub fn connect(socket: impl AsRef<Path>) -> io::Result<Client> {
+        let stream = UnixStream::connect(socket.as_ref())?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads the matching response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, connection loss, or an unparseable response line.
+    pub fn request(&mut self, request: &Request) -> io::Result<Json> {
+        self.writer.write_all(request.to_line().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Json::parse(line.trim_end()).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unparseable daemon response: {e}"),
+            )
+        })
+    }
+
+    /// Loads `source` under `name`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn load(&mut self, name: &str, source: &str) -> io::Result<Json> {
+        self.request(&Request::Load {
+            name: name.to_string(),
+            source: source.to_string(),
+        })
+    }
+
+    /// Verifies a loaded program (all `borrow` qubits when `targets` is
+    /// `None`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn verify(&mut self, name: &str, targets: Option<Vec<usize>>) -> io::Result<Json> {
+        self.request(&Request::Verify {
+            name: name.to_string(),
+            targets,
+        })
+    }
+
+    /// Submits an edited source for incremental re-verification.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn edit(&mut self, name: &str, source: &str) -> io::Result<Json> {
+        self.request(&Request::Edit {
+            name: name.to_string(),
+            source: source.to_string(),
+        })
+    }
+
+    /// Queries daemon status.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn status(&mut self) -> io::Result<Json> {
+        self.request(&Request::Status)
+    }
+
+    /// Unloads one program.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn unload(&mut self, name: &str) -> io::Result<Json> {
+        self.request(&Request::Unload {
+            name: name.to_string(),
+        })
+    }
+
+    /// Asks the daemon to shut down.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.request(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,688 @@
+//! The verify-on-change daemon: warm per-program verification sessions
+//! behind a JSON-lines Unix-socket protocol.
+//!
+//! The daemon holds one [`VerifySession`] per loaded program, keyed by
+//! the *structural hash* of the elaborated circuit
+//! ([`qb_lang::structural_hash`]): client-chosen names are aliases onto
+//! the hash-keyed session table, so two editors looking at structurally
+//! identical programs share one warm session. A `verify` request decides
+//! conditions on the warm solver (learnt clauses, VSIDS state and phase
+//! saving carry over from every previous request); an `edit` request
+//! diffs the newly elaborated gate sequence against the cached circuit
+//! and — when only a suffix changed — retracts and re-encodes just that
+//! suffix, keeping the prefix encoding warm
+//! ([`VerifySession::apply_edit`]).
+//!
+//! Connections are served one at a time (the session table is a single
+//! mutable resource); clients hold connections only for the duration of
+//! a request batch. Multi-client concurrency and a TCP transport are
+//! recorded follow-ups in `ROADMAP.md`.
+
+use crate::json::Json;
+use crate::protocol::{error_response, Request};
+use qb_core::{InitialValue, QubitVerdict, VerifyError, VerifyOptions, VerifySession};
+use qb_lang::{elaborate, gate_diff, parse, structural_hash, ElaboratedProgram, QubitKind};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Path of the Unix domain socket to listen on.
+    pub socket: PathBuf,
+    /// Verifier configuration shared by every session.
+    pub verify: VerifyOptions,
+    /// Print one line per handled request to stderr.
+    pub log: bool,
+}
+
+impl ServeOptions {
+    /// Options for `socket` with default verification settings.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        ServeOptions {
+            socket: socket.into(),
+            verify: VerifyOptions::default(),
+            log: false,
+        }
+    }
+}
+
+/// One warm program: the elaborated circuit and its verification session.
+struct ProgramSession {
+    program: ElaboratedProgram,
+    session: VerifySession,
+    verifies: u64,
+}
+
+fn initial_values(program: &ElaboratedProgram) -> Vec<InitialValue> {
+    (0..program.num_qubits())
+        .map(|q| match program.qubit_kinds[q] {
+            QubitKind::Clean => InitialValue::Zero,
+            QubitKind::BorrowedDirty | QubitKind::TrustedDirty => InitialValue::Free,
+        })
+        .collect()
+}
+
+fn hash_hex(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+/// An `ok:false` response carrying the machine-readable `not_loaded`
+/// code, so clients (notably `qborrow watch` across a daemon restart)
+/// can fall back to a fresh `load` instead of failing forever.
+fn not_loaded_response(name: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::Str(format!("program {name:?} is not loaded")),
+        ),
+        ("code", Json::Str("not_loaded".to_string())),
+    ])
+}
+
+/// The daemon's request handler, socket-free for testability: feed it
+/// request lines, get response lines back.
+pub struct Server {
+    verify: VerifyOptions,
+    /// Warm sessions, keyed by structural hash.
+    sessions: HashMap<u64, ProgramSession>,
+    /// Client names aliasing into `sessions`.
+    names: HashMap<String, u64>,
+    requests: u64,
+}
+
+impl Server {
+    /// Creates an empty server.
+    pub fn new(verify: VerifyOptions) -> Self {
+        Server {
+            verify,
+            sessions: HashMap::new(),
+            names: HashMap::new(),
+            requests: 0,
+        }
+    }
+
+    /// Handles one request line; returns the response line (no trailing
+    /// newline) and whether the daemon should shut down.
+    pub fn handle_line(&mut self, line: &str) -> (String, bool) {
+        self.requests += 1;
+        match Request::parse(line) {
+            Err(e) => (error_response(&e).to_string(), false),
+            Ok(request) => {
+                let shutdown = request == Request::Shutdown;
+                let response = self.handle(request);
+                (response.to_string(), shutdown)
+            }
+        }
+    }
+
+    /// Number of loaded (hash-distinct) sessions.
+    pub fn loaded_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn handle(&mut self, request: Request) -> Json {
+        match request {
+            Request::Load { name, source } => self.load(name, &source),
+            Request::Verify { name, targets } => self.run_verify(&name, targets),
+            Request::Edit { name, source } => self.edit(&name, &source),
+            Request::Status => self.status(),
+            Request::Unload { name } => self.unload(&name),
+            Request::Shutdown => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("shutdown", Json::Bool(true)),
+            ]),
+        }
+    }
+
+    fn elaborate_source(source: &str) -> Result<ElaboratedProgram, String> {
+        let ast = parse(source).map_err(|e| e.to_string())?;
+        elaborate(&ast).map_err(|e| e.to_string())
+    }
+
+    fn program_summary(name: &str, hash: u64, entry: &ProgramSession) -> Vec<(&'static str, Json)> {
+        let stats = entry.session.stats();
+        vec![
+            ("name", Json::Str(name.to_string())),
+            ("hash", Json::Str(hash_hex(hash))),
+            ("qubits", Json::Int(entry.program.num_qubits() as i64)),
+            ("gates", Json::Int(entry.program.circuit.size() as i64)),
+            (
+                "targets",
+                Json::Arr(
+                    entry
+                        .program
+                        .qubits_to_verify()
+                        .iter()
+                        .map(|&q| Json::Int(q as i64))
+                        .collect(),
+                ),
+            ),
+            ("verifies", Json::Int(entry.verifies as i64)),
+            ("edits", Json::Int(stats.edits as i64)),
+            ("arena_nodes", Json::Int(stats.arena_nodes as i64)),
+            ("solver_vars", Json::Int(stats.solver_vars as i64)),
+            ("clause_slots", Json::Int(stats.clause_slots as i64)),
+            ("live_clauses", Json::Int(stats.live_clauses as i64)),
+            ("compactions", Json::Int(stats.compactions as i64)),
+            ("cached_decisions", Json::Int(stats.cached_decisions as i64)),
+            ("decision_hits", Json::Int(stats.decision_hits as i64)),
+        ]
+    }
+
+    fn load(&mut self, name: String, source: &str) -> Json {
+        let program = match Self::elaborate_source(source) {
+            Ok(p) => p,
+            Err(e) => return error_response(&e),
+        };
+        let hash = structural_hash(&program);
+        let reused = self.sessions.contains_key(&hash);
+        if !reused {
+            let t0 = Instant::now();
+            let session =
+                match VerifySession::new(&program.circuit, &initial_values(&program), &self.verify)
+                {
+                    Ok(s) => s,
+                    Err(e) => return error_response(&e.to_string()),
+                };
+            let _ = t0;
+            self.sessions.insert(
+                hash,
+                ProgramSession {
+                    program,
+                    session,
+                    verifies: 0,
+                },
+            );
+        }
+        // Rebind the name; drop a previously bound session if this name
+        // was its last alias.
+        if let Some(old) = self.names.insert(name.clone(), hash) {
+            if old != hash {
+                self.drop_if_unaliased(old);
+            }
+        }
+        let entry = self.sessions.get(&hash).expect("just ensured");
+        let mut pairs = vec![("ok", Json::Bool(true)), ("reused", Json::Bool(reused))];
+        pairs.extend(Self::program_summary(&name, hash, entry));
+        Json::obj(pairs)
+    }
+
+    fn run_verify(&mut self, name: &str, targets: Option<Vec<usize>>) -> Json {
+        let Some(&hash) = self.names.get(name) else {
+            return not_loaded_response(name);
+        };
+        let entry = self.sessions.get_mut(&hash).expect("alias invariant");
+        let targets = targets.unwrap_or_else(|| entry.program.qubits_to_verify());
+        let t0 = Instant::now();
+        let verdicts = match entry.session.verify_targets(&targets) {
+            Ok(v) => v,
+            Err(e) => return error_response(&e.to_string()),
+        };
+        let solve_ns = t0.elapsed().as_nanos() as i64;
+        entry.verifies += 1;
+        let all_safe = verdicts.iter().all(|v| v.safe);
+        let rendered: Vec<Json> = verdicts
+            .iter()
+            .map(|v| render_verdict(&entry.program, v))
+            .collect();
+        let stats = entry.session.stats();
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("name", Json::Str(name.to_string())),
+            ("hash", Json::Str(hash_hex(hash))),
+            ("all_safe", Json::Bool(all_safe)),
+            ("verdicts", Json::Arr(rendered)),
+            ("solve_ns", Json::Int(solve_ns)),
+            ("verifies", Json::Int(entry.verifies as i64)),
+            ("compactions", Json::Int(stats.compactions as i64)),
+        ])
+    }
+
+    fn edit(&mut self, name: &str, source: &str) -> Json {
+        let Some(&old_hash) = self.names.get(name) else {
+            return not_loaded_response(name);
+        };
+        let program = match Self::elaborate_source(source) {
+            Ok(p) => p,
+            Err(e) => return error_response(&e),
+        };
+        let new_hash = structural_hash(&program);
+        if new_hash == old_hash {
+            let entry = self.sessions.get(&old_hash).expect("alias invariant");
+            let mut pairs = vec![
+                ("ok", Json::Bool(true)),
+                ("changed", Json::Bool(false)),
+                ("strategy", Json::Str("identical".into())),
+            ];
+            pairs.extend(Self::program_summary(name, old_hash, entry));
+            return Json::obj(pairs);
+        }
+        // An identical program is already warm under another name: just
+        // re-alias, dropping our old session if unaliased.
+        if self.sessions.contains_key(&new_hash) {
+            self.names.insert(name.to_string(), new_hash);
+            self.drop_if_unaliased(old_hash);
+            let entry = self.sessions.get(&new_hash).expect("checked");
+            let mut pairs = vec![
+                ("ok", Json::Bool(true)),
+                ("changed", Json::Bool(true)),
+                ("strategy", Json::Str("aliased".into())),
+            ];
+            pairs.extend(Self::program_summary(name, new_hash, entry));
+            return Json::obj(pairs);
+        }
+
+        let aliased = self.names.values().filter(|&&h| h == old_hash).count() > 1;
+        let old_entry = self.sessions.get(&old_hash).expect("alias invariant");
+        let kinds_match = old_entry.program.qubit_kinds == program.qubit_kinds;
+        let diff = gate_diff(old_entry.program.circuit.gates(), program.circuit.gates());
+
+        // Incremental path: exclusive session with an unchanged qubit
+        // layout. Otherwise fall back to a fresh session for this name.
+        if !aliased && kinds_match {
+            let mut entry = self.sessions.remove(&old_hash).expect("alias invariant");
+            match entry.session.apply_edit(&program.circuit) {
+                Ok(stats) => {
+                    entry.program = program;
+                    self.sessions.insert(new_hash, entry);
+                    self.names.insert(name.to_string(), new_hash);
+                    let entry = self.sessions.get(&new_hash).expect("just inserted");
+                    let mut pairs = vec![
+                        ("ok", Json::Bool(true)),
+                        ("changed", Json::Bool(true)),
+                        ("strategy", Json::Str("incremental".into())),
+                        ("common_prefix", Json::Int(stats.common_prefix as i64)),
+                        ("removed_gates", Json::Int(diff.removed as i64)),
+                        ("added_gates", Json::Int(diff.added as i64)),
+                        ("permanent_prefix", Json::Int(stats.permanent_prefix as i64)),
+                        ("suffix_clauses", Json::Int(stats.suffix_clauses as i64)),
+                        ("edit_ns", Json::Int(stats.elapsed.as_nanos() as i64)),
+                    ];
+                    pairs.extend(Self::program_summary(name, new_hash, entry));
+                    return Json::obj(pairs);
+                }
+                Err(VerifyError::IncompatibleEdit { .. }) => {
+                    // Qubit layout changed: put the old session back and
+                    // fall through to the reload path.
+                    self.sessions.insert(old_hash, entry);
+                }
+                Err(e) => {
+                    self.sessions.insert(old_hash, entry);
+                    return error_response(&e.to_string());
+                }
+            }
+        }
+
+        // Reload path: build a fresh session for the edited program.
+        let session =
+            match VerifySession::new(&program.circuit, &initial_values(&program), &self.verify) {
+                Ok(s) => s,
+                Err(e) => return error_response(&e.to_string()),
+            };
+        self.sessions.insert(
+            new_hash,
+            ProgramSession {
+                program,
+                session,
+                verifies: 0,
+            },
+        );
+        self.names.insert(name.to_string(), new_hash);
+        self.drop_if_unaliased(old_hash);
+        let entry = self.sessions.get(&new_hash).expect("just inserted");
+        let mut pairs = vec![
+            ("ok", Json::Bool(true)),
+            ("changed", Json::Bool(true)),
+            ("strategy", Json::Str("reload".into())),
+            ("common_prefix", Json::Int(diff.common_prefix as i64)),
+            ("removed_gates", Json::Int(diff.removed as i64)),
+            ("added_gates", Json::Int(diff.added as i64)),
+        ];
+        pairs.extend(Self::program_summary(name, new_hash, entry));
+        Json::obj(pairs)
+    }
+
+    fn status(&self) -> Json {
+        let mut names: Vec<&String> = self.names.keys().collect();
+        names.sort();
+        let programs: Vec<Json> = names
+            .iter()
+            .map(|name| {
+                let hash = self.names[*name];
+                let entry = self.sessions.get(&hash).expect("alias invariant");
+                Json::obj(
+                    Self::program_summary(name, hash, entry)
+                        .into_iter()
+                        .collect(),
+                )
+            })
+            .collect();
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("programs", Json::Arr(programs)),
+            ("sessions", Json::Int(self.sessions.len() as i64)),
+            ("requests", Json::Int(self.requests as i64)),
+        ])
+    }
+
+    fn unload(&mut self, name: &str) -> Json {
+        match self.names.remove(name) {
+            None => not_loaded_response(name),
+            Some(hash) => {
+                self.drop_if_unaliased(hash);
+                Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("unloaded", Json::Str(name.to_string())),
+                    ("sessions", Json::Int(self.sessions.len() as i64)),
+                ])
+            }
+        }
+    }
+
+    fn drop_if_unaliased(&mut self, hash: u64) {
+        if !self.names.values().any(|&h| h == hash) {
+            self.sessions.remove(&hash);
+        }
+    }
+}
+
+fn render_verdict(program: &ElaboratedProgram, v: &QubitVerdict) -> Json {
+    let mut pairs = vec![
+        ("qubit", Json::Int(v.qubit as i64)),
+        ("name", Json::Str(program.qubit_name(v.qubit).to_string())),
+        ("safe", Json::Bool(v.safe)),
+        ("zero_ns", Json::Int(v.zero_time.as_nanos() as i64)),
+        ("plus_ns", Json::Int(v.plus_time.as_nanos() as i64)),
+    ];
+    if let Some(ce) = &v.counterexample {
+        pairs.push(("violation", Json::Str(ce.violation.to_string())));
+        if let Some(bits) = &ce.basis_assignment {
+            pairs.push((
+                "witness",
+                Json::Arr(bits.iter().map(|&b| Json::Bool(b)).collect()),
+            ));
+        }
+    }
+    Json::obj(pairs)
+}
+
+/// Runs the daemon: binds `opts.socket`, serves connections until a
+/// `shutdown` request arrives, then removes the socket file.
+///
+/// # Errors
+///
+/// Fails when the socket cannot be bound. Per-connection I/O errors are
+/// logged and do not stop the daemon.
+pub fn run(opts: &ServeOptions) -> std::io::Result<()> {
+    if opts.socket.exists() {
+        // Only reclaim the path if nothing is listening on it: unlinking
+        // a live daemon's socket would strand it (and its warm sessions)
+        // unreachable forever.
+        if UnixStream::connect(&opts.socket).is_ok() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AddrInUse,
+                format!("a daemon is already serving on {}", opts.socket.display()),
+            ));
+        }
+        // A previous daemon crashed or was killed: reclaim the path.
+        std::fs::remove_file(&opts.socket)?;
+    }
+    let listener = UnixListener::bind(&opts.socket)?;
+    if opts.log {
+        eprintln!(
+            "qb-serve: listening on {} (backend {}, {:?})",
+            opts.socket.display(),
+            opts.verify.backend,
+            opts.verify.simplify
+        );
+    }
+    let mut server = Server::new(opts.verify);
+    for stream in listener.incoming() {
+        match stream {
+            Err(e) => {
+                eprintln!("qb-serve: accept failed: {e}");
+            }
+            Ok(stream) => match serve_connection(stream, &mut server, opts.log) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(e) => eprintln!("qb-serve: connection error: {e}"),
+            },
+        }
+    }
+    let _ = std::fs::remove_file(&opts.socket);
+    if opts.log {
+        eprintln!("qb-serve: shut down");
+    }
+    Ok(())
+}
+
+/// Serves one connection; returns `true` when a shutdown was requested.
+fn serve_connection(stream: UnixStream, server: &mut Server, log: bool) -> std::io::Result<bool> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let t0 = Instant::now();
+        let (response, shutdown) = server.handle_line(&line);
+        if log {
+            let cmd = Json::parse(&line)
+                .ok()
+                .and_then(|v| v.get("cmd").and_then(Json::as_str).map(String::from))
+                .unwrap_or_else(|| "<malformed>".into());
+            eprintln!(
+                "qb-serve: {cmd} -> {} bytes in {:?}",
+                response.len(),
+                t0.elapsed()
+            );
+        }
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(v: &Json) -> bool {
+        v.get("ok").and_then(Json::as_bool) == Some(true)
+    }
+
+    fn handle(server: &mut Server, line: &str) -> Json {
+        let (resp, _) = server.handle_line(line);
+        Json::parse(&resp).unwrap()
+    }
+
+    const GOOD: &str = "borrow@ q[4]; borrow a; CCNOT[q[1], q[2], a]; CCNOT[a, q[3], q[4]]; \
+                        CCNOT[q[1], q[2], a]; CCNOT[a, q[3], q[4]]; release a;";
+    const BROKEN: &str = "borrow@ q[4]; borrow a; CCNOT[q[1], q[2], a]; CCNOT[a, q[3], q[4]]; \
+                          CCNOT[q[1], q[2], a];";
+
+    #[test]
+    fn load_verify_edit_cycle() {
+        let mut server = Server::new(VerifyOptions::default());
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "cccnot".into(),
+                source: GOOD.into(),
+            }
+            .to_line(),
+        );
+        assert!(ok(&load), "{load}");
+        assert_eq!(load.get("qubits").unwrap().as_i64(), Some(5));
+        assert_eq!(load.get("reused").unwrap().as_bool(), Some(false));
+
+        let verify = handle(
+            &mut server,
+            &Request::Verify {
+                name: "cccnot".into(),
+                targets: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&verify));
+        assert_eq!(verify.get("all_safe").unwrap().as_bool(), Some(true));
+
+        let edit = handle(
+            &mut server,
+            &Request::Edit {
+                name: "cccnot".into(),
+                source: BROKEN.into(),
+            }
+            .to_line(),
+        );
+        assert!(ok(&edit), "{edit}");
+        assert_eq!(edit.get("strategy").unwrap().as_str(), Some("incremental"));
+        assert_eq!(edit.get("common_prefix").unwrap().as_i64(), Some(3));
+
+        let verify = handle(
+            &mut server,
+            &Request::Verify {
+                name: "cccnot".into(),
+                targets: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&verify));
+        assert_eq!(verify.get("all_safe").unwrap().as_bool(), Some(false));
+        assert_eq!(server.loaded_sessions(), 1, "edit rekeys, not duplicates");
+    }
+
+    #[test]
+    fn structurally_identical_loads_share_one_session() {
+        let mut server = Server::new(VerifyOptions::default());
+        let a = handle(
+            &mut server,
+            &Request::Load {
+                name: "a".into(),
+                source: "borrow x[2]; X[x[1]]; X[x[1]];".into(),
+            }
+            .to_line(),
+        );
+        let b = handle(
+            &mut server,
+            &Request::Load {
+                name: "b".into(),
+                source: "// same circuit, different name\nborrow y[2]; for i = 1 to 2 { X[y[1]]; }"
+                    .into(),
+            }
+            .to_line(),
+        );
+        assert!(ok(&a) && ok(&b));
+        assert_eq!(a.get("hash"), b.get("hash"));
+        assert_eq!(b.get("reused").unwrap().as_bool(), Some(true));
+        assert_eq!(server.loaded_sessions(), 1);
+
+        // Editing one alias forks rather than corrupting the other.
+        let edit = handle(
+            &mut server,
+            &Request::Edit {
+                name: "b".into(),
+                source: "borrow y[2]; X[y[1]];".into(),
+            }
+            .to_line(),
+        );
+        assert!(ok(&edit));
+        assert_eq!(edit.get("strategy").unwrap().as_str(), Some("reload"));
+        assert_eq!(server.loaded_sessions(), 2);
+
+        let unload = handle(&mut server, &Request::Unload { name: "a".into() }.to_line());
+        assert!(ok(&unload));
+        assert_eq!(server.loaded_sessions(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut server = Server::new(VerifyOptions::default());
+        let (resp, shutdown) = server.handle_line("{\"cmd\":");
+        assert!(!shutdown);
+        assert!(resp.contains("malformed"));
+
+        let bad = handle(
+            &mut server,
+            &Request::Load {
+                name: "bad".into(),
+                source: "borrow a; X[zzz];".into(),
+            }
+            .to_line(),
+        );
+        assert!(!ok(&bad));
+
+        let missing = handle(
+            &mut server,
+            &Request::Verify {
+                name: "ghost".into(),
+                targets: None,
+            }
+            .to_line(),
+        );
+        assert!(!ok(&missing));
+
+        let edit_unloaded = handle(
+            &mut server,
+            &Request::Edit {
+                name: "ghost".into(),
+                source: GOOD.into(),
+            }
+            .to_line(),
+        );
+        assert!(!ok(&edit_unloaded));
+
+        // The server still works.
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "ok".into(),
+                source: GOOD.into(),
+            }
+            .to_line(),
+        );
+        assert!(ok(&load));
+    }
+
+    #[test]
+    fn edit_changing_layout_reloads() {
+        let mut server = Server::new(VerifyOptions::default());
+        handle(
+            &mut server,
+            &Request::Load {
+                name: "p".into(),
+                source: "borrow a[2]; X[a[1]];".into(),
+            }
+            .to_line(),
+        );
+        let edit = handle(
+            &mut server,
+            &Request::Edit {
+                name: "p".into(),
+                source: "borrow a[3]; X[a[1]];".into(),
+            }
+            .to_line(),
+        );
+        assert!(ok(&edit), "{edit}");
+        assert_eq!(edit.get("strategy").unwrap().as_str(), Some("reload"));
+        assert_eq!(edit.get("qubits").unwrap().as_i64(), Some(3));
+    }
+
+    #[test]
+    fn shutdown_is_signalled() {
+        let mut server = Server::new(VerifyOptions::default());
+        let (resp, shutdown) = server.handle_line(&Request::Shutdown.to_line());
+        assert!(shutdown);
+        assert!(resp.contains("\"shutdown\":true"));
+    }
+}

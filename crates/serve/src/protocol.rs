@@ -1,0 +1,207 @@
+//! The `qb-serve` wire protocol: JSON-lines request/response over a Unix
+//! domain socket.
+//!
+//! Every request is one JSON object on one line with a `"cmd"` member;
+//! every response is one JSON object on one line with an `"ok"` boolean.
+//! Program sources travel as JSON strings (newlines escaped), so the
+//! framing stays trivially line-based.
+//!
+//! | cmd | members | effect |
+//! |-----|---------|--------|
+//! | `load` | `name`, `source` | elaborate + create/reuse a warm session |
+//! | `verify` | `name`, optional `targets` | decide conditions on the warm session |
+//! | `edit` | `name`, `source` | diff against the cached circuit, re-verify incrementally |
+//! | `status` | — | list loaded programs and session statistics |
+//! | `unload` | `name` | drop a program (and its session if unaliased) |
+//! | `shutdown` | — | stop the daemon |
+
+use crate::json::Json;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Load (or re-use) a program under a client-chosen name.
+    Load {
+        /// Client-side identifier (usually the file path).
+        name: String,
+        /// QBorrow surface source.
+        source: String,
+    },
+    /// Verify targets of a loaded program (`None` = all `borrow` qubits).
+    Verify {
+        /// Program name from a prior `load`.
+        name: String,
+        /// Optional explicit target qubits.
+        targets: Option<Vec<usize>>,
+    },
+    /// Re-submit an edited source for incremental re-verification.
+    Edit {
+        /// Program name from a prior `load`.
+        name: String,
+        /// The edited source.
+        source: String,
+    },
+    /// Report loaded programs and session statistics.
+    Status,
+    /// Unload one program.
+    Unload {
+        /// Program name from a prior `load`.
+        name: String,
+    },
+    /// Stop the daemon.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first syntactic or structural problem; the daemon
+    /// reports it in an `ok:false` response without dropping the
+    /// connection.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let cmd = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("missing string member \"cmd\"")?;
+        let name = |v: &Json| -> Result<String, String> {
+            Ok(v.get("name")
+                .and_then(Json::as_str)
+                .ok_or("missing string member \"name\"")?
+                .to_string())
+        };
+        let source = |v: &Json| -> Result<String, String> {
+            Ok(v.get("source")
+                .and_then(Json::as_str)
+                .ok_or("missing string member \"source\"")?
+                .to_string())
+        };
+        match cmd {
+            "load" => Ok(Request::Load {
+                name: name(&v)?,
+                source: source(&v)?,
+            }),
+            "verify" => {
+                let targets = match v.get("targets") {
+                    None | Some(Json::Null) => None,
+                    Some(arr) => {
+                        let items = arr.as_arr().ok_or("\"targets\" must be an array")?;
+                        let mut out = Vec::with_capacity(items.len());
+                        for item in items {
+                            out.push(
+                                item.as_usize()
+                                    .ok_or("\"targets\" entries must be non-negative integers")?,
+                            );
+                        }
+                        Some(out)
+                    }
+                };
+                Ok(Request::Verify {
+                    name: name(&v)?,
+                    targets,
+                })
+            }
+            "edit" => Ok(Request::Edit {
+                name: name(&v)?,
+                source: source(&v)?,
+            }),
+            "status" => Ok(Request::Status),
+            "unload" => Ok(Request::Unload { name: name(&v)? }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown cmd {other:?}")),
+        }
+    }
+
+    /// Serialises the request to its wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            Request::Load { name, source } => Json::obj(vec![
+                ("cmd", Json::Str("load".into())),
+                ("name", Json::Str(name.clone())),
+                ("source", Json::Str(source.clone())),
+            ]),
+            Request::Verify { name, targets } => {
+                let mut pairs = vec![
+                    ("cmd", Json::Str("verify".into())),
+                    ("name", Json::Str(name.clone())),
+                ];
+                if let Some(targets) = targets {
+                    pairs.push((
+                        "targets",
+                        Json::Arr(targets.iter().map(|&t| Json::Int(t as i64)).collect()),
+                    ));
+                }
+                Json::obj(pairs)
+            }
+            Request::Edit { name, source } => Json::obj(vec![
+                ("cmd", Json::Str("edit".into())),
+                ("name", Json::Str(name.clone())),
+                ("source", Json::Str(source.clone())),
+            ]),
+            Request::Status => Json::obj(vec![("cmd", Json::Str("status".into()))]),
+            Request::Unload { name } => Json::obj(vec![
+                ("cmd", Json::Str("unload".into())),
+                ("name", Json::Str(name.clone())),
+            ]),
+            Request::Shutdown => Json::obj(vec![("cmd", Json::Str("shutdown".into()))]),
+        };
+        v.to_string()
+    }
+}
+
+/// Builds an `ok:false` response line.
+pub fn error_response(message: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Load {
+                name: "adder".into(),
+                source: "borrow a;\nX[a];\n".into(),
+            },
+            Request::Verify {
+                name: "adder".into(),
+                targets: None,
+            },
+            Request::Verify {
+                name: "adder".into(),
+                targets: Some(vec![3, 1, 4]),
+            },
+            Request::Edit {
+                name: "adder".into(),
+                source: "// v2\nborrow a;".into(),
+            },
+            Request::Status,
+            Request::Unload {
+                name: "adder".into(),
+            },
+            Request::Shutdown,
+        ];
+        for r in requests {
+            let line = r.to_line();
+            assert!(!line.contains('\n'), "one line per request: {line:?}");
+            assert_eq!(Request::parse(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_structural_errors() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{}").is_err());
+        assert!(Request::parse(r#"{"cmd":"load","name":"x"}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"warp"}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"verify","name":"x","targets":[-1]}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"verify","name":"x","targets":"all"}"#).is_err());
+    }
+}

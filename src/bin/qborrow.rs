@@ -1,16 +1,30 @@
 //! The `qborrow` command-line verifier — the counterpart of the paper
-//! artifact's `./qborrow ../examples/adder.qbr` binary.
+//! artifact's `./qborrow ../examples/adder.qbr` binary, plus the
+//! verify-on-change serving layer.
 //!
 //! ```text
-//! qborrow verify <file.qbr> [--backend sat|anf|bdd] [--simplify raw|full]
-//!                           [--jobs N]
-//! qborrow info   <file.qbr>
-//! qborrow render <file.qbr>
+//! qborrow verify <file.qbr|-> [--backend sat|anf|bdd] [--simplify raw|full]
+//!                             [--jobs N]
+//! qborrow info   <file.qbr|->
+//! qborrow render <file.qbr|->
+//!
+//! qborrow serve  --socket <path> [--backend ...] [--simplify ...] [--quiet]
+//! qborrow client verify <file.qbr|-> [--socket <path>] [--name <name>]
+//! qborrow client edit   <file.qbr|-> [--socket <path>] [--name <name>]
+//! qborrow client status|shutdown [--socket <path>]
+//! qborrow client unload <name> [--socket <path>]
+//! qborrow watch  <file.qbr> [--socket <path>] [--interval-ms N]
 //! ```
 //!
-//! `--jobs N` fans the per-qubit verification out over `N` worker
-//! threads (`--jobs 0` = all available cores), one incremental
-//! verification session per worker.
+//! `<file.qbr>` may be `-` to read the program from stdin (for editor
+//! integrations). Exit codes: `0` success/all-safe, `1` verification
+//! found unsafe qubits or a runtime error occurred, `2` malformed input
+//! (unreadable file, parse or elaboration error) or bad usage.
+//!
+//! The daemon keeps one warm verification session per loaded program;
+//! `client verify` loads (or re-uses) and verifies over the daemon, and
+//! `watch` re-verifies on every mtime change, paying only for the edited
+//! gate suffix.
 
 use qborrow::circuit::render_with_labels;
 use qborrow::core::{
@@ -18,19 +32,84 @@ use qborrow::core::{
 };
 use qborrow::formula::Simplify;
 use qborrow::lang::{elaborate, parse, ElaboratedProgram};
+use qborrow::serve::{Client, Json, ServeOptions};
+use std::io::Read;
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Exit code for malformed input / bad usage.
+const EXIT_BAD_INPUT: u8 = 2;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  qborrow verify <file.qbr> [--backend sat|anf|bdd] [--simplify raw|full] [--jobs N]\n  qborrow info   <file.qbr>\n  qborrow render <file.qbr>"
+        "usage:\n  \
+         qborrow verify <file.qbr|-> [--backend sat|anf|bdd] [--simplify raw|full] [--jobs N]\n  \
+         qborrow info   <file.qbr|->\n  \
+         qborrow render <file.qbr|->\n  \
+         qborrow serve  --socket <path> [--backend sat|anf|bdd] [--simplify raw|full] [--quiet]\n  \
+         qborrow client verify|edit <file.qbr|-> [--socket <path>] [--name <name>]\n  \
+         qborrow client status|shutdown [--socket <path>]\n  \
+         qborrow client unload <name> [--socket <path>]\n  \
+         qborrow watch  <file.qbr> [--socket <path>] [--interval-ms N]"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_BAD_INPUT)
+}
+
+/// Reads a program source; `-` means stdin.
+fn read_source(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut source = String::new();
+        std::io::stdin()
+            .read_to_string(&mut source)
+            .map_err(|e| format!("<stdin>: {e}"))?;
+        Ok(source)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
 }
 
 fn load(path: &str) -> Result<ElaboratedProgram, String> {
-    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let source = read_source(path)?;
     let ast = parse(&source).map_err(|e| format!("{path}: {e}"))?;
     elaborate(&ast).map_err(|e| format!("{path}: {e}"))
+}
+
+fn default_socket() -> PathBuf {
+    std::env::var_os("QBORROW_SOCKET")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("qborrow.sock"))
+}
+
+/// Parses `--backend`/`--simplify` at position `i`; returns whether the
+/// flag was consumed.
+fn parse_backend_flag(
+    args: &[String],
+    i: &mut usize,
+    backend: &mut BackendKind,
+    simplify: &mut Simplify,
+) -> Result<bool, String> {
+    match args[*i].as_str() {
+        "--backend" => {
+            *backend = match args.get(*i + 1).map(String::as_str) {
+                Some("sat") => BackendKind::Sat,
+                Some("anf") => BackendKind::Anf,
+                Some("bdd") => BackendKind::Bdd,
+                other => return Err(format!("unknown backend {other:?}")),
+            };
+            *i += 2;
+            Ok(true)
+        }
+        "--simplify" => {
+            *simplify = match args.get(*i + 1).map(String::as_str) {
+                Some("raw") => Simplify::Raw,
+                Some("full") => Simplify::Full,
+                other => return Err(format!("unknown simplify mode {other:?}")),
+            };
+            *i += 2;
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
 }
 
 fn main() -> ExitCode {
@@ -38,6 +117,12 @@ fn main() -> ExitCode {
     let Some(command) = args.first().map(String::as_str) else {
         return usage();
     };
+    match command {
+        "serve" => return cmd_serve(&args[1..]),
+        "client" => return cmd_client(&args[1..]),
+        "watch" => return cmd_watch(&args[1..]),
+        _ => {}
+    }
     let Some(path) = args.get(1) else {
         return usage();
     };
@@ -45,7 +130,7 @@ fn main() -> ExitCode {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_BAD_INPUT);
         }
     };
     match command {
@@ -78,131 +163,535 @@ fn main() -> ExitCode {
             print!("{}", render_with_labels(&program.circuit, &labels));
             ExitCode::SUCCESS
         }
-        "verify" => {
-            let mut backend = BackendKind::Sat;
-            let mut simplify = Simplify::Raw;
-            let mut jobs = 1usize;
-            let mut i = 2;
-            while i < args.len() {
-                match args[i].as_str() {
-                    "--jobs" => {
-                        jobs = match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
-                            Some(n) => n,
-                            None => match args.get(i + 1) {
-                                Some(bad) => {
-                                    eprintln!("--jobs expects a number, got {bad:?}");
-                                    return usage();
-                                }
-                                None => {
-                                    eprintln!("--jobs expects a number");
-                                    return usage();
-                                }
-                            },
-                        };
-                        i += 2;
-                    }
-                    "--backend" => {
-                        backend = match args.get(i + 1).map(String::as_str) {
-                            Some("sat") => BackendKind::Sat,
-                            Some("anf") => BackendKind::Anf,
-                            Some("bdd") => BackendKind::Bdd,
-                            other => {
-                                eprintln!("unknown backend {other:?}");
-                                return usage();
-                            }
-                        };
-                        i += 2;
-                    }
-                    "--simplify" => {
-                        simplify = match args.get(i + 1).map(String::as_str) {
-                            Some("raw") => Simplify::Raw,
-                            Some("full") => Simplify::Full,
-                            other => {
-                                eprintln!("unknown simplify mode {other:?}");
-                                return usage();
-                            }
-                        };
-                        i += 2;
-                    }
-                    other => {
-                        eprintln!("unknown flag {other:?}");
+        "verify" => cmd_verify(path, &program, &args[2..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_verify(path: &str, program: &ElaboratedProgram, flags: &[String]) -> ExitCode {
+    let mut backend = BackendKind::Sat;
+    let mut simplify = Simplify::Raw;
+    let mut jobs = 1usize;
+    let mut i = 0;
+    while i < flags.len() {
+        match parse_backend_flag(flags, &mut i, &mut backend, &mut simplify) {
+            Err(e) => {
+                eprintln!("{e}");
+                return usage();
+            }
+            Ok(true) => continue,
+            Ok(false) => {}
+        }
+        match flags[i].as_str() {
+            "--jobs" => {
+                jobs = match flags.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--jobs expects a number");
                         return usage();
                     }
+                };
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return usage();
+            }
+        }
+    }
+    let opts = VerifyOptions {
+        backend,
+        simplify,
+        backend_options: BackendOptions::default(),
+    };
+    let targets = program.qubits_to_verify();
+    if targets.is_empty() {
+        println!("{path}: no `borrow` qubits to verify (only borrow@/alloc)");
+        return ExitCode::SUCCESS;
+    }
+    let outcome = if jobs == 1 {
+        verify_program(program, &opts)
+    } else {
+        verify_program_parallel(program, &opts, jobs)
+    };
+    match outcome {
+        Err(e) => {
+            eprintln!("verification error: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(report) => {
+            for v in &report.verdicts {
+                if v.safe {
+                    println!(
+                        "  {:<8} SAFE   (|0>: {:?}, |+>: {:?})",
+                        program.qubit_name(v.qubit),
+                        v.zero_time,
+                        v.plus_time
+                    );
+                } else {
+                    let ce = v.counterexample.as_ref().expect("unsafe has witness");
+                    println!(
+                        "  {:<8} UNSAFE ({})",
+                        program.qubit_name(v.qubit),
+                        ce.violation
+                    );
+                    if let Some(bits) = &ce.basis_assignment {
+                        let rendered: Vec<String> = bits
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &b)| b)
+                            .map(|(q, _)| program.qubit_name(q).to_string())
+                            .collect();
+                        let detail = match ce.violation {
+                            Violation::ZeroNotRestored => "initial basis state",
+                            Violation::PlusNotRestored => "background on which |+> decoheres",
+                        };
+                        println!(
+                            "           witness ({detail}): {{{}}} set, rest 0",
+                            rendered.join(", ")
+                        );
+                    }
                 }
             }
-            let opts = VerifyOptions {
+            println!(
+                "{path}: {}/{} dirty qubits safe | backend {} ({:?}) | construct {:?} | solve {:?}",
+                report.verdicts.iter().filter(|v| v.safe).count(),
+                report.verdicts.len(),
                 backend,
                 simplify,
-                backend_options: BackendOptions::default(),
-            };
-            let targets = program.qubits_to_verify();
-            if targets.is_empty() {
-                println!("{path}: no `borrow` qubits to verify (only borrow@/alloc)");
-                return ExitCode::SUCCESS;
-            }
-            let outcome = if jobs == 1 {
-                verify_program(&program, &opts)
+                report.construction_time,
+                report.solver_time
+            );
+            if report.all_safe() {
+                ExitCode::SUCCESS
             } else {
-                verify_program_parallel(&program, &opts, jobs)
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+fn cmd_serve(flags: &[String]) -> ExitCode {
+    let mut socket = default_socket();
+    let mut backend = BackendKind::Sat;
+    let mut simplify = Simplify::Raw;
+    let mut log = true;
+    let mut i = 0;
+    while i < flags.len() {
+        match parse_backend_flag(flags, &mut i, &mut backend, &mut simplify) {
+            Err(e) => {
+                eprintln!("{e}");
+                return usage();
+            }
+            Ok(true) => continue,
+            Ok(false) => {}
+        }
+        match flags[i].as_str() {
+            "--socket" => {
+                let Some(path) = flags.get(i + 1) else {
+                    eprintln!("--socket expects a path");
+                    return usage();
+                };
+                socket = PathBuf::from(path);
+                i += 2;
+            }
+            "--quiet" => {
+                log = false;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return usage();
+            }
+        }
+    }
+    let opts = ServeOptions {
+        socket,
+        verify: VerifyOptions {
+            backend,
+            simplify,
+            backend_options: BackendOptions::default(),
+        },
+        log,
+    };
+    match qborrow::serve::run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("qborrow serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses trailing `--socket`/`--name` flags shared by client commands.
+fn parse_client_flags(flags: &[String]) -> Result<(PathBuf, Option<String>), String> {
+    let mut socket = default_socket();
+    let mut name = None;
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--socket" => {
+                socket = PathBuf::from(
+                    flags
+                        .get(i + 1)
+                        .ok_or("--socket expects a path")?
+                        .to_string(),
+                );
+                i += 2;
+            }
+            "--name" => {
+                name = Some(
+                    flags
+                        .get(i + 1)
+                        .ok_or("--name expects a value")?
+                        .to_string(),
+                );
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((socket, name))
+}
+
+fn connect(socket: &PathBuf) -> Result<Client, ExitCode> {
+    Client::connect(socket).map_err(|e| {
+        eprintln!(
+            "qborrow client: cannot reach daemon at {} ({e}); start one with \
+             `qborrow serve --socket {}`",
+            socket.display(),
+            socket.display()
+        );
+        ExitCode::FAILURE
+    })
+}
+
+/// Prints an `ok:false` response; returns `true` when one was printed.
+fn print_error(response: &Json) -> bool {
+    match response.get("ok").and_then(Json::as_bool) {
+        Some(true) => false,
+        _ => {
+            let msg = response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown daemon error");
+            eprintln!("error: {msg}");
+            true
+        }
+    }
+}
+
+/// Renders a daemon verify response; returns `all_safe`.
+fn print_verify_response(label: &str, response: &Json) -> bool {
+    let verdicts = response
+        .get("verdicts")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    for v in verdicts {
+        let name = v.get("name").and_then(Json::as_str).unwrap_or("?");
+        if v.get("safe").and_then(Json::as_bool) == Some(true) {
+            println!("  {name:<8} SAFE");
+        } else {
+            let violation = v
+                .get("violation")
+                .and_then(Json::as_str)
+                .unwrap_or("violation");
+            println!("  {name:<8} UNSAFE ({violation})");
+        }
+    }
+    let all_safe = response.get("all_safe").and_then(Json::as_bool) == Some(true);
+    let safe = verdicts
+        .iter()
+        .filter(|v| v.get("safe").and_then(Json::as_bool) == Some(true))
+        .count();
+    let solve_ms = response
+        .get("solve_ns")
+        .and_then(Json::as_i64)
+        .map(|ns| ns as f64 / 1e6)
+        .unwrap_or(0.0);
+    println!(
+        "{label}: {safe}/{} dirty qubits safe | daemon solve {solve_ms:.2}ms",
+        verdicts.len()
+    );
+    all_safe
+}
+
+fn print_edit_response(label: &str, response: &Json) {
+    let strategy = response
+        .get("strategy")
+        .and_then(Json::as_str)
+        .unwrap_or("?");
+    match strategy {
+        "incremental" => {
+            let common = response
+                .get("common_prefix")
+                .and_then(Json::as_i64)
+                .unwrap_or(0);
+            let gates = response.get("gates").and_then(Json::as_i64).unwrap_or(0);
+            let added = response
+                .get("added_gates")
+                .and_then(Json::as_i64)
+                .unwrap_or(0);
+            let removed = response
+                .get("removed_gates")
+                .and_then(Json::as_i64)
+                .unwrap_or(0);
+            println!(
+                "{label}: incremental edit (prefix {common}/{gates} warm, -{removed}/+{added} gates)"
+            );
+        }
+        "identical" => println!("{label}: no structural change"),
+        other => println!("{label}: {other}"),
+    }
+}
+
+fn cmd_client(args: &[String]) -> ExitCode {
+    let Some(sub) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    let (positional, flags): (Vec<&String>, Vec<&String>) = {
+        // Positionals come before the first `--flag`.
+        let split = args[1..]
+            .iter()
+            .position(|a| a.starts_with("--"))
+            .map(|p| p + 1)
+            .unwrap_or(args.len());
+        (
+            args[1..split].iter().collect(),
+            args[split..].iter().collect(),
+        )
+    };
+    let flags: Vec<String> = flags.into_iter().cloned().collect();
+    let (socket, name) = match parse_client_flags(&flags) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    match sub {
+        "verify" | "edit" => {
+            let Some(path) = positional.first() else {
+                return usage();
             };
-            match outcome {
+            let source = match read_source(path) {
+                Ok(s) => s,
                 Err(e) => {
-                    eprintln!("verification error: {e}");
-                    ExitCode::FAILURE
+                    eprintln!("error: {e}");
+                    return ExitCode::from(EXIT_BAD_INPUT);
                 }
-                Ok(report) => {
-                    for v in &report.verdicts {
-                        if v.safe {
-                            println!(
-                                "  {:<8} SAFE   (|0>: {:?}, |+>: {:?})",
-                                program.qubit_name(v.qubit),
-                                v.zero_time,
-                                v.plus_time
-                            );
-                        } else {
-                            let ce = v.counterexample.as_ref().expect("unsafe has witness");
-                            println!(
-                                "  {:<8} UNSAFE ({})",
-                                program.qubit_name(v.qubit),
-                                ce.violation
-                            );
-                            if let Some(bits) = &ce.basis_assignment {
-                                let rendered: Vec<String> = bits
-                                    .iter()
-                                    .enumerate()
-                                    .filter(|&(_, &b)| b)
-                                    .map(|(q, _)| program.qubit_name(q).to_string())
-                                    .collect();
-                                let detail = match ce.violation {
-                                    Violation::ZeroNotRestored => "initial basis state",
-                                    Violation::PlusNotRestored => {
-                                        "background on which |+> decoheres"
-                                    }
-                                };
-                                println!(
-                                    "           witness ({detail}): {{{}}} set, rest 0",
-                                    rendered.join(", ")
-                                );
-                            }
-                        }
+            };
+            let name = name.unwrap_or_else(|| path.to_string());
+            let mut client = match connect(&socket) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            let result = (|| -> std::io::Result<ExitCode> {
+                if sub == "edit" {
+                    let response = client.edit(&name, &source)?;
+                    if print_error(&response) {
+                        return Ok(ExitCode::from(EXIT_BAD_INPUT));
                     }
-                    println!(
-                        "{path}: {}/{} dirty qubits safe | backend {} ({:?}) | construct {:?} | solve {:?}",
-                        report.verdicts.iter().filter(|v| v.safe).count(),
-                        report.verdicts.len(),
-                        backend,
-                        simplify,
-                        report.construction_time,
-                        report.solver_time
-                    );
-                    if report.all_safe() {
+                    print_edit_response(&name, &response);
+                } else {
+                    let response = client.load(&name, &source)?;
+                    if print_error(&response) {
+                        return Ok(ExitCode::from(EXIT_BAD_INPUT));
+                    }
+                    let reused = response.get("reused").and_then(Json::as_bool) == Some(true);
+                    let response = client.verify(&name, None)?;
+                    if print_error(&response) {
+                        return Ok(ExitCode::FAILURE);
+                    }
+                    let all_safe = print_verify_response(&name, &response);
+                    if reused {
+                        println!("(warm session re-used)");
+                    }
+                    return Ok(if all_safe {
                         ExitCode::SUCCESS
                     } else {
                         ExitCode::FAILURE
+                    });
+                }
+                Ok(ExitCode::SUCCESS)
+            })();
+            result.unwrap_or_else(|e| {
+                eprintln!("qborrow client: {e}");
+                ExitCode::FAILURE
+            })
+        }
+        "status" => {
+            let mut client = match connect(&socket) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.status() {
+                Err(e) => {
+                    eprintln!("qborrow client: {e}");
+                    ExitCode::FAILURE
+                }
+                Ok(response) => {
+                    if print_error(&response) {
+                        return ExitCode::FAILURE;
+                    }
+                    let programs = response
+                        .get("programs")
+                        .and_then(Json::as_arr)
+                        .unwrap_or(&[]);
+                    println!("{} loaded program(s)", programs.len());
+                    for p in programs {
+                        println!(
+                            "  {:<24} hash {} qubits {:>4} gates {:>6} verifies {:>4} edits {:>4} \
+                             solver vars {:>7} clauses {:>7} compactions {}",
+                            p.get("name").and_then(Json::as_str).unwrap_or("?"),
+                            p.get("hash").and_then(Json::as_str).unwrap_or("?"),
+                            p.get("qubits").and_then(Json::as_i64).unwrap_or(0),
+                            p.get("gates").and_then(Json::as_i64).unwrap_or(0),
+                            p.get("verifies").and_then(Json::as_i64).unwrap_or(0),
+                            p.get("edits").and_then(Json::as_i64).unwrap_or(0),
+                            p.get("solver_vars").and_then(Json::as_i64).unwrap_or(0),
+                            p.get("live_clauses").and_then(Json::as_i64).unwrap_or(0),
+                            p.get("compactions").and_then(Json::as_i64).unwrap_or(0),
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+        "unload" => {
+            let Some(target) = positional.first() else {
+                return usage();
+            };
+            let mut client = match connect(&socket) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.unload(target) {
+                Err(e) => {
+                    eprintln!("qborrow client: {e}");
+                    ExitCode::FAILURE
+                }
+                Ok(response) => {
+                    if print_error(&response) {
+                        ExitCode::FAILURE
+                    } else {
+                        println!("unloaded {target}");
+                        ExitCode::SUCCESS
                     }
                 }
             }
         }
+        "shutdown" => {
+            let mut client = match connect(&socket) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.shutdown() {
+                Err(e) => {
+                    eprintln!("qborrow client: {e}");
+                    ExitCode::FAILURE
+                }
+                Ok(_) => {
+                    println!("daemon shut down");
+                    ExitCode::SUCCESS
+                }
+            }
+        }
         _ => usage(),
+    }
+}
+
+fn cmd_watch(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    if path == "-" {
+        eprintln!("qborrow watch: needs a real file to poll (not stdin)");
+        return usage();
+    }
+    let mut socket = default_socket();
+    let mut interval_ms = 200u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("--socket expects a path");
+                    return usage();
+                };
+                socket = PathBuf::from(p);
+                i += 2;
+            }
+            "--interval-ms" => {
+                interval_ms = match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--interval-ms expects a number");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return usage();
+            }
+        }
+    }
+
+    let mtime = |path: &str| std::fs::metadata(path).and_then(|m| m.modified()).ok();
+
+    // Initial load + verify. A fresh connection per round keeps the
+    // single-connection daemon available to other clients in between.
+    let run_round = |first: bool| -> std::io::Result<()> {
+        let source = match read_source(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("watch: {e}");
+                return Ok(());
+            }
+        };
+        let mut client = Client::connect(&socket)?;
+        let response = if first {
+            client.load(path, &source)?
+        } else {
+            let mut response = client.edit(path, &source)?;
+            if response.get("code").and_then(Json::as_str) == Some("not_loaded") {
+                // The daemon restarted (or the program was unloaded by
+                // another client): recover by loading from scratch.
+                eprintln!("watch: {path} not loaded on the daemon; reloading");
+                response = client.load(path, &source)?;
+            }
+            response
+        };
+        if print_error(&response) {
+            return Ok(()); // parse error while editing: keep watching
+        }
+        if response.get("strategy").is_some() {
+            print_edit_response(path, &response);
+        }
+        let response = client.verify(path, None)?;
+        if !print_error(&response) {
+            print_verify_response(path, &response);
+        }
+        Ok(())
+    };
+
+    if let Err(e) = run_round(true) {
+        eprintln!("qborrow watch: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut last = mtime(path);
+    eprintln!("watching {path} (every {interval_ms}ms; Ctrl-C to stop)");
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        let now = mtime(path);
+        if now != last {
+            last = now;
+            if let Err(e) = run_round(false) {
+                eprintln!("qborrow watch: daemon unreachable ({e}); stopping");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 }

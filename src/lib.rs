@@ -18,6 +18,7 @@
 //! | [`sim`] | `qb-sim` | state vectors, density operators, channels |
 //! | [`synth`] | `qb-synth` | benchmark circuits (adders, MCX, figures) |
 //! | [`sched`] | `qb-sched` | width reduction and multi-program packing |
+//! | [`serve`] | `qb-serve` | the verify-on-change daemon, protocol and client |
 //! | [`formula`] | `qb-formula` | XOR-AND graphs, ANF, CNF |
 //! | [`sat`] | `qb-sat` | the CDCL solver |
 //! | [`bdd`] | `qb-bdd` | the BDD backend |
@@ -52,5 +53,6 @@ pub use qb_lang as lang;
 pub use qb_linalg as linalg;
 pub use qb_sat as sat;
 pub use qb_sched as sched;
+pub use qb_serve as serve;
 pub use qb_sim as sim;
 pub use qb_synth as synth;

@@ -52,6 +52,22 @@ const SUFFIX_CHECKPOINT: &str = "suffix";
 /// a selector) still reclaim their garbage.
 const COMPACT_RETIRED_INTERVAL: usize = 64;
 
+/// Arena node count below which formula-graph collection never runs:
+/// small sessions keep their whole history (collection would cost more
+/// than the bytes it frees).
+const ARENA_GC_MIN_NODES: usize = 1 << 12;
+
+/// Watermark growth factor: after a collection leaves `live` nodes, the
+/// next one triggers at `live * ARENA_GC_GROWTH` — classic semispace
+/// pacing, bounding resident size to a constant factor of the live graph
+/// with amortised-linear total GC work.
+const ARENA_GC_GROWTH: usize = 2;
+
+/// Default bound on memoised condition-root decisions. Entries beyond it
+/// are evicted least-recently-used; evicted roots stay live only until
+/// the next arena collection.
+const DECISION_CACHE_CAPACITY: usize = 1 << 13;
+
 /// Adapter letting the incremental encoder emit clauses directly into a
 /// live CDCL solver (no intermediate [`qb_formula::Cnf`]). With `guard`
 /// set, every emitted clause is activation-guarded so a whole encoding
@@ -115,6 +131,9 @@ struct SuffixScope {
 struct CachedDecision {
     unsat: bool,
     model: Option<HashMap<Var, bool>>,
+    /// Logical timestamp of the last hit or insertion (LRU eviction
+    /// order; see [`VerifySession::evict_decisions_over_capacity`]).
+    last_used: u64,
 }
 
 impl SatSession {
@@ -151,7 +170,10 @@ impl SatSession {
 
     /// Periodic GC: once enough selectors have been retired, compacts the
     /// solver's clause/variable arenas and remaps the encoder (and the
-    /// suffix selector handle) through the returned table.
+    /// suffix selector handle) through the returned table. The map is
+    /// literal-valued: a pinned variable may survive as the (possibly
+    /// negated) representative of its level-zero equivalence class, and
+    /// the encoder follows the polarity.
     fn maybe_compact(&mut self) {
         if self.solver.retired_since_compaction() < COMPACT_RETIRED_INTERVAL {
             return;
@@ -163,15 +185,23 @@ impl SatSession {
             .map(|&v| SatVar::from_index((v - 1) as usize))
             .collect();
         pinned.push(self.suffix.selector.var());
+        pinned.extend(self.suffix.vars.iter().copied());
         let map = self.solver.compact(&pinned);
-        self.encoder.remap_vars(&map);
+        let dimacs: Vec<Option<i32>> = map.iter().map(|m| m.map(Lit::to_dimacs)).collect();
+        self.encoder.remap_vars(&dimacs);
         let sel = self.suffix.selector;
-        let new_sel = map[sel.var().index()].expect("pinned variable survives compaction");
-        self.suffix.selector = Lit::new(SatVar::from_index(new_sel as usize), sel.is_neg());
-        // Suffix auxiliaries occur in live guarded clauses, so they all
-        // survive; remap their handles for the eventual retraction.
+        let mapped = map[sel.var().index()].expect("pinned variable survives compaction");
+        self.suffix.selector = if sel.is_neg() {
+            mapped.negate()
+        } else {
+            mapped
+        };
+        // Suffix auxiliaries occur in live guarded clauses (and cannot
+        // dissolve into an equivalence class — every clause mentioning
+        // them carries the live guard literal); remap their handles for
+        // the eventual retraction.
         for v in &mut self.suffix.vars {
-            *v = SatVar::from_index(map[v.index()].expect("suffix var survives") as usize);
+            *v = map[v.index()].expect("suffix var survives").var();
         }
         self.compactions += 1;
     }
@@ -199,6 +229,14 @@ pub struct SessionStats {
     pub cached_decisions: usize,
     /// Queries answered from the decision cache (no solver call).
     pub decision_hits: u64,
+    /// Decision-cache entries dropped by LRU eviction.
+    pub decision_evictions: u64,
+    /// Formula-arena mark-sweep collections performed.
+    pub arena_collections: u64,
+    /// Total arena nodes reclaimed across all collections.
+    pub arena_nodes_collected: u64,
+    /// Arena length at which the next collection triggers.
+    pub arena_gc_watermark: usize,
 }
 
 /// What an [`VerifySession::apply_edit`] call did.
@@ -253,10 +291,24 @@ pub struct VerifySession {
     /// everything past it lives in the retractable suffix scope.
     permanent_len: usize,
     /// Memoised decisions keyed by condition-root node id (SAT backend;
-    /// see [`CachedDecision`]). Never invalidated: the arena is
-    /// append-only, so node identity is semantic identity.
+    /// see [`CachedDecision`]). Hash-consing makes node identity semantic
+    /// identity, so entries stay valid across sweeps and edits; arena
+    /// collections remap the keys (or drop entries whose roots were
+    /// reclaimed — such a root can never be queried under its old id
+    /// again), and the cache itself is LRU-bounded.
     decisions: HashMap<NodeId, CachedDecision>,
     decision_hits: u64,
+    /// Logical clock stamping decision-cache use (LRU order).
+    decision_clock: u64,
+    /// Maximum retained decision-cache entries.
+    decision_cap: usize,
+    decision_evictions: u64,
+    /// Arena length that triggers the next mark-sweep collection.
+    arena_watermark: usize,
+    /// Floor for the watermark (collection never runs below this size).
+    arena_watermark_min: usize,
+    arena_collections: u64,
+    arena_nodes_collected: u64,
     edits: u64,
 }
 
@@ -313,6 +365,7 @@ impl VerifySession {
             _ => None,
         };
         let construction_time = t0.elapsed();
+        let arena_watermark = (state.arena.len() * ARENA_GC_GROWTH).max(ARENA_GC_MIN_NODES);
         Ok(VerifySession {
             state,
             gates: circuit.gates().to_vec(),
@@ -323,8 +376,39 @@ impl VerifySession {
             permanent_len: circuit.size(),
             decisions: HashMap::new(),
             decision_hits: 0,
+            decision_clock: 0,
+            decision_cap: DECISION_CACHE_CAPACITY,
+            decision_evictions: 0,
+            arena_watermark,
+            arena_watermark_min: ARENA_GC_MIN_NODES,
+            arena_collections: 0,
+            arena_nodes_collected: 0,
             edits: 0,
         })
+    }
+
+    /// Tightens (or relaxes) the session's memory bounds: collection of
+    /// the formula arena never runs below `arena_watermark_min` nodes,
+    /// and at most `decision_cache_capacity` condition-root decisions are
+    /// memoised (least-recently-used entries are evicted beyond it).
+    /// `None` keeps the current value. Memory-bounded daemons, soak tests
+    /// and benchmarks use small values to exercise the reclamation
+    /// machinery; the defaults suit interactive sessions.
+    pub fn set_memory_limits(
+        &mut self,
+        arena_watermark_min: Option<usize>,
+        decision_cache_capacity: Option<usize>,
+    ) {
+        if let Some(min) = arena_watermark_min {
+            self.arena_watermark_min = min.max(2);
+        }
+        if let Some(cap) = decision_cache_capacity {
+            self.decision_cap = cap.max(1);
+        }
+        // Re-arm at the floor: the next opportunity past it collects and
+        // re-paces to twice the live size.
+        self.arena_watermark = self.arena_watermark_min;
+        self.evict_decisions_over_capacity();
     }
 
     /// The options the session was created with.
@@ -374,7 +458,74 @@ impl VerifySession {
             edits: self.edits,
             cached_decisions: self.decisions.len(),
             decision_hits: self.decision_hits,
+            decision_evictions: self.decision_evictions,
+            arena_collections: self.arena_collections,
+            arena_nodes_collected: self.arena_nodes_collected,
+            arena_gc_watermark: self.arena_watermark,
         }
+    }
+
+    /// Mark-sweep collection of the formula arena, triggered once the
+    /// arena has outgrown its watermark. The live roots are the current
+    /// final formulas, every node the encoder holds a literal for (the
+    /// permanent encoding, the suffix checkpoint and any open scope), and
+    /// the decision-cache keys; everything else — cofactor structure of
+    /// retracted targets, pre-edit formula history, evicted cache roots —
+    /// is reclaimed. Survivors are renumbered, so the encoder map and the
+    /// decision cache are rewritten through the remap table (entries
+    /// whose root was collected are dropped, which is sound: identity was
+    /// the cache key, and a collected id is never issued for that
+    /// structure again). Hash-consing then rebuilds identical renumbered
+    /// ids for re-derived structure, so cache hits survive collection.
+    fn maybe_collect_arena(&mut self) {
+        if self.state.arena.len() < self.arena_watermark
+            || self.state.arena.len() < self.arena_watermark_min
+        {
+            return;
+        }
+        let mut roots: Vec<NodeId> = self.state.formulas.clone();
+        if let Some(sat) = &self.sat {
+            roots.extend(sat.encoder.encoded_node_ids());
+        }
+        roots.extend(self.decisions.keys().copied());
+        let before = self.state.arena.len();
+        let remap = self.state.arena.collect(&roots);
+        for f in &mut self.state.formulas {
+            *f = remap.remap(*f).expect("final formulas are live roots");
+        }
+        if let Some(sat) = &mut self.sat {
+            sat.encoder.remap_nodes(&remap);
+        }
+        let decisions = std::mem::take(&mut self.decisions);
+        self.decisions = decisions
+            .into_iter()
+            .filter_map(|(root, d)| remap.remap(root).map(|new| (new, d)))
+            .collect();
+        self.arena_collections += 1;
+        self.arena_nodes_collected += (before - self.state.arena.len()) as u64;
+        self.arena_watermark =
+            (self.state.arena.len() * ARENA_GC_GROWTH).max(self.arena_watermark_min);
+    }
+
+    /// Keeps the decision cache within its LRU bound. Eviction runs in
+    /// batches (down to ¾ of capacity) so the O(n log n) stamp sort
+    /// amortises to O(log n) per insertion.
+    fn evict_decisions_over_capacity(&mut self) {
+        if self.decisions.len() <= self.decision_cap {
+            return;
+        }
+        let target = self.decision_cap - self.decision_cap / 4;
+        let mut stamps: Vec<(u64, NodeId)> = self
+            .decisions
+            .iter()
+            .map(|(&root, d)| (d.last_used, root))
+            .collect();
+        stamps.sort_unstable();
+        let evict = self.decisions.len() - target;
+        for &(_, root) in stamps.iter().take(evict) {
+            self.decisions.remove(&root);
+        }
+        self.decision_evictions += evict as u64;
     }
 
     /// Replaces the session's circuit with an edited one, re-using as
@@ -474,6 +625,9 @@ impl VerifySession {
         }
         self.state.formulas = formulas;
         self.gates = new_gates.to_vec();
+        // Pre-edit suffix structure (and cofactor cones hanging off it)
+        // just became garbage; collect once past the watermark.
+        self.maybe_collect_arena();
         Ok(EditStats {
             common_prefix: common,
             old_gates: old_len,
@@ -568,7 +722,9 @@ impl VerifySession {
         scope: &mut Option<Lit>,
         scope_vars: &mut Vec<SatVar>,
     ) -> Decision {
-        if let Some(hit) = self.decisions.get(&root) {
+        self.decision_clock += 1;
+        if let Some(hit) = self.decisions.get_mut(&root) {
+            hit.last_used = self.decision_clock;
             self.decision_hits += 1;
             return Decision {
                 unsat: hit.unsat,
@@ -587,8 +743,10 @@ impl VerifySession {
             CachedDecision {
                 unsat: d.unsat,
                 model: d.model.clone(),
+                last_used: self.decision_clock,
             },
         );
+        self.evict_decisions_over_capacity();
         d
     }
 
@@ -708,6 +866,11 @@ impl VerifySession {
         } else {
             None
         };
+
+        // Per-target cofactor structure is now either retracted (scope
+        // rolled back) or memoised; give the arena GC a chance to
+        // reclaim the dead portion.
+        self.maybe_collect_arena();
 
         Ok(QubitVerdict {
             qubit: q,
@@ -1136,6 +1299,139 @@ mod tests {
             stats.clause_slots < peak_slots,
             "compaction shrinks clause slots: peak {peak_slots}, now {}",
             stats.clause_slots
+        );
+    }
+
+    #[test]
+    fn negation_only_edit_keeps_decision_cache_warm_in_raw_mode() {
+        // Appending an X on a shared qubit only negates its formula; Raw
+        // mode's XOR parity normalisation must keep every cofactor-diff
+        // node id stable so the whole re-sweep answers from the decision
+        // cache without touching the solver.
+        let mut base = Circuit::new(4);
+        base.toffoli(0, 1, 2);
+        let opts = VerifyOptions {
+            backend: BackendKind::Sat,
+            simplify: Simplify::Raw,
+            ..VerifyOptions::default()
+        };
+        let mut session = VerifySession::new(&base, &[InitialValue::Free; 4], &opts).unwrap();
+        session.verify_target(0).unwrap();
+        let before = session.stats();
+        assert!(before.cached_decisions >= 2, "zero + q2-diff memoised");
+
+        let mut edited = base.clone();
+        edited.x(2);
+        session.apply_edit(&edited).unwrap();
+        let verdict = session.verify_target(0).unwrap();
+        assert!(!verdict.safe, "q0 still leaks into q2 after the X");
+        let after = session.stats();
+        assert_eq!(
+            after.cached_decisions, before.cached_decisions,
+            "no new condition roots: cofactor-diff ids survived the negation"
+        );
+        assert_eq!(
+            after.decision_hits - before.decision_hits,
+            2,
+            "zero condition and the q2 diff both hit the cache"
+        );
+        assert_edit_matches_fresh(&mut session, &edited, &opts);
+    }
+
+    #[test]
+    fn decision_cache_hits_survive_arena_collection() {
+        let mut c = Circuit::new(4);
+        c.toffoli(0, 1, 3)
+            .toffoli(1, 2, 3)
+            .toffoli(0, 1, 3)
+            .toffoli(1, 2, 3);
+        let opts = VerifyOptions::default();
+        let mut session = VerifySession::new(&c, &[InitialValue::Free; 4], &opts).unwrap();
+        session.verify_targets(&[0, 1, 2, 3]).unwrap();
+        let cached = session.stats().cached_decisions;
+        let hits_before = session.stats().decision_hits;
+        assert!(cached > 0);
+
+        // Re-arm the watermark at a tiny floor: the next target sweep
+        // collects, remapping every cache key through the node remap.
+        session.set_memory_limits(Some(2), Some(1024));
+        let second = session.verify_targets(&[0, 1, 2, 3]).unwrap();
+        let stats = session.stats();
+        assert!(
+            stats.arena_collections >= 1,
+            "tight watermark forces a collection: {stats:?}"
+        );
+        assert!(stats.arena_nodes_collected > 0);
+        assert_eq!(
+            stats.cached_decisions, cached,
+            "cache keys are remapped, not dropped"
+        );
+        assert!(
+            stats.decision_hits > hits_before,
+            "renumbered roots still hit: {stats:?}"
+        );
+        let fresh =
+            verify_circuit_fresh(&c, &[InitialValue::Free; 4], &[0, 1, 2, 3], &opts).unwrap();
+        for (s, f) in second.iter().zip(&fresh.verdicts) {
+            assert_eq!(s.safe, f.safe, "post-collection verdict, qubit {}", s.qubit);
+        }
+    }
+
+    #[test]
+    fn long_sessions_bound_arena_and_decision_cache() {
+        // Randomised edit churn under tight memory limits: the arena
+        // must stay bounded (collections fire and reclaim), the decision
+        // cache must respect its LRU cap, and every verdict must stay
+        // identical to the fresh pipeline.
+        use qb_testutil::Rng;
+        let mut rng = Rng::new(0x6C_0113C7);
+        const N: usize = 4;
+        let opts = VerifyOptions::default();
+        let base = {
+            let mut c = Circuit::new(N);
+            c.toffoli(0, 1, 2).cnot(2, 3);
+            c
+        };
+        let mut session = VerifySession::new(&base, &[InitialValue::Free; N], &opts).unwrap();
+        session.set_memory_limits(Some(64), Some(8));
+        let mut peak_nodes = 0usize;
+        for _ in 0..40 {
+            let mut edited = Circuit::new(N);
+            edited.toffoli(0, 1, 2).cnot(2, 3);
+            for _ in 0..rng.gen_below(4) {
+                match rng.gen_below(3) {
+                    0 => {
+                        edited.x(rng.gen_below(N));
+                    }
+                    1 => {
+                        let (c, t) = rng.gen_distinct2(N);
+                        edited.cnot(c, t);
+                    }
+                    _ => {
+                        let (c1, c2, t) = rng.gen_distinct3(N);
+                        edited.toffoli(c1, c2, t);
+                    }
+                }
+            }
+            session.apply_edit(&edited).unwrap();
+            assert_edit_matches_fresh(&mut session, &edited, &opts);
+            let stats = session.stats();
+            peak_nodes = peak_nodes.max(stats.arena_nodes);
+            assert!(stats.cached_decisions <= 8, "LRU cap respected: {stats:?}");
+        }
+        let stats = session.stats();
+        assert!(
+            stats.arena_collections >= 1,
+            "collections fire over a long session: {stats:?}"
+        );
+        assert!(stats.arena_nodes_collected > 0);
+        assert!(
+            stats.decision_evictions > 0,
+            "cap 8 forces evictions: {stats:?}"
+        );
+        assert!(
+            peak_nodes < 600,
+            "arena bounded by watermark pacing, peak {peak_nodes}"
         );
     }
 

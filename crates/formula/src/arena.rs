@@ -227,15 +227,39 @@ impl Arena {
                 let mut parity = false;
                 let mut acc: Option<NodeId> = None;
                 for &op in operands {
-                    match self.node(op) {
-                        Node::Const(b) => parity ^= b,
-                        _ => {
-                            acc = Some(match acc {
-                                None => op,
-                                Some(prev) => self.intern(Node::Xor(Box::new([prev, op]), false)),
-                            });
+                    // Parity normalisation: a negation is parity
+                    // bookkeeping, not structure, so strip it from the
+                    // operand and fold it into the chain parity. This
+                    // makes `¬x ⊕ ¬y` cons to the same node as `x ⊕ y`,
+                    // which keeps cofactor-diff node ids stable across
+                    // negation-only edits (an appended X on a shared
+                    // qubit) and lets session decision caches hit.
+                    let stripped = match self.node(op) {
+                        Node::Const(b) => {
+                            parity ^= b;
+                            continue;
                         }
-                    }
+                        Node::Xor(children, true) => Some(children.clone()),
+                        _ => None,
+                    };
+                    let base = match stripped {
+                        Some(children) => {
+                            parity = !parity;
+                            if children.len() == 1 {
+                                children[0]
+                            } else {
+                                // The parity-false sibling exists: a
+                                // parity-true XOR is only ever created by
+                                // negating it.
+                                self.intern(Node::Xor(children, false))
+                            }
+                        }
+                        None => op,
+                    };
+                    acc = Some(match acc {
+                        None => base,
+                        Some(prev) => self.intern(Node::Xor(Box::new([prev, base]), false)),
+                    });
                 }
                 match (acc, parity) {
                     (None, p) => self.constant(p),
@@ -520,6 +544,63 @@ impl Arena {
         mark
     }
 
+    /// Garbage-collects the arena: a mark-sweep over the hash-consed DAG
+    /// keeps only the two constants and every node reachable from
+    /// `roots`, renumbers the survivors densely (preserving relative
+    /// order, so children still precede parents and canonically sorted
+    /// child lists stay sorted) and rebuilds the cons table.
+    ///
+    /// Every [`NodeId`] issued before the call is invalidated; holders
+    /// must translate their ids through the returned [`NodeRemap`] (or
+    /// drop entries whose nodes were collected — hash-consing guarantees
+    /// a collected id can never be handed out for its old structure
+    /// again without re-interning, which yields a *new* id).
+    ///
+    /// Long-lived verification sessions call this once enough dead
+    /// cofactor/edit structure has accumulated; without it the
+    /// append-only arena grows monotonically with session history.
+    pub fn collect(&mut self, roots: &[NodeId]) -> NodeRemap {
+        let mark = self.reachable(roots);
+        let n = self.nodes.len();
+        let mut map: Vec<Option<NodeId>> = vec![None; n];
+        let mut kept: Vec<Node> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            // The constants are structural anchors of every arena
+            // ([`NodeId::FALSE`]/[`NodeId::TRUE`] are stable).
+            if !mark[i] && i >= 2 {
+                continue;
+            }
+            let remapped = match node {
+                Node::And(children) => Node::And(
+                    children
+                        .iter()
+                        .map(|c| map[c.index()].expect("child of a live node is live"))
+                        .collect(),
+                ),
+                Node::Xor(children, parity) => Node::Xor(
+                    children
+                        .iter()
+                        .map(|c| map[c.index()].expect("child of a live node is live"))
+                        .collect(),
+                    *parity,
+                ),
+                other => other.clone(),
+            };
+            map[i] = Some(NodeId::from_index(kept.len()));
+            kept.push(remapped);
+        }
+        self.interned = kept
+            .iter()
+            .enumerate()
+            .map(|(i, node)| (node.clone(), NodeId::from_index(i)))
+            .collect();
+        self.nodes = kept;
+        NodeRemap {
+            map,
+            live: self.nodes.len(),
+        }
+    }
+
     /// Renders a formula with variable names supplied by `name`.
     ///
     /// Intended for small formulas (tests, documentation); shared nodes are
@@ -574,6 +655,38 @@ impl Arena {
 impl Default for Arena {
     fn default() -> Self {
         Arena::new(Simplify::Full)
+    }
+}
+
+/// The dense old→new node mapping produced by [`Arena::collect`].
+#[derive(Debug, Clone)]
+pub struct NodeRemap {
+    /// `map[old.index()]` is the surviving node's new id, `None` when the
+    /// node was collected.
+    map: Vec<Option<NodeId>>,
+    live: usize,
+}
+
+impl NodeRemap {
+    /// The new id of `old`, or `None` if the node was collected.
+    #[inline]
+    pub fn remap(&self, old: NodeId) -> Option<NodeId> {
+        self.map.get(old.index()).copied().flatten()
+    }
+
+    /// Number of nodes that survived collection (the arena's new length).
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Number of nodes the collection reclaimed.
+    pub fn collected(&self) -> usize {
+        self.map.len() - self.live
+    }
+
+    /// Arena length before collection (the domain of the map).
+    pub fn len_before(&self) -> usize {
+        self.map.len()
     }
 }
 
@@ -767,6 +880,122 @@ mod tests {
         let root = f.xor2(a, prod);
         let names = |v: Var| ["a", "q1", "q2"][v as usize].to_string();
         assert_eq!(f.render(root, &names), "a + q1q2");
+    }
+
+    #[test]
+    fn raw_mode_xor_of_negations_keeps_node_identity() {
+        // ¬x ⊕ ¬y must cons to the same node as x ⊕ y: the parity of a
+        // negation bubbles out of the chain instead of creating a
+        // structurally distinct node. This is what keeps cofactor-diff
+        // ids stable across a negation-only circuit edit.
+        let mut f = Arena::new(Simplify::Raw);
+        let x = f.var(0);
+        let y = f.var(1);
+        let xy = f.and2(x, y);
+        let plain = f.xor2(x, xy);
+        let nx = f.not(x);
+        let nxy = f.not(xy);
+        let negated = f.xor2(nx, nxy);
+        assert_eq!(plain, negated, "double negation cancels in the chain");
+        // A single negation surfaces as the chain's negation.
+        let single = f.xor2(nx, xy);
+        assert_eq!(single, f.not(plain));
+        // Semantics preserved.
+        for env in [[false, false], [false, true], [true, false], [true, true]] {
+            assert_eq!(f.eval(plain, &env), env[0] ^ (env[0] & env[1]));
+            assert_eq!(f.eval(single, &env), !env[0] ^ (env[0] & env[1]));
+        }
+    }
+
+    #[test]
+    fn raw_mode_multichild_negation_strips_to_sibling() {
+        // A parity-true XOR with several children (created by `not`)
+        // strips back to its parity-false sibling inside a chain.
+        let mut f = Arena::new(Simplify::Raw);
+        let x = f.var(0);
+        let y = f.var(1);
+        let z = f.var(2);
+        let s = f.xor2(x, y); // Xor([x, y], false)
+        let ns = f.not(s); // Xor([x, y], true)
+        let a = f.xor2(s, z);
+        let b = f.xor2(ns, z);
+        assert_eq!(b, f.not(a));
+        for bits in 0..8u32 {
+            let env: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(f.eval(b, &env), !f.eval(a, &env));
+        }
+    }
+
+    #[test]
+    fn collect_drops_unreachable_and_renumbers_densely() {
+        for mode in [Simplify::Raw, Simplify::Full] {
+            let mut f = Arena::new(mode);
+            let x = f.var(0);
+            let y = f.var(1);
+            let xy = f.and2(x, y);
+            let root = f.xor2(xy, x);
+            // Dead structure: never reachable from `root`.
+            let z = f.var(2);
+            let dead = f.and2(z, root);
+            let dead2 = f.not(dead);
+            let before = f.len();
+
+            let remap = f.collect(&[root]);
+            assert_eq!(remap.len_before(), before);
+            assert_eq!(remap.live(), f.len());
+            assert!(remap.collected() >= 3, "z, dead, dead2 reclaimed");
+            assert!(f.len() < before);
+            // Constants are stable anchors.
+            assert_eq!(remap.remap(NodeId::FALSE), Some(NodeId::FALSE));
+            assert_eq!(remap.remap(NodeId::TRUE), Some(NodeId::TRUE));
+            assert_eq!(remap.remap(z), None, "mode {mode:?}");
+            assert_eq!(remap.remap(dead), None);
+            assert_eq!(remap.remap(dead2), None);
+
+            // Live ids remapped; re-interning the same structure finds
+            // the renumbered nodes (cons table rebuilt consistently).
+            let new_root = remap.remap(root).unwrap();
+            let nx = f.var(0);
+            let ny = f.var(1);
+            assert_eq!(remap.remap(x), Some(nx));
+            assert_eq!(remap.remap(y), Some(ny));
+            let nxy = f.and2(nx, ny);
+            assert_eq!(remap.remap(xy), Some(nxy));
+            assert_eq!(f.xor2(nxy, nx), new_root, "mode {mode:?}");
+            // Semantics of the surviving root unchanged.
+            for env in [[false, false], [false, true], [true, false], [true, true]] {
+                assert_eq!(f.eval(new_root, &env), (env[0] & env[1]) ^ env[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn collect_preserves_child_order_invariants() {
+        // Children precede parents after renumbering, and rebuilding
+        // collected structure reproduces ids exactly (hash-consing
+        // equivalence after GC).
+        let mut f = Arena::new(Simplify::Full);
+        let vars: Vec<NodeId> = (0..6).map(|v| f.var(v)).collect();
+        let mut roots = Vec::new();
+        for w in vars.windows(3) {
+            let a = f.and2(w[0], w[1]);
+            let r = f.xor2(a, w[2]);
+            roots.push(r);
+        }
+        // Garbage interleaved with live structure.
+        let g1 = f.not(roots[0]);
+        let _g2 = f.and2(g1, vars[5]);
+        let remap = f.collect(&roots);
+        for (i, node) in (0..f.len()).map(|i| (i, f.node(f.id_at(i)).clone())) {
+            if let Node::And(children) | Node::Xor(children, _) = node {
+                for c in children.iter() {
+                    assert!(c.index() < i, "children precede parents");
+                }
+            }
+        }
+        for (old, r) in roots.iter().enumerate() {
+            assert!(remap.remap(*r).is_some(), "root {old} survives");
+        }
     }
 
     #[test]

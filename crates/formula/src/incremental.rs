@@ -14,7 +14,7 @@
 //! into a live SAT solver (which implements fresh-variable allocation
 //! natively) instead of an intermediate [`Cnf`].
 
-use crate::arena::{Arena, Node, NodeId, Var};
+use crate::arena::{Arena, Node, NodeId, NodeRemap, Var};
 use crate::cnf::Cnf;
 use std::collections::HashMap;
 
@@ -206,6 +206,44 @@ impl IncrementalEncoder {
         }
     }
 
+    /// The ids of every arena node this encoder currently holds a
+    /// literal for (all open scopes included). These are the nodes an
+    /// [`Arena::collect`] pass must keep alive so the encoder's
+    /// node→literal map stays aligned with the permanent solver
+    /// encoding.
+    pub fn encoded_node_ids(&self) -> Vec<NodeId> {
+        self.lits
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l != 0)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// Follows an [`Arena::collect`] pass: re-indexes the node→literal
+    /// map (and every open scope's records) through `remap`. Literals of
+    /// collected nodes are forgotten — their ids can never be handed out
+    /// again, and their defining clauses are satisfiability-neutral.
+    pub fn remap_nodes(&mut self, remap: &NodeRemap) {
+        let mut lits = vec![0i32; remap.live()];
+        for (old, &lit) in self.lits.iter().enumerate() {
+            if lit == 0 {
+                continue;
+            }
+            if let Some(new) = remap.remap(NodeId::from_index(old)) {
+                lits[new.index()] = lit;
+            }
+        }
+        self.lits = lits;
+        for scope in &mut self.scopes {
+            scope.nodes = scope
+                .nodes
+                .iter()
+                .filter_map(|&i| remap.remap(NodeId::from_index(i)).map(NodeId::index))
+                .collect();
+        }
+    }
+
     /// The 1-based DIMACS indices of every solver variable this encoder
     /// currently references (node literals of all scopes, input-variable
     /// literals, and the true-literal). A solver compaction pass must
@@ -228,25 +266,27 @@ impl IncrementalEncoder {
     }
 
     /// Rewrites every stored literal after a solver variable compaction:
-    /// `map[old]` is the new 0-based index of the variable with old
-    /// 0-based index `old`, or `None` if the solver dropped it.
+    /// `map[old]` is the signed 1-based DIMACS literal that the *positive*
+    /// literal of the variable with old 0-based index `old` now denotes,
+    /// or `None` if the solver dropped the variable. A negative entry
+    /// means the variable was substituted by the negation of its
+    /// level-zero equivalence-class representative.
     ///
     /// # Panics
     ///
     /// Panics if a referenced variable was dropped (the caller must pin
     /// [`IncrementalEncoder::referenced_dimacs_vars`]).
-    pub fn remap_vars(&mut self, map: &[Option<u32>]) {
+    pub fn remap_vars(&mut self, map: &[Option<i32>]) {
         let remap = |l: i32| -> i32 {
             if l == 0 {
                 return 0;
             }
             let old = (l.unsigned_abs() - 1) as usize;
-            let new = map
+            let dimacs = map
                 .get(old)
                 .copied()
                 .flatten()
                 .expect("encoder-referenced variable survives compaction");
-            let dimacs = (new + 1) as i32;
             if l < 0 {
                 -dimacs
             } else {
@@ -561,7 +601,7 @@ mod tests {
         // Shift every variable up by one slot (as a compaction that
         // dropped variable 0 of a larger solver would).
         let max = referenced.iter().max().copied().unwrap() as usize;
-        let map: Vec<Option<u32>> = (0..max).map(|v| Some(v as u32 + 1)).collect();
+        let map: Vec<Option<i32>> = (0..max).map(|v| Some(v as i32 + 2)).collect();
         let old_var_lit = enc.lit_of_var(0).unwrap();
         enc.remap_vars(&map);
         assert_eq!(
@@ -577,6 +617,98 @@ mod tests {
             lit.signum(),
             "polarity preserved"
         );
+    }
+
+    #[test]
+    fn remap_vars_applies_substitution_polarity() {
+        // A level-zero equivalence substitution maps a variable to the
+        // *negation* of its class representative: the encoder must flip
+        // stored polarities accordingly.
+        let mut f = Arena::new(Simplify::Raw);
+        let mut enc = IncrementalEncoder::new();
+        let mut cnf = Cnf::new();
+        let x = f.var(0);
+        let nx = f.not(x);
+        enc.encode_roots(&f, &[x, nx], &mut cnf);
+        let lx = enc.lit_of(x).unwrap();
+        assert_eq!(enc.lit_of(nx).unwrap(), -lx);
+        // Substitute x's variable by ¬(variable 0 of the new numbering).
+        let old = (lx.unsigned_abs() - 1) as usize;
+        let mut map: Vec<Option<i32>> = vec![None; old + 1];
+        map[old] = Some(-1);
+        enc.remap_vars(&map);
+        assert_eq!(enc.lit_of(x).unwrap(), -lx.signum());
+        assert_eq!(enc.lit_of(nx).unwrap(), lx.signum());
+    }
+
+    #[test]
+    fn remap_nodes_follows_arena_collection() {
+        let mut f = Arena::new(Simplify::Raw);
+        let mut enc = IncrementalEncoder::new();
+        let mut cnf = Cnf::new();
+        let x = f.var(0);
+        let y = f.var(1);
+        let root = f.and2(x, y);
+        // Dead structure encoded in a scope, then retracted: its nodes
+        // stay interned but carry no literal.
+        enc.begin_scope();
+        let z = f.var(2);
+        let dead = f.xor2(root, z);
+        enc.encode_roots(&f, &[dead], &mut cnf);
+        enc.retract_scope();
+        let lit_root = enc.encode_roots(&f, &[root], &mut cnf)[0];
+
+        let remap = f.collect(&[root]);
+        assert!(remap.collected() >= 2, "z and the dead xor reclaimed");
+        enc.remap_nodes(&remap);
+        let new_root = remap.remap(root).unwrap();
+        assert_eq!(enc.lit_of(new_root), Some(lit_root));
+        assert_eq!(enc.lit_of_var(0), enc.lit_of(remap.remap(x).unwrap()));
+        assert_eq!(enc.encoded_nodes(), enc.encoded_node_ids().len());
+
+        // Re-encoding after collection is a no-op for surviving nodes
+        // and freshly encodes re-interned structure.
+        let before = cnf.clauses().len();
+        let again = enc.encode_roots(&f, &[new_root], &mut cnf)[0];
+        assert_eq!(again, lit_root);
+        assert_eq!(cnf.clauses().len(), before);
+        let z2 = f.var(2);
+        let revived = f.xor2(new_root, z2);
+        let lits = enc.encode_roots(&f, &[revived], &mut cnf);
+        assert_eq!(lits.len(), 1);
+        assert!(cnf.clauses().len() > before, "revived structure re-encoded");
+    }
+
+    #[test]
+    fn remap_nodes_keeps_open_scope_records_consistent() {
+        let mut f = Arena::new(Simplify::Raw);
+        let mut enc = IncrementalEncoder::new();
+        let mut cnf = Cnf::new();
+        let x = f.var(0);
+        enc.encode_roots(&f, &[x], &mut cnf);
+
+        enc.begin_named_scope("suffix");
+        let y = f.var(1);
+        let xy = f.and2(x, y);
+        enc.encode_roots(&f, &[xy], &mut cnf);
+        // Garbage outside the scope's records.
+        let z = f.var(9);
+        let dead = f.and2(xy, z);
+        let _ = dead;
+
+        let mut roots = vec![xy];
+        roots.extend(enc.encoded_node_ids());
+        let remap = f.collect(&roots);
+        enc.remap_nodes(&remap);
+        let new_xy = remap.remap(xy).unwrap();
+        assert!(enc.lit_of(new_xy).is_some());
+
+        // Retracting through the checkpoint must zero exactly the
+        // remapped scope nodes — and leave the permanent layer intact.
+        enc.retract_through("suffix");
+        assert!(enc.lit_of(new_xy).is_none());
+        assert!(enc.lit_of_var(1).is_none());
+        assert!(enc.lit_of(remap.remap(x).unwrap()).is_some());
     }
 
     #[test]

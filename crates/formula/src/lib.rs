@@ -44,7 +44,7 @@ mod cnf;
 mod incremental;
 
 pub use anf::{Anf, AnfOverflow, Monomial};
-pub use arena::{Arena, Node, NodeId, Simplify, Var};
+pub use arena::{Arena, Node, NodeId, NodeRemap, Simplify, Var};
 pub use cnf::{encode, Cnf, Encoding};
 pub use incremental::{CnfSink, IncrementalEncoder};
 

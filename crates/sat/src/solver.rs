@@ -390,40 +390,70 @@ impl Solver {
         self.clauses.iter().filter(|c| !c.deleted).count()
     }
 
-    /// Compacts the solver's arenas: drops deleted clause slots and every
-    /// variable that neither occurs in a live clause nor is listed in
-    /// `pinned`, renumbering the survivors densely so the per-variable
-    /// arrays (assignments, activity, phase, watch lists, branching heap)
-    /// shrink back to the live working set. Long incremental sessions
-    /// retire selectors and deaden query variables monotonically; without
-    /// this GC pass the arrays — and every scan over them — grow with
-    /// session *history* instead of live state.
+    /// Compacts the solver's arenas: strengthens the clause database with
+    /// every level-zero fact (satisfied clauses are dropped, falsified
+    /// literals removed, resulting units applied to fixpoint), substitutes
+    /// level-zero binary equivalence classes (`x ≡ ±y` implied by
+    /// complementary binary clause pairs) into one representative per
+    /// class, then drops deleted clause slots and every variable that
+    /// neither occurs in a live clause nor is (the class representative
+    /// of) a `pinned` variable, renumbering the survivors densely so the
+    /// per-variable arrays (assignments, activity, phase, watch lists,
+    /// branching heap) shrink back to the live working set. Long
+    /// incremental sessions retire selectors and deaden query variables
+    /// monotonically; without this GC pass the arrays — and every scan
+    /// over them — grow with session *history* instead of live state.
     ///
-    /// Returns the old→new variable mapping (`None` = dropped). **Every
-    /// externally held [`SatVar`]/[`Lit`] handle is invalidated**: callers
-    /// must pin the variables they intend to keep referencing and remap
-    /// their handles through the returned table. Satisfiability is
-    /// unchanged: live clauses, level-zero assignments of surviving
-    /// variables, learnt clauses, and activities all carry over.
+    /// Returns the old→new literal mapping: `map[v]` is what the old
+    /// *positive* literal of `v` now denotes (`None` = dropped; a negated
+    /// entry means `v` dissolved into the negation of its class
+    /// representative). **Every externally held [`SatVar`]/[`Lit`] handle
+    /// is invalidated**: callers must pin the variables they intend to
+    /// keep referencing and remap their handles (with polarity!) through
+    /// the returned table. Satisfiability is unchanged: live clauses,
+    /// level-zero facts of surviving variables, learnt clauses, and
+    /// activities all carry over.
     ///
     /// # Panics
     ///
     /// Panics if called above decision level zero.
-    pub fn compact(&mut self, pinned: &[SatVar]) -> Vec<Option<u32>> {
+    pub fn compact(&mut self, pinned: &[SatVar]) -> Vec<Option<Lit>> {
         assert!(self.trail_lim.is_empty(), "level-zero operation only");
         self.retired_selectors = 0;
         let n = self.num_vars();
+        let identity = |n: usize| -> Vec<Option<Lit>> {
+            (0..n as u32).map(|v| Some(Lit::pos(SatVar(v)))).collect()
+        };
         if !self.ok {
             // Permanently unsat: nothing to renumber usefully.
-            return (0..n as u32).map(Some).collect();
+            return identity(n);
         }
-        // Detach clauses already satisfied at level zero so they don't
-        // pin their variables through another GC cycle.
-        self.simplify_satisfied();
+        // Fold every level-zero fact into the clause database (this
+        // subsumes the satisfied-clause sweep) so dead false literals
+        // don't pin their variables through another GC cycle.
+        self.strengthen_level_zero();
+        if !self.ok {
+            return identity(n);
+        }
+        // Live guard selectors must keep their variable identity: the
+        // guarded-clause map is keyed by variable and retirement asserts
+        // a specific polarity. (Their clause shape makes an equivalence
+        // involving them impossible anyway; freezing is belt and braces.)
+        let mut frozen = vec![false; n];
+        for &sel in self.guarded.keys() {
+            frozen[sel as usize] = true;
+        }
+        let mut dsu = self.substitute_equivalences(&frozen);
+        if !self.ok {
+            return identity(n);
+        }
 
         let mut keep = vec![false; n];
         for &v in pinned {
-            keep[v.index()] = true;
+            // A substituted pinned variable survives *as* its class
+            // representative (with polarity carried by the returned map).
+            let (root, _) = dsu.find(v.0);
+            keep[root as usize] = true;
         }
         // Renumber live clause slots, marking variable occurrences.
         let mut clause_map: Vec<Option<ClauseRef>> = vec![None; self.clauses.len()];
@@ -546,7 +576,153 @@ impl Solver {
         self.seen = vec![false; new_n];
         self.model = model;
         self.guarded = guarded;
-        var_map
+        // Public map: route every old variable through its equivalence
+        // class, carrying the substitution polarity.
+        (0..n as u32)
+            .map(|v| {
+                let (root, parity) = dsu.find(v);
+                var_map[root as usize].map(|new| Lit::new(SatVar(new), parity))
+            })
+            .collect()
+    }
+
+    /// Level-zero clause strengthening used by [`Solver::compact`]:
+    /// deletes satisfied clauses, removes falsified literals, and applies
+    /// the resulting units until fixpoint. Operates directly on clause
+    /// storage — watch lists are stale afterwards and must be rebuilt
+    /// (compaction does) before any propagation.
+    fn strengthen_level_zero(&mut self) {
+        let mut changed = true;
+        while changed && self.ok {
+            changed = false;
+            for cref in 0..self.clauses.len() {
+                if self.clauses[cref].deleted {
+                    continue;
+                }
+                if self.clauses[cref]
+                    .lits
+                    .iter()
+                    .any(|&l| self.value_lit(l).is_true())
+                {
+                    self.delete_clause_storage(cref as ClauseRef);
+                    continue;
+                }
+                if self.clauses[cref]
+                    .lits
+                    .iter()
+                    .all(|&l| !self.value_lit(l).is_false())
+                {
+                    continue;
+                }
+                changed = true;
+                let lits: Vec<Lit> = self.clauses[cref]
+                    .lits
+                    .iter()
+                    .copied()
+                    .filter(|&l| !self.value_lit(l).is_false())
+                    .collect();
+                match lits.len() {
+                    0 => {
+                        self.ok = false;
+                        return;
+                    }
+                    1 => {
+                        self.delete_clause_storage(cref as ClauseRef);
+                        self.enqueue(lits[0], None);
+                    }
+                    _ => self.clauses[cref].lits = lits,
+                }
+            }
+        }
+        self.learnt_refs
+            .retain(|&r| !self.clauses[r as usize].deleted);
+        self.stats.learnt_clauses = self.learnt_refs.len() as u64;
+    }
+
+    /// Marks a clause slot dead without touching the watch lists — only
+    /// valid inside [`Solver::compact`], which rebuilds them from scratch.
+    fn delete_clause_storage(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        c.deleted = true;
+        c.lits = Vec::new();
+    }
+
+    /// Detects level-zero binary equivalences (complementary binary
+    /// clause pairs `(a ∨ b)` and `(¬a ∨ ¬b)`, which force `a ≡ ¬b`) and
+    /// substitutes each class into one representative: every occurrence
+    /// of a non-representative member is rewritten (with polarity), the
+    /// now-tautological defining pairs are deleted, and any unit this
+    /// creates is folded back in via another strengthening pass. Members
+    /// whose root is `frozen` never dissolve. Returns the class structure
+    /// so [`Solver::compact`] can translate handles of substituted
+    /// variables. Only valid inside compaction (watch lists go stale).
+    fn substitute_equivalences(&mut self, frozen: &[bool]) -> ParityDsu {
+        use std::collections::HashSet;
+        let n = self.num_vars();
+        let mut dsu = ParityDsu::new(n);
+        let mut bins: HashSet<(Lit, Lit)> = HashSet::new();
+        for c in &self.clauses {
+            if c.deleted || c.lits.len() != 2 {
+                continue;
+            }
+            bins.insert((c.lits[0].min(c.lits[1]), c.lits[0].max(c.lits[1])));
+        }
+        let mut merged = false;
+        for &(a, b) in &bins {
+            let (na, nb) = (a.negate(), b.negate());
+            if bins.contains(&(na.min(nb), na.max(nb))) {
+                // (a ∨ b) ∧ (¬a ∨ ¬b) ⇒ a ≡ ¬b as literals, i.e.
+                // var(a) ≡ var(b) ⊕ ¬(sign(a) ⊕ sign(b)).
+                let diff = !(a.is_neg() ^ b.is_neg());
+                merged |= dsu.union(a.var().0, b.var().0, diff, frozen);
+            }
+        }
+        if !merged {
+            return dsu;
+        }
+        for cref in 0..self.clauses.len() {
+            if self.clauses[cref].deleted {
+                continue;
+            }
+            let mut lits = self.clauses[cref].lits.clone();
+            let mut rewritten = false;
+            for l in &mut lits {
+                let (root, parity) = dsu.find(l.var().0);
+                if root != l.var().0 {
+                    *l = Lit::new(SatVar(root), l.is_neg() ^ parity);
+                    rewritten = true;
+                }
+            }
+            if !rewritten {
+                continue;
+            }
+            lits.sort_unstable();
+            lits.dedup();
+            if lits.windows(2).any(|w| w[1] == w[0].negate()) {
+                // Tautology — typically one of the defining pairs.
+                self.delete_clause_storage(cref as ClauseRef);
+                continue;
+            }
+            if lits.len() == 1 {
+                self.delete_clause_storage(cref as ClauseRef);
+                match self.value_lit(lits[0]) {
+                    LBool::True => {}
+                    LBool::False => {
+                        self.ok = false;
+                        return dsu;
+                    }
+                    LBool::Undef => self.enqueue(lits[0], None),
+                }
+                continue;
+            }
+            self.clauses[cref].lits = lits;
+        }
+        self.learnt_refs
+            .retain(|&r| !self.clauses[r as usize].deleted);
+        self.stats.learnt_clauses = self.learnt_refs.len() as u64;
+        // Substitution-created units may strengthen further.
+        self.strengthen_level_zero();
+        dsu
     }
 
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
@@ -995,6 +1171,60 @@ impl Default for Solver {
     }
 }
 
+/// Union-find with parity over variables: `find(v) = (root, p)` records
+/// the level-zero fact `v ≡ root ⊕ p`. Used by [`Solver::compact`] to
+/// dissolve binary equivalence classes into one representative each.
+struct ParityDsu {
+    parent: Vec<u32>,
+    /// Polarity of this variable relative to its (path-compressed)
+    /// parent.
+    parity: Vec<bool>,
+}
+
+impl ParityDsu {
+    fn new(n: usize) -> Self {
+        ParityDsu {
+            parent: (0..n as u32).collect(),
+            parity: vec![false; n],
+        }
+    }
+
+    /// Root and cumulative parity of `v`, with path compression.
+    fn find(&mut self, v: u32) -> (u32, bool) {
+        let p = self.parent[v as usize];
+        if p == v {
+            return (v, false);
+        }
+        let (root, root_parity) = self.find(p);
+        let total = root_parity ^ self.parity[v as usize];
+        self.parent[v as usize] = root;
+        self.parity[v as usize] = total;
+        (root, total)
+    }
+
+    /// Records `a ≡ b ⊕ diff`. Frozen roots never become children; a
+    /// union of two frozen roots is skipped. Returns whether a merge
+    /// happened.
+    fn union(&mut self, a: u32, b: u32, diff: bool, frozen: &[bool]) -> bool {
+        let (ra, pa) = self.find(a);
+        let (rb, pb) = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let link = pa ^ pb ^ diff;
+        let (child, root) = if frozen[ra as usize] && frozen[rb as usize] {
+            return false;
+        } else if frozen[ra as usize] {
+            (rb, ra)
+        } else {
+            (ra, rb)
+        };
+        self.parent[child as usize] = root;
+        self.parity[child as usize] = link;
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1165,20 +1395,23 @@ mod tests {
 
         // Pinned variables survive and the base formula still decides
         // identically through the remapped handles.
-        let a2 = SatVar(map[a.index()].unwrap());
-        let b2 = SatVar(map[b.index()].unwrap());
-        let c2 = SatVar(map[c.index()].unwrap());
+        let a2 = map[a.index()].unwrap();
+        let b2 = map[b.index()].unwrap();
+        let c2 = map[c.index()].unwrap();
         assert_eq!(s.solve(), SatResult::Sat);
         assert_eq!(
-            s.solve_with_assumptions(&[Lit::neg(a2), Lit::neg(b2)]),
+            s.solve_with_assumptions(&[a2.negate(), b2.negate()]),
             SatResult::Unsat
         );
         assert_eq!(
-            s.solve_with_assumptions(&[Lit::pos(a2), Lit::neg(c2)]),
+            s.solve_with_assumptions(&[a2, c2.negate()]),
             SatResult::Unsat
         );
-        assert_eq!(s.solve_with_assumptions(&[Lit::pos(a2)]), SatResult::Sat);
-        assert!(s.model()[c2.index()], "a → c still propagates");
+        assert_eq!(s.solve_with_assumptions(&[a2]), SatResult::Sat);
+        assert!(
+            s.model()[c2.var().index()] ^ c2.is_neg(),
+            "a → c still propagates"
+        );
     }
 
     #[test]
@@ -1192,12 +1425,97 @@ mod tests {
         // `b` was forced at level zero; after compaction the fact must
         // persist even though its reason clause is satisfied-swept.
         let map = s.compact(&[a, b]);
-        let a2 = SatVar(map[a.index()].unwrap());
-        let b2 = SatVar(map[b.index()].unwrap());
-        assert_eq!(s.solve_with_assumptions(&[Lit::neg(b2)]), SatResult::Unsat);
-        assert_eq!(s.solve_with_assumptions(&[Lit::neg(a2)]), SatResult::Unsat);
+        let a2 = map[a.index()].unwrap();
+        let b2 = map[b.index()].unwrap();
+        assert_eq!(s.solve_with_assumptions(&[b2.negate()]), SatResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[a2.negate()]), SatResult::Unsat);
         assert_eq!(s.solve(), SatResult::Sat);
-        assert!(s.model()[a2.index()] && s.model()[b2.index()]);
+        assert!(s.model()[a2.var().index()] ^ a2.is_neg());
+        assert!(s.model()[b2.var().index()] ^ b2.is_neg());
+    }
+
+    #[test]
+    fn compaction_substitutes_unit_strengthened_equivalences() {
+        // A level-zero unit strengthens two ternary clauses into the
+        // binary pair (¬x∨y), (x∨¬y), i.e. x ≡ y: compaction must
+        // dissolve the class into one variable while every verdict
+        // through the remapped handles is unchanged.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let x = s.new_var();
+        let y = s.new_var();
+        let z = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        s.add_clause(&[Lit::neg(a), Lit::neg(x), Lit::pos(y)]);
+        s.add_clause(&[Lit::neg(a), Lit::pos(x), Lit::neg(y)]);
+        s.add_clause(&[Lit::neg(y), Lit::pos(z)]); // semantic payload y → z
+
+        let map = s.compact(&[x, y, z]);
+        assert!(
+            map[a.index()].is_none(),
+            "unpinned level-zero unit is dropped"
+        );
+        let mx = map[x.index()].unwrap();
+        let my = map[y.index()].unwrap();
+        let mz = map[z.index()].unwrap();
+        assert_eq!(mx.var(), my.var(), "x and y merged into one class");
+        assert!(!(mx.is_neg() ^ my.is_neg()), "x ≡ y with equal polarity");
+        assert_eq!(s.num_vars(), 2, "class representative + z survive");
+
+        // y → z still holds through either handle of the class.
+        assert_eq!(
+            s.solve_with_assumptions(&[my, mz.negate()]),
+            SatResult::Unsat
+        );
+        assert_eq!(
+            s.solve_with_assumptions(&[mx, mz.negate()]),
+            SatResult::Unsat
+        );
+        assert_eq!(s.solve_with_assumptions(&[my.negate()]), SatResult::Sat);
+        assert_eq!(s.solve_with_assumptions(&[mx, mz]), SatResult::Sat);
+    }
+
+    #[test]
+    fn compaction_substitutes_negated_equivalence_with_polarity() {
+        // (x∨y) ∧ (¬x∨¬y) ⇒ x ≡ ¬y: the class dissolves into one
+        // variable and the returned map carries the flipped polarity.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause(&[Lit::pos(x), Lit::pos(y)]);
+        s.add_clause(&[Lit::neg(x), Lit::neg(y)]);
+        let map = s.compact(&[x, y]);
+        let mx = map[x.index()].unwrap();
+        let my = map[y.index()].unwrap();
+        assert_eq!(mx.var(), my.var());
+        assert!(mx.is_neg() ^ my.is_neg(), "x ≡ ¬y: polarities differ");
+        assert_eq!(s.num_vars(), 1);
+        assert_eq!(s.solve_with_assumptions(&[mx, my]), SatResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[mx, my.negate()]), SatResult::Sat);
+        assert_eq!(s.solve_with_assumptions(&[mx.negate(), my]), SatResult::Sat);
+    }
+
+    #[test]
+    fn compaction_never_dissolves_live_guard_selectors() {
+        // Even if (it cannot happen structurally, but defensively) a
+        // selector sits in an equivalence class, a live guard keeps its
+        // identity so retirement still detaches the right clauses.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let sel = Lit::pos(s.new_selector());
+        s.add_guarded_clause(sel, &[Lit::pos(x)]);
+        let map = s.compact(&[x, sel.var()]);
+        let msel = map[sel.var().index()].unwrap();
+        assert!(!msel.is_neg(), "guard selector keeps its polarity");
+        // The guarded clause still activates and retires correctly.
+        let new_sel = Lit::new(msel.var(), sel.is_neg());
+        let mx = map[x.index()].unwrap();
+        assert_eq!(
+            s.solve_with_assumptions(&[new_sel, mx.negate()]),
+            SatResult::Unsat
+        );
+        s.retire_selector(new_sel);
+        assert_eq!(s.solve_with_assumptions(&[mx.negate()]), SatResult::Sat);
     }
 
     #[test]

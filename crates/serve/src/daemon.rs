@@ -26,7 +26,26 @@ use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Memory bounds of a long-lived daemon (see `README.md`, "Memory
+/// behaviour of long-lived sessions"). All default to unbounded /
+/// session defaults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerLimits {
+    /// Upper bound on concurrently loaded (hash-distinct) sessions; the
+    /// least-recently-used session (and every name aliasing it) is
+    /// evicted past it. `None` = unbounded.
+    pub max_sessions: Option<usize>,
+    /// Sessions untouched for this long are evicted by the sweep that
+    /// runs after every handled request. `None` = never.
+    pub idle_timeout: Option<Duration>,
+    /// Per-session formula-arena GC watermark floor handed to
+    /// [`VerifySession::set_memory_limits`]. `None` = session default.
+    pub arena_gc_floor: Option<usize>,
+    /// Per-session decision-cache capacity. `None` = session default.
+    pub decision_cache_cap: Option<usize>,
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -37,6 +56,8 @@ pub struct ServeOptions {
     pub verify: VerifyOptions,
     /// Print one line per handled request to stderr.
     pub log: bool,
+    /// Memory bounds (session LRU, idle sweep, per-session GC knobs).
+    pub limits: ServerLimits,
 }
 
 impl ServeOptions {
@@ -46,6 +67,7 @@ impl ServeOptions {
             socket: socket.into(),
             verify: VerifyOptions::default(),
             log: false,
+            limits: ServerLimits::default(),
         }
     }
 }
@@ -55,6 +77,10 @@ struct ProgramSession {
     program: ElaboratedProgram,
     session: VerifySession,
     verifies: u64,
+    /// Request-counter stamp of the last touch (LRU eviction order).
+    last_used: u64,
+    /// Wall-clock time of the last touch (idle eviction).
+    last_used_at: Instant,
 }
 
 fn initial_values(program: &ElaboratedProgram) -> Vec<InitialValue> {
@@ -93,17 +119,40 @@ pub struct Server {
     /// Client names aliasing into `sessions`.
     names: HashMap<String, u64>,
     requests: u64,
+    /// Memory bounds (session LRU, idle sweep, per-session GC knobs).
+    limits: ServerLimits,
+    /// Sessions evicted by the LRU bound or the idle sweep.
+    session_evictions: u64,
 }
 
 impl Server {
-    /// Creates an empty server.
+    /// Creates an empty server with no memory bounds.
     pub fn new(verify: VerifyOptions) -> Self {
+        Server::with_limits(verify, ServerLimits::default())
+    }
+
+    /// Creates an empty server with the given memory bounds.
+    pub fn with_limits(verify: VerifyOptions, limits: ServerLimits) -> Self {
         Server {
             verify,
             sessions: HashMap::new(),
             names: HashMap::new(),
             requests: 0,
+            limits,
+            session_evictions: 0,
         }
+    }
+
+    /// Builds a session for `program`, applying the configured
+    /// per-session memory bounds.
+    fn new_session(&self, program: &ElaboratedProgram) -> Result<VerifySession, String> {
+        let mut session =
+            VerifySession::new(&program.circuit, &initial_values(program), &self.verify)
+                .map_err(|e| e.to_string())?;
+        if self.limits.arena_gc_floor.is_some() || self.limits.decision_cache_cap.is_some() {
+            session.set_memory_limits(self.limits.arena_gc_floor, self.limits.decision_cache_cap);
+        }
+        Ok(session)
     }
 
     /// Handles one request line; returns the response line (no trailing
@@ -115,6 +164,9 @@ impl Server {
             Ok(request) => {
                 let shutdown = request == Request::Shutdown;
                 let response = self.handle(request);
+                // The request just handled refreshed its own session's
+                // stamps, so the sweep only reaps genuinely idle ones.
+                self.sweep_idle();
                 (response.to_string(), shutdown)
             }
         }
@@ -123,6 +175,65 @@ impl Server {
     /// Number of loaded (hash-distinct) sessions.
     pub fn loaded_sessions(&self) -> usize {
         self.sessions.len()
+    }
+
+    /// Sessions evicted so far (LRU bound + idle sweep).
+    pub fn session_evictions(&self) -> u64 {
+        self.session_evictions
+    }
+
+    /// Marks a session as just used (LRU + idle bookkeeping).
+    fn touch(&mut self, hash: u64) {
+        let stamp = self.requests;
+        if let Some(entry) = self.sessions.get_mut(&hash) {
+            entry.last_used = stamp;
+            entry.last_used_at = Instant::now();
+        }
+    }
+
+    /// Evicts `hash` and every name aliasing it.
+    fn evict(&mut self, hash: u64) {
+        if self.sessions.remove(&hash).is_some() {
+            self.names.retain(|_, h| *h != hash);
+            self.session_evictions += 1;
+        }
+    }
+
+    /// Enforces the LRU bound, never evicting `protect` (the session the
+    /// current request just created or touched).
+    fn evict_over_capacity(&mut self, protect: u64) {
+        let Some(max) = self.limits.max_sessions else {
+            return;
+        };
+        let max = max.max(1);
+        while self.sessions.len() > max {
+            let victim = self
+                .sessions
+                .iter()
+                .filter(|(&h, _)| h != protect)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(&h, _)| h);
+            match victim {
+                Some(h) => self.evict(h),
+                None => return,
+            }
+        }
+    }
+
+    /// Evicts every session idle past the configured timeout.
+    fn sweep_idle(&mut self) {
+        let Some(timeout) = self.limits.idle_timeout else {
+            return;
+        };
+        let stale: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.last_used_at.elapsed() >= timeout)
+            .map(|(&h, _)| h)
+            .collect();
+        for hash in stale {
+            self.evict(hash);
+        }
     }
 
     fn handle(&mut self, request: Request) -> Json {
@@ -171,6 +282,26 @@ impl Server {
             ("compactions", Json::Int(stats.compactions as i64)),
             ("cached_decisions", Json::Int(stats.cached_decisions as i64)),
             ("decision_hits", Json::Int(stats.decision_hits as i64)),
+            (
+                "decision_evictions",
+                Json::Int(stats.decision_evictions as i64),
+            ),
+            (
+                "arena_collections",
+                Json::Int(stats.arena_collections as i64),
+            ),
+            (
+                "arena_nodes_collected",
+                Json::Int(stats.arena_nodes_collected as i64),
+            ),
+            (
+                "arena_gc_watermark",
+                Json::Int(stats.arena_gc_watermark as i64),
+            ),
+            (
+                "idle_ms",
+                Json::Int(entry.last_used_at.elapsed().as_millis() as i64),
+            ),
         ]
     }
 
@@ -182,20 +313,18 @@ impl Server {
         let hash = structural_hash(&program);
         let reused = self.sessions.contains_key(&hash);
         if !reused {
-            let t0 = Instant::now();
-            let session =
-                match VerifySession::new(&program.circuit, &initial_values(&program), &self.verify)
-                {
-                    Ok(s) => s,
-                    Err(e) => return error_response(&e.to_string()),
-                };
-            let _ = t0;
+            let session = match self.new_session(&program) {
+                Ok(s) => s,
+                Err(e) => return error_response(&e),
+            };
             self.sessions.insert(
                 hash,
                 ProgramSession {
                     program,
                     session,
                     verifies: 0,
+                    last_used: self.requests,
+                    last_used_at: Instant::now(),
                 },
             );
         }
@@ -206,6 +335,8 @@ impl Server {
                 self.drop_if_unaliased(old);
             }
         }
+        self.touch(hash);
+        self.evict_over_capacity(hash);
         let entry = self.sessions.get(&hash).expect("just ensured");
         let mut pairs = vec![("ok", Json::Bool(true)), ("reused", Json::Bool(reused))];
         pairs.extend(Self::program_summary(&name, hash, entry));
@@ -216,6 +347,7 @@ impl Server {
         let Some(&hash) = self.names.get(name) else {
             return not_loaded_response(name);
         };
+        self.touch(hash);
         let entry = self.sessions.get_mut(&hash).expect("alias invariant");
         let targets = targets.unwrap_or_else(|| entry.program.qubits_to_verify());
         let t0 = Instant::now();
@@ -253,6 +385,7 @@ impl Server {
         };
         let new_hash = structural_hash(&program);
         if new_hash == old_hash {
+            self.touch(old_hash);
             let entry = self.sessions.get(&old_hash).expect("alias invariant");
             let mut pairs = vec![
                 ("ok", Json::Bool(true)),
@@ -267,6 +400,7 @@ impl Server {
         if self.sessions.contains_key(&new_hash) {
             self.names.insert(name.to_string(), new_hash);
             self.drop_if_unaliased(old_hash);
+            self.touch(new_hash);
             let entry = self.sessions.get(&new_hash).expect("checked");
             let mut pairs = vec![
                 ("ok", Json::Bool(true)),
@@ -291,6 +425,7 @@ impl Server {
                     entry.program = program;
                     self.sessions.insert(new_hash, entry);
                     self.names.insert(name.to_string(), new_hash);
+                    self.touch(new_hash);
                     let entry = self.sessions.get(&new_hash).expect("just inserted");
                     let mut pairs = vec![
                         ("ok", Json::Bool(true)),
@@ -319,21 +454,23 @@ impl Server {
         }
 
         // Reload path: build a fresh session for the edited program.
-        let session =
-            match VerifySession::new(&program.circuit, &initial_values(&program), &self.verify) {
-                Ok(s) => s,
-                Err(e) => return error_response(&e.to_string()),
-            };
+        let session = match self.new_session(&program) {
+            Ok(s) => s,
+            Err(e) => return error_response(&e),
+        };
         self.sessions.insert(
             new_hash,
             ProgramSession {
                 program,
                 session,
                 verifies: 0,
+                last_used: self.requests,
+                last_used_at: Instant::now(),
             },
         );
         self.names.insert(name.to_string(), new_hash);
         self.drop_if_unaliased(old_hash);
+        self.evict_over_capacity(new_hash);
         let entry = self.sessions.get(&new_hash).expect("just inserted");
         let mut pairs = vec![
             ("ok", Json::Bool(true)),
@@ -362,10 +499,27 @@ impl Server {
                 )
             })
             .collect();
+        let resident_nodes: usize = self
+            .sessions
+            .values()
+            .map(|s| s.session.stats().arena_nodes)
+            .sum();
         Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("programs", Json::Arr(programs)),
             ("sessions", Json::Int(self.sessions.len() as i64)),
+            (
+                "max_sessions",
+                match self.limits.max_sessions {
+                    Some(n) => Json::Int(n as i64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "session_evictions",
+                Json::Int(self.session_evictions as i64),
+            ),
+            ("resident_arena_nodes", Json::Int(resident_nodes as i64)),
             ("requests", Json::Int(self.requests as i64)),
         ])
     }
@@ -434,14 +588,18 @@ pub fn run(opts: &ServeOptions) -> std::io::Result<()> {
     }
     let listener = UnixListener::bind(&opts.socket)?;
     if opts.log {
+        let bound = match opts.limits.max_sessions {
+            Some(n) => format!(", max {n} sessions"),
+            None => String::new(),
+        };
         eprintln!(
-            "qb-serve: listening on {} (backend {}, {:?})",
+            "qb-serve: listening on {} (backend {}, {:?}{bound})",
             opts.socket.display(),
             opts.verify.backend,
             opts.verify.simplify
         );
     }
-    let mut server = Server::new(opts.verify);
+    let mut server = Server::with_limits(opts.verify, opts.limits);
     for stream in listener.incoming() {
         match stream {
             Err(e) => {
@@ -676,6 +834,197 @@ mod tests {
         assert!(ok(&edit), "{edit}");
         assert_eq!(edit.get("strategy").unwrap().as_str(), Some("reload"));
         assert_eq!(edit.get("qubits").unwrap().as_i64(), Some(3));
+    }
+
+    #[test]
+    fn lru_bound_evicts_least_recently_used_session() {
+        let mut server = Server::with_limits(
+            VerifyOptions::default(),
+            ServerLimits {
+                max_sessions: Some(2),
+                ..ServerLimits::default()
+            },
+        );
+        let srcs = [
+            ("p1", "borrow a[2]; X[a[1]];"),
+            ("p2", "borrow a[2]; X[a[2]];"),
+            ("p3", "borrow a[2]; CNOT[a[1], a[2]];"),
+            ("p4", "borrow a[3]; X[a[1]];"),
+        ];
+        for (name, src) in &srcs[..2] {
+            let load = handle(
+                &mut server,
+                &Request::Load {
+                    name: (*name).into(),
+                    source: (*src).into(),
+                }
+                .to_line(),
+            );
+            assert!(ok(&load));
+        }
+        assert_eq!(server.loaded_sessions(), 2);
+
+        // Third distinct program evicts the least-recently-used (p1).
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "p3".into(),
+                source: srcs[2].1.into(),
+            }
+            .to_line(),
+        );
+        assert!(ok(&load));
+        assert_eq!(server.loaded_sessions(), 2);
+        assert_eq!(server.session_evictions(), 1);
+        let gone = handle(
+            &mut server,
+            &Request::Verify {
+                name: "p1".into(),
+                targets: None,
+            }
+            .to_line(),
+        );
+        assert!(!ok(&gone));
+        assert_eq!(gone.get("code").and_then(Json::as_str), Some("not_loaded"));
+
+        // Touch p2, then load p4: p3 is now the LRU victim, p2 survives.
+        let v2 = handle(
+            &mut server,
+            &Request::Verify {
+                name: "p2".into(),
+                targets: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&v2));
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "p4".into(),
+                source: srcs[3].1.into(),
+            }
+            .to_line(),
+        );
+        assert!(ok(&load));
+        let p3 = handle(
+            &mut server,
+            &Request::Verify {
+                name: "p3".into(),
+                targets: None,
+            }
+            .to_line(),
+        );
+        assert!(!ok(&p3), "p3 was the least recently used");
+        let p2 = handle(
+            &mut server,
+            &Request::Verify {
+                name: "p2".into(),
+                targets: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&p2), "recently touched p2 stays warm");
+
+        let status = handle(&mut server, &Request::Status.to_line());
+        assert_eq!(status.get("max_sessions").and_then(Json::as_i64), Some(2));
+        assert_eq!(
+            status.get("session_evictions").and_then(Json::as_i64),
+            Some(2)
+        );
+        assert!(status.get("resident_arena_nodes").and_then(Json::as_i64) > Some(0));
+    }
+
+    #[test]
+    fn aliases_share_the_lru_slot_and_fall_together() {
+        let mut server = Server::with_limits(
+            VerifyOptions::default(),
+            ServerLimits {
+                max_sessions: Some(1),
+                ..ServerLimits::default()
+            },
+        );
+        // Two names, one structure: a single session, no eviction.
+        handle(
+            &mut server,
+            &Request::Load {
+                name: "a".into(),
+                source: "borrow x[2]; X[x[1]]; X[x[1]];".into(),
+            }
+            .to_line(),
+        );
+        handle(
+            &mut server,
+            &Request::Load {
+                name: "b".into(),
+                source: "borrow y[2]; X[y[1]]; X[y[1]];".into(),
+            }
+            .to_line(),
+        );
+        assert_eq!(server.loaded_sessions(), 1);
+        assert_eq!(server.session_evictions(), 0);
+
+        // A structurally new load evicts the shared session and both
+        // aliases with it.
+        handle(
+            &mut server,
+            &Request::Load {
+                name: "c".into(),
+                source: "borrow z[2]; CNOT[z[1], z[2]];".into(),
+            }
+            .to_line(),
+        );
+        assert_eq!(server.loaded_sessions(), 1);
+        for name in ["a", "b"] {
+            let r = handle(
+                &mut server,
+                &Request::Verify {
+                    name: name.into(),
+                    targets: None,
+                }
+                .to_line(),
+            );
+            assert_eq!(r.get("code").and_then(Json::as_str), Some("not_loaded"));
+        }
+    }
+
+    #[test]
+    fn idle_sessions_are_swept() {
+        let mut server = Server::with_limits(
+            VerifyOptions::default(),
+            ServerLimits {
+                idle_timeout: Some(std::time::Duration::from_millis(25)),
+                ..ServerLimits::default()
+            },
+        );
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "p".into(),
+                source: "borrow a[2]; X[a[1]];".into(),
+            }
+            .to_line(),
+        );
+        assert!(ok(&load));
+        assert_eq!(server.loaded_sessions(), 1);
+
+        // Still fresh: a status round-trip does not evict it.
+        let status = handle(&mut server, &Request::Status.to_line());
+        assert_eq!(status.get("sessions").and_then(Json::as_i64), Some(1));
+
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        // Any request triggers the sweep afterwards.
+        let _ = handle(&mut server, &Request::Status.to_line());
+        assert_eq!(server.loaded_sessions(), 0);
+        assert_eq!(server.session_evictions(), 1);
+        let gone = handle(
+            &mut server,
+            &Request::Verify {
+                name: "p".into(),
+                targets: None,
+            }
+            .to_line(),
+        );
+        assert_eq!(gone.get("code").and_then(Json::as_str), Some("not_loaded"));
     }
 
     #[test]

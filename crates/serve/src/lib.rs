@@ -51,6 +51,6 @@ mod json;
 mod protocol;
 
 pub use client::Client;
-pub use daemon::{run, ServeOptions, Server};
+pub use daemon::{run, ServeOptions, Server, ServerLimits};
 pub use json::Json;
 pub use protocol::{error_response, Request};

@@ -23,8 +23,9 @@
 //!
 //! The daemon keeps one warm verification session per loaded program;
 //! `client verify` loads (or re-uses) and verifies over the daemon, and
-//! `watch` re-verifies on every mtime change, paying only for the edited
-//! gate suffix.
+//! `watch` re-verifies on every file change — tracked as a
+//! (device, inode, mtime, length) stamp so save-via-rename within the
+//! mtime granularity is caught — paying only for the edited gate suffix.
 
 use qborrow::circuit::render_with_labels;
 use qborrow::core::{
@@ -32,7 +33,7 @@ use qborrow::core::{
 };
 use qborrow::formula::Simplify;
 use qborrow::lang::{elaborate, parse, ElaboratedProgram};
-use qborrow::serve::{Client, Json, ServeOptions};
+use qborrow::serve::{Client, Json, ServeOptions, ServerLimits};
 use std::io::Read;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,7 +47,9 @@ fn usage() -> ExitCode {
          qborrow verify <file.qbr|-> [--backend sat|anf|bdd] [--simplify raw|full] [--jobs N]\n  \
          qborrow info   <file.qbr|->\n  \
          qborrow render <file.qbr|->\n  \
-         qborrow serve  --socket <path> [--backend sat|anf|bdd] [--simplify raw|full] [--quiet]\n  \
+         qborrow serve  --socket <path> [--backend sat|anf|bdd] [--simplify raw|full]\n  \
+                 [--max-sessions N] [--idle-timeout-ms N] [--arena-gc-floor N]\n  \
+                 [--decision-cache N] [--quiet]\n  \
          qborrow client verify|edit <file.qbr|-> [--socket <path>] [--name <name>]\n  \
          qborrow client status|shutdown [--socket <path>]\n  \
          qborrow client unload <name> [--socket <path>]\n  \
@@ -276,6 +279,7 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
     let mut backend = BackendKind::Sat;
     let mut simplify = Simplify::Raw;
     let mut log = true;
+    let mut limits = ServerLimits::default();
     let mut i = 0;
     while i < flags.len() {
         match parse_backend_flag(flags, &mut i, &mut backend, &mut simplify) {
@@ -293,6 +297,48 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
                     return usage();
                 };
                 socket = PathBuf::from(path);
+                i += 2;
+            }
+            "--max-sessions" => {
+                limits.max_sessions = match flags.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => Some(n),
+                    _ => {
+                        eprintln!("--max-sessions expects a positive number");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
+            "--idle-timeout-ms" => {
+                limits.idle_timeout = match flags.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(ms) if ms > 0 => Some(std::time::Duration::from_millis(ms)),
+                    _ => {
+                        eprintln!("--idle-timeout-ms expects a positive number");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
+            "--arena-gc-floor" => {
+                limits.arena_gc_floor = match flags.get(i + 1).and_then(|s| s.parse::<usize>().ok())
+                {
+                    Some(n) => Some(n),
+                    None => {
+                        eprintln!("--arena-gc-floor expects a number");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
+            "--decision-cache" => {
+                limits.decision_cache_cap =
+                    match flags.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                        Some(n) if n > 0 => Some(n),
+                        _ => {
+                            eprintln!("--decision-cache expects a positive number");
+                            return usage();
+                        }
+                    };
                 i += 2;
             }
             "--quiet" => {
@@ -313,6 +359,7 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
             backend_options: BackendOptions::default(),
         },
         log,
+        limits,
     };
     match qborrow::serve::run(&opts) {
         Ok(()) => ExitCode::SUCCESS,
@@ -639,7 +686,30 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         }
     }
 
-    let mtime = |path: &str| std::fs::metadata(path).and_then(|m| m.modified()).ok();
+    /// Identity + content stamp of the watched file. mtime alone misses
+    /// an editor's save-via-rename landing within the filesystem's mtime
+    /// granularity; tracking (device, inode, mtime, mtime_nsec, length)
+    /// catches both in-place writes and atomic replacements.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    struct FileStamp {
+        dev: u64,
+        ino: u64,
+        mtime: i64,
+        mtime_nsec: i64,
+        len: u64,
+    }
+
+    let stamp = |path: &str| -> Option<FileStamp> {
+        use std::os::unix::fs::MetadataExt;
+        let m = std::fs::metadata(path).ok()?;
+        Some(FileStamp {
+            dev: m.dev(),
+            ino: m.ino(),
+            mtime: m.mtime(),
+            mtime_nsec: m.mtime_nsec(),
+            len: m.len(),
+        })
+    };
 
     // Initial load + verify. A fresh connection per round keeps the
     // single-connection daemon available to other clients in between.
@@ -681,11 +751,11 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         eprintln!("qborrow watch: {e}");
         return ExitCode::FAILURE;
     }
-    let mut last = mtime(path);
+    let mut last = stamp(path);
     eprintln!("watching {path} (every {interval_ms}ms; Ctrl-C to stop)");
     loop {
         std::thread::sleep(std::time::Duration::from_millis(interval_ms));
-        let now = mtime(path);
+        let now = stamp(path);
         if now != last {
             last = now;
             if let Err(e) = run_round(false) {

@@ -23,9 +23,8 @@ fn start_daemon() -> (PathBuf, Client, std::thread::JoinHandle<()>) {
         SOCKET_COUNTER.fetch_add(1, Ordering::SeqCst)
     ));
     let opts = ServeOptions {
-        socket: socket.clone(),
-        verify: VerifyOptions::default(),
         log: false,
+        ..ServeOptions::new(socket.clone())
     };
     let handle = std::thread::spawn(move || run(&opts).expect("daemon runs"));
     for _ in 0..200 {
@@ -282,9 +281,8 @@ fn socket_survives_malformed_requests_and_sessions_dedupe() {
 
     // A second daemon refuses to hijack the live socket.
     let second = run(&ServeOptions {
-        socket: socket.clone(),
-        verify: VerifyOptions::default(),
         log: false,
+        ..ServeOptions::new(socket.clone())
     });
     assert!(second.is_err(), "second daemon must not steal the socket");
     assert_eq!(second.unwrap_err().kind(), std::io::ErrorKind::AddrInUse);

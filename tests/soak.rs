@@ -1,0 +1,251 @@
+//! Bounded-memory soak tests: hundreds of edit cycles through one
+//! long-lived [`VerifySession`] and through the daemon socket, asserting
+//! that the formula arena and the decision cache stay under fixed bounds
+//! (the PR-3 reclamation machinery: arena mark-sweep collection past a
+//! watermark, LRU decision-cache eviction, solver compaction) while
+//! every verdict still cross-checks against the independent fresh
+//! pipeline [`verify_circuit_fresh`].
+
+use qb_testutil::Rng;
+use qborrow::circuit::Circuit;
+use qborrow::core::{verify_circuit_fresh, InitialValue, VerifyOptions, VerifySession};
+use qborrow::lang::{adder_source, elaborate, parse, QubitKind};
+use qborrow::serve::{run, Client, Json, ServeOptions, ServerLimits};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// One session, 220 random edit cycles under tight memory limits: the
+/// arena must stay bounded (collections fire and reclaim), the decision
+/// cache must respect its cap, and verdicts must stay exact throughout.
+#[test]
+fn session_soak_memory_stays_bounded_over_200_edit_cycles() {
+    const N: usize = 4;
+    const CYCLES: usize = 220;
+    const ARENA_BOUND: usize = 600;
+    const CACHE_CAP: usize = 8;
+
+    let mut rng = Rng::new(0x50A1_0001);
+    let opts = VerifyOptions::default();
+    let initial = vec![InitialValue::Free; N];
+    let targets: Vec<usize> = (0..N).collect();
+    let base = {
+        let mut c = Circuit::new(N);
+        c.toffoli(0, 1, 2).cnot(2, 3);
+        c
+    };
+    let mut session = VerifySession::new(&base, &initial, &opts).expect("session builds");
+    session.set_memory_limits(Some(64), Some(CACHE_CAP));
+
+    let mut peak_arena = 0usize;
+    for cycle in 0..CYCLES {
+        let mut edited = Circuit::new(N);
+        edited.toffoli(0, 1, 2).cnot(2, 3);
+        for _ in 0..rng.gen_below(5) {
+            match rng.gen_below(3) {
+                0 => {
+                    edited.x(rng.gen_below(N));
+                }
+                1 => {
+                    let (c, t) = rng.gen_distinct2(N);
+                    edited.cnot(c, t);
+                }
+                _ => {
+                    let (c1, c2, t) = rng.gen_distinct3(N);
+                    edited.toffoli(c1, c2, t);
+                }
+            }
+        }
+        session.apply_edit(&edited).expect("edit applies");
+        let warm = session.verify_targets(&targets).expect("warm sweep");
+        let fresh = verify_circuit_fresh(&edited, &initial, &targets, &opts).expect("fresh sweep");
+        for (w, f) in warm.iter().zip(&fresh.verdicts) {
+            assert_eq!(w.qubit, f.qubit);
+            assert_eq!(w.safe, f.safe, "cycle {cycle}, qubit {}", w.qubit);
+            assert_eq!(
+                w.counterexample.as_ref().map(|ce| ce.violation),
+                f.counterexample.as_ref().map(|ce| ce.violation),
+                "cycle {cycle}, qubit {}",
+                w.qubit
+            );
+        }
+        let stats = session.stats();
+        peak_arena = peak_arena.max(stats.arena_nodes);
+        assert!(
+            stats.arena_nodes < ARENA_BOUND,
+            "cycle {cycle}: arena bounded, got {stats:?}"
+        );
+        assert!(
+            stats.cached_decisions <= CACHE_CAP,
+            "cycle {cycle}: decision cache bounded, got {stats:?}"
+        );
+    }
+
+    let stats = session.stats();
+    assert!(
+        stats.arena_collections >= 2,
+        "collections fire repeatedly over a long session: {stats:?}"
+    );
+    assert!(stats.arena_nodes_collected > 0);
+    assert!(
+        stats.decision_evictions > 0,
+        "LRU evictions happen under a tight cap: {stats:?}"
+    );
+    assert!(
+        stats.compactions >= 1,
+        "solver compaction also fires: {stats:?}"
+    );
+    assert!(peak_arena < ARENA_BOUND);
+}
+
+// ---- daemon-socket soak --------------------------------------------------
+
+static SOCKET_COUNTER: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+
+fn start_daemon(limits: ServerLimits) -> (PathBuf, Client, std::thread::JoinHandle<()>) {
+    let socket = std::env::temp_dir().join(format!(
+        "qborrow-soak-{}-{}.sock",
+        std::process::id(),
+        SOCKET_COUNTER.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+    ));
+    let opts = ServeOptions {
+        log: false,
+        limits,
+        ..ServeOptions::new(socket.clone())
+    };
+    let handle = std::thread::spawn(move || run(&opts).expect("daemon runs"));
+    for _ in 0..200 {
+        if let Ok(client) = Client::connect(&socket) {
+            return (socket, client, handle);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon did not come up on {}", socket.display());
+}
+
+/// Fresh-pipeline oracle for a source: `(qubit, safe)` per borrow qubit.
+fn fresh_verdicts(source: &str) -> Vec<(usize, bool)> {
+    let program = elaborate(&parse(source).expect("parses")).expect("elaborates");
+    let initial: Vec<InitialValue> = (0..program.num_qubits())
+        .map(|q| match program.qubit_kinds[q] {
+            QubitKind::Clean => InitialValue::Zero,
+            _ => InitialValue::Free,
+        })
+        .collect();
+    let report = verify_circuit_fresh(
+        &program.circuit,
+        &initial,
+        &program.qubits_to_verify(),
+        &VerifyOptions::default(),
+    )
+    .expect("fresh verification completes");
+    report.verdicts.iter().map(|v| (v.qubit, v.safe)).collect()
+}
+
+/// 200 edit cycles against the daemon over a real Unix socket, rotating
+/// through distinct variants of the 8-bit Håner adder. The per-program
+/// arena must stay bounded by the GC watermark (the daemon reports
+/// resident sizes per session) and every daemon verdict must equal the
+/// memoised fresh-pipeline oracle.
+#[test]
+fn daemon_soak_arena_bounded_and_verdicts_exact_over_200_cycles() {
+    const CYCLES: usize = 200;
+    // The daemon runs its sessions with a 512-node GC floor: the arena
+    // may reach twice the live graph before a sweep reclaims it, but it
+    // must never grow monotonically past that pacing bound.
+    const GC_FLOOR: usize = 512;
+    const ARENA_BOUND: i64 = 2_500;
+    const CACHE_CAP: usize = 512;
+
+    let base = adder_source(8);
+    // Appended-gate pool over the adder's registers (q[1..n], a[1..n-1]).
+    let pool = [
+        "X[q[1]];",
+        "X[q[2]];",
+        "X[a[1]];",
+        "CNOT[q[1], q[2]];",
+        "CNOT[a[1], q[3]];",
+        "CNOT[q[2], a[2]];",
+    ];
+    // 12 distinct suffix variants (pairs from the pool) + the base.
+    let mut variants: Vec<String> = vec![base.clone()];
+    for i in 0..12 {
+        let g1 = pool[i % pool.len()];
+        let g2 = pool[(i * 5 + 2) % pool.len()];
+        variants.push(format!("{base}{g1}\n{g2}\n"));
+    }
+
+    let (_socket, mut client, handle) = start_daemon(ServerLimits {
+        arena_gc_floor: Some(GC_FLOOR),
+        decision_cache_cap: Some(CACHE_CAP),
+        ..ServerLimits::default()
+    });
+    let load = client.load("soak", &base).expect("load round-trips");
+    assert_eq!(load.get("ok").and_then(Json::as_bool), Some(true), "{load}");
+
+    let mut oracle: HashMap<usize, Vec<(usize, bool)>> = HashMap::new();
+    let mut peak_arena: i64 = 0;
+    for cycle in 0..CYCLES {
+        let v = cycle % variants.len();
+        let edit = client.edit("soak", &variants[v]).expect("edit round-trips");
+        assert_eq!(
+            edit.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "cycle {cycle}: {edit}"
+        );
+        let verify = client.verify("soak", None).expect("verify round-trips");
+        assert_eq!(
+            verify.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "cycle {cycle}: {verify}"
+        );
+        let expected = oracle
+            .entry(v)
+            .or_insert_with(|| fresh_verdicts(&variants[v]));
+        let verdicts = verify.get("verdicts").and_then(Json::as_arr).unwrap();
+        assert_eq!(verdicts.len(), expected.len(), "cycle {cycle}");
+        for (got, (qubit, safe)) in verdicts.iter().zip(expected.iter()) {
+            assert_eq!(got.get("qubit").and_then(Json::as_usize), Some(*qubit));
+            assert_eq!(
+                got.get("safe").and_then(Json::as_bool),
+                Some(*safe),
+                "cycle {cycle}, qubit {qubit}"
+            );
+        }
+
+        let arena = edit
+            .get("arena_nodes")
+            .and_then(Json::as_i64)
+            .expect("edit responses report resident arena size");
+        peak_arena = peak_arena.max(arena);
+        assert!(
+            arena < ARENA_BOUND,
+            "cycle {cycle}: arena bounded under the daemon, got {arena}"
+        );
+    }
+
+    // The daemon's status must show the reclamation machinery at work
+    // and a decision cache within its bound.
+    let status = client.status().expect("status round-trips");
+    let programs = status.get("programs").and_then(Json::as_arr).unwrap();
+    assert_eq!(programs.len(), 1);
+    let p = &programs[0];
+    assert!(
+        p.get("arena_collections").and_then(Json::as_i64) >= Some(1),
+        "GC fired at least once under the daemon: {p}"
+    );
+    assert!(p.get("arena_nodes_collected").and_then(Json::as_i64) > Some(0));
+    assert!(
+        p.get("cached_decisions").and_then(Json::as_i64) <= Some(CACHE_CAP as i64),
+        "decision cache within its configured bound: {p}"
+    );
+    assert!(
+        p.get("decision_hits").and_then(Json::as_i64) > Some(0),
+        "revisited variants answer from the warm cache: {p}"
+    );
+    assert!(status.get("resident_arena_nodes").and_then(Json::as_i64) < Some(ARENA_BOUND));
+
+    let resp = client.shutdown().expect("shutdown round-trips");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    handle.join().expect("daemon thread exits cleanly");
+}

@@ -1,28 +1,34 @@
 //! Decision backends for the verification conditions.
 //!
 //! The paper discharges its Boolean queries with CVC5 and Bitwuzla; this
-//! reproduction offers three independent, complete in-repo procedures:
+//! reproduction offers three independent, complete in-repo procedures
+//! plus a portfolio mode:
 //!
 //! * [`BackendKind::Sat`] — Tseitin encoding + the `qb-sat` CDCL solver
 //!   (the workhorse; produces concrete counterexample models);
 //! * [`BackendKind::Anf`] — canonical algebraic-normal-form
 //!   normalisation: a formula is unsatisfiable iff its ANF is `0`. Exact
 //!   but may blow up (reported as [`BackendError::AnfOverflow`]);
-//! * [`BackendKind::Bdd`] — reduced ordered BDDs in circuit variable
-//!   order: unsatisfiable iff the diagram is the `0` terminal.
+//! * [`BackendKind::Bdd`] — reduced ordered BDDs (complement edges) in
+//!   circuit variable order: unsatisfiable iff the diagram is the false
+//!   edge. Bounded by [`BackendOptions::bdd_node_budget`] (reported as
+//!   [`BackendError::BddOverflow`]);
+//! * [`BackendKind::Auto`] — per-query portfolio: BDD first under its
+//!   node budget, falling back to SAT on blow-up, so canonical structure
+//!   answers the cheap queries and search handles the rest.
 //!
 //! Mirroring the paper's CVC5-vs-Bitwuzla comparison, the backends have
 //! different scaling behaviour on the two benchmark families (see
-//! EXPERIMENTS.md).
+//! EXPERIMENTS.md and README.md, "Choosing a backend").
 
-use qb_bdd::Bdd;
+use qb_bdd::{BddOverflow, BddSession};
 use qb_formula::{encode, Anf, Arena, NodeId, Var};
 use qb_sat::{Lit, SatResult, Solver};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Which decision procedure to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BackendKind {
     /// CDCL SAT on the Tseitin encoding.
     #[default]
@@ -31,16 +37,47 @@ pub enum BackendKind {
     Anf,
     /// Reduced ordered BDDs.
     Bdd,
+    /// Portfolio: BDD under a node budget, SAT on blow-up.
+    Auto,
+}
+
+impl BackendKind {
+    /// Every backend, in the order the CLI documents them.
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::Sat,
+        BackendKind::Anf,
+        BackendKind::Bdd,
+        BackendKind::Auto,
+    ];
+
+    /// The CLI/wire name of the backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Sat => "sat",
+            BackendKind::Anf => "anf",
+            BackendKind::Bdd => "bdd",
+            BackendKind::Auto => "auto",
+        }
+    }
+
+    /// Parses a CLI/wire backend name.
+    pub fn parse(name: &str) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Comma-separated list of valid backend names (for error messages).
+    pub fn valid_names() -> String {
+        BackendKind::ALL
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
 }
 
 impl fmt::Display for BackendKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            BackendKind::Sat => "sat",
-            BackendKind::Anf => "anf",
-            BackendKind::Bdd => "bdd",
-        };
-        write!(f, "{s}")
+        write!(f, "{}", self.name())
     }
 }
 
@@ -52,13 +89,24 @@ pub enum BackendError {
         /// The cap that was exceeded.
         cap: usize,
     },
+    /// The BDD backend exceeded its node budget.
+    BddOverflow {
+        /// The budget that was exceeded.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for BackendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BackendError::AnfOverflow { cap } => {
-                write!(f, "ANF backend exceeded {cap} terms; use SAT or BDD")
+                write!(f, "ANF backend exceeded {cap} terms; use SAT, BDD or auto")
+            }
+            BackendError::BddOverflow { budget } => {
+                write!(
+                    f,
+                    "BDD backend exceeded {budget} nodes; use SAT or the auto portfolio"
+                )
             }
         }
     }
@@ -86,11 +134,17 @@ pub struct Decision {
 pub struct BackendOptions {
     /// Term cap for the ANF backend.
     pub anf_cap: usize,
+    /// Resident-node budget for the BDD backend; the auto portfolio
+    /// falls back to SAT once a query's diagrams would exceed it.
+    pub bdd_node_budget: usize,
 }
 
 impl Default for BackendOptions {
     fn default() -> Self {
-        BackendOptions { anf_cap: 1 << 22 }
+        BackendOptions {
+            anf_cap: 1 << 22,
+            bdd_node_budget: 1 << 20,
+        }
     }
 }
 
@@ -99,11 +153,14 @@ impl Default for BackendOptions {
 /// The SAT backend materialises the disjunction exactly as the paper's
 /// formula (6.2) does (one query); the ANF and BDD backends decide each
 /// disjunct separately (the disjunction is unsatisfiable iff every
-/// disjunct is), which avoids needless structure.
+/// disjunct is), which avoids needless structure. The auto portfolio
+/// tries the BDD backend under its node budget and falls back to SAT on
+/// blow-up.
 ///
 /// # Errors
 ///
-/// Returns [`BackendError`] when the chosen backend cannot complete.
+/// Returns [`BackendError`] when the chosen backend cannot complete
+/// (never for `Sat` and `Auto`).
 pub fn decide_unsat(
     arena: &mut Arena,
     roots: &[NodeId],
@@ -113,7 +170,12 @@ pub fn decide_unsat(
     match kind {
         BackendKind::Sat => Ok(decide_sat(arena, roots)),
         BackendKind::Anf => decide_anf(arena, roots, opts.anf_cap),
-        BackendKind::Bdd => Ok(decide_bdd(arena, roots)),
+        BackendKind::Bdd => decide_bdd(arena, roots, opts.bdd_node_budget)
+            .map_err(|e| BackendError::BddOverflow { budget: e.budget }),
+        BackendKind::Auto => match decide_bdd(arena, roots, opts.bdd_node_budget) {
+            Ok(d) => Ok(d),
+            Err(_) => Ok(decide_sat(arena, roots)),
+        },
     }
 }
 
@@ -178,25 +240,28 @@ fn decide_anf(arena: &Arena, roots: &[NodeId], cap: usize) -> Result<Decision, B
     })
 }
 
-fn decide_bdd(arena: &Arena, roots: &[NodeId]) -> Decision {
-    let mut manager = Bdd::new();
-    let bdds = manager.from_arena(arena, roots);
-    let size = manager.len();
+/// One-shot BDD decision (a throwaway [`BddSession`]; long-lived
+/// verification sessions keep a persistent one instead — see
+/// `qb_core::VerifySession`).
+fn decide_bdd(arena: &Arena, roots: &[NodeId], budget: usize) -> Result<Decision, BddOverflow> {
+    let mut session = BddSession::new(budget);
+    let bdds = session.build(arena, roots)?;
+    let size = session.resident_nodes();
     for b in &bdds {
-        if let Some(path) = manager.any_sat(*b) {
+        if let Some(path) = session.manager().any_sat(*b) {
             let model = path.into_iter().collect();
-            return Decision {
+            return Ok(Decision {
                 unsat: false,
                 model: Some(model),
                 size,
-            };
+            });
         }
     }
-    Decision {
+    Ok(Decision {
         unsat: true,
         model: None,
         size,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -204,7 +269,7 @@ mod tests {
     use super::*;
     use qb_formula::Simplify;
 
-    /// All three backends agree on a small suite of formulas.
+    /// All backends (portfolio included) agree on a small suite.
     #[test]
     fn backends_agree() {
         type CaseBuilder = Box<dyn Fn(&mut Arena) -> Vec<NodeId>>;
@@ -252,7 +317,7 @@ mod tests {
         ];
         for mode in [Simplify::Raw, Simplify::Full] {
             for (i, (build, expect_unsat)) in cases.iter().enumerate() {
-                for kind in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
+                for kind in BackendKind::ALL {
                     let mut arena = Arena::new(mode);
                     let roots = build(&mut arena);
                     let d =
@@ -321,16 +386,57 @@ mod tests {
             &mut arena,
             &[root],
             BackendKind::Anf,
-            &BackendOptions { anf_cap: 64 },
+            &BackendOptions {
+                anf_cap: 64,
+                ..BackendOptions::default()
+            },
         )
         .unwrap_err();
         assert_eq!(err, BackendError::AnfOverflow { cap: 64 });
     }
 
     #[test]
+    fn bdd_overflow_is_reported_and_auto_falls_back() {
+        let build = |arena: &mut Arena| -> Vec<NodeId> {
+            let factors: Vec<NodeId> = (0..6)
+                .map(|i| {
+                    let a = arena.var(2 * i);
+                    let b = arena.var(2 * i + 1);
+                    arena.xor2(a, b)
+                })
+                .collect();
+            vec![arena.and(&factors)]
+        };
+        let opts = BackendOptions {
+            bdd_node_budget: 4,
+            ..BackendOptions::default()
+        };
+        let mut arena = Arena::new(Simplify::Raw);
+        let roots = build(&mut arena);
+        let err = decide_unsat(&mut arena, &roots, BackendKind::Bdd, &opts).unwrap_err();
+        assert_eq!(err, BackendError::BddOverflow { budget: 4 });
+
+        // The portfolio decides the same query via SAT instead.
+        let mut arena = Arena::new(Simplify::Raw);
+        let roots = build(&mut arena);
+        let d = decide_unsat(&mut arena, &roots, BackendKind::Auto, &opts).unwrap();
+        assert!(!d.unsat, "product of xors is satisfiable");
+        assert!(d.model.is_some(), "SAT fallback produces a witness");
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for kind in BackendKind::ALL {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("cvc5"), None);
+        assert_eq!(BackendKind::valid_names(), "sat, anf, bdd, auto");
+    }
+
+    #[test]
     fn empty_roots_are_unsat() {
         let mut arena = Arena::new(Simplify::Full);
-        for kind in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
+        for kind in BackendKind::ALL {
             let d = decide_unsat(&mut arena, &[], kind, &BackendOptions::default()).unwrap();
             assert!(d.unsat, "{kind}");
         }

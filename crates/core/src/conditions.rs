@@ -16,7 +16,8 @@
 //! unsafe as a dirty qubit.
 
 use crate::symbolic::SymbolicState;
-use qb_formula::{NodeId, Var};
+use qb_formula::{NodeId, NodeRemap, Var};
+use std::collections::HashMap;
 
 /// The two §6.1 conditions, as roots in the state's arena.
 #[derive(Debug, Clone)]
@@ -65,6 +66,119 @@ pub fn build_conditions(state: &mut SymbolicState, q: usize) -> Conditions {
             continue;
         }
         let diff = state.arena.xor2(cof0[f.index()], cof1[f.index()]);
+        plus_parts.push(diff);
+    }
+    Conditions { zero, plus_parts }
+}
+
+/// A session-level memo of per-root cofactors, keyed by
+/// `(root, var, value)`.
+///
+/// Rebuilding the (6.2) disjuncts is the backend-independent floor of a
+/// warm sweep: two [`qb_formula::Arena::cofactor_reachable`] passes over
+/// the whole live formula graph per target, even when hash-consing
+/// re-derives every node id unchanged. The arena is append-only, so a
+/// root's id permanently denotes one function and its cofactor under
+/// `(var, value)` is fixed — which makes the result memoisable across
+/// sweeps *and edits*: after a suffix edit, only formulas whose node id
+/// actually changed recompute their cofactor cones; every other root is
+/// a map lookup.
+#[derive(Debug, Default)]
+pub(crate) struct CofactorMemo {
+    map: HashMap<(NodeId, Var, bool), NodeId>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Flush bound: the memo holds (formula × target-var × 2) entries per
+/// circuit shape — small — but a pathological edit stream could grow it
+/// without bound, so it is cleared wholesale past this size (a rare,
+/// cheap, correctness-free event).
+const COFACTOR_MEMO_CAP: usize = 1 << 14;
+
+impl CofactorMemo {
+    /// Memoised sweep: ensures `(f, var, val)` is cached for every root
+    /// in `formulas`, running one restricted cofactor pass over the
+    /// missing roots only.
+    fn ensure(&mut self, state: &mut SymbolicState, formulas: &[NodeId], var: Var, val: bool) {
+        let missing: Vec<NodeId> = formulas
+            .iter()
+            .copied()
+            .filter(|&f| !self.map.contains_key(&(f, var, val)))
+            .collect();
+        self.hits += (formulas.len() - missing.len()) as u64;
+        if missing.is_empty() {
+            return;
+        }
+        self.misses += missing.len() as u64;
+        let map = state.arena.cofactor_reachable(&missing, var, val);
+        for f in missing {
+            self.map.insert((f, var, val), map[f.index()]);
+        }
+    }
+
+    /// Entries currently memoised.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Lookups answered without a cofactor pass.
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Follows an arena collection: keys and values are rewritten
+    /// through `remap`; entries touching a collected node are dropped
+    /// (sound — a collected id is never issued for its old structure
+    /// again).
+    pub(crate) fn remap_nodes(&mut self, remap: &NodeRemap) {
+        let map = std::mem::take(&mut self.map);
+        for ((root, var, val), cof) in map {
+            if let (Some(root), Some(cof)) = (remap.remap(root), remap.remap(cof)) {
+                self.map.insert((root, var, val), cof);
+            }
+        }
+    }
+}
+
+/// [`build_conditions`] with a session cofactor memo: identical output
+/// (hash-consing makes the memoised and recomputed node ids equal), but
+/// warm sweeps skip the per-target graph walks entirely.
+pub(crate) fn build_conditions_memo(
+    state: &mut SymbolicState,
+    q: usize,
+    memo: &mut CofactorMemo,
+) -> Conditions {
+    assert!(q < state.num_qubits(), "qubit out of range");
+    // Flush up front (never between the sweeps and the lookups below,
+    // which rely on the entries both sweeps just ensured).
+    if memo.map.len() > COFACTOR_MEMO_CAP {
+        memo.map.clear();
+    }
+    let var: Var = state.vars[q];
+
+    // (6.1): b_q ∧ ¬q.
+    let b_q = state.formulas[q];
+    let q_node = state.arena.var(var);
+    let not_q = state.arena.not(q_node);
+    let zero = state.arena.and2(b_q, not_q);
+
+    // (6.2): per-qubit cofactor diffs, served from the memo.
+    let formulas = state.formulas.clone();
+    memo.ensure(state, &formulas, var, false);
+    memo.ensure(state, &formulas, var, true);
+    let mut plus_parts = Vec::with_capacity(state.num_qubits().saturating_sub(1));
+    for q_prime in 0..state.num_qubits() {
+        if q_prime == q {
+            continue;
+        }
+        let f = state.formulas[q_prime];
+        let cof0 = memo.map[&(f, var, false)];
+        let cof1 = memo.map[&(f, var, true)];
+        if cof0 == cof1 {
+            continue;
+        }
+        let diff = state.arena.xor2(cof0, cof1);
         plus_parts.push(diff);
     }
     Conditions { zero, plus_parts }

@@ -112,7 +112,7 @@ mod cross_validation {
                 let expect = exact::classical_circuit_safely_uncomputes(&c, q).unwrap();
                 let expect_unitary = exact::circuit_safely_uncomputes(&c, q, 1e-9);
                 assert_eq!(expect, expect_unitary, "permutation vs unitary, q={q}");
-                for backend in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
+                for backend in BackendKind::ALL {
                     for simplify in [Simplify::Raw, Simplify::Full] {
                         let opts = VerifyOptions {
                             backend,

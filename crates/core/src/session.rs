@@ -26,8 +26,8 @@
 //! `std::thread::scope` workers (one session per worker, no external
 //! dependencies) and reassembles verdicts in request order.
 
-use crate::backend::{decide_unsat, BackendKind, Decision};
-use crate::conditions::build_conditions;
+use crate::backend::{BackendError, BackendKind, Decision};
+use crate::conditions::{build_conditions_memo, CofactorMemo};
 use crate::symbolic::{
     initial_formulas, symbolic_apply, symbolic_execute, InitialValue, SymbolicState,
 };
@@ -35,8 +35,9 @@ use crate::verifier::{
     model_to_assignment, Counterexample, QubitVerdict, VerificationReport, VerifyError,
     VerifyOptions, Violation,
 };
+use qb_bdd::{BddOverflow, BddSession};
 use qb_circuit::{Circuit, Gate};
-use qb_formula::{CnfSink, IncrementalEncoder, NodeId, Var};
+use qb_formula::{Anf, AnfCache, CnfSink, IncrementalEncoder, NodeId, Var};
 use qb_lang::{gate_common_prefix, ElaboratedProgram, QubitKind};
 use qb_sat::{Lit, SatResult, SatVar, Solver};
 use std::collections::HashMap;
@@ -225,18 +226,49 @@ pub struct SessionStats {
     pub compactions: u64,
     /// Edits applied via [`VerifySession::apply_edit`].
     pub edits: u64,
-    /// Distinct condition roots with a memoised decision.
+    /// Distinct condition roots with a memoised decision. The cache is
+    /// keyed by [`NodeId`] and shared across backends: a root decided by
+    /// the BDD manager is never re-decided by SAT (or vice versa in the
+    /// auto portfolio).
     pub cached_decisions: usize,
-    /// Queries answered from the decision cache (no solver call).
+    /// Queries answered from the decision cache (no backend call).
     pub decision_hits: u64,
     /// Decision-cache entries dropped by LRU eviction.
     pub decision_evictions: u64,
+    /// Memoised per-root cofactor entries (condition construction).
+    pub cofactor_memo_entries: usize,
+    /// Cofactor lookups answered without a graph walk.
+    pub cofactor_hits: u64,
     /// Formula-arena mark-sweep collections performed.
     pub arena_collections: u64,
     /// Total arena nodes reclaimed across all collections.
     pub arena_nodes_collected: u64,
     /// Arena length at which the next collection triggers.
     pub arena_gc_watermark: usize,
+    /// Resident BDD-manager nodes (0 for non-BDD backends).
+    pub bdd_resident_nodes: usize,
+    /// Memoised arena-node→BDD translations currently held.
+    pub bdd_cached_translations: usize,
+    /// Arena nodes answered from the BDD translation cache.
+    pub bdd_translation_hits: u64,
+    /// BDD-manager mark-sweep collections performed.
+    pub bdd_collections: u64,
+    /// Total BDD-manager nodes reclaimed across collections.
+    pub bdd_nodes_collected: u64,
+    /// Auto-portfolio queries that blew the BDD node budget and fell
+    /// back to SAT.
+    pub bdd_fallbacks: u64,
+    /// Memoised per-node ANF polynomials currently held.
+    pub anf_cached_polys: usize,
+    /// ANF conversions answered from the polynomial cache.
+    pub anf_hits: u64,
+    /// Cumulative wall time spent inside the SAT backend.
+    pub sat_time: Duration,
+    /// Cumulative wall time spent inside the BDD backend (including
+    /// budget-exceeded attempts that fell back).
+    pub bdd_time: Duration,
+    /// Cumulative wall time spent inside the ANF backend.
+    pub anf_time: Duration,
 }
 
 /// What an [`VerifySession::apply_edit`] call did.
@@ -286,17 +318,25 @@ pub struct VerifySession {
     opts: VerifyOptions,
     construction_time: Duration,
     sat: Option<SatSession>,
+    /// Persistent BDD manager + arena-node translation cache
+    /// ([`BackendKind::Bdd`] and the [`BackendKind::Auto`] portfolio).
+    bdd: Option<BddSession>,
+    /// Memoised per-node ANF polynomials ([`BackendKind::Anf`]).
+    anf: Option<AnfCache>,
     /// Number of leading gates whose symbolic structure is encoded
     /// *permanently* (unguarded). Edits shrink this to the common prefix;
     /// everything past it lives in the retractable suffix scope.
     permanent_len: usize,
-    /// Memoised decisions keyed by condition-root node id (SAT backend;
-    /// see [`CachedDecision`]). Hash-consing makes node identity semantic
-    /// identity, so entries stay valid across sweeps and edits; arena
-    /// collections remap the keys (or drop entries whose roots were
-    /// reclaimed — such a root can never be queried under its old id
-    /// again), and the cache itself is LRU-bounded.
+    /// Memoised decisions keyed by condition-root node id, shared across
+    /// every backend (see [`CachedDecision`]). Hash-consing makes node
+    /// identity semantic identity, so entries stay valid across sweeps
+    /// and edits; arena collections remap the keys (or drop entries
+    /// whose roots were reclaimed — such a root can never be queried
+    /// under its old id again), and the cache itself is LRU-bounded.
     decisions: HashMap<NodeId, CachedDecision>,
+    /// Memoised per-root cofactors (the backend-independent condition
+    /// construction; see [`CofactorMemo`]).
+    cofactors: CofactorMemo,
     decision_hits: u64,
     /// Logical clock stamping decision-cache use (LRU order).
     decision_clock: u64,
@@ -310,6 +350,12 @@ pub struct VerifySession {
     arena_collections: u64,
     arena_nodes_collected: u64,
     edits: u64,
+    /// Auto-portfolio roots whose BDD attempt blew the node budget.
+    bdd_fallbacks: u64,
+    /// Cumulative per-backend wall time (see [`SessionStats`]).
+    sat_time: Duration,
+    bdd_time: Duration,
+    anf_time: Duration,
 }
 
 impl VerifySession {
@@ -327,7 +373,7 @@ impl VerifySession {
         let t0 = Instant::now();
         let mut state = symbolic_execute(circuit, initial, opts.simplify)?;
         let sat = match opts.backend {
-            BackendKind::Sat => {
+            BackendKind::Sat | BackendKind::Auto => {
                 // Permanently encode the base graph — the per-qubit final
                 // formulas and the input variables — unguarded: every
                 // query of every target builds on these literals, and
@@ -364,6 +410,13 @@ impl VerifySession {
             }
             _ => None,
         };
+        let bdd = match opts.backend {
+            BackendKind::Bdd | BackendKind::Auto => {
+                Some(BddSession::new(opts.backend_options.bdd_node_budget))
+            }
+            _ => None,
+        };
+        let anf = (opts.backend == BackendKind::Anf).then(AnfCache::new);
         let construction_time = t0.elapsed();
         let arena_watermark = (state.arena.len() * ARENA_GC_GROWTH).max(ARENA_GC_MIN_NODES);
         Ok(VerifySession {
@@ -373,8 +426,11 @@ impl VerifySession {
             opts: *opts,
             construction_time,
             sat,
+            bdd,
+            anf,
             permanent_len: circuit.size(),
             decisions: HashMap::new(),
+            cofactors: CofactorMemo::default(),
             decision_hits: 0,
             decision_clock: 0,
             decision_cap: DECISION_CACHE_CAPACITY,
@@ -384,6 +440,10 @@ impl VerifySession {
             arena_collections: 0,
             arena_nodes_collected: 0,
             edits: 0,
+            bdd_fallbacks: 0,
+            sat_time: Duration::ZERO,
+            bdd_time: Duration::ZERO,
+            anf_time: Duration::ZERO,
         })
     }
 
@@ -409,6 +469,24 @@ impl VerifySession {
         // re-paces to twice the live size.
         self.arena_watermark = self.arena_watermark_min;
         self.evict_decisions_over_capacity();
+    }
+
+    /// Tightens (or relaxes) the per-backend memoisation bounds: the BDD
+    /// manager's GC floor and translation-cache capacity, and the ANF
+    /// polynomial-cache capacity. `None` keeps the current value; knobs
+    /// for backends the session does not run are ignored.
+    pub fn set_backend_limits(
+        &mut self,
+        bdd_gc_floor: Option<usize>,
+        bdd_translation_cap: Option<usize>,
+        anf_cache_cap: Option<usize>,
+    ) {
+        if let Some(bdd) = &mut self.bdd {
+            bdd.set_limits(bdd_gc_floor, bdd_translation_cap);
+        }
+        if let (Some(anf), Some(cap)) = (&mut self.anf, anf_cache_cap) {
+            anf.set_capacity(cap);
+        }
     }
 
     /// The options the session was created with.
@@ -449,6 +527,8 @@ impl VerifySession {
             ),
             None => (0, 0, 0, 0),
         };
+        let bdd = self.bdd.as_ref().map(BddSession::stats).unwrap_or_default();
+        let anf = self.anf.as_ref().map(|c| c.stats()).unwrap_or_default();
         SessionStats {
             arena_nodes: self.state.arena.len(),
             solver_vars,
@@ -459,9 +539,22 @@ impl VerifySession {
             cached_decisions: self.decisions.len(),
             decision_hits: self.decision_hits,
             decision_evictions: self.decision_evictions,
+            cofactor_memo_entries: self.cofactors.len(),
+            cofactor_hits: self.cofactors.hits(),
             arena_collections: self.arena_collections,
             arena_nodes_collected: self.arena_nodes_collected,
             arena_gc_watermark: self.arena_watermark,
+            bdd_resident_nodes: bdd.resident_nodes,
+            bdd_cached_translations: bdd.cached_translations,
+            bdd_translation_hits: bdd.translation_hits,
+            bdd_collections: bdd.collections,
+            bdd_nodes_collected: bdd.nodes_collected,
+            bdd_fallbacks: self.bdd_fallbacks,
+            anf_cached_polys: anf.cached_polys,
+            anf_hits: anf.hits,
+            sat_time: self.sat_time,
+            bdd_time: self.bdd_time,
+            anf_time: self.anf_time,
         }
     }
 
@@ -501,6 +594,16 @@ impl VerifySession {
             .into_iter()
             .filter_map(|(root, d)| remap.remap(root).map(|new| (new, d)))
             .collect();
+        // Backend memo tables follow the remap: entries over surviving
+        // nodes keep their renumbered keys, entries over collected nodes
+        // are dropped (and their BDDs released for the next manager GC).
+        if let Some(bdd) = &mut self.bdd {
+            bdd.remap_nodes(&remap);
+        }
+        if let Some(anf) = &mut self.anf {
+            anf.remap_nodes(&remap);
+        }
+        self.cofactors.remap_nodes(&remap);
         self.arena_collections += 1;
         self.arena_nodes_collected += (before - self.state.arena.len()) as u64;
         self.arena_watermark =
@@ -511,21 +614,12 @@ impl VerifySession {
     /// batches (down to ¾ of capacity) so the O(n log n) stamp sort
     /// amortises to O(log n) per insertion.
     fn evict_decisions_over_capacity(&mut self) {
-        if self.decisions.len() <= self.decision_cap {
-            return;
-        }
-        let target = self.decision_cap - self.decision_cap / 4;
-        let mut stamps: Vec<(u64, NodeId)> = self
-            .decisions
-            .iter()
-            .map(|(&root, d)| (d.last_used, root))
-            .collect();
-        stamps.sort_unstable();
-        let evict = self.decisions.len() - target;
-        for &(_, root) in stamps.iter().take(evict) {
-            self.decisions.remove(&root);
-        }
-        self.decision_evictions += evict as u64;
+        self.decision_evictions += qb_formula::lru_evict_batch(
+            &mut self.decisions,
+            self.decision_cap,
+            |d| d.last_used,
+            |_, _| {},
+        );
     }
 
     /// Replaces the session's circuit with an edited one, re-using as
@@ -711,33 +805,101 @@ impl VerifySession {
         decision
     }
 
-    /// Decides one condition root, consulting the memoised decision
-    /// cache first. On a miss the target scope is opened lazily (`scope`
-    /// holds its selector once open), the query runs on the shared
-    /// solver, and the outcome is memoised. A fully cached target never
-    /// touches the solver at all.
-    fn decide_root_sat(
+    /// Runs one root query on the shared SAT state, opening the target
+    /// scope lazily (`scope` holds its selector once open) and timing
+    /// the solver work.
+    fn run_sat_root(
         &mut self,
         root: NodeId,
         scope: &mut Option<Lit>,
         scope_vars: &mut Vec<SatVar>,
     ) -> Decision {
-        self.decision_clock += 1;
-        if let Some(hit) = self.decisions.get_mut(&root) {
-            hit.last_used = self.decision_clock;
-            self.decision_hits += 1;
-            return Decision {
-                unsat: hit.unsat,
-                model: hit.model.clone(),
-                size: 0,
-            };
-        }
+        let t0 = Instant::now();
         let sat = self.sat.as_mut().expect("SAT backend state");
         let guard = *scope.get_or_insert_with(|| {
             sat.encoder.begin_scope();
             Lit::pos(sat.solver.new_selector())
         });
         let d = Self::run_query(sat, &self.state.arena, &[root], guard, scope_vars);
+        self.sat_time += t0.elapsed();
+        d
+    }
+
+    /// Decides one root on the persistent BDD manager: translate (warm
+    /// via the arena-node cache), then read the answer off the canonical
+    /// form — unsat is the false edge, otherwise any path to true is a
+    /// witness.
+    fn run_bdd_root(&mut self, root: NodeId) -> Result<Decision, BddOverflow> {
+        let t0 = Instant::now();
+        let bdd = self.bdd.as_mut().expect("BDD backend state");
+        let built = bdd.build(&self.state.arena, &[root]);
+        self.bdd_time += t0.elapsed();
+        let f = built?[0];
+        let bdd = self.bdd.as_ref().expect("BDD backend state");
+        let model = bdd
+            .manager()
+            .any_sat(f)
+            .map(|path| path.into_iter().collect::<HashMap<Var, bool>>());
+        Ok(Decision {
+            unsat: model.is_none(),
+            model,
+            size: bdd.resident_nodes(),
+        })
+    }
+
+    /// Decides one root by canonical ANF normalisation, memoised per
+    /// arena node: unsat exactly when the polynomial is zero.
+    fn run_anf_root(&mut self, root: NodeId) -> Result<Decision, VerifyError> {
+        let t0 = Instant::now();
+        let cache = self.anf.as_mut().expect("ANF backend state");
+        let cap = self.opts.backend_options.anf_cap;
+        let polys = Anf::from_arena_cached(&self.state.arena, &[root], cap, cache);
+        self.anf_time += t0.elapsed();
+        let poly = polys
+            .map_err(|e| VerifyError::Backend(BackendError::AnfOverflow { cap: e.cap }))?
+            .remove(0);
+        Ok(Decision {
+            unsat: poly.is_zero(),
+            model: None,
+            size: poly.len(),
+        })
+    }
+
+    /// Decides one condition root, consulting the shared memoised
+    /// decision cache first, then dispatching on the session backend —
+    /// for [`BackendKind::Auto`], BDD first under its node budget with a
+    /// SAT fallback on blow-up. A fully cached target never touches any
+    /// backend at all.
+    fn decide_root(
+        &mut self,
+        root: NodeId,
+        scope: &mut Option<Lit>,
+        scope_vars: &mut Vec<SatVar>,
+    ) -> Result<Decision, VerifyError> {
+        self.decision_clock += 1;
+        if let Some(hit) = self.decisions.get_mut(&root) {
+            hit.last_used = self.decision_clock;
+            self.decision_hits += 1;
+            return Ok(Decision {
+                unsat: hit.unsat,
+                model: hit.model.clone(),
+                size: 0,
+            });
+        }
+        let d = match self.opts.backend {
+            BackendKind::Sat => self.run_sat_root(root, scope, scope_vars),
+            BackendKind::Bdd => self.run_bdd_root(root).map_err(|e| {
+                VerifyError::Backend(BackendError::BddOverflow { budget: e.budget })
+            })?,
+            BackendKind::Anf => self.run_anf_root(root)?,
+            BackendKind::Auto => match self.run_bdd_root(root) {
+                Ok(d) => d,
+                Err(_) => {
+                    self.bdd_fallbacks += 1;
+                    self.run_sat_root(root, scope, scope_vars)
+                }
+            },
+        };
         self.decisions.insert(
             root,
             CachedDecision {
@@ -747,36 +909,38 @@ impl VerifySession {
             },
         );
         self.evict_decisions_over_capacity();
-        d
+        Ok(d)
     }
 
-    /// Decides both conditions of one target on the shared solver.
+    /// Decides both conditions of one target on the warm backend state.
     ///
-    /// The target's cofactor structure lives in a retractable scope: its
-    /// defining clauses are guarded by a per-target selector and its
-    /// node→literal assignments are rolled back afterwards, so later
-    /// targets never propagate through (or branch on) this target's dead
-    /// structure. The *base* encoding and every learnt clause derived
-    /// purely from it stay warm for the whole session, and condition
-    /// roots whose node ids were decided before — in an earlier sweep or
-    /// before an edit that left them untouched — are answered from the
-    /// decision cache without running the solver.
-    fn decide_target_sat(
+    /// For the SAT backend (and auto fallbacks), the target's cofactor
+    /// structure lives in a retractable scope: its defining clauses are
+    /// guarded by a per-target selector and its node→literal assignments
+    /// are rolled back afterwards, so later targets never propagate
+    /// through (or branch on) this target's dead structure. The *base*
+    /// encoding and every learnt clause derived purely from it stay warm
+    /// for the whole session. The BDD/ANF backends instead reuse their
+    /// per-node memo tables, and condition roots whose node ids were
+    /// decided before — in an earlier sweep or before an edit that left
+    /// them untouched — are answered from the shared decision cache
+    /// without running any backend.
+    fn decide_target(
         &mut self,
         zero_root: NodeId,
         plus_roots: &[NodeId],
-    ) -> (Decision, Duration, Decision, Duration) {
+    ) -> Result<(Decision, Duration, Decision, Duration), VerifyError> {
         let mut scope: Option<Lit> = None;
         let mut scope_vars: Vec<SatVar> = Vec::new();
 
         let t_zero = Instant::now();
-        let zero = self.decide_root_sat(zero_root, &mut scope, &mut scope_vars);
+        let zero = self.decide_root(zero_root, &mut scope, &mut scope_vars)?;
         let zero_time = t_zero.elapsed();
 
         // Decide the (6.2) disjunction one disjunct at a time: each
-        // refutation then stays inside one qubit's cofactor cone (the
-        // ANF/BDD backends make the same decomposition), instead of one
-        // search entangling every disjunct through a wide root clause.
+        // refutation then stays inside one qubit's cofactor cone,
+        // instead of one search entangling every disjunct through a
+        // wide root clause.
         let t_plus = Instant::now();
         let mut plus = Decision {
             unsat: true,
@@ -784,7 +948,7 @@ impl VerifySession {
             size: 0,
         };
         for &part in plus_roots {
-            let d = self.decide_root_sat(part, &mut scope, &mut scope_vars);
+            let d = self.decide_root(part, &mut scope, &mut scope_vars)?;
             plus.size += d.size;
             if !d.unsat {
                 plus.unsat = false;
@@ -793,11 +957,11 @@ impl VerifySession {
             }
         }
 
-        // Target cleanup (only when a cache miss opened the scope): roll
-        // back the scope's literals, detach its clauses (and, via the
-        // level-zero sweep, every learnt clause that mentioned its
-        // selector), and deaden its variables. Then give the periodic GC
-        // a chance to reclaim the retired slots.
+        // SAT target cleanup (only when a cache miss opened the scope):
+        // roll back the scope's literals, detach its clauses (and, via
+        // the level-zero sweep, every learnt clause that mentioned its
+        // selector), and deaden its variables. Then give the periodic
+        // GCs a chance to reclaim retired slots and dead diagrams.
         if let Some(target_selector) = scope {
             let sat = self.sat.as_mut().expect("SAT backend state");
             sat.encoder.retract_scope();
@@ -806,19 +970,12 @@ impl VerifySession {
             sat.solver.deaden_vars(&scope_vars);
             sat.maybe_compact();
         }
+        if let Some(bdd) = &mut self.bdd {
+            bdd.maybe_gc();
+        }
         let plus_time = t_plus.elapsed();
 
-        (zero, zero_time, plus, plus_time)
-    }
-
-    fn decide(&mut self, roots: &[NodeId]) -> Result<Decision, VerifyError> {
-        debug_assert!(self.opts.backend != BackendKind::Sat);
-        Ok(decide_unsat(
-            &mut self.state.arena,
-            roots,
-            self.opts.backend,
-            &self.opts.backend_options,
-        )?)
+        Ok((zero, zero_time, plus, plus_time))
     }
 
     /// Verifies safe uncomputation of dirty qubit `q`, re-using all
@@ -835,19 +992,10 @@ impl VerifySession {
                 num_qubits: n,
             });
         }
-        let conditions = build_conditions(&mut self.state, q);
+        let conditions = build_conditions_memo(&mut self.state, q, &mut self.cofactors);
 
-        let (zero, zero_time, plus, plus_time) = if self.opts.backend == BackendKind::Sat {
-            self.decide_target_sat(conditions.zero, &conditions.plus_parts)
-        } else {
-            let t_zero = Instant::now();
-            let zero = self.decide(&[conditions.zero])?;
-            let zero_time = t_zero.elapsed();
-            let t_plus = Instant::now();
-            let plus = self.decide(&conditions.plus_parts)?;
-            let plus_time = t_plus.elapsed();
-            (zero, zero_time, plus, plus_time)
-        };
+        let (zero, zero_time, plus, plus_time) =
+            self.decide_target(conditions.zero, &conditions.plus_parts)?;
 
         let counterexample = if !zero.unsat {
             Some(Counterexample {
@@ -1048,7 +1196,7 @@ mod tests {
     use qb_formula::Simplify;
 
     fn assert_reports_agree(c: &Circuit, initial: &[InitialValue], targets: &[usize]) {
-        for backend in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
+        for backend in BackendKind::ALL {
             for simplify in [Simplify::Raw, Simplify::Full] {
                 let opts = VerifyOptions {
                     backend,
@@ -1166,7 +1314,7 @@ mod tests {
         let mut broken = Circuit::new(5);
         broken.toffoli(0, 1, 2).toffoli(2, 3, 4).toffoli(0, 1, 2);
 
-        for backend in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
+        for backend in BackendKind::ALL {
             for simplify in [Simplify::Raw, Simplify::Full] {
                 let opts = VerifyOptions {
                     backend,
@@ -1432,6 +1580,141 @@ mod tests {
         assert!(
             peak_nodes < 600,
             "arena bounded by watermark pacing, peak {peak_nodes}"
+        );
+    }
+
+    #[test]
+    fn bdd_session_reuses_translations_and_decisions_across_sweeps() {
+        let mut c = Circuit::new(5);
+        c.toffoli(0, 1, 2)
+            .toffoli(2, 3, 4)
+            .toffoli(0, 1, 2)
+            .toffoli(2, 3, 4);
+        let opts = VerifyOptions {
+            backend: BackendKind::Bdd,
+            ..VerifyOptions::default()
+        };
+        let mut session = VerifySession::new(&c, &[InitialValue::Free; 5], &opts).unwrap();
+        let first = session.verify_targets(&[0, 1, 2, 3, 4]).unwrap();
+        let cold = session.stats();
+        assert!(cold.bdd_resident_nodes > 0, "{cold:?}");
+        assert!(cold.bdd_cached_translations > 0);
+        assert_eq!(cold.solver_vars, 0, "no SAT state for a pure BDD session");
+
+        // The second sweep re-derives identical condition-root node ids,
+        // so every verdict comes from the shared decision cache and no
+        // new translation happens.
+        let second = session.verify_targets(&[0, 1, 2, 3, 4]).unwrap();
+        let warm = session.stats();
+        assert!(warm.decision_hits > cold.decision_hits, "{warm:?}");
+        assert_eq!(
+            warm.cached_decisions, cold.cached_decisions,
+            "no new condition roots on a repeat sweep"
+        );
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.safe, b.safe);
+        }
+        assert!(warm.bdd_time > Duration::ZERO);
+        assert_eq!(warm.sat_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn auto_portfolio_falls_back_to_sat_under_a_tiny_bdd_budget() {
+        // A leaky circuit (unsafe verdicts need witnesses) under a BDD
+        // budget too small for any diagram: every root falls back to
+        // SAT, verdicts and witnesses still match the fresh pipeline.
+        let mut c = Circuit::new(4);
+        c.toffoli(0, 1, 2).cnot(2, 3);
+        let opts = VerifyOptions {
+            backend: BackendKind::Auto,
+            backend_options: crate::BackendOptions {
+                bdd_node_budget: 3,
+                ..crate::BackendOptions::default()
+            },
+            ..VerifyOptions::default()
+        };
+        let mut session = VerifySession::new(&c, &[InitialValue::Free; 4], &opts).unwrap();
+        let verdicts = session.verify_targets(&[0, 1, 2, 3]).unwrap();
+        let stats = session.stats();
+        assert!(stats.bdd_fallbacks > 0, "{stats:?}");
+        assert!(stats.sat_time > Duration::ZERO);
+        let fresh = verify_circuit_fresh(
+            &c,
+            &[InitialValue::Free; 4],
+            &[0, 1, 2, 3],
+            &VerifyOptions::default(),
+        )
+        .unwrap();
+        for (w, f) in verdicts.iter().zip(&fresh.verdicts) {
+            assert_eq!(w.safe, f.safe, "qubit {}", w.qubit);
+        }
+
+        // With a generous budget the same circuit never falls back.
+        let opts = VerifyOptions {
+            backend: BackendKind::Auto,
+            ..VerifyOptions::default()
+        };
+        let mut session = VerifySession::new(&c, &[InitialValue::Free; 4], &opts).unwrap();
+        session.verify_targets(&[0, 1, 2, 3]).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.bdd_fallbacks, 0, "{stats:?}");
+        assert_eq!(stats.sat_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn bdd_manager_stays_bounded_across_edits_and_arena_collections() {
+        use qb_testutil::Rng;
+        let mut rng = Rng::new(0xBDD_0001);
+        const N: usize = 4;
+        let opts = VerifyOptions {
+            backend: BackendKind::Bdd,
+            ..VerifyOptions::default()
+        };
+        let base = {
+            let mut c = Circuit::new(N);
+            c.toffoli(0, 1, 2).cnot(2, 3);
+            c
+        };
+        let mut session = VerifySession::new(&base, &[InitialValue::Free; N], &opts).unwrap();
+        session.set_memory_limits(Some(64), Some(8));
+        session.set_backend_limits(Some(32), Some(64), None);
+        let mut peak_resident = 0usize;
+        for _ in 0..40 {
+            let mut edited = Circuit::new(N);
+            edited.toffoli(0, 1, 2).cnot(2, 3);
+            for _ in 0..rng.gen_below(4) {
+                match rng.gen_below(3) {
+                    0 => {
+                        edited.x(rng.gen_below(N));
+                    }
+                    1 => {
+                        let (c, t) = rng.gen_distinct2(N);
+                        edited.cnot(c, t);
+                    }
+                    _ => {
+                        let (c1, c2, t) = rng.gen_distinct3(N);
+                        edited.toffoli(c1, c2, t);
+                    }
+                }
+            }
+            session.apply_edit(&edited).unwrap();
+            assert_edit_matches_fresh(&mut session, &edited, &opts);
+            let stats = session.stats();
+            peak_resident = peak_resident.max(stats.bdd_resident_nodes);
+            assert!(
+                stats.bdd_resident_nodes < 600,
+                "BDD manager bounded: {stats:?}"
+            );
+        }
+        let stats = session.stats();
+        assert!(
+            stats.bdd_collections >= 1,
+            "manager GC fires over a long session: {stats:?}"
+        );
+        assert!(stats.bdd_nodes_collected > 0);
+        assert!(
+            stats.arena_collections >= 1,
+            "arena GC also fires (and the translation cache follows): {stats:?}"
         );
     }
 

@@ -405,7 +405,7 @@ mod tests {
 
     fn all_backends() -> Vec<VerifyOptions> {
         let mut out = Vec::new();
-        for backend in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
+        for backend in BackendKind::ALL {
             for simplify in [Simplify::Raw, Simplify::Full] {
                 out.push(VerifyOptions {
                     backend,

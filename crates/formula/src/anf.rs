@@ -11,8 +11,8 @@
 //! adders), so every conversion takes a term cap and fails gracefully with
 //! [`AnfOverflow`]; callers treat that as "backend inapplicable".
 
-use crate::arena::{Arena, Node, NodeId, Var};
-use std::collections::BTreeSet;
+use crate::arena::{Arena, Node, NodeId, NodeRemap, Var};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// A product of distinct variables; the empty product is the constant `1`.
@@ -367,6 +367,272 @@ impl Anf {
             .map(|r| table[r.index()].clone().expect("root is reachable"))
             .collect())
     }
+
+    /// Like [`Anf::from_arena`], but memoising per-node polynomials in
+    /// `cache` across calls. Hash-consing makes a [`NodeId`] permanently
+    /// denote one Boolean function (in an append-only arena), so a
+    /// cached polynomial answers any later conversion over the same
+    /// structure — across targets, repeat sweeps and edits — and the
+    /// bottom-up pass stops descending at cached nodes entirely.
+    ///
+    /// Results are identical to [`Anf::from_arena`]; only the work
+    /// profile differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnfOverflow`] on blow-up past `cap` terms, exactly as
+    /// the uncached conversion does.
+    pub fn from_arena_cached(
+        arena: &Arena,
+        roots: &[NodeId],
+        cap: usize,
+        cache: &mut AnfCache,
+    ) -> Result<Vec<Anf>, AnfOverflow> {
+        // Frontier traversal: descend only into nodes without a
+        // memoised polynomial, so a warm root costs O(1).
+        let mut visited = vec![false; arena.len()];
+        let mut need: Vec<NodeId> = Vec::new();
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if visited[id.index()] {
+                continue;
+            }
+            visited[id.index()] = true;
+            if cache.touch(id) {
+                continue;
+            }
+            need.push(id);
+            match arena.node(id) {
+                Node::And(children) | Node::Xor(children, _) => {
+                    stack.extend_from_slice(children);
+                }
+                _ => {}
+            }
+        }
+        // Children precede parents in arena order; oversized polynomials
+        // are not admitted into the cache and live in `local` instead.
+        need.sort_unstable();
+        // Children are borrowed from `local` or the cache — mul/xor only
+        // need references, so no polynomial is copied per operand.
+        fn child_poly<'a>(
+            id: NodeId,
+            local: &'a HashMap<NodeId, Anf>,
+            cache: &'a AnfCache,
+        ) -> &'a Anf {
+            local
+                .get(&id)
+                .or_else(|| cache.peek_ref(id))
+                .expect("children precede parents")
+        }
+        let mut local: HashMap<NodeId, Anf> = HashMap::new();
+        for id in need {
+            let anf = match arena.node(id) {
+                Node::Const(b) => {
+                    if *b {
+                        Anf::one()
+                    } else {
+                        Anf::zero()
+                    }
+                }
+                Node::Var(v) => Anf::var(*v),
+                Node::And(children) => {
+                    let mut acc = Anf::one();
+                    for c in children.iter() {
+                        acc = acc.mul(child_poly(*c, &local, cache), cap)?;
+                    }
+                    acc
+                }
+                Node::Xor(children, parity) => {
+                    let mut acc = if *parity { Anf::one() } else { Anf::zero() };
+                    for c in children.iter() {
+                        acc = acc.xor(child_poly(*c, &local, cache));
+                    }
+                    if acc.len() > cap {
+                        return Err(AnfOverflow { cap });
+                    }
+                    acc
+                }
+            };
+            if !cache.admit(id, &anf) {
+                local.insert(id, anf);
+            }
+        }
+        let out = roots
+            .iter()
+            .map(|r| {
+                local
+                    .get(r)
+                    .cloned()
+                    .or_else(|| cache.peek(*r))
+                    .expect("root is reachable")
+            })
+            .collect();
+        cache.evict_over_capacity();
+        Ok(out)
+    }
+}
+
+/// A memoised ANF polynomial for one arena node.
+#[derive(Debug, Clone)]
+struct AnfEntry {
+    poly: Anf,
+    /// Logical timestamp of the last hit or insertion (LRU order).
+    last_used: u64,
+}
+
+/// Reuse counters of an [`AnfCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnfCacheStats {
+    /// Polynomials currently memoised.
+    pub cached_polys: usize,
+    /// Total terms across the memoised polynomials.
+    pub cached_terms: usize,
+    /// Conversions answered from the cache.
+    pub hits: u64,
+    /// Nodes converted fresh.
+    pub misses: u64,
+    /// Entries dropped by LRU eviction or arena remap.
+    pub evictions: u64,
+}
+
+/// Default bound on memoised per-node polynomials.
+const ANF_CACHE_CAPACITY: usize = 1 << 12;
+
+/// Polynomials above this many terms are never admitted (a handful of
+/// huge entries would defeat the entry-count bound).
+const ANF_CACHE_MAX_TERMS: usize = 1 << 12;
+
+/// A size-bounded memo of per-node ANF polynomials keyed by [`NodeId`],
+/// used by [`Anf::from_arena_cached`] so long-lived verification
+/// sessions stop recomputing shared subcircuits per target. Eviction is
+/// least-recently-used in batches; [`AnfCache::remap_nodes`] follows
+/// `Arena::collect`'s [`NodeRemap`] (entries whose node was reclaimed
+/// are dropped — sound, because a collected id is never issued for its
+/// old structure again).
+#[derive(Debug, Clone)]
+pub struct AnfCache {
+    map: HashMap<NodeId, AnfEntry>,
+    clock: u64,
+    cap: usize,
+    max_terms: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Default for AnfCache {
+    fn default() -> Self {
+        AnfCache::new()
+    }
+}
+
+impl AnfCache {
+    /// Creates a cache with the default entry bound.
+    pub fn new() -> Self {
+        AnfCache::with_capacity(ANF_CACHE_CAPACITY)
+    }
+
+    /// Creates a cache bounded to `cap` memoised polynomials.
+    pub fn with_capacity(cap: usize) -> Self {
+        AnfCache {
+            map: HashMap::new(),
+            clock: 0,
+            cap: cap.max(1),
+            max_terms: ANF_CACHE_MAX_TERMS,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Rebounds the cache to `cap` entries, evicting immediately.
+    pub fn set_capacity(&mut self, cap: usize) {
+        self.cap = cap.max(1);
+        self.evict_over_capacity();
+    }
+
+    /// Number of memoised polynomials.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` when nothing is memoised.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Reuse counters.
+    pub fn stats(&self) -> AnfCacheStats {
+        AnfCacheStats {
+            cached_polys: self.map.len(),
+            cached_terms: self.map.values().map(|e| e.poly.len()).sum(),
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+
+    /// Stamps `id` as used; returns whether it is cached.
+    fn touch(&mut self, id: NodeId) -> bool {
+        self.clock += 1;
+        match self.map.get_mut(&id) {
+            Some(entry) => {
+                entry.last_used = self.clock;
+                self.hits += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The cached polynomial of `id`, if any (no stamp update).
+    fn peek(&self, id: NodeId) -> Option<Anf> {
+        self.peek_ref(id).cloned()
+    }
+
+    /// Borrows the cached polynomial of `id` (no stamp update, no copy).
+    fn peek_ref(&self, id: NodeId) -> Option<&Anf> {
+        self.map.get(&id).map(|e| &e.poly)
+    }
+
+    /// Admits a freshly computed polynomial unless it is oversized;
+    /// returns whether it was cached.
+    fn admit(&mut self, id: NodeId, poly: &Anf) -> bool {
+        self.misses += 1;
+        if poly.len() > self.max_terms {
+            return false;
+        }
+        self.clock += 1;
+        self.map.insert(
+            id,
+            AnfEntry {
+                poly: poly.clone(),
+                last_used: self.clock,
+            },
+        );
+        true
+    }
+
+    /// Keeps the cache within its LRU bound (batch eviction down to ¾
+    /// capacity, amortising the stamp sort).
+    fn evict_over_capacity(&mut self) {
+        self.evictions +=
+            crate::lru_evict_batch(&mut self.map, self.cap, |e| e.last_used, |_, _| {});
+    }
+
+    /// Follows a formula-arena collection: keys are rewritten through
+    /// `remap` and entries whose node was reclaimed are dropped.
+    pub fn remap_nodes(&mut self, remap: &NodeRemap) {
+        let map = std::mem::take(&mut self.map);
+        for (id, entry) in map {
+            match remap.remap(id) {
+                Some(new) => {
+                    self.map.insert(new, entry);
+                }
+                None => self.evictions += 1,
+            }
+        }
+    }
 }
 
 impl fmt::Display for Anf {
@@ -487,5 +753,106 @@ mod tests {
     fn display_renders_terms() {
         let p = Anf::var(1).xor(&Anf::one());
         assert_eq!(p.to_string(), "1 ⊕ x1");
+    }
+
+    #[test]
+    fn cached_conversion_matches_uncached() {
+        for mode in [Simplify::Raw, Simplify::Full] {
+            let mut f = Arena::new(mode);
+            let x = f.var(0);
+            let y = f.var(1);
+            let z = f.var(2);
+            let xy = f.and2(x, y);
+            let t = f.xor2(xy, z);
+            let r1 = f.not(t);
+            let r2 = f.or2(x, z);
+            let mut cache = AnfCache::new();
+            let cached = Anf::from_arena_cached(&f, &[r1, r2], 1 << 16, &mut cache).unwrap();
+            let plain = Anf::from_arena(&f, &[r1, r2], 1 << 16).unwrap();
+            assert_eq!(cached, plain, "mode {mode:?}");
+            // Warm re-conversion answers from the cache without fresh work.
+            let misses = cache.stats().misses;
+            let again = Anf::from_arena_cached(&f, &[r1, r2], 1 << 16, &mut cache).unwrap();
+            assert_eq!(again, plain);
+            assert_eq!(cache.stats().misses, misses, "no re-conversion");
+            assert!(cache.stats().hits >= 2);
+        }
+    }
+
+    #[test]
+    fn cached_conversion_still_reports_overflow() {
+        let mut f = Arena::new(Simplify::Raw);
+        let factors: Vec<NodeId> = (0..10)
+            .map(|i| {
+                let a = f.var(2 * i);
+                let b = f.var(2 * i + 1);
+                f.xor2(a, b)
+            })
+            .collect();
+        let root = f.and(&factors);
+        let mut cache = AnfCache::new();
+        let err = Anf::from_arena_cached(&f, &[root], 64, &mut cache).unwrap_err();
+        assert_eq!(err.cap, 64);
+    }
+
+    #[test]
+    fn cache_is_lru_bounded_and_oversized_polys_are_skipped() {
+        let mut f = Arena::new(Simplify::Raw);
+        let mut roots = Vec::new();
+        for i in 0..24u32 {
+            let a = f.var(2 * i);
+            let b = f.var(2 * i + 1);
+            roots.push(f.and2(a, b));
+        }
+        let mut cache = AnfCache::with_capacity(8);
+        for r in &roots {
+            Anf::from_arena_cached(&f, &[*r], 1 << 16, &mut cache).unwrap();
+        }
+        let stats = cache.stats();
+        assert!(stats.cached_polys <= 8, "{stats:?}");
+        assert!(stats.evictions > 0);
+
+        // A product blowing past the admission bound is computed but
+        // not cached.
+        let mut wide = Arena::new(Simplify::Raw);
+        let factors: Vec<NodeId> = (0..13)
+            .map(|i| {
+                let a = wide.var(2 * i);
+                let b = wide.var(2 * i + 1);
+                wide.xor2(a, b)
+            })
+            .collect();
+        let root = wide.and(&factors); // 2^13 terms > admission bound
+        let mut cache = AnfCache::new();
+        let polys = Anf::from_arena_cached(&wide, &[root], 1 << 20, &mut cache).unwrap();
+        assert_eq!(polys[0].len(), 1 << 13);
+        assert!(
+            cache.peek(root).is_none(),
+            "oversized root not admitted: {:?}",
+            cache.stats()
+        );
+    }
+
+    #[test]
+    fn cache_follows_arena_collection() {
+        let mut f = Arena::new(Simplify::Full);
+        let x = f.var(0);
+        let y = f.var(1);
+        let xy = f.and2(x, y);
+        let root = f.xor2(xy, x);
+        let dead = {
+            let z = f.var(2);
+            f.and2(z, root)
+        };
+        let mut cache = AnfCache::new();
+        let before = Anf::from_arena_cached(&f, &[root, dead], 1 << 16, &mut cache).unwrap();
+        let remap = f.collect(&[root]);
+        let new_root = remap.remap(root).unwrap();
+        cache.remap_nodes(&remap);
+        assert!(cache.stats().evictions > 0, "dead entries dropped");
+        let misses = cache.stats().misses;
+        let after = Anf::from_arena_cached(&f, &[new_root], 1 << 16, &mut cache).unwrap();
+        assert_eq!(before[0], after[0], "warm polynomial survived the remap");
+        assert_eq!(cache.stats().misses, misses, "renumbered root still hits");
     }
 }

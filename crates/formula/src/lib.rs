@@ -42,11 +42,13 @@ mod anf;
 mod arena;
 mod cnf;
 mod incremental;
+mod lru;
 
-pub use anf::{Anf, AnfOverflow, Monomial};
+pub use anf::{Anf, AnfCache, AnfCacheStats, AnfOverflow, Monomial};
 pub use arena::{Arena, Node, NodeId, NodeRemap, Simplify, Var};
 pub use cnf::{encode, Cnf, Encoding};
 pub use incremental::{CnfSink, IncrementalEncoder};
+pub use lru::lru_evict_batch;
 
 #[cfg(test)]
 mod randomized {

@@ -56,15 +56,31 @@ impl Client {
         })
     }
 
-    /// Loads `source` under `name`.
+    /// Loads `source` under `name` on the daemon's default backend.
     ///
     /// # Errors
     ///
     /// See [`Client::request`].
     pub fn load(&mut self, name: &str, source: &str) -> io::Result<Json> {
+        self.load_with(name, source, None)
+    }
+
+    /// Loads `source` under `name`, optionally selecting the decision
+    /// backend (`"sat"`, `"anf"`, `"bdd"`, `"auto"`) for its session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn load_with(
+        &mut self,
+        name: &str,
+        source: &str,
+        backend: Option<&str>,
+    ) -> io::Result<Json> {
         self.request(&Request::Load {
             name: name.to_string(),
             source: source.to_string(),
+            backend: backend.map(str::to_string),
         })
     }
 
@@ -87,9 +103,26 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn edit(&mut self, name: &str, source: &str) -> io::Result<Json> {
+        self.edit_with(name, source, None)
+    }
+
+    /// Submits an edited source, optionally moving the session to a
+    /// different decision backend (which reloads instead of editing
+    /// incrementally).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn edit_with(
+        &mut self,
+        name: &str,
+        source: &str,
+        backend: Option<&str>,
+    ) -> io::Result<Json> {
         self.request(&Request::Edit {
             name: name.to_string(),
             source: source.to_string(),
+            backend: backend.map(str::to_string),
         })
     }
 

@@ -3,9 +3,10 @@
 //!
 //! The daemon holds one [`VerifySession`] per loaded program, keyed by
 //! the *structural hash* of the elaborated circuit
-//! ([`qb_lang::structural_hash`]): client-chosen names are aliases onto
-//! the hash-keyed session table, so two editors looking at structurally
-//! identical programs share one warm session. A `verify` request decides
+//! ([`qb_lang::structural_hash`]) and its decision backend: client-chosen
+//! names are aliases onto the keyed session table, so two editors looking
+//! at structurally identical programs on the same backend share one warm
+//! session. A `verify` request decides
 //! conditions on the warm solver (learnt clauses, VSIDS state and phase
 //! saving carry over from every previous request); an `edit` request
 //! diffs the newly elaborated gate sequence against the cached circuit
@@ -20,7 +21,7 @@
 
 use crate::json::Json;
 use crate::protocol::{error_response, Request};
-use qb_core::{InitialValue, QubitVerdict, VerifyError, VerifyOptions, VerifySession};
+use qb_core::{BackendKind, InitialValue, QubitVerdict, VerifyError, VerifyOptions, VerifySession};
 use qb_lang::{elaborate, gate_diff, parse, structural_hash, ElaboratedProgram, QubitKind};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -72,6 +73,11 @@ impl ServeOptions {
     }
 }
 
+/// Key of a warm session: programs are shared by structural hash *per
+/// decision backend*, so `--backend bdd` and the daemon default each get
+/// their own warm state for the same circuit.
+type SessionKey = (u64, BackendKind);
+
 /// One warm program: the elaborated circuit and its verification session.
 struct ProgramSession {
     program: ElaboratedProgram,
@@ -114,10 +120,10 @@ fn not_loaded_response(name: &str) -> Json {
 /// request lines, get response lines back.
 pub struct Server {
     verify: VerifyOptions,
-    /// Warm sessions, keyed by structural hash.
-    sessions: HashMap<u64, ProgramSession>,
+    /// Warm sessions, keyed by (structural hash, backend).
+    sessions: HashMap<SessionKey, ProgramSession>,
     /// Client names aliasing into `sessions`.
-    names: HashMap<String, u64>,
+    names: HashMap<String, SessionKey>,
     requests: u64,
     /// Memory bounds (session LRU, idle sweep, per-session GC knobs).
     limits: ServerLimits,
@@ -143,16 +149,37 @@ impl Server {
         }
     }
 
-    /// Builds a session for `program`, applying the configured
-    /// per-session memory bounds.
-    fn new_session(&self, program: &ElaboratedProgram) -> Result<VerifySession, String> {
-        let mut session =
-            VerifySession::new(&program.circuit, &initial_values(program), &self.verify)
-                .map_err(|e| e.to_string())?;
+    /// Builds a session for `program` on `backend`, applying the
+    /// configured per-session memory bounds.
+    fn new_session(
+        &self,
+        program: &ElaboratedProgram,
+        backend: BackendKind,
+    ) -> Result<VerifySession, String> {
+        let opts = VerifyOptions {
+            backend,
+            ..self.verify
+        };
+        let mut session = VerifySession::new(&program.circuit, &initial_values(program), &opts)
+            .map_err(|e| e.to_string())?;
         if self.limits.arena_gc_floor.is_some() || self.limits.decision_cache_cap.is_some() {
             session.set_memory_limits(self.limits.arena_gc_floor, self.limits.decision_cache_cap);
         }
         Ok(session)
+    }
+
+    /// Resolves a request's optional backend name (`None` = the daemon
+    /// default), rejecting unknown names with the valid list.
+    fn resolve_backend(&self, requested: &Option<String>) -> Result<BackendKind, String> {
+        match requested {
+            None => Ok(self.verify.backend),
+            Some(name) => BackendKind::parse(name).ok_or_else(|| {
+                format!(
+                    "unknown backend {name:?} (valid backends: {})",
+                    BackendKind::valid_names()
+                )
+            }),
+        }
     }
 
     /// Handles one request line; returns the response line (no trailing
@@ -183,25 +210,25 @@ impl Server {
     }
 
     /// Marks a session as just used (LRU + idle bookkeeping).
-    fn touch(&mut self, hash: u64) {
+    fn touch(&mut self, key: SessionKey) {
         let stamp = self.requests;
-        if let Some(entry) = self.sessions.get_mut(&hash) {
+        if let Some(entry) = self.sessions.get_mut(&key) {
             entry.last_used = stamp;
             entry.last_used_at = Instant::now();
         }
     }
 
-    /// Evicts `hash` and every name aliasing it.
-    fn evict(&mut self, hash: u64) {
-        if self.sessions.remove(&hash).is_some() {
-            self.names.retain(|_, h| *h != hash);
+    /// Evicts `key` and every name aliasing it.
+    fn evict(&mut self, key: SessionKey) {
+        if self.sessions.remove(&key).is_some() {
+            self.names.retain(|_, k| *k != key);
             self.session_evictions += 1;
         }
     }
 
     /// Enforces the LRU bound, never evicting `protect` (the session the
     /// current request just created or touched).
-    fn evict_over_capacity(&mut self, protect: u64) {
+    fn evict_over_capacity(&mut self, protect: SessionKey) {
         let Some(max) = self.limits.max_sessions else {
             return;
         };
@@ -210,11 +237,11 @@ impl Server {
             let victim = self
                 .sessions
                 .iter()
-                .filter(|(&h, _)| h != protect)
+                .filter(|(&k, _)| k != protect)
                 .min_by_key(|(_, s)| s.last_used)
-                .map(|(&h, _)| h);
+                .map(|(&k, _)| k);
             match victim {
-                Some(h) => self.evict(h),
+                Some(k) => self.evict(k),
                 None => return,
             }
         }
@@ -225,22 +252,30 @@ impl Server {
         let Some(timeout) = self.limits.idle_timeout else {
             return;
         };
-        let stale: Vec<u64> = self
+        let stale: Vec<SessionKey> = self
             .sessions
             .iter()
             .filter(|(_, s)| s.last_used_at.elapsed() >= timeout)
-            .map(|(&h, _)| h)
+            .map(|(&k, _)| k)
             .collect();
-        for hash in stale {
-            self.evict(hash);
+        for key in stale {
+            self.evict(key);
         }
     }
 
     fn handle(&mut self, request: Request) -> Json {
         match request {
-            Request::Load { name, source } => self.load(name, &source),
+            Request::Load {
+                name,
+                source,
+                backend,
+            } => self.load(name, &source, &backend),
             Request::Verify { name, targets } => self.run_verify(&name, targets),
-            Request::Edit { name, source } => self.edit(&name, &source),
+            Request::Edit {
+                name,
+                source,
+                backend,
+            } => self.edit(&name, &source, &backend),
             Request::Status => self.status(),
             Request::Unload { name } => self.unload(&name),
             Request::Shutdown => Json::obj(vec![
@@ -255,11 +290,17 @@ impl Server {
         elaborate(&ast).map_err(|e| e.to_string())
     }
 
-    fn program_summary(name: &str, hash: u64, entry: &ProgramSession) -> Vec<(&'static str, Json)> {
+    fn program_summary(
+        name: &str,
+        key: SessionKey,
+        entry: &ProgramSession,
+    ) -> Vec<(&'static str, Json)> {
+        let (hash, backend) = key;
         let stats = entry.session.stats();
         vec![
             ("name", Json::Str(name.to_string())),
             ("hash", Json::Str(hash_hex(hash))),
+            ("backend", Json::Str(backend.to_string())),
             ("qubits", Json::Int(entry.program.num_qubits() as i64)),
             ("gates", Json::Int(entry.program.circuit.size() as i64)),
             (
@@ -299,26 +340,57 @@ impl Server {
                 Json::Int(stats.arena_gc_watermark as i64),
             ),
             (
+                "bdd_resident_nodes",
+                Json::Int(stats.bdd_resident_nodes as i64),
+            ),
+            (
+                "bdd_cached_translations",
+                Json::Int(stats.bdd_cached_translations as i64),
+            ),
+            ("bdd_collections", Json::Int(stats.bdd_collections as i64)),
+            ("bdd_fallbacks", Json::Int(stats.bdd_fallbacks as i64)),
+            ("anf_cached_polys", Json::Int(stats.anf_cached_polys as i64)),
+            ("sat_ns", Json::Int(stats.sat_time.as_nanos() as i64)),
+            ("bdd_ns", Json::Int(stats.bdd_time.as_nanos() as i64)),
+            ("anf_ns", Json::Int(stats.anf_time.as_nanos() as i64)),
+            (
                 "idle_ms",
                 Json::Int(entry.last_used_at.elapsed().as_millis() as i64),
             ),
         ]
     }
 
-    fn load(&mut self, name: String, source: &str) -> Json {
+    fn load(&mut self, name: String, source: &str, backend: &Option<String>) -> Json {
         let program = match Self::elaborate_source(source) {
             Ok(p) => p,
             Err(e) => return error_response(&e),
         };
         let hash = structural_hash(&program);
-        let reused = self.sessions.contains_key(&hash);
+        // Backend selection is sticky: a backend-less load of a name
+        // that already holds a session keeps that session's backend —
+        // whatever the source now hashes to — so a plain `client
+        // verify` after a `--backend bdd` one stays on BDD instead of
+        // silently rebuilding on the daemon default. Only fresh names
+        // fall to the default.
+        let backend = match backend {
+            Some(_) => match self.resolve_backend(backend) {
+                Ok(b) => b,
+                Err(e) => return error_response(&e),
+            },
+            None => match self.names.get(&name) {
+                Some(&(_, kind)) => kind,
+                None => self.verify.backend,
+            },
+        };
+        let key = (hash, backend);
+        let reused = self.sessions.contains_key(&key);
         if !reused {
-            let session = match self.new_session(&program) {
+            let session = match self.new_session(&program, backend) {
                 Ok(s) => s,
                 Err(e) => return error_response(&e),
             };
             self.sessions.insert(
-                hash,
+                key,
                 ProgramSession {
                     program,
                     session,
@@ -330,25 +402,25 @@ impl Server {
         }
         // Rebind the name; drop a previously bound session if this name
         // was its last alias.
-        if let Some(old) = self.names.insert(name.clone(), hash) {
-            if old != hash {
+        if let Some(old) = self.names.insert(name.clone(), key) {
+            if old != key {
                 self.drop_if_unaliased(old);
             }
         }
-        self.touch(hash);
-        self.evict_over_capacity(hash);
-        let entry = self.sessions.get(&hash).expect("just ensured");
+        self.touch(key);
+        self.evict_over_capacity(key);
+        let entry = self.sessions.get(&key).expect("just ensured");
         let mut pairs = vec![("ok", Json::Bool(true)), ("reused", Json::Bool(reused))];
-        pairs.extend(Self::program_summary(&name, hash, entry));
+        pairs.extend(Self::program_summary(&name, key, entry));
         Json::obj(pairs)
     }
 
     fn run_verify(&mut self, name: &str, targets: Option<Vec<usize>>) -> Json {
-        let Some(&hash) = self.names.get(name) else {
+        let Some(&key) = self.names.get(name) else {
             return not_loaded_response(name);
         };
-        self.touch(hash);
-        let entry = self.sessions.get_mut(&hash).expect("alias invariant");
+        self.touch(key);
+        let entry = self.sessions.get_mut(&key).expect("alias invariant");
         let targets = targets.unwrap_or_else(|| entry.program.qubits_to_verify());
         let t0 = Instant::now();
         let verdicts = match entry.session.verify_targets(&targets) {
@@ -366,67 +438,78 @@ impl Server {
         Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("name", Json::Str(name.to_string())),
-            ("hash", Json::Str(hash_hex(hash))),
+            ("hash", Json::Str(hash_hex(key.0))),
+            ("backend", Json::Str(key.1.to_string())),
             ("all_safe", Json::Bool(all_safe)),
             ("verdicts", Json::Arr(rendered)),
             ("solve_ns", Json::Int(solve_ns)),
             ("verifies", Json::Int(entry.verifies as i64)),
             ("compactions", Json::Int(stats.compactions as i64)),
+            ("bdd_fallbacks", Json::Int(stats.bdd_fallbacks as i64)),
         ])
     }
 
-    fn edit(&mut self, name: &str, source: &str) -> Json {
-        let Some(&old_hash) = self.names.get(name) else {
+    fn edit(&mut self, name: &str, source: &str, backend: &Option<String>) -> Json {
+        let Some(&old_key) = self.names.get(name) else {
             return not_loaded_response(name);
+        };
+        // An edit keeps its session's backend unless one is requested.
+        let backend = match backend {
+            None => old_key.1,
+            Some(_) => match self.resolve_backend(backend) {
+                Ok(b) => b,
+                Err(e) => return error_response(&e),
+            },
         };
         let program = match Self::elaborate_source(source) {
             Ok(p) => p,
             Err(e) => return error_response(&e),
         };
-        let new_hash = structural_hash(&program);
-        if new_hash == old_hash {
-            self.touch(old_hash);
-            let entry = self.sessions.get(&old_hash).expect("alias invariant");
+        let new_key = (structural_hash(&program), backend);
+        if new_key == old_key {
+            self.touch(old_key);
+            let entry = self.sessions.get(&old_key).expect("alias invariant");
             let mut pairs = vec![
                 ("ok", Json::Bool(true)),
                 ("changed", Json::Bool(false)),
                 ("strategy", Json::Str("identical".into())),
             ];
-            pairs.extend(Self::program_summary(name, old_hash, entry));
+            pairs.extend(Self::program_summary(name, old_key, entry));
             return Json::obj(pairs);
         }
-        // An identical program is already warm under another name: just
-        // re-alias, dropping our old session if unaliased.
-        if self.sessions.contains_key(&new_hash) {
-            self.names.insert(name.to_string(), new_hash);
-            self.drop_if_unaliased(old_hash);
-            self.touch(new_hash);
-            let entry = self.sessions.get(&new_hash).expect("checked");
+        // An identical program is already warm under another name (or
+        // backend): just re-alias, dropping our old session if unaliased.
+        if self.sessions.contains_key(&new_key) {
+            self.names.insert(name.to_string(), new_key);
+            self.drop_if_unaliased(old_key);
+            self.touch(new_key);
+            let entry = self.sessions.get(&new_key).expect("checked");
             let mut pairs = vec![
                 ("ok", Json::Bool(true)),
                 ("changed", Json::Bool(true)),
                 ("strategy", Json::Str("aliased".into())),
             ];
-            pairs.extend(Self::program_summary(name, new_hash, entry));
+            pairs.extend(Self::program_summary(name, new_key, entry));
             return Json::obj(pairs);
         }
 
-        let aliased = self.names.values().filter(|&&h| h == old_hash).count() > 1;
-        let old_entry = self.sessions.get(&old_hash).expect("alias invariant");
+        let aliased = self.names.values().filter(|&&k| k == old_key).count() > 1;
+        let old_entry = self.sessions.get(&old_key).expect("alias invariant");
         let kinds_match = old_entry.program.qubit_kinds == program.qubit_kinds;
         let diff = gate_diff(old_entry.program.circuit.gates(), program.circuit.gates());
 
-        // Incremental path: exclusive session with an unchanged qubit
-        // layout. Otherwise fall back to a fresh session for this name.
-        if !aliased && kinds_match {
-            let mut entry = self.sessions.remove(&old_hash).expect("alias invariant");
+        // Incremental path: exclusive session on the same backend with
+        // an unchanged qubit layout. Otherwise fall back to a fresh
+        // session for this name.
+        if !aliased && kinds_match && backend == old_key.1 {
+            let mut entry = self.sessions.remove(&old_key).expect("alias invariant");
             match entry.session.apply_edit(&program.circuit) {
                 Ok(stats) => {
                     entry.program = program;
-                    self.sessions.insert(new_hash, entry);
-                    self.names.insert(name.to_string(), new_hash);
-                    self.touch(new_hash);
-                    let entry = self.sessions.get(&new_hash).expect("just inserted");
+                    self.sessions.insert(new_key, entry);
+                    self.names.insert(name.to_string(), new_key);
+                    self.touch(new_key);
+                    let entry = self.sessions.get(&new_key).expect("just inserted");
                     let mut pairs = vec![
                         ("ok", Json::Bool(true)),
                         ("changed", Json::Bool(true)),
@@ -438,28 +521,28 @@ impl Server {
                         ("suffix_clauses", Json::Int(stats.suffix_clauses as i64)),
                         ("edit_ns", Json::Int(stats.elapsed.as_nanos() as i64)),
                     ];
-                    pairs.extend(Self::program_summary(name, new_hash, entry));
+                    pairs.extend(Self::program_summary(name, new_key, entry));
                     return Json::obj(pairs);
                 }
                 Err(VerifyError::IncompatibleEdit { .. }) => {
                     // Qubit layout changed: put the old session back and
                     // fall through to the reload path.
-                    self.sessions.insert(old_hash, entry);
+                    self.sessions.insert(old_key, entry);
                 }
                 Err(e) => {
-                    self.sessions.insert(old_hash, entry);
+                    self.sessions.insert(old_key, entry);
                     return error_response(&e.to_string());
                 }
             }
         }
 
         // Reload path: build a fresh session for the edited program.
-        let session = match self.new_session(&program) {
+        let session = match self.new_session(&program, backend) {
             Ok(s) => s,
             Err(e) => return error_response(&e),
         };
         self.sessions.insert(
-            new_hash,
+            new_key,
             ProgramSession {
                 program,
                 session,
@@ -468,10 +551,10 @@ impl Server {
                 last_used_at: Instant::now(),
             },
         );
-        self.names.insert(name.to_string(), new_hash);
-        self.drop_if_unaliased(old_hash);
-        self.evict_over_capacity(new_hash);
-        let entry = self.sessions.get(&new_hash).expect("just inserted");
+        self.names.insert(name.to_string(), new_key);
+        self.drop_if_unaliased(old_key);
+        self.evict_over_capacity(new_key);
+        let entry = self.sessions.get(&new_key).expect("just inserted");
         let mut pairs = vec![
             ("ok", Json::Bool(true)),
             ("changed", Json::Bool(true)),
@@ -480,7 +563,7 @@ impl Server {
             ("removed_gates", Json::Int(diff.removed as i64)),
             ("added_gates", Json::Int(diff.added as i64)),
         ];
-        pairs.extend(Self::program_summary(name, new_hash, entry));
+        pairs.extend(Self::program_summary(name, new_key, entry));
         Json::obj(pairs)
     }
 
@@ -490,10 +573,10 @@ impl Server {
         let programs: Vec<Json> = names
             .iter()
             .map(|name| {
-                let hash = self.names[*name];
-                let entry = self.sessions.get(&hash).expect("alias invariant");
+                let key = self.names[*name];
+                let entry = self.sessions.get(&key).expect("alias invariant");
                 Json::obj(
-                    Self::program_summary(name, hash, entry)
+                    Self::program_summary(name, key, entry)
                         .into_iter()
                         .collect(),
                 )
@@ -503,6 +586,11 @@ impl Server {
             .sessions
             .values()
             .map(|s| s.session.stats().arena_nodes)
+            .sum();
+        let resident_bdd: usize = self
+            .sessions
+            .values()
+            .map(|s| s.session.stats().bdd_resident_nodes)
             .sum();
         Json::obj(vec![
             ("ok", Json::Bool(true)),
@@ -520,6 +608,7 @@ impl Server {
                 Json::Int(self.session_evictions as i64),
             ),
             ("resident_arena_nodes", Json::Int(resident_nodes as i64)),
+            ("resident_bdd_nodes", Json::Int(resident_bdd as i64)),
             ("requests", Json::Int(self.requests as i64)),
         ])
     }
@@ -527,8 +616,8 @@ impl Server {
     fn unload(&mut self, name: &str) -> Json {
         match self.names.remove(name) {
             None => not_loaded_response(name),
-            Some(hash) => {
-                self.drop_if_unaliased(hash);
+            Some(key) => {
+                self.drop_if_unaliased(key);
                 Json::obj(vec![
                     ("ok", Json::Bool(true)),
                     ("unloaded", Json::Str(name.to_string())),
@@ -538,9 +627,9 @@ impl Server {
         }
     }
 
-    fn drop_if_unaliased(&mut self, hash: u64) {
-        if !self.names.values().any(|&h| h == hash) {
-            self.sessions.remove(&hash);
+    fn drop_if_unaliased(&mut self, key: SessionKey) {
+        if !self.names.values().any(|&k| k == key) {
+            self.sessions.remove(&key);
         }
     }
 }
@@ -677,6 +766,7 @@ mod tests {
             &Request::Load {
                 name: "cccnot".into(),
                 source: GOOD.into(),
+                backend: None,
             }
             .to_line(),
         );
@@ -700,6 +790,7 @@ mod tests {
             &Request::Edit {
                 name: "cccnot".into(),
                 source: BROKEN.into(),
+                backend: None,
             }
             .to_line(),
         );
@@ -728,6 +819,7 @@ mod tests {
             &Request::Load {
                 name: "a".into(),
                 source: "borrow x[2]; X[x[1]]; X[x[1]];".into(),
+                backend: None,
             }
             .to_line(),
         );
@@ -737,6 +829,7 @@ mod tests {
                 name: "b".into(),
                 source: "// same circuit, different name\nborrow y[2]; for i = 1 to 2 { X[y[1]]; }"
                     .into(),
+                backend: None,
             }
             .to_line(),
         );
@@ -751,6 +844,7 @@ mod tests {
             &Request::Edit {
                 name: "b".into(),
                 source: "borrow y[2]; X[y[1]];".into(),
+                backend: None,
             }
             .to_line(),
         );
@@ -775,6 +869,7 @@ mod tests {
             &Request::Load {
                 name: "bad".into(),
                 source: "borrow a; X[zzz];".into(),
+                backend: None,
             }
             .to_line(),
         );
@@ -795,6 +890,7 @@ mod tests {
             &Request::Edit {
                 name: "ghost".into(),
                 source: GOOD.into(),
+                backend: None,
             }
             .to_line(),
         );
@@ -806,6 +902,7 @@ mod tests {
             &Request::Load {
                 name: "ok".into(),
                 source: GOOD.into(),
+                backend: None,
             }
             .to_line(),
         );
@@ -820,6 +917,7 @@ mod tests {
             &Request::Load {
                 name: "p".into(),
                 source: "borrow a[2]; X[a[1]];".into(),
+                backend: None,
             }
             .to_line(),
         );
@@ -828,12 +926,168 @@ mod tests {
             &Request::Edit {
                 name: "p".into(),
                 source: "borrow a[3]; X[a[1]];".into(),
+                backend: None,
             }
             .to_line(),
         );
         assert!(ok(&edit), "{edit}");
         assert_eq!(edit.get("strategy").unwrap().as_str(), Some("reload"));
         assert_eq!(edit.get("qubits").unwrap().as_i64(), Some(3));
+    }
+
+    #[test]
+    fn backends_get_separate_sessions_and_status_reports_them() {
+        let mut server = Server::new(VerifyOptions::default());
+        for (name, backend) in [("s", None), ("b", Some("bdd")), ("a", Some("auto"))] {
+            let load = handle(
+                &mut server,
+                &Request::Load {
+                    name: name.into(),
+                    source: GOOD.into(),
+                    backend: backend.map(str::to_string),
+                }
+                .to_line(),
+            );
+            assert!(ok(&load), "{load}");
+        }
+        // Same structural hash, three backends: three warm sessions.
+        assert_eq!(server.loaded_sessions(), 3);
+
+        // Every backend agrees on the verdict; the BDD session reports
+        // resident diagram nodes and no SAT state.
+        for name in ["s", "b", "a"] {
+            let verify = handle(
+                &mut server,
+                &Request::Verify {
+                    name: name.into(),
+                    targets: None,
+                }
+                .to_line(),
+            );
+            assert!(ok(&verify), "{verify}");
+            assert_eq!(verify.get("all_safe").and_then(Json::as_bool), Some(true));
+        }
+        let status = handle(&mut server, &Request::Status.to_line());
+        let programs = status.get("programs").and_then(Json::as_arr).unwrap();
+        let by_name = |n: &str| {
+            programs
+                .iter()
+                .find(|p| p.get("name").and_then(Json::as_str) == Some(n))
+                .unwrap()
+        };
+        assert_eq!(
+            by_name("s").get("backend").and_then(Json::as_str),
+            Some("sat")
+        );
+        assert_eq!(
+            by_name("b").get("backend").and_then(Json::as_str),
+            Some("bdd")
+        );
+        assert_eq!(
+            by_name("a").get("backend").and_then(Json::as_str),
+            Some("auto")
+        );
+        assert!(
+            by_name("b")
+                .get("bdd_resident_nodes")
+                .and_then(Json::as_i64)
+                > Some(0)
+        );
+        assert_eq!(
+            by_name("b").get("solver_vars").and_then(Json::as_i64),
+            Some(0)
+        );
+        assert_eq!(
+            by_name("s")
+                .get("bdd_resident_nodes")
+                .and_then(Json::as_i64),
+            Some(0)
+        );
+        assert!(status.get("resident_bdd_nodes").and_then(Json::as_i64) > Some(0));
+
+        // A backend-less reload of an unchanged program is sticky: the
+        // warm BDD session is re-used, not rebuilt on the daemon default.
+        let reload = handle(
+            &mut server,
+            &Request::Load {
+                name: "b".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&reload), "{reload}");
+        assert_eq!(reload.get("reused").and_then(Json::as_bool), Some(true));
+        assert_eq!(reload.get("backend").and_then(Json::as_str), Some("bdd"));
+        assert_eq!(server.loaded_sessions(), 3);
+
+        // ...and stickiness follows the name even when the source
+        // changed: a backend-less load of an edited program stays on
+        // the name's backend instead of reverting to the default.
+        let changed = handle(
+            &mut server,
+            &Request::Load {
+                name: "b".into(),
+                source: format!("{GOOD} X[q[1]]; X[q[1]];"),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&changed), "{changed}");
+        assert_eq!(changed.get("backend").and_then(Json::as_str), Some("bdd"));
+        // Restore the original source for the steps below.
+        let restore = handle(
+            &mut server,
+            &Request::Load {
+                name: "b".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert_eq!(restore.get("backend").and_then(Json::as_str), Some("bdd"));
+
+        // Editing the BDD alias stays incremental on its own backend.
+        let edit = handle(
+            &mut server,
+            &Request::Edit {
+                name: "b".into(),
+                source: BROKEN.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&edit), "{edit}");
+        assert_eq!(edit.get("strategy").unwrap().as_str(), Some("incremental"));
+        assert_eq!(edit.get("backend").unwrap().as_str(), Some("bdd"));
+        let verify = handle(
+            &mut server,
+            &Request::Verify {
+                name: "b".into(),
+                targets: None,
+            }
+            .to_line(),
+        );
+        assert_eq!(verify.get("all_safe").and_then(Json::as_bool), Some(false));
+
+        // An unknown backend is rejected with the valid list.
+        let bad = handle(
+            &mut server,
+            &Request::Load {
+                name: "x".into(),
+                source: GOOD.into(),
+                backend: Some("cvc5".into()),
+            }
+            .to_line(),
+        );
+        assert!(!ok(&bad));
+        assert!(
+            bad.get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("sat, anf, bdd, auto"),
+            "{bad}"
+        );
     }
 
     #[test]
@@ -857,6 +1111,7 @@ mod tests {
                 &Request::Load {
                     name: (*name).into(),
                     source: (*src).into(),
+                    backend: None,
                 }
                 .to_line(),
             );
@@ -870,6 +1125,7 @@ mod tests {
             &Request::Load {
                 name: "p3".into(),
                 source: srcs[2].1.into(),
+                backend: None,
             }
             .to_line(),
         );
@@ -902,6 +1158,7 @@ mod tests {
             &Request::Load {
                 name: "p4".into(),
                 source: srcs[3].1.into(),
+                backend: None,
             }
             .to_line(),
         );
@@ -949,6 +1206,7 @@ mod tests {
             &Request::Load {
                 name: "a".into(),
                 source: "borrow x[2]; X[x[1]]; X[x[1]];".into(),
+                backend: None,
             }
             .to_line(),
         );
@@ -957,6 +1215,7 @@ mod tests {
             &Request::Load {
                 name: "b".into(),
                 source: "borrow y[2]; X[y[1]]; X[y[1]];".into(),
+                backend: None,
             }
             .to_line(),
         );
@@ -970,6 +1229,7 @@ mod tests {
             &Request::Load {
                 name: "c".into(),
                 source: "borrow z[2]; CNOT[z[1], z[2]];".into(),
+                backend: None,
             }
             .to_line(),
         );
@@ -1001,6 +1261,7 @@ mod tests {
             &Request::Load {
                 name: "p".into(),
                 source: "borrow a[2]; X[a[1]];".into(),
+                backend: None,
             }
             .to_line(),
         );

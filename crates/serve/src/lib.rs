@@ -34,6 +34,7 @@
 //! let load = Request::Load {
 //!     name: "demo".into(),
 //!     source: "borrow a; X[a]; X[a];".into(),
+//!     backend: None, // the daemon's default; "bdd"/"auto"/… select per session
 //! };
 //! let (response, _) = server.handle_line(&load.to_line());
 //! let response = Json::parse(&response).unwrap();

@@ -8,12 +8,20 @@
 //!
 //! | cmd | members | effect |
 //! |-----|---------|--------|
-//! | `load` | `name`, `source` | elaborate + create/reuse a warm session |
+//! | `load` | `name`, `source`, optional `backend` | elaborate + create/reuse a warm session |
 //! | `verify` | `name`, optional `targets` | decide conditions on the warm session |
-//! | `edit` | `name`, `source` | diff against the cached circuit, re-verify incrementally |
+//! | `edit` | `name`, `source`, optional `backend` | diff against the cached circuit, re-verify incrementally |
 //! | `status` | — | list loaded programs and session statistics |
 //! | `unload` | `name` | drop a program (and its session if unaliased) |
 //! | `shutdown` | — | stop the daemon |
+//!
+//! The optional `backend` member (`"sat"`, `"anf"`, `"bdd"`, `"auto"`)
+//! selects the decision backend for the named program's session.
+//! Absent, the choice is sticky: a name already holding a session for
+//! the same program keeps that session's backend, and fresh loads use
+//! the daemon's default. Sessions are keyed by (structural hash,
+//! backend), so the same program loaded under two backends gets two
+//! independent warm sessions.
 
 use crate::json::Json;
 
@@ -26,6 +34,8 @@ pub enum Request {
         name: String,
         /// QBorrow surface source.
         source: String,
+        /// Decision backend name (`None` = the daemon's default).
+        backend: Option<String>,
     },
     /// Verify targets of a loaded program (`None` = all `borrow` qubits).
     Verify {
@@ -40,6 +50,8 @@ pub enum Request {
         name: String,
         /// The edited source.
         source: String,
+        /// Decision backend name (`None` = keep the session's backend).
+        backend: Option<String>,
     },
     /// Report loaded programs and session statistics.
     Status,
@@ -78,10 +90,21 @@ impl Request {
                 .ok_or("missing string member \"source\"")?
                 .to_string())
         };
+        let backend = |v: &Json| -> Result<Option<String>, String> {
+            match v.get("backend") {
+                None | Some(Json::Null) => Ok(None),
+                Some(b) => Ok(Some(
+                    b.as_str()
+                        .ok_or("\"backend\" must be a string")?
+                        .to_string(),
+                )),
+            }
+        };
         match cmd {
             "load" => Ok(Request::Load {
                 name: name(&v)?,
                 source: source(&v)?,
+                backend: backend(&v)?,
             }),
             "verify" => {
                 let targets = match v.get("targets") {
@@ -106,6 +129,7 @@ impl Request {
             "edit" => Ok(Request::Edit {
                 name: name(&v)?,
                 source: source(&v)?,
+                backend: backend(&v)?,
             }),
             "status" => Ok(Request::Status),
             "unload" => Ok(Request::Unload { name: name(&v)? }),
@@ -117,11 +141,21 @@ impl Request {
     /// Serialises the request to its wire line (no trailing newline).
     pub fn to_line(&self) -> String {
         let v = match self {
-            Request::Load { name, source } => Json::obj(vec![
-                ("cmd", Json::Str("load".into())),
-                ("name", Json::Str(name.clone())),
-                ("source", Json::Str(source.clone())),
-            ]),
+            Request::Load {
+                name,
+                source,
+                backend,
+            } => {
+                let mut pairs = vec![
+                    ("cmd", Json::Str("load".into())),
+                    ("name", Json::Str(name.clone())),
+                    ("source", Json::Str(source.clone())),
+                ];
+                if let Some(b) = backend {
+                    pairs.push(("backend", Json::Str(b.clone())));
+                }
+                Json::obj(pairs)
+            }
             Request::Verify { name, targets } => {
                 let mut pairs = vec![
                     ("cmd", Json::Str("verify".into())),
@@ -135,11 +169,21 @@ impl Request {
                 }
                 Json::obj(pairs)
             }
-            Request::Edit { name, source } => Json::obj(vec![
-                ("cmd", Json::Str("edit".into())),
-                ("name", Json::Str(name.clone())),
-                ("source", Json::Str(source.clone())),
-            ]),
+            Request::Edit {
+                name,
+                source,
+                backend,
+            } => {
+                let mut pairs = vec![
+                    ("cmd", Json::Str("edit".into())),
+                    ("name", Json::Str(name.clone())),
+                    ("source", Json::Str(source.clone())),
+                ];
+                if let Some(b) = backend {
+                    pairs.push(("backend", Json::Str(b.clone())));
+                }
+                Json::obj(pairs)
+            }
             Request::Status => Json::obj(vec![("cmd", Json::Str("status".into()))]),
             Request::Unload { name } => Json::obj(vec![
                 ("cmd", Json::Str("unload".into())),
@@ -169,6 +213,12 @@ mod tests {
             Request::Load {
                 name: "adder".into(),
                 source: "borrow a;\nX[a];\n".into(),
+                backend: None,
+            },
+            Request::Load {
+                name: "adder".into(),
+                source: "borrow a;\nX[a];\n".into(),
+                backend: Some("bdd".into()),
             },
             Request::Verify {
                 name: "adder".into(),
@@ -181,6 +231,12 @@ mod tests {
             Request::Edit {
                 name: "adder".into(),
                 source: "// v2\nborrow a;".into(),
+                backend: None,
+            },
+            Request::Edit {
+                name: "adder".into(),
+                source: "// v2\nborrow a;".into(),
+                backend: Some("auto".into()),
             },
             Request::Status,
             Request::Unload {
@@ -203,5 +259,6 @@ mod tests {
         assert!(Request::parse(r#"{"cmd":"warp"}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"verify","name":"x","targets":[-1]}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"verify","name":"x","targets":"all"}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"load","name":"x","source":"","backend":7}"#).is_err());
     }
 }

@@ -3,17 +3,17 @@
 //! verify-on-change serving layer.
 //!
 //! ```text
-//! qborrow verify <file.qbr|-> [--backend sat|anf|bdd] [--simplify raw|full]
+//! qborrow verify <file.qbr|-> [--backend sat|anf|bdd|auto] [--simplify raw|full]
 //!                             [--jobs N]
 //! qborrow info   <file.qbr|->
 //! qborrow render <file.qbr|->
 //!
 //! qborrow serve  --socket <path> [--backend ...] [--simplify ...] [--quiet]
-//! qborrow client verify <file.qbr|-> [--socket <path>] [--name <name>]
-//! qborrow client edit   <file.qbr|-> [--socket <path>] [--name <name>]
+//! qborrow client verify <file.qbr|-> [--socket <path>] [--name <name>] [--backend <name>]
+//! qborrow client edit   <file.qbr|-> [--socket <path>] [--name <name>] [--backend <name>]
 //! qborrow client status|shutdown [--socket <path>]
 //! qborrow client unload <name> [--socket <path>]
-//! qborrow watch  <file.qbr> [--socket <path>] [--interval-ms N]
+//! qborrow watch  <file.qbr> [--socket <path>] [--interval-ms N] [--backend <name>]
 //! ```
 //!
 //! `<file.qbr>` may be `-` to read the program from stdin (for editor
@@ -44,16 +44,16 @@ const EXIT_BAD_INPUT: u8 = 2;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         qborrow verify <file.qbr|-> [--backend sat|anf|bdd] [--simplify raw|full] [--jobs N]\n  \
+         qborrow verify <file.qbr|-> [--backend sat|anf|bdd|auto] [--simplify raw|full] [--jobs N]\n  \
          qborrow info   <file.qbr|->\n  \
          qborrow render <file.qbr|->\n  \
-         qborrow serve  --socket <path> [--backend sat|anf|bdd] [--simplify raw|full]\n  \
+         qborrow serve  --socket <path> [--backend sat|anf|bdd|auto] [--simplify raw|full]\n  \
                  [--max-sessions N] [--idle-timeout-ms N] [--arena-gc-floor N]\n  \
                  [--decision-cache N] [--quiet]\n  \
-         qborrow client verify|edit <file.qbr|-> [--socket <path>] [--name <name>]\n  \
+         qborrow client verify|edit <file.qbr|-> [--socket <path>] [--name <name>] [--backend <name>]\n  \
          qborrow client status|shutdown [--socket <path>]\n  \
          qborrow client unload <name> [--socket <path>]\n  \
-         qborrow watch  <file.qbr> [--socket <path>] [--interval-ms N]"
+         qborrow watch  <file.qbr> [--socket <path>] [--interval-ms N] [--backend <name>]"
     );
     ExitCode::from(EXIT_BAD_INPUT)
 }
@@ -94,10 +94,21 @@ fn parse_backend_flag(
     match args[*i].as_str() {
         "--backend" => {
             *backend = match args.get(*i + 1).map(String::as_str) {
-                Some("sat") => BackendKind::Sat,
-                Some("anf") => BackendKind::Anf,
-                Some("bdd") => BackendKind::Bdd,
-                other => return Err(format!("unknown backend {other:?}")),
+                Some(name) => match BackendKind::parse(name) {
+                    Some(kind) => kind,
+                    None => {
+                        return Err(format!(
+                            "unknown backend {name:?} (valid backends: {})",
+                            BackendKind::valid_names()
+                        ))
+                    }
+                },
+                None => {
+                    return Err(format!(
+                        "--backend expects a name (valid backends: {})",
+                        BackendKind::valid_names()
+                    ))
+                }
             };
             *i += 2;
             Ok(true)
@@ -370,10 +381,15 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
     }
 }
 
-/// Parses trailing `--socket`/`--name` flags shared by client commands.
-fn parse_client_flags(flags: &[String]) -> Result<(PathBuf, Option<String>), String> {
+/// Parses trailing `--socket`/`--name`/`--backend` flags shared by
+/// client commands. The backend name is validated locally so a typo
+/// fails fast with exit code 2 instead of a daemon round-trip.
+fn parse_client_flags(
+    flags: &[String],
+) -> Result<(PathBuf, Option<String>, Option<String>), String> {
     let mut socket = default_socket();
     let mut name = None;
+    let mut backend = None;
     let mut i = 0;
     while i < flags.len() {
         match flags[i].as_str() {
@@ -395,10 +411,26 @@ fn parse_client_flags(flags: &[String]) -> Result<(PathBuf, Option<String>), Str
                 );
                 i += 2;
             }
+            "--backend" => {
+                let value = flags.get(i + 1).ok_or_else(|| {
+                    format!(
+                        "--backend expects a name (valid backends: {})",
+                        BackendKind::valid_names()
+                    )
+                })?;
+                if BackendKind::parse(value).is_none() {
+                    return Err(format!(
+                        "unknown backend {value:?} (valid backends: {})",
+                        BackendKind::valid_names()
+                    ));
+                }
+                backend = Some(value.to_string());
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok((socket, name))
+    Ok((socket, name, backend))
 }
 
 fn connect(socket: &PathBuf) -> Result<Client, ExitCode> {
@@ -509,7 +541,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
         )
     };
     let flags: Vec<String> = flags.into_iter().cloned().collect();
-    let (socket, name) = match parse_client_flags(&flags) {
+    let (socket, name, backend) = match parse_client_flags(&flags) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("{e}");
@@ -535,13 +567,13 @@ fn cmd_client(args: &[String]) -> ExitCode {
             };
             let result = (|| -> std::io::Result<ExitCode> {
                 if sub == "edit" {
-                    let response = client.edit(&name, &source)?;
+                    let response = client.edit_with(&name, &source, backend.as_deref())?;
                     if print_error(&response) {
                         return Ok(ExitCode::from(EXIT_BAD_INPUT));
                     }
                     print_edit_response(&name, &response);
                 } else {
-                    let response = client.load(&name, &source)?;
+                    let response = client.load_with(&name, &source, backend.as_deref())?;
                     if print_error(&response) {
                         return Ok(ExitCode::from(EXIT_BAD_INPUT));
                     }
@@ -588,16 +620,20 @@ fn cmd_client(args: &[String]) -> ExitCode {
                     println!("{} loaded program(s)", programs.len());
                     for p in programs {
                         println!(
-                            "  {:<24} hash {} qubits {:>4} gates {:>6} verifies {:>4} edits {:>4} \
-                             solver vars {:>7} clauses {:>7} compactions {}",
+                            "  {:<24} hash {} backend {:<4} qubits {:>4} gates {:>6} verifies {:>4} \
+                             edits {:>4} arena nodes {:>7} solver vars {:>7} clauses {:>7} \
+                             bdd nodes {:>7} compactions {}",
                             p.get("name").and_then(Json::as_str).unwrap_or("?"),
                             p.get("hash").and_then(Json::as_str).unwrap_or("?"),
+                            p.get("backend").and_then(Json::as_str).unwrap_or("?"),
                             p.get("qubits").and_then(Json::as_i64).unwrap_or(0),
                             p.get("gates").and_then(Json::as_i64).unwrap_or(0),
                             p.get("verifies").and_then(Json::as_i64).unwrap_or(0),
                             p.get("edits").and_then(Json::as_i64).unwrap_or(0),
+                            p.get("arena_nodes").and_then(Json::as_i64).unwrap_or(0),
                             p.get("solver_vars").and_then(Json::as_i64).unwrap_or(0),
                             p.get("live_clauses").and_then(Json::as_i64).unwrap_or(0),
+                            p.get("bdd_resident_nodes").and_then(Json::as_i64).unwrap_or(0),
                             p.get("compactions").and_then(Json::as_i64).unwrap_or(0),
                         );
                     }
@@ -658,6 +694,7 @@ fn cmd_watch(args: &[String]) -> ExitCode {
     }
     let mut socket = default_socket();
     let mut interval_ms = 200u64;
+    let mut backend: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -667,6 +704,24 @@ fn cmd_watch(args: &[String]) -> ExitCode {
                     return usage();
                 };
                 socket = PathBuf::from(p);
+                i += 2;
+            }
+            "--backend" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!(
+                        "--backend expects a name (valid backends: {})",
+                        BackendKind::valid_names()
+                    );
+                    return usage();
+                };
+                if BackendKind::parse(value).is_none() {
+                    eprintln!(
+                        "unknown backend {value:?} (valid backends: {})",
+                        BackendKind::valid_names()
+                    );
+                    return usage();
+                }
+                backend = Some(value.to_string());
                 i += 2;
             }
             "--interval-ms" => {
@@ -722,15 +777,16 @@ fn cmd_watch(args: &[String]) -> ExitCode {
             }
         };
         let mut client = Client::connect(&socket)?;
+        let backend = backend.as_deref();
         let response = if first {
-            client.load(path, &source)?
+            client.load_with(path, &source, backend)?
         } else {
-            let mut response = client.edit(path, &source)?;
+            let mut response = client.edit_with(path, &source, backend)?;
             if response.get("code").and_then(Json::as_str) == Some("not_loaded") {
                 // The daemon restarted (or the program was unloaded by
                 // another client): recover by loading from scratch.
                 eprintln!("watch: {path} not loaded on the daemon; reloading");
-                response = client.load(path, &source)?;
+                response = client.load_with(path, &source, backend)?;
             }
             response
         };

@@ -34,7 +34,12 @@ fn mcx_fixture_matches_generator() {
 #[test]
 fn cccnot_fixture_verifies_safe_on_all_backends() {
     let program = elaborate(&parse(&fixture("cccnot.qbr")).unwrap()).unwrap();
-    for backend in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
+    for backend in [
+        BackendKind::Sat,
+        BackendKind::Anf,
+        BackendKind::Bdd,
+        BackendKind::Auto,
+    ] {
         for simplify in [Simplify::Raw, Simplify::Full] {
             let opts = VerifyOptions {
                 backend,
@@ -60,7 +65,7 @@ fn unsafe_fixture_is_rejected_with_witness() {
 #[test]
 fn small_adder_verifies_on_every_backend_mode() {
     let program = elaborate(&parse(&adder_source(10)).unwrap()).unwrap();
-    for backend in [BackendKind::Sat, BackendKind::Bdd] {
+    for backend in [BackendKind::Sat, BackendKind::Bdd, BackendKind::Auto] {
         for simplify in [Simplify::Raw, Simplify::Full] {
             let opts = VerifyOptions {
                 backend,
@@ -77,7 +82,12 @@ fn small_adder_verifies_on_every_backend_mode() {
 #[test]
 fn small_mcx_verifies_on_every_backend_mode() {
     let program = elaborate(&parse(&mcx_source(8)).unwrap()).unwrap();
-    for backend in [BackendKind::Sat, BackendKind::Anf, BackendKind::Bdd] {
+    for backend in [
+        BackendKind::Sat,
+        BackendKind::Anf,
+        BackendKind::Bdd,
+        BackendKind::Auto,
+    ] {
         for simplify in [Simplify::Raw, Simplify::Full] {
             let opts = VerifyOptions {
                 backend,
@@ -107,7 +117,7 @@ fn sabotaged_benchmarks_are_caught_by_every_backend() {
     let initial: Vec<qborrow::core::InitialValue> =
         vec![qborrow::core::InitialValue::Free; program.num_qubits()];
     let targets = program.qubits_to_verify();
-    for backend in [BackendKind::Sat, BackendKind::Bdd] {
+    for backend in [BackendKind::Sat, BackendKind::Bdd, BackendKind::Auto] {
         let opts = VerifyOptions {
             backend,
             simplify: Simplify::Raw,

@@ -8,7 +8,9 @@
 
 use qb_testutil::Rng;
 use qborrow::circuit::Circuit;
-use qborrow::core::{verify_circuit_fresh, InitialValue, VerifyOptions, VerifySession};
+use qborrow::core::{
+    verify_circuit_fresh, BackendKind, InitialValue, VerifyOptions, VerifySession,
+};
 use qborrow::lang::{adder_source, elaborate, parse, QubitKind};
 use qborrow::serve::{run, Client, Json, ServeOptions, ServerLimits};
 use std::collections::HashMap;
@@ -96,6 +98,141 @@ fn session_soak_memory_stays_bounded_over_200_edit_cycles() {
         "solver compaction also fires: {stats:?}"
     );
     assert!(peak_arena < ARENA_BOUND);
+}
+
+/// Cross-backend soak: 110 random edit cycles through warm `bdd`, `anf`
+/// and `auto` sessions under tight memory limits. Every verdict is
+/// cross-checked against the independent fresh pipeline, the formula
+/// arena stays bounded (collections fire, the backend memo tables follow
+/// the node remap), and the BDD manager's resident node count stays
+/// bounded across `Arena::collect` cycles instead of growing
+/// monotonically with edit history.
+#[test]
+fn cross_backend_soak_bdd_anf_auto_stay_exact_and_bounded() {
+    const N: usize = 4;
+    const CYCLES: usize = 110;
+    const ARENA_BOUND: usize = 600;
+    const BDD_BOUND: usize = 600;
+    const CACHE_CAP: usize = 8;
+
+    for backend in [BackendKind::Bdd, BackendKind::Anf, BackendKind::Auto] {
+        let mut rng = Rng::new(0x50A1_0002 ^ backend as u64);
+        let opts = VerifyOptions {
+            backend,
+            ..VerifyOptions::default()
+        };
+        let initial = vec![InitialValue::Free; N];
+        let targets: Vec<usize> = (0..N).collect();
+        let base = {
+            let mut c = Circuit::new(N);
+            c.toffoli(0, 1, 2).cnot(2, 3);
+            c
+        };
+        let mut session = VerifySession::new(&base, &initial, &opts).expect("session builds");
+        session.set_memory_limits(Some(64), Some(CACHE_CAP));
+        session.set_backend_limits(Some(64), Some(128), Some(64));
+
+        let mut peak_arena = 0usize;
+        let mut peak_bdd = 0usize;
+        let mut bdd_shrank = false;
+        let mut last_bdd = 0usize;
+        for cycle in 0..CYCLES {
+            let mut edited = Circuit::new(N);
+            edited.toffoli(0, 1, 2).cnot(2, 3);
+            for _ in 0..rng.gen_below(5) {
+                match rng.gen_below(3) {
+                    0 => {
+                        edited.x(rng.gen_below(N));
+                    }
+                    1 => {
+                        let (c, t) = rng.gen_distinct2(N);
+                        edited.cnot(c, t);
+                    }
+                    _ => {
+                        let (c1, c2, t) = rng.gen_distinct3(N);
+                        edited.toffoli(c1, c2, t);
+                    }
+                }
+            }
+            session.apply_edit(&edited).expect("edit applies");
+            let warm = session.verify_targets(&targets).expect("warm sweep");
+            let fresh =
+                verify_circuit_fresh(&edited, &initial, &targets, &opts).expect("fresh sweep");
+            for (w, f) in warm.iter().zip(&fresh.verdicts) {
+                assert_eq!(w.qubit, f.qubit);
+                assert_eq!(
+                    w.safe, f.safe,
+                    "{backend}: cycle {cycle}, qubit {}",
+                    w.qubit
+                );
+                assert_eq!(
+                    w.counterexample.as_ref().map(|ce| ce.violation),
+                    f.counterexample.as_ref().map(|ce| ce.violation),
+                    "{backend}: cycle {cycle}, qubit {}",
+                    w.qubit
+                );
+            }
+            let stats = session.stats();
+            peak_arena = peak_arena.max(stats.arena_nodes);
+            peak_bdd = peak_bdd.max(stats.bdd_resident_nodes);
+            if stats.bdd_resident_nodes < last_bdd {
+                bdd_shrank = true;
+            }
+            last_bdd = stats.bdd_resident_nodes;
+            assert!(
+                stats.arena_nodes < ARENA_BOUND,
+                "{backend}: cycle {cycle}: arena bounded, got {stats:?}"
+            );
+            assert!(
+                stats.bdd_resident_nodes < BDD_BOUND,
+                "{backend}: cycle {cycle}: BDD manager bounded, got {stats:?}"
+            );
+            assert!(
+                stats.cached_decisions <= CACHE_CAP,
+                "{backend}: cycle {cycle}: decision cache bounded, got {stats:?}"
+            );
+        }
+
+        let stats = session.stats();
+        assert!(
+            stats.arena_collections >= 2,
+            "{backend}: arena collections fire repeatedly: {stats:?}"
+        );
+        assert!(stats.arena_nodes_collected > 0, "{backend}: {stats:?}");
+        assert!(
+            stats.decision_hits > 0,
+            "{backend}: revisited roots answer from the shared decision cache: {stats:?}"
+        );
+        match backend {
+            BackendKind::Bdd | BackendKind::Auto => {
+                assert!(
+                    stats.bdd_collections >= 1,
+                    "{backend}: manager GC fires: {stats:?}"
+                );
+                assert!(stats.bdd_nodes_collected > 0, "{backend}: {stats:?}");
+                assert!(
+                    bdd_shrank,
+                    "{backend}: resident BDD nodes must not grow monotonically \
+                     (peak {peak_bdd}, final {last_bdd}): {stats:?}"
+                );
+                assert!(
+                    stats.bdd_translation_hits > 0,
+                    "{backend}: warm diagrams reused: {stats:?}"
+                );
+            }
+            BackendKind::Anf => {
+                assert!(
+                    stats.anf_hits > 0,
+                    "anf: memoised polynomials reused: {stats:?}"
+                );
+                assert!(
+                    stats.anf_cached_polys <= 64,
+                    "anf: polynomial cache bounded: {stats:?}"
+                );
+            }
+            BackendKind::Sat => unreachable!(),
+        }
+    }
 }
 
 // ---- daemon-socket soak --------------------------------------------------

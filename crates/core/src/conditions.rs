@@ -88,13 +88,24 @@ pub(crate) struct CofactorMemo {
     map: HashMap<(NodeId, Var, bool), NodeId>,
     hits: u64,
     misses: u64,
+    /// Entries the most recent primed sweep needs resident all at once
+    /// (2 · vars · roots). The flush bound never drops below a multiple
+    /// of this, so a paper-scale sweep (adder-512 primes ≈ 1M entries)
+    /// is not wiped by the pathological-edit-stream cap mid-sweep.
+    sweep_floor: usize,
 }
 
 /// Flush bound: the memo holds (formula × target-var × 2) entries per
-/// circuit shape — small — but a pathological edit stream could grow it
-/// without bound, so it is cleared wholesale past this size (a rare,
-/// cheap, correctness-free event).
+/// circuit shape, but a pathological edit stream could grow it without
+/// bound, so it is cleared wholesale past this size (a rare, cheap,
+/// correctness-free event). The effective bound is raised to a multiple
+/// of the last primed sweep's working set (see
+/// [`CofactorMemo::sweep_floor`]), which a whole-circuit sweep needs
+/// resident simultaneously.
 const COFACTOR_MEMO_CAP: usize = 1 << 14;
+
+/// Headroom multiplier over the primed working set before a flush.
+const COFACTOR_MEMO_SLACK: usize = 4;
 
 impl CofactorMemo {
     /// Memoised sweep: ensures `(f, var, val)` is cached for every root
@@ -114,6 +125,62 @@ impl CofactorMemo {
         let map = state.arena.cofactor_reachable(&missing, var, val);
         for f in missing {
             self.map.insert((f, var, val), map[f.index()]);
+        }
+    }
+
+    /// Batched warm-up for a whole sweep: ensures the cofactor pairs of
+    /// every root in `formulas` under every variable in `vars` are
+    /// memoised, computing all missing cones in **one** shared arena
+    /// traversal ([`qb_formula::Arena::cofactor_batch`]). Cold
+    /// multi-target construction drops from O(k·DAG) to
+    /// O(DAG + Σ cones); warm sweeps skip the traversal entirely.
+    pub(crate) fn prime(&mut self, state: &mut SymbolicState, vars: &[Var]) {
+        let formulas = state.formulas.clone();
+        self.sweep_floor = 2 * vars.len() * formulas.len();
+        let missing: Vec<Var> = vars
+            .iter()
+            .copied()
+            .filter(|&v| {
+                formulas.iter().any(|&f| {
+                    !self.map.contains_key(&(f, v, false)) || !self.map.contains_key(&(f, v, true))
+                })
+            })
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let pairs = state.arena.cofactor_batch(&formulas, &missing);
+        for (vi, &var) in missing.iter().enumerate() {
+            for (ri, &f) in formulas.iter().enumerate() {
+                let (c0, c1) = pairs[vi][ri];
+                if self.map.insert((f, var, false), c0).is_none() {
+                    self.misses += 1;
+                }
+                if self.map.insert((f, var, true), c1).is_none() {
+                    self.misses += 1;
+                }
+            }
+        }
+    }
+
+    /// Appends the cofactor nodes of every entry whose root is a
+    /// *current* formula to `roots` — the live set an arena collection
+    /// must preserve. A batch-primed sweep's cones are reachable only
+    /// through the memo until their targets are verified; without this,
+    /// a mid-sweep collection would reclaim them and silently revert
+    /// construction to the per-target path. Entries for stale roots
+    /// (pre-edit formulas) are deliberately *not* kept alive: they are
+    /// only useful again if an edit restores the old node ids, in which
+    /// case hash-consing re-derives them.
+    pub(crate) fn extend_live_roots(
+        &self,
+        roots: &mut Vec<NodeId>,
+        current: &std::collections::HashSet<NodeId>,
+    ) {
+        for ((root, _, _), &cof) in &self.map {
+            if current.contains(root) {
+                roots.push(cof);
+            }
         }
     }
 
@@ -151,8 +218,10 @@ pub(crate) fn build_conditions_memo(
 ) -> Conditions {
     assert!(q < state.num_qubits(), "qubit out of range");
     // Flush up front (never between the sweeps and the lookups below,
-    // which rely on the entries both sweeps just ensured).
-    if memo.map.len() > COFACTOR_MEMO_CAP {
+    // which rely on the entries both sweeps just ensured). The bound
+    // respects the working set of a primed whole-circuit sweep.
+    let cap = COFACTOR_MEMO_CAP.max(COFACTOR_MEMO_SLACK * memo.sweep_floor);
+    if memo.map.len() > cap {
         memo.map.clear();
     }
     let var: Var = state.vars[q];

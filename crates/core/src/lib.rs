@@ -53,7 +53,8 @@ mod verifier;
 pub use backend::{decide_unsat, BackendError, BackendKind, BackendOptions, Decision};
 pub use conditions::{build_clean_condition, build_conditions, Conditions};
 pub use session::{
-    verify_circuit_parallel, verify_program_parallel, EditStats, SessionStats, VerifySession,
+    verify_circuit_parallel, verify_program_parallel, AutoPreference, EditStats,
+    GenericVerifySession, SessionStats, VerifySession,
 };
 pub use symbolic::{symbolic_execute, InitialValue, NotClassicalCircuit, SymbolicState};
 pub use verifier::{

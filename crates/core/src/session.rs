@@ -39,7 +39,7 @@ use qb_bdd::{BddOverflow, BddSession};
 use qb_circuit::{Circuit, Gate};
 use qb_formula::{Anf, AnfCache, CnfSink, IncrementalEncoder, NodeId, Var};
 use qb_lang::{gate_common_prefix, ElaboratedProgram, QubitKind};
-use qb_sat::{Lit, SatResult, SatVar, Solver};
+use qb_sat::{CdclSolver, Lit, SatResult, SatVar, Solver};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -64,6 +64,11 @@ const ARENA_GC_MIN_NODES: usize = 1 << 12;
 /// with amortised-linear total GC work.
 const ARENA_GC_GROWTH: usize = 2;
 
+/// Unit-propagation budget for the inter-target vivification pass over
+/// the permanent base clauses. Probing is plain unit propagation, so the
+/// budget bounds the pass to a fraction of one query's typical work.
+const VIVIFY_PROP_BUDGET: u64 = 20_000;
+
 /// Default bound on memoised condition-root decisions. Entries beyond it
 /// are evicted least-recently-used; evicted roots stay live only until
 /// the next arena collection.
@@ -75,14 +80,14 @@ const DECISION_CACHE_CAPACITY: usize = 1 << 13;
 /// scope can later be detached in one selector retirement. Records the
 /// variables it allocates so the session can prioritise fresh query
 /// structure in the branching order and deaden it after retraction.
-struct SolverSink<'a> {
-    solver: &'a mut Solver,
+struct SolverSink<'a, S: CdclSolver> {
+    solver: &'a mut S,
     guard: Option<Lit>,
     clauses: usize,
     new_vars: Vec<SatVar>,
 }
 
-impl CnfSink for SolverSink<'_> {
+impl<S: CdclSolver> CnfSink for SolverSink<'_, S> {
     fn fresh_var(&mut self) -> i32 {
         let v = self.solver.new_var();
         self.new_vars.push(v);
@@ -100,9 +105,9 @@ impl CnfSink for SolverSink<'_> {
 }
 
 /// Persistent SAT backend state of a session.
-struct SatSession {
+struct SatSession<S: CdclSolver> {
     encoder: IncrementalEncoder,
-    solver: Solver,
+    solver: S,
     /// The retractable encoding of the circuit's editable suffix: an
     /// encoder checkpoint named [`SUFFIX_CHECKPOINT`] plus the selector
     /// guarding its clauses. On [`VerifySession::apply_edit`] the whole
@@ -137,7 +142,7 @@ struct CachedDecision {
     last_used: u64,
 }
 
-impl SatSession {
+impl<S: CdclSolver> SatSession<S> {
     /// Opens a fresh suffix scope and encodes `roots` (the current final
     /// formulas) into it, guarded by a new selector.
     fn open_suffix(&mut self, arena: &qb_formula::Arena, roots: &[NodeId]) -> usize {
@@ -258,10 +263,25 @@ pub struct SessionStats {
     /// Auto-portfolio queries that blew the BDD node budget and fell
     /// back to SAT.
     pub bdd_fallbacks: u64,
+    /// Learned auto-portfolio backend preference for this circuit.
+    pub auto_preference: AutoPreference,
     /// Memoised per-node ANF polynomials currently held.
     pub anf_cached_polys: usize,
     /// ANF conversions answered from the polynomial cache.
     pub anf_hits: u64,
+    /// Literals propagated by the SAT solver over the session lifetime
+    /// (0 for non-SAT backends). Together with [`SessionStats::sat_time`]
+    /// this yields the ns/propagation figure the scaling benches gate on,
+    /// so solver-core regressions are observable without a profiler.
+    pub solver_propagations: u64,
+    /// Conflicts analysed by the SAT solver.
+    pub solver_conflicts: u64,
+    /// Branching decisions taken by the SAT solver.
+    pub solver_decisions: u64,
+    /// Restarts performed by the SAT solver.
+    pub solver_restarts: u64,
+    /// Permanent base clauses strengthened by inter-target vivification.
+    pub solver_vivified: u64,
     /// Cumulative wall time spent inside the SAT backend.
     pub sat_time: Duration,
     /// Cumulative wall time spent inside the BDD backend (including
@@ -269,6 +289,34 @@ pub struct SessionStats {
     pub bdd_time: Duration,
     /// Cumulative wall time spent inside the ANF backend.
     pub anf_time: Duration,
+}
+
+/// What the [`BackendKind::Auto`] portfolio has learned about this
+/// circuit: which backend wins its condition roots. `Sat` is set the
+/// first time a BDD attempt blows the node budget — from then on the
+/// session skips the losing BDD attempt entirely. The daemon persists
+/// the preference per structural hash and seeds reloaded sessions with
+/// it, so a re-opened circuit never re-pays the failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AutoPreference {
+    /// No evidence yet: try BDD first, fall back per root.
+    #[default]
+    Undecided,
+    /// BDD handled a full sweep without overflowing.
+    Bdd,
+    /// BDD blew its budget on this circuit: go straight to SAT.
+    Sat,
+}
+
+impl AutoPreference {
+    /// Wire/status name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AutoPreference::Undecided => "undecided",
+            AutoPreference::Bdd => "bdd",
+            AutoPreference::Sat => "sat",
+        }
+    }
 }
 
 /// What an [`VerifySession::apply_edit`] call did.
@@ -310,14 +358,14 @@ pub struct EditStats {
 /// let verdict = session.verify_target(2).unwrap();
 /// assert!(verdict.safe);
 /// ```
-pub struct VerifySession {
+pub struct GenericVerifySession<S: CdclSolver> {
     state: SymbolicState,
     /// The session's current gate sequence (diffed against on edit).
     gates: Vec<Gate>,
     initial: Vec<InitialValue>,
     opts: VerifyOptions,
     construction_time: Duration,
-    sat: Option<SatSession>,
+    sat: Option<SatSession<S>>,
     /// Persistent BDD manager + arena-node translation cache
     /// ([`BackendKind::Bdd`] and the [`BackendKind::Auto`] portfolio).
     bdd: Option<BddSession>,
@@ -352,13 +400,20 @@ pub struct VerifySession {
     edits: u64,
     /// Auto-portfolio roots whose BDD attempt blew the node budget.
     bdd_fallbacks: u64,
+    /// Learned auto-portfolio backend preference (see [`AutoPreference`]).
+    auto_pref: AutoPreference,
     /// Cumulative per-backend wall time (see [`SessionStats`]).
     sat_time: Duration,
     bdd_time: Duration,
     anf_time: Duration,
 }
 
-impl VerifySession {
+/// The default verification session, running the production flat-arena
+/// CDCL solver. Benchmarks instantiate [`GenericVerifySession`] with
+/// [`qb_sat::ReferenceSolver`] to A/B solver generations in-process.
+pub type VerifySession = GenericVerifySession<Solver>;
+
+impl<S: CdclSolver> GenericVerifySession<S> {
     /// Symbolically executes `circuit` once and prepares the shared
     /// backend state.
     ///
@@ -379,7 +434,7 @@ impl VerifySession {
                 // query of every target builds on these literals, and
                 // learnt clauses about them carry across the session.
                 let mut encoder = IncrementalEncoder::new();
-                let mut solver = Solver::new();
+                let mut solver = S::default();
                 let mut base_roots = state.formulas.clone();
                 for q in 0..state.num_qubits() {
                     let var_node = state.arena.var(state.vars[q]);
@@ -419,7 +474,7 @@ impl VerifySession {
         let anf = (opts.backend == BackendKind::Anf).then(AnfCache::new);
         let construction_time = t0.elapsed();
         let arena_watermark = (state.arena.len() * ARENA_GC_GROWTH).max(ARENA_GC_MIN_NODES);
-        Ok(VerifySession {
+        Ok(GenericVerifySession {
             state,
             gates: circuit.gates().to_vec(),
             initial: initial.to_vec(),
@@ -441,6 +496,7 @@ impl VerifySession {
             arena_nodes_collected: 0,
             edits: 0,
             bdd_fallbacks: 0,
+            auto_pref: AutoPreference::default(),
             sat_time: Duration::ZERO,
             bdd_time: Duration::ZERO,
             anf_time: Duration::ZERO,
@@ -489,6 +545,21 @@ impl VerifySession {
         }
     }
 
+    /// The learned auto-portfolio preference (meaningful for
+    /// [`BackendKind::Auto`] sessions; `Undecided` otherwise).
+    pub fn auto_preference(&self) -> AutoPreference {
+        self.auto_pref
+    }
+
+    /// Seeds the auto-portfolio preference, typically from a serving
+    /// layer that remembered which backend won this circuit (keyed by
+    /// structural hash) in an earlier session. A `Sat` seed makes the
+    /// first sweep skip the doomed BDD attempts it would otherwise
+    /// re-discover; `Undecided` re-enables probing.
+    pub fn set_auto_preference(&mut self, pref: AutoPreference) {
+        self.auto_pref = pref;
+    }
+
     /// The options the session was created with.
     pub fn options(&self) -> &VerifyOptions {
         &self.opts
@@ -527,6 +598,11 @@ impl VerifySession {
             ),
             None => (0, 0, 0, 0),
         };
+        let solver = self
+            .sat
+            .as_ref()
+            .map(|s| s.solver.stats())
+            .unwrap_or_default();
         let bdd = self.bdd.as_ref().map(BddSession::stats).unwrap_or_default();
         let anf = self.anf.as_ref().map(|c| c.stats()).unwrap_or_default();
         SessionStats {
@@ -552,6 +628,12 @@ impl VerifySession {
             bdd_fallbacks: self.bdd_fallbacks,
             anf_cached_polys: anf.cached_polys,
             anf_hits: anf.hits,
+            auto_preference: self.auto_pref,
+            solver_propagations: solver.propagations,
+            solver_conflicts: solver.conflicts,
+            solver_decisions: solver.decisions,
+            solver_restarts: solver.restarts,
+            solver_vivified: solver.vivified_clauses,
             sat_time: self.sat_time,
             bdd_time: self.bdd_time,
             anf_time: self.anf_time,
@@ -581,6 +663,12 @@ impl VerifySession {
             roots.extend(sat.encoder.encoded_node_ids());
         }
         roots.extend(self.decisions.keys().copied());
+        // Primed-but-unused cofactor cones are reachable only through
+        // the memo; keep the current formulas' entries alive so a
+        // mid-sweep collection cannot undo the batch construction.
+        let current: std::collections::HashSet<NodeId> =
+            self.state.formulas.iter().copied().collect();
+        self.cofactors.extend_live_roots(&mut roots, &current);
         let before = self.state.arena.len();
         let remap = self.state.arena.collect(&roots);
         for f in &mut self.state.formulas {
@@ -738,7 +826,7 @@ impl VerifySession {
     /// assert the root disjunction behind a per-query selector, solve
     /// under both assumptions, then retire the query selector.
     fn run_query(
-        sat: &mut SatSession,
+        sat: &mut SatSession<S>,
         arena: &qb_formula::Arena,
         roots: &[NodeId],
         guard: Lit,
@@ -892,12 +980,21 @@ impl VerifySession {
                 VerifyError::Backend(BackendError::BddOverflow { budget: e.budget })
             })?,
             BackendKind::Anf => self.run_anf_root(root)?,
-            BackendKind::Auto => match self.run_bdd_root(root) {
-                Ok(d) => d,
-                Err(_) => {
-                    self.bdd_fallbacks += 1;
-                    self.run_sat_root(root, scope, scope_vars)
-                }
+            BackendKind::Auto => match self.auto_pref {
+                // The circuit already defeated the BDD backend once:
+                // skip the losing attempt.
+                AutoPreference::Sat => self.run_sat_root(root, scope, scope_vars),
+                _ => match self.run_bdd_root(root) {
+                    Ok(d) => {
+                        self.auto_pref = AutoPreference::Bdd;
+                        d
+                    }
+                    Err(_) => {
+                        self.bdd_fallbacks += 1;
+                        self.auto_pref = AutoPreference::Sat;
+                        self.run_sat_root(root, scope, scope_vars)
+                    }
+                },
             },
         };
         self.decisions.insert(
@@ -963,12 +1060,19 @@ impl VerifySession {
         // selector), and deaden its variables. Then give the periodic
         // GCs a chance to reclaim retired slots and dead diagrams.
         if let Some(target_selector) = scope {
+            let t0 = Instant::now();
             let sat = self.sat.as_mut().expect("SAT backend state");
             sat.encoder.retract_scope();
             sat.solver.retire_selector(target_selector);
             sat.solver.simplify_satisfied();
             sat.solver.deaden_vars(&scope_vars);
             sat.maybe_compact();
+            // Vivify permanent base clauses between targets: shorter base
+            // clauses propagate earlier in every remaining query. Each
+            // clause is attempted once (flagged), so warm sweeps pay a
+            // flag scan only.
+            sat.solver.vivify_base(VIVIFY_PROP_BUDGET);
+            self.sat_time += t0.elapsed();
         }
         if let Some(bdd) = &mut self.bdd {
             bdd.maybe_gc();
@@ -1033,10 +1137,23 @@ impl VerifySession {
     /// Verifies a sequence of targets, returning verdicts in request
     /// order.
     ///
+    /// Multi-target sweeps prime the session cofactor memo first: one
+    /// batched arena traversal computes every target's cofactor pairs
+    /// ([`qb_formula::Arena::cofactor_batch`]), so per-target condition
+    /// construction is pure map lookups — cold construction is
+    /// O(DAG + Σ cones) instead of O(targets · DAG).
+    ///
     /// # Errors
     ///
     /// See [`VerifyError`].
     pub fn verify_targets(&mut self, targets: &[usize]) -> Result<Vec<QubitVerdict>, VerifyError> {
+        let n = self.state.num_qubits();
+        if targets.len() > 1 && targets.iter().all(|&q| q < n) {
+            let mut vars: Vec<Var> = targets.iter().map(|&q| self.state.vars[q]).collect();
+            vars.sort_unstable();
+            vars.dedup();
+            self.cofactors.prime(&mut self.state, &vars);
+        }
         targets.iter().map(|&q| self.verify_target(q)).collect()
     }
 
@@ -1443,9 +1560,12 @@ mod tests {
             stats.compactions >= 1,
             "compaction must trigger over a long session: {stats:?}"
         );
+        // The flat-arena solver also reclaims deleted slots continuously
+        // (level-zero garbage collection between solves), so the peak may
+        // already be tight; compaction must never leave slots above it.
         assert!(
-            stats.clause_slots < peak_slots,
-            "compaction shrinks clause slots: peak {peak_slots}, now {}",
+            stats.clause_slots <= peak_slots,
+            "clause slots stay bounded: peak {peak_slots}, now {}",
             stats.clause_slots
         );
     }

@@ -80,6 +80,18 @@ impl Lit {
         self.0 as usize
     }
 
+    /// Raw packed code, for storage in the flat clause arena.
+    #[inline]
+    pub(crate) fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a literal from its packed code (see [`Lit::code`]).
+    #[inline]
+    pub(crate) fn from_code(code: u32) -> Lit {
+        Lit(code)
+    }
+
     /// Converts from a non-zero DIMACS integer literal.
     ///
     /// # Panics

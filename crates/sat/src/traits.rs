@@ -1,0 +1,164 @@
+//! The solver interface incremental verification sessions are generic
+//! over.
+//!
+//! `qb_core::VerifySession` drives a CDCL solver through the
+//! activation-literal protocol (guarded clauses, selector retirement,
+//! compaction). Abstracting that surface into a trait keeps the session
+//! monomorphic over the production [`crate::Solver`] (zero dispatch
+//! cost) while letting benchmarks and differential tests run the *same*
+//! session pipeline over the frozen [`crate::ReferenceSolver`] — the
+//! only way to compare solver generations in one process, where shared
+//! machine noise cancels out of the ratio.
+
+use crate::lit::{Lit, SatVar};
+use crate::solver::{SatResult, SolverStats};
+
+/// The incremental-solving surface shared by [`crate::Solver`] and
+/// [`crate::ReferenceSolver`]. See the documentation on
+/// [`crate::Solver`]'s inherent methods for the contract of each.
+pub trait CdclSolver: Default {
+    /// Allocates a fresh variable.
+    fn new_var(&mut self) -> SatVar;
+    /// Number of allocated variables.
+    fn num_vars(&self) -> usize;
+    /// Cumulative work counters.
+    fn stats(&self) -> SolverStats;
+    /// Adds a clause at level zero; `false` once unsatisfiable.
+    fn add_clause(&mut self, lits: &[Lit]) -> bool;
+    /// Allocates a fresh selector variable.
+    fn new_selector(&mut self) -> SatVar;
+    /// Adds `¬selector ∨ lits`.
+    fn add_guarded_clause(&mut self, selector: Lit, lits: &[Lit]) -> bool;
+    /// Lifts `vars` to the front of the branching order.
+    fn prioritize_vars(&mut self, vars: &[SatVar]);
+    /// Fixes unassigned `vars` at level zero.
+    fn deaden_vars(&mut self, vars: &[SatVar]);
+    /// Detaches clauses satisfied by the level-zero trail.
+    fn simplify_satisfied(&mut self);
+    /// Retires a selector, detaching its guarded clauses.
+    fn retire_selector(&mut self, selector: Lit);
+    /// Selectors retired since the last compaction.
+    fn retired_since_compaction(&self) -> usize;
+    /// Clause slots, live and deleted.
+    fn clause_slots(&self) -> usize;
+    /// Live clauses.
+    fn live_clauses(&self) -> usize;
+    /// Vivifies permanent base clauses within a propagation budget;
+    /// returns clauses strengthened (0 for solvers without support).
+    fn vivify_base(&mut self, prop_budget: u64) -> usize;
+    /// Compacts arenas, renumbering variables; returns the old→new
+    /// literal map.
+    fn compact(&mut self, pinned: &[SatVar]) -> Vec<Option<Lit>>;
+    /// Decides satisfiability under temporary assumptions.
+    fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult;
+    /// The model of the last satisfiable solve.
+    fn model(&self) -> &[bool];
+}
+
+impl CdclSolver for crate::Solver {
+    fn new_var(&mut self) -> SatVar {
+        Self::new_var(self)
+    }
+    fn num_vars(&self) -> usize {
+        Self::num_vars(self)
+    }
+    fn stats(&self) -> SolverStats {
+        Self::stats(self)
+    }
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        Self::add_clause(self, lits)
+    }
+    fn new_selector(&mut self) -> SatVar {
+        Self::new_selector(self)
+    }
+    fn add_guarded_clause(&mut self, selector: Lit, lits: &[Lit]) -> bool {
+        Self::add_guarded_clause(self, selector, lits)
+    }
+    fn prioritize_vars(&mut self, vars: &[SatVar]) {
+        Self::prioritize_vars(self, vars)
+    }
+    fn deaden_vars(&mut self, vars: &[SatVar]) {
+        Self::deaden_vars(self, vars)
+    }
+    fn simplify_satisfied(&mut self) {
+        Self::simplify_satisfied(self)
+    }
+    fn retire_selector(&mut self, selector: Lit) {
+        Self::retire_selector(self, selector)
+    }
+    fn retired_since_compaction(&self) -> usize {
+        Self::retired_since_compaction(self)
+    }
+    fn clause_slots(&self) -> usize {
+        Self::clause_slots(self)
+    }
+    fn live_clauses(&self) -> usize {
+        Self::live_clauses(self)
+    }
+    fn vivify_base(&mut self, prop_budget: u64) -> usize {
+        Self::vivify_base(self, prop_budget)
+    }
+    fn compact(&mut self, pinned: &[SatVar]) -> Vec<Option<Lit>> {
+        Self::compact(self, pinned)
+    }
+    fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        Self::solve_with_assumptions(self, assumptions)
+    }
+    fn model(&self) -> &[bool] {
+        Self::model(self)
+    }
+}
+
+impl CdclSolver for crate::ReferenceSolver {
+    fn new_var(&mut self) -> SatVar {
+        Self::new_var(self)
+    }
+    fn num_vars(&self) -> usize {
+        Self::num_vars(self)
+    }
+    fn stats(&self) -> SolverStats {
+        Self::stats(self)
+    }
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        Self::add_clause(self, lits)
+    }
+    fn new_selector(&mut self) -> SatVar {
+        Self::new_selector(self)
+    }
+    fn add_guarded_clause(&mut self, selector: Lit, lits: &[Lit]) -> bool {
+        Self::add_guarded_clause(self, selector, lits)
+    }
+    fn prioritize_vars(&mut self, vars: &[SatVar]) {
+        Self::prioritize_vars(self, vars)
+    }
+    fn deaden_vars(&mut self, vars: &[SatVar]) {
+        Self::deaden_vars(self, vars)
+    }
+    fn simplify_satisfied(&mut self) {
+        Self::simplify_satisfied(self)
+    }
+    fn retire_selector(&mut self, selector: Lit) {
+        Self::retire_selector(self, selector)
+    }
+    fn retired_since_compaction(&self) -> usize {
+        Self::retired_since_compaction(self)
+    }
+    fn clause_slots(&self) -> usize {
+        Self::clause_slots(self)
+    }
+    fn live_clauses(&self) -> usize {
+        Self::live_clauses(self)
+    }
+    fn vivify_base(&mut self, _prop_budget: u64) -> usize {
+        0 // the PR-4 solver predates vivification
+    }
+    fn compact(&mut self, pinned: &[SatVar]) -> Vec<Option<Lit>> {
+        Self::compact(self, pinned)
+    }
+    fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        Self::solve_with_assumptions(self, assumptions)
+    }
+    fn model(&self) -> &[bool] {
+        Self::model(self)
+    }
+}

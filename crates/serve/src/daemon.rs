@@ -21,7 +21,10 @@
 
 use crate::json::Json;
 use crate::protocol::{error_response, Request};
-use qb_core::{BackendKind, InitialValue, QubitVerdict, VerifyError, VerifyOptions, VerifySession};
+use qb_core::{
+    AutoPreference, BackendKind, InitialValue, QubitVerdict, VerifyError, VerifyOptions,
+    VerifySession,
+};
 use qb_lang::{elaborate, gate_diff, parse, structural_hash, ElaboratedProgram, QubitKind};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -102,6 +105,10 @@ fn hash_hex(hash: u64) -> String {
     format!("{hash:016x}")
 }
 
+/// Remembered auto-portfolio winners kept across session eviction,
+/// least-recently-touched entries evicted beyond this.
+const AUTO_WINNERS_CAP: usize = 1024;
+
 /// An `ok:false` response carrying the machine-readable `not_loaded`
 /// code, so clients (notably `qborrow watch` across a daemon restart)
 /// can fall back to a fresh `load` instead of failing forever.
@@ -129,6 +136,13 @@ pub struct Server {
     limits: ServerLimits,
     /// Sessions evicted by the LRU bound or the idle sweep.
     session_evictions: u64,
+    /// Per-circuit auto-portfolio memory: which backend won, keyed by
+    /// structural hash. Survives session eviction and unload, so a
+    /// reloaded circuit skips the losing backend attempt immediately.
+    /// LRU-bounded ([`AUTO_WINNERS_CAP`]) like every other piece of
+    /// per-circuit daemon state — an edit stream mints a fresh hash per
+    /// reload, so an unbounded map would leak over weeks of uptime.
+    auto_winners: HashMap<u64, (AutoPreference, u64)>,
 }
 
 impl Server {
@@ -146,14 +160,18 @@ impl Server {
             requests: 0,
             limits,
             session_evictions: 0,
+            auto_winners: HashMap::new(),
         }
     }
 
     /// Builds a session for `program` on `backend`, applying the
-    /// configured per-session memory bounds.
+    /// configured per-session memory bounds and seeding the auto
+    /// portfolio with the backend this circuit's structural hash is
+    /// remembered to prefer.
     fn new_session(
         &self,
         program: &ElaboratedProgram,
+        hash: u64,
         backend: BackendKind,
     ) -> Result<VerifySession, String> {
         let opts = VerifyOptions {
@@ -165,7 +183,33 @@ impl Server {
         if self.limits.arena_gc_floor.is_some() || self.limits.decision_cache_cap.is_some() {
             session.set_memory_limits(self.limits.arena_gc_floor, self.limits.decision_cache_cap);
         }
+        if backend == BackendKind::Auto {
+            if let Some(&(pref, _)) = self.auto_winners.get(&hash) {
+                session.set_auto_preference(pref);
+            }
+        }
         Ok(session)
+    }
+
+    /// Records what the auto portfolio learned about a circuit, so the
+    /// next session over the same structural hash skips the losing
+    /// backend attempt.
+    fn remember_auto(&mut self, key: SessionKey) {
+        if key.1 != BackendKind::Auto {
+            return;
+        }
+        if let Some(entry) = self.sessions.get(&key) {
+            let pref = entry.session.auto_preference();
+            if pref != AutoPreference::Undecided {
+                self.auto_winners.insert(key.0, (pref, self.requests));
+                qb_formula::lru_evict_batch(
+                    &mut self.auto_winners,
+                    AUTO_WINNERS_CAP,
+                    |&(_, stamp)| stamp,
+                    |_, _| {},
+                );
+            }
+        }
     }
 
     /// Resolves a request's optional backend name (`None` = the daemon
@@ -220,6 +264,7 @@ impl Server {
 
     /// Evicts `key` and every name aliasing it.
     fn evict(&mut self, key: SessionKey) {
+        self.remember_auto(key);
         if self.sessions.remove(&key).is_some() {
             self.names.retain(|_, k| *k != key);
             self.session_evictions += 1;
@@ -350,6 +395,17 @@ impl Server {
             ("bdd_collections", Json::Int(stats.bdd_collections as i64)),
             ("bdd_fallbacks", Json::Int(stats.bdd_fallbacks as i64)),
             ("anf_cached_polys", Json::Int(stats.anf_cached_polys as i64)),
+            (
+                "auto_preference",
+                Json::Str(stats.auto_preference.name().into()),
+            ),
+            (
+                "solver_propagations",
+                Json::Int(stats.solver_propagations as i64),
+            ),
+            ("solver_conflicts", Json::Int(stats.solver_conflicts as i64)),
+            ("solver_restarts", Json::Int(stats.solver_restarts as i64)),
+            ("solver_vivified", Json::Int(stats.solver_vivified as i64)),
             ("sat_ns", Json::Int(stats.sat_time.as_nanos() as i64)),
             ("bdd_ns", Json::Int(stats.bdd_time.as_nanos() as i64)),
             ("anf_ns", Json::Int(stats.anf_time.as_nanos() as i64)),
@@ -385,7 +441,7 @@ impl Server {
         let key = (hash, backend);
         let reused = self.sessions.contains_key(&key);
         if !reused {
-            let session = match self.new_session(&program, backend) {
+            let session = match self.new_session(&program, hash, backend) {
                 Ok(s) => s,
                 Err(e) => return error_response(&e),
             };
@@ -435,6 +491,8 @@ impl Server {
             .map(|v| render_verdict(&entry.program, v))
             .collect();
         let stats = entry.session.stats();
+        let verifies = entry.verifies;
+        self.remember_auto(key);
         Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("name", Json::Str(name.to_string())),
@@ -443,9 +501,20 @@ impl Server {
             ("all_safe", Json::Bool(all_safe)),
             ("verdicts", Json::Arr(rendered)),
             ("solve_ns", Json::Int(solve_ns)),
-            ("verifies", Json::Int(entry.verifies as i64)),
+            ("verifies", Json::Int(verifies as i64)),
             ("compactions", Json::Int(stats.compactions as i64)),
             ("bdd_fallbacks", Json::Int(stats.bdd_fallbacks as i64)),
+            (
+                "auto_preference",
+                Json::Str(stats.auto_preference.name().into()),
+            ),
+            (
+                "solver_propagations",
+                Json::Int(stats.solver_propagations as i64),
+            ),
+            ("solver_conflicts", Json::Int(stats.solver_conflicts as i64)),
+            ("solver_restarts", Json::Int(stats.solver_restarts as i64)),
+            ("solver_vivified", Json::Int(stats.solver_vivified as i64)),
         ])
     }
 
@@ -537,7 +606,7 @@ impl Server {
         }
 
         // Reload path: build a fresh session for the edited program.
-        let session = match self.new_session(&program, backend) {
+        let session = match self.new_session(&program, new_key.0, backend) {
             Ok(s) => s,
             Err(e) => return error_response(&e),
         };
@@ -609,6 +678,10 @@ impl Server {
             ),
             ("resident_arena_nodes", Json::Int(resident_nodes as i64)),
             ("resident_bdd_nodes", Json::Int(resident_bdd as i64)),
+            (
+                "auto_winners_remembered",
+                Json::Int(self.auto_winners.len() as i64),
+            ),
             ("requests", Json::Int(self.requests as i64)),
         ])
     }
@@ -629,6 +702,7 @@ impl Server {
 
     fn drop_if_unaliased(&mut self, key: SessionKey) {
         if !self.names.values().any(|&k| k == key) {
+            self.remember_auto(key);
             self.sessions.remove(&key);
         }
     }

@@ -186,3 +186,54 @@ fn parallel_fanout_preserves_request_order_on_haner_sweep() {
         assert_eq!(order, targets, "jobs={jobs}");
     }
 }
+
+/// The session exposes its solver's work counters through the public
+/// [`qborrow::core::SessionStats`] surface only — this test (and the
+/// soak suite) deliberately never reaches into solver internals, so
+/// clause-layout rewrites (e.g. the PR-5 flat arena) cannot churn it.
+#[test]
+fn solver_counters_are_observable_through_session_stats() {
+    use qborrow::core::{BackendKind, VerifySession};
+
+    let n = 8;
+    let (circuit, layout) = carry_gadget(n);
+    let initial = vec![InitialValue::Free; circuit.num_qubits()];
+    let targets: Vec<usize> = (0..n - 1).map(|i| layout.a + i).collect();
+    let opts = VerifyOptions {
+        backend: BackendKind::Sat,
+        simplify: qborrow::formula::Simplify::Raw,
+        ..VerifyOptions::default()
+    };
+    let mut session = VerifySession::new(&circuit, &initial, &opts).unwrap();
+    session.verify_targets(&targets).unwrap();
+    let stats = session.stats();
+    assert!(
+        stats.solver_propagations > 0,
+        "a SAT sweep propagates: {stats:?}"
+    );
+    assert!(stats.solver_decisions > 0, "{stats:?}");
+    assert!(
+        stats.live_clauses <= stats.clause_slots,
+        "slot accounting stays sane: {stats:?}"
+    );
+    assert!(
+        stats.sat_time.as_nanos() > 0,
+        "backend time is attributed: {stats:?}"
+    );
+    // Counters are cumulative: a second sweep (decision-cache warm)
+    // never decreases them.
+    let before = stats.solver_propagations;
+    session.verify_targets(&targets).unwrap();
+    assert!(session.stats().solver_propagations >= before);
+
+    // A pure-BDD session reports zero solver work through the same API.
+    let opts = VerifyOptions {
+        backend: BackendKind::Bdd,
+        ..VerifyOptions::default()
+    };
+    let mut session = VerifySession::new(&circuit, &initial, &opts).unwrap();
+    session.verify_targets(&targets).unwrap();
+    let stats = session.stats();
+    assert_eq!(stats.solver_propagations, 0, "{stats:?}");
+    assert_eq!(stats.solver_vars, 0, "{stats:?}");
+}

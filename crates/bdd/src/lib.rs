@@ -37,6 +37,7 @@
 //!   formula-graph GC.
 
 use qb_formula::{Arena, Node, NodeId as FormulaId, NodeRemap, Var};
+use qb_sat::CancelToken;
 use std::collections::HashMap;
 
 /// Error raised when a construction would exceed the manager's node
@@ -55,6 +56,36 @@ impl std::fmt::Display for BddOverflow {
 }
 
 impl std::error::Error for BddOverflow {}
+
+/// Error raised by [`BddSession::build`]: either the node budget
+/// overflowed, or an installed [`CancelToken`] interrupted the build
+/// (deadline, budget or explicit cancel). Both roll the partially built
+/// cone back, leaving the session reusable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BddBuildError {
+    /// The manager's node budget was exceeded.
+    Overflow(BddOverflow),
+    /// The build was interrupted by the installed [`CancelToken`]
+    /// before completing; no verdict is implied.
+    Interrupted,
+}
+
+impl std::fmt::Display for BddBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BddBuildError::Overflow(o) => o.fmt(f),
+            BddBuildError::Interrupted => write!(f, "BDD build interrupted by cancellation"),
+        }
+    }
+}
+
+impl std::error::Error for BddBuildError {}
+
+impl From<BddOverflow> for BddBuildError {
+    fn from(o: BddOverflow) -> Self {
+        BddBuildError::Overflow(o)
+    }
+}
 
 /// An edge to a BDD node, with a complement bit in the low bit.
 ///
@@ -801,6 +832,8 @@ pub struct BddSession {
     evictions: u64,
     gc_floor: usize,
     gc_watermark: usize,
+    /// Cooperative cancellation handle, polled once per translated node.
+    cancel: Option<CancelToken>,
 }
 
 impl BddSession {
@@ -817,7 +850,14 @@ impl BddSession {
             evictions: 0,
             gc_floor: BDD_GC_MIN_NODES,
             gc_watermark: BDD_GC_MIN_NODES,
+            cancel: None,
         }
+    }
+
+    /// Installs (or removes) a cooperative cancellation token, polled
+    /// once per translated node during [`BddSession::build`].
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
     }
 
     /// The underlying manager (for support/model queries on built refs).
@@ -866,15 +906,17 @@ impl BddSession {
     ///
     /// # Errors
     ///
-    /// Returns [`BddOverflow`] when the manager's node budget is
-    /// exceeded; the partially built cone is rolled back (entries added
-    /// by this call are dropped and the manager collected), leaving the
-    /// session as it was before the call.
+    /// Returns [`BddBuildError::Overflow`] when the manager's node
+    /// budget is exceeded, and [`BddBuildError::Interrupted`] when an
+    /// installed [`CancelToken`] fires mid-build; either way the
+    /// partially built cone is rolled back (entries added by this call
+    /// are dropped and the manager collected), leaving the session as
+    /// it was before the call.
     pub fn build(
         &mut self,
         arena: &Arena,
         roots: &[FormulaId],
-    ) -> Result<Vec<BddRef>, BddOverflow> {
+    ) -> Result<Vec<BddRef>, BddBuildError> {
         // Frontier traversal: descend only into nodes without a memoised
         // translation.
         let mut visited = vec![false; arena.len()];
@@ -904,6 +946,15 @@ impl BddSession {
         need.sort_unstable();
         let fresh: Vec<FormulaId> = need.clone();
         for id in need {
+            // Cancellation poll: a translated node is the unit of work
+            // (each costs at least one apply), so per-node granularity
+            // bounds interrupt latency without touching the apply loop.
+            if let Some(token) = &self.cancel {
+                if token.should_stop(0, 0) {
+                    self.rollback_fresh(&fresh, id);
+                    return Err(BddBuildError::Interrupted);
+                }
+            }
             let result = match arena.node(id) {
                 Node::Const(b) => Ok(self.manager.constant(*b)),
                 Node::Var(v) => self.manager.var(*v),
@@ -933,22 +984,8 @@ impl BddSession {
             let bdd = match result {
                 Ok(bdd) => bdd,
                 Err(overflow) => {
-                    // Roll back this call's entries so a failed cone
-                    // doesn't pin budget-exhausting garbage. The
-                    // collection renumbers every node, so surviving
-                    // warm translations must follow the remap —
-                    // force_gc does both.
-                    for &f in &fresh {
-                        if f >= id {
-                            break;
-                        }
-                        if let Some(entry) = self.cache.remove(&f) {
-                            self.manager.ref_dec(entry.bdd);
-                            self.evictions += 1;
-                        }
-                    }
-                    self.force_gc();
-                    return Err(overflow);
+                    self.rollback_fresh(&fresh, id);
+                    return Err(BddBuildError::Overflow(overflow));
                 }
             };
             self.clock += 1;
@@ -965,6 +1002,24 @@ impl BddSession {
         let out = roots.iter().map(|r| self.cache[r].bdd).collect();
         self.evict_over_capacity();
         Ok(out)
+    }
+
+    /// Rolls back a failed [`BddSession::build`] call: entries inserted
+    /// by this call (fresh ids strictly below `failed_at`) are dropped
+    /// so the failed cone doesn't pin budget-exhausting garbage. The
+    /// collection renumbers every node, so surviving warm translations
+    /// must follow the remap — force_gc does both.
+    fn rollback_fresh(&mut self, fresh: &[FormulaId], failed_at: FormulaId) {
+        for &f in fresh {
+            if f >= failed_at {
+                break;
+            }
+            if let Some(entry) = self.cache.remove(&f) {
+                self.manager.ref_dec(entry.bdd);
+                self.evictions += 1;
+            }
+        }
+        self.force_gc();
     }
 
     /// Keeps the translation cache within its LRU bound (batch eviction
@@ -1214,7 +1269,7 @@ mod tests {
         let root = f.and(&factors);
         let mut s = BddSession::new(4);
         let err = s.build(&f, &[root]).unwrap_err();
-        assert_eq!(err.budget, 4);
+        assert_eq!(err, BddBuildError::Overflow(BddOverflow { budget: 4 }));
         // Rollback: the failed cone left no cache entries behind.
         assert_eq!(s.stats().cached_translations, 0);
         assert!(s.resident_nodes() <= 4);
@@ -1224,6 +1279,37 @@ mod tests {
         let contra = f.and2(x, nx);
         let b = s.build(&f, &[contra]).unwrap()[0];
         assert!(b.is_false());
+    }
+
+    #[test]
+    fn cancelled_build_rolls_back_and_session_stays_usable() {
+        let mut f = Arena::new(Simplify::Raw);
+        let factors: Vec<_> = (0..6)
+            .map(|i| {
+                let a = f.var(2 * i);
+                let b = f.var(2 * i + 1);
+                f.xor2(a, b)
+            })
+            .collect();
+        let root = f.and(&factors);
+        let mut s = BddSession::new(usize::MAX);
+        let token = CancelToken::new();
+        s.set_cancel_token(Some(token.clone()));
+        token.cancel();
+        let err = s.build(&f, &[root]).unwrap_err();
+        assert_eq!(err, BddBuildError::Interrupted);
+        // Rollback: the interrupted cone left no cache entries behind.
+        assert_eq!(s.stats().cached_translations, 0);
+        // Clearing the token makes the same query complete, with the
+        // right semantics: ⋀ᵢ(xᵢ⊕yᵢ) is true iff every pair differs.
+        token.reset();
+        let b = s.build(&f, &[root]).unwrap()[0];
+        let mut env = vec![false; 12];
+        assert!(!s.manager().eval(b, &env));
+        for i in 0..6 {
+            env[2 * i + 1] = true;
+        }
+        assert!(s.manager().eval(b, &env));
     }
 
     #[test]

@@ -202,6 +202,9 @@ fn decide_sat(arena: &mut Arena, roots: &[NodeId]) -> Decision {
         };
     }
     match solver.solve() {
+        // One-shot deciders build their own solver and never install a
+        // cancellation token, so a solve here always completes.
+        SatResult::Interrupted => unreachable!("no cancel token installed on one-shot solver"),
         SatResult::Unsat => Decision {
             unsat: true,
             model: None,
@@ -245,7 +248,13 @@ fn decide_anf(arena: &Arena, roots: &[NodeId], cap: usize) -> Result<Decision, B
 /// `qb_core::VerifySession`).
 fn decide_bdd(arena: &Arena, roots: &[NodeId], budget: usize) -> Result<Decision, BddOverflow> {
     let mut session = BddSession::new(budget);
-    let bdds = session.build(arena, roots)?;
+    let bdds = session.build(arena, roots).map_err(|e| match e {
+        qb_bdd::BddBuildError::Overflow(o) => o,
+        // One-shot sessions never install a cancellation token.
+        qb_bdd::BddBuildError::Interrupted => {
+            unreachable!("no cancel token installed on one-shot BDD session")
+        }
+    })?;
     let size = session.resident_nodes();
     for b in &bdds {
         if let Some(path) = session.manager().any_sat(*b) {

@@ -52,14 +52,16 @@ mod verifier;
 
 pub use backend::{decide_unsat, BackendError, BackendKind, BackendOptions, Decision};
 pub use conditions::{build_clean_condition, build_conditions, Conditions};
+pub use qb_sat::CancelToken;
 pub use session::{
     verify_circuit_parallel, verify_program_parallel, AutoPreference, EditStats,
-    GenericVerifySession, SessionStats, VerifySession,
+    GenericVerifySession, SessionStats, VerifyLimits, VerifySession,
 };
 pub use symbolic::{symbolic_execute, InitialValue, NotClassicalCircuit, SymbolicState};
 pub use verifier::{
     check_clean_uncomputation, verify_circuit, verify_circuit_fresh, verify_program,
-    Counterexample, QubitVerdict, VerificationReport, VerifyError, VerifyOptions, Violation,
+    Counterexample, QubitVerdict, Verdict, VerificationReport, VerifyError, VerifyOptions,
+    Violation,
 };
 
 #[cfg(test)]

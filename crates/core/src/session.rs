@@ -32,14 +32,14 @@ use crate::symbolic::{
     initial_formulas, symbolic_apply, symbolic_execute, InitialValue, SymbolicState,
 };
 use crate::verifier::{
-    model_to_assignment, Counterexample, QubitVerdict, VerificationReport, VerifyError,
+    model_to_assignment, Counterexample, QubitVerdict, Verdict, VerificationReport, VerifyError,
     VerifyOptions, Violation,
 };
-use qb_bdd::{BddOverflow, BddSession};
+use qb_bdd::{BddBuildError, BddSession};
 use qb_circuit::{Circuit, Gate};
 use qb_formula::{Anf, AnfCache, CnfSink, IncrementalEncoder, NodeId, Var};
 use qb_lang::{gate_common_prefix, ElaboratedProgram, QubitKind};
-use qb_sat::{CdclSolver, Lit, SatResult, SatVar, Solver};
+use qb_sat::{CancelToken, CdclSolver, Lit, SatResult, SatVar, Solver};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -263,6 +263,12 @@ pub struct SessionStats {
     /// Auto-portfolio queries that blew the BDD node budget and fell
     /// back to SAT.
     pub bdd_fallbacks: u64,
+    /// Backend solves interrupted by a cancellation token (deadline,
+    /// budget or explicit cancel) under [`crate::VerifyLimits`].
+    pub interrupts: u64,
+    /// Auto-portfolio roots where the preferred backend was interrupted
+    /// and the other backend was raced with the remaining budget.
+    pub deadline_fallbacks: u64,
     /// Learned auto-portfolio backend preference for this circuit.
     pub auto_preference: AutoPreference,
     /// Memoised per-node ANF polynomials currently held.
@@ -316,6 +322,56 @@ impl AutoPreference {
             AutoPreference::Bdd => "bdd",
             AutoPreference::Sat => "sat",
         }
+    }
+
+    /// Inverse of [`AutoPreference::name`], for persisted daemon state.
+    pub fn parse(name: &str) -> Option<AutoPreference> {
+        match name {
+            "undecided" => Some(AutoPreference::Undecided),
+            "bdd" => Some(AutoPreference::Bdd),
+            "sat" => Some(AutoPreference::Sat),
+            _ => None,
+        }
+    }
+}
+
+/// Resource limits for one bounded verification sweep
+/// ([`VerifySession::verify_targets_limited`]).
+///
+/// The default is fully unlimited — identical to
+/// [`VerifySession::verify_targets`]. The `deadline` spans the *whole*
+/// sweep; `conflict_budget`/`propagation_budget` bound each individual
+/// solver call. An explicit `token` lets the caller keep a handle for
+/// out-of-band cancellation (e.g. a daemon watchdog thread); the sweep
+/// arms it with the other limits and installs it into every backend.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyLimits {
+    /// Wall-clock budget for the whole sweep.
+    pub deadline: Option<Duration>,
+    /// Per-solve conflict cap for the SAT backend.
+    pub conflict_budget: Option<u64>,
+    /// Per-solve propagation cap for the SAT backend.
+    pub propagation_budget: Option<u64>,
+    /// Externally held cancellation handle (a fresh token is created
+    /// when absent).
+    pub token: Option<CancelToken>,
+}
+
+impl VerifyLimits {
+    /// A deadline-only limit.
+    pub fn deadline(after: Duration) -> Self {
+        VerifyLimits {
+            deadline: Some(after),
+            ..VerifyLimits::default()
+        }
+    }
+
+    /// `true` when no limit is set and no external token is installed.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.conflict_budget.is_none()
+            && self.propagation_budget.is_none()
+            && self.token.is_none()
     }
 }
 
@@ -400,6 +456,13 @@ pub struct GenericVerifySession<S: CdclSolver> {
     edits: u64,
     /// Auto-portfolio roots whose BDD attempt blew the node budget.
     bdd_fallbacks: u64,
+    /// Backend solves interrupted by the installed cancellation token.
+    interrupts: u64,
+    /// Auto-portfolio interrupt races (see [`SessionStats`]).
+    deadline_fallbacks: u64,
+    /// The token installed for the duration of a bounded sweep
+    /// ([`VerifyLimits`]); `None` during unlimited verification.
+    cancel: Option<CancelToken>,
     /// Learned auto-portfolio backend preference (see [`AutoPreference`]).
     auto_pref: AutoPreference,
     /// Cumulative per-backend wall time (see [`SessionStats`]).
@@ -496,6 +559,9 @@ impl<S: CdclSolver> GenericVerifySession<S> {
             arena_nodes_collected: 0,
             edits: 0,
             bdd_fallbacks: 0,
+            interrupts: 0,
+            deadline_fallbacks: 0,
+            cancel: None,
             auto_pref: AutoPreference::default(),
             sat_time: Duration::ZERO,
             bdd_time: Duration::ZERO,
@@ -626,6 +692,8 @@ impl<S: CdclSolver> GenericVerifySession<S> {
             bdd_collections: bdd.collections,
             bdd_nodes_collected: bdd.nodes_collected,
             bdd_fallbacks: self.bdd_fallbacks,
+            interrupts: self.interrupts,
+            deadline_fallbacks: self.deadline_fallbacks,
             anf_cached_polys: anf.cached_polys,
             anf_hits: anf.hits,
             auto_preference: self.auto_pref,
@@ -658,6 +726,7 @@ impl<S: CdclSolver> GenericVerifySession<S> {
         {
             return;
         }
+        qb_testutil::failpoints::hit("arena_gc");
         let mut roots: Vec<NodeId> = self.state.formulas.clone();
         if let Some(sat) = &self.sat {
             roots.extend(sat.encoder.encoded_node_ids());
@@ -831,7 +900,7 @@ impl<S: CdclSolver> GenericVerifySession<S> {
         roots: &[NodeId],
         guard: Lit,
         scope_vars: &mut Vec<SatVar>,
-    ) -> Decision {
+    ) -> Result<Decision, VerifyError> {
         let mut sink = SolverSink {
             solver: &mut sat.solver,
             guard: Some(guard),
@@ -843,11 +912,11 @@ impl<S: CdclSolver> GenericVerifySession<S> {
         let new_vars = sink.new_vars;
         let size = emitted + 1;
         if root_lits.is_empty() {
-            return Decision {
+            return Ok(Decision {
                 unsat: true,
                 model: None,
                 size,
-            };
+            });
         }
         // Fresh query structure would start cold in the VSIDS order;
         // lift it above the stale hot variables of earlier queries.
@@ -888,9 +957,16 @@ impl<S: CdclSolver> GenericVerifySession<S> {
                     size,
                 }
             }
+            SatResult::Interrupted => {
+                // No verdict: retire the query selector (the scope
+                // itself is cleaned up by decide_target) and signal the
+                // interruption upward.
+                sat.solver.retire_selector(selector);
+                return Err(VerifyError::Interrupted);
+            }
         };
         sat.solver.retire_selector(selector);
-        decision
+        Ok(decision)
     }
 
     /// Runs one root query on the shared SAT state, opening the target
@@ -901,7 +977,7 @@ impl<S: CdclSolver> GenericVerifySession<S> {
         root: NodeId,
         scope: &mut Option<Lit>,
         scope_vars: &mut Vec<SatVar>,
-    ) -> Decision {
+    ) -> Result<Decision, VerifyError> {
         let t0 = Instant::now();
         let sat = self.sat.as_mut().expect("SAT backend state");
         let guard = *scope.get_or_insert_with(|| {
@@ -917,7 +993,7 @@ impl<S: CdclSolver> GenericVerifySession<S> {
     /// via the arena-node cache), then read the answer off the canonical
     /// form — unsat is the false edge, otherwise any path to true is a
     /// witness.
-    fn run_bdd_root(&mut self, root: NodeId) -> Result<Decision, BddOverflow> {
+    fn run_bdd_root(&mut self, root: NodeId) -> Result<Decision, BddBuildError> {
         let t0 = Instant::now();
         let bdd = self.bdd.as_mut().expect("BDD backend state");
         let built = bdd.build(&self.state.arena, &[root]);
@@ -974,28 +1050,58 @@ impl<S: CdclSolver> GenericVerifySession<S> {
                 size: 0,
             });
         }
-        let d = match self.opts.backend {
+        let decided = match self.opts.backend {
             BackendKind::Sat => self.run_sat_root(root, scope, scope_vars),
-            BackendKind::Bdd => self.run_bdd_root(root).map_err(|e| {
-                VerifyError::Backend(BackendError::BddOverflow { budget: e.budget })
-            })?,
-            BackendKind::Anf => self.run_anf_root(root)?,
+            BackendKind::Bdd => self.run_bdd_root(root).map_err(|e| match e {
+                BddBuildError::Overflow(o) => {
+                    VerifyError::Backend(BackendError::BddOverflow { budget: o.budget })
+                }
+                BddBuildError::Interrupted => VerifyError::Interrupted,
+            }),
+            BackendKind::Anf => self.run_anf_root(root),
             BackendKind::Auto => match self.auto_pref {
                 // The circuit already defeated the BDD backend once:
-                // skip the losing attempt.
-                AutoPreference::Sat => self.run_sat_root(root, scope, scope_vars),
+                // skip the losing attempt. If SAT is interrupted, race
+                // BDD with whatever budget remains before giving up —
+                // an interrupt is circumstance, not evidence, so the
+                // learned preference is left alone.
+                AutoPreference::Sat => match self.run_sat_root(root, scope, scope_vars) {
+                    Err(VerifyError::Interrupted) => {
+                        self.interrupts += 1;
+                        self.deadline_fallbacks += 1;
+                        self.run_bdd_root(root)
+                            .map_err(|_| VerifyError::Interrupted)
+                    }
+                    other => other,
+                },
                 _ => match self.run_bdd_root(root) {
                     Ok(d) => {
                         self.auto_pref = AutoPreference::Bdd;
-                        d
+                        Ok(d)
                     }
-                    Err(_) => {
+                    Err(BddBuildError::Overflow(_)) => {
                         self.bdd_fallbacks += 1;
                         self.auto_pref = AutoPreference::Sat;
                         self.run_sat_root(root, scope, scope_vars)
                     }
+                    Err(BddBuildError::Interrupted) => {
+                        self.interrupts += 1;
+                        self.deadline_fallbacks += 1;
+                        self.run_sat_root(root, scope, scope_vars)
+                    }
                 },
             },
+        };
+        let d = match decided {
+            Ok(d) => d,
+            Err(e) => {
+                if matches!(e, VerifyError::Interrupted) {
+                    self.interrupts += 1;
+                }
+                // Never memoise a non-verdict: the cache must only ever
+                // serve completed decisions.
+                return Err(e);
+            }
         };
         self.decisions.insert(
             root,
@@ -1030,35 +1136,15 @@ impl<S: CdclSolver> GenericVerifySession<S> {
         let mut scope: Option<Lit> = None;
         let mut scope_vars: Vec<SatVar> = Vec::new();
 
-        let t_zero = Instant::now();
-        let zero = self.decide_root(zero_root, &mut scope, &mut scope_vars)?;
-        let zero_time = t_zero.elapsed();
-
-        // Decide the (6.2) disjunction one disjunct at a time: each
-        // refutation then stays inside one qubit's cofactor cone,
-        // instead of one search entangling every disjunct through a
-        // wide root clause.
-        let t_plus = Instant::now();
-        let mut plus = Decision {
-            unsat: true,
-            model: None,
-            size: 0,
-        };
-        for &part in plus_roots {
-            let d = self.decide_root(part, &mut scope, &mut scope_vars)?;
-            plus.size += d.size;
-            if !d.unsat {
-                plus.unsat = false;
-                plus.model = d.model;
-                break;
-            }
-        }
+        let decided = self.decide_target_roots(zero_root, plus_roots, &mut scope, &mut scope_vars);
 
         // SAT target cleanup (only when a cache miss opened the scope):
         // roll back the scope's literals, detach its clauses (and, via
         // the level-zero sweep, every learnt clause that mentioned its
         // selector), and deaden its variables. Then give the periodic
         // GCs a chance to reclaim retired slots and dead diagrams.
+        // This runs even when a root was *interrupted* — a dangling
+        // scope would corrupt every later query of the session.
         if let Some(target_selector) = scope {
             let t0 = Instant::now();
             let sat = self.sat.as_mut().expect("SAT backend state");
@@ -1077,9 +1163,45 @@ impl<S: CdclSolver> GenericVerifySession<S> {
         if let Some(bdd) = &mut self.bdd {
             bdd.maybe_gc();
         }
-        let plus_time = t_plus.elapsed();
 
+        let (zero, zero_time, plus, t_plus) = decided?;
+        let plus_time = t_plus.elapsed();
         Ok((zero, zero_time, plus, plus_time))
+    }
+
+    /// The decision half of [`GenericVerifySession::decide_target`]:
+    /// decides the zero condition, then the (6.2) disjunction one
+    /// disjunct at a time — each refutation then stays inside one
+    /// qubit's cofactor cone, instead of one search entangling every
+    /// disjunct through a wide root clause. Split out so the caller's
+    /// scope cleanup runs on the error path too.
+    fn decide_target_roots(
+        &mut self,
+        zero_root: NodeId,
+        plus_roots: &[NodeId],
+        scope: &mut Option<Lit>,
+        scope_vars: &mut Vec<SatVar>,
+    ) -> Result<(Decision, Duration, Decision, Instant), VerifyError> {
+        let t_zero = Instant::now();
+        let zero = self.decide_root(zero_root, scope, scope_vars)?;
+        let zero_time = t_zero.elapsed();
+
+        let t_plus = Instant::now();
+        let mut plus = Decision {
+            unsat: true,
+            model: None,
+            size: 0,
+        };
+        for &part in plus_roots {
+            let d = self.decide_root(part, scope, scope_vars)?;
+            plus.size += d.size;
+            if !d.unsat {
+                plus.unsat = false;
+                plus.model = d.model;
+                break;
+            }
+        }
+        Ok((zero, zero_time, plus, t_plus))
     }
 
     /// Verifies safe uncomputation of dirty qubit `q`, re-using all
@@ -1096,10 +1218,29 @@ impl<S: CdclSolver> GenericVerifySession<S> {
                 num_qubits: n,
             });
         }
+        // A tripped token (deadline long past, or a sweep already
+        // cancelled) short-circuits before condition construction: the
+        // remaining targets of a bounded sweep return Unknown in
+        // microseconds instead of building cofactors they cannot solve.
+        if let Some(token) = &self.cancel {
+            if qb_testutil::failpoints::should_cancel("spurious_cancel") {
+                token.cancel();
+            }
+            if token.is_cancelled() || token.deadline_expired() {
+                return Ok(self.unknown_verdict(q));
+            }
+        }
         let conditions = build_conditions_memo(&mut self.state, q, &mut self.cofactors);
 
         let (zero, zero_time, plus, plus_time) =
-            self.decide_target(conditions.zero, &conditions.plus_parts)?;
+            match self.decide_target(conditions.zero, &conditions.plus_parts) {
+                Ok(decided) => decided,
+                Err(VerifyError::Interrupted) => {
+                    self.maybe_collect_arena();
+                    return Ok(self.unknown_verdict(q));
+                }
+                Err(e) => return Err(e),
+            };
 
         let counterexample = if !zero.unsat {
             Some(Counterexample {
@@ -1127,11 +1268,40 @@ impl<S: CdclSolver> GenericVerifySession<S> {
         Ok(QubitVerdict {
             qubit: q,
             safe: counterexample.is_none(),
+            verdict: if counterexample.is_none() {
+                Verdict::Safe
+            } else {
+                Verdict::Unsafe
+            },
             counterexample,
             zero_time,
             plus_time,
             backend_size: zero.size + plus.size,
         })
+    }
+
+    /// The [`Verdict::Unknown`] verdict for an interrupted target, with
+    /// the reason read off the installed token.
+    fn unknown_verdict(&self, q: usize) -> QubitVerdict {
+        // Deadline first: a watchdog that hard-trips the token at the
+        // deadline would otherwise mask the more precise reason.
+        let reason = match &self.cancel {
+            Some(t) if t.deadline_expired() => "deadline",
+            Some(t) if t.is_cancelled() => "cancelled",
+            Some(_) => "budget",
+            None => "interrupted",
+        };
+        QubitVerdict {
+            qubit: q,
+            safe: false,
+            verdict: Verdict::Unknown {
+                reason: reason.to_string(),
+            },
+            counterexample: None,
+            zero_time: Duration::ZERO,
+            plus_time: Duration::ZERO,
+            backend_size: 0,
+        }
     }
 
     /// Verifies a sequence of targets, returning verdicts in request
@@ -1155,6 +1325,53 @@ impl<S: CdclSolver> GenericVerifySession<S> {
             self.cofactors.prime(&mut self.state, &vars);
         }
         targets.iter().map(|&q| self.verify_target(q)).collect()
+    }
+
+    /// [`VerifySession::verify_targets`] under [`VerifyLimits`]:
+    /// targets the budget does not reach come back as
+    /// [`Verdict::Unknown`] instead of hanging — never a partial or
+    /// wrong verdict. Completed verdicts are identical to an unlimited
+    /// sweep's, the session stays fully usable afterwards (interrupted
+    /// scopes are rolled back, nothing partial is memoised), and
+    /// re-running without limits yields the oracle verdict.
+    ///
+    /// # Errors
+    ///
+    /// See [`VerifyError`]; an exhausted budget is *not* an error.
+    pub fn verify_targets_limited(
+        &mut self,
+        targets: &[usize],
+        limits: &VerifyLimits,
+    ) -> Result<Vec<QubitVerdict>, VerifyError> {
+        if limits.is_unlimited() {
+            return self.verify_targets(targets);
+        }
+        let token = limits.token.clone().unwrap_or_default();
+        if let Some(after) = limits.deadline {
+            token.set_deadline_in(after);
+        }
+        if let Some(conflicts) = limits.conflict_budget {
+            token.set_conflict_budget(conflicts);
+        }
+        if let Some(props) = limits.propagation_budget {
+            token.set_propagation_budget(props);
+        }
+        self.install_cancel_token(Some(token));
+        let result = self.verify_targets(targets);
+        self.install_cancel_token(None);
+        result
+    }
+
+    /// Installs `token` into every live backend (and remembers it for
+    /// between-target checks), or removes it with `None`.
+    fn install_cancel_token(&mut self, token: Option<CancelToken>) {
+        if let Some(sat) = &mut self.sat {
+            sat.solver.set_cancel_token(token.clone());
+        }
+        if let Some(bdd) = &mut self.bdd {
+            bdd.set_cancel_token(token.clone());
+        }
+        self.cancel = token;
     }
 
     /// Runs a full sweep and assembles the standard report.
@@ -1339,6 +1556,154 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// The reference CCCNOT circuit used by the bounded-verification
+    /// tests: all five qubits dirty, all safe.
+    fn cccnot() -> Circuit {
+        let mut c = Circuit::new(5);
+        c.toffoli(0, 1, 2)
+            .toffoli(2, 3, 4)
+            .toffoli(0, 1, 2)
+            .toffoli(2, 3, 4);
+        c
+    }
+
+    #[test]
+    fn cancelled_sweep_returns_unknown_and_session_recovers() {
+        for backend in [BackendKind::Sat, BackendKind::Bdd, BackendKind::Auto] {
+            let c = cccnot();
+            let opts = VerifyOptions {
+                backend,
+                ..VerifyOptions::default()
+            };
+            let mut session = VerifySession::new(&c, &[InitialValue::Free; 5], &opts).unwrap();
+            let token = CancelToken::new();
+            token.cancel();
+            let limits = VerifyLimits {
+                token: Some(token.clone()),
+                ..VerifyLimits::default()
+            };
+            let verdicts = session
+                .verify_targets_limited(&[0, 1, 2, 3, 4], &limits)
+                .unwrap();
+            for v in &verdicts {
+                assert_eq!(
+                    v.verdict,
+                    Verdict::Unknown {
+                        reason: "cancelled".into()
+                    },
+                    "backend {backend}"
+                );
+                assert!(!v.safe);
+                assert!(v.counterexample.is_none());
+            }
+            assert!(session.stats().interrupts <= 10);
+            // The session stays fully usable: an unlimited re-run gives
+            // the oracle verdicts.
+            let fresh = verify_circuit_fresh(&c, &[InitialValue::Free; 5], &[0, 1, 2, 3, 4], &opts)
+                .unwrap();
+            let rerun = session.verify_targets(&[0, 1, 2, 3, 4]).unwrap();
+            for (f, r) in fresh.verdicts.iter().zip(&rerun) {
+                assert_eq!(f.safe, r.safe, "backend {backend}");
+                assert_eq!(r.verdict.name(), if r.safe { "safe" } else { "unsafe" });
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_reason() {
+        let c = cccnot();
+        let mut session =
+            VerifySession::new(&c, &[InitialValue::Free; 5], &VerifyOptions::default()).unwrap();
+        let limits = VerifyLimits::deadline(Duration::ZERO);
+        let verdicts = session.verify_targets_limited(&[2, 4], &limits).unwrap();
+        for v in &verdicts {
+            assert_eq!(
+                v.verdict,
+                Verdict::Unknown {
+                    reason: "deadline".into()
+                }
+            );
+        }
+        assert!(session.stats().deadline_fallbacks <= session.stats().interrupts);
+    }
+
+    #[test]
+    fn generous_limits_change_nothing() {
+        // A sweep under limits it never hits is verdict-identical to an
+        // unlimited sweep — for every backend, on a mixed-safety circuit.
+        let mut c = Circuit::new(4);
+        c.toffoli(0, 1, 2); // leaks q0/q1 into q2; q3 untouched
+        for backend in BackendKind::ALL {
+            let opts = VerifyOptions {
+                backend,
+                ..VerifyOptions::default()
+            };
+            let mut session = VerifySession::new(&c, &[InitialValue::Free; 4], &opts).unwrap();
+            let limits = VerifyLimits {
+                deadline: Some(Duration::from_secs(3600)),
+                conflict_budget: Some(u64::MAX / 2),
+                propagation_budget: None,
+                token: None,
+            };
+            let bounded = session
+                .verify_targets_limited(&[0, 1, 2, 3], &limits)
+                .unwrap();
+            let fresh =
+                verify_circuit_fresh(&c, &[InitialValue::Free; 4], &[0, 1, 2, 3], &opts).unwrap();
+            for (b, f) in bounded.iter().zip(&fresh.verdicts) {
+                assert_eq!(b.safe, f.safe, "backend {backend}");
+                assert!(!b.verdict.is_unknown());
+            }
+            assert_eq!(session.stats().interrupts, 0, "backend {backend}");
+        }
+    }
+
+    #[test]
+    fn tiny_conflict_budget_yields_unknown_then_oracle_on_rerun() {
+        // An 8-bit adder is big enough that its SAT queries cannot
+        // finish within one conflict... unless simplification already
+        // decided a root. Either way: no wrong verdicts, and the
+        // unlimited re-run matches the oracle.
+        let program =
+            qb_lang::elaborate(&qb_lang::parse(&qb_lang::adder_source(8)).unwrap()).unwrap();
+        let initial: Vec<InitialValue> = (0..program.num_qubits())
+            .map(|q| match program.qubit_kinds[q] {
+                QubitKind::Clean => InitialValue::Zero,
+                _ => InitialValue::Free,
+            })
+            .collect();
+        let targets = program.qubits_to_verify();
+        let opts = VerifyOptions {
+            backend: BackendKind::Sat,
+            simplify: Simplify::Raw,
+            ..VerifyOptions::default()
+        };
+        let mut session = VerifySession::new(&program.circuit, &initial, &opts).unwrap();
+        let limits = VerifyLimits {
+            conflict_budget: Some(1),
+            ..VerifyLimits::default()
+        };
+        let bounded = session.verify_targets_limited(&targets, &limits).unwrap();
+        let fresh = verify_circuit_fresh(&program.circuit, &initial, &targets, &opts).unwrap();
+        let mut unknowns = 0;
+        for (b, f) in bounded.iter().zip(&fresh.verdicts) {
+            if b.verdict.is_unknown() {
+                unknowns += 1;
+            } else {
+                // A completed verdict under budget must be the oracle's.
+                assert_eq!(b.safe, f.safe);
+            }
+        }
+        assert!(unknowns > 0, "a 1-conflict budget must interrupt something");
+        assert!(session.stats().interrupts > 0);
+        // The same session, unlimited, reaches every oracle verdict.
+        let rerun = session.verify_targets(&targets).unwrap();
+        for (r, f) in rerun.iter().zip(&fresh.verdicts) {
+            assert_eq!(r.safe, f.safe);
+            assert!(!r.verdict.is_unknown());
         }
     }
 

@@ -66,13 +66,55 @@ pub struct Counterexample {
     pub basis_assignment: Option<Vec<bool>>,
 }
 
+/// Three-valued outcome of one dirty-qubit verification.
+///
+/// Bounded runs ([`crate::VerifyLimits`]) cannot always finish: an
+/// interrupted target is reported as [`Verdict::Unknown`] — explicitly
+/// *no* verdict, never a partial one. The paper's own evaluation hits
+/// the same wall (its external solvers time out at the largest sizes),
+/// so "unknown under a budget" is a first-class outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Both conditions are unsatisfiable: safely uncomputed.
+    Safe,
+    /// A condition is satisfiable: a counterexample exists.
+    Unsafe,
+    /// The run was interrupted before reaching a verdict.
+    Unknown {
+        /// What interrupted it: `"deadline"`, `"budget"` or
+        /// `"cancelled"`.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Wire/status name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::Safe => "safe",
+            Verdict::Unsafe => "unsafe",
+            Verdict::Unknown { .. } => "unknown",
+        }
+    }
+
+    /// `true` for [`Verdict::Unknown`].
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Verdict::Unknown { .. })
+    }
+}
+
 /// Verdict for one dirty qubit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QubitVerdict {
     /// The verified qubit.
     pub qubit: usize,
-    /// `true` when both conditions are unsatisfiable.
+    /// `true` when both conditions are unsatisfiable. Stays `false` for
+    /// [`Verdict::Unknown`]; check [`QubitVerdict::verdict`] to tell an
+    /// unknown from a refuted target.
     pub safe: bool,
+    /// The three-valued outcome ([`Verdict::Unknown`] only ever appears
+    /// under [`crate::VerifyLimits`]).
+    pub verdict: Verdict,
     /// Witness when unsafe.
     pub counterexample: Option<Counterexample>,
     /// Time spent deciding condition (6.1).
@@ -139,6 +181,11 @@ pub enum VerifyError {
         /// Width of the edited circuit.
         new_qubits: usize,
     },
+    /// A backend was interrupted by a cancellation token (deadline,
+    /// budget or explicit cancel) before reaching a verdict. Session
+    /// sweeps convert this into [`Verdict::Unknown`] per target; it only
+    /// escapes as an error from APIs without a per-target report.
+    Interrupted,
 }
 
 impl fmt::Display for VerifyError {
@@ -161,6 +208,9 @@ impl fmt::Display for VerifyError {
                     "edit changes the qubit layout ({old_qubits} -> {new_qubits} qubits); \
                      reload the program instead of editing the session"
                 )
+            }
+            VerifyError::Interrupted => {
+                write!(f, "verification interrupted before reaching a verdict")
             }
         }
     }
@@ -339,6 +389,11 @@ fn verify_target(
     Ok(QubitVerdict {
         qubit: q,
         safe: counterexample.is_none(),
+        verdict: if counterexample.is_none() {
+            Verdict::Safe
+        } else {
+            Verdict::Unsafe
+        },
         counterexample,
         zero_time,
         plus_time,

@@ -31,6 +31,7 @@
 //! assert_eq!(solver.solve_with_assumptions(&[root_lit]), SatResult::Unsat);
 //! ```
 
+mod cancel;
 mod dpll;
 mod heap;
 mod lit;
@@ -38,11 +39,115 @@ mod reference;
 mod solver;
 mod traits;
 
+pub use cancel::CancelToken;
 pub use dpll::dpll_solve;
 pub use lit::{LBool, Lit, SatVar};
 pub use reference::ReferenceSolver;
 pub use solver::{SatResult, Solver, SolverStats};
 pub use traits::CdclSolver;
+
+#[cfg(test)]
+mod cancellation {
+    use super::*;
+
+    /// A pigeonhole-flavoured hard-ish instance: n+1 pigeons, n holes.
+    fn pigeonhole(n: usize) -> Vec<Vec<i32>> {
+        let var = |p: usize, h: usize| (p * n + h + 1) as i32;
+        let mut clauses = Vec::new();
+        for p in 0..=n {
+            clauses.push((0..n).map(|h| var(p, h)).collect());
+        }
+        for h in 0..n {
+            for p1 in 0..=n {
+                for p2 in p1 + 1..=n {
+                    clauses.push(vec![-var(p1, h), -var(p2, h)]);
+                }
+            }
+        }
+        clauses
+    }
+
+    fn load<S: CdclSolver>(clauses: &[Vec<i32>]) -> S {
+        let mut s = S::default();
+        let nv = clauses
+            .iter()
+            .flatten()
+            .map(|l| l.unsigned_abs() as usize)
+            .max()
+            .unwrap_or(0);
+        for _ in 0..nv {
+            s.new_var();
+        }
+        for c in clauses {
+            let lits: Vec<Lit> = c.iter().map(|&l| Lit::from_dimacs(l)).collect();
+            s.add_clause(&lits);
+        }
+        s
+    }
+
+    /// A pre-cancelled token interrupts both solvers before any work,
+    /// and resetting it restores the correct verdict.
+    #[test]
+    fn pre_cancelled_token_interrupts_then_recovers() {
+        fn check<S: CdclSolver>() {
+            let clauses = pigeonhole(6);
+            let mut s = load::<S>(&clauses);
+            let token = CancelToken::new();
+            s.set_cancel_token(Some(token.clone()));
+            token.cancel();
+            assert_eq!(s.solve_with_assumptions(&[]), SatResult::Interrupted);
+            token.reset();
+            assert_eq!(s.solve_with_assumptions(&[]), SatResult::Unsat);
+        }
+        check::<Solver>();
+        check::<ReferenceSolver>();
+    }
+
+    /// A tiny conflict budget interrupts a hard instance; lifting the
+    /// budget lets the *same* solver finish with the sound verdict.
+    #[test]
+    fn conflict_budget_interrupts_then_full_rerun_is_sound() {
+        fn check<S: CdclSolver>() {
+            let clauses = pigeonhole(7);
+            let mut s = load::<S>(&clauses);
+            let token = CancelToken::new();
+            token.set_conflict_budget(5);
+            s.set_cancel_token(Some(token.clone()));
+            assert_eq!(s.solve_with_assumptions(&[]), SatResult::Interrupted);
+            // Budgets are per solve call: the retry gets a fresh 5.
+            assert_eq!(s.solve_with_assumptions(&[]), SatResult::Interrupted);
+            token.reset();
+            assert_eq!(s.solve_with_assumptions(&[]), SatResult::Unsat);
+        }
+        check::<Solver>();
+        check::<ReferenceSolver>();
+    }
+
+    /// An expired deadline interrupts mid-solve.
+    #[test]
+    fn expired_deadline_interrupts() {
+        let clauses = pigeonhole(7);
+        let mut s = load::<Solver>(&clauses);
+        let token = CancelToken::new();
+        token.set_deadline_in(std::time::Duration::ZERO);
+        s.set_cancel_token(Some(token.clone()));
+        assert_eq!(s.solve(), SatResult::Interrupted);
+        token.reset();
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    /// An uninstalled or never-tripped token changes nothing: verdicts
+    /// and models match a token-free solver.
+    #[test]
+    fn untripped_token_is_transparent() {
+        let clauses = vec![vec![1, 2], vec![-1, 3], vec![-2, -3]];
+        let mut plain = load::<Solver>(&clauses);
+        let mut tokened = load::<Solver>(&clauses);
+        tokened.set_cancel_token(Some(CancelToken::new()));
+        assert_eq!(plain.solve(), tokened.solve());
+        assert_eq!(plain.model(), tokened.model());
+    }
+}
 
 #[cfg(test)]
 mod randomized {

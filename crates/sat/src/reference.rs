@@ -80,6 +80,8 @@ pub struct ReferenceSolver {
     /// Selectors retired since the last [`ReferenceSolver::compact`] (the GC
     /// trigger for long incremental sessions).
     retired_selectors: usize,
+    /// Cooperative cancellation handle, polled once per conflict.
+    cancel: Option<crate::CancelToken>,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -113,7 +115,14 @@ impl ReferenceSolver {
             guarded: HashMap::new(),
             redundant_stack: Vec::new(),
             retired_selectors: 0,
+            cancel: None,
         }
+    }
+
+    /// Installs (or removes) a cooperative cancellation token, polled
+    /// once per conflict during solve calls.
+    pub fn set_cancel_token(&mut self, token: Option<crate::CancelToken>) {
+        self.cancel = token;
     }
 
     /// Builds a solver from a DIMACS-style [`Cnf`]; DIMACS variable `v`
@@ -1063,6 +1072,14 @@ impl ReferenceSolver {
         let mut restart_count = 0u64;
         let mut conflicts_until_restart = Self::luby(restart_count) * RESTART_BASE;
         let mut conflicts_at_last_restart = 0u64;
+        // Cancel-token budgets are per solve call (deltas from entry).
+        let start_conflicts = self.stats.conflicts;
+        let start_propagations = self.stats.propagations;
+        if let Some(token) = &self.cancel {
+            if token.should_stop(0, 0) {
+                return SatResult::Interrupted;
+            }
+        }
 
         let result = loop {
             if let Some(confl) = self.propagate() {
@@ -1070,6 +1087,14 @@ impl ReferenceSolver {
                 if self.decision_level() == 0 {
                     self.ok = false;
                     break SatResult::Unsat;
+                }
+                if let Some(token) = &self.cancel {
+                    if token.should_stop(
+                        self.stats.conflicts - start_conflicts,
+                        self.stats.propagations - start_propagations,
+                    ) {
+                        break SatResult::Interrupted;
+                    }
                 }
                 let (learnt, backjump) = self.analyze(confl);
                 self.backtrack_to(backjump);

@@ -29,6 +29,11 @@ pub enum SatResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
+    /// The solve was interrupted by an installed [`crate::CancelToken`]
+    /// (cancel flag, deadline, or budget) before reaching a verdict.
+    /// The solver state stays sound: learnt clauses are kept and the
+    /// same query can be retried.
+    Interrupted,
 }
 
 /// Counters describing the work a solve performed.
@@ -164,6 +169,8 @@ pub struct Solver {
     /// unguarded). When zero, [`Solver::vivify_base`] is O(1) — the
     /// steady state between compactions.
     vivify_candidates: usize,
+    /// Cooperative cancellation handle, polled once per conflict.
+    cancel: Option<crate::CancelToken>,
 }
 
 const CLA_DECAY: f32 = 0.999;
@@ -222,7 +229,14 @@ impl Solver {
             restart_conflicts: 0,
             vivify_cursor: 0,
             vivify_candidates: 0,
+            cancel: None,
         }
+    }
+
+    /// Installs (or removes) a cooperative cancellation token, polled
+    /// once per conflict during [`Solver::solve_with_assumptions`].
+    pub fn set_cancel_token(&mut self, token: Option<crate::CancelToken>) {
+        self.cancel = token;
     }
 
     /// Builds a solver from a DIMACS-style [`Cnf`]; DIMACS variable `v`
@@ -690,6 +704,7 @@ impl Solver {
     /// Panics if called above decision level zero.
     pub fn compact(&mut self, pinned: &[SatVar]) -> Vec<Option<Lit>> {
         assert!(self.trail_lim.is_empty(), "level-zero operation only");
+        qb_testutil::failpoints::hit("solver_compact");
         self.retired_selectors = 0;
         let n = self.num_vars();
         let identity = |n: usize| -> Vec<Option<Lit>> {
@@ -1570,6 +1585,15 @@ impl Solver {
         self.collect_garbage();
         self.max_learnts = (self.starts.len() as f64 / 6.0).max(500.0);
         self.restart_conflicts = 0;
+        // Budgets on the cancel token are per solve call: measure them
+        // as deltas from the counters at solve entry.
+        let start_conflicts = self.stats.conflicts;
+        let start_propagations = self.stats.propagations;
+        if let Some(token) = &self.cancel {
+            if token.should_stop(0, 0) {
+                return SatResult::Interrupted;
+            }
+        }
 
         let result = loop {
             if let Some(confl) = self.propagate() {
@@ -1578,6 +1602,16 @@ impl Solver {
                 if self.decision_level() == 0 {
                     self.ok = false;
                     break SatResult::Unsat;
+                }
+                if let Some(token) = &self.cancel {
+                    if token.should_stop(
+                        self.stats.conflicts - start_conflicts,
+                        self.stats.propagations - start_propagations,
+                    ) {
+                        // The trailing backtrack_to(0) below restores a
+                        // sound level-zero state; learnt clauses stay.
+                        break SatResult::Interrupted;
+                    }
                 }
                 let (learnt, backjump) = self.analyze(confl);
                 // Glucose-style adaptive restarts: track a fast and a

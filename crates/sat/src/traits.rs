@@ -10,6 +10,7 @@
 //! only way to compare solver generations in one process, where shared
 //! machine noise cancels out of the ratio.
 
+use crate::cancel::CancelToken;
 use crate::lit::{Lit, SatVar};
 use crate::solver::{SatResult, SolverStats};
 
@@ -53,6 +54,9 @@ pub trait CdclSolver: Default {
     fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult;
     /// The model of the last satisfiable solve.
     fn model(&self) -> &[bool];
+    /// Installs (or removes) a cooperative cancellation token, polled
+    /// once per conflict during solve calls.
+    fn set_cancel_token(&mut self, token: Option<CancelToken>);
 }
 
 impl CdclSolver for crate::Solver {
@@ -107,6 +111,9 @@ impl CdclSolver for crate::Solver {
     fn model(&self) -> &[bool] {
         Self::model(self)
     }
+    fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        Self::set_cancel_token(self, token)
+    }
 }
 
 impl CdclSolver for crate::ReferenceSolver {
@@ -160,5 +167,8 @@ impl CdclSolver for crate::ReferenceSolver {
     }
     fn model(&self) -> &[bool] {
         Self::model(self)
+    }
+    fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        Self::set_cancel_token(self, token)
     }
 }

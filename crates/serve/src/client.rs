@@ -9,6 +9,7 @@ use crate::protocol::Request;
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
 /// A connected daemon client.
 pub struct Client {
@@ -29,6 +30,40 @@ impl Client {
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    /// Connects, retrying up to `attempts` times with exponential
+    /// backoff (doubling from `base_delay`, capped at 2 s) plus jitter.
+    /// This is how `qborrow watch` and `qborrow client` survive a daemon
+    /// restart: the socket vanishes for the restart window, then a retry
+    /// lands on the fresh listener.
+    ///
+    /// # Errors
+    ///
+    /// The last connection failure, once every attempt is exhausted.
+    pub fn connect_with_retry(
+        socket: impl AsRef<Path>,
+        attempts: u32,
+        base_delay: Duration,
+    ) -> io::Result<Client> {
+        let socket = socket.as_ref();
+        let mut last_err = None;
+        for attempt in 0..attempts.max(1) {
+            match Client::connect(socket) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = Some(e),
+            }
+            if attempt + 1 < attempts {
+                let backoff = base_delay
+                    .saturating_mul(1u32 << attempt.min(16))
+                    .min(Duration::from_secs(2));
+                // Half fixed, half jittered: concurrent clients spread
+                // out instead of reconnecting in lockstep.
+                std::thread::sleep(backoff / 2 + jitter(backoff / 2));
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no connection attempts")))
     }
 
     /// Sends one request and reads the matching response.
@@ -91,9 +126,27 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn verify(&mut self, name: &str, targets: Option<Vec<usize>>) -> io::Result<Json> {
+        self.verify_with_deadline(name, targets, None)
+    }
+
+    /// Verifies under a wall-clock budget in milliseconds: targets the
+    /// budget does not reach come back with `"verdict":"unknown"`
+    /// instead of stalling the daemon (`None` = the daemon's default
+    /// deadline).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn verify_with_deadline(
+        &mut self,
+        name: &str,
+        targets: Option<Vec<usize>>,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<Json> {
         self.request(&Request::Verify {
             name: name.to_string(),
             targets,
+            deadline_ms,
         })
     }
 
@@ -154,4 +207,18 @@ impl Client {
     pub fn shutdown(&mut self) -> io::Result<Json> {
         self.request(&Request::Shutdown)
     }
+}
+
+/// A uniform delay in `[0, upper)`, seeded from the standard library's
+/// per-process `RandomState` (the workspace builds offline, so no `rand`
+/// crate).
+fn jitter(upper: Duration) -> Duration {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    if upper.is_zero() {
+        return Duration::ZERO;
+    }
+    let mut hasher = RandomState::new().build_hasher();
+    hasher.write_u64(0x6a69_7474_6572); // "jitter"
+    upper.mul_f64((hasher.finish() % 1024) as f64 / 1024.0)
 }

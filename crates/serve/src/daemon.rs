@@ -20,16 +20,18 @@
 //! recorded follow-ups in `ROADMAP.md`.
 
 use crate::json::Json;
-use crate::protocol::{error_response, Request};
+use crate::protocol::{coded_error_response, error_response, Request};
 use qb_core::{
-    AutoPreference, BackendKind, InitialValue, QubitVerdict, VerifyError, VerifyOptions,
-    VerifySession,
+    AutoPreference, BackendKind, CancelToken, InitialValue, QubitVerdict, Verdict, VerifyError,
+    VerifyLimits, VerifyOptions, VerifySession,
 };
 use qb_lang::{elaborate, gate_diff, parse, structural_hash, ElaboratedProgram, QubitKind};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Memory bounds of a long-lived daemon (see `README.md`, "Memory
@@ -49,6 +51,9 @@ pub struct ServerLimits {
     pub arena_gc_floor: Option<usize>,
     /// Per-session decision-cache capacity. `None` = session default.
     pub decision_cache_cap: Option<usize>,
+    /// Wall-clock budget applied to every `verify` request that does not
+    /// carry its own `deadline_ms`. `None` = unbounded.
+    pub default_deadline: Option<Duration>,
 }
 
 /// Daemon configuration.
@@ -62,6 +67,11 @@ pub struct ServeOptions {
     pub log: bool,
     /// Memory bounds (session LRU, idle sweep, per-session GC knobs).
     pub limits: ServerLimits,
+    /// Directory for crash-recovery snapshots: loaded sources, their
+    /// backends and the learned auto-portfolio winners are persisted
+    /// after every mutating request, and a restarted daemon replays them
+    /// so it comes back warm. `None` = no persistence.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl ServeOptions {
@@ -72,6 +82,7 @@ impl ServeOptions {
             verify: VerifyOptions::default(),
             log: false,
             limits: ServerLimits::default(),
+            state_dir: None,
         }
     }
 }
@@ -85,6 +96,10 @@ type SessionKey = (u64, BackendKind);
 struct ProgramSession {
     program: ElaboratedProgram,
     session: VerifySession,
+    /// The source the session was built from (or last edited to),
+    /// retained so a poisoned session can be rebuilt in place and so
+    /// snapshots can replay the load after a crash.
+    source: String,
     verifies: u64,
     /// Request-counter stamp of the last touch (LRU eviction order).
     last_used: u64,
@@ -113,14 +128,79 @@ const AUTO_WINNERS_CAP: usize = 1024;
 /// code, so clients (notably `qborrow watch` across a daemon restart)
 /// can fall back to a fresh `load` instead of failing forever.
 fn not_loaded_response(name: &str) -> Json {
-    Json::obj(vec![
-        ("ok", Json::Bool(false)),
-        (
-            "error",
-            Json::Str(format!("program {name:?} is not loaded")),
-        ),
-        ("code", Json::Str("not_loaded".to_string())),
-    ])
+    coded_error_response(&format!("program {name:?} is not loaded"), "not_loaded")
+}
+
+/// A deadline watchdog: a helper thread that trips `token` when the
+/// budget elapses, covering the window before the cooperative checks
+/// inside the solver loops observe the deadline themselves (and making
+/// every later check a cheap flag read). Dropping the guard wakes the
+/// thread immediately, so an in-budget verify pays one condvar signal,
+/// not a lingering thread per request.
+struct Watchdog {
+    state: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn arm(token: CancelToken, deadline: Duration) -> Watchdog {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_state = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            let (lock, cvar) = &*thread_state;
+            let expires = Instant::now() + deadline;
+            let mut done = lock.lock().unwrap();
+            loop {
+                if *done {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= expires {
+                    token.cancel();
+                    return;
+                }
+                done = cvar.wait_timeout(done, expires - now).unwrap().0;
+            }
+        });
+        Watchdog {
+            state,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.state;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// FNV-1a 64-bit, the snapshot checksum: torn or bit-flipped state files
+/// are detected and discarded on restore instead of resurrecting a
+/// corrupt session table.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
 }
 
 /// The daemon's request handler, socket-free for testability: feed it
@@ -143,6 +223,15 @@ pub struct Server {
     /// per-circuit daemon state — an edit stream mints a fresh hash per
     /// reload, so an unbounded map would leak over weeks of uptime.
     auto_winners: HashMap<u64, (AutoPreference, u64)>,
+    /// Snapshot directory ([`ServeOptions::state_dir`]); `None` = no
+    /// persistence.
+    state_dir: Option<PathBuf>,
+    /// Set by mutating requests; cleared when a snapshot is written.
+    state_dirty: bool,
+    /// Snapshot writes that failed (logged, never fatal).
+    snapshot_failures: u64,
+    /// Sessions quarantined after a panic unwound out of them.
+    quarantines: u64,
 }
 
 impl Server {
@@ -161,7 +250,23 @@ impl Server {
             limits,
             session_evictions: 0,
             auto_winners: HashMap::new(),
+            state_dir: None,
+            state_dirty: false,
+            snapshot_failures: 0,
+            quarantines: 0,
         }
+    }
+
+    /// Directs crash-recovery snapshots to `dir` (`None` disables them).
+    /// Call [`Server::restore_state`] afterwards to replay a previous
+    /// run's snapshot.
+    pub fn set_state_dir(&mut self, dir: Option<PathBuf>) {
+        self.state_dir = dir;
+    }
+
+    /// Sessions quarantined after a panic unwound out of them.
+    pub fn quarantined_sessions(&self) -> u64 {
+        self.quarantines
     }
 
     /// Builds a session for `program` on `backend`, applying the
@@ -201,6 +306,11 @@ impl Server {
         if let Some(entry) = self.sessions.get(&key) {
             let pref = entry.session.auto_preference();
             if pref != AutoPreference::Undecided {
+                if self.auto_winners.get(&key.0).map(|&(p, _)| p) != Some(pref) {
+                    // A newly learned (or changed) winner is worth a
+                    // snapshot; mere stamp refreshes are not.
+                    self.state_dirty = true;
+                }
                 self.auto_winners.insert(key.0, (pref, self.requests));
                 qb_formula::lru_evict_batch(
                     &mut self.auto_winners,
@@ -238,6 +348,7 @@ impl Server {
                 // The request just handled refreshed its own session's
                 // stamps, so the sweep only reaps genuinely idle ones.
                 self.sweep_idle();
+                self.persist_state();
                 (response.to_string(), shutdown)
             }
         }
@@ -268,6 +379,7 @@ impl Server {
         if self.sessions.remove(&key).is_some() {
             self.names.retain(|_, k| *k != key);
             self.session_evictions += 1;
+            self.state_dirty = true;
         }
     }
 
@@ -308,14 +420,61 @@ impl Server {
         }
     }
 
+    /// Dispatches one request with panic isolation: a panic unwinding
+    /// out of a session (a solver bug, an injected failpoint) poisons
+    /// only that session — it is quarantined and rebuilt from its
+    /// retained source while the daemon answers with a structured
+    /// `internal_error` and keeps serving every other program.
     fn handle(&mut self, request: Request) -> Json {
+        let touched = match &request {
+            Request::Load { name, .. }
+            | Request::Verify { name, .. }
+            | Request::Edit { name, .. }
+            | Request::Unload { name } => Some(name.clone()),
+            Request::Status | Request::Shutdown => None,
+        };
+        // The session table itself is only mutated between session
+        // calls, so an unwind can leave a *session* inconsistent but
+        // never the table: quarantining the named session restores the
+        // server invariants.
+        match std::panic::catch_unwind(AssertUnwindSafe(|| self.dispatch(request))) {
+            Ok(response) => response,
+            Err(payload) => {
+                self.quarantines += 1;
+                self.state_dirty = true;
+                let mut pairs = vec![
+                    ("ok", Json::Bool(false)),
+                    (
+                        "error",
+                        Json::Str(format!(
+                            "internal panic while handling the request: {}",
+                            panic_text(payload.as_ref())
+                        )),
+                    ),
+                    ("code", Json::Str("internal_error".to_string())),
+                ];
+                if let Some(name) = touched {
+                    let rebuilt = self.quarantine(&name);
+                    pairs.push(("quarantined", Json::Str(name)));
+                    pairs.push(("rebuilt", Json::Bool(rebuilt)));
+                }
+                Json::obj(pairs)
+            }
+        }
+    }
+
+    fn dispatch(&mut self, request: Request) -> Json {
         match request {
             Request::Load {
                 name,
                 source,
                 backend,
             } => self.load(name, &source, &backend),
-            Request::Verify { name, targets } => self.run_verify(&name, targets),
+            Request::Verify {
+                name,
+                targets,
+                deadline_ms,
+            } => self.run_verify(&name, targets, deadline_ms),
             Request::Edit {
                 name,
                 source,
@@ -327,6 +486,46 @@ impl Server {
                 ("ok", Json::Bool(true)),
                 ("shutdown", Json::Bool(true)),
             ]),
+        }
+    }
+
+    /// Removes `name`'s session (any state a panic left behind is
+    /// untrusted) and rebuilds it from the retained source. Returns
+    /// whether the rebuild succeeded; on failure every alias of the
+    /// session is dropped, so clients see `not_loaded` and re-`load`.
+    fn quarantine(&mut self, name: &str) -> bool {
+        let Some(&key) = self.names.get(name) else {
+            return false;
+        };
+        let Some(poisoned) = self.sessions.remove(&key) else {
+            self.names.remove(name);
+            return false;
+        };
+        let source = poisoned.source;
+        drop(poisoned.session);
+        let rebuilt = Self::elaborate_source(&source).and_then(|program| {
+            self.new_session(&program, key.0, key.1)
+                .map(|session| (program, session))
+        });
+        match rebuilt {
+            Ok((program, session)) => {
+                self.sessions.insert(
+                    key,
+                    ProgramSession {
+                        program,
+                        session,
+                        source,
+                        verifies: 0,
+                        last_used: self.requests,
+                        last_used_at: Instant::now(),
+                    },
+                );
+                true
+            }
+            Err(_) => {
+                self.names.retain(|_, k| *k != key);
+                false
+            }
         }
     }
 
@@ -394,6 +593,11 @@ impl Server {
             ),
             ("bdd_collections", Json::Int(stats.bdd_collections as i64)),
             ("bdd_fallbacks", Json::Int(stats.bdd_fallbacks as i64)),
+            ("interrupts", Json::Int(stats.interrupts as i64)),
+            (
+                "deadline_fallbacks",
+                Json::Int(stats.deadline_fallbacks as i64),
+            ),
             ("anf_cached_polys", Json::Int(stats.anf_cached_polys as i64)),
             (
                 "auto_preference",
@@ -450,6 +654,7 @@ impl Server {
                 ProgramSession {
                     program,
                     session,
+                    source: source.to_string(),
                     verifies: 0,
                     last_used: self.requests,
                     last_used_at: Instant::now(),
@@ -465,27 +670,69 @@ impl Server {
         }
         self.touch(key);
         self.evict_over_capacity(key);
-        let entry = self.sessions.get(&key).expect("just ensured");
+        self.state_dirty = true;
+        let Some(entry) = self.sessions.get(&key) else {
+            return self.desync(&name);
+        };
         let mut pairs = vec![("ok", Json::Bool(true)), ("reused", Json::Bool(reused))];
         pairs.extend(Self::program_summary(&name, key, entry));
         Json::obj(pairs)
     }
 
-    fn run_verify(&mut self, name: &str, targets: Option<Vec<usize>>) -> Json {
+    /// Self-heals a dangling name→session alias (a broken internal
+    /// invariant): the alias is dropped and the client told to reload,
+    /// instead of the pre-hardening behaviour of killing the daemon —
+    /// and every other loaded program — with an `expect` panic.
+    fn desync(&mut self, name: &str) -> Json {
+        self.names.remove(name);
+        self.state_dirty = true;
+        coded_error_response(
+            &format!("session table desynchronised for {name:?}; alias dropped, please reload"),
+            "internal_error",
+        )
+    }
+
+    fn run_verify(
+        &mut self,
+        name: &str,
+        targets: Option<Vec<usize>>,
+        deadline_ms: Option<u64>,
+    ) -> Json {
         let Some(&key) = self.names.get(name) else {
             return not_loaded_response(name);
         };
         self.touch(key);
-        let entry = self.sessions.get_mut(&key).expect("alias invariant");
+        let deadline = deadline_ms
+            .map(Duration::from_millis)
+            .or(self.limits.default_deadline);
+        let Some(entry) = self.sessions.get_mut(&key) else {
+            return self.desync(name);
+        };
         let targets = targets.unwrap_or_else(|| entry.program.qubits_to_verify());
         let t0 = Instant::now();
-        let verdicts = match entry.session.verify_targets(&targets) {
+        let verdicts = match deadline {
+            None => entry.session.verify_targets(&targets),
+            Some(budget) => {
+                let token = CancelToken::new();
+                let limits = VerifyLimits {
+                    deadline: Some(budget),
+                    token: Some(token.clone()),
+                    ..VerifyLimits::default()
+                };
+                // The watchdog hard-trips the token at the deadline;
+                // dropping the guard after the sweep retires it.
+                let _watchdog = Watchdog::arm(token, budget);
+                entry.session.verify_targets_limited(&targets, &limits)
+            }
+        };
+        let verdicts = match verdicts {
             Ok(v) => v,
             Err(e) => return error_response(&e.to_string()),
         };
         let solve_ns = t0.elapsed().as_nanos() as i64;
         entry.verifies += 1;
         let all_safe = verdicts.iter().all(|v| v.safe);
+        let unknowns = verdicts.iter().filter(|v| v.verdict.is_unknown()).count();
         let rendered: Vec<Json> = verdicts
             .iter()
             .map(|v| render_verdict(&entry.program, v))
@@ -493,17 +740,23 @@ impl Server {
         let stats = entry.session.stats();
         let verifies = entry.verifies;
         self.remember_auto(key);
-        Json::obj(vec![
+        let mut pairs = vec![
             ("ok", Json::Bool(true)),
             ("name", Json::Str(name.to_string())),
             ("hash", Json::Str(hash_hex(key.0))),
             ("backend", Json::Str(key.1.to_string())),
             ("all_safe", Json::Bool(all_safe)),
+            ("unknowns", Json::Int(unknowns as i64)),
             ("verdicts", Json::Arr(rendered)),
             ("solve_ns", Json::Int(solve_ns)),
             ("verifies", Json::Int(verifies as i64)),
             ("compactions", Json::Int(stats.compactions as i64)),
             ("bdd_fallbacks", Json::Int(stats.bdd_fallbacks as i64)),
+            ("interrupts", Json::Int(stats.interrupts as i64)),
+            (
+                "deadline_fallbacks",
+                Json::Int(stats.deadline_fallbacks as i64),
+            ),
             (
                 "auto_preference",
                 Json::Str(stats.auto_preference.name().into()),
@@ -515,7 +768,11 @@ impl Server {
             ("solver_conflicts", Json::Int(stats.solver_conflicts as i64)),
             ("solver_restarts", Json::Int(stats.solver_restarts as i64)),
             ("solver_vivified", Json::Int(stats.solver_vivified as i64)),
-        ])
+        ];
+        if let Some(budget) = deadline {
+            pairs.push(("deadline_ms", Json::Int(budget.as_millis() as i64)));
+        }
+        Json::obj(pairs)
     }
 
     fn edit(&mut self, name: &str, source: &str, backend: &Option<String>) -> Json {
@@ -537,7 +794,9 @@ impl Server {
         let new_key = (structural_hash(&program), backend);
         if new_key == old_key {
             self.touch(old_key);
-            let entry = self.sessions.get(&old_key).expect("alias invariant");
+            let Some(entry) = self.sessions.get(&old_key) else {
+                return self.desync(name);
+            };
             let mut pairs = vec![
                 ("ok", Json::Bool(true)),
                 ("changed", Json::Bool(false)),
@@ -552,7 +811,10 @@ impl Server {
             self.names.insert(name.to_string(), new_key);
             self.drop_if_unaliased(old_key);
             self.touch(new_key);
-            let entry = self.sessions.get(&new_key).expect("checked");
+            self.state_dirty = true;
+            let Some(entry) = self.sessions.get(&new_key) else {
+                return self.desync(name);
+            };
             let mut pairs = vec![
                 ("ok", Json::Bool(true)),
                 ("changed", Json::Bool(true)),
@@ -563,7 +825,9 @@ impl Server {
         }
 
         let aliased = self.names.values().filter(|&&k| k == old_key).count() > 1;
-        let old_entry = self.sessions.get(&old_key).expect("alias invariant");
+        let Some(old_entry) = self.sessions.get(&old_key) else {
+            return self.desync(name);
+        };
         let kinds_match = old_entry.program.qubit_kinds == program.qubit_kinds;
         let diff = gate_diff(old_entry.program.circuit.gates(), program.circuit.gates());
 
@@ -571,14 +835,20 @@ impl Server {
         // an unchanged qubit layout. Otherwise fall back to a fresh
         // session for this name.
         if !aliased && kinds_match && backend == old_key.1 {
-            let mut entry = self.sessions.remove(&old_key).expect("alias invariant");
+            let Some(mut entry) = self.sessions.remove(&old_key) else {
+                return self.desync(name);
+            };
             match entry.session.apply_edit(&program.circuit) {
                 Ok(stats) => {
                     entry.program = program;
+                    entry.source = source.to_string();
                     self.sessions.insert(new_key, entry);
                     self.names.insert(name.to_string(), new_key);
                     self.touch(new_key);
-                    let entry = self.sessions.get(&new_key).expect("just inserted");
+                    self.state_dirty = true;
+                    let Some(entry) = self.sessions.get(&new_key) else {
+                        return self.desync(name);
+                    };
                     let mut pairs = vec![
                         ("ok", Json::Bool(true)),
                         ("changed", Json::Bool(true)),
@@ -615,6 +885,7 @@ impl Server {
             ProgramSession {
                 program,
                 session,
+                source: source.to_string(),
                 verifies: 0,
                 last_used: self.requests,
                 last_used_at: Instant::now(),
@@ -623,7 +894,10 @@ impl Server {
         self.names.insert(name.to_string(), new_key);
         self.drop_if_unaliased(old_key);
         self.evict_over_capacity(new_key);
-        let entry = self.sessions.get(&new_key).expect("just inserted");
+        self.state_dirty = true;
+        let Some(entry) = self.sessions.get(&new_key) else {
+            return self.desync(name);
+        };
         let mut pairs = vec![
             ("ok", Json::Bool(true)),
             ("changed", Json::Bool(true)),
@@ -641,14 +915,17 @@ impl Server {
         names.sort();
         let programs: Vec<Json> = names
             .iter()
-            .map(|name| {
+            .filter_map(|name| {
+                // A dangling alias (broken invariant) is skipped rather
+                // than panicking the whole daemon out from under every
+                // other loaded program.
                 let key = self.names[*name];
-                let entry = self.sessions.get(&key).expect("alias invariant");
-                Json::obj(
+                let entry = self.sessions.get(&key)?;
+                Some(Json::obj(
                     Self::program_summary(name, key, entry)
                         .into_iter()
                         .collect(),
-                )
+                ))
             })
             .collect();
         let resident_nodes: usize = self
@@ -682,6 +959,19 @@ impl Server {
                 "auto_winners_remembered",
                 Json::Int(self.auto_winners.len() as i64),
             ),
+            ("quarantines", Json::Int(self.quarantines as i64)),
+            (
+                "snapshot_failures",
+                Json::Int(self.snapshot_failures as i64),
+            ),
+            ("state_persisted", Json::Bool(self.state_dir.is_some())),
+            (
+                "default_deadline_ms",
+                match self.limits.default_deadline {
+                    Some(d) => Json::Int(d.as_millis() as i64),
+                    None => Json::Null,
+                },
+            ),
             ("requests", Json::Int(self.requests as i64)),
         ])
     }
@@ -691,6 +981,7 @@ impl Server {
             None => not_loaded_response(name),
             Some(key) => {
                 self.drop_if_unaliased(key);
+                self.state_dirty = true;
                 Json::obj(vec![
                     ("ok", Json::Bool(true)),
                     ("unloaded", Json::Str(name.to_string())),
@@ -706,6 +997,178 @@ impl Server {
             self.sessions.remove(&key);
         }
     }
+
+    /// The snapshot payload: every name with its retained source and
+    /// backend (sorted for a deterministic file), plus the learned
+    /// auto-portfolio winners. Sessions are *not* serialised — solver
+    /// state is rebuilt by replaying the loads, which provably reaches
+    /// the same verdicts (it is the same code path a cold client takes).
+    fn state_payload(&self) -> Json {
+        let mut names: Vec<&String> = self.names.keys().collect();
+        names.sort();
+        let programs: Vec<Json> = names
+            .iter()
+            .filter_map(|name| {
+                let key = self.names[*name];
+                let entry = self.sessions.get(&key)?;
+                Some(Json::obj(vec![
+                    ("name", Json::Str((*name).clone())),
+                    ("backend", Json::Str(key.1.to_string())),
+                    ("source", Json::Str(entry.source.clone())),
+                ]))
+            })
+            .collect();
+        let mut winners: Vec<(&u64, &(AutoPreference, u64))> = self.auto_winners.iter().collect();
+        winners.sort_by_key(|&(hash, _)| hash);
+        let winners: Vec<Json> = winners
+            .into_iter()
+            .map(|(&hash, &(pref, _))| {
+                Json::Arr(vec![
+                    Json::Str(hash_hex(hash)),
+                    Json::Str(pref.name().to_string()),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("auto_winners", Json::Arr(winners)),
+            ("programs", Json::Arr(programs)),
+        ])
+    }
+
+    /// Writes the snapshot if one is due. Failures are counted and
+    /// logged, never fatal: a daemon that cannot persist still serves.
+    fn persist_state(&mut self) {
+        let Some(dir) = self.state_dir.clone() else {
+            return;
+        };
+        if !self.state_dirty {
+            return;
+        }
+        // Fold what live auto sessions have learned into the winner map
+        // before serialising, so a crash right after this write already
+        // knows the preference.
+        let keys: Vec<SessionKey> = self.sessions.keys().copied().collect();
+        for key in keys {
+            self.remember_auto(key);
+        }
+        let payload = self.state_payload().to_string();
+        match write_snapshot(&dir, &payload) {
+            // Still dirty on failure: the next handled request retries.
+            Ok(()) => self.state_dirty = false,
+            Err(e) => {
+                self.snapshot_failures += 1;
+                eprintln!("qb-serve: snapshot write failed ({e}); will retry after next request");
+            }
+        }
+    }
+
+    /// Replays the snapshot in the configured state directory, if any:
+    /// seeds the auto-portfolio winners, then re-loads every program
+    /// under its name and backend. Returns the number of programs
+    /// restored. A missing, torn or checksum-failing snapshot starts
+    /// cold (logged, never fatal).
+    pub fn restore_state(&mut self) -> usize {
+        let Some(dir) = self.state_dir.clone() else {
+            return 0;
+        };
+        let path = dir.join(STATE_FILE);
+        let data = match std::fs::read_to_string(&path) {
+            Ok(d) => d,
+            Err(_) => return 0,
+        };
+        let mut lines = data.lines();
+        let (payload, checksum) = match (lines.next(), lines.next()) {
+            (Some(p), Some(c)) => (p, c),
+            _ => {
+                eprintln!(
+                    "qb-serve: snapshot {} is truncated; starting cold",
+                    path.display()
+                );
+                return 0;
+            }
+        };
+        if checksum.trim() != format!("{:016x}", fnv1a64(payload.as_bytes())) {
+            eprintln!(
+                "qb-serve: snapshot {} fails its checksum; starting cold",
+                path.display()
+            );
+            return 0;
+        }
+        let Ok(state) = Json::parse(payload) else {
+            eprintln!(
+                "qb-serve: snapshot {} is not valid JSON; starting cold",
+                path.display()
+            );
+            return 0;
+        };
+        // Winners first, so the replayed loads seed their auto sessions
+        // with the learned preference instead of re-learning it.
+        if let Some(winners) = state.get("auto_winners").and_then(Json::as_arr) {
+            for winner in winners {
+                let Some(pair) = winner.as_arr() else {
+                    continue;
+                };
+                let (Some(hash), Some(pref)) = (
+                    pair.first().and_then(Json::as_str),
+                    pair.get(1).and_then(Json::as_str),
+                ) else {
+                    continue;
+                };
+                if let (Ok(hash), Some(pref)) =
+                    (u64::from_str_radix(hash, 16), AutoPreference::parse(pref))
+                {
+                    self.auto_winners.insert(hash, (pref, self.requests));
+                }
+            }
+        }
+        let mut restored = 0;
+        if let Some(programs) = state.get("programs").and_then(Json::as_arr) {
+            for program in programs {
+                let (Some(name), Some(source)) = (
+                    program.get("name").and_then(Json::as_str),
+                    program.get("source").and_then(Json::as_str),
+                ) else {
+                    continue;
+                };
+                let backend = program
+                    .get("backend")
+                    .and_then(Json::as_str)
+                    .map(String::from);
+                let response = self.load(name.to_string(), source, &backend);
+                if response.get("ok").and_then(Json::as_bool) == Some(true) {
+                    restored += 1;
+                } else {
+                    eprintln!("qb-serve: snapshot replay of {name:?} failed: {response}");
+                }
+            }
+        }
+        // Replaying loads marked the state dirty; the snapshot on disk
+        // already says exactly this, so suppress the rewrite.
+        self.state_dirty = false;
+        restored
+    }
+}
+
+/// Snapshot file name inside [`ServeOptions::state_dir`].
+const STATE_FILE: &str = "state.json";
+
+/// Atomically replaces the snapshot: payload line + checksum line to a
+/// temp file, fsync'd, then renamed over the live name — a crash at any
+/// instant leaves either the old complete snapshot or the new one.
+fn write_snapshot(dir: &Path, payload: &str) -> std::io::Result<()> {
+    if qb_testutil::failpoints::should_fail("snapshot_write") {
+        return Err(std::io::Error::other("injected snapshot_write failure"));
+    }
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join("state.json.tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(payload.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.write_all(format!("{:016x}\n", fnv1a64(payload.as_bytes())).as_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(STATE_FILE))
 }
 
 fn render_verdict(program: &ElaboratedProgram, v: &QubitVerdict) -> Json {
@@ -713,9 +1176,13 @@ fn render_verdict(program: &ElaboratedProgram, v: &QubitVerdict) -> Json {
         ("qubit", Json::Int(v.qubit as i64)),
         ("name", Json::Str(program.qubit_name(v.qubit).to_string())),
         ("safe", Json::Bool(v.safe)),
+        ("verdict", Json::Str(v.verdict.name().to_string())),
         ("zero_ns", Json::Int(v.zero_time.as_nanos() as i64)),
         ("plus_ns", Json::Int(v.plus_time.as_nanos() as i64)),
     ];
+    if let Verdict::Unknown { reason } = &v.verdict {
+        pairs.push(("reason", Json::Str(reason.clone())));
+    }
     if let Some(ce) = &v.counterexample {
         pairs.push(("violation", Json::Str(ce.violation.to_string())));
         if let Some(bits) = &ce.basis_assignment {
@@ -763,6 +1230,16 @@ pub fn run(opts: &ServeOptions) -> std::io::Result<()> {
         );
     }
     let mut server = Server::with_limits(opts.verify, opts.limits);
+    if let Some(dir) = &opts.state_dir {
+        server.set_state_dir(Some(dir.clone()));
+        let restored = server.restore_state();
+        if opts.log && restored > 0 {
+            eprintln!(
+                "qb-serve: restored {restored} program(s) from {}",
+                dir.display()
+            );
+        }
+    }
     for stream in listener.incoming() {
         match stream {
             Err(e) => {
@@ -782,12 +1259,50 @@ pub fn run(opts: &ServeOptions) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Upper bound on one request line (16 MiB). Program sources are at most
+/// a few hundred KiB even at paper scale; anything larger is a confused
+/// or malicious client, and buffering it unchecked would let one
+/// connection exhaust the daemon's memory.
+const MAX_REQUEST_LINE: u64 = 16 * 1024 * 1024;
+
 /// Serves one connection; returns `true` when a shutdown was requested.
+///
+/// Malformed input never drops the connection: an oversized line is
+/// drained and answered with an `"oversized"`-coded error, invalid UTF-8
+/// with `"invalid_utf8"`, and the client can keep sending requests.
 fn serve_connection(stream: UnixStream, server: &mut Server, log: bool) -> std::io::Result<bool> {
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut buf: Vec<u8> = Vec::new();
+        let n = (&mut reader)
+            .take(MAX_REQUEST_LINE + 1)
+            .read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            return Ok(false); // client hung up
+        }
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+        } else if buf.len() as u64 > MAX_REQUEST_LINE {
+            // The cap truncated the line mid-way: discard the rest of it
+            // so the stream resynchronises on the next newline.
+            drain_to_newline(&mut reader)?;
+            let response = coded_error_response(
+                &format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                "oversized",
+            );
+            respond(&mut writer, &response.to_string())?;
+            continue;
+        }
+        let line = match String::from_utf8(buf) {
+            Ok(s) => s,
+            Err(_) => {
+                let response =
+                    coded_error_response("request line is not valid UTF-8", "invalid_utf8");
+                respond(&mut writer, &response.to_string())?;
+                continue;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -804,14 +1319,32 @@ fn serve_connection(stream: UnixStream, server: &mut Server, log: bool) -> std::
                 t0.elapsed()
             );
         }
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        respond(&mut writer, &response)?;
         if shutdown {
             return Ok(true);
         }
     }
-    Ok(false)
+}
+
+fn respond(writer: &mut UnixStream, response: &str) -> std::io::Result<()> {
+    writer.write_all(response.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Discards bytes up to and including the next newline (or EOF), in
+/// bounded chunks so an adversarial endless line cannot pin memory.
+fn drain_to_newline(reader: &mut impl BufRead) -> std::io::Result<()> {
+    loop {
+        let mut chunk: Vec<u8> = Vec::new();
+        let n = reader
+            .by_ref()
+            .take(1 << 20)
+            .read_until(b'\n', &mut chunk)?;
+        if n == 0 || chunk.last() == Some(&b'\n') {
+            return Ok(());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -853,6 +1386,7 @@ mod tests {
             &Request::Verify {
                 name: "cccnot".into(),
                 targets: None,
+                deadline_ms: None,
             }
             .to_line(),
         );
@@ -877,6 +1411,7 @@ mod tests {
             &Request::Verify {
                 name: "cccnot".into(),
                 targets: None,
+                deadline_ms: None,
             }
             .to_line(),
         );
@@ -954,6 +1489,7 @@ mod tests {
             &Request::Verify {
                 name: "ghost".into(),
                 targets: None,
+                deadline_ms: None,
             }
             .to_line(),
         );
@@ -1035,6 +1571,7 @@ mod tests {
                 &Request::Verify {
                     name: name.into(),
                     targets: None,
+                    deadline_ms: None,
                 }
                 .to_line(),
             );
@@ -1139,6 +1676,7 @@ mod tests {
             &Request::Verify {
                 name: "b".into(),
                 targets: None,
+                deadline_ms: None,
             }
             .to_line(),
         );
@@ -1211,6 +1749,7 @@ mod tests {
             &Request::Verify {
                 name: "p1".into(),
                 targets: None,
+                deadline_ms: None,
             }
             .to_line(),
         );
@@ -1223,6 +1762,7 @@ mod tests {
             &Request::Verify {
                 name: "p2".into(),
                 targets: None,
+                deadline_ms: None,
             }
             .to_line(),
         );
@@ -1242,6 +1782,7 @@ mod tests {
             &Request::Verify {
                 name: "p3".into(),
                 targets: None,
+                deadline_ms: None,
             }
             .to_line(),
         );
@@ -1251,6 +1792,7 @@ mod tests {
             &Request::Verify {
                 name: "p2".into(),
                 targets: None,
+                deadline_ms: None,
             }
             .to_line(),
         );
@@ -1314,6 +1856,7 @@ mod tests {
                 &Request::Verify {
                     name: name.into(),
                     targets: None,
+                    deadline_ms: None,
                 }
                 .to_line(),
             );
@@ -1356,6 +1899,7 @@ mod tests {
             &Request::Verify {
                 name: "p".into(),
                 targets: None,
+                deadline_ms: None,
             }
             .to_line(),
         );
@@ -1368,5 +1912,331 @@ mod tests {
         let (resp, shutdown) = server.handle_line(&Request::Shutdown.to_line());
         assert!(shutdown);
         assert!(resp.contains("\"shutdown\":true"));
+    }
+
+    /// Failpoints are process-global; the tests that arm one (or could
+    /// trip an armed one via an installed cancel token) serialise here.
+    static FAILPOINT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn expired_deadline_returns_unknowns_and_daemon_stays_responsive() {
+        let _guard = FAILPOINT_LOCK.lock().unwrap();
+        let mut server = Server::new(VerifyOptions::default());
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "cccnot".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&load), "{load}");
+
+        // A zero budget is already expired at sweep entry: every target
+        // must come back as a structured unknown, never a fake verdict.
+        let bounded = handle(
+            &mut server,
+            &Request::Verify {
+                name: "cccnot".into(),
+                targets: None,
+                deadline_ms: Some(0),
+            }
+            .to_line(),
+        );
+        assert!(ok(&bounded), "{bounded}");
+        assert_eq!(bounded.get("all_safe").and_then(Json::as_bool), Some(false));
+        let verdicts = bounded.get("verdicts").and_then(Json::as_arr).unwrap();
+        assert!(!verdicts.is_empty());
+        for v in verdicts {
+            assert_eq!(v.get("verdict").and_then(Json::as_str), Some("unknown"));
+            assert_eq!(v.get("safe").and_then(Json::as_bool), Some(false));
+            assert!(v.get("reason").and_then(Json::as_str).is_some(), "{v}");
+            assert!(v.get("witness").is_none(), "an unknown carries no witness");
+        }
+        assert_eq!(
+            bounded.get("unknowns").and_then(Json::as_usize),
+            Some(verdicts.len())
+        );
+
+        // The session survived the interruption: an unbounded re-verify
+        // on the same warm session reaches the true verdict.
+        let full = handle(
+            &mut server,
+            &Request::Verify {
+                name: "cccnot".into(),
+                targets: None,
+                deadline_ms: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&full), "{full}");
+        assert_eq!(full.get("all_safe").and_then(Json::as_bool), Some(true));
+        assert_eq!(full.get("unknowns").and_then(Json::as_usize), Some(0));
+    }
+
+    #[test]
+    fn default_deadline_applies_when_request_has_none() {
+        let _guard = FAILPOINT_LOCK.lock().unwrap();
+        let mut server = Server::with_limits(
+            VerifyOptions::default(),
+            ServerLimits {
+                default_deadline: Some(Duration::ZERO),
+                ..ServerLimits::default()
+            },
+        );
+        handle(
+            &mut server,
+            &Request::Load {
+                name: "p".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        let bounded = handle(
+            &mut server,
+            &Request::Verify {
+                name: "p".into(),
+                targets: None,
+                deadline_ms: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&bounded), "{bounded}");
+        assert!(bounded.get("unknowns").and_then(Json::as_usize) > Some(0));
+        let status = handle(&mut server, &Request::Status.to_line());
+        assert_eq!(
+            status.get("default_deadline_ms").and_then(Json::as_i64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn panicking_session_is_quarantined_and_rebuilt() {
+        let _guard = FAILPOINT_LOCK.lock().unwrap();
+        let mut server = Server::new(VerifyOptions::default());
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "cccnot".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&load));
+
+        // Arm a one-shot panic on the cancellation-injection site (it is
+        // polled once per target when a token is installed, so a bounded
+        // verify deterministically reaches it).
+        qb_testutil::failpoints::arm(
+            "spurious_cancel",
+            qb_testutil::failpoints::Action::Panic,
+            Some(1),
+        );
+        let poisoned = handle(
+            &mut server,
+            &Request::Verify {
+                name: "cccnot".into(),
+                targets: None,
+                deadline_ms: Some(60_000),
+            }
+            .to_line(),
+        );
+        qb_testutil::failpoints::clear("spurious_cancel");
+        assert!(!ok(&poisoned), "{poisoned}");
+        assert_eq!(
+            poisoned.get("code").and_then(Json::as_str),
+            Some("internal_error")
+        );
+        assert_eq!(
+            poisoned.get("quarantined").and_then(Json::as_str),
+            Some("cccnot")
+        );
+        assert_eq!(poisoned.get("rebuilt").and_then(Json::as_bool), Some(true));
+        assert_eq!(server.quarantined_sessions(), 1);
+
+        // The rebuilt session answers correctly and the daemon never
+        // stopped serving.
+        let verify = handle(
+            &mut server,
+            &Request::Verify {
+                name: "cccnot".into(),
+                targets: None,
+                deadline_ms: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&verify), "{verify}");
+        assert_eq!(verify.get("all_safe").and_then(Json::as_bool), Some(true));
+    }
+
+    fn temp_state_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("qb-serve-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn snapshot_restores_programs_backends_and_auto_winners() {
+        let dir = temp_state_dir("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut first = Server::new(VerifyOptions::default());
+        first.set_state_dir(Some(dir.clone()));
+        let load = handle(
+            &mut first,
+            &Request::Load {
+                name: "cccnot".into(),
+                source: GOOD.into(),
+                backend: Some("auto".into()),
+            }
+            .to_line(),
+        );
+        assert!(ok(&load), "{load}");
+        // Learn the auto winner, then edit to the broken source: the
+        // snapshot must retain the *post-edit* program.
+        let verify = handle(
+            &mut first,
+            &Request::Verify {
+                name: "cccnot".into(),
+                targets: None,
+                deadline_ms: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&verify));
+        let learned = verify
+            .get("auto_preference")
+            .and_then(Json::as_str)
+            .map(String::from)
+            .unwrap();
+        let edit = handle(
+            &mut first,
+            &Request::Edit {
+                name: "cccnot".into(),
+                source: BROKEN.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&edit), "{edit}");
+        drop(first); // crash stand-in: nothing flushed at drop
+
+        let mut second = Server::new(VerifyOptions::default());
+        second.set_state_dir(Some(dir.clone()));
+        assert_eq!(second.restore_state(), 1);
+        let status = handle(&mut second, &Request::Status.to_line());
+        let programs = status.get("programs").and_then(Json::as_arr).unwrap();
+        assert_eq!(programs.len(), 1);
+        assert_eq!(
+            programs[0].get("name").and_then(Json::as_str),
+            Some("cccnot")
+        );
+        assert_eq!(
+            programs[0].get("backend").and_then(Json::as_str),
+            Some("auto")
+        );
+        if learned != "undecided" {
+            assert!(
+                status.get("auto_winners_remembered").and_then(Json::as_i64) > Some(0),
+                "learned winner {learned:?} survives the restart: {status}"
+            );
+        }
+        // The restored session re-verifies the edited program to the
+        // same verdict the pre-crash daemon held.
+        let verify = handle(
+            &mut second,
+            &Request::Verify {
+                name: "cccnot".into(),
+                targets: None,
+                deadline_ms: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&verify), "{verify}");
+        assert_eq!(verify.get("all_safe").and_then(Json::as_bool), Some(false));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_snapshot_is_rejected_and_daemon_starts_cold() {
+        let dir = temp_state_dir("torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut first = Server::new(VerifyOptions::default());
+        first.set_state_dir(Some(dir.clone()));
+        let load = handle(
+            &mut first,
+            &Request::Load {
+                name: "p".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&load));
+        drop(first);
+
+        // Tear the snapshot mid-file, as a crash during a non-atomic
+        // write would; the checksum (or the missing line) must reject it.
+        let path = dir.join(STATE_FILE);
+        let data = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() / 2]).unwrap();
+
+        let mut second = Server::new(VerifyOptions::default());
+        second.set_state_dir(Some(dir.clone()));
+        assert_eq!(second.restore_state(), 0);
+        assert_eq!(second.loaded_sessions(), 0);
+        // Cold but healthy: a fresh load and snapshot cycle works.
+        let load = handle(
+            &mut second,
+            &Request::Load {
+                name: "p".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&load));
+        let mut third = Server::new(VerifyOptions::default());
+        third.set_state_dir(Some(dir.clone()));
+        assert_eq!(third.restore_state(), 1, "the rewritten snapshot is whole");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_write_failure_is_not_fatal() {
+        let _guard = FAILPOINT_LOCK.lock().unwrap();
+        let dir = temp_state_dir("failpoint");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut server = Server::new(VerifyOptions::default());
+        server.set_state_dir(Some(dir.clone()));
+        qb_testutil::failpoints::arm(
+            "snapshot_write",
+            qb_testutil::failpoints::Action::Error,
+            Some(1),
+        );
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "p".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        qb_testutil::failpoints::clear("snapshot_write");
+        assert!(ok(&load), "a failed snapshot write must not fail the load");
+        assert!(!dir.join(STATE_FILE).exists());
+        // The state stayed dirty, so the very next request retries the
+        // write — and this one succeeds.
+        let status = handle(&mut server, &Request::Status.to_line());
+        assert_eq!(
+            status.get("snapshot_failures").and_then(Json::as_i64),
+            Some(1)
+        );
+        assert!(dir.join(STATE_FILE).exists());
+        let mut second = Server::new(VerifyOptions::default());
+        second.set_state_dir(Some(dir.clone()));
+        assert_eq!(second.restore_state(), 1, "nothing was lost to the fault");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -40,7 +40,7 @@
 //! let response = Json::parse(&response).unwrap();
 //! assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
 //!
-//! let verify = Request::Verify { name: "demo".into(), targets: None };
+//! let verify = Request::Verify { name: "demo".into(), targets: None, deadline_ms: None };
 //! let (response, _) = server.handle_line(&verify.to_line());
 //! let response = Json::parse(&response).unwrap();
 //! assert_eq!(response.get("all_safe").and_then(Json::as_bool), Some(true));
@@ -54,4 +54,4 @@ mod protocol;
 pub use client::Client;
 pub use daemon::{run, ServeOptions, Server, ServerLimits};
 pub use json::Json;
-pub use protocol::{error_response, Request};
+pub use protocol::{coded_error_response, error_response, Request};

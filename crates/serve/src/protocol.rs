@@ -9,7 +9,7 @@
 //! | cmd | members | effect |
 //! |-----|---------|--------|
 //! | `load` | `name`, `source`, optional `backend` | elaborate + create/reuse a warm session |
-//! | `verify` | `name`, optional `targets` | decide conditions on the warm session |
+//! | `verify` | `name`, optional `targets`, optional `deadline_ms` | decide conditions on the warm session |
 //! | `edit` | `name`, `source`, optional `backend` | diff against the cached circuit, re-verify incrementally |
 //! | `status` | — | list loaded programs and session statistics |
 //! | `unload` | `name` | drop a program (and its session if unaliased) |
@@ -43,6 +43,11 @@ pub enum Request {
         name: String,
         /// Optional explicit target qubits.
         targets: Option<Vec<usize>>,
+        /// Wall-clock budget for the sweep in milliseconds (`None` = the
+        /// daemon's default deadline, unbounded unless configured).
+        /// Targets the budget does not reach come back with
+        /// `"verdict":"unknown"` instead of stalling the daemon.
+        deadline_ms: Option<u64>,
     },
     /// Re-submit an edited source for incremental re-verification.
     Edit {
@@ -121,9 +126,18 @@ impl Request {
                         Some(out)
                     }
                 };
+                let deadline_ms = match v.get("deadline_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(d) => Some(
+                        d.as_usize()
+                            .ok_or("\"deadline_ms\" must be a non-negative integer")?
+                            as u64,
+                    ),
+                };
                 Ok(Request::Verify {
                     name: name(&v)?,
                     targets,
+                    deadline_ms,
                 })
             }
             "edit" => Ok(Request::Edit {
@@ -156,7 +170,11 @@ impl Request {
                 }
                 Json::obj(pairs)
             }
-            Request::Verify { name, targets } => {
+            Request::Verify {
+                name,
+                targets,
+                deadline_ms,
+            } => {
                 let mut pairs = vec![
                     ("cmd", Json::Str("verify".into())),
                     ("name", Json::Str(name.clone())),
@@ -166,6 +184,9 @@ impl Request {
                         "targets",
                         Json::Arr(targets.iter().map(|&t| Json::Int(t as i64)).collect()),
                     ));
+                }
+                if let Some(ms) = deadline_ms {
+                    pairs.push(("deadline_ms", Json::Int(*ms as i64)));
                 }
                 Json::obj(pairs)
             }
@@ -203,6 +224,18 @@ pub fn error_response(message: &str) -> Json {
     ])
 }
 
+/// Builds an `ok:false` response carrying a machine-readable `code`
+/// (`"not_loaded"`, `"oversized"`, `"invalid_utf8"`, `"internal_error"`)
+/// so clients can branch on the failure class instead of matching
+/// message text.
+pub fn coded_error_response(message: &str, code: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+        ("code", Json::Str(code.to_string())),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,10 +256,17 @@ mod tests {
             Request::Verify {
                 name: "adder".into(),
                 targets: None,
+                deadline_ms: None,
             },
             Request::Verify {
                 name: "adder".into(),
                 targets: Some(vec![3, 1, 4]),
+                deadline_ms: None,
+            },
+            Request::Verify {
+                name: "adder".into(),
+                targets: None,
+                deadline_ms: Some(250),
             },
             Request::Edit {
                 name: "adder".into(),
@@ -259,6 +299,8 @@ mod tests {
         assert!(Request::parse(r#"{"cmd":"warp"}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"verify","name":"x","targets":[-1]}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"verify","name":"x","targets":"all"}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"verify","name":"x","deadline_ms":"fast"}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"verify","name":"x","deadline_ms":-5}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"load","name":"x","source":"","backend":7}"#).is_err());
     }
 }

@@ -1,0 +1,257 @@
+//! Named failpoints for fault-injection testing.
+//!
+//! Production code marks the places where real deployments fail —
+//! snapshot writes, arena GC, solver compaction, cancellation checks —
+//! with [`hit`] calls naming the site. In normal operation a hit is a
+//! single relaxed atomic load (the registry is disarmed, nothing else
+//! runs). Tests arm sites programmatically ([`arm`]) or via the
+//! `QB_FAILPOINTS` environment variable, choosing what happens there:
+//! panic (exercising `catch_unwind` isolation), report an injected
+//! error, or fire a cancellation.
+//!
+//! Env syntax, for driving real binaries in kill-and-restart tests:
+//!
+//! ```text
+//! QB_FAILPOINTS="snapshot_write=error;arena_gc=panic:1"
+//! ```
+//!
+//! `name=action[:count]` entries separated by `;`. Actions are `panic`,
+//! `error` and `cancel`; an optional `:count` limits how many hits
+//! trigger before the site disarms itself (absent = every hit).
+//!
+//! # Examples
+//!
+//! ```
+//! use qb_testutil::failpoints;
+//!
+//! assert!(!failpoints::should_fail("demo_site"));
+//! failpoints::arm("demo_site", failpoints::Action::Error, Some(1));
+//! assert!(failpoints::should_fail("demo_site")); // fires once...
+//! assert!(!failpoints::should_fail("demo_site")); // ...then disarms
+//! failpoints::clear_all();
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// What an armed failpoint does when hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Panic at the site (tests of `catch_unwind` isolation).
+    Panic,
+    /// Report failure to the caller ([`should_fail`] returns `true`).
+    Error,
+    /// Report a spurious cancellation ([`should_cancel`] returns
+    /// `true`).
+    Cancel,
+}
+
+struct Entry {
+    action: Action,
+    /// Remaining hits before self-disarm; `None` = unlimited.
+    remaining: Option<u32>,
+}
+
+/// Fast-path gate, one relaxed load per hit. It starts [`UNKNOWN`] (not
+/// [`DISARMED`]) so the very first hit in a process initialises the
+/// registry — and thereby parses `QB_FAILPOINTS` — before deciding;
+/// otherwise an env-only arming would never be seen by a binary that
+/// never calls [`arm`].
+static STATE: AtomicU8 = AtomicU8::new(UNKNOWN);
+/// `QB_FAILPOINTS` not examined yet.
+const UNKNOWN: u8 = 0;
+/// No site armed: hits are free.
+const DISARMED: u8 = 1;
+/// At least one site armed: hits consult the registry.
+const ARMED: u8 = 2;
+
+/// Lazily parsed `QB_FAILPOINTS` + programmatic arms.
+static REGISTRY: OnceLock<Mutex<HashMap<String, Entry>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<HashMap<String, Entry>> {
+    REGISTRY.get_or_init(|| {
+        let mut map = HashMap::new();
+        if let Ok(spec) = std::env::var("QB_FAILPOINTS") {
+            for (name, entry) in parse_spec(&spec) {
+                map.insert(name, entry);
+            }
+        }
+        STATE.store(
+            if map.is_empty() { DISARMED } else { ARMED },
+            Ordering::Release,
+        );
+        Mutex::new(map)
+    })
+}
+
+fn parse_spec(spec: &str) -> Vec<(String, Entry)> {
+    let mut out = Vec::new();
+    for part in spec.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let Some((name, rest)) = part.split_once('=') else {
+            continue;
+        };
+        let (action, count) = match rest.split_once(':') {
+            Some((a, n)) => (a, n.parse::<u32>().ok()),
+            None => (rest, None),
+        };
+        let action = match action.trim() {
+            "panic" => Action::Panic,
+            "error" => Action::Error,
+            "cancel" => Action::Cancel,
+            _ => continue,
+        };
+        out.push((
+            name.trim().to_string(),
+            Entry {
+                action,
+                remaining: count,
+            },
+        ));
+    }
+    out
+}
+
+/// Arms failpoint `name` with `action`, triggering at most `count`
+/// times (`None` = every hit until cleared).
+pub fn arm(name: &str, action: Action, count: Option<u32>) {
+    let mut map = registry().lock().unwrap();
+    map.insert(
+        name.to_string(),
+        Entry {
+            action,
+            remaining: count,
+        },
+    );
+    STATE.store(ARMED, Ordering::Release);
+}
+
+/// Disarms failpoint `name`.
+pub fn clear(name: &str) {
+    let mut map = registry().lock().unwrap();
+    map.remove(name);
+    if map.is_empty() {
+        STATE.store(DISARMED, Ordering::Release);
+    }
+}
+
+/// Disarms every failpoint.
+pub fn clear_all() {
+    let mut map = registry().lock().unwrap();
+    map.clear();
+    STATE.store(DISARMED, Ordering::Release);
+}
+
+/// Consumes one hit of `name` if armed, returning its action.
+fn consume(name: &str) -> Option<Action> {
+    if STATE.load(Ordering::Relaxed) == DISARMED {
+        return None;
+    }
+    let mut map = registry().lock().unwrap();
+    let entry = map.get_mut(name)?;
+    let action = entry.action;
+    if let Some(n) = &mut entry.remaining {
+        if *n == 0 {
+            map.remove(name);
+            return None;
+        }
+        *n -= 1;
+        if *n == 0 {
+            map.remove(name);
+        }
+    }
+    if map.is_empty() {
+        // The last counted site just exhausted itself: restore the
+        // one-load fast path for the rest of the process.
+        STATE.store(DISARMED, Ordering::Release);
+    }
+    action.into()
+}
+
+/// The production-side hook: call at a failure site. Panics if the site
+/// is armed with [`Action::Panic`]; otherwise a no-op returning whether
+/// the site is armed at all (sites that only ever panic can ignore it).
+pub fn hit(name: &str) {
+    if let Some(Action::Panic) = consume(name) {
+        panic!("failpoint {name} triggered");
+    }
+}
+
+/// Like [`hit`], but for sites with an error path: returns `true` when
+/// armed with [`Action::Error`] (the caller reports an injected
+/// failure), panics on [`Action::Panic`].
+pub fn should_fail(name: &str) -> bool {
+    match consume(name) {
+        Some(Action::Panic) => panic!("failpoint {name} triggered"),
+        Some(Action::Error) => true,
+        _ => false,
+    }
+}
+
+/// For cancellation-injection sites: returns `true` when armed with
+/// [`Action::Cancel`] (the caller trips its cancellation token), panics
+/// on [`Action::Panic`].
+pub fn should_cancel(name: &str) -> bool {
+    match consume(name) {
+        Some(Action::Panic) => panic!("failpoint {name} triggered"),
+        Some(Action::Cancel) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so these tests use distinct site
+    // names and restore the disarmed state.
+
+    #[test]
+    fn disarmed_sites_do_nothing() {
+        assert!(!should_fail("fp_t1"));
+        assert!(!should_cancel("fp_t1"));
+        hit("fp_t1");
+    }
+
+    #[test]
+    fn counted_arm_self_disarms() {
+        arm("fp_t2", Action::Error, Some(2));
+        assert!(should_fail("fp_t2"));
+        assert!(should_fail("fp_t2"));
+        assert!(!should_fail("fp_t2"));
+        clear("fp_t2");
+    }
+
+    #[test]
+    fn panic_action_panics_on_hit() {
+        arm("fp_t3", Action::Panic, Some(1));
+        let result = std::panic::catch_unwind(|| hit("fp_t3"));
+        assert!(result.is_err());
+        assert!(!should_fail("fp_t3"), "count exhausted by the panic");
+        clear("fp_t3");
+    }
+
+    #[test]
+    fn cancel_action_reports_only_to_should_cancel() {
+        arm("fp_t4", Action::Cancel, None);
+        assert!(should_cancel("fp_t4"));
+        assert!(!should_fail("fp_t4"), "cancel is not an error");
+        clear("fp_t4");
+    }
+
+    #[test]
+    fn spec_parsing_accepts_the_documented_syntax() {
+        let parsed = parse_spec("snapshot_write=error;arena_gc=panic:1; bad ;x=nope");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "snapshot_write");
+        assert_eq!(parsed[0].1.action, Action::Error);
+        assert_eq!(parsed[0].1.remaining, None);
+        assert_eq!(parsed[1].0, "arena_gc");
+        assert_eq!(parsed[1].1.action, Action::Panic);
+        assert_eq!(parsed[1].1.remaining, Some(1));
+    }
+}

@@ -22,6 +22,8 @@
 //! assert_eq!(Rng::new(42).next_u64(), a); // reproducible
 //! ```
 
+pub mod failpoints;
+
 /// A seedable SplitMix64 pseudo-random generator.
 #[derive(Debug, Clone)]
 pub struct Rng {

@@ -9,7 +9,9 @@
 //! qborrow render <file.qbr|->
 //!
 //! qborrow serve  --socket <path> [--backend ...] [--simplify ...] [--quiet]
+//!                [--default-deadline-ms N] [--state-dir <dir>]
 //! qborrow client verify <file.qbr|-> [--socket <path>] [--name <name>] [--backend <name>]
+//!                       [--deadline-ms N]
 //! qborrow client edit   <file.qbr|-> [--socket <path>] [--name <name>] [--backend <name>]
 //! qborrow client status|shutdown [--socket <path>]
 //! qborrow client unload <name> [--socket <path>]
@@ -49,8 +51,9 @@ fn usage() -> ExitCode {
          qborrow render <file.qbr|->\n  \
          qborrow serve  --socket <path> [--backend sat|anf|bdd|auto] [--simplify raw|full]\n  \
                  [--max-sessions N] [--idle-timeout-ms N] [--arena-gc-floor N]\n  \
-                 [--decision-cache N] [--quiet]\n  \
+                 [--decision-cache N] [--default-deadline-ms N] [--state-dir <dir>] [--quiet]\n  \
          qborrow client verify|edit <file.qbr|-> [--socket <path>] [--name <name>] [--backend <name>]\n  \
+                 [--deadline-ms N]\n  \
          qborrow client status|shutdown [--socket <path>]\n  \
          qborrow client unload <name> [--socket <path>]\n  \
          qborrow watch  <file.qbr> [--socket <path>] [--interval-ms N] [--backend <name>]"
@@ -291,6 +294,7 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
     let mut simplify = Simplify::Raw;
     let mut log = true;
     let mut limits = ServerLimits::default();
+    let mut state_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < flags.len() {
         match parse_backend_flag(flags, &mut i, &mut backend, &mut simplify) {
@@ -352,6 +356,25 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
                     };
                 i += 2;
             }
+            "--default-deadline-ms" => {
+                limits.default_deadline = match flags.get(i + 1).and_then(|s| s.parse::<u64>().ok())
+                {
+                    Some(ms) if ms > 0 => Some(std::time::Duration::from_millis(ms)),
+                    _ => {
+                        eprintln!("--default-deadline-ms expects a positive number");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
+            "--state-dir" => {
+                let Some(dir) = flags.get(i + 1) else {
+                    eprintln!("--state-dir expects a directory path");
+                    return usage();
+                };
+                state_dir = Some(PathBuf::from(dir));
+                i += 2;
+            }
             "--quiet" => {
                 log = false;
                 i += 1;
@@ -371,6 +394,7 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
         },
         log,
         limits,
+        state_dir,
     };
     match qborrow::serve::run(&opts) {
         Ok(()) => ExitCode::SUCCESS,
@@ -381,15 +405,23 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
     }
 }
 
-/// Parses trailing `--socket`/`--name`/`--backend` flags shared by
-/// client commands. The backend name is validated locally so a typo
-/// fails fast with exit code 2 instead of a daemon round-trip.
-fn parse_client_flags(
-    flags: &[String],
-) -> Result<(PathBuf, Option<String>, Option<String>), String> {
+/// Trailing flags shared by the `qborrow client` subcommands.
+struct ClientFlags {
+    socket: PathBuf,
+    name: Option<String>,
+    backend: Option<String>,
+    deadline_ms: Option<u64>,
+}
+
+/// Parses trailing `--socket`/`--name`/`--backend`/`--deadline-ms`
+/// flags shared by client commands. The backend name is validated
+/// locally so a typo fails fast with exit code 2 instead of a daemon
+/// round-trip.
+fn parse_client_flags(flags: &[String]) -> Result<ClientFlags, String> {
     let mut socket = default_socket();
     let mut name = None;
     let mut backend = None;
+    let mut deadline_ms = None;
     let mut i = 0;
     while i < flags.len() {
         match flags[i].as_str() {
@@ -427,14 +459,28 @@ fn parse_client_flags(
                 backend = Some(value.to_string());
                 i += 2;
             }
+            "--deadline-ms" => {
+                deadline_ms = match flags.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(ms) if ms > 0 => Some(ms),
+                    _ => return Err("--deadline-ms expects a positive number".into()),
+                };
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok((socket, name, backend))
+    Ok(ClientFlags {
+        socket,
+        name,
+        backend,
+        deadline_ms,
+    })
 }
 
+/// Connects with a short retry window so one-shot client commands ride
+/// out a daemon restart instead of failing into its downtime.
 fn connect(socket: &PathBuf) -> Result<Client, ExitCode> {
-    Client::connect(socket).map_err(|e| {
+    Client::connect_with_retry(socket, 5, std::time::Duration::from_millis(25)).map_err(|e| {
         eprintln!(
             "qborrow client: cannot reach daemon at {} ({e}); start one with \
              `qborrow serve --socket {}`",
@@ -470,6 +516,12 @@ fn print_verify_response(label: &str, response: &Json) -> bool {
         let name = v.get("name").and_then(Json::as_str).unwrap_or("?");
         if v.get("safe").and_then(Json::as_bool) == Some(true) {
             println!("  {name:<8} SAFE");
+        } else if v.get("verdict").and_then(Json::as_str) == Some("unknown") {
+            let reason = v
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("interrupted");
+            println!("  {name:<8} UNKNOWN ({reason}; re-run without --deadline-ms to decide)");
         } else {
             let violation = v
                 .get("violation")
@@ -483,13 +535,19 @@ fn print_verify_response(label: &str, response: &Json) -> bool {
         .iter()
         .filter(|v| v.get("safe").and_then(Json::as_bool) == Some(true))
         .count();
+    let unknown = response.get("unknowns").and_then(Json::as_i64).unwrap_or(0);
     let solve_ms = response
         .get("solve_ns")
         .and_then(Json::as_i64)
         .map(|ns| ns as f64 / 1e6)
         .unwrap_or(0.0);
+    let unknown_note = if unknown > 0 {
+        format!(" ({unknown} unknown: deadline expired)")
+    } else {
+        String::new()
+    };
     println!(
-        "{label}: {safe}/{} dirty qubits safe | daemon solve {solve_ms:.2}ms",
+        "{label}: {safe}/{} dirty qubits safe{unknown_note} | daemon solve {solve_ms:.2}ms",
         verdicts.len()
     );
     all_safe
@@ -541,7 +599,12 @@ fn cmd_client(args: &[String]) -> ExitCode {
         )
     };
     let flags: Vec<String> = flags.into_iter().cloned().collect();
-    let (socket, name, backend) = match parse_client_flags(&flags) {
+    let ClientFlags {
+        socket,
+        name,
+        backend,
+        deadline_ms,
+    } = match parse_client_flags(&flags) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("{e}");
@@ -578,7 +641,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
                         return Ok(ExitCode::from(EXIT_BAD_INPUT));
                     }
                     let reused = response.get("reused").and_then(Json::as_bool) == Some(true);
-                    let response = client.verify(&name, None)?;
+                    let response = client.verify_with_deadline(&name, None, deadline_ms)?;
                     if print_error(&response) {
                         return Ok(ExitCode::FAILURE);
                     }
@@ -767,7 +830,10 @@ fn cmd_watch(args: &[String]) -> ExitCode {
     };
 
     // Initial load + verify. A fresh connection per round keeps the
-    // single-connection daemon available to other clients in between.
+    // single-connection daemon available to other clients in between,
+    // and the retrying connect rides out a daemon restart (the socket
+    // vanishes for the restart window, then a retry lands on the fresh
+    // listener and the `not_loaded` fallback below re-loads).
     let run_round = |first: bool| -> std::io::Result<()> {
         let source = match read_source(path) {
             Ok(s) => s,
@@ -776,7 +842,8 @@ fn cmd_watch(args: &[String]) -> ExitCode {
                 return Ok(());
             }
         };
-        let mut client = Client::connect(&socket)?;
+        let mut client =
+            Client::connect_with_retry(&socket, 8, std::time::Duration::from_millis(50))?;
         let backend = backend.as_deref();
         let response = if first {
             client.load_with(path, &source, backend)?
@@ -808,16 +875,23 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let mut last = stamp(path);
+    // A failed round (daemon crashed mid-request, restart outlasting the
+    // connect retries) is retried on the next poll tick even without a
+    // file change, so watch survives daemon downtime of any length.
+    let mut pending = false;
     eprintln!("watching {path} (every {interval_ms}ms; Ctrl-C to stop)");
     loop {
         std::thread::sleep(std::time::Duration::from_millis(interval_ms));
         let now = stamp(path);
-        if now != last {
+        if now != last || pending {
             last = now;
-            if let Err(e) = run_round(false) {
-                eprintln!("qborrow watch: daemon unreachable ({e}); stopping");
-                return ExitCode::FAILURE;
-            }
+            pending = match run_round(false) {
+                Ok(()) => false,
+                Err(e) => {
+                    eprintln!("qborrow watch: daemon unreachable ({e}); retrying");
+                    true
+                }
+            };
         }
     }
 }

@@ -9,7 +9,8 @@
 use qb_testutil::Rng;
 use qborrow::circuit::Circuit;
 use qborrow::core::{
-    verify_circuit_fresh, BackendKind, InitialValue, VerifyOptions, VerifySession,
+    verify_circuit_fresh, BackendKind, CancelToken, InitialValue, VerifyLimits, VerifyOptions,
+    VerifySession,
 };
 use qborrow::lang::{adder_source, elaborate, parse, QubitKind};
 use qborrow::serve::{run, Client, Json, ServeOptions, ServerLimits};
@@ -233,6 +234,142 @@ fn cross_backend_soak_bdd_anf_auto_stay_exact_and_bounded() {
             BackendKind::Sat => unreachable!(),
         }
     }
+}
+
+/// Cancellation-soundness soak: 100 random edit cycles where every
+/// bounded sweep gets an interruption injected a different way — a
+/// pre-cancelled token, an already-expired deadline, a tiny per-solve
+/// conflict budget, or the `spurious_cancel` failpoint firing mid-sweep.
+/// The contract under test: a bounded sweep never returns a *wrong*
+/// verdict (completed verdicts equal the fresh-pipeline oracle, the rest
+/// come back [`Verdict::Unknown`]), and the same session then re-runs
+/// unlimited to the exact oracle verdicts — an interrupt never poisons
+/// warm state.
+#[test]
+fn cancellation_soak_interrupted_sweeps_never_lie() {
+    use qb_testutil::failpoints::{self, Action};
+    use qborrow::core::Verdict;
+
+    const N: usize = 4;
+    const CYCLES: usize = 100;
+
+    let mut rng = Rng::new(0x50A1_0003);
+    let opts = VerifyOptions::default();
+    let initial = vec![InitialValue::Free; N];
+    let targets: Vec<usize> = (0..N).collect();
+    let base = {
+        let mut c = Circuit::new(N);
+        c.toffoli(0, 1, 2).cnot(2, 3);
+        c
+    };
+    let mut session = VerifySession::new(&base, &initial, &opts).expect("session builds");
+
+    let mut total_unknowns = 0usize;
+    for cycle in 0..CYCLES {
+        let mut edited = Circuit::new(N);
+        edited.toffoli(0, 1, 2).cnot(2, 3);
+        for _ in 0..rng.gen_below(5) {
+            match rng.gen_below(3) {
+                0 => {
+                    edited.x(rng.gen_below(N));
+                }
+                1 => {
+                    let (c, t) = rng.gen_distinct2(N);
+                    edited.cnot(c, t);
+                }
+                _ => {
+                    let (c1, c2, t) = rng.gen_distinct3(N);
+                    edited.toffoli(c1, c2, t);
+                }
+            }
+        }
+        session.apply_edit(&edited).expect("edit applies");
+        let oracle = verify_circuit_fresh(&edited, &initial, &targets, &opts)
+            .expect("fresh sweep")
+            .verdicts;
+
+        let limits = match rng.gen_below(4) {
+            0 => {
+                // Cancelled before the sweep even starts (a client gone
+                // away): every target must come back Unknown.
+                let token = CancelToken::default();
+                token.cancel();
+                VerifyLimits {
+                    token: Some(token),
+                    ..VerifyLimits::default()
+                }
+            }
+            1 => VerifyLimits {
+                deadline: Some(Duration::ZERO),
+                ..VerifyLimits::default()
+            },
+            2 => VerifyLimits {
+                conflict_budget: Some(rng.gen_below(3) as u64),
+                ..VerifyLimits::default()
+            },
+            _ => {
+                // Mid-sweep cancellation: the failpoint cancels the
+                // installed token when the second target is checked.
+                failpoints::arm("spurious_cancel", Action::Cancel, Some(1));
+                VerifyLimits {
+                    deadline: Some(Duration::from_secs(600)),
+                    ..VerifyLimits::default()
+                }
+            }
+        };
+        let bounded = session
+            .verify_targets_limited(&targets, &limits)
+            .expect("bounded sweep returns, never errors on exhaustion");
+        failpoints::clear("spurious_cancel");
+        assert_eq!(bounded.len(), targets.len(), "cycle {cycle}");
+        for (b, o) in bounded.iter().zip(&oracle) {
+            assert_eq!(b.qubit, o.qubit, "cycle {cycle}");
+            if b.verdict.is_unknown() {
+                total_unknowns += 1;
+                assert!(!b.safe, "cycle {cycle}: Unknown is never reported safe");
+                assert!(
+                    matches!(&b.verdict, Verdict::Unknown { reason }
+                        if ["deadline", "budget", "cancelled"].contains(&reason.as_str())),
+                    "cycle {cycle}: structured reason, got {:?}",
+                    b.verdict
+                );
+            } else {
+                assert_eq!(
+                    b.safe, o.safe,
+                    "cycle {cycle}, qubit {}: a completed verdict under limits \
+                     must equal the oracle",
+                    b.qubit
+                );
+            }
+        }
+
+        // The interrupted session re-runs unlimited to the oracle.
+        let rerun = session.verify_targets(&targets).expect("unlimited re-run");
+        for (r, o) in rerun.iter().zip(&oracle) {
+            assert!(!r.verdict.is_unknown(), "cycle {cycle}: unlimited decides");
+            assert_eq!(
+                r.safe, o.safe,
+                "cycle {cycle}, qubit {}: re-run matches oracle",
+                r.qubit
+            );
+            assert_eq!(
+                r.counterexample.as_ref().map(|ce| ce.violation),
+                o.counterexample.as_ref().map(|ce| ce.violation),
+                "cycle {cycle}, qubit {}",
+                r.qubit
+            );
+        }
+    }
+
+    assert!(
+        total_unknowns > 0,
+        "the injection modes must actually interrupt some sweeps"
+    );
+    let stats = session.stats();
+    assert!(
+        stats.interrupts > 0,
+        "interrupt accounting survives the soak: {stats:?}"
+    );
 }
 
 // ---- daemon-socket soak --------------------------------------------------

@@ -296,6 +296,7 @@ pub struct BddManager {
     node_budget: usize,
     collections: u64,
     nodes_collected: u64,
+    applies: u64,
 }
 
 impl Default for BddManager {
@@ -329,6 +330,7 @@ impl BddManager {
             node_budget: node_budget.max(2),
             collections: 0,
             nodes_collected: 0,
+            applies: 0,
         }
     }
 
@@ -371,6 +373,12 @@ impl BddManager {
     /// Computed-table entries dropped by LRU eviction.
     pub fn computed_evictions(&self) -> u64 {
         self.cache.evictions
+    }
+
+    /// Apply steps (including recursive cofactor expansions) performed
+    /// over the manager's lifetime.
+    pub fn applies(&self) -> u64 {
+        self.applies
     }
 
     /// The terminal edge for `b`.
@@ -467,6 +475,7 @@ impl BddManager {
     ///
     /// Returns [`BddOverflow`] past the node budget.
     pub fn and(&mut self, a: BddRef, b: BddRef) -> Result<BddRef, BddOverflow> {
+        self.applies += 1;
         if a.is_true() {
             return Ok(b);
         }
@@ -504,6 +513,7 @@ impl BddManager {
     ///
     /// Returns [`BddOverflow`] past the node budget.
     pub fn xor(&mut self, a: BddRef, b: BddRef) -> Result<BddRef, BddOverflow> {
+        self.applies += 1;
         // XOR commutes with complement: strip both complements onto the
         // result parity, then memoise on the regular pair.
         let parity = a.is_complemented() ^ b.is_complemented();
@@ -917,6 +927,8 @@ impl BddSession {
         arena: &Arena,
         roots: &[FormulaId],
     ) -> Result<Vec<BddRef>, BddBuildError> {
+        let _span = qb_obs::span("bdd.build", "");
+        let (hits0, misses0, applies0) = (self.hits, self.misses, self.manager.applies());
         // Frontier traversal: descend only into nodes without a memoised
         // translation.
         let mut visited = vec![false; arena.len()];
@@ -952,6 +964,7 @@ impl BddSession {
             if let Some(token) = &self.cancel {
                 if token.should_stop(0, 0) {
                     self.rollback_fresh(&fresh, id);
+                    self.flush_build_metrics(hits0, misses0, applies0, "interrupted");
                     return Err(BddBuildError::Interrupted);
                 }
             }
@@ -985,6 +998,7 @@ impl BddSession {
                 Ok(bdd) => bdd,
                 Err(overflow) => {
                     self.rollback_fresh(&fresh, id);
+                    self.flush_build_metrics(hits0, misses0, applies0, "overflow");
                     return Err(BddBuildError::Overflow(overflow));
                 }
             };
@@ -1001,7 +1015,20 @@ impl BddSession {
         }
         let out = roots.iter().map(|r| self.cache[r].bdd).collect();
         self.evict_over_capacity();
+        self.flush_build_metrics(hits0, misses0, applies0, "ok");
         Ok(out)
+    }
+
+    /// Publishes one build call's translation-cache and apply-step
+    /// deltas to the global metrics registry; aborted builds are counted
+    /// by outcome so overflow storms show up on the metrics surface.
+    fn flush_build_metrics(&self, hits0: u64, misses0: u64, applies0: u64, outcome: &'static str) {
+        qb_obs::counter_add("bdd_cache", "hit", self.hits - hits0);
+        qb_obs::counter_add("bdd_cache", "miss", self.misses - misses0);
+        qb_obs::counter_add("bdd_applies", "", self.manager.applies() - applies0);
+        if outcome != "ok" {
+            qb_obs::counter_add("bdd_build_aborts", outcome, 1);
+        }
     }
 
     /// Rolls back a failed [`BddSession::build`] call: entries inserted
@@ -1047,6 +1074,8 @@ impl BddSession {
 
     /// Unconditionally collects the manager and remaps the cache.
     pub fn force_gc(&mut self) {
+        let _span = qb_obs::span("bdd.gc", "");
+        qb_obs::counter_add("bdd_gc", "collect", 1);
         let remap = self.manager.collect();
         for entry in self.cache.values_mut() {
             entry.bdd = remap

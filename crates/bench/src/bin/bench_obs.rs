@@ -1,0 +1,212 @@
+//! The observability harness: proves tracing costs nothing when off and
+//! reports where verification time goes when on.
+//!
+//! Usage: `cargo run --release -p qb-bench --bin bench_obs
+//! [mode] [out.json] [samples]` with `mode` one of
+//!
+//! * `smoke` — CI-sized: adder-16 sweeps.
+//! * `full`  — adder-64 sweeps (default).
+//!
+//! **The disabled-overhead gate.** Instrumented hot paths pay one
+//! relaxed atomic load per span site when tracing is off; this harness
+//! gates that the cost stays invisible end-to-end. Three arms are
+//! interleaved sample by sample so machine noise cancels out of the
+//! ratio (the same reasoning as `bench_pr5`'s in-process A/B):
+//!
+//! 1. `disabled_before` — tracing off, fresh session + full SAT sweep;
+//! 2. `traced` — the same sweep with span recording on, spans drained
+//!    and rendered to a Chrome trace after each run;
+//! 3. `disabled_after` — tracing off again, after the enable cycle.
+//!
+//! The gate compares minima: `min(disabled_after) <= 1.05 *
+//! min(disabled_before)`. A regression here means a span site started
+//! doing work while disabled (an allocation, a lock, a stray label
+//! `format!`). The traced arm's overhead is reported but not gated —
+//! recording real spans legitimately costs a few percent.
+//!
+//! The JSON also carries the traced run's per-phase breakdown (span
+//! name -> count and total nanoseconds) and the per-phase solver
+//! counters left in the metrics registry, the same numbers `qborrow
+//! verify --stats-json` and the daemon's `metrics` request expose.
+
+use qb_core::{BackendKind, GenericVerifySession, InitialValue, VerifyOptions};
+use qb_formula::Simplify;
+use qb_lang::QubitKind;
+use qb_sat::Solver;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Residual cost allowed in disabled mode after an enable cycle.
+const GATE_DISABLED_OVERHEAD: f64 = 1.05;
+
+struct Workload {
+    circuit: qb_circuit::Circuit,
+    initial: Vec<InitialValue>,
+    targets: Vec<usize>,
+}
+
+fn workload(program: qb_lang::ElaboratedProgram) -> Workload {
+    let initial: Vec<InitialValue> = (0..program.num_qubits())
+        .map(|q| match program.qubit_kinds[q] {
+            QubitKind::Clean => InitialValue::Zero,
+            _ => InitialValue::Free,
+        })
+        .collect();
+    let targets = program.qubits_to_verify();
+    Workload {
+        circuit: program.circuit,
+        initial,
+        targets,
+    }
+}
+
+/// One fresh-session SAT sweep; returns its wall time.
+fn sweep(w: &Workload) -> Duration {
+    let opts = VerifyOptions {
+        backend: BackendKind::Sat,
+        simplify: Simplify::Raw,
+        ..VerifyOptions::default()
+    };
+    let t0 = Instant::now();
+    let mut session =
+        GenericVerifySession::<Solver>::new(&w.circuit, &w.initial, &opts).expect("session builds");
+    let verdicts = session.verify_targets(&w.targets).expect("sweep completes");
+    assert!(verdicts.iter().all(|v| v.safe), "workload must be all-safe");
+    t0.elapsed()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("full")
+        .to_string();
+    let out_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_OBS.json".to_string());
+    let samples: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5).max(3);
+
+    let bits = if mode == "smoke" { 16 } else { 64 };
+    let w = workload(qb_bench::adder_program(bits));
+    eprintln!("bench_obs ({mode}): adder-{bits} SAT sweep, {samples} interleaved samples per arm");
+
+    qb_obs::set_enabled(false);
+    let _ = qb_obs::take_all_spans();
+    qb_obs::reset_metrics();
+
+    let mut disabled_before = Duration::MAX;
+    let mut traced = Duration::MAX;
+    let mut disabled_after = Duration::MAX;
+    // The traced arm's spans from the best run, for the breakdown.
+    let mut phase_totals: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    let mut trace_events = 0usize;
+    for s in 0..samples {
+        let before = sweep(&w);
+        disabled_before = disabled_before.min(before);
+
+        qb_obs::set_enabled(true);
+        let on = sweep(&w);
+        qb_obs::set_enabled(false);
+        let spans = qb_obs::take_all_spans();
+        // Smoke the exporter on every traced run: one B and one E mark
+        // per completed span, by construction.
+        let trace = qb_obs::chrome_trace(&spans);
+        assert_eq!(
+            trace.matches("\"ph\":\"B\"").count(),
+            trace.matches("\"ph\":\"E\"").count(),
+            "unbalanced trace"
+        );
+        if on < traced {
+            traced = on;
+            trace_events = 2 * spans.len();
+            phase_totals.clear();
+            for span in &spans {
+                let slot = phase_totals.entry(span.name).or_insert((0, 0));
+                slot.0 += 1;
+                slot.1 += span.dur_ns;
+            }
+        }
+
+        let after = sweep(&w);
+        disabled_after = disabled_after.min(after);
+        eprintln!(
+            "  sample {}/{samples}: disabled {:>9.3?}  traced {:>9.3?}  disabled-again {:>9.3?}",
+            s + 1,
+            before,
+            on,
+            after,
+        );
+    }
+
+    let overhead_disabled =
+        disabled_after.as_nanos() as f64 / disabled_before.as_nanos().max(1) as f64;
+    let overhead_traced = traced.as_nanos() as f64 / disabled_before.as_nanos().max(1) as f64;
+    eprintln!(
+        "disabled-after/before {overhead_disabled:.3}x (gate <= {GATE_DISABLED_OVERHEAD}), \
+         traced/disabled {overhead_traced:.3}x (reported only)"
+    );
+
+    // --- JSON ---
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"benchmark\": \"observability_overhead\",\n  \"mode\": \"{mode}\",\n  \
+         \"workload\": \"adder-{bits} SAT raw sweep\",\n  \"samples\": {samples},\n  \
+         \"disabled_before_ns\": {},\n  \"traced_ns\": {},\n  \"disabled_after_ns\": {},\n  \
+         \"disabled_overhead\": {overhead_disabled:.4},\n  \
+         \"traced_overhead\": {overhead_traced:.4},\n  \
+         \"gate_disabled_overhead\": {GATE_DISABLED_OVERHEAD},\n  \
+         \"trace_events\": {trace_events},\n",
+        disabled_before.as_nanos(),
+        traced.as_nanos(),
+        disabled_after.as_nanos(),
+    );
+    out.push_str("  \"phases\": [\n");
+    for (i, (name, (count, total_ns))) in phase_totals.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"phase\": \"{name}\", \"count\": {count}, \"total_ns\": {total_ns} }}{}",
+            if i + 1 < phase_totals.len() {
+                ",\n"
+            } else {
+                "\n"
+            }
+        );
+    }
+    out.push_str("  ],\n  \"counters\": [\n");
+    let snapshot = qb_obs::metrics_snapshot();
+    for (i, (name, label, value)) in snapshot.counters.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"name\": \"{name}\", \"label\": \"{label}\", \"value\": {value} }}{}",
+            if i + 1 < snapshot.counters.len() {
+                ",\n"
+            } else {
+                "\n"
+            }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &out).expect("write benchmark JSON");
+    eprintln!("-> {out_path}");
+
+    // --- gates ---
+    assert!(
+        !phase_totals.is_empty(),
+        "traced sweep must record spans (sweep/target/root/backend)"
+    );
+    assert!(
+        phase_totals.contains_key("sweep") && phase_totals.contains_key("target"),
+        "span hierarchy is missing its top levels: {:?}",
+        phase_totals.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        overhead_disabled <= GATE_DISABLED_OVERHEAD,
+        "acceptance: disabled-mode verification must stay within \
+         {GATE_DISABLED_OVERHEAD}x after an enable->trace->disable cycle \
+         (got {overhead_disabled:.3}x: before {disabled_before:?}, after {disabled_after:?})"
+    );
+}

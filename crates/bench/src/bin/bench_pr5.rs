@@ -284,7 +284,9 @@ fn row_json(out: &mut String, r: &Row) {
         out,
         "    {{\n      \"family\": \"{}\",\n      \"n\": {},\n      \"backend\": \"{}\",\n      \
          \"targets\": {},\n      \"wall_ns\": {},\n      \"construction_ns\": {},\n      \
-         \"sat_ns\": {},\n      \"bdd_ns\": {},\n      \"propagations\": {},\n      \
+         \"sat_ns\": {},\n      \"bdd_ns\": {},\n      \"encode_ns\": {},\n      \
+         \"cofactor_ns\": {},\n      \"target_p50_ns\": {},\n      \
+         \"target_p95_ns\": {},\n      \"propagations\": {},\n      \
          \"conflicts\": {},\n      \"decisions\": {},\n      \"restarts\": {},\n      \
          \"vivified_clauses\": {},\n      \"decision_hits\": {},\n      \
          \"cofactor_hits\": {},\n      \"arena_nodes\": {},\n      \
@@ -299,6 +301,10 @@ fn row_json(out: &mut String, r: &Row) {
         r.construction.as_nanos(),
         s.sat_time.as_nanos(),
         s.bdd_time.as_nanos(),
+        s.encode_time.as_nanos(),
+        s.cofactor_time.as_nanos(),
+        s.target_latency.p50(),
+        s.target_latency.p95(),
         s.solver_propagations,
         s.solver_conflicts,
         s.solver_decisions,

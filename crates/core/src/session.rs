@@ -39,6 +39,7 @@ use qb_bdd::{BddBuildError, BddSession};
 use qb_circuit::{Circuit, Gate};
 use qb_formula::{Anf, AnfCache, CnfSink, IncrementalEncoder, NodeId, Var};
 use qb_lang::{gate_common_prefix, ElaboratedProgram, QubitKind};
+use qb_obs::Histogram;
 use qb_sat::{CancelToken, CdclSolver, Lit, SatResult, SatVar, Solver};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -117,6 +118,9 @@ struct SatSession<S: CdclSolver> {
     suffix: SuffixScope,
     /// Compaction passes performed (see [`SessionStats`]).
     compactions: u64,
+    /// Cumulative CNF-encoding time (suffix re-encodes and per-query
+    /// frontier encoding; see [`SessionStats::encode_time`]).
+    encode_time: Duration,
 }
 
 /// Solver-side bookkeeping of the suffix scope.
@@ -146,6 +150,8 @@ impl<S: CdclSolver> SatSession<S> {
     /// Opens a fresh suffix scope and encodes `roots` (the current final
     /// formulas) into it, guarded by a new selector.
     fn open_suffix(&mut self, arena: &qb_formula::Arena, roots: &[NodeId]) -> usize {
+        let _span = qb_obs::span("encode", "suffix");
+        let clock = Instant::now();
         self.encoder.begin_named_scope(SUFFIX_CHECKPOINT);
         let selector = Lit::pos(self.solver.new_selector());
         let mut sink = SolverSink {
@@ -155,6 +161,7 @@ impl<S: CdclSolver> SatSession<S> {
             new_vars: Vec::new(),
         };
         self.encoder.encode_roots(arena, roots, &mut sink);
+        self.encode_time += clock.elapsed();
         let clauses = sink.clauses;
         let vars = sink.new_vars;
         self.solver.prioritize_vars(&vars);
@@ -295,6 +302,20 @@ pub struct SessionStats {
     pub bdd_time: Duration,
     /// Cumulative wall time spent inside the ANF backend.
     pub anf_time: Duration,
+    /// Cumulative CNF-encoding time inside the SAT backend (a slice of
+    /// [`SessionStats::sat_time`]).
+    pub encode_time: Duration,
+    /// Cumulative condition-construction (cofactor) time, including the
+    /// batched memo priming of multi-target sweeps.
+    pub cofactor_time: Duration,
+    /// Wall-latency histogram over completed [`VerifySession::verify_target`]
+    /// calls (nanosecond samples; the daemon folds these into its
+    /// per-round p50/p95 report).
+    pub target_latency: Histogram,
+    /// Wall-latency histogram over condition-root decisions, cache hits
+    /// included — the cache-hit spike and the solve tail land in visibly
+    /// different buckets.
+    pub root_latency: Histogram,
 }
 
 /// What the [`BackendKind::Auto`] portfolio has learned about this
@@ -469,6 +490,11 @@ pub struct GenericVerifySession<S: CdclSolver> {
     sat_time: Duration,
     bdd_time: Duration,
     anf_time: Duration,
+    /// Cumulative condition-construction time (see [`SessionStats`]).
+    cofactor_time: Duration,
+    /// Latency histograms folded into [`SessionStats`].
+    target_hist: Histogram,
+    root_hist: Histogram,
 }
 
 /// The default verification session, running the production flat-arena
@@ -522,6 +548,7 @@ impl<S: CdclSolver> GenericVerifySession<S> {
                         vars: Vec::new(),
                     },
                     compactions: 0,
+                    encode_time: Duration::ZERO,
                 };
                 sat.encoder.begin_named_scope(SUFFIX_CHECKPOINT);
                 Some(sat)
@@ -566,6 +593,9 @@ impl<S: CdclSolver> GenericVerifySession<S> {
             sat_time: Duration::ZERO,
             bdd_time: Duration::ZERO,
             anf_time: Duration::ZERO,
+            cofactor_time: Duration::ZERO,
+            target_hist: Histogram::new(),
+            root_hist: Histogram::new(),
         })
     }
 
@@ -705,6 +735,14 @@ impl<S: CdclSolver> GenericVerifySession<S> {
             sat_time: self.sat_time,
             bdd_time: self.bdd_time,
             anf_time: self.anf_time,
+            encode_time: self
+                .sat
+                .as_ref()
+                .map(|s| s.encode_time)
+                .unwrap_or(Duration::ZERO),
+            cofactor_time: self.cofactor_time,
+            target_latency: self.target_hist,
+            root_latency: self.root_hist,
         }
     }
 
@@ -802,6 +840,7 @@ impl<S: CdclSolver> GenericVerifySession<S> {
     /// the edited circuit leaves the classical fragment. On error the
     /// session is left unchanged.
     pub fn apply_edit(&mut self, circuit: &Circuit) -> Result<EditStats, VerifyError> {
+        let _span = qb_obs::span("edit", "");
         let n = self.state.num_qubits();
         if circuit.num_qubits() != n {
             return Err(VerifyError::IncompatibleEdit {
@@ -907,7 +946,11 @@ impl<S: CdclSolver> GenericVerifySession<S> {
             clauses: 0,
             new_vars: Vec::new(),
         };
+        let enc_span = qb_obs::span("encode", "query");
+        let clock = Instant::now();
         let root_lits = sat.encoder.encode_roots(arena, roots, &mut sink);
+        sat.encode_time += clock.elapsed();
+        drop(enc_span);
         let emitted = sink.clauses;
         let new_vars = sink.new_vars;
         let size = emitted + 1;
@@ -978,6 +1021,7 @@ impl<S: CdclSolver> GenericVerifySession<S> {
         scope: &mut Option<Lit>,
         scope_vars: &mut Vec<SatVar>,
     ) -> Result<Decision, VerifyError> {
+        let _span = qb_obs::span("backend", "sat");
         let t0 = Instant::now();
         let sat = self.sat.as_mut().expect("SAT backend state");
         let guard = *scope.get_or_insert_with(|| {
@@ -994,6 +1038,7 @@ impl<S: CdclSolver> GenericVerifySession<S> {
     /// form — unsat is the false edge, otherwise any path to true is a
     /// witness.
     fn run_bdd_root(&mut self, root: NodeId) -> Result<Decision, BddBuildError> {
+        let _span = qb_obs::span("backend", "bdd");
         let t0 = Instant::now();
         let bdd = self.bdd.as_mut().expect("BDD backend state");
         let built = bdd.build(&self.state.arena, &[root]);
@@ -1014,6 +1059,7 @@ impl<S: CdclSolver> GenericVerifySession<S> {
     /// Decides one root by canonical ANF normalisation, memoised per
     /// arena node: unsat exactly when the polynomial is zero.
     fn run_anf_root(&mut self, root: NodeId) -> Result<Decision, VerifyError> {
+        let _span = qb_obs::span("backend", "anf");
         let t0 = Instant::now();
         let cache = self.anf.as_mut().expect("ANF backend state");
         let cap = self.opts.backend_options.anf_cap;
@@ -1040,16 +1086,33 @@ impl<S: CdclSolver> GenericVerifySession<S> {
         scope: &mut Option<Lit>,
         scope_vars: &mut Vec<SatVar>,
     ) -> Result<Decision, VerifyError> {
+        let _span = qb_obs::span("root", "");
+        let clock = Instant::now();
+        let decided = self.decide_root_inner(root, scope, scope_vars);
+        self.root_hist.record(clock.elapsed().as_nanos() as u64);
+        decided
+    }
+
+    /// [`GenericVerifySession::decide_root`] without the latency
+    /// bookkeeping (split out so every return path is sampled).
+    fn decide_root_inner(
+        &mut self,
+        root: NodeId,
+        scope: &mut Option<Lit>,
+        scope_vars: &mut Vec<SatVar>,
+    ) -> Result<Decision, VerifyError> {
         self.decision_clock += 1;
         if let Some(hit) = self.decisions.get_mut(&root) {
             hit.last_used = self.decision_clock;
             self.decision_hits += 1;
+            qb_obs::counter_add("decision_cache", "hit", 1);
             return Ok(Decision {
                 unsat: hit.unsat,
                 model: hit.model.clone(),
                 size: 0,
             });
         }
+        qb_obs::counter_add("decision_cache", "miss", 1);
         let decided = match self.opts.backend {
             BackendKind::Sat => self.run_sat_root(root, scope, scope_vars),
             BackendKind::Bdd => self.run_bdd_root(root).map_err(|e| match e {
@@ -1211,6 +1274,20 @@ impl<S: CdclSolver> GenericVerifySession<S> {
     ///
     /// See [`VerifyError`].
     pub fn verify_target(&mut self, q: usize) -> Result<QubitVerdict, VerifyError> {
+        let _span = qb_obs::span_with("target", || format!("q{q}"));
+        let clock = Instant::now();
+        let verdict = self.verify_target_inner(q);
+        if verdict.is_ok() {
+            self.target_hist.record(clock.elapsed().as_nanos() as u64);
+        }
+        verdict
+    }
+
+    /// [`GenericVerifySession::verify_target`] without the latency
+    /// bookkeeping (split out so cancelled short-circuits and interrupted
+    /// targets are sampled too — their fast Unknowns are part of the
+    /// latency story a bounded sweep serves).
+    fn verify_target_inner(&mut self, q: usize) -> Result<QubitVerdict, VerifyError> {
         let n = self.state.num_qubits();
         if q >= n {
             return Err(VerifyError::QubitOutOfRange {
@@ -1230,7 +1307,13 @@ impl<S: CdclSolver> GenericVerifySession<S> {
                 return Ok(self.unknown_verdict(q));
             }
         }
-        let conditions = build_conditions_memo(&mut self.state, q, &mut self.cofactors);
+        let conditions = {
+            let _span = qb_obs::span("cofactor", "");
+            let clock = Instant::now();
+            let conditions = build_conditions_memo(&mut self.state, q, &mut self.cofactors);
+            self.cofactor_time += clock.elapsed();
+            conditions
+        };
 
         let (zero, zero_time, plus, plus_time) =
             match self.decide_target(conditions.zero, &conditions.plus_parts) {
@@ -1317,12 +1400,16 @@ impl<S: CdclSolver> GenericVerifySession<S> {
     ///
     /// See [`VerifyError`].
     pub fn verify_targets(&mut self, targets: &[usize]) -> Result<Vec<QubitVerdict>, VerifyError> {
+        let _span = qb_obs::span_with("sweep", || format!("{} targets", targets.len()));
         let n = self.state.num_qubits();
         if targets.len() > 1 && targets.iter().all(|&q| q < n) {
+            let _span = qb_obs::span("cofactor", "prime");
+            let clock = Instant::now();
             let mut vars: Vec<Var> = targets.iter().map(|&q| self.state.vars[q]).collect();
             vars.sort_unstable();
             vars.dedup();
             self.cofactors.prime(&mut self.state, &vars);
+            self.cofactor_time += clock.elapsed();
         }
         targets.iter().map(|&q| self.verify_target(q)).collect()
     }

@@ -1,0 +1,283 @@
+//! Exporters: Chrome trace-event JSON and Prometheus text exposition.
+
+use crate::hist::{Histogram, HIST_BUCKETS};
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanEvent;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal (without the quotes).
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders completed spans as Chrome trace-event JSON — a `traceEvents`
+/// array of balanced `B`/`E` duration events, loadable in Perfetto or
+/// `chrome://tracing`.
+///
+/// Each span expands to one begin and one end event. At equal timestamps
+/// ends sort before begins, deeper ends before shallower ones and
+/// shallower begins before deeper ones, so nesting stays balanced per
+/// thread even when adjacent spans share a nanosecond.
+pub fn chrome_trace(spans: &[SpanEvent]) -> String {
+    // (ts_ns, phase rank: E=0 B=1, tie-break, span index)
+    let mut marks: Vec<(u64, u8, i64, usize)> = Vec::with_capacity(spans.len() * 2);
+    for (i, s) in spans.iter().enumerate() {
+        marks.push((s.start_ns, 1, s.depth as i64, i));
+        marks.push((s.start_ns.saturating_add(s.dur_ns), 0, -(s.depth as i64), i));
+    }
+    marks.sort();
+    let mut out = String::with_capacity(marks.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (n, (ts, rank, _, i)) in marks.iter().enumerate() {
+        let s = &spans[*i];
+        if n > 0 {
+            out.push(',');
+        }
+        let ph = if *rank == 0 { 'E' } else { 'B' };
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"qb\",\"ph\":\"{}\",\"ts\":{}.{:03},\"pid\":1,\"tid\":{}",
+            s.name,
+            ph,
+            ts / 1_000,
+            ts % 1_000,
+            s.tid
+        );
+        if *rank == 1 && !s.label.is_empty() {
+            out.push_str(",\"args\":{\"label\":\"");
+            json_escape(&s.label, &mut out);
+            out.push_str("\"}");
+        }
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Sanitises a metric or label fragment into `[a-zA-Z0-9_]`.
+fn prom_name(s: &str, out: &mut String) {
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+}
+
+fn prom_seconds(ns: u64) -> String {
+    format!("{:.9}", ns as f64 / 1e9)
+}
+
+fn write_histogram(out: &mut String, name: &str, label: &str, h: &Histogram) {
+    let series = |out: &mut String, suffix: &str, extra: Option<(&str, &str)>| {
+        out.push_str("qb_");
+        prom_name(name, out);
+        out.push_str(suffix);
+        let mut labels = Vec::new();
+        if !label.is_empty() {
+            labels.push(("kind", label));
+        }
+        if let Some(kv) = extra {
+            labels.push(kv);
+        }
+        if !labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{k}=\"");
+                json_escape(v, out);
+                out.push('"');
+            }
+            out.push('}');
+        }
+    };
+    let mut cumulative = 0u64;
+    let top = h
+        .buckets()
+        .iter()
+        .rposition(|&b| b != 0)
+        .unwrap_or(0)
+        .min(HIST_BUCKETS - 2);
+    for i in 0..=top {
+        cumulative += h.buckets()[i];
+        let le = prom_seconds(Histogram::bucket_upper_bound(i));
+        series(out, "_seconds_bucket", Some(("le", &le)));
+        let _ = writeln!(out, " {cumulative}");
+    }
+    series(out, "_seconds_bucket", Some(("le", "+Inf")));
+    let _ = writeln!(out, " {}", h.count());
+    series(out, "_seconds_sum", None);
+    let _ = writeln!(out, " {}", prom_seconds(h.sum()));
+    series(out, "_seconds_count", None);
+    let _ = writeln!(out, " {}", h.count());
+}
+
+/// Renders a snapshot (plus optional extra histogram series) in the
+/// Prometheus text exposition format, version 0.0.4.
+pub fn prometheus_text(snap: &MetricsSnapshot, extra: &[(&str, &str, Histogram)]) -> String {
+    let mut out = String::new();
+    let mut last_type: Option<String> = None;
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        if last_type.as_deref() != Some(name) {
+            out.push_str("# TYPE qb_");
+            prom_name(name, out);
+            if kind == "counter" {
+                out.push_str("_total");
+            } else {
+                out.push_str("_seconds");
+            }
+            let _ = writeln!(out, " {kind}");
+            last_type = Some(name.to_string());
+        }
+    };
+    for (name, label, value) in &snap.counters {
+        type_line(&mut out, name, "counter");
+        out.push_str("qb_");
+        prom_name(name, &mut out);
+        out.push_str("_total");
+        if !label.is_empty() {
+            out.push_str("{kind=\"");
+            json_escape(label, &mut out);
+            out.push_str("\"}");
+        }
+        let _ = writeln!(out, " {value}");
+    }
+    let mut all: Vec<(&str, &str, Histogram)> = snap
+        .histograms
+        .iter()
+        .map(|(n, l, h)| (n.as_str(), l.as_str(), *h))
+        .collect();
+    all.extend(extra.iter().map(|(n, l, h)| (*n, *l, *h)));
+    all.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    for (name, label, h) in &all {
+        type_line(&mut out, name, "histogram");
+        write_histogram(&mut out, name, label, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsSnapshot;
+
+    #[test]
+    fn chrome_trace_is_balanced_and_escaped() {
+        let spans = vec![
+            SpanEvent {
+                name: "outer",
+                label: "a\"b\\c".into(),
+                start_ns: 1_000,
+                dur_ns: 5_000,
+                depth: 0,
+                tid: 1,
+            },
+            SpanEvent {
+                name: "inner",
+                label: String::new(),
+                start_ns: 2_000,
+                dur_ns: 1_000,
+                depth: 1,
+                tid: 1,
+            },
+        ];
+        let json = chrome_trace(&spans);
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+        assert!(json.contains("a\\\"b\\\\c"));
+        // inner opens after outer and closes before it.
+        let b_outer = json
+            .find("\"name\":\"outer\",\"cat\":\"qb\",\"ph\":\"B\"")
+            .unwrap();
+        let b_inner = json
+            .find("\"name\":\"inner\",\"cat\":\"qb\",\"ph\":\"B\"")
+            .unwrap();
+        let e_inner = json
+            .find("\"name\":\"inner\",\"cat\":\"qb\",\"ph\":\"E\"")
+            .unwrap();
+        let e_outer = json
+            .find("\"name\":\"outer\",\"cat\":\"qb\",\"ph\":\"E\"")
+            .unwrap();
+        assert!(b_outer < b_inner && b_inner < e_inner && e_inner < e_outer);
+    }
+
+    #[test]
+    fn chrome_trace_breaks_timestamp_ties_by_depth() {
+        // Parent and child share start and end timestamps exactly.
+        let spans = vec![
+            SpanEvent {
+                name: "p",
+                label: String::new(),
+                start_ns: 10,
+                dur_ns: 10,
+                depth: 0,
+                tid: 1,
+            },
+            SpanEvent {
+                name: "c",
+                label: String::new(),
+                start_ns: 10,
+                dur_ns: 10,
+                depth: 1,
+                tid: 1,
+            },
+        ];
+        let json = chrome_trace(&spans);
+        let order: Vec<(usize, &str)> = [
+            "\"name\":\"p\",\"cat\":\"qb\",\"ph\":\"B\"",
+            "\"name\":\"c\",\"cat\":\"qb\",\"ph\":\"B\"",
+            "\"name\":\"c\",\"cat\":\"qb\",\"ph\":\"E\"",
+            "\"name\":\"p\",\"cat\":\"qb\",\"ph\":\"E\"",
+        ]
+        .iter()
+        .map(|pat| (json.find(pat).unwrap(), *pat))
+        .collect();
+        assert!(
+            order.windows(2).all(|w| w[0].0 < w[1].0),
+            "bad order: {order:?}"
+        );
+    }
+
+    #[test]
+    fn prometheus_text_renders_counters_and_histograms() {
+        let mut h = Histogram::new();
+        h.record(1_500);
+        h.record(3_000_000);
+        let snap = MetricsSnapshot {
+            counters: vec![("solver_conflicts".into(), "sat".into(), 42)],
+            histograms: vec![("solve".into(), "sat".into(), h)],
+        };
+        let text = prometheus_text(&snap, &[("request", "verify", h)]);
+        assert!(text.contains("# TYPE qb_solver_conflicts_total counter"));
+        assert!(text.contains("qb_solver_conflicts_total{kind=\"sat\"} 42"));
+        assert!(text.contains("# TYPE qb_solve_seconds histogram"));
+        assert!(text.contains("qb_solve_seconds_bucket{kind=\"sat\",le=\"+Inf\"} 2"));
+        assert!(text.contains("qb_solve_seconds_count{kind=\"sat\"} 2"));
+        assert!(text.contains("qb_request_seconds_count{kind=\"verify\"} 2"));
+        // Cumulative bucket counts are monotone.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if line.starts_with("qb_solve_seconds_bucket") {
+                let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(v >= last);
+                last = v;
+            }
+        }
+        assert_eq!(last, 2);
+    }
+}

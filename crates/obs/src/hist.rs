@@ -1,0 +1,196 @@
+//! Log-bucketed latency histograms.
+//!
+//! Buckets are powers of two: bucket `i` counts samples whose bit length
+//! is `i`, i.e. values in `[2^(i-1), 2^i)` (bucket 0 holds exact zeros).
+//! Sixty-four buckets cover the full `u64` range, so nanosecond samples
+//! from sub-microsecond cache hits to multi-minute solves land without
+//! clamping. The struct is `Copy` and fixed-size so it can be embedded in
+//! counter bags like `qb_core::SessionStats` without breaking their
+//! `Copy`/`Eq` derives.
+
+/// Number of buckets (one per possible bit length of a `u64`).
+pub const HIST_BUCKETS: usize = 64;
+
+/// A mergeable power-of-two latency histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value lands in: its bit length, clamped so
+    /// values at or above `2^63` share the top bucket.
+    pub fn bucket_index(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    /// The exclusive upper bound of bucket `i` (`u64::MAX` for the top
+    /// bucket, which is saturated).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i >= HIST_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, zero when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// An upper-bound estimate of the `q`-quantile (`0.0..=1.0`): the
+    /// exclusive upper bound of the bucket containing the quantile rank.
+    /// Returns zero when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(HIST_BUCKETS - 1)
+    }
+
+    /// Median upper bound; see [`Histogram::quantile`].
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile upper bound; see [`Histogram::quantile`].
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        // Values straddling every power of two land in adjacent buckets.
+        for i in 1..62 {
+            let v = 1u64 << i;
+            assert_eq!(Histogram::bucket_index(v - 1), i);
+            assert_eq!(Histogram::bucket_index(v), i + 1);
+        }
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 2, 3, 4, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 101_110);
+        assert_eq!(h.mean(), 101_110 / 7);
+        // p50 rank 4 lands on the sample `4` -> bucket 3 -> bound 8.
+        assert_eq!(h.p50(), 8);
+        // p95 rank 7 lands on 100_000 -> bit length 17 -> bound 131072.
+        assert_eq!(h.p95(), 1 << 17);
+        // Quantiles are monotone in q.
+        let mut last = 0;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) regressed");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts_and_sums() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [5u64, 17, 900] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 64, 64, 1 << 40] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(a.count(), 7);
+        // Merging an empty histogram is the identity.
+        let before = a;
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn saturating_sum_never_wraps() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Process-wide labelled counters and latency histograms.
+//!
+//! Unlike spans, metrics are always on: the writers below are only called
+//! at coarse points (solve exit, request completion, GC), so a short
+//! mutex-guarded map update is negligible next to the work being
+//! measured. [`metrics_snapshot`] returns a consistent copy for export.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::hist::Histogram;
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<(String, String), u64>,
+    histograms: BTreeMap<(String, String), Histogram>,
+}
+
+static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    let reg = REGISTRY.get_or_init(Default::default);
+    let mut reg = reg.lock().unwrap_or_else(|e| e.into_inner());
+    f(&mut reg)
+}
+
+/// Adds `by` to the counter `name{label}`. A zero `by` still creates the
+/// series, which keeps exposition stable across scrapes.
+pub fn counter_add(name: &str, label: &str, by: u64) {
+    with_registry(|reg| {
+        *reg.counters
+            .entry((name.to_string(), label.to_string()))
+            .or_insert(0) += by;
+    });
+}
+
+/// Records one nanosecond sample into the histogram `name{label}`.
+pub fn observe_ns(name: &str, label: &str, ns: u64) {
+    with_registry(|reg| {
+        reg.histograms
+            .entry((name.to_string(), label.to_string()))
+            .or_default()
+            .record(ns);
+    });
+}
+
+/// A point-in-time copy of every metric series.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, label, value)` counter samples, sorted by name then label.
+    pub counters: Vec<(String, String, u64)>,
+    /// `(name, label, histogram)` series, sorted by name then label.
+    pub histograms: Vec<(String, String, Histogram)>,
+}
+
+/// Snapshots all counters and histograms.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    with_registry(|reg| MetricsSnapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|((n, l), v)| (n.clone(), l.clone(), *v))
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|((n, l), h)| (n.clone(), l.clone(), *h))
+            .collect(),
+    })
+}
+
+/// Clears every metric series (tests and daemon restarts).
+pub fn reset_metrics() {
+    with_registry(|reg| {
+        reg.counters.clear();
+        reg.histograms.clear();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label() {
+        counter_add("obs_test_ctr", "a", 2);
+        counter_add("obs_test_ctr", "a", 3);
+        counter_add("obs_test_ctr", "b", 7);
+        let snap = metrics_snapshot();
+        let get = |l: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, lab, _)| n == "obs_test_ctr" && lab == l)
+                .map(|(_, _, v)| *v)
+        };
+        assert_eq!(get("a"), Some(5));
+        assert_eq!(get("b"), Some(7));
+    }
+
+    #[test]
+    fn histograms_record_per_label() {
+        observe_ns("obs_test_lat", "x", 1_000);
+        observe_ns("obs_test_lat", "x", 2_000);
+        let snap = metrics_snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|(n, l, _)| n == "obs_test_lat" && l == "x")
+            .map(|(_, _, h)| *h)
+            .unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 3_000);
+    }
+}

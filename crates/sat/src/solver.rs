@@ -21,6 +21,7 @@ use crate::heap::VmtfQueue;
 use crate::lit::{LBool, Lit, SatVar};
 use qb_formula::Cnf;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Outcome of a solve call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -565,6 +566,7 @@ impl Solver {
             // clears the flags).
             return 0;
         }
+        let _span = qb_obs::span("sat.vivify", "");
         let budget_end = self.stats.propagations + prop_budget;
         let nslots = self.starts.len();
         let mut strengthened = 0usize;
@@ -641,6 +643,7 @@ impl Solver {
             if kept.len() < lits.len() {
                 self.mark_deleted(cref);
                 self.stats.vivified_clauses += 1;
+                qb_obs::counter_add("solver_vivified", "sat", 1);
                 strengthened += 1;
                 match kept.len() {
                     0 => {
@@ -1125,6 +1128,8 @@ impl Solver {
         if self.ca.len() < 1024 || self.garbage * 2 < self.ca.len() {
             return;
         }
+        let _span = qb_obs::span("sat.clause_gc", "");
+        qb_obs::counter_add("solver_clause_gc", "sat", 1);
         let mut map: HashMap<ClauseRef, ClauseRef> = HashMap::with_capacity(self.starts.len());
         let mut ca: Vec<u32> = Vec::with_capacity(self.ca.len() - self.garbage);
         let mut starts: Vec<ClauseRef> = Vec::with_capacity(self.starts.len());
@@ -1531,6 +1536,8 @@ impl Solver {
     }
 
     fn reduce_db(&mut self) {
+        let _span = qb_obs::span("sat.reduce_db", "");
+        qb_obs::counter_add("solver_reduce_db", "sat", 1);
         // Sort learnt clauses: high LBD and low activity first (to delete).
         let mut refs = self.learnt_refs.clone();
         refs.sort_by(|&a, &b| {
@@ -1579,6 +1586,13 @@ impl Solver {
         if !self.ok {
             return SatResult::Unsat;
         }
+        // Tracing state is sampled once per solve: the hot loop below
+        // branches on a local bool, not the global flag, and per-phase
+        // clocks only tick when a trace is being captured.
+        let traced = qb_obs::enabled();
+        let _solve_span = qb_obs::span("sat.solve", "");
+        let mut propagate_ns = 0u64;
+        let mut analyze_ns = 0u64;
         // The solve starts at level zero: reclaim clause-arena garbage
         // once enough of it has accumulated (dead learnt clauses from
         // earlier solves, retired query scopes).
@@ -1589,6 +1603,8 @@ impl Solver {
         // as deltas from the counters at solve entry.
         let start_conflicts = self.stats.conflicts;
         let start_propagations = self.stats.propagations;
+        let start_decisions = self.stats.decisions;
+        let start_restarts = self.stats.restarts;
         if let Some(token) = &self.cancel {
             if token.should_stop(0, 0) {
                 return SatResult::Interrupted;
@@ -1596,7 +1612,15 @@ impl Solver {
         }
 
         let result = loop {
-            if let Some(confl) = self.propagate() {
+            let confl = if traced {
+                let clock = Instant::now();
+                let confl = self.propagate();
+                propagate_ns += clock.elapsed().as_nanos() as u64;
+                confl
+            } else {
+                self.propagate()
+            };
+            if let Some(confl) = confl {
                 self.stats.conflicts += 1;
                 self.restart_conflicts += 1;
                 if self.decision_level() == 0 {
@@ -1613,7 +1637,14 @@ impl Solver {
                         break SatResult::Interrupted;
                     }
                 }
-                let (learnt, backjump) = self.analyze(confl);
+                let (learnt, backjump) = if traced {
+                    let clock = Instant::now();
+                    let analyzed = self.analyze(confl);
+                    analyze_ns += clock.elapsed().as_nanos() as u64;
+                    analyzed
+                } else {
+                    self.analyze(confl)
+                };
                 // Glucose-style adaptive restarts: track a fast and a
                 // slow EMA of learnt-clause LBD (seeded on the first
                 // conflict) plus a long-term trail-size EMA used to
@@ -1681,6 +1712,32 @@ impl Solver {
             }
         };
         self.backtrack_to(0);
+        // Always-on phase counters: one registry update per solve call,
+        // negligible next to the solve itself.
+        qb_obs::counter_add(
+            "solver_propagations",
+            "sat",
+            self.stats.propagations - start_propagations,
+        );
+        qb_obs::counter_add(
+            "solver_conflicts",
+            "sat",
+            self.stats.conflicts - start_conflicts,
+        );
+        qb_obs::counter_add(
+            "solver_decisions",
+            "sat",
+            self.stats.decisions - start_decisions,
+        );
+        qb_obs::counter_add(
+            "solver_restarts",
+            "sat",
+            self.stats.restarts - start_restarts,
+        );
+        if traced {
+            qb_obs::counter_add("solver_phase_ns", "propagate", propagate_ns);
+            qb_obs::counter_add("solver_phase_ns", "analyze", analyze_ns);
+        }
         result
     }
 

@@ -143,10 +143,28 @@ impl Client {
         targets: Option<Vec<usize>>,
         deadline_ms: Option<u64>,
     ) -> io::Result<Json> {
+        self.verify_traced(name, targets, deadline_ms, false)
+    }
+
+    /// [`Client::verify_with_deadline`] with span tracing: when `trace`
+    /// is set the daemon records the sweep and the response carries a
+    /// `"trace"` member holding Chrome trace-event JSON.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn verify_traced(
+        &mut self,
+        name: &str,
+        targets: Option<Vec<usize>>,
+        deadline_ms: Option<u64>,
+        trace: bool,
+    ) -> io::Result<Json> {
         self.request(&Request::Verify {
             name: name.to_string(),
             targets,
             deadline_ms,
+            trace,
         })
     }
 
@@ -186,6 +204,16 @@ impl Client {
     /// See [`Client::request`].
     pub fn status(&mut self) -> io::Result<Json> {
         self.request(&Request::Status)
+    }
+
+    /// Fetches daemon metrics; the response's `"metrics"` member holds
+    /// the Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn metrics(&mut self) -> io::Result<Json> {
+        self.request(&Request::Metrics)
     }
 
     /// Unloads one program.

@@ -72,6 +72,9 @@ pub struct ServeOptions {
     /// after every mutating request, and a restarted daemon replays them
     /// so it comes back warm. `None` = no persistence.
     pub state_dir: Option<PathBuf>,
+    /// Append one JSON object per handled request (id, cmd, outcome,
+    /// queue-wait and handle latency) to this file. `None` = no log.
+    pub log_file: Option<PathBuf>,
 }
 
 impl ServeOptions {
@@ -83,6 +86,7 @@ impl ServeOptions {
             log: false,
             limits: ServerLimits::default(),
             state_dir: None,
+            log_file: None,
         }
     }
 }
@@ -180,6 +184,20 @@ impl Drop for Watchdog {
     }
 }
 
+/// The request's wire command name, the label requests are metered
+/// under.
+fn request_cmd(request: &Request) -> &'static str {
+    match request {
+        Request::Load { .. } => "load",
+        Request::Verify { .. } => "verify",
+        Request::Edit { .. } => "edit",
+        Request::Status => "status",
+        Request::Metrics => "metrics",
+        Request::Unload { .. } => "unload",
+        Request::Shutdown => "shutdown",
+    }
+}
+
 /// Best-effort text of a caught panic payload.
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -232,6 +250,9 @@ pub struct Server {
     snapshot_failures: u64,
     /// Sessions quarantined after a panic unwound out of them.
     quarantines: u64,
+    /// Open request log ([`ServeOptions::log_file`]): one JSON object
+    /// per handled request.
+    log_sink: Option<std::fs::File>,
 }
 
 impl Server {
@@ -254,7 +275,23 @@ impl Server {
             state_dirty: false,
             snapshot_failures: 0,
             quarantines: 0,
+            log_sink: None,
         }
+    }
+
+    /// Opens (appending) the per-request JSONL log.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be created or opened for append.
+    pub fn set_log_file(&mut self, path: &Path) -> std::io::Result<()> {
+        self.log_sink = Some(
+            std::fs::File::options()
+                .create(true)
+                .append(true)
+                .open(path)?,
+        );
+        Ok(())
     }
 
     /// Directs crash-recovery snapshots to `dir` (`None` disables them).
@@ -339,19 +376,67 @@ impl Server {
     /// Handles one request line; returns the response line (no trailing
     /// newline) and whether the daemon should shut down.
     pub fn handle_line(&mut self, line: &str) -> (String, bool) {
+        self.handle_line_queued(line, 0)
+    }
+
+    /// [`Server::handle_line`] with an explicit queue wait: `queue_ns`
+    /// is how long the request sat received-but-unhandled (pipelined
+    /// behind earlier requests). Every request is stamped with a daemon
+    /// request id (the `"request_id"` response member), its queue-wait
+    /// and handle latencies are recorded into the process metrics
+    /// registry per request type, and one JSON object is appended to the
+    /// request log when one is configured.
+    pub fn handle_line_queued(&mut self, line: &str, queue_ns: u64) -> (String, bool) {
         self.requests += 1;
-        match Request::parse(line) {
-            Err(e) => (error_response(&e).to_string(), false),
+        let request_id = self.requests;
+        let clock = Instant::now();
+        let (cmd, mut response, shutdown) = match Request::parse(line) {
+            Err(e) => ("malformed", error_response(&e), false),
             Ok(request) => {
+                let cmd = request_cmd(&request);
                 let shutdown = request == Request::Shutdown;
                 let response = self.handle(request);
                 // The request just handled refreshed its own session's
                 // stamps, so the sweep only reaps genuinely idle ones.
                 self.sweep_idle();
                 self.persist_state();
-                (response.to_string(), shutdown)
+                (cmd, response, shutdown)
             }
+        };
+        let handle_ns = clock.elapsed().as_nanos() as u64;
+        qb_obs::counter_add("requests", cmd, 1);
+        qb_obs::observe_ns("request_handle", cmd, handle_ns);
+        qb_obs::observe_ns("request_queue_wait", cmd, queue_ns);
+        if let Json::Obj(members) = &mut response {
+            members.insert("request_id".into(), Json::Int(request_id as i64));
         }
+        self.log_request(request_id, cmd, &response, queue_ns, handle_ns);
+        (response.to_string(), shutdown)
+    }
+
+    /// Appends one request record to the JSONL log, if one is open.
+    /// Write failures are silently dropped: logging must never take the
+    /// daemon down.
+    fn log_request(&mut self, id: u64, cmd: &str, response: &Json, queue_ns: u64, handle_ns: u64) {
+        let Some(sink) = &mut self.log_sink else {
+            return;
+        };
+        let ts_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as i64)
+            .unwrap_or(0);
+        let record = Json::obj(vec![
+            ("ts_ms", Json::Int(ts_ms)),
+            ("request_id", Json::Int(id as i64)),
+            ("cmd", Json::Str(cmd.to_string())),
+            (
+                "ok",
+                Json::Bool(response.get("ok").and_then(Json::as_bool) == Some(true)),
+            ),
+            ("queue_ns", Json::Int(queue_ns as i64)),
+            ("handle_ns", Json::Int(handle_ns as i64)),
+        ]);
+        let _ = writeln!(sink, "{record}");
     }
 
     /// Number of loaded (hash-distinct) sessions.
@@ -431,7 +516,7 @@ impl Server {
             | Request::Verify { name, .. }
             | Request::Edit { name, .. }
             | Request::Unload { name } => Some(name.clone()),
-            Request::Status | Request::Shutdown => None,
+            Request::Status | Request::Metrics | Request::Shutdown => None,
         };
         // The session table itself is only mutated between session
         // calls, so an unwind can leave a *session* inconsistent but
@@ -474,13 +559,15 @@ impl Server {
                 name,
                 targets,
                 deadline_ms,
-            } => self.run_verify(&name, targets, deadline_ms),
+                trace,
+            } => self.run_verify(&name, targets, deadline_ms, trace),
             Request::Edit {
                 name,
                 source,
                 backend,
             } => self.edit(&name, &source, &backend),
             Request::Status => self.status(),
+            Request::Metrics => self.metrics(),
             Request::Unload { name } => self.unload(&name),
             Request::Shutdown => Json::obj(vec![
                 ("ok", Json::Bool(true)),
@@ -613,6 +700,19 @@ impl Server {
             ("sat_ns", Json::Int(stats.sat_time.as_nanos() as i64)),
             ("bdd_ns", Json::Int(stats.bdd_time.as_nanos() as i64)),
             ("anf_ns", Json::Int(stats.anf_time.as_nanos() as i64)),
+            ("encode_ns", Json::Int(stats.encode_time.as_nanos() as i64)),
+            (
+                "cofactor_ns",
+                Json::Int(stats.cofactor_time.as_nanos() as i64),
+            ),
+            (
+                "target_p50_us",
+                Json::Int((stats.target_latency.p50() / 1_000) as i64),
+            ),
+            (
+                "target_p95_us",
+                Json::Int((stats.target_latency.p95() / 1_000) as i64),
+            ),
             (
                 "idle_ms",
                 Json::Int(entry.last_used_at.elapsed().as_millis() as i64),
@@ -697,6 +797,7 @@ impl Server {
         name: &str,
         targets: Option<Vec<usize>>,
         deadline_ms: Option<u64>,
+        trace: bool,
     ) -> Json {
         let Some(&key) = self.names.get(name) else {
             return not_loaded_response(name);
@@ -710,6 +811,14 @@ impl Server {
         };
         let targets = targets.unwrap_or_else(|| entry.program.qubits_to_verify());
         let t0 = Instant::now();
+        // A traced request flips span recording on for the duration of
+        // the sweep (discarding stale spans first) and restores the
+        // previous state before any return path, success or error.
+        let was_enabled = qb_obs::enabled();
+        if trace {
+            let _ = qb_obs::take_all_spans();
+            qb_obs::set_enabled(true);
+        }
         let verdicts = match deadline {
             None => entry.session.verify_targets(&targets),
             Some(budget) => {
@@ -724,6 +833,12 @@ impl Server {
                 let _watchdog = Watchdog::arm(token, budget);
                 entry.session.verify_targets_limited(&targets, &limits)
             }
+        };
+        let trace_json = if trace {
+            qb_obs::set_enabled(was_enabled);
+            Some(qb_obs::chrome_trace(&qb_obs::take_all_spans()))
+        } else {
+            None
         };
         let verdicts = match verdicts {
             Ok(v) => v,
@@ -768,9 +883,33 @@ impl Server {
             ("solver_conflicts", Json::Int(stats.solver_conflicts as i64)),
             ("solver_restarts", Json::Int(stats.solver_restarts as i64)),
             ("solver_vivified", Json::Int(stats.solver_vivified as i64)),
+            ("encode_ns", Json::Int(stats.encode_time.as_nanos() as i64)),
+            (
+                "cofactor_ns",
+                Json::Int(stats.cofactor_time.as_nanos() as i64),
+            ),
+            (
+                "target_p50_us",
+                Json::Int((stats.target_latency.p50() / 1_000) as i64),
+            ),
+            (
+                "target_p95_us",
+                Json::Int((stats.target_latency.p95() / 1_000) as i64),
+            ),
+            (
+                "root_p50_us",
+                Json::Int((stats.root_latency.p50() / 1_000) as i64),
+            ),
+            (
+                "root_p95_us",
+                Json::Int((stats.root_latency.p95() / 1_000) as i64),
+            ),
         ];
         if let Some(budget) = deadline {
             pairs.push(("deadline_ms", Json::Int(budget.as_millis() as i64)));
+        }
+        if let Some(trace_json) = trace_json {
+            pairs.push(("trace", Json::Str(trace_json)));
         }
         Json::obj(pairs)
     }
@@ -972,6 +1111,33 @@ impl Server {
                     None => Json::Null,
                 },
             ),
+            ("requests", Json::Int(self.requests as i64)),
+        ])
+    }
+
+    /// Renders the process metrics registry — request counters and
+    /// latency histograms, solver-phase counters, backend cache rates —
+    /// in the Prometheus text exposition format, folding in the warm
+    /// sessions' per-target and per-root latency histograms.
+    fn metrics(&self) -> Json {
+        let mut target = qb_obs::Histogram::new();
+        let mut root = qb_obs::Histogram::new();
+        for entry in self.sessions.values() {
+            let stats = entry.session.stats();
+            target.merge(&stats.target_latency);
+            root.merge(&stats.root_latency);
+        }
+        let text = qb_obs::prometheus_text(
+            &qb_obs::metrics_snapshot(),
+            &[
+                ("target_latency", "all", target),
+                ("root_latency", "all", root),
+            ],
+        );
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("metrics", Json::Str(text)),
+            ("sessions", Json::Int(self.sessions.len() as i64)),
             ("requests", Json::Int(self.requests as i64)),
         ])
     }
@@ -1230,6 +1396,14 @@ pub fn run(opts: &ServeOptions) -> std::io::Result<()> {
         );
     }
     let mut server = Server::with_limits(opts.verify, opts.limits);
+    if let Some(path) = &opts.log_file {
+        if let Err(e) = server.set_log_file(path) {
+            eprintln!(
+                "qb-serve: cannot open request log {} ({e}); continuing without one",
+                path.display()
+            );
+        }
+    }
     if let Some(dir) = &opts.state_dir {
         server.set_state_dir(Some(dir.clone()));
         let restored = server.restore_state();
@@ -1273,7 +1447,11 @@ const MAX_REQUEST_LINE: u64 = 16 * 1024 * 1024;
 fn serve_connection(stream: UnixStream, server: &mut Server, log: bool) -> std::io::Result<bool> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    // Stamp of the last response (or connection start): a request that
+    // was already buffered when it was taken has been queuing since then.
+    let mut idle_since = Instant::now();
     loop {
+        let pipelined = !reader.buffer().is_empty();
         let mut buf: Vec<u8> = Vec::new();
         let n = (&mut reader)
             .take(MAX_REQUEST_LINE + 1)
@@ -1306,8 +1484,15 @@ fn serve_connection(stream: UnixStream, server: &mut Server, log: bool) -> std::
         if line.trim().is_empty() {
             continue;
         }
+        // A pipelined request sat in the read buffer while earlier ones
+        // were handled; an idle connection's request waited ~nothing.
+        let queue_ns = if pipelined {
+            idle_since.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
         let t0 = Instant::now();
-        let (response, shutdown) = server.handle_line(&line);
+        let (response, shutdown) = server.handle_line_queued(&line, queue_ns);
         if log {
             let cmd = Json::parse(&line)
                 .ok()
@@ -1320,6 +1505,7 @@ fn serve_connection(stream: UnixStream, server: &mut Server, log: bool) -> std::
             );
         }
         respond(&mut writer, &response)?;
+        idle_since = Instant::now();
         if shutdown {
             return Ok(true);
         }
@@ -1387,6 +1573,7 @@ mod tests {
                 name: "cccnot".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             }
             .to_line(),
         );
@@ -1412,12 +1599,144 @@ mod tests {
                 name: "cccnot".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             }
             .to_line(),
         );
         assert!(ok(&verify));
         assert_eq!(verify.get("all_safe").unwrap().as_bool(), Some(false));
         assert_eq!(server.loaded_sessions(), 1, "edit rekeys, not duplicates");
+    }
+
+    #[test]
+    fn responses_carry_monotonic_request_ids() {
+        let mut server = Server::new(VerifyOptions::default());
+        let first = handle(&mut server, &Request::Status.to_line());
+        let second = handle(&mut server, &Request::Status.to_line());
+        let id = |v: &Json| v.get("request_id").and_then(Json::as_i64).unwrap();
+        assert_eq!(id(&second), id(&first) + 1);
+        // Even malformed requests are metered and stamped.
+        let bad = handle(&mut server, "not json");
+        assert_eq!(id(&bad), id(&second) + 1);
+    }
+
+    #[test]
+    fn metrics_request_returns_prometheus_text() {
+        let mut server = Server::new(VerifyOptions::default());
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "cccnot".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&load), "{load}");
+        let verify = handle(
+            &mut server,
+            &Request::Verify {
+                name: "cccnot".into(),
+                targets: None,
+                deadline_ms: None,
+                trace: false,
+            }
+            .to_line(),
+        );
+        assert!(ok(&verify), "{verify}");
+        let metrics = handle(&mut server, &Request::Metrics.to_line());
+        assert!(ok(&metrics), "{metrics}");
+        let text = metrics.get("metrics").and_then(Json::as_str).unwrap();
+        // Request latency histograms and solver-phase counters both
+        // surface in the exposition (the registry is process-global, so
+        // other tests only ever add to these series).
+        assert!(
+            text.contains("qb_request_handle_seconds_bucket"),
+            "missing request-latency histogram:\n{text}"
+        );
+        assert!(
+            text.contains("qb_solver_propagations_total"),
+            "missing solver counters:\n{text}"
+        );
+        assert!(
+            text.contains("qb_target_latency_seconds_count"),
+            "missing session target-latency histogram:\n{text}"
+        );
+    }
+
+    #[test]
+    fn traced_verify_returns_balanced_chrome_trace() {
+        let mut server = Server::new(VerifyOptions::default());
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "cccnot".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&load), "{load}");
+        let verify = handle(
+            &mut server,
+            &Request::Verify {
+                name: "cccnot".into(),
+                targets: None,
+                deadline_ms: None,
+                trace: true,
+            }
+            .to_line(),
+        );
+        assert!(ok(&verify), "{verify}");
+        assert!(!qb_obs::enabled(), "tracing must be restored after");
+        let trace = verify.get("trace").and_then(Json::as_str).unwrap();
+        let parsed = Json::parse(trace).expect("trace is valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty(), "traced sweep recorded no spans");
+        let begins = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("B"))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("E"))
+            .count();
+        assert_eq!(begins, ends, "unbalanced B/E events");
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(Json::as_str) == Some("sweep")),
+            "missing sweep span"
+        );
+        // The untraced latency fields ride along too.
+        assert!(verify.get("target_p95_us").and_then(Json::as_i64).is_some());
+    }
+
+    #[test]
+    fn request_log_appends_one_json_line_per_request() {
+        let dir = std::env::temp_dir().join(format!("qb-reqlog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("requests.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut server = Server::new(VerifyOptions::default());
+        server.set_log_file(&path).unwrap();
+        handle(&mut server, &Request::Status.to_line());
+        handle(&mut server, &Request::Metrics.to_line());
+        let data = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = data.lines().collect();
+        assert_eq!(lines.len(), 2, "{data}");
+        for (line, cmd) in lines.iter().zip(["status", "metrics"]) {
+            let v = Json::parse(line).expect("log line is JSON");
+            assert_eq!(v.get("cmd").and_then(Json::as_str), Some(cmd));
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+            assert!(v.get("handle_ns").and_then(Json::as_i64).is_some());
+            assert!(v.get("queue_ns").and_then(Json::as_i64).is_some());
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]
@@ -1490,6 +1809,7 @@ mod tests {
                 name: "ghost".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             }
             .to_line(),
         );
@@ -1572,6 +1892,7 @@ mod tests {
                     name: name.into(),
                     targets: None,
                     deadline_ms: None,
+                    trace: false,
                 }
                 .to_line(),
             );
@@ -1677,6 +1998,7 @@ mod tests {
                 name: "b".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             }
             .to_line(),
         );
@@ -1750,6 +2072,7 @@ mod tests {
                 name: "p1".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             }
             .to_line(),
         );
@@ -1763,6 +2086,7 @@ mod tests {
                 name: "p2".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             }
             .to_line(),
         );
@@ -1783,6 +2107,7 @@ mod tests {
                 name: "p3".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             }
             .to_line(),
         );
@@ -1793,6 +2118,7 @@ mod tests {
                 name: "p2".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             }
             .to_line(),
         );
@@ -1857,6 +2183,7 @@ mod tests {
                     name: name.into(),
                     targets: None,
                     deadline_ms: None,
+                    trace: false,
                 }
                 .to_line(),
             );
@@ -1900,6 +2227,7 @@ mod tests {
                 name: "p".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             }
             .to_line(),
         );
@@ -1941,6 +2269,7 @@ mod tests {
                 name: "cccnot".into(),
                 targets: None,
                 deadline_ms: Some(0),
+                trace: false,
             }
             .to_line(),
         );
@@ -1967,6 +2296,7 @@ mod tests {
                 name: "cccnot".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             }
             .to_line(),
         );
@@ -2000,6 +2330,7 @@ mod tests {
                 name: "p".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             }
             .to_line(),
         );
@@ -2041,6 +2372,7 @@ mod tests {
                 name: "cccnot".into(),
                 targets: None,
                 deadline_ms: Some(60_000),
+                trace: false,
             }
             .to_line(),
         );
@@ -2065,6 +2397,7 @@ mod tests {
                 name: "cccnot".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             }
             .to_line(),
         );
@@ -2100,6 +2433,7 @@ mod tests {
                 name: "cccnot".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             }
             .to_line(),
         );
@@ -2149,6 +2483,7 @@ mod tests {
                 name: "cccnot".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             }
             .to_line(),
         );

@@ -40,7 +40,12 @@
 //! let response = Json::parse(&response).unwrap();
 //! assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
 //!
-//! let verify = Request::Verify { name: "demo".into(), targets: None, deadline_ms: None };
+//! let verify = Request::Verify {
+//!     name: "demo".into(),
+//!     targets: None,
+//!     deadline_ms: None,
+//!     trace: false, // true: the response carries Chrome trace-event JSON
+//! };
 //! let (response, _) = server.handle_line(&verify.to_line());
 //! let response = Json::parse(&response).unwrap();
 //! assert_eq!(response.get("all_safe").and_then(Json::as_bool), Some(true));

@@ -9,9 +9,10 @@
 //! | cmd | members | effect |
 //! |-----|---------|--------|
 //! | `load` | `name`, `source`, optional `backend` | elaborate + create/reuse a warm session |
-//! | `verify` | `name`, optional `targets`, optional `deadline_ms` | decide conditions on the warm session |
+//! | `verify` | `name`, optional `targets`, optional `deadline_ms`, optional `trace` | decide conditions on the warm session |
 //! | `edit` | `name`, `source`, optional `backend` | diff against the cached circuit, re-verify incrementally |
 //! | `status` | — | list loaded programs and session statistics |
+//! | `metrics` | — | Prometheus text exposition of daemon metrics |
 //! | `unload` | `name` | drop a program (and its session if unaliased) |
 //! | `shutdown` | — | stop the daemon |
 //!
@@ -48,6 +49,9 @@ pub enum Request {
         /// Targets the budget does not reach come back with
         /// `"verdict":"unknown"` instead of stalling the daemon.
         deadline_ms: Option<u64>,
+        /// Capture a span trace of the sweep: the response gains a
+        /// `"trace"` member holding Chrome trace-event JSON.
+        trace: bool,
     },
     /// Re-submit an edited source for incremental re-verification.
     Edit {
@@ -60,6 +64,9 @@ pub enum Request {
     },
     /// Report loaded programs and session statistics.
     Status,
+    /// Report daemon metrics in the Prometheus text exposition format
+    /// (the response's `"metrics"` member).
+    Metrics,
     /// Unload one program.
     Unload {
         /// Program name from a prior `load`.
@@ -134,10 +141,15 @@ impl Request {
                             as u64,
                     ),
                 };
+                let trace = match v.get("trace") {
+                    None | Some(Json::Null) => false,
+                    Some(t) => t.as_bool().ok_or("\"trace\" must be a boolean")?,
+                };
                 Ok(Request::Verify {
                     name: name(&v)?,
                     targets,
                     deadline_ms,
+                    trace,
                 })
             }
             "edit" => Ok(Request::Edit {
@@ -146,6 +158,7 @@ impl Request {
                 backend: backend(&v)?,
             }),
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
             "unload" => Ok(Request::Unload { name: name(&v)? }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown cmd {other:?}")),
@@ -174,6 +187,7 @@ impl Request {
                 name,
                 targets,
                 deadline_ms,
+                trace,
             } => {
                 let mut pairs = vec![
                     ("cmd", Json::Str("verify".into())),
@@ -187,6 +201,9 @@ impl Request {
                 }
                 if let Some(ms) = deadline_ms {
                     pairs.push(("deadline_ms", Json::Int(*ms as i64)));
+                }
+                if *trace {
+                    pairs.push(("trace", Json::Bool(true)));
                 }
                 Json::obj(pairs)
             }
@@ -206,6 +223,7 @@ impl Request {
                 Json::obj(pairs)
             }
             Request::Status => Json::obj(vec![("cmd", Json::Str("status".into()))]),
+            Request::Metrics => Json::obj(vec![("cmd", Json::Str("metrics".into()))]),
             Request::Unload { name } => Json::obj(vec![
                 ("cmd", Json::Str("unload".into())),
                 ("name", Json::Str(name.clone())),
@@ -257,16 +275,25 @@ mod tests {
                 name: "adder".into(),
                 targets: None,
                 deadline_ms: None,
+                trace: false,
             },
             Request::Verify {
                 name: "adder".into(),
                 targets: Some(vec![3, 1, 4]),
                 deadline_ms: None,
+                trace: false,
             },
             Request::Verify {
                 name: "adder".into(),
                 targets: None,
                 deadline_ms: Some(250),
+                trace: false,
+            },
+            Request::Verify {
+                name: "adder".into(),
+                targets: None,
+                deadline_ms: Some(250),
+                trace: true,
             },
             Request::Edit {
                 name: "adder".into(),
@@ -279,6 +306,7 @@ mod tests {
                 backend: Some("auto".into()),
             },
             Request::Status,
+            Request::Metrics,
             Request::Unload {
                 name: "adder".into(),
             },
@@ -301,6 +329,7 @@ mod tests {
         assert!(Request::parse(r#"{"cmd":"verify","name":"x","targets":"all"}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"verify","name":"x","deadline_ms":"fast"}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"verify","name":"x","deadline_ms":-5}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"verify","name":"x","trace":"yes"}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"load","name":"x","source":"","backend":7}"#).is_err());
     }
 }

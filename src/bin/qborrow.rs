@@ -4,16 +4,17 @@
 //!
 //! ```text
 //! qborrow verify <file.qbr|-> [--backend sat|anf|bdd|auto] [--simplify raw|full]
-//!                             [--jobs N]
+//!                             [--jobs N] [--trace-out <path>] [--stats-json]
 //! qborrow info   <file.qbr|->
 //! qborrow render <file.qbr|->
 //!
 //! qborrow serve  --socket <path> [--backend ...] [--simplify ...] [--quiet]
-//!                [--default-deadline-ms N] [--state-dir <dir>]
+//!                [--default-deadline-ms N] [--state-dir <dir>] [--log-file <path>]
 //! qborrow client verify <file.qbr|-> [--socket <path>] [--name <name>] [--backend <name>]
-//!                       [--deadline-ms N]
+//!                       [--deadline-ms N] [--trace-out <path>]
 //! qborrow client edit   <file.qbr|-> [--socket <path>] [--name <name>] [--backend <name>]
-//! qborrow client status|shutdown [--socket <path>]
+//! qborrow client status [--socket <path>] [--json]
+//! qborrow client metrics|shutdown [--socket <path>]
 //! qborrow client unload <name> [--socket <path>]
 //! qborrow watch  <file.qbr> [--socket <path>] [--interval-ms N] [--backend <name>]
 //! ```
@@ -47,14 +48,17 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          qborrow verify <file.qbr|-> [--backend sat|anf|bdd|auto] [--simplify raw|full] [--jobs N]\n  \
+                 [--trace-out <path>] [--stats-json]\n  \
          qborrow info   <file.qbr|->\n  \
          qborrow render <file.qbr|->\n  \
          qborrow serve  --socket <path> [--backend sat|anf|bdd|auto] [--simplify raw|full]\n  \
                  [--max-sessions N] [--idle-timeout-ms N] [--arena-gc-floor N]\n  \
-                 [--decision-cache N] [--default-deadline-ms N] [--state-dir <dir>] [--quiet]\n  \
+                 [--decision-cache N] [--default-deadline-ms N] [--state-dir <dir>]\n  \
+                 [--log-file <path>] [--quiet]\n  \
          qborrow client verify|edit <file.qbr|-> [--socket <path>] [--name <name>] [--backend <name>]\n  \
-                 [--deadline-ms N]\n  \
-         qborrow client status|shutdown [--socket <path>]\n  \
+                 [--deadline-ms N] [--trace-out <path>]\n  \
+         qborrow client status [--socket <path>] [--json]\n  \
+         qborrow client metrics|shutdown [--socket <path>]\n  \
          qborrow client unload <name> [--socket <path>]\n  \
          qborrow watch  <file.qbr> [--socket <path>] [--interval-ms N] [--backend <name>]"
     );
@@ -189,6 +193,8 @@ fn cmd_verify(path: &str, program: &ElaboratedProgram, flags: &[String]) -> Exit
     let mut backend = BackendKind::Sat;
     let mut simplify = Simplify::Raw;
     let mut jobs = 1usize;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut stats_json = false;
     let mut i = 0;
     while i < flags.len() {
         match parse_backend_flag(flags, &mut i, &mut backend, &mut simplify) {
@@ -210,6 +216,18 @@ fn cmd_verify(path: &str, program: &ElaboratedProgram, flags: &[String]) -> Exit
                 };
                 i += 2;
             }
+            "--trace-out" => {
+                let Some(out) = flags.get(i + 1) else {
+                    eprintln!("--trace-out expects a path");
+                    return usage();
+                };
+                trace_out = Some(PathBuf::from(out));
+                i += 2;
+            }
+            "--stats-json" => {
+                stats_json = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown flag {other:?}");
                 return usage();
@@ -226,15 +244,44 @@ fn cmd_verify(path: &str, program: &ElaboratedProgram, flags: &[String]) -> Exit
         println!("{path}: no `borrow` qubits to verify (only borrow@/alloc)");
         return ExitCode::SUCCESS;
     }
+    // The metrics registry is process-global; starting clean makes the
+    // --stats-json counters attributable to exactly this run.
+    if stats_json {
+        qborrow::obs::reset_metrics();
+    }
+    if trace_out.is_some() {
+        let _ = qborrow::obs::take_all_spans();
+        qborrow::obs::set_enabled(true);
+    }
     let outcome = if jobs == 1 {
         verify_program(program, &opts)
     } else {
         verify_program_parallel(program, &opts, jobs)
     };
+    if let Some(out) = &trace_out {
+        qborrow::obs::set_enabled(false);
+        let trace = qborrow::obs::chrome_trace(&qborrow::obs::take_all_spans());
+        if let Err(e) = std::fs::write(out, trace) {
+            eprintln!("error: cannot write trace to {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "trace written to {} (open in Perfetto or chrome://tracing)",
+            out.display()
+        );
+    }
     match outcome {
         Err(e) => {
             eprintln!("verification error: {e}");
             ExitCode::FAILURE
+        }
+        Ok(report) if stats_json => {
+            println!("{}", verify_stats_json(path, program, backend, &report));
+            if report.all_safe() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Ok(report) => {
             for v in &report.verdicts {
@@ -288,6 +335,74 @@ fn cmd_verify(path: &str, program: &ElaboratedProgram, flags: &[String]) -> Exit
     }
 }
 
+/// Renders a one-shot verify as a single machine-readable JSON object:
+/// verdicts, wall-clock phases, and the per-phase counters the run left
+/// in the process metrics registry (solver propagations/conflicts,
+/// backend cache rates, …).
+fn verify_stats_json(
+    path: &str,
+    program: &ElaboratedProgram,
+    backend: BackendKind,
+    report: &qborrow::core::VerificationReport,
+) -> Json {
+    let verdicts: Vec<Json> = report
+        .verdicts
+        .iter()
+        .map(|v| {
+            Json::obj(vec![
+                ("qubit", Json::Int(v.qubit as i64)),
+                ("name", Json::Str(program.qubit_name(v.qubit).to_string())),
+                ("safe", Json::Bool(v.safe)),
+                ("verdict", Json::Str(v.verdict.name().to_string())),
+                ("zero_ns", Json::Int(v.zero_time.as_nanos() as i64)),
+                ("plus_ns", Json::Int(v.plus_time.as_nanos() as i64)),
+            ])
+        })
+        .collect();
+    let snapshot = qborrow::obs::metrics_snapshot();
+    let counters: Vec<Json> = snapshot
+        .counters
+        .iter()
+        .map(|(name, label, value)| {
+            Json::obj(vec![
+                ("name", Json::Str(name.clone())),
+                ("label", Json::Str(label.clone())),
+                ("value", Json::Int(*value as i64)),
+            ])
+        })
+        .collect();
+    let phases: Vec<Json> = snapshot
+        .histograms
+        .iter()
+        .map(|(name, label, hist)| {
+            Json::obj(vec![
+                ("name", Json::Str(name.clone())),
+                ("label", Json::Str(label.clone())),
+                ("count", Json::Int(hist.count() as i64)),
+                ("sum_ns", Json::Int(hist.sum() as i64)),
+                ("p50_ns", Json::Int(hist.p50() as i64)),
+                ("p95_ns", Json::Int(hist.p95() as i64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("file", Json::Str(path.to_string())),
+        ("backend", Json::Str(backend.to_string())),
+        ("all_safe", Json::Bool(report.all_safe())),
+        ("qubits", Json::Int(program.num_qubits() as i64)),
+        ("gates", Json::Int(program.circuit.size() as i64)),
+        ("formula_nodes", Json::Int(report.formula_nodes as i64)),
+        (
+            "construct_ns",
+            Json::Int(report.construction_time.as_nanos() as i64),
+        ),
+        ("solve_ns", Json::Int(report.solver_time.as_nanos() as i64)),
+        ("verdicts", Json::Arr(verdicts)),
+        ("counters", Json::Arr(counters)),
+        ("latencies", Json::Arr(phases)),
+    ])
+}
+
 fn cmd_serve(flags: &[String]) -> ExitCode {
     let mut socket = default_socket();
     let mut backend = BackendKind::Sat;
@@ -295,6 +410,7 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
     let mut log = true;
     let mut limits = ServerLimits::default();
     let mut state_dir: Option<PathBuf> = None;
+    let mut log_file: Option<PathBuf> = None;
     let mut i = 0;
     while i < flags.len() {
         match parse_backend_flag(flags, &mut i, &mut backend, &mut simplify) {
@@ -375,6 +491,14 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
                 state_dir = Some(PathBuf::from(dir));
                 i += 2;
             }
+            "--log-file" => {
+                let Some(file) = flags.get(i + 1) else {
+                    eprintln!("--log-file expects a path");
+                    return usage();
+                };
+                log_file = Some(PathBuf::from(file));
+                i += 2;
+            }
             "--quiet" => {
                 log = false;
                 i += 1;
@@ -395,6 +519,7 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
         log,
         limits,
         state_dir,
+        log_file,
     };
     match qborrow::serve::run(&opts) {
         Ok(()) => ExitCode::SUCCESS,
@@ -411,17 +536,21 @@ struct ClientFlags {
     name: Option<String>,
     backend: Option<String>,
     deadline_ms: Option<u64>,
+    trace_out: Option<PathBuf>,
+    json: bool,
 }
 
-/// Parses trailing `--socket`/`--name`/`--backend`/`--deadline-ms`
-/// flags shared by client commands. The backend name is validated
-/// locally so a typo fails fast with exit code 2 instead of a daemon
-/// round-trip.
+/// Parses trailing `--socket`/`--name`/`--backend`/`--deadline-ms`/
+/// `--trace-out`/`--json` flags shared by client commands. The backend
+/// name is validated locally so a typo fails fast with exit code 2
+/// instead of a daemon round-trip.
 fn parse_client_flags(flags: &[String]) -> Result<ClientFlags, String> {
     let mut socket = default_socket();
     let mut name = None;
     let mut backend = None;
     let mut deadline_ms = None;
+    let mut trace_out = None;
+    let mut json = false;
     let mut i = 0;
     while i < flags.len() {
         match flags[i].as_str() {
@@ -466,6 +595,19 @@ fn parse_client_flags(flags: &[String]) -> Result<ClientFlags, String> {
                 };
                 i += 2;
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    flags
+                        .get(i + 1)
+                        .ok_or("--trace-out expects a path")?
+                        .to_string(),
+                ));
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -474,6 +616,8 @@ fn parse_client_flags(flags: &[String]) -> Result<ClientFlags, String> {
         name,
         backend,
         deadline_ms,
+        trace_out,
+        json,
     })
 }
 
@@ -604,6 +748,8 @@ fn cmd_client(args: &[String]) -> ExitCode {
         name,
         backend,
         deadline_ms,
+        trace_out,
+        json,
     } = match parse_client_flags(&flags) {
         Ok(v) => v,
         Err(e) => {
@@ -641,9 +787,18 @@ fn cmd_client(args: &[String]) -> ExitCode {
                         return Ok(ExitCode::from(EXIT_BAD_INPUT));
                     }
                     let reused = response.get("reused").and_then(Json::as_bool) == Some(true);
-                    let response = client.verify_with_deadline(&name, None, deadline_ms)?;
+                    let response =
+                        client.verify_traced(&name, None, deadline_ms, trace_out.is_some())?;
                     if print_error(&response) {
                         return Ok(ExitCode::FAILURE);
+                    }
+                    if let Some(out) = &trace_out {
+                        let trace = response.get("trace").and_then(Json::as_str).unwrap_or("");
+                        std::fs::write(out, trace)?;
+                        eprintln!(
+                            "trace written to {} (open in Perfetto or chrome://tracing)",
+                            out.display()
+                        );
                     }
                     let all_safe = print_verify_response(&name, &response);
                     if reused {
@@ -675,6 +830,10 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 Ok(response) => {
                     if print_error(&response) {
                         return ExitCode::FAILURE;
+                    }
+                    if json {
+                        println!("{response}");
+                        return ExitCode::SUCCESS;
                     }
                     let programs = response
                         .get("programs")
@@ -724,6 +883,29 @@ fn cmd_client(args: &[String]) -> ExitCode {
                         println!("unloaded {target}");
                         ExitCode::SUCCESS
                     }
+                }
+            }
+        }
+        "metrics" => {
+            let mut client = match connect(&socket) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.metrics() {
+                Err(e) => {
+                    eprintln!("qborrow client: {e}");
+                    ExitCode::FAILURE
+                }
+                Ok(response) => {
+                    if print_error(&response) {
+                        return ExitCode::FAILURE;
+                    }
+                    // Raw Prometheus text exposition, scrape-ready.
+                    print!(
+                        "{}",
+                        response.get("metrics").and_then(Json::as_str).unwrap_or("")
+                    );
+                    ExitCode::SUCCESS
                 }
             }
         }
@@ -866,6 +1048,17 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         let response = client.verify(path, None)?;
         if !print_error(&response) {
             print_verify_response(path, &response);
+            // One latency line per round: warm-session percentiles from
+            // the daemon's per-target/per-root histograms (log-bucketed,
+            // so these are bucket upper bounds).
+            let us = |key: &str| response.get(key).and_then(Json::as_i64).unwrap_or(0);
+            println!(
+                "  latency: target p50 {}us p95 {}us | root p50 {}us p95 {}us",
+                us("target_p50_us"),
+                us("target_p95_us"),
+                us("root_p50_us"),
+                us("root_p95_us"),
+            );
         }
         Ok(())
     };

@@ -19,6 +19,7 @@
 //! | [`synth`] | `qb-synth` | benchmark circuits (adders, MCX, figures) |
 //! | [`sched`] | `qb-sched` | width reduction and multi-program packing |
 //! | [`serve`] | `qb-serve` | the verify-on-change daemon, protocol and client |
+//! | [`obs`] | `qb-obs` | spans, latency histograms, trace/metrics exporters |
 //! | [`formula`] | `qb-formula` | XOR-AND graphs, ANF, CNF |
 //! | [`sat`] | `qb-sat` | the CDCL solver |
 //! | [`bdd`] | `qb-bdd` | the BDD backend |
@@ -51,6 +52,7 @@ pub use qb_core as core;
 pub use qb_formula as formula;
 pub use qb_lang as lang;
 pub use qb_linalg as linalg;
+pub use qb_obs as obs;
 pub use qb_sat as sat;
 pub use qb_sched as sched;
 pub use qb_serve as serve;

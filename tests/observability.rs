@@ -1,0 +1,278 @@
+//! End-to-end checks for the observability surface: a traced adder-16
+//! sweep must yield a properly nested, balanced Chrome trace; a metrics
+//! scrape over a real daemon socket must parse as Prometheus text with
+//! coherent histogram series; and a traced verify over the socket must
+//! return a valid trace while leaving tracing off afterwards.
+//!
+//! The span ring and the enable flag are process-global, so every test
+//! that toggles tracing serialises on [`OBS_LOCK`].
+
+use qborrow::lang::adder_source;
+use qborrow::obs;
+use qborrow::serve::{run, Client, Json, ServeOptions};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+static SOCKET_COUNTER: AtomicU32 = AtomicU32::new(0);
+
+fn start_daemon() -> (PathBuf, Client, std::thread::JoinHandle<()>) {
+    let socket = std::env::temp_dir().join(format!(
+        "qborrow-obs-test-{}-{}.sock",
+        std::process::id(),
+        SOCKET_COUNTER.fetch_add(1, Ordering::SeqCst)
+    ));
+    let opts = ServeOptions {
+        log: false,
+        ..ServeOptions::new(socket.clone())
+    };
+    let handle = std::thread::spawn(move || run(&opts).expect("daemon runs"));
+    for _ in 0..200 {
+        if let Ok(client) = Client::connect(&socket) {
+            return (socket, client, handle);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon did not come up on {}", socket.display());
+}
+
+fn shutdown(mut client: Client, handle: std::thread::JoinHandle<()>) {
+    let resp = client.shutdown().expect("shutdown round-trips");
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    handle.join().expect("daemon thread exits cleanly");
+}
+
+/// Replays a Chrome trace's `B`/`E` events per thread and asserts they
+/// form a balanced, name-matched bracket sequence. Returns events seen.
+fn assert_trace_balanced(trace: &Json) -> usize {
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let mut stacks: HashMap<i64, Vec<String>> = HashMap::new();
+    for ev in events {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .expect("name")
+            .to_string();
+        let tid = ev.get("tid").and_then(Json::as_i64).expect("tid");
+        let stack = stacks.entry(tid).or_default();
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("B") => stack.push(name),
+            Some("E") => {
+                let open = stack.pop().unwrap_or_else(|| {
+                    panic!("E event for {name:?} on tid {tid} with empty stack")
+                });
+                assert_eq!(open, name, "mismatched E on tid {tid}");
+            }
+            ph => panic!("unexpected phase {ph:?}"),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "unclosed spans on tid {tid}: {stack:?}");
+    }
+    events.len()
+}
+
+/// Tentpole acceptance: tracing an adder-16 SAT sweep end-to-end yields
+/// spans whose intervals nest properly per thread and whose Chrome
+/// export replays as balanced brackets with the full hierarchy present.
+#[test]
+fn traced_adder16_sweep_produces_nested_balanced_trace() {
+    use qborrow::core::{verify_circuit, InitialValue, VerifyOptions};
+    use qborrow::lang::{elaborate, parse, QubitKind};
+
+    let _guard = OBS_LOCK.lock().unwrap();
+    obs::set_enabled(false);
+    let _ = obs::take_all_spans();
+
+    let program = elaborate(&parse(&adder_source(16)).unwrap()).unwrap();
+    let initial: Vec<InitialValue> = (0..program.num_qubits())
+        .map(|q| match program.qubit_kinds[q] {
+            QubitKind::Clean => InitialValue::Zero,
+            _ => InitialValue::Free,
+        })
+        .collect();
+    obs::set_enabled(true);
+    let report = verify_circuit(
+        &program.circuit,
+        &initial,
+        &program.qubits_to_verify(),
+        &VerifyOptions::default(),
+    );
+    obs::set_enabled(false);
+    let spans = obs::take_spans();
+    assert!(report.expect("sweep completes").all_safe());
+
+    // The hierarchy's levels all show up.
+    for expected in ["sweep", "target", "root", "encode", "backend"] {
+        assert!(
+            spans.iter().any(|s| s.name == expected),
+            "no {expected:?} span in {:?}",
+            spans
+                .iter()
+                .map(|s| s.name)
+                .collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+    // Spans on one thread nest: any two either disjoint or contained.
+    for (i, a) in spans.iter().enumerate() {
+        for b in &spans[i + 1..] {
+            if a.tid != b.tid {
+                continue;
+            }
+            let (a0, a1) = (a.start_ns, a.start_ns + a.dur_ns);
+            let (b0, b1) = (b.start_ns, b.start_ns + b.dur_ns);
+            let disjoint = a1 <= b0 || b1 <= a0;
+            let contained = (a0 <= b0 && b1 <= a1) || (b0 <= a0 && a1 <= b1);
+            assert!(
+                disjoint || contained,
+                "spans overlap without nesting: {a:?} vs {b:?}"
+            );
+        }
+    }
+    // The Chrome export parses and replays balanced.
+    let trace = Json::parse(obs::chrome_trace(&spans).trim()).expect("trace is valid JSON");
+    assert_eq!(assert_trace_balanced(&trace), 2 * spans.len());
+}
+
+/// A metrics scrape over a live daemon socket parses as Prometheus text:
+/// every sample line is `name{labels} value`, request counters cover the
+/// traffic we just generated, and each histogram's cumulative buckets
+/// are monotone and agree with its `_count` series.
+#[test]
+fn daemon_metrics_scrape_parses_as_prometheus_text() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    obs::reset_metrics();
+    let (_socket, mut client, handle) = start_daemon();
+
+    client.load("adder", &adder_source(8)).unwrap();
+    client.verify("adder", None).unwrap();
+    client.verify("adder", None).unwrap();
+    let resp = client.metrics().unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    let text = resp
+        .get("metrics")
+        .and_then(Json::as_str)
+        .expect("metrics text")
+        .to_string();
+    shutdown(client, handle);
+
+    let mut samples: Vec<(String, String, f64)> = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric sample value in {line:?}"));
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => (n, rest.strip_suffix('}').expect("closed label set")),
+            None => (series, ""),
+        };
+        assert!(
+            name.starts_with("qb_") && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "bad metric name in {line:?}"
+        );
+        samples.push((name.to_string(), labels.to_string(), value));
+    }
+
+    let count = |name: &str, label_frag: &str| {
+        samples
+            .iter()
+            .filter(|(n, l, _)| n == name && l.contains(label_frag))
+            .count()
+    };
+    // The traffic we generated is visible: 1 load + 2 verifies + metrics.
+    let counter = |name: &str, label_frag: &str| {
+        samples
+            .iter()
+            .find(|(n, l, _)| n == name && l.contains(label_frag))
+            .map(|(_, _, v)| *v)
+    };
+    assert_eq!(counter("qb_requests_total", "kind=\"load\""), Some(1.0));
+    assert_eq!(counter("qb_requests_total", "kind=\"verify\""), Some(2.0));
+    assert!(counter("qb_solver_propagations_total", "").unwrap_or(0.0) > 0.0);
+    assert!(count("qb_request_handle_seconds_bucket", "kind=\"verify\"") > 0);
+    assert!(count("qb_target_latency_seconds_bucket", "") > 0);
+
+    // Histogram coherence: per (name, kind) the cumulative buckets are
+    // monotone in `le`, end at `+Inf`, and match the `_count` series.
+    let mut by_series: HashMap<(String, String), Vec<(f64, f64)>> = HashMap::new();
+    for (name, labels, value) in &samples {
+        let Some(base) = name.strip_suffix("_seconds_bucket") else {
+            continue;
+        };
+        let kind = labels
+            .split(',')
+            .find(|kv| kv.starts_with("kind="))
+            .unwrap_or("")
+            .to_string();
+        let le = labels
+            .split(',')
+            .find_map(|kv| kv.strip_prefix("le=\""))
+            .and_then(|v| v.strip_suffix('"'))
+            .expect("bucket has le");
+        let le = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse().unwrap()
+        };
+        by_series
+            .entry((base.to_string(), kind))
+            .or_default()
+            .push((le, *value));
+    }
+    assert!(!by_series.is_empty(), "no histogram series in scrape");
+    for ((base, kind), mut buckets) in by_series {
+        buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut last = 0.0;
+        for (le, v) in &buckets {
+            assert!(*v >= last, "{base}/{kind}: bucket le={le} decreased");
+            last = *v;
+        }
+        let (top_le, top) = *buckets.last().unwrap();
+        assert!(top_le.is_infinite(), "{base}/{kind}: missing +Inf bucket");
+        let total = samples
+            .iter()
+            .find(|(n, l, _)| n == &format!("{base}_seconds_count") && l.contains(kind.as_str()))
+            .map(|(_, _, v)| *v)
+            .unwrap_or_else(|| panic!("{base}/{kind}: no _count series"));
+        assert_eq!(top, total, "{base}/{kind}: +Inf bucket != count");
+    }
+}
+
+/// A traced verify over the socket returns a balanced Chrome trace in
+/// the response and leaves process-wide tracing off afterwards.
+#[test]
+fn daemon_traced_verify_over_socket_returns_valid_trace() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    obs::set_enabled(false);
+    let _ = obs::take_all_spans();
+    let (_socket, mut client, handle) = start_daemon();
+
+    client.load("adder", &adder_source(16)).unwrap();
+    let resp = client.verify_traced("adder", None, None, true).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(resp.get("all_safe").and_then(Json::as_bool), Some(true));
+    let trace = resp
+        .get("trace")
+        .and_then(Json::as_str)
+        .expect("trace member");
+    let trace = Json::parse(trace.trim()).expect("trace is valid JSON");
+    let events = assert_trace_balanced(&trace);
+    assert!(events >= 2, "trace has no spans");
+    // Latency summaries ride along on every verify response.
+    assert!(resp.get("target_p95_us").and_then(Json::as_i64).is_some());
+    assert!(!obs::enabled(), "daemon left tracing enabled");
+
+    // The next, untraced verify must not carry a trace.
+    let resp = client.verify("adder", None).unwrap();
+    assert!(resp.get("trace").is_none());
+    shutdown(client, handle);
+}

@@ -502,6 +502,16 @@ pub struct GenericVerifySession<S: CdclSolver> {
 /// [`qb_sat::ReferenceSolver`] to A/B solver generations in-process.
 pub type VerifySession = GenericVerifySession<Solver>;
 
+/// The daemon moves each session into a dedicated actor thread, so the
+/// whole backend stack (arena, solver, BDD manager, ANF cache) must be
+/// [`Send`]. This assertion makes any future regression — say, an `Rc`
+/// slipping into a backend cache — a compile error here rather than a
+/// trait-bound error at a distant spawn site.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<VerifySession>();
+};
+
 impl<S: CdclSolver> GenericVerifySession<S> {
     /// Symbolically executes `circuit` once and prepares the shared
     /// backend state.

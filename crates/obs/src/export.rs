@@ -136,10 +136,10 @@ pub fn prometheus_text(snap: &MetricsSnapshot, extra: &[(&str, &str, Histogram)]
         if last_type.as_deref() != Some(name) {
             out.push_str("# TYPE qb_");
             prom_name(name, out);
-            if kind == "counter" {
-                out.push_str("_total");
-            } else {
-                out.push_str("_seconds");
+            match kind {
+                "counter" => out.push_str("_total"),
+                "histogram" => out.push_str("_seconds"),
+                _ => {}
             }
             let _ = writeln!(out, " {kind}");
             last_type = Some(name.to_string());
@@ -150,6 +150,17 @@ pub fn prometheus_text(snap: &MetricsSnapshot, extra: &[(&str, &str, Histogram)]
         out.push_str("qb_");
         prom_name(name, &mut out);
         out.push_str("_total");
+        if !label.is_empty() {
+            out.push_str("{kind=\"");
+            json_escape(label, &mut out);
+            out.push_str("\"}");
+        }
+        let _ = writeln!(out, " {value}");
+    }
+    for (name, label, value) in &snap.gauges {
+        type_line(&mut out, name, "gauge");
+        out.push_str("qb_");
+        prom_name(name, &mut out);
         if !label.is_empty() {
             out.push_str("{kind=\"");
             json_escape(label, &mut out);
@@ -260,11 +271,14 @@ mod tests {
         h.record(3_000_000);
         let snap = MetricsSnapshot {
             counters: vec![("solver_conflicts".into(), "sat".into(), 42)],
+            gauges: vec![("session_queue_depth".into(), "abc/sat".into(), 3)],
             histograms: vec![("solve".into(), "sat".into(), h)],
         };
         let text = prometheus_text(&snap, &[("request", "verify", h)]);
         assert!(text.contains("# TYPE qb_solver_conflicts_total counter"));
         assert!(text.contains("qb_solver_conflicts_total{kind=\"sat\"} 42"));
+        assert!(text.contains("# TYPE qb_session_queue_depth gauge"));
+        assert!(text.contains("qb_session_queue_depth{kind=\"abc/sat\"} 3"));
         assert!(text.contains("# TYPE qb_solve_seconds histogram"));
         assert!(text.contains("qb_solve_seconds_bucket{kind=\"sat\",le=\"+Inf\"} 2"));
         assert!(text.contains("qb_solve_seconds_count{kind=\"sat\"} 2"));

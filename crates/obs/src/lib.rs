@@ -37,7 +37,9 @@ mod span;
 
 pub use export::{chrome_trace, prometheus_text};
 pub use hist::{Histogram, HIST_BUCKETS};
-pub use metrics::{counter_add, metrics_snapshot, observe_ns, reset_metrics, MetricsSnapshot};
+pub use metrics::{
+    counter_add, gauge_set, metrics_snapshot, observe_ns, reset_metrics, MetricsSnapshot,
+};
 pub use span::{
     dropped_spans, enabled, now_ns, set_enabled, set_ring_capacity, span, span_with,
     take_all_spans, take_spans, Span, SpanEvent,

@@ -13,6 +13,7 @@ use crate::hist::Histogram;
 #[derive(Default)]
 struct Registry {
     counters: BTreeMap<(String, String), u64>,
+    gauges: BTreeMap<(String, String), i64>,
     histograms: BTreeMap<(String, String), Histogram>,
 }
 
@@ -44,20 +45,37 @@ pub fn observe_ns(name: &str, label: &str, ns: u64) {
     });
 }
 
+/// Sets the gauge `name{label}` to `value`, creating the series if
+/// needed. Gauges hold instantaneous readings (queue depths, resident
+/// sessions) rather than monotone totals.
+pub fn gauge_set(name: &str, label: &str, value: i64) {
+    with_registry(|reg| {
+        reg.gauges
+            .insert((name.to_string(), label.to_string()), value);
+    });
+}
+
 /// A point-in-time copy of every metric series.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
     /// `(name, label, value)` counter samples, sorted by name then label.
     pub counters: Vec<(String, String, u64)>,
+    /// `(name, label, value)` gauge readings, sorted by name then label.
+    pub gauges: Vec<(String, String, i64)>,
     /// `(name, label, histogram)` series, sorted by name then label.
     pub histograms: Vec<(String, String, Histogram)>,
 }
 
-/// Snapshots all counters and histograms.
+/// Snapshots all counters, gauges and histograms.
 pub fn metrics_snapshot() -> MetricsSnapshot {
     with_registry(|reg| MetricsSnapshot {
         counters: reg
             .counters
+            .iter()
+            .map(|((n, l), v)| (n.clone(), l.clone(), *v))
+            .collect(),
+        gauges: reg
+            .gauges
             .iter()
             .map(|((n, l), v)| (n.clone(), l.clone(), *v))
             .collect(),
@@ -73,6 +91,7 @@ pub fn metrics_snapshot() -> MetricsSnapshot {
 pub fn reset_metrics() {
     with_registry(|reg| {
         reg.counters.clear();
+        reg.gauges.clear();
         reg.histograms.clear();
     });
 }
@@ -95,6 +114,19 @@ mod tests {
         };
         assert_eq!(get("a"), Some(5));
         assert_eq!(get("b"), Some(7));
+    }
+
+    #[test]
+    fn gauges_hold_the_latest_reading() {
+        gauge_set("obs_test_gauge", "q", 3);
+        gauge_set("obs_test_gauge", "q", 1);
+        let snap = metrics_snapshot();
+        let v = snap
+            .gauges
+            .iter()
+            .find(|(n, l, _)| n == "obs_test_gauge" && l == "q")
+            .map(|(_, _, v)| *v);
+        assert_eq!(v, Some(1));
     }
 
     #[test]

@@ -1,24 +1,63 @@
 //! A thin synchronous client for the `qb-serve` daemon.
 //!
-//! One request per call, one JSON line each way. The CLI (`qborrow
-//! client …`, `qborrow watch …`) and the protocol tests both drive the
-//! daemon through this type.
+//! One request per call, one JSON message each way — newline-framed
+//! over the Unix socket, u32-big-endian-length-prefixed over TCP. The
+//! CLI (`qborrow client …`, `qborrow watch …`) and the protocol tests
+//! both drive the daemon through this type.
 
 use crate::json::Json;
 use crate::protocol::Request;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::Duration;
 
+/// One connected transport; the framing follows the transport.
+enum Conn {
+    Unix {
+        reader: BufReader<UnixStream>,
+        writer: UnixStream,
+    },
+    Tcp {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    },
+}
+
 /// A connected daemon client.
 pub struct Client {
-    reader: BufReader<UnixStream>,
-    writer: UnixStream,
+    conn: Conn,
+}
+
+/// Shared retry shape of [`Client::connect_with_retry`] and
+/// [`Client::connect_tcp_with_retry`].
+fn retry_connect(
+    mut connect: impl FnMut() -> io::Result<Client>,
+    attempts: u32,
+    base_delay: Duration,
+) -> io::Result<Client> {
+    let mut last_err = None;
+    for attempt in 0..attempts.max(1) {
+        match connect() {
+            Ok(client) => return Ok(client),
+            Err(e) => last_err = Some(e),
+        }
+        if attempt + 1 < attempts {
+            let backoff = base_delay
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(Duration::from_secs(2));
+            // Half fixed, half jittered: concurrent clients spread
+            // out instead of reconnecting in lockstep.
+            std::thread::sleep(backoff / 2 + jitter(backoff / 2));
+        }
+    }
+    Err(last_err
+        .unwrap_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no connection attempts")))
 }
 
 impl Client {
-    /// Connects to a daemon listening on `socket`.
+    /// Connects to a daemon listening on the Unix socket `socket`.
     ///
     /// # Errors
     ///
@@ -27,8 +66,28 @@ impl Client {
         let stream = UnixStream::connect(socket.as_ref())?;
         let writer = stream.try_clone()?;
         Ok(Client {
-            reader: BufReader::new(stream),
-            writer,
+            conn: Conn::Unix {
+                reader: BufReader::new(stream),
+                writer,
+            },
+        })
+    }
+
+    /// Connects to a daemon's TCP listener (`serve --tcp <addr>`):
+    /// length-prefixed frames instead of newline-delimited lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection failure.
+    pub fn connect_tcp(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            conn: Conn::Tcp {
+                reader: BufReader::new(stream),
+                writer,
+            },
         })
     }
 
@@ -47,43 +106,67 @@ impl Client {
         base_delay: Duration,
     ) -> io::Result<Client> {
         let socket = socket.as_ref();
-        let mut last_err = None;
-        for attempt in 0..attempts.max(1) {
-            match Client::connect(socket) {
-                Ok(client) => return Ok(client),
-                Err(e) => last_err = Some(e),
-            }
-            if attempt + 1 < attempts {
-                let backoff = base_delay
-                    .saturating_mul(1u32 << attempt.min(16))
-                    .min(Duration::from_secs(2));
-                // Half fixed, half jittered: concurrent clients spread
-                // out instead of reconnecting in lockstep.
-                std::thread::sleep(backoff / 2 + jitter(backoff / 2));
-            }
-        }
-        Err(last_err
-            .unwrap_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no connection attempts")))
+        retry_connect(|| Client::connect(socket), attempts, base_delay)
+    }
+
+    /// [`Client::connect_with_retry`] over TCP.
+    ///
+    /// # Errors
+    ///
+    /// The last connection failure, once every attempt is exhausted.
+    pub fn connect_tcp_with_retry(
+        addr: &str,
+        attempts: u32,
+        base_delay: Duration,
+    ) -> io::Result<Client> {
+        retry_connect(|| Client::connect_tcp(addr), attempts, base_delay)
     }
 
     /// Sends one request and reads the matching response.
     ///
     /// # Errors
     ///
-    /// I/O failures, connection loss, or an unparseable response line.
+    /// I/O failures, connection loss, or an unparseable response.
     pub fn request(&mut self, request: &Request) -> io::Result<Json> {
-        self.writer.write_all(request.to_line().as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "daemon closed the connection",
-            ));
-        }
-        Json::parse(line.trim_end()).map_err(|e| {
+        let line = request.to_line();
+        let response = match &mut self.conn {
+            Conn::Unix { reader, writer } => {
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                let mut line = String::new();
+                let n = reader.read_line(&mut line)?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "daemon closed the connection",
+                    ));
+                }
+                line.trim_end().to_string()
+            }
+            Conn::Tcp { reader, writer } => {
+                writer.write_all(&(line.len() as u32).to_be_bytes())?;
+                writer.write_all(line.as_bytes())?;
+                writer.flush()?;
+                let mut len_buf = [0u8; 4];
+                reader.read_exact(&mut len_buf).map_err(|e| {
+                    if e.kind() == io::ErrorKind::UnexpectedEof {
+                        io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+                    } else {
+                        e
+                    }
+                })?;
+                let mut payload = vec![0u8; u32::from_be_bytes(len_buf) as usize];
+                reader.read_exact(&mut payload)?;
+                String::from_utf8(payload).map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "daemon response is not valid UTF-8",
+                    )
+                })?
+            }
+        };
+        Json::parse(&response).map_err(|e| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unparseable daemon response: {e}"),

@@ -1,37 +1,45 @@
 //! The verify-on-change daemon: warm per-program verification sessions
-//! behind a JSON-lines Unix-socket protocol.
+//! served concurrently to many clients.
 //!
-//! The daemon holds one [`VerifySession`] per loaded program, keyed by
-//! the *structural hash* of the elaborated circuit
+//! The daemon holds one [`qb_core::VerifySession`] per loaded program,
+//! keyed by the *structural hash* of the elaborated circuit
 //! ([`qb_lang::structural_hash`]) and its decision backend: client-chosen
 //! names are aliases onto the keyed session table, so two editors looking
 //! at structurally identical programs on the same backend share one warm
-//! session. A `verify` request decides
-//! conditions on the warm solver (learnt clauses, VSIDS state and phase
-//! saving carry over from every previous request); an `edit` request
-//! diffs the newly elaborated gate sequence against the cached circuit
-//! and — when only a suffix changed — retracts and re-encodes just that
-//! suffix, keeping the prefix encoding warm
-//! ([`VerifySession::apply_edit`]).
+//! session.
 //!
-//! Connections are served one at a time (the session table is a single
-//! mutable resource); clients hold connections only for the duration of
-//! a request batch. Multi-client concurrency and a TCP transport are
-//! recorded follow-ups in `ROADMAP.md`.
+//! Each session lives in its own *actor*: an owned worker thread fed by a
+//! bounded mailbox ([`crate::actor`]). This module is the transport
+//! layer around the routing core ([`crate::router`]):
+//!
+//! * the accept loops (Unix socket, and optionally a u32-length-prefixed
+//!   TCP framing behind [`ServeOptions::tcp`]) spawn one reader thread
+//!   per connection;
+//! * readers parse lines, route them ([`crate::router::route_line`]) and
+//!   hand rendered replies to a per-connection writer thread, so a slow
+//!   sweep for one client never blocks another client's warm edit —
+//!   requests to the *same* session pipeline through its mailbox in
+//!   order, requests to different sessions run in parallel;
+//! * [`Server`] is the socket-free synchronous facade over the same
+//!   router, used by tests and embedders.
 
 use crate::json::Json;
-use crate::protocol::{coded_error_response, error_response, Request};
-use qb_core::{
-    AutoPreference, BackendKind, CancelToken, InitialValue, QubitVerdict, Verdict, VerifyError,
-    VerifyLimits, VerifyOptions, VerifySession,
+use crate::protocol::coded_error_response;
+#[cfg(test)]
+use crate::protocol::Request;
+#[cfg(test)]
+use crate::router::STATE_FILE;
+use crate::router::{
+    graceful_shutdown, restore_state, route_line, spawn_snapshot_writer, Routed, Router,
+    ShutdownGate,
 };
-use qb_lang::{elaborate, gate_diff, parse, structural_hash, ElaboratedProgram, QubitKind};
-use std::collections::HashMap;
+use qb_core::VerifyOptions;
 use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Memory bounds of a long-lived daemon (see `README.md`, "Memory
@@ -47,7 +55,8 @@ pub struct ServerLimits {
     /// runs after every handled request. `None` = never.
     pub idle_timeout: Option<Duration>,
     /// Per-session formula-arena GC watermark floor handed to
-    /// [`VerifySession::set_memory_limits`]. `None` = session default.
+    /// [`qb_core::VerifySession::set_memory_limits`]. `None` = session
+    /// default.
     pub arena_gc_floor: Option<usize>,
     /// Per-session decision-cache capacity. `None` = session default.
     pub decision_cache_cap: Option<usize>,
@@ -61,6 +70,10 @@ pub struct ServerLimits {
 pub struct ServeOptions {
     /// Path of the Unix domain socket to listen on.
     pub socket: PathBuf,
+    /// Additionally listen on this TCP address (e.g. `127.0.0.1:7691`)
+    /// with u32-big-endian-length-prefixed JSON frames. `None` = Unix
+    /// socket only.
+    pub tcp: Option<String>,
     /// Verifier configuration shared by every session.
     pub verify: VerifyOptions,
     /// Print one line per handled request to stderr.
@@ -82,6 +95,7 @@ impl ServeOptions {
     pub fn new(socket: impl Into<PathBuf>) -> Self {
         ServeOptions {
             socket: socket.into(),
+            tcp: None,
             verify: VerifyOptions::default(),
             log: false,
             limits: ServerLimits::default(),
@@ -91,1283 +105,115 @@ impl ServeOptions {
     }
 }
 
-/// Key of a warm session: programs are shared by structural hash *per
-/// decision backend*, so `--backend bdd` and the daemon default each get
-/// their own warm state for the same circuit.
-type SessionKey = (u64, BackendKind);
-
-/// One warm program: the elaborated circuit and its verification session.
-struct ProgramSession {
-    program: ElaboratedProgram,
-    session: VerifySession,
-    /// The source the session was built from (or last edited to),
-    /// retained so a poisoned session can be rebuilt in place and so
-    /// snapshots can replay the load after a crash.
-    source: String,
-    verifies: u64,
-    /// Request-counter stamp of the last touch (LRU eviction order).
-    last_used: u64,
-    /// Wall-clock time of the last touch (idle eviction).
-    last_used_at: Instant,
-}
-
-fn initial_values(program: &ElaboratedProgram) -> Vec<InitialValue> {
-    (0..program.num_qubits())
-        .map(|q| match program.qubit_kinds[q] {
-            QubitKind::Clean => InitialValue::Zero,
-            QubitKind::BorrowedDirty | QubitKind::TrustedDirty => InitialValue::Free,
-        })
-        .collect()
-}
-
-fn hash_hex(hash: u64) -> String {
-    format!("{hash:016x}")
-}
-
-/// Remembered auto-portfolio winners kept across session eviction,
-/// least-recently-touched entries evicted beyond this.
-const AUTO_WINNERS_CAP: usize = 1024;
-
-/// An `ok:false` response carrying the machine-readable `not_loaded`
-/// code, so clients (notably `qborrow watch` across a daemon restart)
-/// can fall back to a fresh `load` instead of failing forever.
-fn not_loaded_response(name: &str) -> Json {
-    coded_error_response(&format!("program {name:?} is not loaded"), "not_loaded")
-}
-
-/// A deadline watchdog: a helper thread that trips `token` when the
-/// budget elapses, covering the window before the cooperative checks
-/// inside the solver loops observe the deadline themselves (and making
-/// every later check a cheap flag read). Dropping the guard wakes the
-/// thread immediately, so an in-budget verify pays one condvar signal,
-/// not a lingering thread per request.
-struct Watchdog {
-    state: Arc<(Mutex<bool>, Condvar)>,
-    handle: Option<std::thread::JoinHandle<()>>,
-}
-
-impl Watchdog {
-    fn arm(token: CancelToken, deadline: Duration) -> Watchdog {
-        let state = Arc::new((Mutex::new(false), Condvar::new()));
-        let thread_state = Arc::clone(&state);
-        let handle = std::thread::spawn(move || {
-            let (lock, cvar) = &*thread_state;
-            let expires = Instant::now() + deadline;
-            let mut done = lock.lock().unwrap();
-            loop {
-                if *done {
-                    return;
-                }
-                let now = Instant::now();
-                if now >= expires {
-                    token.cancel();
-                    return;
-                }
-                done = cvar.wait_timeout(done, expires - now).unwrap().0;
-            }
-        });
-        Watchdog {
-            state,
-            handle: Some(handle),
-        }
-    }
-}
-
-impl Drop for Watchdog {
-    fn drop(&mut self) {
-        let (lock, cvar) = &*self.state;
-        *lock.lock().unwrap() = true;
-        cvar.notify_all();
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
-    }
-}
-
-/// The request's wire command name, the label requests are metered
-/// under.
-fn request_cmd(request: &Request) -> &'static str {
-    match request {
-        Request::Load { .. } => "load",
-        Request::Verify { .. } => "verify",
-        Request::Edit { .. } => "edit",
-        Request::Status => "status",
-        Request::Metrics => "metrics",
-        Request::Unload { .. } => "unload",
-        Request::Shutdown => "shutdown",
-    }
-}
-
-/// Best-effort text of a caught panic payload.
-fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// FNV-1a 64-bit, the snapshot checksum: torn or bit-flipped state files
-/// are detected and discarded on restore instead of resurrecting a
-/// corrupt session table.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x100_0000_01b3);
-    }
-    hash
-}
-
-/// The daemon's request handler, socket-free for testability: feed it
-/// request lines, get response lines back.
+/// The socket-free request handler: the same concurrent routing core the
+/// socket transports drive ([`crate::router`]), behind a synchronous
+/// line-in/line-out facade. Requests still execute on the per-session
+/// actor threads; the facade blocks until the response is rendered, so
+/// callers observe the single-threaded semantics the wire protocol
+/// promises per connection.
 pub struct Server {
-    verify: VerifyOptions,
-    /// Warm sessions, keyed by (structural hash, backend).
-    sessions: HashMap<SessionKey, ProgramSession>,
-    /// Client names aliasing into `sessions`.
-    names: HashMap<String, SessionKey>,
-    requests: u64,
-    /// Memory bounds (session LRU, idle sweep, per-session GC knobs).
-    limits: ServerLimits,
-    /// Sessions evicted by the LRU bound or the idle sweep.
-    session_evictions: u64,
-    /// Per-circuit auto-portfolio memory: which backend won, keyed by
-    /// structural hash. Survives session eviction and unload, so a
-    /// reloaded circuit skips the losing backend attempt immediately.
-    /// LRU-bounded ([`AUTO_WINNERS_CAP`]) like every other piece of
-    /// per-circuit daemon state — an edit stream mints a fresh hash per
-    /// reload, so an unbounded map would leak over weeks of uptime.
-    auto_winners: HashMap<u64, (AutoPreference, u64)>,
-    /// Snapshot directory ([`ServeOptions::state_dir`]); `None` = no
-    /// persistence.
-    state_dir: Option<PathBuf>,
-    /// Set by mutating requests; cleared when a snapshot is written.
-    state_dirty: bool,
-    /// Snapshot writes that failed (logged, never fatal).
-    snapshot_failures: u64,
-    /// Sessions quarantined after a panic unwound out of them.
-    quarantines: u64,
-    /// Open request log ([`ServeOptions::log_file`]): one JSON object
-    /// per handled request.
-    log_sink: Option<std::fs::File>,
+    router: Arc<Router>,
 }
 
 impl Server {
-    /// Creates an empty server with no memory bounds.
-    pub fn new(verify: VerifyOptions) -> Self {
+    /// A server with unbounded limits.
+    pub fn new(verify: VerifyOptions) -> Server {
         Server::with_limits(verify, ServerLimits::default())
     }
 
-    /// Creates an empty server with the given memory bounds.
-    pub fn with_limits(verify: VerifyOptions, limits: ServerLimits) -> Self {
+    /// A server with explicit memory bounds.
+    pub fn with_limits(verify: VerifyOptions, limits: ServerLimits) -> Server {
         Server {
-            verify,
-            sessions: HashMap::new(),
-            names: HashMap::new(),
-            requests: 0,
-            limits,
-            session_evictions: 0,
-            auto_winners: HashMap::new(),
-            state_dir: None,
-            state_dirty: false,
-            snapshot_failures: 0,
-            quarantines: 0,
-            log_sink: None,
+            router: Arc::new(Router::new(verify, limits)),
         }
     }
 
-    /// Opens (appending) the per-request JSONL log.
-    ///
-    /// # Errors
-    ///
-    /// Fails when the file cannot be created or opened for append.
+    /// Opens (appending) the JSONL request log.
     pub fn set_log_file(&mut self, path: &Path) -> std::io::Result<()> {
-        self.log_sink = Some(
-            std::fs::File::options()
-                .create(true)
-                .append(true)
-                .open(path)?,
-        );
-        Ok(())
+        self.router.set_log_file(path)
     }
 
-    /// Directs crash-recovery snapshots to `dir` (`None` disables them).
-    /// Call [`Server::restore_state`] afterwards to replay a previous
-    /// run's snapshot.
+    /// Sets (or clears) the crash-recovery snapshot directory. Snapshots
+    /// are written after every mutating request once set.
     pub fn set_state_dir(&mut self, dir: Option<PathBuf>) {
-        self.state_dir = dir;
+        self.router.set_state_dir(dir);
     }
 
-    /// Sessions quarantined after a panic unwound out of them.
-    pub fn quarantined_sessions(&self) -> u64 {
-        self.quarantines
+    /// Replays the snapshot in the configured state directory, if any.
+    /// Returns the number of programs restored. Torn or corrupt
+    /// snapshots are discarded (the daemon starts cold), never fatal.
+    pub fn restore_state(&mut self) -> usize {
+        restore_state(&self.router)
     }
 
-    /// Builds a session for `program` on `backend`, applying the
-    /// configured per-session memory bounds and seeding the auto
-    /// portfolio with the backend this circuit's structural hash is
-    /// remembered to prefer.
-    fn new_session(
-        &self,
-        program: &ElaboratedProgram,
-        hash: u64,
-        backend: BackendKind,
-    ) -> Result<VerifySession, String> {
-        let opts = VerifyOptions {
-            backend,
-            ..self.verify
-        };
-        let mut session = VerifySession::new(&program.circuit, &initial_values(program), &opts)
-            .map_err(|e| e.to_string())?;
-        if self.limits.arena_gc_floor.is_some() || self.limits.decision_cache_cap.is_some() {
-            session.set_memory_limits(self.limits.arena_gc_floor, self.limits.decision_cache_cap);
-        }
-        if backend == BackendKind::Auto {
-            if let Some(&(pref, _)) = self.auto_winners.get(&hash) {
-                session.set_auto_preference(pref);
-            }
-        }
-        Ok(session)
-    }
-
-    /// Records what the auto portfolio learned about a circuit, so the
-    /// next session over the same structural hash skips the losing
-    /// backend attempt.
-    fn remember_auto(&mut self, key: SessionKey) {
-        if key.1 != BackendKind::Auto {
-            return;
-        }
-        if let Some(entry) = self.sessions.get(&key) {
-            let pref = entry.session.auto_preference();
-            if pref != AutoPreference::Undecided {
-                if self.auto_winners.get(&key.0).map(|&(p, _)| p) != Some(pref) {
-                    // A newly learned (or changed) winner is worth a
-                    // snapshot; mere stamp refreshes are not.
-                    self.state_dirty = true;
-                }
-                self.auto_winners.insert(key.0, (pref, self.requests));
-                qb_formula::lru_evict_batch(
-                    &mut self.auto_winners,
-                    AUTO_WINNERS_CAP,
-                    |&(_, stamp)| stamp,
-                    |_, _| {},
-                );
-            }
-        }
-    }
-
-    /// Resolves a request's optional backend name (`None` = the daemon
-    /// default), rejecting unknown names with the valid list.
-    fn resolve_backend(&self, requested: &Option<String>) -> Result<BackendKind, String> {
-        match requested {
-            None => Ok(self.verify.backend),
-            Some(name) => BackendKind::parse(name).ok_or_else(|| {
-                format!(
-                    "unknown backend {name:?} (valid backends: {})",
-                    BackendKind::valid_names()
-                )
-            }),
-        }
-    }
-
-    /// Handles one request line; returns the response line (no trailing
-    /// newline) and whether the daemon should shut down.
+    /// Handles one request line; returns the response line and whether a
+    /// shutdown was requested.
     pub fn handle_line(&mut self, line: &str) -> (String, bool) {
         self.handle_line_queued(line, 0)
     }
 
-    /// [`Server::handle_line`] with an explicit queue wait: `queue_ns`
-    /// is how long the request sat received-but-unhandled (pipelined
-    /// behind earlier requests). Every request is stamped with a daemon
-    /// request id (the `"request_id"` response member), its queue-wait
-    /// and handle latencies are recorded into the process metrics
-    /// registry per request type, and one JSON object is appended to the
-    /// request log when one is configured.
+    /// [`Server::handle_line`] with an externally measured queue wait
+    /// (time the line spent buffered before handling), folded into the
+    /// queue-wait histogram.
     pub fn handle_line_queued(&mut self, line: &str, queue_ns: u64) -> (String, bool) {
-        self.requests += 1;
-        let request_id = self.requests;
-        let clock = Instant::now();
-        let (cmd, mut response, shutdown) = match Request::parse(line) {
-            Err(e) => ("malformed", error_response(&e), false),
-            Ok(request) => {
-                let cmd = request_cmd(&request);
-                let shutdown = request == Request::Shutdown;
-                let response = self.handle(request);
-                // The request just handled refreshed its own session's
-                // stamps, so the sweep only reaps genuinely idle ones.
-                self.sweep_idle();
-                self.persist_state();
-                (cmd, response, shutdown)
-            }
-        };
-        let handle_ns = clock.elapsed().as_nanos() as u64;
-        qb_obs::counter_add("requests", cmd, 1);
-        qb_obs::observe_ns("request_handle", cmd, handle_ns);
-        qb_obs::observe_ns("request_queue_wait", cmd, queue_ns);
-        if let Json::Obj(members) = &mut response {
-            members.insert("request_id".into(), Json::Int(request_id as i64));
-        }
-        self.log_request(request_id, cmd, &response, queue_ns, handle_ns);
-        (response.to_string(), shutdown)
-    }
-
-    /// Appends one request record to the JSONL log, if one is open.
-    /// Write failures are silently dropped: logging must never take the
-    /// daemon down.
-    fn log_request(&mut self, id: u64, cmd: &str, response: &Json, queue_ns: u64, handle_ns: u64) {
-        let Some(sink) = &mut self.log_sink else {
-            return;
-        };
-        let ts_ms = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_millis() as i64)
-            .unwrap_or(0);
-        let record = Json::obj(vec![
-            ("ts_ms", Json::Int(ts_ms)),
-            ("request_id", Json::Int(id as i64)),
-            ("cmd", Json::Str(cmd.to_string())),
-            (
-                "ok",
-                Json::Bool(response.get("ok").and_then(Json::as_bool) == Some(true)),
-            ),
-            ("queue_ns", Json::Int(queue_ns as i64)),
-            ("handle_ns", Json::Int(handle_ns as i64)),
-        ]);
-        let _ = writeln!(sink, "{record}");
-    }
-
-    /// Number of loaded (hash-distinct) sessions.
-    pub fn loaded_sessions(&self) -> usize {
-        self.sessions.len()
-    }
-
-    /// Sessions evicted so far (LRU bound + idle sweep).
-    pub fn session_evictions(&self) -> u64 {
-        self.session_evictions
-    }
-
-    /// Marks a session as just used (LRU + idle bookkeeping).
-    fn touch(&mut self, key: SessionKey) {
-        let stamp = self.requests;
-        if let Some(entry) = self.sessions.get_mut(&key) {
-            entry.last_used = stamp;
-            entry.last_used_at = Instant::now();
-        }
-    }
-
-    /// Evicts `key` and every name aliasing it.
-    fn evict(&mut self, key: SessionKey) {
-        self.remember_auto(key);
-        if self.sessions.remove(&key).is_some() {
-            self.names.retain(|_, k| *k != key);
-            self.session_evictions += 1;
-            self.state_dirty = true;
-        }
-    }
-
-    /// Enforces the LRU bound, never evicting `protect` (the session the
-    /// current request just created or touched).
-    fn evict_over_capacity(&mut self, protect: SessionKey) {
-        let Some(max) = self.limits.max_sessions else {
-            return;
-        };
-        let max = max.max(1);
-        while self.sessions.len() > max {
-            let victim = self
-                .sessions
-                .iter()
-                .filter(|(&k, _)| k != protect)
-                .min_by_key(|(_, s)| s.last_used)
-                .map(|(&k, _)| k);
-            match victim {
-                Some(k) => self.evict(k),
-                None => return,
-            }
-        }
-    }
-
-    /// Evicts every session idle past the configured timeout.
-    fn sweep_idle(&mut self) {
-        let Some(timeout) = self.limits.idle_timeout else {
-            return;
-        };
-        let stale: Vec<SessionKey> = self
-            .sessions
-            .iter()
-            .filter(|(_, s)| s.last_used_at.elapsed() >= timeout)
-            .map(|(&k, _)| k)
-            .collect();
-        for key in stale {
-            self.evict(key);
-        }
-    }
-
-    /// Dispatches one request with panic isolation: a panic unwinding
-    /// out of a session (a solver bug, an injected failpoint) poisons
-    /// only that session — it is quarantined and rebuilt from its
-    /// retained source while the daemon answers with a structured
-    /// `internal_error` and keeps serving every other program.
-    fn handle(&mut self, request: Request) -> Json {
-        let touched = match &request {
-            Request::Load { name, .. }
-            | Request::Verify { name, .. }
-            | Request::Edit { name, .. }
-            | Request::Unload { name } => Some(name.clone()),
-            Request::Status | Request::Metrics | Request::Shutdown => None,
-        };
-        // The session table itself is only mutated between session
-        // calls, so an unwind can leave a *session* inconsistent but
-        // never the table: quarantining the named session restores the
-        // server invariants.
-        match std::panic::catch_unwind(AssertUnwindSafe(|| self.dispatch(request))) {
-            Ok(response) => response,
-            Err(payload) => {
-                self.quarantines += 1;
-                self.state_dirty = true;
-                let mut pairs = vec![
-                    ("ok", Json::Bool(false)),
-                    (
-                        "error",
-                        Json::Str(format!(
-                            "internal panic while handling the request: {}",
-                            panic_text(payload.as_ref())
-                        )),
-                    ),
-                    ("code", Json::Str("internal_error".to_string())),
-                ];
-                if let Some(name) = touched {
-                    let rebuilt = self.quarantine(&name);
-                    pairs.push(("quarantined", Json::Str(name)));
-                    pairs.push(("rebuilt", Json::Bool(rebuilt)));
-                }
-                Json::obj(pairs)
-            }
-        }
-    }
-
-    fn dispatch(&mut self, request: Request) -> Json {
-        match request {
-            Request::Load {
-                name,
-                source,
-                backend,
-            } => self.load(name, &source, &backend),
-            Request::Verify {
-                name,
-                targets,
-                deadline_ms,
-                trace,
-            } => self.run_verify(&name, targets, deadline_ms, trace),
-            Request::Edit {
-                name,
-                source,
-                backend,
-            } => self.edit(&name, &source, &backend),
-            Request::Status => self.status(),
-            Request::Metrics => self.metrics(),
-            Request::Unload { name } => self.unload(&name),
-            Request::Shutdown => Json::obj(vec![
-                ("ok", Json::Bool(true)),
-                ("shutdown", Json::Bool(true)),
-            ]),
-        }
-    }
-
-    /// Removes `name`'s session (any state a panic left behind is
-    /// untrusted) and rebuilds it from the retained source. Returns
-    /// whether the rebuild succeeded; on failure every alias of the
-    /// session is dropped, so clients see `not_loaded` and re-`load`.
-    fn quarantine(&mut self, name: &str) -> bool {
-        let Some(&key) = self.names.get(name) else {
-            return false;
-        };
-        let Some(poisoned) = self.sessions.remove(&key) else {
-            self.names.remove(name);
-            return false;
-        };
-        let source = poisoned.source;
-        drop(poisoned.session);
-        let rebuilt = Self::elaborate_source(&source).and_then(|program| {
-            self.new_session(&program, key.0, key.1)
-                .map(|session| (program, session))
-        });
-        match rebuilt {
-            Ok((program, session)) => {
-                self.sessions.insert(
-                    key,
-                    ProgramSession {
-                        program,
-                        session,
-                        source,
-                        verifies: 0,
-                        last_used: self.requests,
-                        last_used_at: Instant::now(),
-                    },
-                );
+        let (tx, rx) = std::sync::mpsc::channel();
+        let shutdown = match route_line(&self.router, line, queue_ns, &tx) {
+            Routed::Done => false,
+            Routed::Shutdown {
+                request_id,
+                started,
+            } => {
+                // The facade acknowledges without draining: its caller
+                // owns the sessions' lifetime (and tests rely on drop
+                // *not* flushing state, as a crash stand-in).
+                self.router.finish_shutdown(request_id, started, &tx);
                 true
             }
-            Err(_) => {
-                self.names.retain(|_, k| *k != key);
-                false
-            }
-        }
+        };
+        let response = rx.recv().expect("every routed request is answered");
+        self.router.reply_flushed();
+        // Persist synchronously: the facade has no snapshot-writer
+        // thread, and callers expect state on disk when the call
+        // returns (kill -9 determinism).
+        self.router.persist_once();
+        (response, shutdown)
     }
 
-    fn elaborate_source(source: &str) -> Result<ElaboratedProgram, String> {
-        let ast = parse(source).map_err(|e| e.to_string())?;
-        elaborate(&ast).map_err(|e| e.to_string())
+    /// Number of live (hash-distinct) sessions.
+    pub fn loaded_sessions(&self) -> usize {
+        self.router.loaded_sessions()
     }
 
-    fn program_summary(
-        name: &str,
-        key: SessionKey,
-        entry: &ProgramSession,
-    ) -> Vec<(&'static str, Json)> {
-        let (hash, backend) = key;
-        let stats = entry.session.stats();
-        vec![
-            ("name", Json::Str(name.to_string())),
-            ("hash", Json::Str(hash_hex(hash))),
-            ("backend", Json::Str(backend.to_string())),
-            ("qubits", Json::Int(entry.program.num_qubits() as i64)),
-            ("gates", Json::Int(entry.program.circuit.size() as i64)),
-            (
-                "targets",
-                Json::Arr(
-                    entry
-                        .program
-                        .qubits_to_verify()
-                        .iter()
-                        .map(|&q| Json::Int(q as i64))
-                        .collect(),
-                ),
-            ),
-            ("verifies", Json::Int(entry.verifies as i64)),
-            ("edits", Json::Int(stats.edits as i64)),
-            ("arena_nodes", Json::Int(stats.arena_nodes as i64)),
-            ("solver_vars", Json::Int(stats.solver_vars as i64)),
-            ("clause_slots", Json::Int(stats.clause_slots as i64)),
-            ("live_clauses", Json::Int(stats.live_clauses as i64)),
-            ("compactions", Json::Int(stats.compactions as i64)),
-            ("cached_decisions", Json::Int(stats.cached_decisions as i64)),
-            ("decision_hits", Json::Int(stats.decision_hits as i64)),
-            (
-                "decision_evictions",
-                Json::Int(stats.decision_evictions as i64),
-            ),
-            (
-                "arena_collections",
-                Json::Int(stats.arena_collections as i64),
-            ),
-            (
-                "arena_nodes_collected",
-                Json::Int(stats.arena_nodes_collected as i64),
-            ),
-            (
-                "arena_gc_watermark",
-                Json::Int(stats.arena_gc_watermark as i64),
-            ),
-            (
-                "bdd_resident_nodes",
-                Json::Int(stats.bdd_resident_nodes as i64),
-            ),
-            (
-                "bdd_cached_translations",
-                Json::Int(stats.bdd_cached_translations as i64),
-            ),
-            ("bdd_collections", Json::Int(stats.bdd_collections as i64)),
-            ("bdd_fallbacks", Json::Int(stats.bdd_fallbacks as i64)),
-            ("interrupts", Json::Int(stats.interrupts as i64)),
-            (
-                "deadline_fallbacks",
-                Json::Int(stats.deadline_fallbacks as i64),
-            ),
-            ("anf_cached_polys", Json::Int(stats.anf_cached_polys as i64)),
-            (
-                "auto_preference",
-                Json::Str(stats.auto_preference.name().into()),
-            ),
-            (
-                "solver_propagations",
-                Json::Int(stats.solver_propagations as i64),
-            ),
-            ("solver_conflicts", Json::Int(stats.solver_conflicts as i64)),
-            ("solver_restarts", Json::Int(stats.solver_restarts as i64)),
-            ("solver_vivified", Json::Int(stats.solver_vivified as i64)),
-            ("sat_ns", Json::Int(stats.sat_time.as_nanos() as i64)),
-            ("bdd_ns", Json::Int(stats.bdd_time.as_nanos() as i64)),
-            ("anf_ns", Json::Int(stats.anf_time.as_nanos() as i64)),
-            ("encode_ns", Json::Int(stats.encode_time.as_nanos() as i64)),
-            (
-                "cofactor_ns",
-                Json::Int(stats.cofactor_time.as_nanos() as i64),
-            ),
-            (
-                "target_p50_us",
-                Json::Int((stats.target_latency.p50() / 1_000) as i64),
-            ),
-            (
-                "target_p95_us",
-                Json::Int((stats.target_latency.p95() / 1_000) as i64),
-            ),
-            (
-                "idle_ms",
-                Json::Int(entry.last_used_at.elapsed().as_millis() as i64),
-            ),
-        ]
+    /// Total sessions evicted by the LRU bound or the idle sweep.
+    pub fn session_evictions(&self) -> u64 {
+        self.router.session_evictions()
     }
 
-    fn load(&mut self, name: String, source: &str, backend: &Option<String>) -> Json {
-        let program = match Self::elaborate_source(source) {
-            Ok(p) => p,
-            Err(e) => return error_response(&e),
-        };
-        let hash = structural_hash(&program);
-        // Backend selection is sticky: a backend-less load of a name
-        // that already holds a session keeps that session's backend —
-        // whatever the source now hashes to — so a plain `client
-        // verify` after a `--backend bdd` one stays on BDD instead of
-        // silently rebuilding on the daemon default. Only fresh names
-        // fall to the default.
-        let backend = match backend {
-            Some(_) => match self.resolve_backend(backend) {
-                Ok(b) => b,
-                Err(e) => return error_response(&e),
-            },
-            None => match self.names.get(&name) {
-                Some(&(_, kind)) => kind,
-                None => self.verify.backend,
-            },
-        };
-        let key = (hash, backend);
-        let reused = self.sessions.contains_key(&key);
-        if !reused {
-            let session = match self.new_session(&program, hash, backend) {
-                Ok(s) => s,
-                Err(e) => return error_response(&e),
-            };
-            self.sessions.insert(
-                key,
-                ProgramSession {
-                    program,
-                    session,
-                    source: source.to_string(),
-                    verifies: 0,
-                    last_used: self.requests,
-                    last_used_at: Instant::now(),
-                },
-            );
-        }
-        // Rebind the name; drop a previously bound session if this name
-        // was its last alias.
-        if let Some(old) = self.names.insert(name.clone(), key) {
-            if old != key {
-                self.drop_if_unaliased(old);
-            }
-        }
-        self.touch(key);
-        self.evict_over_capacity(key);
-        self.state_dirty = true;
-        let Some(entry) = self.sessions.get(&key) else {
-            return self.desync(&name);
-        };
-        let mut pairs = vec![("ok", Json::Bool(true)), ("reused", Json::Bool(reused))];
-        pairs.extend(Self::program_summary(&name, key, entry));
-        Json::obj(pairs)
-    }
-
-    /// Self-heals a dangling name→session alias (a broken internal
-    /// invariant): the alias is dropped and the client told to reload,
-    /// instead of the pre-hardening behaviour of killing the daemon —
-    /// and every other loaded program — with an `expect` panic.
-    fn desync(&mut self, name: &str) -> Json {
-        self.names.remove(name);
-        self.state_dirty = true;
-        coded_error_response(
-            &format!("session table desynchronised for {name:?}; alias dropped, please reload"),
-            "internal_error",
-        )
-    }
-
-    fn run_verify(
-        &mut self,
-        name: &str,
-        targets: Option<Vec<usize>>,
-        deadline_ms: Option<u64>,
-        trace: bool,
-    ) -> Json {
-        let Some(&key) = self.names.get(name) else {
-            return not_loaded_response(name);
-        };
-        self.touch(key);
-        let deadline = deadline_ms
-            .map(Duration::from_millis)
-            .or(self.limits.default_deadline);
-        let Some(entry) = self.sessions.get_mut(&key) else {
-            return self.desync(name);
-        };
-        let targets = targets.unwrap_or_else(|| entry.program.qubits_to_verify());
-        let t0 = Instant::now();
-        // A traced request flips span recording on for the duration of
-        // the sweep (discarding stale spans first) and restores the
-        // previous state before any return path, success or error.
-        let was_enabled = qb_obs::enabled();
-        if trace {
-            let _ = qb_obs::take_all_spans();
-            qb_obs::set_enabled(true);
-        }
-        let verdicts = match deadline {
-            None => entry.session.verify_targets(&targets),
-            Some(budget) => {
-                let token = CancelToken::new();
-                let limits = VerifyLimits {
-                    deadline: Some(budget),
-                    token: Some(token.clone()),
-                    ..VerifyLimits::default()
-                };
-                // The watchdog hard-trips the token at the deadline;
-                // dropping the guard after the sweep retires it.
-                let _watchdog = Watchdog::arm(token, budget);
-                entry.session.verify_targets_limited(&targets, &limits)
-            }
-        };
-        let trace_json = if trace {
-            qb_obs::set_enabled(was_enabled);
-            Some(qb_obs::chrome_trace(&qb_obs::take_all_spans()))
-        } else {
-            None
-        };
-        let verdicts = match verdicts {
-            Ok(v) => v,
-            Err(e) => return error_response(&e.to_string()),
-        };
-        let solve_ns = t0.elapsed().as_nanos() as i64;
-        entry.verifies += 1;
-        let all_safe = verdicts.iter().all(|v| v.safe);
-        let unknowns = verdicts.iter().filter(|v| v.verdict.is_unknown()).count();
-        let rendered: Vec<Json> = verdicts
-            .iter()
-            .map(|v| render_verdict(&entry.program, v))
-            .collect();
-        let stats = entry.session.stats();
-        let verifies = entry.verifies;
-        self.remember_auto(key);
-        let mut pairs = vec![
-            ("ok", Json::Bool(true)),
-            ("name", Json::Str(name.to_string())),
-            ("hash", Json::Str(hash_hex(key.0))),
-            ("backend", Json::Str(key.1.to_string())),
-            ("all_safe", Json::Bool(all_safe)),
-            ("unknowns", Json::Int(unknowns as i64)),
-            ("verdicts", Json::Arr(rendered)),
-            ("solve_ns", Json::Int(solve_ns)),
-            ("verifies", Json::Int(verifies as i64)),
-            ("compactions", Json::Int(stats.compactions as i64)),
-            ("bdd_fallbacks", Json::Int(stats.bdd_fallbacks as i64)),
-            ("interrupts", Json::Int(stats.interrupts as i64)),
-            (
-                "deadline_fallbacks",
-                Json::Int(stats.deadline_fallbacks as i64),
-            ),
-            (
-                "auto_preference",
-                Json::Str(stats.auto_preference.name().into()),
-            ),
-            (
-                "solver_propagations",
-                Json::Int(stats.solver_propagations as i64),
-            ),
-            ("solver_conflicts", Json::Int(stats.solver_conflicts as i64)),
-            ("solver_restarts", Json::Int(stats.solver_restarts as i64)),
-            ("solver_vivified", Json::Int(stats.solver_vivified as i64)),
-            ("encode_ns", Json::Int(stats.encode_time.as_nanos() as i64)),
-            (
-                "cofactor_ns",
-                Json::Int(stats.cofactor_time.as_nanos() as i64),
-            ),
-            (
-                "target_p50_us",
-                Json::Int((stats.target_latency.p50() / 1_000) as i64),
-            ),
-            (
-                "target_p95_us",
-                Json::Int((stats.target_latency.p95() / 1_000) as i64),
-            ),
-            (
-                "root_p50_us",
-                Json::Int((stats.root_latency.p50() / 1_000) as i64),
-            ),
-            (
-                "root_p95_us",
-                Json::Int((stats.root_latency.p95() / 1_000) as i64),
-            ),
-        ];
-        if let Some(budget) = deadline {
-            pairs.push(("deadline_ms", Json::Int(budget.as_millis() as i64)));
-        }
-        if let Some(trace_json) = trace_json {
-            pairs.push(("trace", Json::Str(trace_json)));
-        }
-        Json::obj(pairs)
-    }
-
-    fn edit(&mut self, name: &str, source: &str, backend: &Option<String>) -> Json {
-        let Some(&old_key) = self.names.get(name) else {
-            return not_loaded_response(name);
-        };
-        // An edit keeps its session's backend unless one is requested.
-        let backend = match backend {
-            None => old_key.1,
-            Some(_) => match self.resolve_backend(backend) {
-                Ok(b) => b,
-                Err(e) => return error_response(&e),
-            },
-        };
-        let program = match Self::elaborate_source(source) {
-            Ok(p) => p,
-            Err(e) => return error_response(&e),
-        };
-        let new_key = (structural_hash(&program), backend);
-        if new_key == old_key {
-            self.touch(old_key);
-            let Some(entry) = self.sessions.get(&old_key) else {
-                return self.desync(name);
-            };
-            let mut pairs = vec![
-                ("ok", Json::Bool(true)),
-                ("changed", Json::Bool(false)),
-                ("strategy", Json::Str("identical".into())),
-            ];
-            pairs.extend(Self::program_summary(name, old_key, entry));
-            return Json::obj(pairs);
-        }
-        // An identical program is already warm under another name (or
-        // backend): just re-alias, dropping our old session if unaliased.
-        if self.sessions.contains_key(&new_key) {
-            self.names.insert(name.to_string(), new_key);
-            self.drop_if_unaliased(old_key);
-            self.touch(new_key);
-            self.state_dirty = true;
-            let Some(entry) = self.sessions.get(&new_key) else {
-                return self.desync(name);
-            };
-            let mut pairs = vec![
-                ("ok", Json::Bool(true)),
-                ("changed", Json::Bool(true)),
-                ("strategy", Json::Str("aliased".into())),
-            ];
-            pairs.extend(Self::program_summary(name, new_key, entry));
-            return Json::obj(pairs);
-        }
-
-        let aliased = self.names.values().filter(|&&k| k == old_key).count() > 1;
-        let Some(old_entry) = self.sessions.get(&old_key) else {
-            return self.desync(name);
-        };
-        let kinds_match = old_entry.program.qubit_kinds == program.qubit_kinds;
-        let diff = gate_diff(old_entry.program.circuit.gates(), program.circuit.gates());
-
-        // Incremental path: exclusive session on the same backend with
-        // an unchanged qubit layout. Otherwise fall back to a fresh
-        // session for this name.
-        if !aliased && kinds_match && backend == old_key.1 {
-            let Some(mut entry) = self.sessions.remove(&old_key) else {
-                return self.desync(name);
-            };
-            match entry.session.apply_edit(&program.circuit) {
-                Ok(stats) => {
-                    entry.program = program;
-                    entry.source = source.to_string();
-                    self.sessions.insert(new_key, entry);
-                    self.names.insert(name.to_string(), new_key);
-                    self.touch(new_key);
-                    self.state_dirty = true;
-                    let Some(entry) = self.sessions.get(&new_key) else {
-                        return self.desync(name);
-                    };
-                    let mut pairs = vec![
-                        ("ok", Json::Bool(true)),
-                        ("changed", Json::Bool(true)),
-                        ("strategy", Json::Str("incremental".into())),
-                        ("common_prefix", Json::Int(stats.common_prefix as i64)),
-                        ("removed_gates", Json::Int(diff.removed as i64)),
-                        ("added_gates", Json::Int(diff.added as i64)),
-                        ("permanent_prefix", Json::Int(stats.permanent_prefix as i64)),
-                        ("suffix_clauses", Json::Int(stats.suffix_clauses as i64)),
-                        ("edit_ns", Json::Int(stats.elapsed.as_nanos() as i64)),
-                    ];
-                    pairs.extend(Self::program_summary(name, new_key, entry));
-                    return Json::obj(pairs);
-                }
-                Err(VerifyError::IncompatibleEdit { .. }) => {
-                    // Qubit layout changed: put the old session back and
-                    // fall through to the reload path.
-                    self.sessions.insert(old_key, entry);
-                }
-                Err(e) => {
-                    self.sessions.insert(old_key, entry);
-                    return error_response(&e.to_string());
-                }
-            }
-        }
-
-        // Reload path: build a fresh session for the edited program.
-        let session = match self.new_session(&program, new_key.0, backend) {
-            Ok(s) => s,
-            Err(e) => return error_response(&e),
-        };
-        self.sessions.insert(
-            new_key,
-            ProgramSession {
-                program,
-                session,
-                source: source.to_string(),
-                verifies: 0,
-                last_used: self.requests,
-                last_used_at: Instant::now(),
-            },
-        );
-        self.names.insert(name.to_string(), new_key);
-        self.drop_if_unaliased(old_key);
-        self.evict_over_capacity(new_key);
-        self.state_dirty = true;
-        let Some(entry) = self.sessions.get(&new_key) else {
-            return self.desync(name);
-        };
-        let mut pairs = vec![
-            ("ok", Json::Bool(true)),
-            ("changed", Json::Bool(true)),
-            ("strategy", Json::Str("reload".into())),
-            ("common_prefix", Json::Int(diff.common_prefix as i64)),
-            ("removed_gates", Json::Int(diff.removed as i64)),
-            ("added_gates", Json::Int(diff.added as i64)),
-        ];
-        pairs.extend(Self::program_summary(name, new_key, entry));
-        Json::obj(pairs)
-    }
-
-    fn status(&self) -> Json {
-        let mut names: Vec<&String> = self.names.keys().collect();
-        names.sort();
-        let programs: Vec<Json> = names
-            .iter()
-            .filter_map(|name| {
-                // A dangling alias (broken invariant) is skipped rather
-                // than panicking the whole daemon out from under every
-                // other loaded program.
-                let key = self.names[*name];
-                let entry = self.sessions.get(&key)?;
-                Some(Json::obj(
-                    Self::program_summary(name, key, entry)
-                        .into_iter()
-                        .collect(),
-                ))
-            })
-            .collect();
-        let resident_nodes: usize = self
-            .sessions
-            .values()
-            .map(|s| s.session.stats().arena_nodes)
-            .sum();
-        let resident_bdd: usize = self
-            .sessions
-            .values()
-            .map(|s| s.session.stats().bdd_resident_nodes)
-            .sum();
-        Json::obj(vec![
-            ("ok", Json::Bool(true)),
-            ("programs", Json::Arr(programs)),
-            ("sessions", Json::Int(self.sessions.len() as i64)),
-            (
-                "max_sessions",
-                match self.limits.max_sessions {
-                    Some(n) => Json::Int(n as i64),
-                    None => Json::Null,
-                },
-            ),
-            (
-                "session_evictions",
-                Json::Int(self.session_evictions as i64),
-            ),
-            ("resident_arena_nodes", Json::Int(resident_nodes as i64)),
-            ("resident_bdd_nodes", Json::Int(resident_bdd as i64)),
-            (
-                "auto_winners_remembered",
-                Json::Int(self.auto_winners.len() as i64),
-            ),
-            ("quarantines", Json::Int(self.quarantines as i64)),
-            (
-                "snapshot_failures",
-                Json::Int(self.snapshot_failures as i64),
-            ),
-            ("state_persisted", Json::Bool(self.state_dir.is_some())),
-            (
-                "default_deadline_ms",
-                match self.limits.default_deadline {
-                    Some(d) => Json::Int(d.as_millis() as i64),
-                    None => Json::Null,
-                },
-            ),
-            ("requests", Json::Int(self.requests as i64)),
-        ])
-    }
-
-    /// Renders the process metrics registry — request counters and
-    /// latency histograms, solver-phase counters, backend cache rates —
-    /// in the Prometheus text exposition format, folding in the warm
-    /// sessions' per-target and per-root latency histograms.
-    fn metrics(&self) -> Json {
-        let mut target = qb_obs::Histogram::new();
-        let mut root = qb_obs::Histogram::new();
-        for entry in self.sessions.values() {
-            let stats = entry.session.stats();
-            target.merge(&stats.target_latency);
-            root.merge(&stats.root_latency);
-        }
-        let text = qb_obs::prometheus_text(
-            &qb_obs::metrics_snapshot(),
-            &[
-                ("target_latency", "all", target),
-                ("root_latency", "all", root),
-            ],
-        );
-        Json::obj(vec![
-            ("ok", Json::Bool(true)),
-            ("metrics", Json::Str(text)),
-            ("sessions", Json::Int(self.sessions.len() as i64)),
-            ("requests", Json::Int(self.requests as i64)),
-        ])
-    }
-
-    fn unload(&mut self, name: &str) -> Json {
-        match self.names.remove(name) {
-            None => not_loaded_response(name),
-            Some(key) => {
-                self.drop_if_unaliased(key);
-                self.state_dirty = true;
-                Json::obj(vec![
-                    ("ok", Json::Bool(true)),
-                    ("unloaded", Json::Str(name.to_string())),
-                    ("sessions", Json::Int(self.sessions.len() as i64)),
-                ])
-            }
-        }
-    }
-
-    fn drop_if_unaliased(&mut self, key: SessionKey) {
-        if !self.names.values().any(|&k| k == key) {
-            self.remember_auto(key);
-            self.sessions.remove(&key);
-        }
-    }
-
-    /// The snapshot payload: every name with its retained source and
-    /// backend (sorted for a deterministic file), plus the learned
-    /// auto-portfolio winners. Sessions are *not* serialised — solver
-    /// state is rebuilt by replaying the loads, which provably reaches
-    /// the same verdicts (it is the same code path a cold client takes).
-    fn state_payload(&self) -> Json {
-        let mut names: Vec<&String> = self.names.keys().collect();
-        names.sort();
-        let programs: Vec<Json> = names
-            .iter()
-            .filter_map(|name| {
-                let key = self.names[*name];
-                let entry = self.sessions.get(&key)?;
-                Some(Json::obj(vec![
-                    ("name", Json::Str((*name).clone())),
-                    ("backend", Json::Str(key.1.to_string())),
-                    ("source", Json::Str(entry.source.clone())),
-                ]))
-            })
-            .collect();
-        let mut winners: Vec<(&u64, &(AutoPreference, u64))> = self.auto_winners.iter().collect();
-        winners.sort_by_key(|&(hash, _)| hash);
-        let winners: Vec<Json> = winners
-            .into_iter()
-            .map(|(&hash, &(pref, _))| {
-                Json::Arr(vec![
-                    Json::Str(hash_hex(hash)),
-                    Json::Str(pref.name().to_string()),
-                ])
-            })
-            .collect();
-        Json::obj(vec![
-            ("auto_winners", Json::Arr(winners)),
-            ("programs", Json::Arr(programs)),
-        ])
-    }
-
-    /// Writes the snapshot if one is due. Failures are counted and
-    /// logged, never fatal: a daemon that cannot persist still serves.
-    fn persist_state(&mut self) {
-        let Some(dir) = self.state_dir.clone() else {
-            return;
-        };
-        if !self.state_dirty {
-            return;
-        }
-        // Fold what live auto sessions have learned into the winner map
-        // before serialising, so a crash right after this write already
-        // knows the preference.
-        let keys: Vec<SessionKey> = self.sessions.keys().copied().collect();
-        for key in keys {
-            self.remember_auto(key);
-        }
-        let payload = self.state_payload().to_string();
-        match write_snapshot(&dir, &payload) {
-            // Still dirty on failure: the next handled request retries.
-            Ok(()) => self.state_dirty = false,
-            Err(e) => {
-                self.snapshot_failures += 1;
-                eprintln!("qb-serve: snapshot write failed ({e}); will retry after next request");
-            }
-        }
-    }
-
-    /// Replays the snapshot in the configured state directory, if any:
-    /// seeds the auto-portfolio winners, then re-loads every program
-    /// under its name and backend. Returns the number of programs
-    /// restored. A missing, torn or checksum-failing snapshot starts
-    /// cold (logged, never fatal).
-    pub fn restore_state(&mut self) -> usize {
-        let Some(dir) = self.state_dir.clone() else {
-            return 0;
-        };
-        let path = dir.join(STATE_FILE);
-        let data = match std::fs::read_to_string(&path) {
-            Ok(d) => d,
-            Err(_) => return 0,
-        };
-        let mut lines = data.lines();
-        let (payload, checksum) = match (lines.next(), lines.next()) {
-            (Some(p), Some(c)) => (p, c),
-            _ => {
-                eprintln!(
-                    "qb-serve: snapshot {} is truncated; starting cold",
-                    path.display()
-                );
-                return 0;
-            }
-        };
-        if checksum.trim() != format!("{:016x}", fnv1a64(payload.as_bytes())) {
-            eprintln!(
-                "qb-serve: snapshot {} fails its checksum; starting cold",
-                path.display()
-            );
-            return 0;
-        }
-        let Ok(state) = Json::parse(payload) else {
-            eprintln!(
-                "qb-serve: snapshot {} is not valid JSON; starting cold",
-                path.display()
-            );
-            return 0;
-        };
-        // Winners first, so the replayed loads seed their auto sessions
-        // with the learned preference instead of re-learning it.
-        if let Some(winners) = state.get("auto_winners").and_then(Json::as_arr) {
-            for winner in winners {
-                let Some(pair) = winner.as_arr() else {
-                    continue;
-                };
-                let (Some(hash), Some(pref)) = (
-                    pair.first().and_then(Json::as_str),
-                    pair.get(1).and_then(Json::as_str),
-                ) else {
-                    continue;
-                };
-                if let (Ok(hash), Some(pref)) =
-                    (u64::from_str_radix(hash, 16), AutoPreference::parse(pref))
-                {
-                    self.auto_winners.insert(hash, (pref, self.requests));
-                }
-            }
-        }
-        let mut restored = 0;
-        if let Some(programs) = state.get("programs").and_then(Json::as_arr) {
-            for program in programs {
-                let (Some(name), Some(source)) = (
-                    program.get("name").and_then(Json::as_str),
-                    program.get("source").and_then(Json::as_str),
-                ) else {
-                    continue;
-                };
-                let backend = program
-                    .get("backend")
-                    .and_then(Json::as_str)
-                    .map(String::from);
-                let response = self.load(name.to_string(), source, &backend);
-                if response.get("ok").and_then(Json::as_bool) == Some(true) {
-                    restored += 1;
-                } else {
-                    eprintln!("qb-serve: snapshot replay of {name:?} failed: {response}");
-                }
-            }
-        }
-        // Replaying loads marked the state dirty; the snapshot on disk
-        // already says exactly this, so suppress the rewrite.
-        self.state_dirty = false;
-        restored
+    /// Total sessions quarantined after a panic.
+    pub fn quarantined_sessions(&self) -> u64 {
+        self.router.quarantined_sessions()
     }
 }
 
-/// Snapshot file name inside [`ServeOptions::state_dir`].
-const STATE_FILE: &str = "state.json";
-
-/// Atomically replaces the snapshot: payload line + checksum line to a
-/// temp file, fsync'd, then renamed over the live name — a crash at any
-/// instant leaves either the old complete snapshot or the new one.
-fn write_snapshot(dir: &Path, payload: &str) -> std::io::Result<()> {
-    if qb_testutil::failpoints::should_fail("snapshot_write") {
-        return Err(std::io::Error::other("injected snapshot_write failure"));
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Join the actor threads, but do *not* persist: dropping the
+        // facade is the tests' crash stand-in, and the daemon path
+        // persists explicitly before its router is dropped.
+        self.router.drain_actors();
     }
-    std::fs::create_dir_all(dir)?;
-    let tmp = dir.join("state.json.tmp");
-    {
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(payload.as_bytes())?;
-        file.write_all(b"\n")?;
-        file.write_all(format!("{:016x}\n", fnv1a64(payload.as_bytes())).as_bytes())?;
-        file.sync_all()?;
-    }
-    std::fs::rename(&tmp, dir.join(STATE_FILE))
 }
 
-fn render_verdict(program: &ElaboratedProgram, v: &QubitVerdict) -> Json {
-    let mut pairs = vec![
-        ("qubit", Json::Int(v.qubit as i64)),
-        ("name", Json::Str(program.qubit_name(v.qubit).to_string())),
-        ("safe", Json::Bool(v.safe)),
-        ("verdict", Json::Str(v.verdict.name().to_string())),
-        ("zero_ns", Json::Int(v.zero_time.as_nanos() as i64)),
-        ("plus_ns", Json::Int(v.plus_time.as_nanos() as i64)),
-    ];
-    if let Verdict::Unknown { reason } = &v.verdict {
-        pairs.push(("reason", Json::Str(reason.clone())));
-    }
-    if let Some(ce) = &v.counterexample {
-        pairs.push(("violation", Json::Str(ce.violation.to_string())));
-        if let Some(bits) = &ce.basis_assignment {
-            pairs.push((
-                "witness",
-                Json::Arr(bits.iter().map(|&b| Json::Bool(b)).collect()),
-            ));
-        }
-    }
-    Json::obj(pairs)
-}
-
-/// Runs the daemon: binds `opts.socket`, serves connections until a
-/// `shutdown` request arrives, then removes the socket file.
+/// Runs the daemon: binds `opts.socket` (and `opts.tcp`, when set),
+/// serves connections concurrently until a `shutdown` request arrives,
+/// then removes the socket file.
 ///
 /// # Errors
 ///
-/// Fails when the socket cannot be bound. Per-connection I/O errors are
-/// logged and do not stop the daemon.
+/// Fails when a listener cannot be bound. Per-connection I/O errors are
+/// logged and do not stop the daemon; failed `accept`s back off
+/// exponentially (capped at 1s) and are counted in `status` under
+/// `accept_errors`.
 pub fn run(opts: &ServeOptions) -> std::io::Result<()> {
     if opts.socket.exists() {
         // Only reclaim the path if nothing is listening on it: unlinking
@@ -1383,21 +229,32 @@ pub fn run(opts: &ServeOptions) -> std::io::Result<()> {
         std::fs::remove_file(&opts.socket)?;
     }
     let listener = UnixListener::bind(&opts.socket)?;
+    let tcp_listener = match &opts.tcp {
+        Some(addr) => Some(TcpListener::bind(addr)?),
+        None => None,
+    };
     if opts.log {
         let bound = match opts.limits.max_sessions {
             Some(n) => format!(", max {n} sessions"),
             None => String::new(),
         };
+        let tcp = match &tcp_listener {
+            Some(l) => match l.local_addr() {
+                Ok(addr) => format!(" and tcp {addr}"),
+                Err(_) => " and tcp".to_string(),
+            },
+            None => String::new(),
+        };
         eprintln!(
-            "qb-serve: listening on {} (backend {}, {:?}{bound})",
+            "qb-serve: listening on {}{tcp} (backend {}, {:?}{bound})",
             opts.socket.display(),
             opts.verify.backend,
             opts.verify.simplify
         );
     }
-    let mut server = Server::with_limits(opts.verify, opts.limits);
+    let router = Arc::new(Router::new(opts.verify, opts.limits));
     if let Some(path) = &opts.log_file {
-        if let Err(e) = server.set_log_file(path) {
+        if let Err(e) = router.set_log_file(path) {
             eprintln!(
                 "qb-serve: cannot open request log {} ({e}); continuing without one",
                 path.display()
@@ -1405,8 +262,8 @@ pub fn run(opts: &ServeOptions) -> std::io::Result<()> {
         }
     }
     if let Some(dir) = &opts.state_dir {
-        server.set_state_dir(Some(dir.clone()));
-        let restored = server.restore_state();
+        router.set_state_dir(Some(dir.clone()));
+        let restored = restore_state(&router);
         if opts.log && restored > 0 {
             eprintln!(
                 "qb-serve: restored {restored} program(s) from {}",
@@ -1414,18 +271,32 @@ pub fn run(opts: &ServeOptions) -> std::io::Result<()> {
             );
         }
     }
-    for stream in listener.incoming() {
-        match stream {
-            Err(e) => {
-                eprintln!("qb-serve: accept failed: {e}");
-            }
-            Ok(stream) => match serve_connection(stream, &mut server, opts.log) {
-                Ok(true) => break,
-                Ok(false) => {}
-                Err(e) => eprintln!("qb-serve: connection error: {e}"),
-            },
-        }
+    let stop = Arc::new(AtomicBool::new(false));
+    router.set_gate(ShutdownGate {
+        stop: Arc::clone(&stop),
+        socket: opts.socket.clone(),
+        tcp: tcp_listener.as_ref().and_then(|l| l.local_addr().ok()),
+    });
+    let snapshot_writer = spawn_snapshot_writer(&router);
+    let tcp_thread = tcp_listener.map(|listener| {
+        let router = Arc::clone(&router);
+        let stop = Arc::clone(&stop);
+        let log = opts.log;
+        std::thread::Builder::new()
+            .name("qb-accept-tcp".into())
+            .spawn(move || accept_loop(TcpAccept(listener), &router, &stop, log))
+            .expect("spawn tcp accept loop")
+    });
+    accept_loop(UnixAccept(listener), &router, &stop, opts.log);
+    if let Some(thread) = tcp_thread {
+        let _ = thread.join();
     }
+    // The shutdown acknowledgement (and any other in-flight response)
+    // is flushed by a per-connection writer thread; don't let process
+    // exit truncate it mid-write.
+    router.wait_replies_flushed(Duration::from_secs(5));
+    router.stop_snapshot_writer();
+    let _ = snapshot_writer.join();
     let _ = std::fs::remove_file(&opts.socket);
     if opts.log {
         eprintln!("qb-serve: shut down");
@@ -1433,43 +304,204 @@ pub fn run(opts: &ServeOptions) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Upper bound on one request line (16 MiB). Program sources are at most
-/// a few hundred KiB even at paper scale; anything larger is a confused
-/// or malicious client, and buffering it unchecked would let one
-/// connection exhaust the daemon's memory.
+/// One transport's accept source: yields connections already wrapped in
+/// a closure that serves them (the two transports differ in framing).
+trait Accept {
+    fn accept_and_serve(&self, router: &Arc<Router>, log: bool) -> std::io::Result<()>;
+    fn transport(&self) -> &'static str;
+}
+
+struct UnixAccept(UnixListener);
+
+impl Accept for UnixAccept {
+    fn accept_and_serve(&self, router: &Arc<Router>, log: bool) -> std::io::Result<()> {
+        let (stream, _) = self.0.accept()?;
+        let router = Arc::clone(router);
+        std::thread::Builder::new()
+            .name("qb-conn-unix".into())
+            .spawn(move || {
+                if let Err(e) = serve_unix_connection(stream, &router, log) {
+                    eprintln!("qb-serve: connection error: {e}");
+                }
+            })?;
+        Ok(())
+    }
+
+    fn transport(&self) -> &'static str {
+        "unix"
+    }
+}
+
+struct TcpAccept(TcpListener);
+
+impl Accept for TcpAccept {
+    fn accept_and_serve(&self, router: &Arc<Router>, log: bool) -> std::io::Result<()> {
+        let (stream, _) = self.0.accept()?;
+        let router = Arc::clone(router);
+        std::thread::Builder::new()
+            .name("qb-conn-tcp".into())
+            .spawn(move || {
+                if let Err(e) = serve_tcp_connection(stream, &router, log) {
+                    eprintln!("qb-serve: connection error: {e}");
+                }
+            })?;
+        Ok(())
+    }
+
+    fn transport(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+/// Accepts until the shutdown gate trips. A failed accept (EMFILE,
+/// transient network errors) is counted and backed off exponentially —
+/// 10ms doubling to a 1s cap, reset on the next success — instead of
+/// spinning hot on a persistent error.
+fn accept_loop(listener: impl Accept, router: &Arc<Router>, stop: &Arc<AtomicBool>, log: bool) {
+    let floor = Duration::from_millis(10);
+    let cap = Duration::from_secs(1);
+    let mut backoff = floor;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept_and_serve(router, log) {
+            Ok(()) => {
+                backoff = floor;
+                // The connection may be the shutdown gate's wake-up
+                // poke; its reader sees EOF and exits on its own.
+            }
+            Err(e) => {
+                router.note_accept_error();
+                eprintln!(
+                    "qb-serve: {} accept failed: {e}; retrying in {backoff:?}",
+                    listener.transport()
+                );
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(cap);
+            }
+        }
+    }
+}
+
+/// Upper bound on one request line or frame (16 MiB). Program sources
+/// are at most a few hundred KiB even at paper scale; anything larger is
+/// a confused or malicious client, and buffering it unchecked would let
+/// one connection exhaust the daemon's memory.
 const MAX_REQUEST_LINE: u64 = 16 * 1024 * 1024;
 
-/// Serves one connection; returns `true` when a shutdown was requested.
+/// Spawns the per-connection writer thread: responses are rendered on
+/// whatever thread finished the request and arrive here via the reply
+/// channel, in routing order for this connection. After a write error
+/// the writer keeps draining (and acknowledging flushes — graceful
+/// shutdown waits on that count) without touching the dead socket.
+fn spawn_conn_writer<W: Write + Send + 'static>(
+    mut writer: W,
+    router: &Arc<Router>,
+    frame: fn(&mut W, &str) -> std::io::Result<()>,
+) -> (crate::actor::ReplySender, std::thread::JoinHandle<()>) {
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    let router = Arc::clone(router);
+    let handle = std::thread::Builder::new()
+        .name("qb-conn-writer".into())
+        .spawn(move || {
+            let mut healthy = true;
+            for line in rx {
+                if healthy {
+                    healthy = frame(&mut writer, &line).is_ok();
+                }
+                router.reply_flushed();
+            }
+        })
+        .expect("spawn connection writer");
+    (tx, handle)
+}
+
+fn frame_newline<W: Write>(writer: &mut W, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn frame_length_prefixed<W: Write>(writer: &mut W, line: &str) -> std::io::Result<()> {
+    writer.write_all(&(line.len() as u32).to_be_bytes())?;
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+/// Routes one parsed-off-the-wire line, returning `true` when it was a
+/// shutdown request (the connection stops reading afterwards).
+fn route_one(
+    router: &Arc<Router>,
+    line: &str,
+    queue_ns: u64,
+    tx: &crate::actor::ReplySender,
+    log: bool,
+) -> bool {
+    let t0 = Instant::now();
+    let routed = route_line(router, line, queue_ns, tx);
+    if log {
+        let cmd = Json::parse(line)
+            .ok()
+            .and_then(|v| v.get("cmd").and_then(Json::as_str).map(String::from))
+            .unwrap_or_else(|| "<malformed>".into());
+        eprintln!("qb-serve: {cmd} routed in {:?}", t0.elapsed());
+    }
+    match routed {
+        Routed::Done => false,
+        Routed::Shutdown {
+            request_id,
+            started,
+        } => {
+            graceful_shutdown(router, request_id, started, tx);
+            true
+        }
+    }
+}
+
+/// Serves one newline-JSON Unix-socket connection.
 ///
 /// Malformed input never drops the connection: an oversized line is
 /// drained and answered with an `"oversized"`-coded error, invalid UTF-8
 /// with `"invalid_utf8"`, and the client can keep sending requests.
-fn serve_connection(stream: UnixStream, server: &mut Server, log: bool) -> std::io::Result<bool> {
-    let mut writer = stream.try_clone()?;
+fn serve_unix_connection(
+    stream: UnixStream,
+    router: &Arc<Router>,
+    log: bool,
+) -> std::io::Result<()> {
+    let writer = stream.try_clone()?;
+    let (tx, writer_handle) = spawn_conn_writer(writer, router, frame_newline);
     let mut reader = BufReader::new(stream);
-    // Stamp of the last response (or connection start): a request that
-    // was already buffered when it was taken has been queuing since then.
+    // Stamp of the last routed request (or connection start): a request
+    // that was already buffered when it was taken has been queuing since
+    // then.
     let mut idle_since = Instant::now();
-    loop {
+    let result = loop {
         let pipelined = !reader.buffer().is_empty();
         let mut buf: Vec<u8> = Vec::new();
-        let n = (&mut reader)
+        let n = match (&mut reader)
             .take(MAX_REQUEST_LINE + 1)
-            .read_until(b'\n', &mut buf)?;
+            .read_until(b'\n', &mut buf)
+        {
+            Ok(n) => n,
+            Err(e) => break Err(e),
+        };
         if n == 0 {
-            return Ok(false); // client hung up
+            break Ok(()); // client hung up
         }
         if buf.last() == Some(&b'\n') {
             buf.pop();
         } else if buf.len() as u64 > MAX_REQUEST_LINE {
             // The cap truncated the line mid-way: discard the rest of it
             // so the stream resynchronises on the next newline.
-            drain_to_newline(&mut reader)?;
+            if let Err(e) = drain_to_newline(&mut reader) {
+                break Err(e);
+            }
             let response = coded_error_response(
                 &format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
                 "oversized",
             );
-            respond(&mut writer, &response.to_string())?;
+            router.send_reply(&tx, response.to_string());
             continue;
         }
         let line = match String::from_utf8(buf) {
@@ -1477,7 +509,7 @@ fn serve_connection(stream: UnixStream, server: &mut Server, log: bool) -> std::
             Err(_) => {
                 let response =
                     coded_error_response("request line is not valid UTF-8", "invalid_utf8");
-                respond(&mut writer, &response.to_string())?;
+                router.send_reply(&tx, response.to_string());
                 continue;
             }
         };
@@ -1485,37 +517,85 @@ fn serve_connection(stream: UnixStream, server: &mut Server, log: bool) -> std::
             continue;
         }
         // A pipelined request sat in the read buffer while earlier ones
-        // were handled; an idle connection's request waited ~nothing.
+        // were routed; an idle connection's request waited ~nothing.
         let queue_ns = if pipelined {
             idle_since.elapsed().as_nanos() as u64
         } else {
             0
         };
-        let t0 = Instant::now();
-        let (response, shutdown) = server.handle_line_queued(&line, queue_ns);
-        if log {
-            let cmd = Json::parse(&line)
-                .ok()
-                .and_then(|v| v.get("cmd").and_then(Json::as_str).map(String::from))
-                .unwrap_or_else(|| "<malformed>".into());
-            eprintln!(
-                "qb-serve: {cmd} -> {} bytes in {:?}",
-                response.len(),
-                t0.elapsed()
-            );
-        }
-        respond(&mut writer, &response)?;
+        let shutdown = route_one(router, &line, queue_ns, &tx, log);
         idle_since = Instant::now();
         if shutdown {
-            return Ok(true);
+            break Ok(());
         }
-    }
+    };
+    drop(tx); // close the reply channel so the writer drains and exits
+    let _ = writer_handle.join();
+    result
 }
 
-fn respond(writer: &mut UnixStream, response: &str) -> std::io::Result<()> {
-    writer.write_all(response.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
+/// Serves one length-prefixed TCP connection: each request and each
+/// response is a u32 big-endian byte length followed by that many bytes
+/// of JSON. Oversized frames are skipped (the length prefix makes
+/// resynchronisation exact) and answered with an `"oversized"` error.
+fn serve_tcp_connection(stream: TcpStream, router: &Arc<Router>, log: bool) -> std::io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    let writer = stream.try_clone()?;
+    let (tx, writer_handle) = spawn_conn_writer(writer, router, frame_length_prefixed);
+    let mut reader = BufReader::new(stream);
+    let mut idle_since = Instant::now();
+    let result = loop {
+        let pipelined = !reader.buffer().is_empty();
+        let mut len_buf = [0u8; 4];
+        match reader.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            // A clean EOF between frames is the client hanging up.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break Ok(()),
+            Err(e) => break Err(e),
+        }
+        let len = u32::from_be_bytes(len_buf) as u64;
+        if len > MAX_REQUEST_LINE {
+            let drained = std::io::copy(&mut (&mut reader).take(len), &mut std::io::sink());
+            if let Err(e) = drained {
+                break Err(e);
+            }
+            let response = coded_error_response(
+                &format!("request frame exceeds {MAX_REQUEST_LINE} bytes"),
+                "oversized",
+            );
+            router.send_reply(&tx, response.to_string());
+            continue;
+        }
+        let mut payload = vec![0u8; len as usize];
+        if let Err(e) = reader.read_exact(&mut payload) {
+            break Err(e);
+        }
+        let line = match String::from_utf8(payload) {
+            Ok(s) => s,
+            Err(_) => {
+                let response =
+                    coded_error_response("request frame is not valid UTF-8", "invalid_utf8");
+                router.send_reply(&tx, response.to_string());
+                continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let queue_ns = if pipelined {
+            idle_since.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
+        let shutdown = route_one(router, &line, queue_ns, &tx, log);
+        idle_since = Instant::now();
+        if shutdown {
+            break Ok(());
+        }
+    };
+    drop(tx);
+    let _ = writer_handle.join();
+    result
 }
 
 /// Discards bytes up to and including the next newline (or EOF), in

@@ -51,10 +51,12 @@
 //! assert_eq!(response.get("all_safe").and_then(Json::as_bool), Some(true));
 //! ```
 
+mod actor;
 mod client;
 mod daemon;
 mod json;
 mod protocol;
+mod router;
 
 pub use client::Client;
 pub use daemon::{run, ServeOptions, Server, ServerLimits};

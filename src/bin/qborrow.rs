@@ -8,15 +8,15 @@
 //! qborrow info   <file.qbr|->
 //! qborrow render <file.qbr|->
 //!
-//! qborrow serve  --socket <path> [--backend ...] [--simplify ...] [--quiet]
+//! qborrow serve  --socket <path> [--tcp <addr>] [--backend ...] [--simplify ...] [--quiet]
 //!                [--default-deadline-ms N] [--state-dir <dir>] [--log-file <path>]
-//! qborrow client verify <file.qbr|-> [--socket <path>] [--name <name>] [--backend <name>]
-//!                       [--deadline-ms N] [--trace-out <path>]
-//! qborrow client edit   <file.qbr|-> [--socket <path>] [--name <name>] [--backend <name>]
-//! qborrow client status [--socket <path>] [--json]
-//! qborrow client metrics|shutdown [--socket <path>]
-//! qborrow client unload <name> [--socket <path>]
-//! qborrow watch  <file.qbr> [--socket <path>] [--interval-ms N] [--backend <name>]
+//! qborrow client verify <file.qbr|-> [--socket <path>|--addr <tcp>] [--name <name>]
+//!                       [--backend <name>] [--deadline-ms N] [--trace-out <path>]
+//! qborrow client edit   <file.qbr|-> [--socket <path>|--addr <tcp>] [--name <name>] [--backend <name>]
+//! qborrow client status [--socket <path>|--addr <tcp>] [--json]
+//! qborrow client metrics|shutdown [--socket <path>|--addr <tcp>]
+//! qborrow client unload <name> [--socket <path>|--addr <tcp>]
+//! qborrow watch  <file.qbr> [--socket <path>|--addr <tcp>] [--interval-ms N] [--backend <name>]
 //! ```
 //!
 //! `<file.qbr>` may be `-` to read the program from stdin (for editor
@@ -51,16 +51,16 @@ fn usage() -> ExitCode {
                  [--trace-out <path>] [--stats-json]\n  \
          qborrow info   <file.qbr|->\n  \
          qborrow render <file.qbr|->\n  \
-         qborrow serve  --socket <path> [--backend sat|anf|bdd|auto] [--simplify raw|full]\n  \
-                 [--max-sessions N] [--idle-timeout-ms N] [--arena-gc-floor N]\n  \
-                 [--decision-cache N] [--default-deadline-ms N] [--state-dir <dir>]\n  \
-                 [--log-file <path>] [--quiet]\n  \
-         qborrow client verify|edit <file.qbr|-> [--socket <path>] [--name <name>] [--backend <name>]\n  \
-                 [--deadline-ms N] [--trace-out <path>]\n  \
-         qborrow client status [--socket <path>] [--json]\n  \
-         qborrow client metrics|shutdown [--socket <path>]\n  \
-         qborrow client unload <name> [--socket <path>]\n  \
-         qborrow watch  <file.qbr> [--socket <path>] [--interval-ms N] [--backend <name>]"
+         qborrow serve  --socket <path> [--tcp <addr>] [--backend sat|anf|bdd|auto]\n  \
+                 [--simplify raw|full] [--max-sessions N] [--idle-timeout-ms N]\n  \
+                 [--arena-gc-floor N] [--decision-cache N] [--default-deadline-ms N]\n  \
+                 [--state-dir <dir>] [--log-file <path>] [--quiet]\n  \
+         qborrow client verify|edit <file.qbr|-> [--socket <path>|--addr <tcp>] [--name <name>]\n  \
+                 [--backend <name>] [--deadline-ms N] [--trace-out <path>]\n  \
+         qborrow client status [--socket <path>|--addr <tcp>] [--json]\n  \
+         qborrow client metrics|shutdown [--socket <path>|--addr <tcp>]\n  \
+         qborrow client unload <name> [--socket <path>|--addr <tcp>]\n  \
+         qborrow watch  <file.qbr> [--socket <path>|--addr <tcp>] [--interval-ms N] [--backend <name>]"
     );
     ExitCode::from(EXIT_BAD_INPUT)
 }
@@ -405,6 +405,7 @@ fn verify_stats_json(
 
 fn cmd_serve(flags: &[String]) -> ExitCode {
     let mut socket = default_socket();
+    let mut tcp: Option<String> = None;
     let mut backend = BackendKind::Sat;
     let mut simplify = Simplify::Raw;
     let mut log = true;
@@ -428,6 +429,14 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
                     return usage();
                 };
                 socket = PathBuf::from(path);
+                i += 2;
+            }
+            "--tcp" => {
+                let Some(addr) = flags.get(i + 1) else {
+                    eprintln!("--tcp expects an address (e.g. 127.0.0.1:7691)");
+                    return usage();
+                };
+                tcp = Some(addr.to_string());
                 i += 2;
             }
             "--max-sessions" => {
@@ -511,6 +520,7 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
     }
     let opts = ServeOptions {
         socket,
+        tcp,
         verify: VerifyOptions {
             backend,
             simplify,
@@ -533,6 +543,7 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
 /// Trailing flags shared by the `qborrow client` subcommands.
 struct ClientFlags {
     socket: PathBuf,
+    addr: Option<String>,
     name: Option<String>,
     backend: Option<String>,
     deadline_ms: Option<u64>,
@@ -540,12 +551,13 @@ struct ClientFlags {
     json: bool,
 }
 
-/// Parses trailing `--socket`/`--name`/`--backend`/`--deadline-ms`/
-/// `--trace-out`/`--json` flags shared by client commands. The backend
-/// name is validated locally so a typo fails fast with exit code 2
-/// instead of a daemon round-trip.
+/// Parses trailing `--socket`/`--addr`/`--name`/`--backend`/
+/// `--deadline-ms`/`--trace-out`/`--json` flags shared by client
+/// commands. The backend name is validated locally so a typo fails fast
+/// with exit code 2 instead of a daemon round-trip.
 fn parse_client_flags(flags: &[String]) -> Result<ClientFlags, String> {
     let mut socket = default_socket();
+    let mut addr = None;
     let mut name = None;
     let mut backend = None;
     let mut deadline_ms = None;
@@ -559,6 +571,15 @@ fn parse_client_flags(flags: &[String]) -> Result<ClientFlags, String> {
                     flags
                         .get(i + 1)
                         .ok_or("--socket expects a path")?
+                        .to_string(),
+                );
+                i += 2;
+            }
+            "--addr" => {
+                addr = Some(
+                    flags
+                        .get(i + 1)
+                        .ok_or("--addr expects a TCP address (e.g. 127.0.0.1:7691)")?
                         .to_string(),
                 );
                 i += 2;
@@ -613,6 +634,7 @@ fn parse_client_flags(flags: &[String]) -> Result<ClientFlags, String> {
     }
     Ok(ClientFlags {
         socket,
+        addr,
         name,
         backend,
         deadline_ms,
@@ -622,9 +644,21 @@ fn parse_client_flags(flags: &[String]) -> Result<ClientFlags, String> {
 }
 
 /// Connects with a short retry window so one-shot client commands ride
-/// out a daemon restart instead of failing into its downtime.
-fn connect(socket: &PathBuf) -> Result<Client, ExitCode> {
-    Client::connect_with_retry(socket, 5, std::time::Duration::from_millis(25)).map_err(|e| {
+/// out a daemon restart instead of failing into its downtime. `--addr`
+/// selects the TCP transport; the Unix socket is the default.
+fn connect(socket: &PathBuf, addr: &Option<String>) -> Result<Client, ExitCode> {
+    let retries = 5;
+    let delay = std::time::Duration::from_millis(25);
+    if let Some(addr) = addr {
+        return Client::connect_tcp_with_retry(addr, retries, delay).map_err(|e| {
+            eprintln!(
+                "qborrow client: cannot reach daemon at {addr} ({e}); start one with \
+                 `qborrow serve --tcp {addr}`"
+            );
+            ExitCode::FAILURE
+        });
+    }
+    Client::connect_with_retry(socket, retries, delay).map_err(|e| {
         eprintln!(
             "qborrow client: cannot reach daemon at {} ({e}); start one with \
              `qborrow serve --socket {}`",
@@ -745,6 +779,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
     let flags: Vec<String> = flags.into_iter().cloned().collect();
     let ClientFlags {
         socket,
+        addr,
         name,
         backend,
         deadline_ms,
@@ -770,7 +805,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 }
             };
             let name = name.unwrap_or_else(|| path.to_string());
-            let mut client = match connect(&socket) {
+            let mut client = match connect(&socket, &addr) {
                 Ok(c) => c,
                 Err(code) => return code,
             };
@@ -818,7 +853,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
             })
         }
         "status" => {
-            let mut client = match connect(&socket) {
+            let mut client = match connect(&socket, &addr) {
                 Ok(c) => c,
                 Err(code) => return code,
             };
@@ -867,7 +902,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
             let Some(target) = positional.first() else {
                 return usage();
             };
-            let mut client = match connect(&socket) {
+            let mut client = match connect(&socket, &addr) {
                 Ok(c) => c,
                 Err(code) => return code,
             };
@@ -887,7 +922,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
             }
         }
         "metrics" => {
-            let mut client = match connect(&socket) {
+            let mut client = match connect(&socket, &addr) {
                 Ok(c) => c,
                 Err(code) => return code,
             };
@@ -910,7 +945,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
             }
         }
         "shutdown" => {
-            let mut client = match connect(&socket) {
+            let mut client = match connect(&socket, &addr) {
                 Ok(c) => c,
                 Err(code) => return code,
             };
@@ -938,6 +973,7 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         return usage();
     }
     let mut socket = default_socket();
+    let mut addr: Option<String> = None;
     let mut interval_ms = 200u64;
     let mut backend: Option<String> = None;
     let mut i = 1;
@@ -949,6 +985,14 @@ fn cmd_watch(args: &[String]) -> ExitCode {
                     return usage();
                 };
                 socket = PathBuf::from(p);
+                i += 2;
+            }
+            "--addr" => {
+                let Some(a) = args.get(i + 1) else {
+                    eprintln!("--addr expects a TCP address (e.g. 127.0.0.1:7691)");
+                    return usage();
+                };
+                addr = Some(a.to_string());
                 i += 2;
             }
             "--backend" => {
@@ -1024,8 +1068,10 @@ fn cmd_watch(args: &[String]) -> ExitCode {
                 return Ok(());
             }
         };
-        let mut client =
-            Client::connect_with_retry(&socket, 8, std::time::Duration::from_millis(50))?;
+        let mut client = match &addr {
+            Some(a) => Client::connect_tcp_with_retry(a, 8, std::time::Duration::from_millis(50))?,
+            None => Client::connect_with_retry(&socket, 8, std::time::Duration::from_millis(50))?,
+        };
         let backend = backend.as_deref();
         let response = if first {
             client.load_with(path, &source, backend)?

@@ -67,6 +67,23 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
     }
 
+    /// Bucket-wise difference `self - earlier`, for windowing a
+    /// cumulative histogram between two snapshots. Saturates per bucket
+    /// so a reset series clamps to empty instead of wrapping.
+    pub fn saturating_sub(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (o, (s, e)) in out
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            *o = s.saturating_sub(*e);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+
     /// Total number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -183,6 +200,27 @@ mod tests {
         let before = a;
         a.merge(&Histogram::new());
         assert_eq!(a, before);
+    }
+
+    #[test]
+    fn saturating_sub_windows_a_cumulative_series() {
+        let mut early = Histogram::new();
+        for v in [10u64, 1000] {
+            early.record(v);
+        }
+        let mut late = early;
+        for v in [20u64, 1 << 30] {
+            late.record(v);
+        }
+        let delta = late.saturating_sub(&early);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum(), 20 + (1 << 30));
+        assert_eq!(delta.buckets()[Histogram::bucket_index(20)], 1);
+        assert_eq!(delta.buckets()[Histogram::bucket_index(1 << 30)], 1);
+        // Subtracting in the wrong order clamps instead of wrapping.
+        let clamped = early.saturating_sub(&late);
+        assert_eq!(clamped.count(), 0);
+        assert_eq!(clamped, Histogram::new());
     }
 
     #[test]

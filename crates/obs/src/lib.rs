@@ -33,14 +33,18 @@
 mod export;
 mod hist;
 mod metrics;
+mod recorder;
 mod span;
+mod timeseries;
 
 pub use export::{chrome_trace, prometheus_text};
 pub use hist::{Histogram, HIST_BUCKETS};
 pub use metrics::{
     counter_add, gauge_set, metrics_snapshot, observe_ns, reset_metrics, MetricsSnapshot,
 };
+pub use recorder::{ExemplarReason, FlightRecorder, RecordedRequest, DEFAULT_RECORDER_CAPACITY};
 pub use span::{
     dropped_spans, enabled, now_ns, set_enabled, set_ring_capacity, span, span_with,
     take_all_spans, take_spans, Span, SpanEvent,
 };
+pub use timeseries::{TimePoint, TimeSeries};

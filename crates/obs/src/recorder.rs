@@ -1,0 +1,290 @@
+//! Always-on flight recorder with tail-sampled exemplars.
+//!
+//! Every completed daemon request deposits its span tree here, keyed by
+//! `request_id`, into a bounded ring — cheap enough to leave on in
+//! production because span capture is already relaxed-atomic and the
+//! ring is one short critical section per request. A tail-sampling
+//! policy then decides *after the fact* whether the request deserved a
+//! durable trace: it is promoted to an **exemplar** when it tripped
+//! quarantine, errored, returned `unknown` verdicts, exceeded a fixed
+//! `--slow-ms` threshold, or (with no fixed threshold) landed above the
+//! rolling p99 of its request type. The serving layer writes exemplars
+//! to disk; everything else ages out of the ring.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::hist::Histogram;
+use crate::span::SpanEvent;
+
+/// Requests of a type observed before the rolling p99 is trusted.
+/// Below this the histogram's tail is all noise and early requests
+/// would be promoted just for arriving first.
+const ROLLING_MIN_SAMPLES: u64 = 64;
+
+/// Default ring capacity: enough to hold the last few bursts of
+/// requests without the per-entry span vectors dominating memory.
+pub const DEFAULT_RECORDER_CAPACITY: usize = 512;
+
+/// Why a request's trace was promoted to an exemplar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExemplarReason {
+    /// The request panicked its session and tripped quarantine.
+    Quarantine,
+    /// The response carried `ok: false`.
+    Error,
+    /// The verdict set contained `unknown` targets (e.g. an expired
+    /// deadline).
+    Unknown,
+    /// Handle time exceeded the fixed `--slow-ms` threshold.
+    SlowFixed,
+    /// Handle time exceeded the rolling p99 of this request type.
+    SlowP99,
+}
+
+impl ExemplarReason {
+    /// Stable label used in metrics and file metadata.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExemplarReason::Quarantine => "quarantine",
+            ExemplarReason::Error => "error",
+            ExemplarReason::Unknown => "unknown_verdict",
+            ExemplarReason::SlowFixed => "slow_fixed",
+            ExemplarReason::SlowP99 => "slow_p99",
+        }
+    }
+}
+
+/// One completed request as the recorder keeps it.
+#[derive(Debug, Clone)]
+pub struct RecordedRequest {
+    /// The PR-7 per-connection request id the reply carried.
+    pub request_id: u64,
+    /// Protocol command (`verify`, `edit`, ...).
+    pub cmd: String,
+    /// Whether the response reported `ok: true`.
+    pub ok: bool,
+    /// Number of `unknown` verdicts in the response (0 for non-verify).
+    pub unknowns: u64,
+    /// Whether handling this request quarantined its session.
+    pub quarantined: bool,
+    /// Nanoseconds spent queued in the session mailbox.
+    pub queue_ns: u64,
+    /// Nanoseconds spent handling after dequeue.
+    pub handle_ns: u64,
+    /// The request's span tree, in completion order.
+    pub spans: Vec<SpanEvent>,
+    /// Set by [`FlightRecorder::record`] when the tail-sampling policy
+    /// promoted this request.
+    pub exemplar: Option<ExemplarReason>,
+}
+
+struct RecorderInner {
+    ring: VecDeque<RecordedRequest>,
+    /// Rolling handle-latency histogram per request type, feeding the
+    /// p99 promotion rule.
+    handle_hists: BTreeMap<String, Histogram>,
+}
+
+/// Bounded ring of recently completed request traces plus the
+/// tail-sampling policy. One per daemon (`Router` owns it); not a
+/// process global, so in-process benches and library users pay nothing.
+pub struct FlightRecorder {
+    inner: Mutex<RecorderInner>,
+    cap: usize,
+    /// Fixed slow threshold in ns; 0 means "use the rolling p99".
+    slow_fixed_ns: AtomicU64,
+    recorded: AtomicU64,
+    overflowed: AtomicU64,
+    exemplars: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the newest `capacity` completed requests.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Mutex::new(RecorderInner {
+                ring: VecDeque::new(),
+                handle_hists: BTreeMap::new(),
+            }),
+            cap: capacity.max(1),
+            slow_fixed_ns: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            overflowed: AtomicU64::new(0),
+            exemplars: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs (or clears) the fixed slow threshold. While set, the
+    /// rolling-p99 rule is off: the operator asked for a specific line.
+    pub fn set_slow_threshold(&self, threshold: Option<Duration>) {
+        let ns = threshold.map_or(0, |d| d.as_nanos().min(u64::MAX as u128) as u64);
+        self.slow_fixed_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Deposits one completed request, returning the promotion reason
+    /// if the tail-sampling policy made it an exemplar. The verdict- and
+    /// failure-based rules run first — a quarantined request is an
+    /// exemplar no matter how fast it died.
+    pub fn record(&self, mut rec: RecordedRequest) -> Option<ExemplarReason> {
+        let slow_ns = self.slow_fixed_ns.load(Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap();
+        let reason = if rec.quarantined {
+            Some(ExemplarReason::Quarantine)
+        } else if !rec.ok {
+            Some(ExemplarReason::Error)
+        } else if rec.unknowns > 0 {
+            Some(ExemplarReason::Unknown)
+        } else if slow_ns > 0 {
+            (rec.handle_ns >= slow_ns).then_some(ExemplarReason::SlowFixed)
+        } else {
+            let hist = inner.handle_hists.get(&rec.cmd);
+            hist.filter(|h| h.count() >= ROLLING_MIN_SAMPLES && rec.handle_ns > h.quantile(0.99))
+                .map(|_| ExemplarReason::SlowP99)
+        };
+        rec.exemplar = reason;
+        inner
+            .handle_hists
+            .entry(rec.cmd.clone())
+            .or_default()
+            .record(rec.handle_ns);
+        if inner.ring.len() == self.cap {
+            inner.ring.pop_front();
+            self.overflowed.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.ring.push_back(rec);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        if reason.is_some() {
+            self.exemplars.fetch_add(1, Ordering::Relaxed);
+        }
+        reason
+    }
+
+    /// Fetches a retained request by id (newest wins if a connection's
+    /// ids ever collide across restarts).
+    pub fn get(&self, request_id: u64) -> Option<RecordedRequest> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .ring
+            .iter()
+            .rev()
+            .find(|r| r.request_id == request_id)
+            .cloned()
+    }
+
+    /// Total requests ever deposited.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Requests evicted from the ring to make room (the ring-overflow
+    /// counter surfaced in `status --json` and the Prometheus scrape).
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed.load(Ordering::Relaxed)
+    }
+
+    /// Requests promoted to exemplars since startup.
+    pub fn exemplars(&self) -> u64 {
+        self.exemplars.load(Ordering::Relaxed)
+    }
+
+    /// Currently retained requests.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().ring.len()
+    }
+
+    /// Whether nothing has been recorded yet (or everything aged out).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(request_id: u64, handle_ns: u64) -> RecordedRequest {
+        RecordedRequest {
+            request_id,
+            cmd: "verify".into(),
+            ok: true,
+            unknowns: 0,
+            quarantined: false,
+            queue_ns: 0,
+            handle_ns,
+            spans: Vec::new(),
+            exemplar: None,
+        }
+    }
+
+    #[test]
+    fn failure_rules_outrank_latency_rules() {
+        let rec = FlightRecorder::new(8);
+        rec.set_slow_threshold(Some(Duration::from_millis(1)));
+        let mut quarantined = req(1, 0);
+        quarantined.quarantined = true;
+        quarantined.ok = false;
+        assert_eq!(rec.record(quarantined), Some(ExemplarReason::Quarantine));
+        let mut errored = req(2, 0);
+        errored.ok = false;
+        assert_eq!(rec.record(errored), Some(ExemplarReason::Error));
+        let mut unknown = req(3, 0);
+        unknown.unknowns = 2;
+        assert_eq!(rec.record(unknown), Some(ExemplarReason::Unknown));
+        assert_eq!(rec.exemplars(), 3);
+        assert_eq!(rec.get(3).unwrap().exemplar, Some(ExemplarReason::Unknown));
+    }
+
+    #[test]
+    fn fixed_threshold_promotes_only_slow_requests() {
+        let rec = FlightRecorder::new(8);
+        rec.set_slow_threshold(Some(Duration::from_millis(5)));
+        assert_eq!(rec.record(req(1, 4_999_999)), None);
+        assert_eq!(
+            rec.record(req(2, 5_000_000)),
+            Some(ExemplarReason::SlowFixed)
+        );
+        // Clearing the threshold reverts to the rolling rule, which has
+        // far too few samples here to promote anything.
+        rec.set_slow_threshold(None);
+        assert_eq!(rec.record(req(3, u64::MAX / 2)), None);
+    }
+
+    #[test]
+    fn rolling_p99_needs_history_then_catches_the_tail() {
+        let rec = FlightRecorder::new(1024);
+        // A steady diet of ~1ms requests builds the baseline; none are
+        // exemplars while the histogram is warming up or while they sit
+        // inside the p99 bucket.
+        for i in 0..ROLLING_MIN_SAMPLES + 16 {
+            assert_eq!(rec.record(req(i, 1_000_000 + i)), None, "request {i}");
+        }
+        // A 1s outlier is far above the rolling p99 bucket bound.
+        assert_eq!(
+            rec.record(req(9_000, 1_000_000_000)),
+            Some(ExemplarReason::SlowP99)
+        );
+        // Different request types keep separate baselines: a first-ever
+        // `edit` is never promoted by p99 no matter its latency.
+        let mut edit = req(9_001, 1_000_000_000);
+        edit.cmd = "edit".into();
+        assert_eq!(rec.record(edit), None);
+    }
+
+    #[test]
+    fn ring_overflow_evicts_oldest_and_counts() {
+        let rec = FlightRecorder::new(3);
+        for i in 1..=5 {
+            rec.record(req(i, 100));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.recorded(), 5);
+        assert_eq!(rec.overflowed(), 2);
+        assert!(rec.get(1).is_none());
+        assert!(rec.get(2).is_none());
+        assert!(rec.get(3).is_some());
+        assert!(rec.get(5).is_some());
+    }
+}

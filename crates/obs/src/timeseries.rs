@@ -1,0 +1,317 @@
+//! A fixed ring of periodic metrics snapshots supporting rate queries.
+//!
+//! The daemon's sampler thread calls [`TimeSeries::tick`] on a steady
+//! cadence with the cumulative [`MetricsSnapshot`] of that instant; the
+//! ring keeps the newest `capacity` points and answers windowed
+//! questions — requests per second, solver conflicts per second, a
+//! queue-depth high-water mark, the latency histogram of just the last
+//! minute — by differencing the cumulative values at the window's two
+//! ends. Ticks are explicit (no clock inside), so tests drive the ring
+//! deterministically.
+
+use std::collections::VecDeque;
+
+use crate::hist::Histogram;
+use crate::metrics::MetricsSnapshot;
+
+/// One sampled point: a monotonic timestamp and the cumulative metrics
+/// registry at that instant.
+#[derive(Debug, Clone)]
+pub struct TimePoint {
+    /// Monotonic nanoseconds (the sampler uses [`crate::now_ns`]).
+    pub at_ns: u64,
+    /// Cumulative counters, gauges and histograms at `at_ns`.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// A bounded ring of [`TimePoint`]s with windowed rate and delta
+/// queries.
+#[derive(Debug)]
+pub struct TimeSeries {
+    cap: usize,
+    points: VecDeque<TimePoint>,
+}
+
+fn counter_get(snap: &MetricsSnapshot, name: &str, label: &str) -> Option<u64> {
+    snap.counters
+        .iter()
+        .find(|(n, l, _)| n == name && l == label)
+        .map(|(_, _, v)| *v)
+}
+
+fn counter_sum(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .filter(|(n, _, _)| n == name)
+        .map(|(_, _, v)| *v)
+        .sum()
+}
+
+fn hist_get(snap: &MetricsSnapshot, name: &str, label: &str) -> Option<Histogram> {
+    snap.histograms
+        .iter()
+        .find(|(n, l, _)| n == name && l == label)
+        .map(|(_, _, h)| *h)
+}
+
+impl TimeSeries {
+    /// A ring retaining the newest `capacity` points (at least two, or
+    /// no window ever has two ends).
+    pub fn new(capacity: usize) -> TimeSeries {
+        TimeSeries {
+            cap: capacity.max(2),
+            points: VecDeque::new(),
+        }
+    }
+
+    /// Appends one sampled point, evicting the oldest past capacity.
+    /// Out-of-order timestamps are dropped: rates must never divide by a
+    /// negative interval.
+    pub fn tick(&mut self, at_ns: u64, snapshot: MetricsSnapshot) {
+        if let Some(last) = self.points.back() {
+            if at_ns < last.at_ns {
+                return;
+            }
+        }
+        if self.points.len() == self.cap {
+            self.points.pop_front();
+        }
+        self.points.push_back(TimePoint { at_ns, snapshot });
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no point has been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The configured retention bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The newest point, if any.
+    pub fn latest(&self) -> Option<&TimePoint> {
+        self.points.back()
+    }
+
+    /// The span actually covered by the retained points (zero with fewer
+    /// than two).
+    pub fn span_ns(&self) -> u64 {
+        match (self.points.front(), self.points.back()) {
+            (Some(first), Some(last)) => last.at_ns.saturating_sub(first.at_ns),
+            _ => 0,
+        }
+    }
+
+    /// The two ends of the trailing window: the oldest retained point at
+    /// most `window_ns` before the newest, and the newest. `None` until
+    /// two points with distinct timestamps cover the window.
+    fn window(&self, window_ns: u64) -> Option<(&TimePoint, &TimePoint)> {
+        let last = self.points.back()?;
+        let cutoff = last.at_ns.saturating_sub(window_ns);
+        let first = self
+            .points
+            .iter()
+            .find(|p| p.at_ns >= cutoff)
+            .filter(|p| p.at_ns < last.at_ns)?;
+        Some((first, last))
+    }
+
+    /// Counter increments per second over the trailing window, summed
+    /// across the counter's labels. Counter resets (a restarted
+    /// registry) clamp to zero instead of going negative.
+    pub fn counter_rate(&self, name: &str, window_ns: u64) -> Option<f64> {
+        let (first, last) = self.window(window_ns)?;
+        let delta =
+            counter_sum(&last.snapshot, name).saturating_sub(counter_sum(&first.snapshot, name));
+        Some(delta as f64 * 1e9 / (last.at_ns - first.at_ns) as f64)
+    }
+
+    /// [`TimeSeries::counter_rate`] for one `(name, label)` series.
+    pub fn counter_rate_for(&self, name: &str, label: &str, window_ns: u64) -> Option<f64> {
+        let (first, last) = self.window(window_ns)?;
+        let delta = counter_get(&last.snapshot, name, label)
+            .unwrap_or(0)
+            .saturating_sub(counter_get(&first.snapshot, name, label).unwrap_or(0));
+        Some(delta as f64 * 1e9 / (last.at_ns - first.at_ns) as f64)
+    }
+
+    /// The histogram of samples recorded *within* the trailing window:
+    /// the bucket-wise difference of the cumulative histogram at the
+    /// window's ends. `None` when the window lacks two points or the
+    /// series is absent at its newest end.
+    pub fn histogram_delta(&self, name: &str, label: &str, window_ns: u64) -> Option<Histogram> {
+        let (first, last) = self.window(window_ns)?;
+        let newest = hist_get(&last.snapshot, name, label)?;
+        let oldest = hist_get(&first.snapshot, name, label).unwrap_or_default();
+        Some(newest.saturating_sub(&oldest))
+    }
+
+    /// The newest reading of a gauge series.
+    pub fn gauge_last(&self, name: &str, label: &str) -> Option<i64> {
+        self.points.iter().rev().find_map(|p| {
+            p.snapshot
+                .gauges
+                .iter()
+                .find(|(n, l, _)| n == name && l == label)
+                .map(|(_, _, v)| *v)
+        })
+    }
+
+    /// The high-water mark of a gauge over the trailing window
+    /// (inclusive of both ends).
+    pub fn gauge_max(&self, name: &str, label: &str, window_ns: u64) -> Option<i64> {
+        let last = self.points.back()?;
+        let cutoff = last.at_ns.saturating_sub(window_ns);
+        self.points
+            .iter()
+            .filter(|p| p.at_ns >= cutoff)
+            .filter_map(|p| {
+                p.snapshot
+                    .gauges
+                    .iter()
+                    .find(|(n, l, _)| n == name && l == label)
+                    .map(|(_, _, v)| *v)
+            })
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn snap(counters: Vec<(&str, &str, u64)>) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: counters
+                .into_iter()
+                .map(|(n, l, v)| (n.to_string(), l.to_string(), v))
+                .collect(),
+            ..MetricsSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn rate_is_delta_over_elapsed_seconds() {
+        let mut ts = TimeSeries::new(8);
+        ts.tick(0, snap(vec![("requests", "verify", 100)]));
+        ts.tick(SEC, snap(vec![("requests", "verify", 250)]));
+        assert_eq!(ts.counter_rate("requests", 60 * SEC), Some(150.0));
+        assert_eq!(
+            ts.counter_rate_for("requests", "verify", 60 * SEC),
+            Some(150.0)
+        );
+        // A label never incremented reads as zero rate, not None.
+        assert_eq!(ts.counter_rate_for("requests", "edit", 60 * SEC), Some(0.0));
+        // Summing across labels folds every series of the name.
+        let mut ts = TimeSeries::new(8);
+        ts.tick(0, snap(vec![("requests", "verify", 10)]));
+        ts.tick(
+            2 * SEC,
+            snap(vec![("requests", "verify", 16), ("requests", "edit", 8)]),
+        );
+        assert_eq!(ts.counter_rate("requests", 60 * SEC), Some(7.0));
+    }
+
+    #[test]
+    fn rate_needs_two_points_and_a_nonzero_interval() {
+        let mut ts = TimeSeries::new(4);
+        assert_eq!(ts.counter_rate("requests", 60 * SEC), None);
+        ts.tick(SEC, snap(vec![("requests", "verify", 5)]));
+        assert_eq!(ts.counter_rate("requests", 60 * SEC), None);
+        // A second point at the same instant still has no interval.
+        ts.tick(SEC, snap(vec![("requests", "verify", 9)]));
+        assert_eq!(ts.counter_rate("requests", 60 * SEC), None);
+        // Out-of-order points are dropped, not allowed to corrupt rates.
+        ts.tick(SEC / 2, snap(vec![("requests", "verify", 1)]));
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn counter_resets_clamp_to_zero() {
+        let mut ts = TimeSeries::new(4);
+        ts.tick(0, snap(vec![("requests", "verify", 500)]));
+        ts.tick(SEC, snap(vec![("requests", "verify", 3)]));
+        assert_eq!(ts.counter_rate("requests", 60 * SEC), Some(0.0));
+    }
+
+    #[test]
+    fn ring_wraps_and_window_uses_retained_points_only() {
+        let mut ts = TimeSeries::new(3);
+        for i in 0..10u64 {
+            ts.tick(i * SEC, snap(vec![("requests", "verify", i * 10)]));
+        }
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.latest().unwrap().at_ns, 9 * SEC);
+        assert_eq!(ts.span_ns(), 2 * SEC);
+        // Oldest retained point is t=7s (70 reqs): 20 reqs over 2s.
+        assert_eq!(ts.counter_rate("requests", 60 * SEC), Some(10.0));
+        // A narrower window starts at the first point inside it.
+        assert_eq!(ts.counter_rate("requests", SEC), Some(10.0));
+    }
+
+    #[test]
+    fn histogram_delta_isolates_the_window() {
+        let mut early = Histogram::new();
+        early.record(1_000);
+        let mut late = early;
+        late.record(1_000_000);
+        late.record(2_000_000);
+        let at = |h: Histogram| MetricsSnapshot {
+            histograms: vec![("request_handle".into(), "verify".into(), h)],
+            ..MetricsSnapshot::default()
+        };
+        let mut ts = TimeSeries::new(4);
+        ts.tick(0, at(early));
+        ts.tick(SEC, at(late));
+        let delta = ts
+            .histogram_delta("request_handle", "verify", 60 * SEC)
+            .unwrap();
+        assert_eq!(delta.count(), 2);
+        // Only the two in-window millisecond-scale samples remain, so
+        // even p50's bucket upper bound exceeds the early microsecond
+        // sample.
+        assert!(delta.p50() > 1_000);
+        // A series absent at the window start diffs against empty.
+        let mut ts = TimeSeries::new(4);
+        ts.tick(0, MetricsSnapshot::default());
+        ts.tick(SEC, at(late));
+        let delta = ts
+            .histogram_delta("request_handle", "verify", 60 * SEC)
+            .unwrap();
+        assert_eq!(delta.count(), 3);
+        assert!(ts
+            .histogram_delta("request_handle", "edit", 60 * SEC)
+            .is_none());
+    }
+
+    #[test]
+    fn gauges_report_last_and_windowed_max() {
+        let gauge = |v: i64| MetricsSnapshot {
+            gauges: vec![("session_queue_depth".into(), "abc/sat".into(), v)],
+            ..MetricsSnapshot::default()
+        };
+        let mut ts = TimeSeries::new(8);
+        ts.tick(0, gauge(1));
+        ts.tick(SEC, gauge(7));
+        ts.tick(2 * SEC, gauge(2));
+        assert_eq!(ts.gauge_last("session_queue_depth", "abc/sat"), Some(2));
+        assert_eq!(
+            ts.gauge_max("session_queue_depth", "abc/sat", 60 * SEC),
+            Some(7)
+        );
+        // A window excluding the spike reports the in-window max.
+        assert_eq!(
+            ts.gauge_max("session_queue_depth", "abc/sat", SEC / 2),
+            Some(2)
+        );
+        assert_eq!(ts.gauge_last("session_queue_depth", "nope"), None);
+    }
+}

@@ -116,26 +116,46 @@ pub(crate) struct ActorShared {
     pub published: Mutex<PublishedStats>,
 }
 
-/// Count of in-flight traced requests. Span recording is a process
+/// Count of in-flight span captures. Span recording is a process
 /// global; refcounting keeps it enabled until the *last* concurrent
-/// traced verify finishes instead of the first one switching everyone
-/// else off mid-sweep.
+/// capture finishes instead of the first one switching everyone else
+/// off mid-sweep.
 static TRACE_DEPTH: AtomicU32 = AtomicU32::new(0);
 
-fn trace_begin() {
+/// RAII over the global span-recording flag, scoped to one request on
+/// one actor thread. The flight recorder captures *every* verify, so
+/// recording is effectively on whenever any session is mid-sweep and
+/// back to the one-relaxed-load fast path when the daemon is idle.
+/// Spans stay in the per-thread ring, so concurrent actors never see
+/// each other's events; `Drop` releases the refcount even when a solve
+/// panics, and anything a panic strands in this thread's ring is
+/// discarded by the next capture here.
+struct CaptureGuard;
+
+fn capture_begin() -> CaptureGuard {
+    // Discard leftovers from an earlier untaken capture on this thread
+    // so they cannot pollute this request's trace.
+    let _ = qb_obs::take_spans();
     if TRACE_DEPTH.fetch_add(1, Ordering::SeqCst) == 0 {
-        // Discard spans recorded before this traced window.
-        let _ = qb_obs::take_all_spans();
         qb_obs::set_enabled(true);
+    }
+    CaptureGuard
+}
+
+impl CaptureGuard {
+    /// This request's span tree: the actor thread recorded nothing else
+    /// since [`capture_begin`].
+    fn take(self) -> Vec<qb_obs::SpanEvent> {
+        qb_obs::take_spans()
     }
 }
 
-fn trace_end() -> String {
-    let trace = qb_obs::chrome_trace(&qb_obs::take_all_spans());
-    if TRACE_DEPTH.fetch_sub(1, Ordering::SeqCst) == 1 {
-        qb_obs::set_enabled(false);
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        if TRACE_DEPTH.fetch_sub(1, Ordering::SeqCst) == 1 {
+            qb_obs::set_enabled(false);
+        }
     }
-    trace
 }
 
 /// A deadline watchdog: a helper thread that trips `token` when the
@@ -323,9 +343,10 @@ impl SessionActor {
                 name = n;
                 ctx = c;
                 self.note_wait(&ctx);
+                let rid = ctx.request_id;
                 let t0 = Instant::now();
                 let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    self.verify(&name, targets, deadline_ms, trace)
+                    self.verify(&name, targets, deadline_ms, trace, rid)
                 }));
                 (t0, r)
             }
@@ -366,7 +387,11 @@ impl SessionActor {
             Err(payload) => {
                 // The panic unwound out of the session: quarantine it
                 // (any state left behind is untrusted), rebuild from the
-                // retained source, keep serving.
+                // retained source, keep serving. Whatever the request
+                // recorded before dying is salvaged first so the flight
+                // recorder still retains a (partial) trace of it.
+                self.router
+                    .stash_spans(ctx.request_id, qb_obs::take_spans());
                 self.router.note_quarantine();
                 if let Some(source) = pending_source {
                     self.source = source;
@@ -442,6 +467,7 @@ impl SessionActor {
         targets: Option<Vec<usize>>,
         deadline_ms: Option<u64>,
         trace: bool,
+        request_id: u64,
     ) -> Json {
         if self.dead {
             return not_loaded_response(name);
@@ -449,12 +475,10 @@ impl SessionActor {
         let deadline = self.router.effective_deadline(deadline_ms);
         let targets = targets.unwrap_or_else(|| self.program.qubits_to_verify());
         let t0 = Instant::now();
-        // A traced request flips span recording on for the duration of
-        // the sweep (refcounted: concurrent traced requests keep it on
-        // until the last one finishes).
-        if trace {
-            trace_begin();
-        }
+        // Every verify captures its span tree for the flight recorder;
+        // `trace` only decides whether the rendered Chrome trace also
+        // rides in this response.
+        let capture = capture_begin();
         let verdicts = match deadline {
             None => self.session.verify_targets(&targets),
             Some(budget) => {
@@ -470,7 +494,11 @@ impl SessionActor {
                 self.session.verify_targets_limited(&targets, &limits)
             }
         };
-        let trace_json = if trace { Some(trace_end()) } else { None };
+        let spans = capture.take();
+        let trace_json = trace.then(|| qb_obs::chrome_trace(&spans));
+        // Hand the span tree to the router before any early return, so
+        // error responses are still recorded with their trace.
+        self.router.stash_spans(request_id, spans);
         let verdicts = match verdicts {
             Ok(v) => v,
             Err(e) => return error_response(&e.to_string()),
@@ -536,6 +564,16 @@ impl SessionActor {
                 Json::Int((stats.root_latency.p95() / 1_000) as i64),
             ),
         ];
+        if let Ok(wait) = self.shared.mailbox_wait.lock() {
+            pairs.push((
+                "mailbox_wait_p50_us",
+                Json::Int((wait.p50() / 1_000) as i64),
+            ));
+            pairs.push((
+                "mailbox_wait_p95_us",
+                Json::Int((wait.p95() / 1_000) as i64),
+            ));
+        }
         if let Some(budget) = deadline {
             pairs.push(("deadline_ms", Json::Int(budget.as_millis() as i64)));
         }

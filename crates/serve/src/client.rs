@@ -299,6 +299,27 @@ impl Client {
         self.request(&Request::Metrics)
     }
 
+    /// Fetches the live dashboard snapshot: windowed request rates and
+    /// per-session gauges computed from the daemon's sampler ring.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn top(&mut self) -> io::Result<Json> {
+        self.request(&Request::Top)
+    }
+
+    /// Fetches a retained request trace by the `request_id` a prior
+    /// response reported; the response's `"trace"` member holds Chrome
+    /// trace-event JSON.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn trace(&mut self, request_id: u64) -> io::Result<Json> {
+        self.request(&Request::Trace { request_id })
+    }
+
     /// Unloads one program.
     ///
     /// # Errors

@@ -30,8 +30,8 @@ use crate::protocol::Request;
 #[cfg(test)]
 use crate::router::STATE_FILE;
 use crate::router::{
-    graceful_shutdown, restore_state, route_line, spawn_snapshot_writer, Routed, Router,
-    ShutdownGate,
+    graceful_shutdown, restore_state, route_line, spawn_sampler, spawn_snapshot_writer, Routed,
+    Router, ShutdownGate,
 };
 use qb_core::VerifyOptions;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -88,6 +88,20 @@ pub struct ServeOptions {
     /// Append one JSON object per handled request (id, cmd, outcome,
     /// queue-wait and handle latency) to this file. `None` = no log.
     pub log_file: Option<PathBuf>,
+    /// Directory exemplar traces are auto-written to (Chrome trace-event
+    /// JSON, one file per promoted request). `None` = exemplars stay in
+    /// the in-memory flight-recorder ring only.
+    pub trace_dir: Option<PathBuf>,
+    /// Retention cap for `trace_dir`: only the newest N exemplar files
+    /// are kept.
+    pub trace_retain: usize,
+    /// Fixed slow-request threshold: a verify handled slower than this
+    /// is promoted to an exemplar. `None` = promote above the rolling
+    /// p99 of the request type instead.
+    pub slow_threshold: Option<Duration>,
+    /// Cadence of the metrics sampler feeding the `top` time-series
+    /// ring.
+    pub sample_interval: Duration,
 }
 
 impl ServeOptions {
@@ -101,6 +115,10 @@ impl ServeOptions {
             limits: ServerLimits::default(),
             state_dir: None,
             log_file: None,
+            trace_dir: None,
+            trace_retain: 32,
+            slow_threshold: None,
+            sample_interval: Duration::from_secs(1),
         }
     }
 }
@@ -137,6 +155,24 @@ impl Server {
     /// are written after every mutating request once set.
     pub fn set_state_dir(&mut self, dir: Option<PathBuf>) {
         self.router.set_state_dir(dir);
+    }
+
+    /// Configures the exemplar-trace directory and its retention cap.
+    pub fn set_trace_dir(&mut self, dir: PathBuf, retain: usize) {
+        self.router.set_trace_dir(dir, retain);
+    }
+
+    /// Configures the fixed slow-request exemplar threshold (`None` =
+    /// promote above the rolling p99 of the request type).
+    pub fn set_slow_threshold(&mut self, threshold: Option<Duration>) {
+        self.router.set_slow_threshold(threshold);
+    }
+
+    /// Appends one metrics snapshot to the `top` time-series ring. The
+    /// facade has no sampler thread; tests and embedders beat it
+    /// manually.
+    pub fn sample_metrics(&mut self) {
+        self.router.sample_tick();
     }
 
     /// Replays the snapshot in the configured state directory, if any.
@@ -253,6 +289,10 @@ pub fn run(opts: &ServeOptions) -> std::io::Result<()> {
         );
     }
     let router = Arc::new(Router::new(opts.verify, opts.limits));
+    if let Some(dir) = &opts.trace_dir {
+        router.set_trace_dir(dir.clone(), opts.trace_retain);
+    }
+    router.set_slow_threshold(opts.slow_threshold);
     if let Some(path) = &opts.log_file {
         if let Err(e) = router.set_log_file(path) {
             eprintln!(
@@ -278,6 +318,7 @@ pub fn run(opts: &ServeOptions) -> std::io::Result<()> {
         tcp: tcp_listener.as_ref().and_then(|l| l.local_addr().ok()),
     });
     let snapshot_writer = spawn_snapshot_writer(&router);
+    let sampler = spawn_sampler(&router, opts.sample_interval);
     let tcp_thread = tcp_listener.map(|listener| {
         let router = Arc::clone(&router);
         let stop = Arc::clone(&stop);
@@ -297,6 +338,8 @@ pub fn run(opts: &ServeOptions) -> std::io::Result<()> {
     router.wait_replies_flushed(Duration::from_secs(5));
     router.stop_snapshot_writer();
     let _ = snapshot_writer.join();
+    router.stop_sampler();
+    let _ = sampler.join();
     let _ = std::fs::remove_file(&opts.socket);
     if opts.log {
         eprintln!("qb-serve: shut down");
@@ -745,6 +788,126 @@ mod tests {
     }
 
     #[test]
+    fn top_reports_rates_and_sessions_once_two_samples_exist() {
+        let mut server = Server::new(VerifyOptions::default());
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "cccnot".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&load), "{load}");
+
+        // No samples yet: the dashboard answers, but with null rates.
+        let top = handle(&mut server, &Request::Top.to_line());
+        assert!(ok(&top), "{top}");
+        assert_eq!(top.get("samples").and_then(Json::as_i64), Some(0));
+        assert!(matches!(
+            top.get("rates").and_then(|r| r.get("req_per_s")),
+            Some(Json::Null)
+        ));
+
+        server.sample_metrics();
+        let verify = handle(
+            &mut server,
+            &Request::Verify {
+                name: "cccnot".into(),
+                targets: None,
+                deadline_ms: None,
+                trace: false,
+            }
+            .to_line(),
+        );
+        assert!(ok(&verify), "{verify}");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        server.sample_metrics();
+
+        let top = handle(&mut server, &Request::Top.to_line());
+        assert!(ok(&top), "{top}");
+        assert!(top.get("samples").and_then(Json::as_i64).unwrap() >= 2);
+        let verify_rate = top
+            .get("rates")
+            .and_then(|r| r.get("verify_per_s"))
+            .and_then(Json::as_f64)
+            .expect("verify rate should be computable from two samples");
+        assert!(verify_rate > 0.0, "one verify between samples: {top}");
+        let sessions = top.get("sessions").and_then(Json::as_arr).unwrap();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(
+            sessions[0].get("queue_depth").and_then(Json::as_i64),
+            Some(0)
+        );
+        assert!(top.get("request_types").and_then(Json::as_arr).is_some());
+        assert!(top.get("recorder").is_some(), "{top}");
+    }
+
+    #[test]
+    fn trace_request_replays_a_recorded_verify() {
+        let mut server = Server::new(VerifyOptions::default());
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "cccnot".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&load), "{load}");
+        let verify = handle(
+            &mut server,
+            &Request::Verify {
+                name: "cccnot".into(),
+                targets: None,
+                deadline_ms: None,
+                trace: false,
+            }
+            .to_line(),
+        );
+        assert!(ok(&verify), "{verify}");
+        let rid = verify.get("request_id").and_then(Json::as_i64).unwrap();
+
+        let fetched = handle(
+            &mut server,
+            &Request::Trace {
+                request_id: rid as u64,
+            }
+            .to_line(),
+        );
+        assert!(ok(&fetched), "{fetched}");
+        assert_eq!(
+            fetched.get("trace_request_id").and_then(Json::as_i64),
+            Some(rid)
+        );
+        assert_eq!(
+            fetched.get("trace_cmd").and_then(Json::as_str),
+            Some("verify")
+        );
+        let trace = fetched.get("trace").and_then(Json::as_str).unwrap();
+        assert!(
+            trace.contains("\"sweep\""),
+            "verify spans captured: {trace}"
+        );
+
+        // Never-issued ids are a coded error, not a panic.
+        let missing = handle(
+            &mut server,
+            &Request::Trace {
+                request_id: 999_999,
+            }
+            .to_line(),
+        );
+        assert!(!ok(&missing));
+        assert_eq!(
+            missing.get("code").and_then(Json::as_str),
+            Some("not_recorded")
+        );
+    }
+
+    #[test]
     fn traced_verify_returns_balanced_chrome_trace() {
         let mut server = Server::new(VerifyOptions::default());
         let load = handle(
@@ -768,7 +931,6 @@ mod tests {
             .to_line(),
         );
         assert!(ok(&verify), "{verify}");
-        assert!(!qb_obs::enabled(), "tracing must be restored after");
         let trace = verify.get("trace").and_then(Json::as_str).unwrap();
         let parsed = Json::parse(trace).expect("trace is valid JSON");
         let events = parsed

@@ -73,6 +73,16 @@ impl Json {
         self.as_i64().and_then(|i| usize::try_from(i).ok())
     }
 
+    /// The numeric payload as a float (integers widen losslessly enough
+    /// for display purposes).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(x) => Some(*x),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
     /// The array payload, if this is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {

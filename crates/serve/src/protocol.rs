@@ -13,6 +13,8 @@
 //! | `edit` | `name`, `source`, optional `backend` | diff against the cached circuit, re-verify incrementally |
 //! | `status` | — | list loaded programs and session statistics |
 //! | `metrics` | — | Prometheus text exposition of daemon metrics |
+//! | `top` | — | windowed rates and per-session gauges from the sampler ring |
+//! | `trace` | `request_id` | fetch a retained request trace from the flight recorder |
 //! | `unload` | `name` | drop a program (and its session if unaliased) |
 //! | `shutdown` | — | stop the daemon |
 //!
@@ -67,6 +69,16 @@ pub enum Request {
     /// Report daemon metrics in the Prometheus text exposition format
     /// (the response's `"metrics"` member).
     Metrics,
+    /// Report windowed request rates and per-session gauges computed
+    /// from the daemon's `TimeSeries` sampler ring, as compact JSON.
+    Top,
+    /// Fetch a retained request trace (span tree as Chrome trace-event
+    /// JSON) from the flight recorder — or from the exemplar directory
+    /// if the ring has already evicted it.
+    Trace {
+        /// The `request_id` a prior response reported.
+        request_id: u64,
+    },
     /// Unload one program.
     Unload {
         /// Program name from a prior `load`.
@@ -159,6 +171,15 @@ impl Request {
             }),
             "status" => Ok(Request::Status),
             "metrics" => Ok(Request::Metrics),
+            "top" => Ok(Request::Top),
+            "trace" => {
+                let request_id = v
+                    .get("request_id")
+                    .and_then(Json::as_usize)
+                    .ok_or("\"request_id\" must be a non-negative integer")?
+                    as u64;
+                Ok(Request::Trace { request_id })
+            }
             "unload" => Ok(Request::Unload { name: name(&v)? }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown cmd {other:?}")),
@@ -224,6 +245,11 @@ impl Request {
             }
             Request::Status => Json::obj(vec![("cmd", Json::Str("status".into()))]),
             Request::Metrics => Json::obj(vec![("cmd", Json::Str("metrics".into()))]),
+            Request::Top => Json::obj(vec![("cmd", Json::Str("top".into()))]),
+            Request::Trace { request_id } => Json::obj(vec![
+                ("cmd", Json::Str("trace".into())),
+                ("request_id", Json::Int(*request_id as i64)),
+            ]),
             Request::Unload { name } => Json::obj(vec![
                 ("cmd", Json::Str("unload".into())),
                 ("name", Json::Str(name.clone())),
@@ -307,6 +333,8 @@ mod tests {
             },
             Request::Status,
             Request::Metrics,
+            Request::Top,
+            Request::Trace { request_id: 42 },
             Request::Unload {
                 name: "adder".into(),
             },
@@ -331,5 +359,8 @@ mod tests {
         assert!(Request::parse(r#"{"cmd":"verify","name":"x","deadline_ms":-5}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"verify","name":"x","trace":"yes"}"#).is_err());
         assert!(Request::parse(r#"{"cmd":"load","name":"x","source":"","backend":7}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"trace"}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"trace","request_id":-1}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"trace","request_id":"7"}"#).is_err());
     }
 }

@@ -22,6 +22,7 @@ use crate::json::Json;
 use crate::protocol::{coded_error_response, error_response, Request};
 use qb_core::{AutoPreference, BackendKind, InitialValue, VerifyOptions, VerifySession};
 use qb_lang::{elaborate, gate_diff, parse, structural_hash, ElaboratedProgram, QubitKind};
+use qb_obs::{FlightRecorder, RecordedRequest, SpanEvent, TimeSeries};
 use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -45,6 +46,19 @@ const AUTO_WINNERS_CAP: usize = 1024;
 
 /// Snapshot file name inside the state directory.
 pub(crate) const STATE_FILE: &str = "state.json";
+
+/// Sampler-ring capacity: ten minutes of history at the default 1s
+/// cadence.
+const TIMESERIES_CAP: usize = 600;
+
+/// The trailing window `top` computes its rates and percentiles over.
+const TOP_WINDOW_NS: u64 = 60_000_000_000;
+
+/// Exemplar file name for a request id. Zero-padded so lexicographic
+/// directory order is chronological (retention deletes the oldest).
+pub(crate) fn exemplar_file_name(request_id: u64) -> String {
+    format!("req-{request_id:012}.trace.json")
+}
 
 pub(crate) fn hash_hex(hash: u64) -> String {
     format!("{hash:016x}")
@@ -80,6 +94,8 @@ fn request_cmd(request: &Request) -> &'static str {
         Request::Edit { .. } => "edit",
         Request::Status => "status",
         Request::Metrics => "metrics",
+        Request::Top => "top",
+        Request::Trace { .. } => "trace",
         Request::Unload { .. } => "unload",
         Request::Shutdown => "shutdown",
     }
@@ -298,6 +314,21 @@ pub(crate) struct Router {
     snap_stop: Mutex<bool>,
     snap_cvar: Condvar,
     log_sink: Mutex<Option<std::fs::File>>,
+    /// Always-on flight recorder: the bounded ring of recently
+    /// completed request traces and the tail-sampling exemplar policy.
+    recorder: FlightRecorder,
+    /// Span trees actors deposited under their request id, claimed by
+    /// [`Router::finish`] when the response funnels through.
+    pending_spans: Mutex<HashMap<u64, Vec<SpanEvent>>>,
+    /// The sampler thread's ring of periodic metrics snapshots; `top`
+    /// computes its rates from this.
+    timeseries: Mutex<TimeSeries>,
+    /// Where exemplar traces are written, with the retention cap
+    /// (newest N kept). `None` keeps exemplars in memory only.
+    trace_dir: Mutex<Option<(PathBuf, usize)>>,
+    /// Signal for the sampler thread: `true` = exit.
+    sampler_stop: Mutex<bool>,
+    sampler_cvar: Condvar,
     shutting_down: AtomicBool,
     /// Responses handed to writer threads but not yet flushed to their
     /// sockets; graceful shutdown waits for this to reach zero so no
@@ -417,6 +448,28 @@ pub(crate) fn route_line(
             router.finish(
                 request_id,
                 "metrics",
+                response,
+                queue_ns,
+                started.elapsed().as_nanos() as u64,
+                reply,
+            );
+        }
+        Request::Top => {
+            let response = router.top();
+            router.finish(
+                request_id,
+                "top",
+                response,
+                queue_ns,
+                started.elapsed().as_nanos() as u64,
+                reply,
+            );
+        }
+        Request::Trace { request_id: traced } => {
+            let response = router.trace_of(traced);
+            router.finish(
+                request_id,
+                "trace",
                 response,
                 queue_ns,
                 started.elapsed().as_nanos() as u64,
@@ -955,6 +1008,12 @@ impl Router {
             snap_stop: Mutex::new(false),
             snap_cvar: Condvar::new(),
             log_sink: Mutex::new(None),
+            recorder: FlightRecorder::new(qb_obs::DEFAULT_RECORDER_CAPACITY),
+            pending_spans: Mutex::new(HashMap::new()),
+            timeseries: Mutex::new(TimeSeries::new(TIMESERIES_CAP)),
+            trace_dir: Mutex::new(None),
+            sampler_stop: Mutex::new(false),
+            sampler_cvar: Condvar::new(),
             shutting_down: AtomicBool::new(false),
             pending_replies: Mutex::new(0),
             replies_cvar: Condvar::new(),
@@ -1055,11 +1114,98 @@ impl Router {
         qb_obs::counter_add("requests", cmd, 1);
         qb_obs::observe_ns("request_handle", cmd, handle_ns);
         qb_obs::observe_ns("request_queue_wait", cmd, queue_ns);
+        self.record_request(request_id, cmd, &response, queue_ns, handle_ns);
         if let Json::Obj(members) = &mut response {
             members.insert("request_id".into(), Json::Int(request_id as i64));
+            // The daemon-side time split, so clients (notably `watch`)
+            // can tell mailbox contention from slow solves.
+            members.insert("queue_ns".into(), Json::Int(queue_ns as i64));
+            members.insert("handle_ns".into(), Json::Int(handle_ns as i64));
         }
         self.log_request(request_id, cmd, &response, queue_ns, handle_ns);
         self.send_reply(reply, response.to_string());
+    }
+
+    /// Feeds one finished request to the flight recorder, claiming the
+    /// span tree its actor stashed, and writes the exemplar file when
+    /// the tail-sampling policy promotes it.
+    fn record_request(
+        &self,
+        request_id: u64,
+        cmd: &str,
+        response: &Json,
+        queue_ns: u64,
+        handle_ns: u64,
+    ) {
+        let spans = self
+            .pending_spans
+            .lock()
+            .unwrap()
+            .remove(&request_id)
+            .unwrap_or_default();
+        let ok = response.get("ok").and_then(Json::as_bool) == Some(true);
+        let unknowns = response
+            .get("unknowns")
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
+            .max(0) as u64;
+        let quarantined = response.get("quarantined").is_some();
+        let reason = self.recorder.record(RecordedRequest {
+            request_id,
+            cmd: cmd.to_string(),
+            ok,
+            unknowns,
+            quarantined,
+            queue_ns,
+            handle_ns,
+            spans,
+            exemplar: None,
+        });
+        if let Some(reason) = reason {
+            qb_obs::counter_add("exemplars", reason.name(), 1);
+            self.write_exemplar(request_id);
+        }
+    }
+
+    /// Writes a promoted request's trace to the exemplar directory and
+    /// enforces the retention cap (newest N by file name, which is
+    /// chronological by construction). Failures are counted, never
+    /// fatal.
+    fn write_exemplar(&self, request_id: u64) {
+        let Some((dir, retain)) = self.trace_dir.lock().unwrap().clone() else {
+            return;
+        };
+        let Some(rec) = self.recorder.get(request_id) else {
+            return;
+        };
+        let path = dir.join(exemplar_file_name(request_id));
+        let trace = qb_obs::chrome_trace(&rec.spans);
+        if std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, trace))
+            .is_err()
+        {
+            qb_obs::counter_add("exemplar_write_failures", "io", 1);
+            return;
+        }
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            return;
+        };
+        let mut files: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("req-") && n.ends_with(".trace.json"))
+            })
+            .collect();
+        if files.len() > retain {
+            files.sort();
+            let excess = files.len() - retain;
+            for old in files.into_iter().take(excess) {
+                let _ = std::fs::remove_file(old);
+            }
+        }
     }
 
     /// Appends one request record to the JSONL log, if one is open.
@@ -1223,6 +1369,16 @@ impl Router {
                 "requests",
                 Json::Int(self.requests.load(Ordering::SeqCst) as i64),
             ),
+            ("dropped_spans", Json::Int(qb_obs::dropped_spans() as i64)),
+            (
+                "recorder_recorded",
+                Json::Int(self.recorder.recorded() as i64),
+            ),
+            (
+                "recorder_overflow",
+                Json::Int(self.recorder.overflowed() as i64),
+            ),
+            ("exemplars", Json::Int(self.recorder.exemplars() as i64)),
         ])
     }
 
@@ -1253,6 +1409,15 @@ impl Router {
             }
             (t.actors.len(), self.requests.load(Ordering::SeqCst))
         };
+        // Observability of the observability: monotone gauges exposing
+        // span loss and flight-recorder ring overflow in the scrape.
+        qb_obs::gauge_set("obs_dropped_spans", "all", qb_obs::dropped_spans() as i64);
+        qb_obs::gauge_set(
+            "recorder_overflow",
+            "all",
+            self.recorder.overflowed() as i64,
+        );
+        qb_obs::gauge_set("recorder_recorded", "all", self.recorder.recorded() as i64);
         let text = qb_obs::prometheus_text(
             &qb_obs::metrics_snapshot(),
             &[
@@ -1267,6 +1432,203 @@ impl Router {
             ("sessions", Json::Int(sessions as i64)),
             ("requests", Json::Int(requests as i64)),
         ])
+    }
+
+    /// Renders the live dashboard snapshot: windowed rates from the
+    /// sampler ring, per-request-type latency over the trailing window,
+    /// and per-session gauges. Everything a scraping `client top` needs
+    /// in one compact object.
+    fn top(&self) -> Json {
+        // Per-session facts come from the live table first; the ring is
+        // locked afterwards so the two locks never nest.
+        struct SessionRow {
+            label: String,
+            queue_depth: i64,
+            wait_p50_us: i64,
+            wait_p95_us: i64,
+            arena_nodes: i64,
+            bdd_resident_nodes: i64,
+        }
+        let (mut rows, resident_arena, resident_bdd, sessions_count) = {
+            let t = self.table.lock().unwrap();
+            let mut rows = Vec::with_capacity(t.actors.len());
+            let mut arena = 0i64;
+            let mut bdd = 0i64;
+            for entry in t.actors.values() {
+                let (wait_p50_us, wait_p95_us) = entry
+                    .shared
+                    .mailbox_wait
+                    .lock()
+                    .map(|h| ((h.p50() / 1_000) as i64, (h.p95() / 1_000) as i64))
+                    .unwrap_or((0, 0));
+                let (arena_nodes, bdd_resident_nodes) = entry
+                    .shared
+                    .published
+                    .lock()
+                    .map(|p| (p.arena_nodes as i64, p.bdd_resident_nodes as i64))
+                    .unwrap_or((0, 0));
+                arena += arena_nodes;
+                bdd += bdd_resident_nodes;
+                rows.push(SessionRow {
+                    label: format!("{}/{}", hash_hex(entry.key.0), entry.key.1),
+                    queue_depth: entry.shared.queue_depth.load(Ordering::SeqCst) as i64,
+                    wait_p50_us,
+                    wait_p95_us,
+                    arena_nodes,
+                    bdd_resident_nodes,
+                });
+            }
+            rows.sort_by(|a, b| a.label.cmp(&b.label));
+            (rows, arena, bdd, t.actors.len())
+        };
+        let ts = self.timeseries.lock().unwrap();
+        let float_or_null = |v: Option<f64>| match v {
+            Some(v) => Json::Float(v),
+            None => Json::Null,
+        };
+        let rates = Json::obj(vec![
+            (
+                "req_per_s",
+                float_or_null(ts.counter_rate("requests", TOP_WINDOW_NS)),
+            ),
+            (
+                "verify_per_s",
+                float_or_null(ts.counter_rate_for("requests", "verify", TOP_WINDOW_NS)),
+            ),
+            (
+                "conflicts_per_s",
+                float_or_null(ts.counter_rate("solver_conflicts", TOP_WINDOW_NS)),
+            ),
+            (
+                "propagations_per_s",
+                float_or_null(ts.counter_rate("solver_propagations", TOP_WINDOW_NS)),
+            ),
+        ]);
+        // One row per request type seen by the newest snapshot: its
+        // windowed rate and the latency percentiles of just the window.
+        let request_types: Vec<Json> = {
+            let mut cmds: Vec<String> = ts
+                .latest()
+                .map(|p| {
+                    p.snapshot
+                        .counters
+                        .iter()
+                        .filter(|(n, _, _)| n == "requests")
+                        .map(|(_, l, _)| l.clone())
+                        .collect()
+                })
+                .unwrap_or_default();
+            cmds.sort();
+            cmds.dedup();
+            cmds.into_iter()
+                .map(|cmd| {
+                    let mut pairs = vec![
+                        ("cmd", Json::Str(cmd.clone())),
+                        (
+                            "rate_per_s",
+                            float_or_null(ts.counter_rate_for("requests", &cmd, TOP_WINDOW_NS)),
+                        ),
+                    ];
+                    match ts.histogram_delta("request_handle", &cmd, TOP_WINDOW_NS) {
+                        Some(h) if h.count() > 0 => {
+                            pairs.push(("p50_us", Json::Int((h.p50() / 1_000) as i64)));
+                            pairs.push(("p95_us", Json::Int((h.p95() / 1_000) as i64)));
+                        }
+                        _ => {
+                            pairs.push(("p50_us", Json::Null));
+                            pairs.push(("p95_us", Json::Null));
+                        }
+                    }
+                    Json::obj(pairs)
+                })
+                .collect()
+        };
+        let sessions: Vec<Json> = rows
+            .drain(..)
+            .map(|row| {
+                let depth_max = ts
+                    .gauge_max("session_queue_depth", &row.label, TOP_WINDOW_NS)
+                    .map_or(Json::Null, Json::Int);
+                Json::obj(vec![
+                    ("session", Json::Str(row.label)),
+                    ("queue_depth", Json::Int(row.queue_depth)),
+                    ("queue_depth_max", depth_max),
+                    ("mailbox_wait_p50_us", Json::Int(row.wait_p50_us)),
+                    ("mailbox_wait_p95_us", Json::Int(row.wait_p95_us)),
+                    ("arena_nodes", Json::Int(row.arena_nodes)),
+                    ("bdd_resident_nodes", Json::Int(row.bdd_resident_nodes)),
+                ])
+            })
+            .collect();
+        let samples = ts.len();
+        let window_ms = ts.span_ns().min(TOP_WINDOW_NS) / 1_000_000;
+        drop(ts);
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("samples", Json::Int(samples as i64)),
+            ("window_ms", Json::Int(window_ms as i64)),
+            ("rates", rates),
+            ("request_types", Json::Arr(request_types)),
+            ("sessions", Json::Arr(sessions)),
+            ("sessions_count", Json::Int(sessions_count as i64)),
+            ("resident_arena_nodes", Json::Int(resident_arena)),
+            ("resident_bdd_nodes", Json::Int(resident_bdd)),
+            (
+                "requests",
+                Json::Int(self.requests.load(Ordering::SeqCst) as i64),
+            ),
+            ("dropped_spans", Json::Int(qb_obs::dropped_spans() as i64)),
+            (
+                "recorder",
+                Json::obj(vec![
+                    ("recorded", Json::Int(self.recorder.recorded() as i64)),
+                    ("retained", Json::Int(self.recorder.len() as i64)),
+                    ("overflow", Json::Int(self.recorder.overflowed() as i64)),
+                    ("exemplars", Json::Int(self.recorder.exemplars() as i64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Fetches a retained request trace: from the flight-recorder ring
+    /// if it is still there, else from the exemplar directory. The
+    /// traced request's own facts use `trace_`-prefixed keys so they
+    /// never collide with the members [`Router::finish`] stamps onto
+    /// this (the fetching) request's response.
+    fn trace_of(&self, traced: u64) -> Json {
+        if let Some(rec) = self.recorder.get(traced) {
+            return Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("trace_request_id", Json::Int(traced as i64)),
+                ("trace_cmd", Json::Str(rec.cmd.clone())),
+                ("trace_ok", Json::Bool(rec.ok)),
+                (
+                    "exemplar",
+                    rec.exemplar
+                        .map_or(Json::Null, |r| Json::Str(r.name().to_string())),
+                ),
+                ("trace_queue_ns", Json::Int(rec.queue_ns as i64)),
+                ("trace_handle_ns", Json::Int(rec.handle_ns as i64)),
+                ("spans", Json::Int(rec.spans.len() as i64)),
+                ("trace", Json::Str(qb_obs::chrome_trace(&rec.spans))),
+            ]);
+        }
+        // Ring-evicted, but a promoted request may survive on disk.
+        if let Some((dir, _)) = self.trace_dir.lock().unwrap().clone() {
+            let path = dir.join(exemplar_file_name(traced));
+            if let Ok(contents) = std::fs::read_to_string(&path) {
+                return Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("trace_request_id", Json::Int(traced as i64)),
+                    ("source", Json::Str("exemplar_file".into())),
+                    ("trace", Json::Str(contents)),
+                ]);
+            }
+        }
+        coded_error_response(
+            &format!("request {traced} is not retained by the flight recorder"),
+            "not_recorded",
+        )
     }
 
     fn unload(&self, name: &str) -> Json {
@@ -1285,6 +1647,51 @@ impl Router {
             ("unloaded", Json::Str(name.to_string())),
             ("sessions", Json::Int(sessions as i64)),
         ])
+    }
+
+    // ---- flight recorder and sampler -----------------------------------
+
+    /// Deposits a request's captured span tree for [`Router::finish`]
+    /// to claim. Called from actor threads right after a capture ends.
+    pub(crate) fn stash_spans(&self, request_id: u64, spans: Vec<SpanEvent>) {
+        self.pending_spans.lock().unwrap().insert(request_id, spans);
+    }
+
+    /// Configures the exemplar directory and retention cap.
+    pub(crate) fn set_trace_dir(&self, dir: PathBuf, retain: usize) {
+        *self.trace_dir.lock().unwrap() = Some((dir, retain.max(1)));
+    }
+
+    /// Configures the fixed slow-request threshold (otherwise the
+    /// recorder's rolling p99 rule applies).
+    pub(crate) fn set_slow_threshold(&self, threshold: Option<Duration>) {
+        self.recorder.set_slow_threshold(threshold);
+    }
+
+    /// One sampler beat: refresh the per-session gauges, then append
+    /// the cumulative metrics snapshot to the ring.
+    pub(crate) fn sample_tick(&self) {
+        {
+            let t = self.table.lock().unwrap();
+            for entry in t.actors.values() {
+                qb_obs::gauge_set(
+                    "session_queue_depth",
+                    &format!("{}/{}", hash_hex(entry.key.0), entry.key.1),
+                    entry.shared.queue_depth.load(Ordering::SeqCst) as i64,
+                );
+            }
+        }
+        self.timeseries
+            .lock()
+            .unwrap()
+            .tick(qb_obs::now_ns(), qb_obs::metrics_snapshot());
+    }
+
+    /// Tells the sampler thread to exit.
+    pub(crate) fn stop_sampler(&self) {
+        let mut stop = self.sampler_stop.lock().unwrap();
+        *stop = true;
+        self.sampler_cvar.notify_all();
     }
 
     // ---- actor-facing services -----------------------------------------
@@ -1600,6 +2007,31 @@ impl Router {
     pub(crate) fn quarantined_sessions(&self) -> u64 {
         self.quarantines.load(Ordering::SeqCst)
     }
+}
+
+/// The metrics sampler: appends one cumulative snapshot to the
+/// `TimeSeries` ring every `interval` (first beat immediately, so `top`
+/// has a baseline as soon as the daemon is up), until
+/// [`Router::stop_sampler`].
+pub(crate) fn spawn_sampler(
+    router: &Arc<Router>,
+    interval: Duration,
+) -> std::thread::JoinHandle<()> {
+    let router = Arc::clone(router);
+    std::thread::Builder::new()
+        .name("qb-sampler".into())
+        .spawn(move || loop {
+            router.sample_tick();
+            let stop = router.sampler_stop.lock().unwrap();
+            if *stop {
+                return;
+            }
+            let (stop, _) = router.sampler_cvar.wait_timeout(stop, interval).unwrap();
+            if *stop {
+                return;
+            }
+        })
+        .expect("spawn metrics sampler")
 }
 
 /// The dedicated snapshot writer: wakes on [`Router::mark_dirty`],

@@ -10,10 +10,13 @@
 //!
 //! qborrow serve  --socket <path> [--tcp <addr>] [--backend ...] [--simplify ...] [--quiet]
 //!                [--default-deadline-ms N] [--state-dir <dir>] [--log-file <path>]
+//!                [--trace-dir <dir>] [--trace-retain N] [--slow-ms N] [--sample-interval-ms N]
 //! qborrow client verify <file.qbr|-> [--socket <path>|--addr <tcp>] [--name <name>]
 //!                       [--backend <name>] [--deadline-ms N] [--trace-out <path>]
 //! qborrow client edit   <file.qbr|-> [--socket <path>|--addr <tcp>] [--name <name>] [--backend <name>]
 //! qborrow client status [--socket <path>|--addr <tcp>] [--json]
+//! qborrow client top    [--socket <path>|--addr <tcp>] [--interval-ms N] [--once] [--json]
+//! qborrow client trace  <request_id> [--socket <path>|--addr <tcp>] [--trace-out <path>]
 //! qborrow client metrics|shutdown [--socket <path>|--addr <tcp>]
 //! qborrow client unload <name> [--socket <path>|--addr <tcp>]
 //! qborrow watch  <file.qbr> [--socket <path>|--addr <tcp>] [--interval-ms N] [--backend <name>]
@@ -55,9 +58,12 @@ fn usage() -> ExitCode {
                  [--simplify raw|full] [--max-sessions N] [--idle-timeout-ms N]\n  \
                  [--arena-gc-floor N] [--decision-cache N] [--default-deadline-ms N]\n  \
                  [--state-dir <dir>] [--log-file <path>] [--quiet]\n  \
+                 [--trace-dir <dir>] [--trace-retain N] [--slow-ms N] [--sample-interval-ms N]\n  \
          qborrow client verify|edit <file.qbr|-> [--socket <path>|--addr <tcp>] [--name <name>]\n  \
                  [--backend <name>] [--deadline-ms N] [--trace-out <path>]\n  \
          qborrow client status [--socket <path>|--addr <tcp>] [--json]\n  \
+         qborrow client top [--socket <path>|--addr <tcp>] [--interval-ms N] [--once] [--json]\n  \
+         qborrow client trace <request_id> [--socket <path>|--addr <tcp>] [--trace-out <path>]\n  \
          qborrow client metrics|shutdown [--socket <path>|--addr <tcp>]\n  \
          qborrow client unload <name> [--socket <path>|--addr <tcp>]\n  \
          qborrow watch  <file.qbr> [--socket <path>|--addr <tcp>] [--interval-ms N] [--backend <name>]"
@@ -412,6 +418,10 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
     let mut limits = ServerLimits::default();
     let mut state_dir: Option<PathBuf> = None;
     let mut log_file: Option<PathBuf> = None;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut trace_retain = 32usize;
+    let mut slow_threshold: Option<std::time::Duration> = None;
+    let mut sample_interval = std::time::Duration::from_secs(1);
     let mut i = 0;
     while i < flags.len() {
         match parse_backend_flag(flags, &mut i, &mut backend, &mut simplify) {
@@ -508,6 +518,44 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
                 log_file = Some(PathBuf::from(file));
                 i += 2;
             }
+            "--trace-dir" => {
+                let Some(dir) = flags.get(i + 1) else {
+                    eprintln!("--trace-dir expects a directory path");
+                    return usage();
+                };
+                trace_dir = Some(PathBuf::from(dir));
+                i += 2;
+            }
+            "--trace-retain" => {
+                trace_retain = match flags.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--trace-retain expects a positive number");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
+            "--slow-ms" => {
+                slow_threshold = match flags.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(ms) if ms > 0 => Some(std::time::Duration::from_millis(ms)),
+                    _ => {
+                        eprintln!("--slow-ms expects a positive number");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
+            "--sample-interval-ms" => {
+                sample_interval = match flags.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(ms) if ms > 0 => std::time::Duration::from_millis(ms),
+                    _ => {
+                        eprintln!("--sample-interval-ms expects a positive number");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
             "--quiet" => {
                 log = false;
                 i += 1;
@@ -530,6 +578,10 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
         limits,
         state_dir,
         log_file,
+        trace_dir,
+        trace_retain,
+        slow_threshold,
+        sample_interval,
     };
     match qborrow::serve::run(&opts) {
         Ok(()) => ExitCode::SUCCESS,
@@ -549,12 +601,15 @@ struct ClientFlags {
     deadline_ms: Option<u64>,
     trace_out: Option<PathBuf>,
     json: bool,
+    once: bool,
+    interval_ms: Option<u64>,
 }
 
 /// Parses trailing `--socket`/`--addr`/`--name`/`--backend`/
-/// `--deadline-ms`/`--trace-out`/`--json` flags shared by client
-/// commands. The backend name is validated locally so a typo fails fast
-/// with exit code 2 instead of a daemon round-trip.
+/// `--deadline-ms`/`--trace-out`/`--json`/`--once`/`--interval-ms`
+/// flags shared by client commands. The backend name is validated
+/// locally so a typo fails fast with exit code 2 instead of a daemon
+/// round-trip.
 fn parse_client_flags(flags: &[String]) -> Result<ClientFlags, String> {
     let mut socket = default_socket();
     let mut addr = None;
@@ -563,6 +618,8 @@ fn parse_client_flags(flags: &[String]) -> Result<ClientFlags, String> {
     let mut deadline_ms = None;
     let mut trace_out = None;
     let mut json = false;
+    let mut once = false;
+    let mut interval_ms = None;
     let mut i = 0;
     while i < flags.len() {
         match flags[i].as_str() {
@@ -629,6 +686,17 @@ fn parse_client_flags(flags: &[String]) -> Result<ClientFlags, String> {
                 json = true;
                 i += 1;
             }
+            "--once" => {
+                once = true;
+                i += 1;
+            }
+            "--interval-ms" => {
+                interval_ms = match flags.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(ms) if ms > 0 => Some(ms),
+                    _ => return Err("--interval-ms expects a positive number".into()),
+                };
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -640,6 +708,8 @@ fn parse_client_flags(flags: &[String]) -> Result<ClientFlags, String> {
         deadline_ms,
         trace_out,
         json,
+        once,
+        interval_ms,
     })
 }
 
@@ -785,6 +855,8 @@ fn cmd_client(args: &[String]) -> ExitCode {
         deadline_ms,
         trace_out,
         json,
+        once,
+        interval_ms,
     } = match parse_client_flags(&flags) {
         Ok(v) => v,
         Err(e) => {
@@ -944,6 +1016,76 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 }
             }
         }
+        "top" => {
+            let mut client = match connect(&socket, &addr) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            let interval = std::time::Duration::from_millis(interval_ms.unwrap_or(1000));
+            loop {
+                let response = match client.top() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("qborrow client: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if print_error(&response) {
+                    return ExitCode::FAILURE;
+                }
+                if json {
+                    println!("{response}");
+                } else {
+                    if !once {
+                        // Clear the terminal and home the cursor so the
+                        // dashboard repaints in place.
+                        print!("\x1b[2J\x1b[H");
+                    }
+                    print!("{}", render_top(&response));
+                }
+                if once {
+                    return ExitCode::SUCCESS;
+                }
+                std::thread::sleep(interval);
+            }
+        }
+        "trace" => {
+            let Some(rid) = positional.first().and_then(|s| s.parse::<u64>().ok()) else {
+                eprintln!("client trace expects a numeric <request_id>");
+                return usage();
+            };
+            let mut client = match connect(&socket, &addr) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.trace(rid) {
+                Err(e) => {
+                    eprintln!("qborrow client: {e}");
+                    ExitCode::FAILURE
+                }
+                Ok(response) => {
+                    if print_error(&response) {
+                        return ExitCode::FAILURE;
+                    }
+                    let trace = response.get("trace").and_then(Json::as_str).unwrap_or("");
+                    match &trace_out {
+                        Some(out) => {
+                            if let Err(e) = std::fs::write(out, trace) {
+                                eprintln!("error: cannot write trace to {}: {e}", out.display());
+                                return ExitCode::FAILURE;
+                            }
+                            eprintln!(
+                                "trace for request {rid} written to {} (open in Perfetto or \
+                                 chrome://tracing)",
+                                out.display()
+                            );
+                        }
+                        None => print!("{trace}"),
+                    }
+                    ExitCode::SUCCESS
+                }
+            }
+        }
         "shutdown" => {
             let mut client = match connect(&socket, &addr) {
                 Ok(c) => c,
@@ -962,6 +1104,111 @@ fn cmd_client(args: &[String]) -> ExitCode {
         }
         _ => usage(),
     }
+}
+
+/// Renders one `top` response as the text dashboard: windowed request
+/// rates, per-request-type latency percentiles, and per-session gauges.
+/// Rates and percentiles the sampler ring cannot answer yet (fewer than
+/// two snapshots, no samples in the window) render as `-`.
+fn render_top(response: &Json) -> String {
+    use std::fmt::Write as _;
+    let int = |key: &str| response.get(key).and_then(Json::as_i64).unwrap_or(0);
+    let rate = |key: &str| -> String {
+        match response
+            .get("rates")
+            .and_then(|r| r.get(key))
+            .and_then(Json::as_f64)
+        {
+            Some(x) => format!("{x:.1}"),
+            None => "-".to_string(),
+        }
+    };
+    let cell = |v: Option<&Json>| -> String {
+        match v.and_then(Json::as_i64) {
+            Some(n) => n.to_string(),
+            None => "-".to_string(),
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "qborrow top | window {:.0}s ({} samples) | {} requests | {} session(s) | dropped spans {}",
+        int("window_ms") as f64 / 1e3,
+        int("samples"),
+        int("requests"),
+        int("sessions_count"),
+        int("dropped_spans"),
+    );
+    let _ = writeln!(
+        out,
+        "rates: {} req/s | {} verify/s | {} conflicts/s | {} propagations/s",
+        rate("req_per_s"),
+        rate("verify_per_s"),
+        rate("conflicts_per_s"),
+        rate("propagations_per_s"),
+    );
+    if let Some(rec) = response.get("recorder") {
+        let ri = |key: &str| rec.get(key).and_then(Json::as_i64).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "recorder: {} recorded ({} retained, {} overflowed) | {} exemplars | resident arena \
+             {} bdd {}",
+            ri("recorded"),
+            ri("retained"),
+            ri("overflow"),
+            ri("exemplars"),
+            int("resident_arena_nodes"),
+            int("resident_bdd_nodes"),
+        );
+    }
+    let types = response
+        .get("request_types")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    if !types.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<12} {:>10} {:>10} {:>10}",
+            "request", "rate/s", "p50_us", "p95_us"
+        );
+        for t in types {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>10} {:>10} {:>10}",
+                t.get("cmd").and_then(Json::as_str).unwrap_or("?"),
+                t.get("rate_per_s")
+                    .and_then(Json::as_f64)
+                    .map_or_else(|| "-".to_string(), |x| format!("{x:.1}")),
+                cell(t.get("p50_us")),
+                cell(t.get("p95_us")),
+            );
+        }
+    }
+    let sessions = response
+        .get("sessions")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    if !sessions.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<24} {:>6} {:>6} {:>12} {:>12} {:>10} {:>10}",
+            "session", "queue", "q.max", "wait_p50_us", "wait_p95_us", "arena", "bdd"
+        );
+        for s in sessions {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>6} {:>6} {:>12} {:>12} {:>10} {:>10}",
+                s.get("session").and_then(Json::as_str).unwrap_or("?"),
+                cell(s.get("queue_depth")),
+                cell(s.get("queue_depth_max")),
+                cell(s.get("mailbox_wait_p50_us")),
+                cell(s.get("mailbox_wait_p95_us")),
+                cell(s.get("arena_nodes")),
+                cell(s.get("bdd_resident_nodes")),
+            );
+        }
+    }
+    out
 }
 
 fn cmd_watch(args: &[String]) -> ExitCode {
@@ -1094,12 +1341,19 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         let response = client.verify(path, None)?;
         if !print_error(&response) {
             print_verify_response(path, &response);
-            // One latency line per round: warm-session percentiles from
-            // the daemon's per-target/per-root histograms (log-bucketed,
-            // so these are bucket upper bounds).
+            // One latency line per round: this round's daemon-side time
+            // split into mailbox queue-wait vs handle time, then the
+            // warm-session percentiles from the daemon's per-target/
+            // per-root histograms (log-bucketed, so these are bucket
+            // upper bounds).
             let us = |key: &str| response.get(key).and_then(Json::as_i64).unwrap_or(0);
+            let ms = |key: &str| us(key) as f64 / 1e6;
             println!(
-                "  latency: target p50 {}us p95 {}us | root p50 {}us p95 {}us",
+                "  latency: queue {:.2}ms + handle {:.2}ms (mailbox wait p95 {}us) | \
+                 target p50 {}us p95 {}us | root p50 {}us p95 {}us",
+                ms("queue_ns"),
+                ms("handle_ns"),
+                us("mailbox_wait_p95_us"),
                 us("target_p50_us"),
                 us("target_p95_us"),
                 us("root_p50_us"),

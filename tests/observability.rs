@@ -20,15 +20,22 @@ static OBS_LOCK: Mutex<()> = Mutex::new(());
 static SOCKET_COUNTER: AtomicU32 = AtomicU32::new(0);
 
 fn start_daemon() -> (PathBuf, Client, std::thread::JoinHandle<()>) {
+    start_daemon_with(|_| {})
+}
+
+fn start_daemon_with(
+    configure: impl FnOnce(&mut ServeOptions),
+) -> (PathBuf, Client, std::thread::JoinHandle<()>) {
     let socket = std::env::temp_dir().join(format!(
         "qborrow-obs-test-{}-{}.sock",
         std::process::id(),
         SOCKET_COUNTER.fetch_add(1, Ordering::SeqCst)
     ));
-    let opts = ServeOptions {
+    let mut opts = ServeOptions {
         log: false,
         ..ServeOptions::new(socket.clone())
     };
+    configure(&mut opts);
     let handle = std::thread::spawn(move || run(&opts).expect("daemon runs"));
     for _ in 0..200 {
         if let Ok(client) = Client::connect(&socket) {
@@ -37,6 +44,31 @@ fn start_daemon() -> (PathBuf, Client, std::thread::JoinHandle<()>) {
         std::thread::sleep(Duration::from_millis(10));
     }
     panic!("daemon did not come up on {}", socket.display());
+}
+
+/// A unique throwaway directory for exemplar traces.
+fn temp_trace_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qborrow-obs-traces-{}-{}",
+        std::process::id(),
+        SOCKET_COUNTER.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("trace dir");
+    dir
+}
+
+/// The exemplar files currently present, sorted by name (which sorts by
+/// request id because the names zero-pad it).
+fn exemplar_files(dir: &PathBuf) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("trace dir readable")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("req-") && n.ends_with(".trace.json"))
+        .collect();
+    names.sort();
+    names
 }
 
 fn shutdown(mut client: Client, handle: std::thread::JoinHandle<()>) {
@@ -274,5 +306,174 @@ fn daemon_traced_verify_over_socket_returns_valid_trace() {
     // The next, untraced verify must not carry a trace.
     let resp = client.verify("adder", None).unwrap();
     assert!(resp.get("trace").is_none());
+    shutdown(client, handle);
+}
+
+/// Tail-sampling end to end: with a high fixed slow threshold, healthy
+/// requests leave no exemplar files, a deadline-expired verify (all
+/// verdicts unknown) promotes exactly one — named after its request id
+/// and holding a balanced Chrome trace — and the trace of any recent
+/// request can still be fetched from the flight-recorder ring over the
+/// socket.
+#[test]
+fn deadline_expired_verify_leaves_exactly_one_exemplar() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    obs::set_enabled(false);
+    let _ = obs::take_all_spans();
+    let dir = temp_trace_dir();
+    let (_socket, mut client, handle) = start_daemon_with(|opts| {
+        opts.trace_dir = Some(dir.clone());
+        opts.slow_threshold = Some(Duration::from_secs(3600));
+    });
+
+    let resp = client.load("adder", &adder_source(8)).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    let resp = client.verify("adder", None).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    let healthy_rid = resp.get("request_id").and_then(Json::as_i64).unwrap() as u64;
+    assert!(
+        exemplar_files(&dir).is_empty(),
+        "healthy traffic must not shed exemplars: {:?}",
+        exemplar_files(&dir)
+    );
+
+    // An already-expired deadline turns every verdict unknown; that is
+    // the tail-sampling trigger.
+    let resp = client.verify_with_deadline("adder", None, Some(0)).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(resp.get("unknowns").and_then(Json::as_i64).unwrap() > 0);
+    let slow_rid = resp.get("request_id").and_then(Json::as_i64).unwrap() as u64;
+
+    let files = exemplar_files(&dir);
+    assert_eq!(files, vec![format!("req-{slow_rid:012}.trace.json")]);
+    let trace = std::fs::read_to_string(dir.join(&files[0])).expect("exemplar file readable");
+    let trace = Json::parse(trace.trim()).expect("exemplar is valid JSON");
+    assert_trace_balanced(&trace);
+
+    // Another healthy verify adds nothing.
+    let resp = client.verify("adder", None).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(exemplar_files(&dir).len(), 1);
+
+    // The healthy request never hit disk but its trace is still in the
+    // ring, request-id keyed, with the sweep hierarchy captured.
+    let fetched = client.trace(healthy_rid).unwrap();
+    assert_eq!(fetched.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        fetched.get("trace_request_id").and_then(Json::as_i64),
+        Some(healthy_rid as i64)
+    );
+    let text = fetched.get("trace").and_then(Json::as_str).unwrap();
+    assert!(text.contains("\"sweep\""), "sweep span missing: {text}");
+    assert_trace_balanced(&Json::parse(text.trim()).unwrap());
+
+    shutdown(client, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The exemplar directory never grows past `trace_retain`: a burst of
+/// failing requests (verifies of a name that was never loaded) each
+/// writes an exemplar, and only the newest `retain` files survive.
+#[test]
+fn exemplar_retention_keeps_only_the_newest_files() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let dir = temp_trace_dir();
+    let (_socket, mut client, handle) = start_daemon_with(|opts| {
+        opts.trace_dir = Some(dir.clone());
+        opts.trace_retain = 3;
+    });
+
+    let mut rids = Vec::new();
+    for _ in 0..6 {
+        let resp = client.verify("never-loaded", None).unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        rids.push(resp.get("request_id").and_then(Json::as_i64).unwrap() as u64);
+    }
+    let files = exemplar_files(&dir);
+    let expected: Vec<String> = rids[3..]
+        .iter()
+        .map(|rid| format!("req-{rid:012}.trace.json"))
+        .collect();
+    assert_eq!(files, expected, "retention must keep the newest 3");
+
+    shutdown(client, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `top` surface over a real socket: with a fast sampler cadence the
+/// ring accrues snapshots, `client.top()` reports rates computed from at
+/// least two of them, and the compiled CLI's `client top --once --json`
+/// prints the same JSON on stdout. `status` carries the flight-recorder
+/// counters as well.
+#[test]
+fn client_top_once_json_reports_rates_over_a_real_socket() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let (socket, mut client, handle) = start_daemon_with(|opts| {
+        opts.sample_interval = Duration::from_millis(50);
+    });
+
+    client.load("adder", &adder_source(8)).unwrap();
+    for _ in 0..3 {
+        let resp = client.verify("adder", None).unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    }
+    // Let the sampler take at least two snapshots spanning the traffic.
+    std::thread::sleep(Duration::from_millis(250));
+
+    let top = client.top().unwrap();
+    assert_eq!(top.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(
+        top.get("samples").and_then(Json::as_i64).unwrap() >= 2,
+        "sampler should have ticked at least twice: {top}"
+    );
+    let req_rate = top
+        .get("rates")
+        .and_then(|r| r.get("req_per_s"))
+        .and_then(|v| match v {
+            Json::Float(x) => Some(*x),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        })
+        .expect("req/s computable from two snapshots");
+    assert!(req_rate > 0.0, "traffic happened between snapshots: {top}");
+    let sessions = top.get("sessions").and_then(Json::as_arr).unwrap();
+    assert_eq!(sessions.len(), 1);
+    assert!(sessions[0]
+        .get("queue_depth")
+        .and_then(Json::as_i64)
+        .is_some());
+    assert!(sessions[0]
+        .get("mailbox_wait_p95_us")
+        .and_then(Json::as_i64)
+        .is_some());
+
+    // Satellite: the recorder surfaces in status too.
+    let status = client.status().unwrap();
+    for key in [
+        "dropped_spans",
+        "recorder_recorded",
+        "recorder_overflow",
+        "exemplars",
+    ] {
+        assert!(
+            status.get(key).and_then(Json::as_i64).is_some(),
+            "status lacks {key}: {status}"
+        );
+    }
+
+    // The compiled CLI speaks the same protocol: one-shot JSON dashboard.
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_qborrow"))
+        .args(["client", "top", "--socket"])
+        .arg(&socket)
+        .args(["--once", "--json"])
+        .output()
+        .expect("qborrow binary runs");
+    assert!(output.status.success(), "client top failed: {output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let parsed = Json::parse(stdout.trim()).expect("client top --json emits JSON");
+    assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(parsed.get("samples").and_then(Json::as_i64).unwrap() >= 2);
+    assert!(parsed.get("rates").is_some());
+
     shutdown(client, handle);
 }

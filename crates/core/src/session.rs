@@ -1411,6 +1411,9 @@ impl<S: CdclSolver> GenericVerifySession<S> {
     /// See [`VerifyError`].
     pub fn verify_targets(&mut self, targets: &[usize]) -> Result<Vec<QubitVerdict>, VerifyError> {
         let _span = qb_obs::span_with("sweep", || format!("{} targets", targets.len()));
+        // Overload tests arm this with `delay-<ms>` to make any sweep
+        // artificially slow without needing a large circuit.
+        qb_testutil::failpoints::hit("slow_solve");
         let n = self.state.num_qubits();
         if targets.len() > 1 && targets.iter().all(|&q| q < n) {
             let _span = qb_obs::span("cofactor", "prime");

@@ -26,8 +26,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Mailbox bound: enough to absorb a pipelining client's burst, small
-/// enough that a runaway producer blocks instead of buffering without
-/// limit. Senders block (outside every table lock) when it fills.
+/// enough that overload surfaces immediately. Senders never block on a
+/// full mailbox — the router's admission check rejects the request with
+/// a structured `overloaded` error instead (see [`crate::router`]).
 pub(crate) const MAILBOX_CAP: usize = 256;
 
 /// Where a request's rendered response line goes: the per-connection
@@ -98,8 +99,8 @@ pub(crate) struct PublishedStats {
 }
 
 /// State shared between an actor and the router/readers: routing needs
-/// queue depth, liveness and the mailbox-wait histogram without a
-/// mailbox round-trip.
+/// queue depth, liveness, the mailbox-wait histogram and the breaker
+/// without a mailbox round-trip.
 pub(crate) struct ActorShared {
     /// Messages enqueued but not yet dequeued.
     pub queue_depth: AtomicUsize,
@@ -113,7 +114,84 @@ pub(crate) struct ActorShared {
     pub send_lock: Mutex<()>,
     /// How long messages sat in this mailbox before being dequeued.
     pub mailbox_wait: Mutex<Histogram>,
+    /// Per-session circuit breaker over the quarantine-rebuild path.
+    pub breaker: Mutex<Breaker>,
     pub published: Mutex<PublishedStats>,
+}
+
+/// Per-session circuit breaker: a session that panics (quarantine-
+/// rebuilds) repeatedly trips the breaker open, and the router fast-
+/// fails its verifies `unavailable` instead of burning CPU in a rebuild
+/// loop. After a cooldown one half-open probe is admitted; its outcome
+/// closes or re-opens the breaker. Edits pass the breaker — replacing
+/// the poisoned program is the cure — and a successful verify or edit
+/// closes it.
+#[derive(Default)]
+pub(crate) struct Breaker {
+    /// Recent quarantine strikes (oldest aged out past the window).
+    strikes: Vec<Instant>,
+    /// Set while the breaker is open (fast-fail `unavailable`).
+    opened_at: Option<Instant>,
+    /// A half-open probe is in flight; the next strike or success
+    /// decides the breaker's fate.
+    probing: bool,
+}
+
+impl Breaker {
+    /// Strikes older than this don't count toward tripping: a panic a
+    /// minute ago says little about the session's health now.
+    const STRIKE_WINDOW: Duration = Duration::from_secs(30);
+
+    /// Records a quarantine strike. Trips open at `threshold` strikes
+    /// within the window; a strike while probing re-opens immediately
+    /// (the probe just proved the session is still poisoned).
+    pub fn strike(&mut self, threshold: u32, now: Instant) {
+        if self.probing {
+            self.probing = false;
+            self.opened_at = Some(now);
+            return;
+        }
+        self.strikes
+            .retain(|t| now.duration_since(*t) <= Self::STRIKE_WINDOW);
+        self.strikes.push(now);
+        if self.strikes.len() >= threshold.max(1) as usize {
+            self.strikes.clear();
+            self.opened_at = Some(now);
+        }
+    }
+
+    /// A verify or edit completed cleanly: close the breaker and forget
+    /// the strike history.
+    pub fn note_ok(&mut self) {
+        self.strikes.clear();
+        self.opened_at = None;
+        self.probing = false;
+    }
+
+    /// Admission check for verifies. `Ok(())` admits (including the one
+    /// half-open probe once `cooldown` has elapsed); `Err(ms)` fast-
+    /// fails with the suggested retry delay.
+    pub fn admit(&mut self, cooldown: Duration, now: Instant) -> Result<(), u64> {
+        let Some(opened) = self.opened_at else {
+            return Ok(());
+        };
+        let elapsed = now.duration_since(opened);
+        if elapsed < cooldown {
+            return Err((cooldown - elapsed).as_millis().max(1) as u64);
+        }
+        if self.probing {
+            // A probe is already in flight; hold further traffic until
+            // it reports back.
+            return Err(cooldown.as_millis().max(1) as u64);
+        }
+        self.probing = true;
+        Ok(())
+    }
+
+    /// Whether the breaker is currently open (for status surfacing).
+    pub fn is_open(&self) -> bool {
+        self.opened_at.is_some()
+    }
 }
 
 /// Count of in-flight span captures. Span recording is a process
@@ -281,6 +359,7 @@ pub(crate) fn spawn_actor(
             alive: AtomicBool::new(true),
             send_lock: Mutex::new(()),
             mailbox_wait: Mutex::new(Histogram::new()),
+            breaker: Mutex::new(Breaker::default()),
             published: Mutex::new(PublishedStats {
                 pairs: Vec::new(),
                 arena_nodes: 0,
@@ -312,6 +391,7 @@ impl SessionActor {
     fn run(mut self, rx: Receiver<ActorMsg>) {
         while let Ok(msg) = rx.recv() {
             self.shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            self.router.note_dequeue();
             self.handle_one(msg);
         }
         // Mailbox closed: the router dropped this actor's entry (unload,
@@ -383,7 +463,16 @@ impl SessionActor {
         };
         let (t0, result) = result;
         let response = match result {
-            Ok(response) => response,
+            Ok(response) => {
+                // A clean verify or edit proves the session healthy:
+                // close the breaker. (Describe summaries prove nothing.)
+                if matches!(cmd, "verify" | "edit") {
+                    if let Ok(mut breaker) = self.shared.breaker.lock() {
+                        breaker.note_ok();
+                    }
+                }
+                response
+            }
             Err(payload) => {
                 // The panic unwound out of the session: quarantine it
                 // (any state left behind is untrusted), rebuild from the
@@ -393,6 +482,9 @@ impl SessionActor {
                 self.router
                     .stash_spans(ctx.request_id, qb_obs::take_spans());
                 self.router.note_quarantine();
+                if let Ok(mut breaker) = self.shared.breaker.lock() {
+                    breaker.strike(self.router.breaker_threshold(), Instant::now());
+                }
                 if let Some(source) = pending_source {
                     self.source = source;
                 }

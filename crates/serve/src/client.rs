@@ -30,6 +30,65 @@ pub struct Client {
     conn: Conn,
 }
 
+/// A token-bucket retry budget for shed (`overloaded`/`unavailable`)
+/// responses: every retry spends a whole token, every success earns a
+/// tenth of one back (capped at the initial size). Under a sustained
+/// overload the bucket drains and retries stop — the client backs off
+/// to first-attempt traffic only, so a fleet of retrying clients cannot
+/// amplify an overload into a retry storm.
+pub struct RetryBudget {
+    /// Tokens in integer tenths, so ten successes earn exactly one
+    /// whole token (no floating-point drift).
+    tenths: u64,
+    cap_tenths: u64,
+}
+
+impl RetryBudget {
+    /// A full bucket of `cap` retry tokens (minimum 1).
+    pub fn new(cap: u32) -> RetryBudget {
+        let cap_tenths = u64::from(cap.max(1)) * 10;
+        RetryBudget {
+            tenths: cap_tenths,
+            cap_tenths,
+        }
+    }
+
+    /// Spends one token if available.
+    fn try_spend(&mut self) -> bool {
+        if self.tenths >= 10 {
+            self.tenths -= 10;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A request succeeded: earn back a tenth of a token.
+    fn earn(&mut self) {
+        self.tenths = (self.tenths + 1).min(self.cap_tenths);
+    }
+
+    /// Whether the bucket is too empty to fund another retry.
+    pub fn exhausted(&self) -> bool {
+        self.tenths < 10
+    }
+}
+
+/// The server-suggested retry delay of a shed response, or `None` when
+/// the response was not shed. Sheds carry `code` `"overloaded"` (queue
+/// pressure) or `"unavailable"` (open circuit breaker).
+pub fn shed_retry_after(response: &Json) -> Option<u64> {
+    match response.get("code").and_then(Json::as_str) {
+        Some("overloaded") | Some("unavailable") => Some(
+            response
+                .get("retry_after_ms")
+                .and_then(Json::as_i64)
+                .map_or(50, |ms| ms.clamp(1, 60_000) as u64),
+        ),
+        _ => None,
+    }
+}
+
 /// Shared retry shape of [`Client::connect_with_retry`] and
 /// [`Client::connect_tcp_with_retry`].
 fn retry_connect(
@@ -172,6 +231,40 @@ impl Client {
                 format!("unparseable daemon response: {e}"),
             )
         })
+    }
+
+    /// [`Client::request`] with shed-aware retries: a response coded
+    /// `overloaded` or `unavailable` is retried up to `max_retries`
+    /// times, each retry funded by a token from `budget` and delayed by
+    /// the server's `retry_after_ms` hint plus jitter. The last
+    /// response (shed or not) is returned once retries run out; a
+    /// successful response earns budget back.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn request_with_retry(
+        &mut self,
+        request: &Request,
+        budget: &mut RetryBudget,
+        max_retries: u32,
+    ) -> io::Result<Json> {
+        let mut response = self.request(request)?;
+        for _ in 0..max_retries {
+            let Some(retry_after) = shed_retry_after(&response) else {
+                break;
+            };
+            if !budget.try_spend() {
+                break;
+            }
+            let base = Duration::from_millis(retry_after);
+            std::thread::sleep(base + jitter(base / 2));
+            response = self.request(request)?;
+        }
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            budget.earn();
+        }
+        Ok(response)
     }
 
     /// Loads `source` under `name` on the daemon's default backend.
@@ -353,4 +446,45 @@ fn jitter(upper: Duration) -> Duration {
     let mut hasher = RandomState::new().build_hasher();
     hasher.write_u64(0x6a69_7474_6572); // "jitter"
     upper.mul_f64((hasher.finish() % 1024) as f64 / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_budget_drains_and_earns_back() {
+        let mut budget = RetryBudget::new(2);
+        assert!(budget.try_spend());
+        assert!(budget.try_spend());
+        assert!(!budget.try_spend(), "bucket is empty");
+        assert!(budget.exhausted());
+        // Ten successes earn one whole token back, capped at the size.
+        for _ in 0..10 {
+            budget.earn();
+        }
+        assert!(!budget.exhausted());
+        assert!(budget.try_spend());
+        assert!(!budget.try_spend());
+    }
+
+    #[test]
+    fn shed_retry_after_reads_only_shed_codes() {
+        let shed = Json::obj(vec![
+            ("ok", Json::Bool(false)),
+            ("code", Json::Str("overloaded".into())),
+            ("retry_after_ms", Json::Int(120)),
+        ]);
+        assert_eq!(shed_retry_after(&shed), Some(120));
+        let open = Json::obj(vec![
+            ("ok", Json::Bool(false)),
+            ("code", Json::Str("unavailable".into())),
+        ]);
+        assert_eq!(shed_retry_after(&open), Some(50), "default hint");
+        let other = Json::obj(vec![
+            ("ok", Json::Bool(false)),
+            ("code", Json::Str("not_loaded".into())),
+        ]);
+        assert_eq!(shed_retry_after(&other), None);
+    }
 }

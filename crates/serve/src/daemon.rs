@@ -42,10 +42,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Memory bounds of a long-lived daemon (see `README.md`, "Memory
-/// behaviour of long-lived sessions"). All default to unbounded /
-/// session defaults.
-#[derive(Debug, Clone, Copy, Default)]
+/// Memory and overload bounds of a long-lived daemon (see `README.md`,
+/// "Memory behaviour of long-lived sessions" and "Overload behaviour").
+/// Memory knobs default to unbounded / session defaults; the overload
+/// knobs carry serving-grade defaults.
+#[derive(Debug, Clone, Copy)]
 pub struct ServerLimits {
     /// Upper bound on concurrently loaded (hash-distinct) sessions; the
     /// least-recently-used session (and every name aliasing it) is
@@ -63,6 +64,31 @@ pub struct ServerLimits {
     /// Wall-clock budget applied to every `verify` request that does not
     /// carry its own `deadline_ms`. `None` = unbounded.
     pub default_deadline: Option<Duration>,
+    /// Daemon-wide queued-request budget driving the `ok → degraded →
+    /// overloaded` health state (degraded from half the budget,
+    /// overloaded at the full budget, with hysteresis on the way down).
+    pub queue_budget: usize,
+    /// Quarantine-rebuilds within the strike window that trip a
+    /// session's circuit breaker open.
+    pub breaker_threshold: u32,
+    /// How long an open breaker fast-fails before admitting one
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
+}
+
+impl Default for ServerLimits {
+    fn default() -> Self {
+        ServerLimits {
+            max_sessions: None,
+            idle_timeout: None,
+            arena_gc_floor: None,
+            decision_cache_cap: None,
+            default_deadline: None,
+            queue_budget: 256,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(5),
+        }
+    }
 }
 
 /// Daemon configuration.
@@ -1645,6 +1671,209 @@ mod tests {
         );
         assert!(ok(&verify), "{verify}");
         assert_eq!(verify.get("all_safe").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn status_surfaces_health_and_shed_counters() {
+        let mut server = Server::new(VerifyOptions::default());
+        let status = handle(&mut server, &Request::Status.to_line());
+        assert!(ok(&status), "{status}");
+        assert_eq!(status.get("health").and_then(Json::as_str), Some("ok"));
+        assert_eq!(
+            status.get("queued_requests").and_then(Json::as_i64),
+            Some(0)
+        );
+        assert_eq!(status.get("queue_budget").and_then(Json::as_i64), Some(256));
+        assert_eq!(status.get("sheds_total").and_then(Json::as_i64), Some(0));
+        assert_eq!(status.get("breakers_open").and_then(Json::as_i64), Some(0));
+        // Every shed reason is pre-listed at zero so dashboards see a
+        // stable key set.
+        let sheds = status.get("sheds").expect("sheds object");
+        for reason in ["mailbox_full", "deadline", "brownout", "breaker"] {
+            assert_eq!(
+                sheds.get(reason).and_then(Json::as_i64),
+                Some(0),
+                "{reason}"
+            );
+        }
+    }
+
+    #[test]
+    fn circuit_breaker_trips_fast_fails_and_recovers_via_probe() {
+        let _guard = FAILPOINT_LOCK.lock().unwrap();
+        let limits = ServerLimits {
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(50),
+            ..ServerLimits::default()
+        };
+        let mut server = Server::with_limits(VerifyOptions::default(), limits);
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "cccnot".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&load));
+        let verify_line = Request::Verify {
+            name: "cccnot".into(),
+            targets: None,
+            deadline_ms: Some(60_000),
+            trace: false,
+        }
+        .to_line();
+
+        // Two crashing verifies: each panics inside the session and is
+        // quarantine-rebuilt; the second strike trips the breaker.
+        for _ in 0..2 {
+            qb_testutil::failpoints::arm(
+                "spurious_cancel",
+                qb_testutil::failpoints::Action::Panic,
+                Some(1),
+            );
+            let poisoned = handle(&mut server, &verify_line);
+            assert_eq!(
+                poisoned.get("code").and_then(Json::as_str),
+                Some("internal_error"),
+                "{poisoned}"
+            );
+        }
+        qb_testutil::failpoints::clear("spurious_cancel");
+
+        // Open breaker: verifies fast-fail `unavailable` with a sane
+        // retry hint, without touching the session.
+        let shed = handle(&mut server, &verify_line);
+        assert_eq!(
+            shed.get("code").and_then(Json::as_str),
+            Some("unavailable"),
+            "{shed}"
+        );
+        let retry = shed
+            .get("retry_after_ms")
+            .and_then(Json::as_i64)
+            .unwrap_or(-1);
+        assert!((1..=60_000).contains(&retry), "{shed}");
+
+        // The shed is visible in status: breaker counter and open count.
+        let status = handle(&mut server, &Request::Status.to_line());
+        assert_eq!(status.get("breakers_open").and_then(Json::as_i64), Some(1));
+        assert!(
+            status
+                .get("sheds")
+                .and_then(|s| s.get("breaker"))
+                .and_then(Json::as_i64)
+                .unwrap_or(0)
+                >= 1,
+            "{status}"
+        );
+
+        // After the cooldown one half-open probe is admitted; a probe
+        // that crashes re-opens the breaker immediately.
+        std::thread::sleep(Duration::from_millis(60));
+        qb_testutil::failpoints::arm(
+            "spurious_cancel",
+            qb_testutil::failpoints::Action::Panic,
+            Some(1),
+        );
+        let failed_probe = handle(&mut server, &verify_line);
+        qb_testutil::failpoints::clear("spurious_cancel");
+        assert_eq!(
+            failed_probe.get("code").and_then(Json::as_str),
+            Some("internal_error"),
+            "{failed_probe}"
+        );
+        let shed_again = handle(&mut server, &verify_line);
+        assert_eq!(
+            shed_again.get("code").and_then(Json::as_str),
+            Some("unavailable"),
+            "{shed_again}"
+        );
+
+        // A clean probe after the next cooldown closes the breaker for
+        // good.
+        std::thread::sleep(Duration::from_millis(60));
+        let probe = handle(&mut server, &verify_line);
+        assert!(ok(&probe), "{probe}");
+        let verify = handle(&mut server, &verify_line);
+        assert!(ok(&verify), "{verify}");
+        let status = handle(&mut server, &Request::Status.to_line());
+        assert_eq!(status.get("breakers_open").and_then(Json::as_i64), Some(0));
+    }
+
+    #[test]
+    fn edit_closes_an_open_breaker() {
+        let _guard = FAILPOINT_LOCK.lock().unwrap();
+        let limits = ServerLimits {
+            breaker_threshold: 1,
+            breaker_cooldown: Duration::from_secs(3600),
+            ..ServerLimits::default()
+        };
+        let mut server = Server::with_limits(VerifyOptions::default(), limits);
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "cccnot".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&load));
+        let verify_line = Request::Verify {
+            name: "cccnot".into(),
+            targets: None,
+            deadline_ms: Some(60_000),
+            trace: false,
+        }
+        .to_line();
+        qb_testutil::failpoints::arm(
+            "spurious_cancel",
+            qb_testutil::failpoints::Action::Panic,
+            Some(1),
+        );
+        let poisoned = handle(&mut server, &verify_line);
+        qb_testutil::failpoints::clear("spurious_cancel");
+        assert_eq!(
+            poisoned.get("code").and_then(Json::as_str),
+            Some("internal_error")
+        );
+        let shed = handle(&mut server, &verify_line);
+        assert_eq!(shed.get("code").and_then(Json::as_str), Some("unavailable"));
+
+        // Edits pass the breaker — replacing the program is the likely
+        // fix for a crashing session — and a clean edit closes it with
+        // no cooldown wait (the cooldown above is an hour).
+        let edit = handle(
+            &mut server,
+            &Request::Edit {
+                name: "cccnot".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        assert!(ok(&edit), "{edit}");
+        let verify = handle(&mut server, &verify_line);
+        assert!(ok(&verify), "{verify}");
+    }
+
+    #[test]
+    fn responses_carry_daemon_health() {
+        let mut server = Server::new(VerifyOptions::default());
+        let load = handle(
+            &mut server,
+            &Request::Load {
+                name: "cccnot".into(),
+                source: GOOD.into(),
+                backend: None,
+            }
+            .to_line(),
+        );
+        // Every response is stamped with the daemon health so clients
+        // (notably `watch`) can back off without a status round-trip.
+        assert_eq!(load.get("health").and_then(Json::as_str), Some("ok"));
     }
 
     fn temp_state_dir(tag: &str) -> PathBuf {

@@ -58,7 +58,7 @@ mod json;
 mod protocol;
 mod router;
 
-pub use client::Client;
+pub use client::{shed_retry_after, Client, RetryBudget};
 pub use daemon::{run, ServeOptions, Server, ServerLimits};
 pub use json::Json;
 pub use protocol::{coded_error_response, error_response, Request};

@@ -269,14 +269,49 @@ pub fn error_response(message: &str) -> Json {
 }
 
 /// Builds an `ok:false` response carrying a machine-readable `code`
-/// (`"not_loaded"`, `"oversized"`, `"invalid_utf8"`, `"internal_error"`)
-/// so clients can branch on the failure class instead of matching
-/// message text.
+/// (`"not_loaded"`, `"oversized"`, `"invalid_utf8"`, `"internal_error"`,
+/// `"overloaded"`, `"unavailable"`) so clients can branch on the
+/// failure class instead of matching message text.
 pub fn coded_error_response(message: &str, code: &str) -> Json {
     Json::obj(vec![
         ("ok", Json::Bool(false)),
         ("error", Json::Str(message.to_string())),
         ("code", Json::Str(code.to_string())),
+    ])
+}
+
+/// Builds the structured load-shed refusal: `code:"overloaded"` plus
+/// `retry_after_ms` (when the client should try again) and the queue
+/// estimate that justified the shed (`queue_depth` slots ahead,
+/// `queue_est_ms` estimated drain time). Sheds are decided at
+/// admission, so clients see this in microseconds, never after
+/// queueing behind work that would outlive their deadline.
+pub fn overloaded_response(
+    message: &str,
+    retry_after_ms: u64,
+    queue_depth: usize,
+    queue_est_ms: u64,
+) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+        ("code", Json::Str("overloaded".to_string())),
+        ("retry_after_ms", Json::Int(retry_after_ms as i64)),
+        ("queue_depth", Json::Int(queue_depth as i64)),
+        ("queue_est_ms", Json::Int(queue_est_ms as i64)),
+    ])
+}
+
+/// Builds the circuit-breaker refusal: `code:"unavailable"` plus
+/// `retry_after_ms` (the breaker's remaining cooldown). A session whose
+/// worker keeps quarantine-rebuilding answers this instead of burning
+/// CPU on another doomed rebuild.
+pub fn unavailable_response(message: &str, retry_after_ms: u64) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+        ("code", Json::Str("unavailable".to_string())),
+        ("retry_after_ms", Json::Int(retry_after_ms as i64)),
     ])
 }
 

@@ -16,18 +16,22 @@
 //! counter are leaves taken while holding none of the above (except
 //! `mark_dirty`, which takes `snap_stop` alone).
 
-use crate::actor::{bounce, spawn_actor, ActorMsg, ActorShared, ReplySender, RequestCtx};
+use crate::actor::{
+    bounce, spawn_actor, ActorMsg, ActorShared, ReplySender, RequestCtx, MAILBOX_CAP,
+};
 use crate::daemon::ServerLimits;
 use crate::json::Json;
-use crate::protocol::{coded_error_response, error_response, Request};
+use crate::protocol::{
+    coded_error_response, error_response, overloaded_response, unavailable_response, Request,
+};
 use qb_core::{AutoPreference, BackendKind, InitialValue, VerifyOptions, VerifySession};
 use qb_lang::{elaborate, gate_diff, parse, structural_hash, ElaboratedProgram, QubitKind};
 use qb_obs::{FlightRecorder, RecordedRequest, SpanEvent, TimeSeries};
 use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::SyncSender;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -53,6 +57,33 @@ const TIMESERIES_CAP: usize = 600;
 
 /// The trailing window `top` computes its rates and percentiles over.
 const TOP_WINDOW_NS: u64 = 60_000_000_000;
+
+/// Daemon health states, ordered by severity. The numeric values are
+/// what the `qb_health` gauge exports.
+pub(crate) const HEALTH_OK: u8 = 0;
+pub(crate) const HEALTH_DEGRADED: u8 = 1;
+pub(crate) const HEALTH_OVERLOADED: u8 = 2;
+
+pub(crate) fn health_name(health: u8) -> &'static str {
+    match health {
+        HEALTH_OK => "ok",
+        HEALTH_DEGRADED => "degraded",
+        _ => "overloaded",
+    }
+}
+
+/// Every reason a request can be shed, the label space of
+/// `qb_shed_total`: the mailbox was full, the deadline could not beat
+/// the drain estimate, brownout shed an unbounded verify, or the
+/// session's circuit breaker was open.
+pub(crate) const SHED_REASONS: [&str; 4] = ["mailbox_full", "deadline", "brownout", "breaker"];
+
+/// Floor/ceiling for the `retry_after_ms` hint: even an instantly-
+/// draining queue deserves a breather, and no estimate should park a
+/// client for more than a few seconds.
+fn retry_after_ms(queue_est_ms: u64) -> u64 {
+    queue_est_ms.clamp(25, 5_000)
+}
 
 /// Exemplar file name for a request id. Zero-padded so lexicographic
 /// directory order is chronological (retention deletes the oldest).
@@ -304,6 +335,17 @@ pub(crate) struct Router {
     quarantines: AtomicU64,
     accept_errors: AtomicU64,
     snapshot_failures: AtomicU64,
+    /// Sum of every mailbox's depth: the daemon-wide queue pressure the
+    /// health state machine runs on. Maintained by [`Router::note_enqueue`]
+    /// / [`Router::note_dequeue`] around every mailbox send/recv.
+    total_queued: AtomicUsize,
+    /// Current health state ([`HEALTH_OK`]/[`HEALTH_DEGRADED`]/
+    /// [`HEALTH_OVERLOADED`]), driven by `total_queued` against the
+    /// queue budget with hysteresis so it cannot flap.
+    health: AtomicU8,
+    /// Cumulative shed counts by reason (the `status` mirror of the
+    /// `qb_shed_total` counter). Leaf lock.
+    sheds: Mutex<BTreeMap<&'static str, u64>>,
     state_dir: Mutex<Option<PathBuf>>,
     /// Set by mutating requests; cleared when a snapshot is written.
     state_dirty: AtomicBool,
@@ -730,6 +772,24 @@ fn route_edit(
                 // another thread may have rebound the name between the
                 // two lock acquisitions.
                 let guard = shared.send_lock.lock().unwrap();
+                // Capacity check before the rekey (exact under the send
+                // lock): a full mailbox sheds the edit with nothing to
+                // roll back, instead of the old blocking send.
+                let depth = shared.queue_depth.load(Ordering::SeqCst);
+                if depth >= MAILBOX_CAP {
+                    drop(guard);
+                    let est = router.drain_estimate_ms(&shared, depth);
+                    router.note_shed("mailbox_full");
+                    return router.finish_direct(
+                        ctx,
+                        overloaded_response(
+                            "session mailbox is full",
+                            retry_after_ms(est),
+                            depth,
+                            est,
+                        ),
+                    );
+                }
                 let valid = {
                     let mut t = router.table.lock().unwrap();
                     let still_bound = t.names.get(&name) == Some(&aid)
@@ -754,25 +814,32 @@ fn route_edit(
                 }
                 router.mark_dirty();
                 shared.queue_depth.fetch_add(1, Ordering::SeqCst);
+                router.note_enqueue();
                 let msg = ActorMsg::Edit {
                     name: name.clone(),
                     program: program.take().expect("edit program consumed once"),
                     source: source.to_string(),
                     ctx,
                 };
-                if let Err(err) = tx.send(msg) {
+                if let Err(err) = tx.try_send(msg) {
                     shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                    router.note_dequeue();
                     drop(guard);
-                    // The actor died between resolve and send: heal the
-                    // dangling rekey so a later load of this program
-                    // does not alias a dead mailbox.
+                    // The actor died between resolve and send (`Full` is
+                    // unreachable: the depth check above ran under the
+                    // send lock): heal the dangling rekey so a later
+                    // load of this program does not alias a dead
+                    // mailbox.
                     {
                         let mut t = router.table.lock().unwrap();
                         if t.keys.get(&new_key) == Some(&aid) {
                             t.keys.remove(&new_key);
                         }
                     }
-                    let (bounced_name, ctx) = bounce(err.0);
+                    let msg = match err {
+                        TrySendError::Full(m) | TrySendError::Disconnected(m) => m,
+                    };
+                    let (bounced_name, ctx) = bounce(msg);
                     let queue_ns = ctx.enqueued.elapsed().as_nanos() as u64;
                     router.finish(
                         ctx.request_id,
@@ -1002,6 +1069,9 @@ impl Router {
             quarantines: AtomicU64::new(0),
             accept_errors: AtomicU64::new(0),
             snapshot_failures: AtomicU64::new(0),
+            total_queued: AtomicUsize::new(0),
+            health: AtomicU8::new(HEALTH_OK),
+            sheds: Mutex::new(BTreeMap::new()),
             state_dir: Mutex::new(None),
             state_dirty: AtomicBool::new(false),
             persist_lock: Mutex::new(()),
@@ -1070,27 +1140,238 @@ impl Router {
     }
 
     /// Enqueues `msg`, answering `not_loaded` directly if the actor died
-    /// between resolution and send. The send lock is taken *after* every
-    /// table lock is released (lock order) and keeps rekeying edits from
-    /// interleaving between our resolve and our enqueue.
+    /// between resolution and send, and shedding (`overloaded` /
+    /// `unavailable`) instead of ever blocking on a full mailbox. The
+    /// send lock is taken *after* every table lock is released (lock
+    /// order) and keeps rekeying edits from interleaving between our
+    /// resolve and our enqueue; because every sender serialises on it
+    /// and increments `queue_depth` before sending, a depth check under
+    /// the lock is exact — an admitted message always finds a slot.
     fn dispatch(&self, pair: (SyncSender<ActorMsg>, Arc<ActorShared>), msg: ActorMsg) {
         let (tx, shared) = pair;
         let guard = shared.send_lock.lock().unwrap();
-        shared.queue_depth.fetch_add(1, Ordering::SeqCst);
-        if let Err(err) = tx.send(msg) {
-            shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        if let Some(response) = self.admission_check(&shared, &msg) {
             drop(guard);
-            let (name, ctx) = bounce(err.0);
+            let (_, ctx) = bounce(msg);
             let queue_ns = ctx.enqueued.elapsed().as_nanos() as u64;
-            self.finish(
-                ctx.request_id,
-                ctx.cmd,
-                not_loaded_response(&name),
-                queue_ns,
-                0,
-                &ctx.reply,
-            );
+            self.finish(ctx.request_id, ctx.cmd, response, queue_ns, 0, &ctx.reply);
+            return;
         }
+        shared.queue_depth.fetch_add(1, Ordering::SeqCst);
+        self.note_enqueue();
+        if let Err(err) = tx.try_send(msg) {
+            shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            self.note_dequeue();
+            drop(guard);
+            match err {
+                // Unreachable given the admission check above, kept as
+                // a defensive mirror: shed rather than lose the reply.
+                TrySendError::Full(msg) => {
+                    self.note_shed("mailbox_full");
+                    let depth = shared.queue_depth.load(Ordering::SeqCst);
+                    let est = self.drain_estimate_ms(&shared, depth);
+                    let (_, ctx) = bounce(msg);
+                    let queue_ns = ctx.enqueued.elapsed().as_nanos() as u64;
+                    self.finish(
+                        ctx.request_id,
+                        ctx.cmd,
+                        overloaded_response(
+                            "session mailbox is full",
+                            retry_after_ms(est),
+                            depth,
+                            est,
+                        ),
+                        queue_ns,
+                        0,
+                        &ctx.reply,
+                    );
+                }
+                TrySendError::Disconnected(msg) => {
+                    let (name, ctx) = bounce(msg);
+                    let queue_ns = ctx.enqueued.elapsed().as_nanos() as u64;
+                    self.finish(
+                        ctx.request_id,
+                        ctx.cmd,
+                        not_loaded_response(&name),
+                        queue_ns,
+                        0,
+                        &ctx.reply,
+                    );
+                }
+            }
+        }
+    }
+
+    /// The admission decision for one message about to enter a mailbox,
+    /// made under the actor's send lock. Returns the shed response, or
+    /// `None` to admit. Order matters: capacity first (full is full for
+    /// everyone), then the deadline/brownout rules (verifies only), and
+    /// the breaker last — its half-open probe admission mutates breaker
+    /// state, so it must only run when nothing else can still reject.
+    fn admission_check(&self, shared: &ActorShared, msg: &ActorMsg) -> Option<Json> {
+        let depth = shared.queue_depth.load(Ordering::SeqCst);
+        if depth >= MAILBOX_CAP {
+            let est = self.drain_estimate_ms(shared, depth);
+            self.note_shed("mailbox_full");
+            return Some(overloaded_response(
+                "session mailbox is full",
+                retry_after_ms(est),
+                depth,
+                est,
+            ));
+        }
+        let ActorMsg::Verify { deadline_ms, .. } = msg else {
+            // Edits, loads and describes stay fast in every health
+            // state: they are cheap, and edits are how a poisoned or
+            // overloaded program gets fixed.
+            return None;
+        };
+        match self.effective_deadline(*deadline_ms) {
+            // An unbounded verify can hold its worker for an arbitrary
+            // time; in degraded/overloaded those are exactly the
+            // requests brownout sheds.
+            None => {
+                if self.health.load(Ordering::SeqCst) != HEALTH_OK {
+                    let est = self.drain_estimate_ms(shared, depth);
+                    self.note_shed("brownout");
+                    return Some(overloaded_response(
+                        "daemon is under load and shedding verifies without a deadline; \
+                         retry with --deadline-ms or after the queue drains",
+                        retry_after_ms(est),
+                        depth,
+                        est,
+                    ));
+                }
+            }
+            // A deadline the queued work already outlasts is dead on
+            // arrival: reject now instead of queueing it to fail.
+            Some(deadline) => {
+                if depth > 0 {
+                    let est = self.drain_estimate_ms(shared, depth);
+                    if est > deadline.as_millis() as u64 {
+                        self.note_shed("deadline");
+                        return Some(overloaded_response(
+                            "queued work cannot drain before the request deadline",
+                            retry_after_ms(est),
+                            depth,
+                            est,
+                        ));
+                    }
+                }
+            }
+        }
+        if let Ok(mut breaker) = shared.breaker.lock() {
+            if let Err(retry_ms) = breaker.admit(self.limits.breaker_cooldown, Instant::now()) {
+                self.note_shed("breaker");
+                return Some(unavailable_response(
+                    "session circuit breaker is open after repeated crashes; \
+                     retry after the cooldown or edit the program",
+                    retry_ms,
+                ));
+            }
+        }
+        None
+    }
+
+    /// Estimated milliseconds for `depth` queued messages to drain:
+    /// depth × the windowed per-verify handle-time p95 (from the
+    /// sampler ring), plus this session's mailbox-wait p95. Both are
+    /// leaf locks, safe under the send lock.
+    fn drain_estimate_ms(&self, shared: &ActorShared, depth: usize) -> u64 {
+        let handle_p95_ns = self
+            .timeseries
+            .lock()
+            .unwrap()
+            .histogram_delta("request_handle", "verify", TOP_WINDOW_NS)
+            .filter(|h| h.count() > 0)
+            .map(|h| h.p95())
+            .unwrap_or(0);
+        let wait_p95_ns = shared.mailbox_wait.lock().map(|h| h.p95()).unwrap_or(0);
+        (depth as u64)
+            .saturating_mul(handle_p95_ns)
+            .saturating_add(wait_p95_ns)
+            / 1_000_000
+    }
+
+    /// One message entered a mailbox: track daemon-wide pressure and
+    /// re-evaluate health.
+    pub(crate) fn note_enqueue(&self) {
+        self.total_queued.fetch_add(1, Ordering::SeqCst);
+        self.eval_health();
+    }
+
+    /// One message left a mailbox (dequeued by its actor, or backed out
+    /// after a failed send).
+    pub(crate) fn note_dequeue(&self) {
+        // Saturating: a drained actor's bounced messages must never
+        // wrap the gauge.
+        let _ = self
+            .total_queued
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                Some(n.saturating_sub(1))
+            });
+        self.eval_health();
+    }
+
+    /// Advances the health state machine one step against the queue
+    /// budget `B`. Hysteresis: up-transitions happen at `B/2` (ok →
+    /// degraded) and `B` (→ overloaded), down-transitions only at `B/2`
+    /// (overloaded → degraded) and `B/4` (degraded → ok), so a queue
+    /// hovering near a boundary cannot flap the state every request.
+    fn eval_health(&self) {
+        let depth = self.total_queued.load(Ordering::SeqCst);
+        let budget = self.limits.queue_budget.max(4);
+        loop {
+            let cur = self.health.load(Ordering::SeqCst);
+            let next = match cur {
+                HEALTH_OK => {
+                    if depth >= budget {
+                        HEALTH_OVERLOADED
+                    } else if depth >= budget / 2 {
+                        HEALTH_DEGRADED
+                    } else {
+                        HEALTH_OK
+                    }
+                }
+                HEALTH_DEGRADED => {
+                    if depth >= budget {
+                        HEALTH_OVERLOADED
+                    } else if depth <= budget / 4 {
+                        HEALTH_OK
+                    } else {
+                        HEALTH_DEGRADED
+                    }
+                }
+                _ => {
+                    if depth <= budget / 4 {
+                        HEALTH_OK
+                    } else if depth <= budget / 2 {
+                        HEALTH_DEGRADED
+                    } else {
+                        HEALTH_OVERLOADED
+                    }
+                }
+            };
+            if next == cur {
+                return;
+            }
+            if self
+                .health
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                qb_obs::gauge_set("health", "daemon", next as i64);
+                return;
+            }
+        }
+    }
+
+    /// Counts one shed request under `reason` (a [`SHED_REASONS`]
+    /// label), in both the metrics registry (`qb_shed_total`) and the
+    /// `status` mirror.
+    fn note_shed(&self, reason: &'static str) {
+        qb_obs::counter_add("shed", reason, 1);
+        *self.sheds.lock().unwrap().entry(reason).or_insert(0) += 1;
     }
 
     /// Answers a request that never reached a mailbox.
@@ -1121,6 +1402,13 @@ impl Router {
             // can tell mailbox contention from slow solves.
             members.insert("queue_ns".into(), Json::Int(queue_ns as i64));
             members.insert("handle_ns".into(), Json::Int(handle_ns as i64));
+            // Every response carries the daemon health, so any client
+            // (notably `watch`) can back off while it is non-`ok`
+            // without a separate status round-trip.
+            members.insert(
+                "health".into(),
+                Json::Str(health_name(self.health.load(Ordering::SeqCst)).to_string()),
+            );
         }
         self.log_request(request_id, cmd, &response, queue_ns, handle_ns);
         self.send_reply(reply, response.to_string());
@@ -1315,17 +1603,41 @@ impl Router {
             .collect();
         let mut resident_nodes = 0usize;
         let mut resident_bdd = 0usize;
+        let mut breakers_open = 0usize;
         for entry in t.actors.values() {
             if let Ok(published) = entry.shared.published.lock() {
                 resident_nodes += published.arena_nodes;
                 resident_bdd += published.bdd_resident_nodes;
             }
+            if let Ok(breaker) = entry.shared.breaker.lock() {
+                if breaker.is_open() {
+                    breakers_open += 1;
+                }
+            }
         }
         let sessions = t.actors.len();
         let evictions = t.session_evictions;
         drop(t);
+        let sheds = self.sheds.lock().unwrap().clone();
+        let sheds_total: u64 = sheds.values().sum();
+        let shed_pairs: Vec<(&'static str, Json)> = SHED_REASONS
+            .iter()
+            .map(|&reason| (reason, Json::Int(*sheds.get(reason).unwrap_or(&0) as i64)))
+            .collect();
         Json::obj(vec![
             ("ok", Json::Bool(true)),
+            (
+                "health",
+                Json::Str(health_name(self.health.load(Ordering::SeqCst)).to_string()),
+            ),
+            (
+                "queued_requests",
+                Json::Int(self.total_queued.load(Ordering::SeqCst) as i64),
+            ),
+            ("queue_budget", Json::Int(self.limits.queue_budget as i64)),
+            ("sheds_total", Json::Int(sheds_total as i64)),
+            ("sheds", Json::obj(shed_pairs)),
+            ("breakers_open", Json::Int(breakers_open as i64)),
             ("programs", Json::Arr(programs)),
             ("sessions", Json::Int(sessions as i64)),
             (
@@ -1409,6 +1721,18 @@ impl Router {
             }
             (t.actors.len(), self.requests.load(Ordering::SeqCst))
         };
+        // Health and daemon-wide queue pressure ride in the scrape too:
+        // `qb_health` is 0 ok / 1 degraded / 2 overloaded.
+        qb_obs::gauge_set(
+            "health",
+            "daemon",
+            self.health.load(Ordering::SeqCst) as i64,
+        );
+        qb_obs::gauge_set(
+            "queued_requests",
+            "daemon",
+            self.total_queued.load(Ordering::SeqCst) as i64,
+        );
         // Observability of the observability: monotone gauges exposing
         // span loss and flight-recorder ring overflow in the scrape.
         qb_obs::gauge_set("obs_dropped_spans", "all", qb_obs::dropped_spans() as i64);
@@ -1504,6 +1828,21 @@ impl Router {
                 float_or_null(ts.counter_rate("solver_propagations", TOP_WINDOW_NS)),
             ),
         ]);
+        // Windowed shed rates, total and by reason, so a dashboard
+        // shows *why* load is being turned away, not just that it is.
+        let shed_rates = {
+            let mut pairs: Vec<(&str, Json)> = vec![(
+                "per_s",
+                float_or_null(ts.counter_rate("shed", TOP_WINDOW_NS)),
+            )];
+            for &reason in &SHED_REASONS {
+                pairs.push((
+                    reason,
+                    float_or_null(ts.counter_rate_for("shed", reason, TOP_WINDOW_NS)),
+                ));
+            }
+            Json::obj(pairs)
+        };
         // One row per request type seen by the newest snapshot: its
         // windowed rate and the latency percentiles of just the window.
         let request_types: Vec<Json> = {
@@ -1563,10 +1902,21 @@ impl Router {
         let samples = ts.len();
         let window_ms = ts.span_ns().min(TOP_WINDOW_NS) / 1_000_000;
         drop(ts);
+        let sheds_total: u64 = self.sheds.lock().unwrap().values().sum();
         Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("samples", Json::Int(samples as i64)),
             ("window_ms", Json::Int(window_ms as i64)),
+            (
+                "health",
+                Json::Str(health_name(self.health.load(Ordering::SeqCst)).to_string()),
+            ),
+            (
+                "queued_requests",
+                Json::Int(self.total_queued.load(Ordering::SeqCst) as i64),
+            ),
+            ("shed", shed_rates),
+            ("sheds_total", Json::Int(sheds_total as i64)),
             ("rates", rates),
             ("request_types", Json::Arr(request_types)),
             ("sessions", Json::Arr(sessions)),
@@ -1681,6 +2031,20 @@ impl Router {
                 );
             }
         }
+        // Health is re-evaluated on a timer too, not only on queue
+        // traffic: a daemon that went quiet after a storm still decays
+        // back to `ok` and the gauge tracks the current state.
+        self.eval_health();
+        qb_obs::gauge_set(
+            "health",
+            "daemon",
+            self.health.load(Ordering::SeqCst) as i64,
+        );
+        qb_obs::gauge_set(
+            "queued_requests",
+            "daemon",
+            self.total_queued.load(Ordering::SeqCst) as i64,
+        );
         self.timeseries
             .lock()
             .unwrap()
@@ -1737,11 +2101,27 @@ impl Router {
         }
     }
 
-    /// A request's effective deadline: its own, or the daemon default.
+    /// A request's effective deadline: its own, or the daemon default —
+    /// which brownout halves while health is non-`ok`, so defaulted
+    /// verifies finish (or give a structured `unknown`) twice as fast
+    /// exactly when queues need draining. An explicit client deadline
+    /// is honoured as given.
     pub(crate) fn effective_deadline(&self, deadline_ms: Option<u64>) -> Option<Duration> {
-        deadline_ms
-            .map(Duration::from_millis)
-            .or(self.limits.default_deadline)
+        if let Some(ms) = deadline_ms {
+            return Some(Duration::from_millis(ms));
+        }
+        let default = self.limits.default_deadline?;
+        if self.health.load(Ordering::SeqCst) != HEALTH_OK {
+            Some(default / 2)
+        } else {
+            Some(default)
+        }
+    }
+
+    /// Quarantine strikes within the window that trip a session's
+    /// circuit breaker open.
+    pub(crate) fn breaker_threshold(&self) -> u32 {
+        self.limits.breaker_threshold
     }
 
     /// Records what the auto portfolio learned about a circuit, so the

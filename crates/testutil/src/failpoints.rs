@@ -16,8 +16,10 @@
 //! ```
 //!
 //! `name=action[:count]` entries separated by `;`. Actions are `panic`,
-//! `error` and `cancel`; an optional `:count` limits how many hits
-//! trigger before the site disarms itself (absent = every hit).
+//! `error`, `cancel` and `delay-<ms>` (sleep that many milliseconds at
+//! the site — artificial slowness for overload tests); an optional
+//! `:count` limits how many hits trigger before the site disarms
+//! itself (absent = every hit).
 //!
 //! # Examples
 //!
@@ -45,6 +47,10 @@ pub enum Action {
     /// Report a spurious cancellation ([`should_cancel`] returns
     /// `true`).
     Cancel,
+    /// Sleep this many milliseconds at the site (artificial slowness
+    /// for overload and backpressure tests). Every hook form honours
+    /// it, so any instrumented site can be slowed down.
+    Delay(u64),
 }
 
 struct Entry {
@@ -103,7 +109,13 @@ fn parse_spec(spec: &str) -> Vec<(String, Entry)> {
             "panic" => Action::Panic,
             "error" => Action::Error,
             "cancel" => Action::Cancel,
-            _ => continue,
+            a => match a
+                .strip_prefix("delay-")
+                .and_then(|ms| ms.parse::<u64>().ok())
+            {
+                Some(ms) => Action::Delay(ms),
+                None => continue,
+            },
         };
         out.push((
             name.trim().to_string(),
@@ -172,35 +184,40 @@ fn consume(name: &str) -> Option<Action> {
     action.into()
 }
 
-/// The production-side hook: call at a failure site. Panics if the site
-/// is armed with [`Action::Panic`]; otherwise a no-op returning whether
-/// the site is armed at all (sites that only ever panic can ignore it).
-pub fn hit(name: &str) {
-    if let Some(Action::Panic) = consume(name) {
-        panic!("failpoint {name} triggered");
+/// Honours [`Action::Delay`] by sleeping at the site; every public hook
+/// routes its consumed action through here so any instrumented site can
+/// be slowed down regardless of which hook form it uses.
+fn react(name: &str, action: Option<Action>) -> Option<Action> {
+    match action {
+        Some(Action::Panic) => panic!("failpoint {name} triggered"),
+        Some(Action::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            None
+        }
+        other => other,
     }
+}
+
+/// The production-side hook: call at a failure site. Panics if the site
+/// is armed with [`Action::Panic`], sleeps on [`Action::Delay`];
+/// otherwise a no-op (sites that only ever panic or stall can ignore
+/// the other actions).
+pub fn hit(name: &str) {
+    react(name, consume(name));
 }
 
 /// Like [`hit`], but for sites with an error path: returns `true` when
 /// armed with [`Action::Error`] (the caller reports an injected
-/// failure), panics on [`Action::Panic`].
+/// failure), panics on [`Action::Panic`], sleeps on [`Action::Delay`].
 pub fn should_fail(name: &str) -> bool {
-    match consume(name) {
-        Some(Action::Panic) => panic!("failpoint {name} triggered"),
-        Some(Action::Error) => true,
-        _ => false,
-    }
+    matches!(react(name, consume(name)), Some(Action::Error))
 }
 
 /// For cancellation-injection sites: returns `true` when armed with
 /// [`Action::Cancel`] (the caller trips its cancellation token), panics
-/// on [`Action::Panic`].
+/// on [`Action::Panic`], sleeps on [`Action::Delay`].
 pub fn should_cancel(name: &str) -> bool {
-    match consume(name) {
-        Some(Action::Panic) => panic!("failpoint {name} triggered"),
-        Some(Action::Cancel) => true,
-        _ => false,
-    }
+    matches!(react(name, consume(name)), Some(Action::Cancel))
 }
 
 #[cfg(test)]
@@ -245,13 +262,32 @@ mod tests {
 
     #[test]
     fn spec_parsing_accepts_the_documented_syntax() {
-        let parsed = parse_spec("snapshot_write=error;arena_gc=panic:1; bad ;x=nope");
-        assert_eq!(parsed.len(), 2);
+        let parsed =
+            parse_spec("snapshot_write=error;arena_gc=panic:1; bad ;x=nope;slow_solve=delay-40:2");
+        assert_eq!(parsed.len(), 3);
         assert_eq!(parsed[0].0, "snapshot_write");
         assert_eq!(parsed[0].1.action, Action::Error);
         assert_eq!(parsed[0].1.remaining, None);
         assert_eq!(parsed[1].0, "arena_gc");
         assert_eq!(parsed[1].1.action, Action::Panic);
         assert_eq!(parsed[1].1.remaining, Some(1));
+        assert_eq!(parsed[2].0, "slow_solve");
+        assert_eq!(parsed[2].1.action, Action::Delay(40));
+        assert_eq!(parsed[2].1.remaining, Some(2));
+    }
+
+    #[test]
+    fn delay_action_sleeps_at_the_site() {
+        arm("fp_t5", Action::Delay(30), Some(1));
+        let t0 = std::time::Instant::now();
+        hit("fp_t5");
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
+        let t0 = std::time::Instant::now();
+        hit("fp_t5");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(20),
+            "self-disarmed"
+        );
+        clear("fp_t5");
     }
 }

@@ -46,6 +46,11 @@ use std::process::ExitCode;
 
 /// Exit code for malformed input / bad usage.
 const EXIT_BAD_INPUT: u8 = 2;
+/// Exit code when the daemon sheds the request (`overloaded` /
+/// `unavailable`): the program was not judged unsafe, the daemon just
+/// declined the work. Scripts can distinguish "retry later" from a
+/// real verification failure.
+const EXIT_SHED: u8 = 3;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -57,6 +62,7 @@ fn usage() -> ExitCode {
          qborrow serve  --socket <path> [--tcp <addr>] [--backend sat|anf|bdd|auto]\n  \
                  [--simplify raw|full] [--max-sessions N] [--idle-timeout-ms N]\n  \
                  [--arena-gc-floor N] [--decision-cache N] [--default-deadline-ms N]\n  \
+                 [--queue-budget N] [--breaker-threshold N] [--breaker-cooldown-ms N]\n  \
                  [--state-dir <dir>] [--log-file <path>] [--quiet]\n  \
                  [--trace-dir <dir>] [--trace-retain N] [--slow-ms N] [--sample-interval-ms N]\n  \
          qborrow client verify|edit <file.qbr|-> [--socket <path>|--addr <tcp>] [--name <name>]\n  \
@@ -502,6 +508,38 @@ fn cmd_serve(flags: &[String]) -> ExitCode {
                 };
                 i += 2;
             }
+            "--queue-budget" => {
+                limits.queue_budget = match flags.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--queue-budget expects a positive number");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
+            "--breaker-threshold" => {
+                limits.breaker_threshold =
+                    match flags.get(i + 1).and_then(|s| s.parse::<u32>().ok()) {
+                        Some(n) if n > 0 => n,
+                        _ => {
+                            eprintln!("--breaker-threshold expects a positive number");
+                            return usage();
+                        }
+                    };
+                i += 2;
+            }
+            "--breaker-cooldown-ms" => {
+                limits.breaker_cooldown = match flags.get(i + 1).and_then(|s| s.parse::<u64>().ok())
+                {
+                    Some(ms) if ms > 0 => std::time::Duration::from_millis(ms),
+                    _ => {
+                        eprintln!("--breaker-cooldown-ms expects a positive number");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
             "--state-dir" => {
                 let Some(dir) = flags.get(i + 1) else {
                     eprintln!("--state-dir expects a directory path");
@@ -740,6 +778,24 @@ fn connect(socket: &PathBuf, addr: &Option<String>) -> Result<Client, ExitCode> 
 }
 
 /// Prints an `ok:false` response; returns `true` when one was printed.
+/// If the daemon shed the request (`overloaded` admission reject or
+/// `unavailable` circuit breaker), prints the retry hint and returns
+/// the dedicated shed exit code so scripts can tell "retry later"
+/// apart from a genuine failure.
+fn print_shed(response: &Json) -> Option<ExitCode> {
+    let retry_after = qborrow::serve::shed_retry_after(response)?;
+    let code = response
+        .get("code")
+        .and_then(Json::as_str)
+        .unwrap_or("overloaded");
+    let msg = response
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("daemon shed the request");
+    eprintln!("shed ({code}): {msg} (retry after {retry_after}ms)");
+    Some(ExitCode::from(EXIT_SHED))
+}
+
 fn print_error(response: &Json) -> bool {
     match response.get("ok").and_then(Json::as_bool) {
         Some(true) => false,
@@ -884,18 +940,27 @@ fn cmd_client(args: &[String]) -> ExitCode {
             let result = (|| -> std::io::Result<ExitCode> {
                 if sub == "edit" {
                     let response = client.edit_with(&name, &source, backend.as_deref())?;
+                    if let Some(code) = print_shed(&response) {
+                        return Ok(code);
+                    }
                     if print_error(&response) {
                         return Ok(ExitCode::from(EXIT_BAD_INPUT));
                     }
                     print_edit_response(&name, &response);
                 } else {
                     let response = client.load_with(&name, &source, backend.as_deref())?;
+                    if let Some(code) = print_shed(&response) {
+                        return Ok(code);
+                    }
                     if print_error(&response) {
                         return Ok(ExitCode::from(EXIT_BAD_INPUT));
                     }
                     let reused = response.get("reused").and_then(Json::as_bool) == Some(true);
                     let response =
                         client.verify_traced(&name, None, deadline_ms, trace_out.is_some())?;
+                    if let Some(code) = print_shed(&response) {
+                        return Ok(code);
+                    }
                     if print_error(&response) {
                         return Ok(ExitCode::FAILURE);
                     }
@@ -1130,9 +1195,15 @@ fn render_top(response: &Json) -> String {
         }
     };
     let mut out = String::new();
+    let health = response
+        .get("health")
+        .and_then(Json::as_str)
+        .unwrap_or("ok");
     let _ = writeln!(
         out,
-        "qborrow top | window {:.0}s ({} samples) | {} requests | {} session(s) | dropped spans {}",
+        "qborrow top | health {} | window {:.0}s ({} samples) | {} requests | {} session(s) | \
+         dropped spans {}",
+        health,
         int("window_ms") as f64 / 1e3,
         int("samples"),
         int("requests"),
@@ -1146,6 +1217,30 @@ fn render_top(response: &Json) -> String {
         rate("verify_per_s"),
         rate("conflicts_per_s"),
         rate("propagations_per_s"),
+    );
+    // Windowed shed rate by reason, plus the lifetime total and the
+    // live queue occupancy the health state is derived from.
+    let shed_rate = |key: &str| -> String {
+        match response
+            .get("shed")
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_f64)
+        {
+            Some(x) => format!("{x:.1}"),
+            None => "-".to_string(),
+        }
+    };
+    let _ = writeln!(
+        out,
+        "shed/s: {} (mailbox_full {} | deadline {} | brownout {} | breaker {}) | {} shed total | \
+         {} queued",
+        shed_rate("per_s"),
+        shed_rate("mailbox_full"),
+        shed_rate("deadline"),
+        shed_rate("brownout"),
+        shed_rate("breaker"),
+        int("sheds_total"),
+        int("queued_requests"),
     );
     if let Some(rec) = response.get("recorder") {
         let ri = |key: &str| rec.get(key).and_then(Json::as_i64).unwrap_or(0);
@@ -1302,17 +1397,32 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         })
     };
 
+    /// What one watch round learned about the daemon: `busy` widens the
+    /// poll interval (daemon health was non-`ok`), `retry` re-runs the
+    /// round on the next tick even without a file change (the daemon
+    /// shed the request or was unreachable).
+    struct RoundStatus {
+        busy: bool,
+        retry: bool,
+    }
+    let health_busy = |response: &Json| -> bool {
+        // Every daemon response carries its health state; anything but
+        // `ok` means we should poll more gently.
+        matches!(response.get("health").and_then(Json::as_str), Some(h) if h != "ok")
+    };
+
     // Initial load + verify. A fresh connection per round keeps the
     // single-connection daemon available to other clients in between,
     // and the retrying connect rides out a daemon restart (the socket
     // vanishes for the restart window, then a retry lands on the fresh
     // listener and the `not_loaded` fallback below re-loads).
-    let run_round = |first: bool| -> std::io::Result<()> {
+    let run_round = |first: bool| -> std::io::Result<RoundStatus> {
+        let done = |busy: bool| RoundStatus { busy, retry: false };
         let source = match read_source(path) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("watch: {e}");
-                return Ok(());
+                return Ok(done(false));
             }
         };
         let mut client = match &addr {
@@ -1332,13 +1442,28 @@ fn cmd_watch(args: &[String]) -> ExitCode {
             }
             response
         };
+        if let Some(retry_after) = qborrow::serve::shed_retry_after(&response) {
+            eprintln!("watch: daemon shed the update (retry in {retry_after}ms); backing off");
+            return Ok(RoundStatus {
+                busy: true,
+                retry: true,
+            });
+        }
         if print_error(&response) {
-            return Ok(()); // parse error while editing: keep watching
+            // Parse error while editing: keep watching.
+            return Ok(done(health_busy(&response)));
         }
         if response.get("strategy").is_some() {
             print_edit_response(path, &response);
         }
         let response = client.verify(path, None)?;
+        if let Some(retry_after) = qborrow::serve::shed_retry_after(&response) {
+            eprintln!("watch: daemon shed the verify (retry in {retry_after}ms); backing off");
+            return Ok(RoundStatus {
+                busy: true,
+                retry: true,
+            });
+        }
         if !print_error(&response) {
             print_verify_response(path, &response);
             // One latency line per round: this round's daemon-side time
@@ -1360,13 +1485,16 @@ fn cmd_watch(args: &[String]) -> ExitCode {
                 us("root_p95_us"),
             );
         }
-        Ok(())
+        Ok(done(health_busy(&response)))
     };
 
-    if let Err(e) = run_round(true) {
-        eprintln!("qborrow watch: {e}");
-        return ExitCode::FAILURE;
-    }
+    let mut backoff = match run_round(true) {
+        Ok(status) => status.busy,
+        Err(e) => {
+            eprintln!("qborrow watch: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut last = stamp(path);
     // A failed round (daemon crashed mid-request, restart outlasting the
     // connect retries) is retried on the next poll tick even without a
@@ -1374,15 +1502,24 @@ fn cmd_watch(args: &[String]) -> ExitCode {
     let mut pending = false;
     eprintln!("watching {path} (every {interval_ms}ms; Ctrl-C to stop)");
     loop {
-        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        // While the daemon reports non-`ok` health, poll 5x more gently
+        // (capped at 5s) so a fleet of watchers doesn't pile onto an
+        // already-overloaded daemon; the next `ok` response restores
+        // the configured cadence.
+        let sleep_ms = if backoff {
+            interval_ms.max(interval_ms.saturating_mul(5).min(5_000))
+        } else {
+            interval_ms
+        };
+        std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
         let now = stamp(path);
         if now != last || pending {
             last = now;
-            pending = match run_round(false) {
-                Ok(()) => false,
+            (backoff, pending) = match run_round(false) {
+                Ok(status) => (status.busy, status.retry),
                 Err(e) => {
                     eprintln!("qborrow watch: daemon unreachable ({e}); retrying");
-                    true
+                    (backoff, true)
                 }
             };
         }

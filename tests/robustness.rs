@@ -153,6 +153,23 @@ fn kill_nine_then_restart_recovers_programs_backends_and_winners() {
             auto_pref,
         )
     };
+    // The snapshot writer is asynchronous (dirty flag + dedicated
+    // thread); wait until the on-disk state actually contains what the
+    // kill is supposed to preserve. Reads are sound because the writer
+    // replaces the file atomically via rename.
+    let state_file = state_dir.join("state.json");
+    let flushed = |contents: &str| {
+        contents.contains("\"mcx\"")
+            && contents.contains("\"adder\"")
+            && (winners_before == 0 || contents.contains("\"auto_winners\":[["))
+    };
+    for _ in 0..600 {
+        if std::fs::read_to_string(&state_file).is_ok_and(|contents| flushed(&contents)) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
     child.kill().expect("SIGKILL delivered");
     child.wait().expect("killed process reaped");
 
